@@ -1,0 +1,64 @@
+//! Property tests for the background cosmology.
+
+use background::{Background, CosmoParams};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn scdm() -> &'static Background {
+    static BG: OnceLock<Background> = OnceLock::new();
+    BG.get_or_init(|| Background::new(CosmoParams::standard_cdm()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conformal_time_is_monotone(a1 in 1e-8f64..1.0, a2 in 1e-8f64..1.0) {
+        prop_assume!(a1 < a2);
+        let bg = scdm();
+        prop_assert!(bg.conformal_time(a1) < bg.conformal_time(a2));
+    }
+
+    #[test]
+    fn a_of_tau_inverts(a in 1e-7f64..1.0) {
+        let bg = scdm();
+        let tau = bg.conformal_time(a);
+        let back = bg.a_of_tau(tau);
+        prop_assert!((back - a).abs() / a < 1e-5, "a = {a}, back = {back}");
+    }
+
+    #[test]
+    fn hubble_decreases_with_expansion_before_lambda(a1 in 1e-7f64..0.9, f in 1.01f64..5.0) {
+        // matter+radiation only (SCDM): ℋ strictly decreasing in a
+        let bg = scdm();
+        let a2 = (a1 * f).min(1.0);
+        prop_assert!(bg.conformal_hubble(a2) < bg.conformal_hubble(a1));
+    }
+
+    #[test]
+    fn densities_are_positive_and_total_matches_hubble(a in 1e-7f64..1.0) {
+        let bg = scdm();
+        let d = bg.densities(a);
+        prop_assert!(d.cdm > 0.0 && d.baryon > 0.0 && d.photon > 0.0 && d.nu_massless > 0.0);
+        let h2 = bg.conformal_hubble(a).powi(2);
+        prop_assert!((d.total() - h2).abs() < 1e-10 * h2, "flat: ℋ² = Σg");
+    }
+
+    #[test]
+    fn massive_nu_energy_bounded_by_limits(a in 1e-6f64..1.0, m in 0.01f64..10.0) {
+        let mut p = CosmoParams::standard_cdm();
+        p.n_nu_massless = 2.0;
+        p.n_nu_massive = 1;
+        p.m_nu_ev = m;
+        let bg = Background::new(p.clone());
+        let d = bg.densities(a);
+        // bounded below by the massless value and above by the
+        // fully-non-relativistic value
+        let g_massless = p.h0().powi(2) * p.omega_nu_one_relativistic() / (a * a);
+        prop_assert!(d.nu_massive >= g_massless * 0.999,
+            "massive ν below massless limit at a = {a}");
+        // pressure between 0 and ρ/3
+        prop_assert!(d.nu_massive_p >= -1e-30);
+        prop_assert!(d.nu_massive_p <= d.nu_massive / 3.0 * 1.001);
+    }
+}

@@ -1,0 +1,54 @@
+//! Special-function kernels: spherical Bessel arrays, associated
+//! Legendre sweeps, Gauss–Laguerre construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_bessel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sph_bessel_array");
+    for lmax in [100usize, 500, 2000] {
+        group.bench_with_input(BenchmarkId::from_parameter(lmax), &lmax, |b, &lmax| {
+            let mut out = vec![0.0; lmax + 1];
+            b.iter(|| {
+                special::bessel::sph_bessel_jl_array(black_box(lmax as f64 * 0.7), &mut out);
+                black_box(out[lmax / 2])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_legendre(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assoc_legendre_sweep");
+    for lmax in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(lmax), &lmax, |b, &lmax| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                let mut buf = Vec::new();
+                for m in (0..=lmax).step_by(8) {
+                    buf.resize(lmax - m + 1, 0.0);
+                    special::legendre::assoc_legendre_norm_array(lmax, m, 0.37, &mut buf);
+                    acc += buf[buf.len() - 1];
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quadrature_setup(c: &mut Criterion) {
+    c.bench_function("gauss_laguerre_32", |b| {
+        b.iter(|| numutil::quad::gauss_laguerre(black_box(32)))
+    });
+    c.bench_function("gauss_legendre_64", |b| {
+        b.iter(|| numutil::quad::gauss_legendre(black_box(64)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_bessel, bench_legendre, bench_quadrature_setup
+}
+criterion_main!(benches);

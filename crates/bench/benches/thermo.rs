@@ -1,0 +1,41 @@
+//! Setup costs a PLINGER worker pays once per run: background tables and
+//! the recombination history.
+
+use background::{Background, CosmoParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use recomb::ThermoHistory;
+use std::hint::black_box;
+
+fn bench_background(c: &mut Criterion) {
+    c.bench_function("background_build_scdm", |b| {
+        b.iter(|| Background::new(black_box(CosmoParams::standard_cdm())))
+    });
+    c.bench_function("background_build_mdm", |b| {
+        b.iter(|| Background::new(black_box(CosmoParams::mixed_dark_matter())))
+    });
+}
+
+fn bench_thermo(c: &mut Criterion) {
+    let bg = Background::new(CosmoParams::standard_cdm());
+    c.bench_function("thermo_history_build", |b| {
+        b.iter(|| ThermoHistory::new(black_box(&bg)))
+    });
+    let th = ThermoHistory::new(&bg);
+    c.bench_function("thermo_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..200 {
+                let a = i as f64 * 5e-4;
+                acc += th.xe(a) + th.opacity(a) + th.cs2_baryon(a, 2.726, 0.24);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_background, bench_thermo
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Message-passing substrate costs: codec throughput and channel/TCP
+//! round-trip latency — demonstrating the paper's point that the farm's
+//! communication is negligible next to the integration work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msgpass::channel::ChannelWorld;
+use msgpass::codec::{decode, encode};
+use msgpass::Transport;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_roundtrip");
+    // the paper's message extremes: ~150 B and ~80 kB
+    for len in [19usize, 10_000] {
+        let data: Vec<f64> = (0..len).map(|i| i as f64 * 0.1).collect();
+        group.throughput(Throughput::Bytes((len * 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len * 8), &len, |b, _| {
+            b.iter(|| {
+                let frame = encode(1, 5, black_box(&data));
+                let mut buf = bytes::BytesMut::from(&frame[..]);
+                black_box(decode(&mut buf).unwrap().unwrap().data.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_channel_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_ping_pong");
+    for len in [19usize, 10_000] {
+        group.throughput(Throughput::Bytes((2 * len * 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len * 8), &len, |b, &len| {
+            let mut eps = ChannelWorld::new(2);
+            let mut worker = eps.pop().unwrap();
+            let mut master = eps.pop().unwrap();
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop2 = stop.clone();
+            let echo = std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                loop {
+                    match worker.recv(0, 1, &mut buf) {
+                        Ok(_) => {
+                            if buf.is_empty() || stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                                break;
+                            }
+                            worker.send(0, 2, &buf).ok();
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+            let data: Vec<f64> = (0..len).map(|i| i as f64).collect();
+            let mut buf = Vec::new();
+            b.iter(|| {
+                master.send(1, 1, &data).unwrap();
+                master.recv(1, 2, &mut buf).unwrap();
+                black_box(buf.len())
+            });
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            master.send(1, 1, &[]).unwrap();
+            echo.join().unwrap();
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_codec, bench_channel_roundtrip
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Debug helper for the LOS cross-check.
+
+use background::{Background, CosmoParams};
+use boltzmann::{evolve_mode, Gauge, ModeConfig, Preset};
+use recomb::ThermoHistory;
+
+fn main() {
+    let bg = Background::new(CosmoParams::standard_cdm());
+    let th = ThermoHistory::new(&bg);
+    let k = 6.0e-3;
+    let cfg = ModeConfig {
+        gauge: Gauge::ConformalNewtonian,
+        preset: Preset::Demo,
+        lmax_g: Some(120),
+        lmax_nu: Some(120),
+        ..Default::default()
+    };
+    let out = evolve_mode(&bg, &th, k, &cfg).unwrap();
+    println!("k = {k}, kτ0 = {}", k * out.tau_end);
+    for l in 0..120 {
+        if l < 6 || l % 10 == 0 {
+            println!("Θ_{l} = {:+.5e}", out.delta_t[l]);
+        }
+    }
+}

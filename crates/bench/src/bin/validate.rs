@@ -1,0 +1,166 @@
+//! Validation scorecard: runs the physics battery end-to-end and prints
+//! pass/fail per check — the "is this build trustworthy" tool a release
+//! of LINGER/PLINGER would ship with.
+//!
+//! ```text
+//! cargo run --release -p bench --bin validate
+//! ```
+
+use background::{Background, CosmoParams};
+use boltzmann::{evolve_mode, Gauge, ModeConfig, Preset};
+use recomb::ThermoHistory;
+use spectra::matter::bbks_transfer;
+use spectra::{angular_power_spectrum, cl_k_grid, transfer_function, PrimordialSpectrum};
+
+struct Score {
+    passed: usize,
+    failed: usize,
+}
+
+impl Score {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            self.passed += 1;
+            println!("  PASS  {name}: {detail}");
+        } else {
+            self.failed += 1;
+            println!("  FAIL  {name}: {detail}");
+        }
+    }
+}
+
+fn main() {
+    let mut s = Score { passed: 0, failed: 0 };
+    println!("# plinger-rs validation scorecard\n");
+
+    // --- background & thermal history ---------------------------------
+    let bg = Background::new(CosmoParams::standard_cdm());
+    let th = ThermoHistory::new(&bg);
+    s.check(
+        "conformal age",
+        (11_000.0..12_500.0).contains(&bg.tau0()),
+        format!("τ₀ = {:.0} Mpc (SCDM h=0.5 expectation ≈ 11 800)", bg.tau0()),
+    );
+    s.check(
+        "recombination epoch",
+        (950.0..1250.0).contains(&th.z_rec()),
+        format!("z_rec = {:.0} (expected ≈ 1100)", th.z_rec()),
+    );
+    let xe_freeze = th.xe(1.0 / 101.0);
+    s.check(
+        "freeze-out ionization",
+        (1e-5..5e-3).contains(&xe_freeze),
+        format!("x_e(z=100) = {xe_freeze:.2e}"),
+    );
+
+    // --- single-mode physics -------------------------------------------
+    let draft = ModeConfig {
+        preset: Preset::Draft,
+        ..Default::default()
+    };
+    let super_horizon = evolve_mode(&bg, &th, 5.0e-4, &draft).unwrap();
+    s.check(
+        "ζ conservation",
+        (super_horizon.phi - 1.2).abs() < 0.012,
+        format!(
+            "superhorizon φ(τ₀) = {:.4} (analytic 1.2000)",
+            super_horizon.phi
+        ),
+    );
+    let newt = evolve_mode(
+        &bg,
+        &th,
+        5.0e-4,
+        &ModeConfig {
+            gauge: Gauge::ConformalNewtonian,
+            preset: Preset::Draft,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let gauge_rel = (super_horizon.psi - newt.psi).abs() / super_horizon.psi.abs();
+    s.check(
+        "gauge consistency",
+        gauge_rel < 0.01,
+        format!("sync vs Newtonian ψ differ by {:.2e}", gauge_rel),
+    );
+    s.check(
+        "Einstein constraint",
+        newt.constraint.abs() < 1e-3,
+        format!("energy-constraint residual {:.2e}", newt.constraint),
+    );
+
+    // --- growth --------------------------------------------------------
+    let mut cfg = draft.clone();
+    cfg.tau_end = Some(bg.conformal_time(0.02));
+    let d1 = evolve_mode(&bg, &th, 0.05, &cfg).unwrap();
+    cfg.tau_end = Some(bg.conformal_time(0.08));
+    let d2 = evolve_mode(&bg, &th, 0.05, &cfg).unwrap();
+    let growth = d2.delta_c / d1.delta_c;
+    s.check(
+        "matter-era growth",
+        (growth - 4.0).abs() < 0.3,
+        format!("δ_c(0.08)/δ_c(0.02) = {growth:.3} (δ ∝ a gives 4)"),
+    );
+
+    // --- Sachs–Wolfe plateau --------------------------------------------
+    let ks = cl_k_grid(bg.tau0(), 10, 2.0);
+    let outs: Vec<_> = ks
+        .iter()
+        .map(|&k| evolve_mode(&bg, &th, k, &draft).unwrap())
+        .collect();
+    let spec = angular_power_spectrum(&outs, &PrimordialSpectrum::unit(1.0), 8);
+    let bands: Vec<f64> = (2..=8).map(|l| spec.band_power(l)).collect();
+    let mean = bands.iter().sum::<f64>() / bands.len() as f64;
+    let worst = bands
+        .iter()
+        .map(|b| (b - mean).abs() / mean)
+        .fold(0.0f64, f64::max);
+    s.check(
+        "Sachs–Wolfe plateau",
+        worst < 0.25 && (0.4 * 0.09..2.5 * 0.09).contains(&mean),
+        format!("l(l+1)C_l/2π flat to {:.0}% with mean {mean:.3e} (SW ≈ 0.09·A)", worst * 100.0),
+    );
+
+    // --- transfer function vs BBKS ---------------------------------------
+    let mks = spectra::matter_k_grid(1e-4, 0.3, 13);
+    let mouts: Vec<_> = mks
+        .iter()
+        .map(|&k| evolve_mode(&bg, &th, k, &draft).unwrap())
+        .collect();
+    let t = transfer_function(&mouts, 0.95, 0.05);
+    // Γh = Ωh²·e^{−Ω_b(1+√(2h)/Ω)} for SCDM
+    let gamma_h = 0.25 * (-0.05f64 * (1.0 + (2.0f64 * 0.5).sqrt())).exp();
+    let mut worst_bbks = 0.0f64;
+    for (o, &ti) in mouts.iter().zip(&t) {
+        let b = bbks_transfer(o.k, gamma_h);
+        if b > 0.01 {
+            worst_bbks = worst_bbks.max((ti / b - 1.0).abs());
+        }
+    }
+    s.check(
+        "BBKS transfer shape",
+        worst_bbks < 0.3,
+        format!("worst deviation {:.0}%", worst_bbks * 100.0),
+    );
+
+    // --- farm determinism -------------------------------------------------
+    let mut fspec = plinger::RunSpec::standard_cdm(vec![8.0e-4, 2.4e-3, 1.6e-3]);
+    fspec.preset = Preset::Draft;
+    let (serial, _) = plinger::run_serial(&fspec);
+    let par = plinger::run_parallel_channels(&fspec, plinger::SchedulePolicy::LargestFirst, 2);
+    let identical = serial
+        .iter()
+        .zip(&par.outputs)
+        .all(|(a, b)| a.delta_c.to_bits() == b.delta_c.to_bits());
+    s.check(
+        "farm determinism",
+        identical,
+        "serial and parallel farms bit-identical".into(),
+    );
+
+    println!("\n# {} passed, {} failed", s.passed, s.failed);
+    if s.failed > 0 {
+        std::process::exit(1);
+    }
+}

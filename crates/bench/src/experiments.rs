@@ -1,0 +1,98 @@
+//! Common machinery for the harness binaries: standard run
+//! configurations and output formatting.
+
+use background::Background;
+use plinger::{run_serial, RunSpec};
+use spectra::cl_k_grid;
+
+/// The "test run" workload of the scaling figure: uniformly spaced
+/// wavenumbers, as in LINGER's production grids, so the total work is
+/// many times the longest single mode and the farm can stay efficient
+/// out to large node counts.  Per-mode costs still span a wide range
+/// (cost ∝ (kτ₀)², mirroring the paper's 2 min – 30 min spread).
+pub fn scaling_workload(n_modes: usize, k_max: f64) -> RunSpec {
+    let ks = numutil::grid::linspace(k_max / n_modes as f64, k_max, n_modes);
+    RunSpec::standard_cdm(ks)
+}
+
+/// A logarithmic workload exposing the full dynamic range of message
+/// sizes and CPU costs (used by the §4 table).
+pub fn message_workload(n_modes: usize, k_max: f64) -> RunSpec {
+    RunSpec::standard_cdm(numutil::grid::logspace(2.0e-4, k_max, n_modes))
+}
+
+/// The Figure 2 workload: the oscillation-resolving C_l grid.
+pub fn spectrum_workload(l_max: usize, osc_samples: f64) -> RunSpec {
+    let bg = Background::new(background::CosmoParams::standard_cdm());
+    RunSpec::standard_cdm(cl_k_grid(bg.tau0(), l_max, osc_samples))
+}
+
+/// Measure per-mode CPU seconds with a serial pass; returns
+/// `(durations, outputs_count, total_seconds)`.
+pub fn measure_serial(spec: &RunSpec) -> (Vec<f64>, usize, f64) {
+    let (outputs, total) = run_serial(spec);
+    let durations: Vec<f64> = outputs.iter().map(|o| o.cpu_seconds).collect();
+    let n = outputs.len();
+    (durations, n, total)
+}
+
+/// Simple fixed-width table printer.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |sep: &str| {
+        let cells: Vec<String> = widths.iter().map(|w| sep.repeat(*w)).collect();
+        format!("+-{}-+", cells.join("-+-"))
+    };
+    println!("{}", line("-"));
+    let hcells: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    println!("| {} |", hcells.join(" | "));
+    println!("{}", line("-"));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("| {} |", cells.join(" | "));
+    }
+    println!("{}", line("-"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_workload_is_uniform() {
+        let spec = scaling_workload(10, 0.05);
+        assert_eq!(spec.ks.len(), 10);
+        let dk = spec.ks[1] - spec.ks[0];
+        assert!(spec.ks.windows(2).all(|w| (w[1] - w[0] - dk).abs() < 1e-12));
+        // cost ∝ k² still spans two orders of magnitude
+        let span = (spec.ks[9] / spec.ks[0]).powi(2);
+        assert!(span > 90.0, "cost span {span}");
+    }
+
+    #[test]
+    fn message_workload_spans_decades() {
+        let spec = message_workload(12, 0.1);
+        assert!(spec.ks[11] / spec.ks[0] > 100.0);
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

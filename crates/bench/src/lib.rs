@@ -1,0 +1,53 @@
+//! Shared helpers for the figure/table harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see the experiment index in DESIGN.md):
+//!
+//! | binary          | paper artifact                               |
+//! |-----------------|----------------------------------------------|
+//! | `fig1_scaling`  | Figure 1 — wallclock & CPU vs processors     |
+//! | `fig2_spectrum` | Figure 2 — CMB power spectrum vs experiments |
+//! | `fig3_skymap`   | Figure 3 — simulated sky map                 |
+//! | `tab_flops`     | §5.1 — per-node and aggregate flop rates     |
+//! | `tab_messages`  | §4 — message size vs CPU time per mode       |
+//! | `abl_sched`     | §5.2 — largest-k-first idle-time ablation    |
+//! | `movie_psi`     | §6 — ψ(x, τ) movie frames                    |
+
+pub mod experiments;
+
+/// Approximate 1995-era CMB band-power measurements used as the Figure 2
+/// overlay — the role the COSAPP compilation (Dave & Steinhardt) played
+/// in the paper.  Values are `(l_effective, ΔT_l [µK], σ_minus, σ_plus)`
+/// with `ΔT_l = √(l(l+1)C_l/2π)·T₀`; entries are transcriptions of the
+/// era's published detections (COBE 2-yr, Tenerife, South Pole 94,
+/// Saskatoon, Python, ARGO, MAX, MSAM, CAT) at the fidelity a plot
+/// overlay needs.
+pub const BAND_POWERS_1995: &[(&str, f64, f64, f64, f64)] = &[
+    ("COBE (2yr, low l)", 4.0, 28.0, 5.0, 5.0),
+    ("COBE (2yr, high l)", 12.0, 30.0, 6.0, 6.0),
+    ("Tenerife", 20.0, 34.0, 12.0, 15.0),
+    ("South Pole 94", 60.0, 36.0, 11.0, 14.0),
+    ("Saskatoon", 70.0, 44.0, 9.0, 12.0),
+    ("Python", 90.0, 58.0, 15.0, 18.0),
+    ("ARGO", 100.0, 40.0, 7.0, 9.0),
+    ("MAX (GUM)", 140.0, 49.0, 12.0, 16.0),
+    ("MSAM", 160.0, 50.0, 11.0, 14.0),
+    ("MAX (mu Peg)", 145.0, 33.0, 11.0, 15.0),
+    ("CAT", 400.0, 50.0, 13.0, 17.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_powers_are_physical() {
+        for &(name, l, dt, lo, hi) in BAND_POWERS_1995 {
+            assert!(l >= 2.0 && l <= 1000.0, "{name}");
+            assert!(dt > 10.0 && dt < 100.0, "{name}: {dt} µK");
+            assert!(lo > 0.0 && hi > 0.0);
+        }
+        // COBE anchors the large scales
+        assert!(BAND_POWERS_1995[0].1 < 10.0);
+    }
+}

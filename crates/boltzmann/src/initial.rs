@@ -1,0 +1,219 @@
+//! Initial conditions deep in the radiation era (kτ ≪ 1).
+//!
+//! Adiabatic growing mode from Ma & Bertschinger (1995) eq. (96)
+//! (synchronous) and eq. (98) (conformal Newtonian), to leading order in
+//! `kτ`, normalized by the constant `C` of MB95 (we take `C = 1`; the
+//! primordial spectrum supplies the physical amplitude later).  The CDM
+//! isocurvature mode is provided as the extension LINGER's successors
+//! shipped.
+
+use crate::layout::{Gauge, StateLayout};
+use crate::rhs::LingerRhs;
+
+/// Initial-condition selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialConditions {
+    /// Adiabatic growing mode (standard CDM of the paper).
+    Adiabatic,
+    /// CDM isocurvature mode: δ_c initially finite, radiation unperturbed.
+    CdmIsocurvature,
+}
+
+/// Fill `y` with the initial conditions for mode `k` at conformal time
+/// `tau` (must satisfy `kτ ≪ 1`; debug-asserted at 0.2).
+///
+/// `r_nu` is the early-time neutrino fraction `R_ν` from
+/// [`background::Background::r_nu_early`].
+pub fn set_initial_conditions(
+    rhs: &LingerRhs<'_>,
+    ic: InitialConditions,
+    tau: f64,
+    r_nu: f64,
+    y: &mut [f64],
+) {
+    let lay = rhs.layout.clone();
+    let k = rhs.k;
+    let ktau = k * tau;
+    debug_assert!(ktau < 0.2, "initial conditions need kτ ≪ 1, got {ktau}");
+    y.fill(0.0);
+
+    match (ic, lay.gauge) {
+        (InitialConditions::Adiabatic, Gauge::Synchronous) => {
+            let c = 1.0;
+            let kt2 = ktau * ktau;
+            // metric
+            let h = c * kt2;
+            let eta = 2.0 * c - c * (5.0 + 4.0 * r_nu) / (6.0 * (15.0 + 4.0 * r_nu)) * kt2;
+            // radiation densities
+            let delta_g = -2.0 / 3.0 * c * kt2;
+            let theta_g = -c / 18.0 * ktau * ktau * ktau * k; // k⁴τ³/18
+            let theta_nu = theta_g * (23.0 + 4.0 * r_nu) / (15.0 + 4.0 * r_nu);
+            let sigma_nu = 4.0 * c / (3.0 * (15.0 + 4.0 * r_nu)) * kt2;
+            y[StateLayout::METRIC0] = h;
+            y[StateLayout::METRIC1] = eta;
+            y[StateLayout::DELTA_C] = 0.75 * delta_g;
+            y[StateLayout::THETA_C] = 0.0;
+            y[StateLayout::DELTA_B] = 0.75 * delta_g;
+            y[StateLayout::THETA_B] = theta_g;
+            y[lay.fg(0)] = delta_g;
+            y[lay.fg(1)] = 4.0 / (3.0 * k) * theta_g;
+            y[lay.fnu(0)] = delta_g;
+            y[lay.fnu(1)] = 4.0 / (3.0 * k) * theta_nu;
+            y[lay.fnu(2)] = 2.0 * sigma_nu;
+            fill_massive_nu(rhs, y, delta_g, theta_nu, sigma_nu);
+        }
+        (InitialConditions::Adiabatic, Gauge::ConformalNewtonian) => {
+            // Seed by exact gauge transformation of the synchronous IC.
+            // This enforces the Newtonian constraint equations identically
+            // (the analytic MB95 eq (98) form truncates at leading order
+            // in kτ and ωτ, which excites the constraint-violating
+            // solution of the reduced Newtonian system — see the
+            // gauge_transform module docs and the cross-gauge tests).
+            let slay = StateLayout::new(
+                Gauge::Synchronous,
+                lay.lmax_g,
+                lay.lmax_nu,
+                lay.lmax_h,
+                lay.nq,
+            );
+            let srhs = LingerRhs::new(rhs.background(), rhs.thermo(), slay.clone(), k);
+            let mut ys = vec![0.0; slay.dim()];
+            set_initial_conditions(&srhs, InitialConditions::Adiabatic, tau, r_nu, &mut ys);
+            crate::gauge_transform::sync_to_newtonian(&srhs, tau, &ys, &lay, y);
+        }
+        (InitialConditions::CdmIsocurvature, gauge) => {
+            // entropy mode: δ_c = 1, everything else compensates at O(kτ);
+            // the radiation era keeps radiation unperturbed to leading
+            // order and the metric responds at O((kτ)²·(ρ_c/ρ_r)).
+            y[StateLayout::DELTA_C] = 1.0;
+            y[StateLayout::DELTA_B] = 0.0;
+            if gauge == Gauge::ConformalNewtonian {
+                // potentials are higher order; leave zero
+            }
+        }
+    }
+}
+
+/// Massive-neutrino phase-space perturbations from the fluid moments
+/// (MB95 eq 97): `Ψ₀ = −¼δ_ν dlnf₀/dlnq`, `Ψ₁ = −(ε/3qk)θ_ν dlnf₀/dlnq`,
+/// `Ψ₂ = −½σ_ν dlnf₀/dlnq` — at these early times ε ≈ q.
+fn fill_massive_nu(rhs: &LingerRhs<'_>, y: &mut [f64], delta: f64, theta: f64, sigma: f64) {
+    let lay = rhs.layout.clone();
+    if lay.nq == 0 {
+        return;
+    }
+    let grid = rhs.nu_grid();
+    let k = rhs.k;
+    for iq in 0..lay.nq {
+        let dlnf = grid.dlnf[iq];
+        y[lay.psi(iq, 0)] = -0.25 * delta * dlnf;
+        y[lay.psi(iq, 1)] = -theta / (3.0 * k) * dlnf;
+        y[lay.psi(iq, 2)] = -0.5 * sigma * dlnf;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use background::{Background, CosmoParams};
+    use recomb::ThermoHistory;
+
+    fn setup() -> (Background, ThermoHistory) {
+        let bg = Background::new(CosmoParams::standard_cdm());
+        let th = ThermoHistory::new(&bg);
+        (bg, th)
+    }
+
+    #[test]
+    fn adiabatic_relations_synchronous() {
+        let (bg, th) = setup();
+        let lay = StateLayout::new(Gauge::Synchronous, 8, 8, 4, 0);
+        let rhs = LingerRhs::new(&bg, &th, lay.clone(), 0.01);
+        let mut y = vec![0.0; lay.dim()];
+        set_initial_conditions(&rhs, InitialConditions::Adiabatic, 1.0, bg.r_nu_early(), &mut y);
+        // adiabatic: δ_b = δ_c = (3/4) δ_γ = (3/4) δ_ν
+        let dg = y[lay.fg(0)];
+        assert!(dg < 0.0);
+        assert!((y[StateLayout::DELTA_C] - 0.75 * dg).abs() < 1e-15);
+        assert!((y[StateLayout::DELTA_B] - 0.75 * dg).abs() < 1e-15);
+        assert!((y[lay.fnu(0)] - dg).abs() < 1e-15);
+        // CDM at rest
+        assert_eq!(y[StateLayout::THETA_C], 0.0);
+        // η ≈ 2C
+        assert!((y[StateLayout::METRIC1] - 2.0).abs() < 1e-3);
+        // neutrino shear positive and tiny
+        assert!(y[lay.fnu(2)] > 0.0 && y[lay.fnu(2)] < 1e-3);
+    }
+
+    #[test]
+    fn adiabatic_relations_newtonian() {
+        let (bg, th) = setup();
+        let lay = StateLayout::new(Gauge::ConformalNewtonian, 8, 8, 4, 0);
+        let rhs = LingerRhs::new(&bg, &th, lay.clone(), 0.01);
+        let mut y = vec![0.0; lay.dim()];
+        let r_nu = bg.r_nu_early();
+        set_initial_conditions(&rhs, InitialConditions::Adiabatic, 1.0, r_nu, &mut y);
+        let psi = 20.0 / (15.0 + 4.0 * r_nu);
+        // φ > ψ by the neutrino anisotropic stress factor (the IC is now
+        // seeded by exact gauge transformation, so the analytic relations
+        // hold up to O(kτ, ωτ) corrections)
+        let phi = y[StateLayout::METRIC0];
+        assert!((phi / psi - (1.0 + 0.4 * r_nu)).abs() < 0.02, "φ/ψ = {}", phi / psi);
+        // δ_γ = −2ψ, δ_c = −(3/2)ψ
+        assert!((y[lay.fg(0)] + 2.0 * psi).abs() < 0.05);
+        assert!((y[StateLayout::DELTA_C] + 1.5 * psi).abs() < 0.05);
+        // θ_c and θ_b agree to the tiny synchronous dipole
+        let tc = y[StateLayout::THETA_C];
+        let tb = y[StateLayout::THETA_B];
+        assert!((tc - tb).abs() < 1e-4 * tc.abs().max(tb.abs()));
+    }
+
+    #[test]
+    fn massive_nu_moments_consistent_with_fluid() {
+        let (bg, th) = setup();
+        let mut p = CosmoParams::standard_cdm();
+        p.n_nu_massless = 2.0;
+        p.n_nu_massive = 1;
+        p.m_nu_ev = 1.0;
+        let bg2 = Background::new(p);
+        let lay = StateLayout::new(Gauge::Synchronous, 8, 8, 5, 8);
+        let rhs = LingerRhs::new(&bg2, &th, lay.clone(), 0.01);
+        let mut y = vec![0.0; lay.dim()];
+        set_initial_conditions(&rhs, InitialConditions::Adiabatic, 1.0, bg2.r_nu_early(), &mut y);
+        // reconstruct δ from the Ψ0 moments: δ = Σ w ε Ψ0 / Σ w ε with
+        // ε ≈ q early; with Ψ0 = −¼δ dlnf, Σ w q (−¼ dlnf) ... the
+        // integral identity ∫ q²f₀ q (dlnf₀/dlnq) dq = −4 ∫ q³f₀ gives
+        // back exactly δ.  Check numerically:
+        let grid = rhs.nu_grid();
+        let num: f64 = (0..lay.nq)
+            .map(|iq| grid.w[iq] * grid.q[iq] * y[lay.psi(iq, 0)])
+            .sum();
+        let den: f64 = (0..lay.nq).map(|iq| grid.w[iq] * grid.q[iq]).sum();
+        let delta_rec = num / den; // the −¼ dlnf weighting cancels the −4
+        let dg = y[lay.fg(0)];
+        assert!(
+            (delta_rec - dg).abs() < 0.05 * dg.abs(),
+            "reconstructed {delta_rec} vs δ_ν {dg}"
+        );
+        let _ = bg;
+    }
+
+    #[test]
+    fn isocurvature_only_cdm_perturbed() {
+        let (bg, th) = setup();
+        let lay = StateLayout::new(Gauge::Synchronous, 8, 8, 4, 0);
+        let rhs = LingerRhs::new(&bg, &th, lay.clone(), 0.01);
+        let mut y = vec![0.0; lay.dim()];
+        set_initial_conditions(
+            &rhs,
+            InitialConditions::CdmIsocurvature,
+            1.0,
+            bg.r_nu_early(),
+            &mut y,
+        );
+        assert_eq!(y[StateLayout::DELTA_C], 1.0);
+        assert_eq!(y[lay.fg(0)], 0.0);
+        assert_eq!(y[lay.fnu(0)], 0.0);
+        assert_eq!(y[StateLayout::METRIC1], 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! The output record of one evolved mode, and its wire format.
+//!
+//! The paper's master/worker protocol ships each finished wavenumber as
+//! two messages: a fixed 21-real header (tag 4, with `y(1) = ik` and
+//! `y(21) = lmax`) followed by a `2·lmax + 8`-real payload (tag 5)
+//! containing the photon moment hierarchies.  [`ModeOutput::to_wire`] and
+//! [`ModeOutput::from_wire`] implement exactly that framing so the
+//! PLINGER farm can be tested for byte-identical results against the
+//! serial code.
+
+use background::Background;
+use ode::{DenseSample, StepStats};
+
+use crate::layout::{Gauge, StateLayout};
+use crate::rhs::LingerRhs;
+
+/// Results of one k-mode integration.
+#[derive(Debug, Clone)]
+pub struct ModeOutput {
+    /// Wavenumber, Mpc⁻¹.
+    pub k: f64,
+    /// Gauge the mode was evolved in.
+    pub gauge: Gauge,
+    /// Photon hierarchy size.
+    pub lmax_g: usize,
+    /// Final conformal time, Mpc.
+    pub tau_end: f64,
+    /// Final scale factor.
+    pub a_end: f64,
+    /// CDM density contrast at `tau_end`.
+    pub delta_c: f64,
+    /// CDM velocity divergence.
+    pub theta_c: f64,
+    /// Baryon density contrast.
+    pub delta_b: f64,
+    /// Baryon velocity divergence.
+    pub theta_b: f64,
+    /// Photon density contrast.
+    pub delta_g: f64,
+    /// Photon velocity divergence.
+    pub theta_g: f64,
+    /// Massless-neutrino density contrast.
+    pub delta_nu: f64,
+    /// Massless-neutrino velocity divergence.
+    pub theta_nu: f64,
+    /// Massive-neutrino density contrast (0 when absent).
+    pub delta_h: f64,
+    /// Photon shear.
+    pub sigma_g: f64,
+    /// Massless-neutrino shear.
+    pub sigma_nu: f64,
+    /// Conformal Newtonian potential φ (native or gauge-transformed).
+    pub phi: f64,
+    /// Conformal Newtonian potential ψ.
+    pub psi: f64,
+    /// Initial ψ amplitude (for transfer-function normalization).
+    pub psi_initial: f64,
+    /// Einstein-constraint residual at the final time.
+    pub constraint: f64,
+    /// Photon temperature moments `Θ_l = F_γl/4`, `l = 0..=lmax_g`.
+    pub delta_t: Vec<f64>,
+    /// Photon polarization moments `G_γl/4`.
+    pub delta_p: Vec<f64>,
+    /// Integrator work counters.
+    pub stats: StepStats,
+    /// Wall-clock seconds spent on this mode.
+    pub cpu_seconds: f64,
+    /// Accepted-step trajectory when recording was requested.
+    pub trajectory: Vec<DenseSample>,
+}
+
+impl ModeOutput {
+    /// Build the record from the final integrator state.
+    pub(crate) fn from_state(
+        rhs: &LingerRhs<'_>,
+        bg: &Background,
+        tau_end: f64,
+        y: &[f64],
+        stats: StepStats,
+        cpu_seconds: f64,
+        trajectory: Vec<DenseSample>,
+    ) -> Self {
+        let lay = rhs.layout.clone();
+        let k = rhs.k;
+        let m = rhs.metrics(tau_end, y);
+        let delta_t: Vec<f64> = (0..=lay.lmax_g).map(|l| 0.25 * y[lay.fg(l)]).collect();
+        let delta_p: Vec<f64> = (0..=lay.lmax_g).map(|l| 0.25 * y[lay.gg(l)]).collect();
+        let r_nu = bg.r_nu_early();
+        Self {
+            k,
+            gauge: lay.gauge,
+            lmax_g: lay.lmax_g,
+            tau_end,
+            a_end: bg.a_of_tau(tau_end),
+            delta_c: y[StateLayout::DELTA_C],
+            theta_c: y[StateLayout::THETA_C],
+            delta_b: y[StateLayout::DELTA_B],
+            theta_b: y[StateLayout::THETA_B],
+            delta_g: y[lay.fg(0)],
+            theta_g: 0.75 * k * y[lay.fg(1)],
+            delta_nu: y[lay.fnu(0)],
+            theta_nu: 0.75 * k * y[lay.fnu(1)],
+            delta_h: rhs.massive_delta(tau_end, y),
+            sigma_g: 0.5 * y[lay.fg(2)],
+            sigma_nu: 0.5 * y[lay.fnu(2)],
+            phi: m.phi,
+            psi: m.psi,
+            psi_initial: 20.0 / (15.0 + 4.0 * r_nu),
+            constraint: m.constraint,
+            delta_t,
+            delta_p,
+            stats,
+            cpu_seconds,
+            trajectory,
+        }
+    }
+
+    /// Gauge-invariant total-matter density contrast used for the matter
+    /// power spectrum (CDM + baryons, density-weighted).
+    pub fn delta_matter(&self, omega_c: f64, omega_b: f64) -> f64 {
+        (omega_c * self.delta_c + omega_b * self.delta_b) / (omega_c + omega_b)
+    }
+
+    /// Serialize to the paper's two-message wire format:
+    /// a 21-real header and a `2·lmax+8`-real payload.
+    pub fn to_wire(&self, ik: usize) -> (Vec<f64>, Vec<f64>) {
+        let header = vec![
+            ik as f64,
+            self.k,
+            self.tau_end,
+            self.a_end,
+            self.delta_c,
+            self.theta_c,
+            self.delta_b,
+            self.theta_b,
+            self.delta_g,
+            self.theta_g,
+            self.delta_nu,
+            self.theta_nu,
+            self.delta_h,
+            self.sigma_g,
+            self.sigma_nu,
+            self.phi,
+            self.psi,
+            self.constraint,
+            self.cpu_seconds,
+            self.stats.total_flops() as f64,
+            self.lmax_g as f64,
+        ];
+        debug_assert_eq!(header.len(), 21);
+        let mut payload = Vec::with_capacity(2 * self.lmax_g + 8);
+        payload.push(self.psi_initial);
+        payload.push(self.stats.rhs_evals as f64);
+        payload.push(self.stats.accepted as f64);
+        payload.push(self.stats.rejected as f64);
+        payload.push(match self.gauge {
+            Gauge::Synchronous => 0.0,
+            Gauge::ConformalNewtonian => 1.0,
+        });
+        payload.push(0.0); // reserved
+        payload.extend_from_slice(&self.delta_t);
+        payload.extend_from_slice(&self.delta_p);
+        debug_assert_eq!(payload.len(), 2 * self.lmax_g + 8);
+        (header, payload)
+    }
+
+    /// Reconstruct a record from the wire format.  Returns `(ik, record)`.
+    /// Work counters that do not travel (stepper flops, trajectory) are
+    /// left empty.
+    pub fn from_wire(header: &[f64], payload: &[f64]) -> (usize, Self) {
+        assert_eq!(header.len(), 21, "header must be 21 reals");
+        let lmax_g = header[20] as usize;
+        assert_eq!(
+            payload.len(),
+            2 * lmax_g + 8,
+            "payload must be 2·lmax+8 reals"
+        );
+        let nl = lmax_g + 1;
+        let delta_t = payload[6..6 + nl].to_vec();
+        let delta_p = payload[6 + nl..6 + 2 * nl].to_vec();
+        let stats = StepStats {
+            accepted: payload[2] as usize,
+            rejected: payload[3] as usize,
+            rhs_evals: payload[1] as usize,
+            rhs_flops: header[19] as u64,
+            stepper_flops: 0,
+        };
+        let out = Self {
+            k: header[1],
+            gauge: if payload[4] == 0.0 {
+                Gauge::Synchronous
+            } else {
+                Gauge::ConformalNewtonian
+            },
+            lmax_g,
+            tau_end: header[2],
+            a_end: header[3],
+            delta_c: header[4],
+            theta_c: header[5],
+            delta_b: header[6],
+            theta_b: header[7],
+            delta_g: header[8],
+            theta_g: header[9],
+            delta_nu: header[10],
+            theta_nu: header[11],
+            delta_h: header[12],
+            sigma_g: header[13],
+            sigma_nu: header[14],
+            phi: header[15],
+            psi: header[16],
+            constraint: header[17],
+            cpu_seconds: header[18],
+            psi_initial: payload[0],
+            delta_t,
+            delta_p,
+            stats,
+            trajectory: Vec::new(),
+        };
+        (header[0] as usize, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_output(lmax: usize) -> ModeOutput {
+        ModeOutput {
+            k: 0.05,
+            gauge: Gauge::Synchronous,
+            lmax_g: lmax,
+            tau_end: 11990.0,
+            a_end: 1.0,
+            delta_c: -123.0,
+            theta_c: 0.0,
+            delta_b: -122.5,
+            theta_b: 0.7,
+            delta_g: 0.3,
+            theta_g: -0.1,
+            delta_nu: 0.2,
+            theta_nu: -0.05,
+            delta_h: 0.0,
+            sigma_g: 0.01,
+            sigma_nu: 0.02,
+            phi: -1.1e-5,
+            psi: -1.0e-5,
+            psi_initial: 1.2,
+            constraint: 1e-8,
+            delta_t: (0..=lmax).map(|l| (l as f64).sin() * 1e-3).collect(),
+            delta_p: (0..=lmax).map(|l| (l as f64).cos() * 1e-5).collect(),
+            stats: StepStats {
+                accepted: 1000,
+                rejected: 13,
+                rhs_evals: 8104,
+                rhs_flops: 123456789,
+                stepper_flops: 0,
+            },
+            cpu_seconds: 3.14,
+            trajectory: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn wire_sizes_match_the_paper() {
+        let out = sample_output(50);
+        let (h, p) = out.to_wire(7);
+        assert_eq!(h.len(), 21);
+        assert_eq!(p.len(), 2 * 50 + 8);
+        // paper: y(1) = ik, y(21) = lmax
+        assert_eq!(h[0], 7.0);
+        assert_eq!(h[20], 50.0);
+    }
+
+    #[test]
+    fn wire_roundtrip_is_lossless() {
+        let out = sample_output(31);
+        let (h, p) = out.to_wire(42);
+        let (ik, back) = ModeOutput::from_wire(&h, &p);
+        assert_eq!(ik, 42);
+        assert_eq!(back.k, out.k);
+        assert_eq!(back.lmax_g, out.lmax_g);
+        assert_eq!(back.delta_c, out.delta_c);
+        assert_eq!(back.delta_t, out.delta_t);
+        assert_eq!(back.delta_p, out.delta_p);
+        assert_eq!(back.stats.rhs_evals, out.stats.rhs_evals);
+        assert_eq!(back.gauge, out.gauge);
+        assert_eq!(back.psi_initial, out.psi_initial);
+    }
+
+    #[test]
+    fn message_size_grows_with_lmax_as_in_section_4() {
+        // "the message length increases roughly in proportion to the CPU
+        // time, to a maximum of 80 kbyte" — sizes must scale linearly.
+        let small = sample_output(10).to_wire(0).1.len();
+        let big = sample_output(1000).to_wire(0).1.len();
+        assert_eq!(small, 28);
+        assert_eq!(big, 2008);
+        // 10,000 moments → 8-byte reals × (2·10⁴ + 8) ≈ 160 kB for both
+        // polarizations, i.e. the paper's 80 kB for temperature alone.
+        let paper_scale = (2 * 10_000 + 8) * 8;
+        assert!(paper_scale > 80_000);
+    }
+
+    #[test]
+    fn delta_matter_weighting() {
+        let out = sample_output(5);
+        let dm = out.delta_matter(0.95, 0.05);
+        assert!((dm - (0.95 * -123.0 + 0.05 * -122.5) / 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "header must be 21 reals")]
+    fn from_wire_rejects_bad_header() {
+        let _ = ModeOutput::from_wire(&[0.0; 20], &[0.0; 28]);
+    }
+}

@@ -1,0 +1,614 @@
+//! The Einstein–Boltzmann right-hand side for one k-mode.
+//!
+//! Equations follow Ma & Bertschinger (1995) [MB95].  All times are
+//! conformal (Mpc), all densities appear in "Einstein units"
+//! `g_i = (8πG/3) a² ρ̄_i` so that `4πG a² δρ = (3/2) Σ g_i δ_i`.
+//!
+//! The photon–baryon tight-coupling approximation (first order in the
+//! Thomson time `τ_c = 1/κ̇`) replaces the stiff Euler equations at early
+//! times; the switch is managed by the mode evolver.
+
+use background::Background;
+use ode::Rhs;
+use recomb::ThermoHistory;
+use special::fermi::NeutrinoMomentumGrid;
+
+use crate::layout::{Gauge, StateLayout};
+
+/// Metric quantities derived from the state at one instant — used for
+/// diagnostics, the ψ-movie, and gauge transformations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricQuantities {
+    /// `ḣ` (synchronous) — zero in Newtonian gauge.
+    pub hdot: f64,
+    /// `η̇` (synchronous) — zero in Newtonian gauge.
+    pub etadot: f64,
+    /// `α = (ḣ + 6η̇)/(2k²)` (synchronous).
+    pub alpha: f64,
+    /// Newtonian-gauge potential φ (native or gauge-transformed).
+    pub phi: f64,
+    /// Newtonian-gauge potential ψ (native or gauge-transformed).
+    pub psi: f64,
+    /// `φ̇` in Newtonian gauge (zero when evolved synchronously).
+    pub phidot: f64,
+    /// Residual of the unused Einstein energy constraint, normalized.
+    pub constraint: f64,
+}
+
+/// The LINGER right-hand side.
+pub struct LingerRhs<'a> {
+    bg: &'a Background,
+    thermo: &'a ThermoHistory,
+    /// State layout (gauge, hierarchy sizes).
+    pub layout: StateLayout,
+    /// Comoving wavenumber, Mpc⁻¹.
+    pub k: f64,
+    /// Tight-coupling mode: photon l ≥ 2 and polarization are slaved.
+    pub tca: bool,
+    nu_grid: NeutrinoMomentumGrid,
+    i_rho0: f64,
+    t_cmb: f64,
+    y_he: f64,
+    h0sq_omega_nu1: f64,
+    n_nu_massive: f64,
+}
+
+impl<'a> LingerRhs<'a> {
+    /// Build the RHS for wavenumber `k`.
+    pub fn new(
+        bg: &'a Background,
+        thermo: &'a ThermoHistory,
+        layout: StateLayout,
+        k: f64,
+    ) -> Self {
+        assert!(k > 0.0, "wavenumber must be positive");
+        let p = bg.params();
+        let nu_grid = NeutrinoMomentumGrid::new(layout.nq.max(1));
+        Self {
+            bg,
+            thermo,
+            layout,
+            k,
+            tca: false,
+            nu_grid,
+            i_rho0: special::fermi::fermi_dirac_energy(0.0),
+            t_cmb: p.t_cmb_k,
+            y_he: p.y_helium,
+            h0sq_omega_nu1: p.h0() * p.h0() * p.omega_nu_one_relativistic(),
+            n_nu_massive: p.n_nu_massive as f64,
+        }
+    }
+
+    /// The massive-neutrino momentum grid (for initial conditions).
+    pub fn nu_grid(&self) -> &NeutrinoMomentumGrid {
+        &self.nu_grid
+    }
+
+    /// The background this RHS was built against.
+    pub fn background(&self) -> &'a Background {
+        self.bg
+    }
+
+    /// The thermal history this RHS was built against.
+    pub fn thermo(&self) -> &'a ThermoHistory {
+        self.thermo
+    }
+
+    /// Slaved tight-coupling photon shear `σ_γ`.
+    ///
+    /// `σ_γ = (16/45) τ_c (θ_γ + k²α)` in synchronous gauge (the metric
+    /// shear enters), `(16/45) τ_c θ_γ` in Newtonian gauge.
+    #[inline]
+    fn sigma_gamma_tca(&self, tau_c: f64, theta_g: f64, k2_alpha: f64) -> f64 {
+        16.0 / 45.0 * tau_c * (theta_g + k2_alpha)
+    }
+
+    /// Compute the per-bin massive-neutrino source integrals
+    /// `(Σ w ε Ψ0, Σ w q Ψ1, Σ w q²/ε Ψ2, Σ w q²/ε Ψ0)`.
+    fn massive_nu_sums(&self, y: &[f64], r: f64) -> (f64, f64, f64, f64) {
+        let lay = &self.layout;
+        let (mut s0, mut s1, mut s2, mut sp) = (0.0, 0.0, 0.0, 0.0);
+        for iq in 0..lay.nq {
+            let q = self.nu_grid.q[iq];
+            let w = self.nu_grid.w[iq];
+            let eps = (q * q + r * r).sqrt();
+            s0 += w * eps * y[lay.psi(iq, 0)];
+            s1 += w * q * y[lay.psi(iq, 1)];
+            s2 += w * q * q / eps * y[lay.psi(iq, 2)];
+            sp += w * q * q / eps * y[lay.psi(iq, 0)];
+        }
+        (s0, s1, s2, sp)
+    }
+
+    /// Massive-neutrino density contrast `δ_h = ∫ w ε Ψ₀ / ∫ w ε`
+    /// (zero when no massive species is carried).
+    pub(crate) fn massive_delta(&self, tau: f64, y: &[f64]) -> f64 {
+        if self.layout.nq == 0 {
+            return 0.0;
+        }
+        let a = self.bg.a_of_tau(tau);
+        let r = self.bg.nu_mass_ratio(a);
+        let lay = &self.layout;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for iq in 0..lay.nq {
+            let q = self.nu_grid.q[iq];
+            let w = self.nu_grid.w[iq];
+            let eps = (q * q + r * r).sqrt();
+            num += w * eps * y[lay.psi(iq, 0)];
+            den += w * eps;
+        }
+        num / den
+    }
+
+    /// Metric quantities and Einstein-constraint residual at `(tau, y)`.
+    pub fn metrics(&self, tau: f64, y: &[f64]) -> MetricQuantities {
+        let lay = self.layout.clone();
+        let k = self.k;
+        let k2 = k * k;
+        let a = self.bg.a_of_tau(tau);
+        let hub = self.bg.conformal_hubble(a);
+        let d = self.bg.densities(a);
+
+        let delta_c = y[StateLayout::DELTA_C];
+        let theta_c = y[StateLayout::THETA_C];
+        let delta_b = y[StateLayout::DELTA_B];
+        let theta_b = y[StateLayout::THETA_B];
+        let delta_g = y[lay.fg(0)];
+        let theta_g = 0.75 * k * y[lay.fg(1)];
+        let sigma_g = 0.5 * y[lay.fg(2)];
+        let delta_nu = y[lay.fnu(0)];
+        let theta_nu = 0.75 * k * y[lay.fnu(1)];
+        let sigma_nu = 0.5 * y[lay.fnu(2)];
+
+        let (mut drho_h, mut rpth_h, mut rps_h) = (0.0, 0.0, 0.0);
+        if lay.nq > 0 {
+            let r = self.bg.nu_mass_ratio(a);
+            let (s0, s1, s2, _sp) = self.massive_nu_sums(y, r);
+            let c_h = self.h0sq_omega_nu1 * self.n_nu_massive / (a * a * self.i_rho0);
+            drho_h = c_h * s0;
+            rpth_h = k * c_h * s1;
+            rps_h = 2.0 / 3.0 * c_h * s2;
+        }
+
+        let s_delta = d.cdm * delta_c + d.baryon * delta_b + d.photon * delta_g
+            + d.nu_massless * delta_nu
+            + drho_h;
+        let s_theta = d.cdm * theta_c + d.baryon * theta_b
+            + 4.0 / 3.0 * (d.photon * theta_g + d.nu_massless * theta_nu)
+            + rpth_h;
+        let s_sigma =
+            4.0 / 3.0 * (d.photon * sigma_g + d.nu_massless * sigma_nu) + rps_h;
+
+        match lay.gauge {
+            Gauge::Synchronous => {
+                let eta = y[StateLayout::METRIC1];
+                let hdot = 2.0 / hub * (k2 * eta + 1.5 * s_delta);
+                let etadot = 1.5 * s_theta / k2;
+                let alpha = (hdot + 6.0 * etadot) / (2.0 * k2);
+                // gauge-transform to the conformal Newtonian potentials
+                let phi = eta - hub * alpha;
+                let psi = phi - 4.5 * s_sigma / k2;
+                // residual of the trace-acceleration equation is expensive
+                // (needs ḧ); report the momentum-vs-energy consistency of
+                // the η equation instead (zero by construction) and leave
+                // cross-gauge tests to validate.  Report the shear-eq
+                // residual of the transformed potentials vs 21d ≈ 0 proxy:
+                let constraint = 0.0;
+                MetricQuantities {
+                    hdot,
+                    etadot,
+                    alpha,
+                    phi,
+                    psi,
+                    phidot: 0.0,
+                    constraint,
+                }
+            }
+            Gauge::ConformalNewtonian => {
+                let phi = y[StateLayout::METRIC0];
+                let psi = phi - 4.5 * s_sigma / k2;
+                let phidot = -hub * psi + 1.5 * s_theta / k2;
+                // the unused energy constraint,
+                //   k²φ + 3ℋ(φ̇ + ℋψ) = −(3/2) Σ g δ,
+                // is the redundancy monitor (the momentum and shear
+                // constraints define φ̇ and ψ, so they hold identically).
+                let lhs = k2 * phi + 3.0 * hub * (phidot + hub * psi);
+                let rhs = -1.5 * s_delta;
+                let scale = (3.0 * hub * hub * psi).abs().max(rhs.abs()).max(1e-300);
+                MetricQuantities {
+                    hdot: 0.0,
+                    etadot: 0.0,
+                    alpha: 0.0,
+                    phi,
+                    psi,
+                    phidot,
+                    constraint: (lhs - rhs) / scale,
+                }
+            }
+        }
+    }
+}
+
+impl Rhs for LingerRhs<'_> {
+    fn dim(&self) -> usize {
+        self.layout.dim()
+    }
+
+    fn flops_per_eval(&self) -> u64 {
+        // Analytic census of the arithmetic below (multiplies + adds +
+        // divides + sqrt counted as one flop each, spline lookups ≈ 12):
+        let lay = &self.layout;
+        let fixed = 420u64; // background, thermo, metric sources
+        let photon_t = 10 * (lay.lmax_g as u64) + 60;
+        let photon_p = 11 * (lay.lmax_g as u64) + 40;
+        let nu = 9 * (lay.lmax_nu as u64) + 40;
+        let massive = (lay.nq as u64) * (9 * lay.lmax_h as u64 + 30);
+        fixed + photon_t + photon_p + nu + massive
+    }
+
+    fn eval(&mut self, tau: f64, y: &[f64], dydt: &mut [f64]) {
+        let lay = self.layout.clone();
+        let k = self.k;
+        let k2 = k * k;
+
+        // --- background & thermodynamics at this instant ---------------
+        let a = self.bg.a_of_tau(tau);
+        let hub = self.bg.conformal_hubble(a);
+        let d = self.bg.densities(a);
+        let opac = self.thermo.opacity(a); // κ̇ = a n_e σ_T, Mpc⁻¹
+        let cs2 = self.thermo.cs2_baryon(a, self.t_cmb, self.y_he);
+
+        // --- extract fluid variables ------------------------------------
+        let delta_c = y[StateLayout::DELTA_C];
+        let theta_c = y[StateLayout::THETA_C];
+        let delta_b = y[StateLayout::DELTA_B];
+        let theta_b = y[StateLayout::THETA_B];
+        let delta_g = y[lay.fg(0)];
+        let f_g1 = y[lay.fg(1)];
+        let theta_g = 0.75 * k * f_g1;
+        let delta_nu = y[lay.fnu(0)];
+        let theta_nu = 0.75 * k * y[lay.fnu(1)];
+        let sigma_nu = 0.5 * y[lay.fnu(2)];
+
+        // --- massive-neutrino source integrals --------------------------
+        let (mut drho_h, mut rpth_h, mut rps_h) = (0.0, 0.0, 0.0);
+        let mut r_nu_mass = 0.0;
+        if lay.nq > 0 {
+            r_nu_mass = self.bg.nu_mass_ratio(a);
+            let (s0, s1, s2, _sp) = self.massive_nu_sums(y, r_nu_mass);
+            let c_h = self.h0sq_omega_nu1 * self.n_nu_massive / (a * a * self.i_rho0);
+            drho_h = c_h * s0;
+            rpth_h = k * c_h * s1;
+            rps_h = 2.0 / 3.0 * c_h * s2;
+        }
+
+        // Photon shear: slaved under tight coupling, from the state
+        // otherwise.  (k²α is only known after the metric solve in the
+        // synchronous gauge, so the TCA shear is patched in below.)
+        let tau_c = 1.0 / opac;
+        let mut sigma_g = 0.5 * y[lay.fg(2)];
+
+        // --- Einstein equations -----------------------------------------
+        let s_delta = d.cdm * delta_c + d.baryon * delta_b + d.photon * delta_g
+            + d.nu_massless * delta_nu
+            + drho_h;
+        let s_theta = d.cdm * theta_c + d.baryon * theta_b
+            + 4.0 / 3.0 * (d.photon * theta_g + d.nu_massless * theta_nu)
+            + rpth_h;
+
+        // Gauge-dependent metric variables:
+        let (hdot, etadot, phidot, psi) = match lay.gauge {
+            Gauge::Synchronous => {
+                let eta = y[StateLayout::METRIC1];
+                let hdot = 2.0 / hub * (k2 * eta + 1.5 * s_delta);
+                let etadot = 1.5 * s_theta / k2;
+                let k2_alpha = 0.5 * (hdot + 6.0 * etadot);
+                if self.tca {
+                    sigma_g = self.sigma_gamma_tca(tau_c, theta_g, k2_alpha);
+                }
+                dydt[StateLayout::METRIC0] = hdot;
+                dydt[StateLayout::METRIC1] = etadot;
+                let _ = k2_alpha;
+                (hdot, etadot, 0.0, 0.0)
+            }
+            Gauge::ConformalNewtonian => {
+                if self.tca {
+                    sigma_g = self.sigma_gamma_tca(tau_c, theta_g, 0.0);
+                }
+                let s_sigma =
+                    4.0 / 3.0 * (d.photon * sigma_g + d.nu_massless * sigma_nu) + rps_h;
+                let phi = y[StateLayout::METRIC0];
+                let psi = phi - 4.5 * s_sigma / k2;
+                let phidot = -hub * psi + 1.5 * s_theta / k2;
+                dydt[StateLayout::METRIC0] = phidot;
+                dydt[StateLayout::METRIC1] = 0.0;
+                (0.0, 0.0, phidot, psi)
+            }
+        };
+
+        // Per-gauge source shorthands:
+        let (src_d_matter, src_d_rad, src_theta) = match lay.gauge {
+            // δ̇ += −½ḣ (matter), −⅔ḣ (radiation); θ̇ += 0
+            Gauge::Synchronous => (-0.5 * hdot, -2.0 / 3.0 * hdot, 0.0),
+            // δ̇ += 3φ̇ (matter), 4φ̇ (radiation); θ̇ += k²ψ
+            Gauge::ConformalNewtonian => (3.0 * phidot, 4.0 * phidot, k2 * psi),
+        };
+
+        // --- CDM ---------------------------------------------------------
+        match lay.gauge {
+            Gauge::Synchronous => {
+                dydt[StateLayout::DELTA_C] = src_d_matter;
+                dydt[StateLayout::THETA_C] = 0.0; // gauge condition
+            }
+            Gauge::ConformalNewtonian => {
+                dydt[StateLayout::DELTA_C] = -theta_c + src_d_matter;
+                dydt[StateLayout::THETA_C] = -hub * theta_c + src_theta;
+            }
+        }
+
+        // --- baryons & photon momentum ------------------------------------
+        // R = 4ρ̄_γ / 3ρ̄_b
+        let r_drag = 4.0 / 3.0 * d.photon / d.baryon;
+        let delta_b_dot;
+        let theta_b_dot;
+        let theta_g_dot;
+        if self.tca {
+            // first-order tight coupling (see module docs):
+            //   X = k²(δ_γ/4 − σ_γ) + ℋθ_b − c_s²k²δ_b
+            //   S = θ_γ − θ_b,  Ṡ from differentiating S_qs = τ_c X/(1+R)
+            let x_slip = k2 * (0.25 * delta_g - sigma_g) + hub * theta_b - cs2 * k2 * delta_b;
+            let theta_dot_zero = (-hub * theta_b
+                + cs2 * k2 * delta_b
+                + r_drag * k2 * (0.25 * delta_g - sigma_g))
+                / (1.0 + r_drag)
+                + src_theta;
+            delta_b_dot = -theta_b + src_d_matter;
+            let delta_g_dot_zero = -4.0 / 3.0 * theta_g + src_d_rad;
+            let hubdot = self.bg.dconformal_hubble_dtau(a);
+            let dln_opac = self.thermo.opacity_dlna(a); // d ln κ̇ / d ln a
+            let tauc_rate = -hub * dln_opac; // τ̇_c/τ_c
+            let xdot = k2 * 0.25 * delta_g_dot_zero + hubdot * theta_b + hub * theta_dot_zero
+                - cs2 * k2 * delta_b_dot;
+            let s_state = theta_g - theta_b;
+            let sdot = (tauc_rate + hub * r_drag / (1.0 + r_drag)) * s_state
+                + tau_c / (1.0 + r_drag) * xdot;
+            theta_b_dot = -hub * theta_b
+                + cs2 * k2 * delta_b
+                + src_theta
+                + r_drag / (1.0 + r_drag) * (x_slip - sdot);
+            theta_g_dot = theta_b_dot + sdot;
+        } else {
+            delta_b_dot = -theta_b + src_d_matter;
+            theta_b_dot = -hub * theta_b
+                + cs2 * k2 * delta_b
+                + src_theta
+                + r_drag * opac * (theta_g - theta_b);
+            theta_g_dot =
+                k2 * (0.25 * delta_g - sigma_g) + src_theta + opac * (theta_b - theta_g);
+        }
+        dydt[StateLayout::DELTA_B] = delta_b_dot;
+        dydt[StateLayout::THETA_B] = theta_b_dot;
+
+        // --- photon temperature hierarchy ---------------------------------
+        dydt[lay.fg(0)] = -4.0 / 3.0 * theta_g + src_d_rad;
+        dydt[lay.fg(1)] = 4.0 / (3.0 * k) * theta_g_dot;
+        if self.tca {
+            for l in 2..=lay.lmax_g {
+                dydt[lay.fg(l)] = 0.0;
+            }
+            for l in 0..=lay.lmax_g {
+                dydt[lay.gg(l)] = 0.0;
+            }
+        } else {
+            // l = 2 with Thomson sources (MB95 eq 63/64)
+            let pi_pol = y[lay.fg(2)] + y[lay.gg(0)] + y[lay.gg(2)];
+            {
+                let f3 = y[lay.fg(3)];
+                dydt[lay.fg(2)] = 8.0 / 15.0 * theta_g - 3.0 / 5.0 * k * f3
+                    - 9.0 / 5.0 * opac * sigma_g
+                    + 0.1 * opac * (y[lay.gg(0)] + y[lay.gg(2)]);
+                match lay.gauge {
+                    Gauge::Synchronous => {
+                        dydt[lay.fg(2)] += 4.0 / 15.0 * hdot + 8.0 / 5.0 * etadot;
+                    }
+                    Gauge::ConformalNewtonian => {}
+                }
+            }
+            for l in 3..lay.lmax_g {
+                let lf = l as f64;
+                dydt[lay.fg(l)] = k / (2.0 * lf + 1.0)
+                    * (lf * y[lay.fg(l - 1)] - (lf + 1.0) * y[lay.fg(l + 1)])
+                    - opac * y[lay.fg(l)];
+            }
+            // truncation (MB95 eq 51)
+            let lm = lay.lmax_g;
+            dydt[lay.fg(lm)] = k * y[lay.fg(lm - 1)]
+                - (lm as f64 + 1.0) / tau * y[lay.fg(lm)]
+                - opac * y[lay.fg(lm)];
+
+            // --- polarization hierarchy -----------------------------------
+            dydt[lay.gg(0)] =
+                -k * y[lay.gg(1)] + opac * (-y[lay.gg(0)] + 0.5 * pi_pol);
+            for l in 1..lay.lmax_g {
+                let lf = l as f64;
+                let mut g = k / (2.0 * lf + 1.0)
+                    * (lf * y[lay.gg(l - 1)] - (lf + 1.0) * y[lay.gg(l + 1)])
+                    - opac * y[lay.gg(l)];
+                if l == 2 {
+                    g += 0.1 * opac * pi_pol;
+                }
+                dydt[lay.gg(l)] = g;
+            }
+            let lm = lay.lmax_g;
+            dydt[lay.gg(lm)] = k * y[lay.gg(lm - 1)]
+                - (lm as f64 + 1.0) / tau * y[lay.gg(lm)]
+                - opac * y[lay.gg(lm)];
+        }
+
+        // --- massless neutrinos -------------------------------------------
+        dydt[lay.fnu(0)] = -4.0 / 3.0 * theta_nu + src_d_rad;
+        // θ̇_ν = k²(δ_ν/4 − σ_ν) + k²ψ
+        let theta_nu_dot = k2 * (0.25 * delta_nu - sigma_nu) + src_theta;
+        dydt[lay.fnu(1)] = 4.0 / (3.0 * k) * theta_nu_dot;
+        {
+            let f3 = y[lay.fnu(3)];
+            dydt[lay.fnu(2)] = 8.0 / 15.0 * theta_nu - 3.0 / 5.0 * k * f3;
+            if lay.gauge == Gauge::Synchronous {
+                dydt[lay.fnu(2)] += 4.0 / 15.0 * hdot + 8.0 / 5.0 * etadot;
+            }
+        }
+        for l in 3..lay.lmax_nu {
+            let lf = l as f64;
+            dydt[lay.fnu(l)] = k / (2.0 * lf + 1.0)
+                * (lf * y[lay.fnu(l - 1)] - (lf + 1.0) * y[lay.fnu(l + 1)]);
+        }
+        let lmn = lay.lmax_nu;
+        dydt[lay.fnu(lmn)] =
+            k * y[lay.fnu(lmn - 1)] - (lmn as f64 + 1.0) / tau * y[lay.fnu(lmn)];
+
+        // --- massive neutrinos (MB95 eqs 56–58) ----------------------------
+        for iq in 0..lay.nq {
+            let q = self.nu_grid.q[iq];
+            let dlnf = self.nu_grid.dlnf[iq];
+            let eps = (q * q + r_nu_mass * r_nu_mass).sqrt();
+            let qke = q * k / eps;
+            // l = 0
+            dydt[lay.psi(iq, 0)] = -qke * y[lay.psi(iq, 1)]
+                + match lay.gauge {
+                    Gauge::Synchronous => hdot / 6.0 * dlnf,
+                    Gauge::ConformalNewtonian => -phidot * dlnf,
+                };
+            // l = 1
+            dydt[lay.psi(iq, 1)] = qke / 3.0 * (y[lay.psi(iq, 0)] - 2.0 * y[lay.psi(iq, 2)])
+                + match lay.gauge {
+                    Gauge::Synchronous => 0.0,
+                    Gauge::ConformalNewtonian => -eps * k / (3.0 * q) * psi * dlnf,
+                };
+            // l = 2
+            dydt[lay.psi(iq, 2)] = qke / 5.0
+                * (2.0 * y[lay.psi(iq, 1)] - 3.0 * y[lay.psi(iq, 3)])
+                - match lay.gauge {
+                    Gauge::Synchronous => (hdot / 15.0 + 2.0 / 5.0 * etadot) * dlnf,
+                    Gauge::ConformalNewtonian => 0.0,
+                };
+            for l in 3..lay.lmax_h {
+                let lf = l as f64;
+                dydt[lay.psi(iq, l)] = qke / (2.0 * lf + 1.0)
+                    * (lf * y[lay.psi(iq, l - 1)] - (lf + 1.0) * y[lay.psi(iq, l + 1)]);
+            }
+            let lm = lay.lmax_h;
+            dydt[lay.psi(iq, lm)] =
+                qke * y[lay.psi(iq, lm - 1)] - (lm as f64 + 1.0) / tau * y[lay.psi(iq, lm)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use background::CosmoParams;
+
+    fn setup() -> (Background, ThermoHistory) {
+        let bg = Background::new(CosmoParams::standard_cdm());
+        let th = ThermoHistory::new(&bg);
+        (bg, th)
+    }
+
+    #[test]
+    fn rhs_dimension_matches_layout() {
+        let (bg, th) = setup();
+        let lay = StateLayout::new(Gauge::Synchronous, 8, 8, 4, 2);
+        let rhs = LingerRhs::new(&bg, &th, lay.clone(), 0.05);
+        assert_eq!(rhs.dim(), lay.dim());
+        assert!(rhs.flops_per_eval() > 500);
+    }
+
+    #[test]
+    fn zero_state_has_zero_derivative() {
+        // The system is linear and homogeneous: f(0) = 0.
+        let (bg, th) = setup();
+        for gauge in [Gauge::Synchronous, Gauge::ConformalNewtonian] {
+            let lay = StateLayout::new(gauge, 8, 8, 4, 2);
+            let mut rhs = LingerRhs::new(&bg, &th, lay.clone(), 0.05);
+            let y = vec![0.0; lay.dim()];
+            let mut dy = vec![1.0; lay.dim()];
+            rhs.eval(50.0, &y, &mut dy);
+            for (i, v) in dy.iter().enumerate() {
+                assert_eq!(*v, 0.0, "component {i} nonzero for {gauge:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_is_linear_in_state() {
+        let (bg, th) = setup();
+        let lay = StateLayout::new(Gauge::Synchronous, 8, 8, 4, 2);
+        let mut rhs = LingerRhs::new(&bg, &th, lay.clone(), 0.05);
+        let n = lay.dim();
+        // pseudo-random state
+        let mut state = 99u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let y1: Vec<f64> = (0..n).map(|_| rng()).collect();
+        let y2: Vec<f64> = (0..n).map(|_| rng()).collect();
+        let mut d1 = vec![0.0; n];
+        let mut d2 = vec![0.0; n];
+        let mut d12 = vec![0.0; n];
+        let tau = 80.0;
+        rhs.eval(tau, &y1, &mut d1);
+        rhs.eval(tau, &y2, &mut d2);
+        let ysum: Vec<f64> = y1.iter().zip(&y2).map(|(a, b)| 2.0 * a + 3.0 * b).collect();
+        rhs.eval(tau, &ysum, &mut d12);
+        for i in 0..n {
+            let expect = 2.0 * d1[i] + 3.0 * d2[i];
+            assert!(
+                (d12[i] - expect).abs() <= 1e-9 * expect.abs().max(1e-12),
+                "nonlinearity at {i}: {} vs {expect}",
+                d12[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cdm_stays_at_rest_in_synchronous_gauge() {
+        let (bg, th) = setup();
+        let lay = StateLayout::new(Gauge::Synchronous, 8, 8, 4, 0);
+        let mut rhs = LingerRhs::new(&bg, &th, lay.clone(), 0.1);
+        let mut y = vec![0.1; lay.dim()];
+        y[StateLayout::THETA_C] = 0.0;
+        let mut dy = vec![0.0; lay.dim()];
+        rhs.eval(100.0, &y, &mut dy);
+        assert_eq!(dy[StateLayout::THETA_C], 0.0);
+    }
+
+    #[test]
+    fn metric_signs_match_analytic_radiation_era() {
+        // With the adiabatic IC pattern at small kτ, ḣ must be ≈ 2Ck²τ.
+        let (bg, th) = setup();
+        let lay = StateLayout::new(Gauge::Synchronous, 8, 8, 4, 0);
+        let rhs = LingerRhs::new(&bg, &th, lay.clone(), 1e-3);
+        let k: f64 = 1e-3;
+        let tau = 1.0; // kτ = 1e-3, deep radiation era
+        let c_norm = 1.0;
+        let ktau = k * tau;
+        let rnu = bg.r_nu_early();
+        let mut y = vec![0.0; lay.dim()];
+        y[StateLayout::METRIC0] = c_norm * ktau * ktau;
+        y[StateLayout::METRIC1] =
+            2.0 * c_norm - c_norm * (5.0 + 4.0 * rnu) / (6.0 * (15.0 + 4.0 * rnu)) * ktau * ktau;
+        y[lay.fg(0)] = -2.0 / 3.0 * c_norm * ktau * ktau;
+        y[lay.fnu(0)] = y[lay.fg(0)];
+        y[StateLayout::DELTA_C] = 0.75 * y[lay.fg(0)];
+        y[StateLayout::DELTA_B] = y[StateLayout::DELTA_C];
+        let m = rhs.metrics(tau, &y);
+        let expect = 2.0 * c_norm * k * k * tau;
+        assert!(
+            (m.hdot - expect).abs() / expect < 0.05,
+            "ḣ = {}, expect {expect}",
+            m.hdot
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-gauge validation: the same physical mode evolved in the
+//! synchronous and conformal Newtonian gauges must agree on every
+//! gauge-invariant quantity.  This exercises the full pipeline — initial
+//! conditions, tight coupling, Einstein sources, and hierarchies — in
+//! both formulations simultaneously, and is the strongest single
+//! correctness check in the repository.
+
+use background::{Background, CosmoParams};
+use boltzmann::{evolve_mode, Gauge, ModeConfig, ModeOutput, Preset};
+use recomb::ThermoHistory;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static (Background, ThermoHistory) {
+    static CTX: OnceLock<(Background, ThermoHistory)> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let bg = Background::new(CosmoParams::standard_cdm());
+        let th = ThermoHistory::new(&bg);
+        (bg, th)
+    })
+}
+
+fn run(k: f64, gauge: Gauge) -> ModeOutput {
+    let (bg, th) = ctx();
+    let cfg = ModeConfig {
+        gauge,
+        preset: Preset::Draft,
+        ..Default::default()
+    };
+    evolve_mode(bg, th, k, &cfg).unwrap()
+}
+
+/// Relative difference helper with a floor.
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-30)
+}
+
+#[test]
+fn potentials_agree_across_gauges_superhorizon() {
+    // k = 5e-4: still superhorizon-ish at recombination, safely linear.
+    let s = run(5.0e-4, Gauge::Synchronous);
+    let n = run(5.0e-4, Gauge::ConformalNewtonian);
+    // φ and ψ are gauge-invariant outputs (the synchronous run transforms).
+    assert!(
+        rel(s.phi, n.phi) < 0.02,
+        "φ: sync {} vs newt {}",
+        s.phi,
+        n.phi
+    );
+    assert!(
+        rel(s.psi, n.psi) < 0.02,
+        "ψ: sync {} vs newt {}",
+        s.psi,
+        n.psi
+    );
+}
+
+#[test]
+fn potentials_agree_across_gauges_subhorizon() {
+    let s = run(0.02, Gauge::Synchronous);
+    let n = run(0.02, Gauge::ConformalNewtonian);
+    assert!(
+        rel(s.phi, n.phi) < 0.05,
+        "φ: sync {} vs newt {}",
+        s.phi,
+        n.phi
+    );
+    assert!(
+        rel(s.psi, n.psi) < 0.05,
+        "ψ: sync {} vs newt {}",
+        s.psi,
+        n.psi
+    );
+}
+
+#[test]
+fn photon_multipoles_agree_for_l_geq_2() {
+    // Θ_l for l ≥ 2 is observationally meaningful; gauge freedom moves
+    // only the monopole and dipole.
+    let k = 5.0e-3;
+    let s = run(k, Gauge::Synchronous);
+    let n = run(k, Gauge::ConformalNewtonian);
+    let lmax = s.lmax_g.min(n.lmax_g);
+    // compare a band of multipoles near the structure's peak l ~ kτ0
+    let mut compared = 0;
+    let mut worst: f64 = 0.0;
+    for l in 2..=lmax {
+        let a = s.delta_t[l];
+        let b = n.delta_t[l];
+        if a.abs().max(b.abs()) < 1e-8 {
+            continue; // both negligible
+        }
+        worst = worst.max(rel(a, b));
+        compared += 1;
+    }
+    assert!(compared > 5, "too few multipoles to compare");
+    assert!(worst < 0.08, "worst Θ_l mismatch {worst} over {compared} l");
+}
+
+#[test]
+fn density_contrast_agrees_after_gauge_transformation() {
+    // On subhorizon scales today δ_c is effectively gauge-invariant
+    // (the gauge shift is O((ℋ/k)²) relative).
+    let k = 0.05;
+    let s = run(k, Gauge::Synchronous);
+    let n = run(k, Gauge::ConformalNewtonian);
+    assert!(
+        rel(s.delta_c, n.delta_c) < 0.02,
+        "δ_c: sync {} vs newt {}",
+        s.delta_c,
+        n.delta_c
+    );
+    assert!(
+        rel(s.delta_b, n.delta_b) < 0.02,
+        "δ_b: sync {} vs newt {}",
+        s.delta_b,
+        n.delta_b
+    );
+}
+
+#[test]
+fn newtonian_constraint_stays_small() {
+    for k in [1e-3, 0.02, 0.1] {
+        let n = run(k, Gauge::ConformalNewtonian);
+        assert!(
+            n.constraint.abs() < 0.02,
+            "energy-constraint residual {} at k = {k}",
+            n.constraint
+        );
+    }
+}
+
+#[test]
+fn acoustic_oscillation_phase_matches_sound_horizon() {
+    // The photon monopole at recombination oscillates as cos(k r_s).
+    // Check that the temperature monopole at τ_rec changes sign between
+    // k values either side of the first zero k r_s = π/2.
+    let (bg, th) = ctx();
+    let rs_rec = {
+        // sound horizon r_s = ∫ c_s dτ with c_s ≈ 1/√(3(1+R)) — estimate
+        // with the photon-dominated limit 1/√3 for a bound
+        th.tau_rec() / 3f64.sqrt()
+    };
+    let k_zero = std::f64::consts::FRAC_PI_2 / rs_rec;
+    let mut cfg = ModeConfig {
+        preset: Preset::Draft,
+        tau_end: Some(th.tau_rec()),
+        ..Default::default()
+    };
+    cfg.lmax_g = Some(12);
+    cfg.lmax_nu = Some(12);
+    // (Θ0+ψ) changes sign across the first acoustic zero; sample either side
+    let low = evolve_mode(bg, th, 0.4 * k_zero, &cfg).unwrap();
+    let high = evolve_mode(bg, th, 2.2 * k_zero, &cfg).unwrap();
+    let eff_low = low.delta_t[0] + low.psi;
+    let eff_high = high.delta_t[0] + high.psi;
+    assert!(
+        eff_low * eff_high < 0.0,
+        "no sign change across the first acoustic zero: {eff_low} vs {eff_high}"
+    );
+}

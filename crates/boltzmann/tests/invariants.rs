@@ -1,0 +1,101 @@
+//! Structural invariants of the Einstein–Boltzmann right-hand side,
+//! checked across random states and both gauges.
+
+use background::{Background, CosmoParams};
+use boltzmann::{Gauge, LingerRhs, StateLayout};
+use ode::Rhs;
+use proptest::prelude::*;
+use recomb::ThermoHistory;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static (Background, ThermoHistory) {
+    static CTX: OnceLock<(Background, ThermoHistory)> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let bg = Background::new(CosmoParams::standard_cdm());
+        let th = ThermoHistory::new(&bg);
+        (bg, th)
+    })
+}
+
+fn random_state(dim: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    (0..dim)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rhs_linearity_random_states(
+        seed1 in 0u64..1000,
+        seed2 in 1000u64..2000,
+        alpha in -3.0f64..3.0,
+        tau in 30.0f64..5000.0,
+        sync in proptest::bool::ANY,
+    ) {
+        let (bg, th) = ctx();
+        let gauge = if sync { Gauge::Synchronous } else { Gauge::ConformalNewtonian };
+        let lay = StateLayout::new(gauge, 6, 6, 4, 2);
+        let mut rhs = LingerRhs::new(bg, th, lay.clone(), 0.02);
+        let n = lay.dim();
+        let y1 = random_state(n, seed1);
+        let y2 = random_state(n, seed2);
+        let mut d1 = vec![0.0; n];
+        let mut d2 = vec![0.0; n];
+        let mut d12 = vec![0.0; n];
+        rhs.eval(tau, &y1, &mut d1);
+        rhs.eval(tau, &y2, &mut d2);
+        let combo: Vec<f64> = y1.iter().zip(&y2).map(|(a, b)| a + alpha * b).collect();
+        rhs.eval(tau, &combo, &mut d12);
+        for i in 0..n {
+            let expect = d1[i] + alpha * d2[i];
+            prop_assert!(
+                (d12[i] - expect).abs() <= 1e-8 * expect.abs().max(1e-10),
+                "component {i} nonlinear at τ = {tau} ({gauge:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn rhs_output_always_finite(
+        seed in 0u64..500,
+        tau in 5.0f64..11_000.0,
+        sync in proptest::bool::ANY,
+        tca in proptest::bool::ANY,
+    ) {
+        let (bg, th) = ctx();
+        let gauge = if sync { Gauge::Synchronous } else { Gauge::ConformalNewtonian };
+        let lay = StateLayout::new(gauge, 8, 8, 4, 2);
+        let mut rhs = LingerRhs::new(bg, th, lay.clone(), 0.05);
+        rhs.tca = tca;
+        let y = random_state(lay.dim(), seed);
+        let mut dy = vec![0.0; lay.dim()];
+        rhs.eval(tau, &y, &mut dy);
+        for (i, v) in dy.iter().enumerate() {
+            prop_assert!(v.is_finite(), "component {i} not finite (tca={tca})");
+        }
+    }
+
+    #[test]
+    fn metrics_scale_with_state(
+        seed in 0u64..500,
+        factor in 0.1f64..10.0,
+        tau in 50.0f64..5000.0,
+    ) {
+        // the metric solve is linear: scaling the state scales φ, ψ, ḣ
+        let (bg, th) = ctx();
+        let lay = StateLayout::new(Gauge::Synchronous, 6, 6, 4, 0);
+        let rhs = LingerRhs::new(bg, th, lay.clone(), 0.01);
+        let y = random_state(lay.dim(), seed);
+        let scaled: Vec<f64> = y.iter().map(|v| v * factor).collect();
+        let m1 = rhs.metrics(tau, &y);
+        let m2 = rhs.metrics(tau, &scaled);
+        prop_assert!((m2.hdot - factor * m1.hdot).abs() <= 1e-8 * m2.hdot.abs().max(1e-12));
+        prop_assert!((m2.psi - factor * m1.psi).abs() <= 1e-8 * m2.psi.abs().max(1e-12));
+    }
+}

@@ -1,0 +1,242 @@
+//! Gaussian random density fields from a power spectrum.
+//!
+//! Convention: `⟨δ̂(k) δ̂*(k')⟩ = (2π)³ δ³(k−k') P(k)` so that
+//! `⟨δ²(x)⟩ = ∫ d³k P(k)/(2π)³`.  Construction: white real-space noise →
+//! FFT → multiply by `√(P(|k|)/V_cell)` → inverse FFT.  Starting from
+//! *real* white noise keeps the spectrum's Hermitian symmetry automatic
+//! and the output exactly real.
+
+use numutil::fft::{fft3_complex, fft_freq};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, StandardNormal};
+use spectra::MatterPower;
+
+/// A realization of the linear density field on a periodic cube.
+pub struct GaussianField {
+    /// Grid points per side (power of two).
+    pub n: usize,
+    /// Box side, comoving Mpc.
+    pub box_mpc: f64,
+    /// Real-space density contrast δ(x), row-major `n³`.
+    pub delta: Vec<f64>,
+}
+
+impl GaussianField {
+    /// Draw a realization of `mp` on an `n³` grid in a `box_mpc` box.
+    ///
+    /// Modes outside the tabulated spectrum are extrapolated by the
+    /// spline in log–log space (the table should cover
+    /// `[2π/L, √3·π·N/L]`).
+    pub fn generate(mp: &MatterPower, n: usize, box_mpc: f64, seed: u64) -> Self {
+        assert!(n.is_power_of_two(), "grid must be a power of two");
+        assert!(box_mpc > 0.0);
+        let spline = mp.interpolator();
+        let n3 = n * n * n;
+        let v_cell = (box_mpc / n as f64).powi(3);
+        let kf = 2.0 * std::f64::consts::PI / box_mpc;
+
+        // white noise, unit variance
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = vec![0.0f64; 2 * n3];
+        for i in 0..n3 {
+            let g: f64 = StandardNormal.sample(&mut rng);
+            data[2 * i] = g;
+        }
+
+        fft3_complex(&mut data, n, false);
+
+        // color by √(P/V_cell)
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let kx = fft_freq(x, n) as f64 * kf;
+                    let ky = fft_freq(y, n) as f64 * kf;
+                    let kz = fft_freq(z, n) as f64 * kf;
+                    let kk = (kx * kx + ky * ky + kz * kz).sqrt();
+                    let idx = 2 * (z * n * n + y * n + x);
+                    if kk == 0.0 {
+                        data[idx] = 0.0;
+                        data[idx + 1] = 0.0;
+                        continue;
+                    }
+                    let p = spline.eval(kk.ln()).exp();
+                    let amp = (p / v_cell).sqrt();
+                    data[idx] *= amp;
+                    data[idx + 1] *= amp;
+                }
+            }
+        }
+
+        let spectrum = data.clone();
+        let mut real = spectrum;
+        fft3_complex(&mut real, n, true);
+        let norm = 1.0 / n3 as f64;
+        let delta: Vec<f64> = (0..n3).map(|i| real[2 * i] * norm).collect();
+        Self {
+            n,
+            box_mpc,
+            delta,
+        }
+    }
+
+    /// Sample variance of the realization.
+    pub fn variance(&self) -> f64 {
+        let mean: f64 = self.delta.iter().sum::<f64>() / self.delta.len() as f64;
+        self.delta
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
+            / self.delta.len() as f64
+    }
+
+    /// Theoretical grid-limited variance
+    /// `σ² = Σ_{k≠0} P(k)/V` over the represented modes.
+    pub fn expected_variance(mp: &MatterPower, n: usize, box_mpc: f64) -> f64 {
+        let spline = mp.interpolator();
+        let kf = 2.0 * std::f64::consts::PI / box_mpc;
+        let v = box_mpc.powi(3);
+        let mut sum = 0.0;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    if x == 0 && y == 0 && z == 0 {
+                        continue;
+                    }
+                    let kx = fft_freq(x, n) as f64 * kf;
+                    let ky = fft_freq(y, n) as f64 * kf;
+                    let kz = fft_freq(z, n) as f64 * kf;
+                    let kk = (kx * kx + ky * ky + kz * kz).sqrt();
+                    sum += spline.eval(kk.ln()).exp();
+                }
+            }
+        }
+        sum / v
+    }
+
+    /// Measure the isotropic power spectrum of the realization in
+    /// `nbins` logarithmic shells; returns `(k_center, P_measured)`.
+    pub fn measure_power(&self, nbins: usize) -> Vec<(f64, f64)> {
+        let n = self.n;
+        let n3 = n * n * n;
+        let kf = 2.0 * std::f64::consts::PI / self.box_mpc;
+        let v_cell = (self.box_mpc / n as f64).powi(3);
+        let mut data = vec![0.0f64; 2 * n3];
+        for i in 0..n3 {
+            data[2 * i] = self.delta[i];
+        }
+        fft3_complex(&mut data, n, false);
+        let k_min = kf;
+        let k_max = kf * (n / 2) as f64 * 1.7320508;
+        let lr = (k_max / k_min).ln();
+        let mut psum = vec![0.0; nbins];
+        let mut count = vec![0usize; nbins];
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    if x == 0 && y == 0 && z == 0 {
+                        continue;
+                    }
+                    let kx = fft_freq(x, n) as f64 * kf;
+                    let ky = fft_freq(y, n) as f64 * kf;
+                    let kz = fft_freq(z, n) as f64 * kf;
+                    let kk = (kx * kx + ky * ky + kz * kz).sqrt();
+                    let bin = (((kk / k_min).ln() / lr) * nbins as f64)
+                        .floor()
+                        .clamp(0.0, nbins as f64 - 1.0) as usize;
+                    let idx = 2 * (z * n * n + y * n + x);
+                    let p_est =
+                        (data[idx] * data[idx] + data[idx + 1] * data[idx + 1]) * v_cell
+                            / n3 as f64;
+                    psum[bin] += p_est;
+                    count[bin] += 1;
+                }
+            }
+        }
+        (0..nbins)
+            .filter(|&b| count[b] > 0)
+            .map(|b| {
+                let kc = k_min * ((b as f64 + 0.5) / nbins as f64 * lr).exp();
+                (kc, psum[b] / count[b] as f64)
+            })
+            .collect()
+    }
+}
+
+/// Build a pure power-law `MatterPower` table (for tests and synthetic
+/// fields): `P(k) = amp · (k/k₀)^{slope}`.
+pub fn power_law_spectrum(amp: f64, slope: f64, k_min: f64, k_max: f64, n: usize) -> MatterPower {
+    let k = numutil::grid::logspace(k_min, k_max, n);
+    let p: Vec<f64> = k.iter().map(|&kk| amp * (kk / k[0]).powf(slope)).collect();
+    let t = vec![1.0; n];
+    MatterPower { k, p, t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_spectrum() -> MatterPower {
+        // white spectrum P = const over the whole grid range
+        power_law_spectrum(10.0, 0.0, 1e-3, 50.0, 32)
+    }
+
+    #[test]
+    fn field_is_deterministic_and_seed_dependent() {
+        let mp = flat_spectrum();
+        let f1 = GaussianField::generate(&mp, 8, 100.0, 1);
+        let f2 = GaussianField::generate(&mp, 8, 100.0, 1);
+        let f3 = GaussianField::generate(&mp, 8, 100.0, 2);
+        assert_eq!(f1.delta, f2.delta);
+        assert_ne!(f1.delta, f3.delta);
+    }
+
+    #[test]
+    fn field_mean_is_zero() {
+        let mp = flat_spectrum();
+        let f = GaussianField::generate(&mp, 16, 100.0, 3);
+        let mean: f64 = f.delta.iter().sum::<f64>() / f.delta.len() as f64;
+        assert!(mean.abs() < 1e-12, "DC mode must be removed: {mean}");
+    }
+
+    #[test]
+    fn variance_matches_grid_expectation() {
+        let mp = flat_spectrum();
+        let n = 16;
+        let l = 64.0;
+        let expect = GaussianField::expected_variance(&mp, n, l);
+        // average several seeds to beat sample variance
+        let mut acc = 0.0;
+        for seed in 0..6 {
+            acc += GaussianField::generate(&mp, n, l, seed).variance();
+        }
+        let got = acc / 6.0;
+        assert!(
+            (got / expect - 1.0).abs() < 0.1,
+            "variance {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn measured_power_recovers_input_slope() {
+        // red spectrum P ∝ k⁻²: the shell-averaged estimate must fall
+        let mp = power_law_spectrum(1.0, -2.0, 1e-3, 50.0, 40);
+        let f = GaussianField::generate(&mp, 32, 100.0, 7);
+        let meas = f.measure_power(6);
+        assert!(meas.len() >= 4);
+        let (k0, p0) = meas[1];
+        let (k1, p1) = meas[meas.len() - 2];
+        let slope = (p1 / p0).ln() / (k1 / k0).ln();
+        assert!(
+            (slope + 2.0).abs() < 0.35,
+            "measured slope {slope}, expect −2"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_grids() {
+        let mp = flat_spectrum();
+        let _ = GaussianField::generate(&mp, 12, 100.0, 0);
+    }
+}

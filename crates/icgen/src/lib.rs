@@ -1,0 +1,15 @@
+//! Cosmological initial-conditions generation — the COSMICS role.
+//!
+//! The paper notes LINGER ships "as part of the COSMICS cosmological
+//! initial conditions package": its transfer functions seed Gaussian
+//! random density fields and Zel'dovich particle displacements for
+//! N-body simulations.  This crate closes that loop: a 3-D Gaussian
+//! random field drawn from a [`spectra::MatterPower`] spectrum, and
+//! first-order (Zel'dovich) positions and velocities on a particle
+//! lattice.
+
+pub mod grf;
+pub mod zeldovich;
+
+pub use grf::GaussianField;
+pub use zeldovich::{ZeldovichIcs, Particle};

@@ -1,0 +1,236 @@
+//! In-process transport over crossbeam channels.
+//!
+//! One [`ChannelWorld`] builds `n` [`ChannelEndpoint`]s that can be moved
+//! to worker threads.  Each endpoint owns an unbounded receiving channel
+//! and a sender to every peer; probes that don't match the head of the
+//! channel park messages in a local reorder queue, preserving per-pair
+//! FIFO order exactly as the 1995 libraries did.
+
+use crate::{CommError, Envelope, Message, Rank, Tag, Transport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+/// Factory for a fixed-size in-process world.
+pub struct ChannelWorld;
+
+impl ChannelWorld {
+    /// Create `n` endpoints; index `i` in the returned vector is rank `i`.
+    pub fn new(n: usize) -> Vec<ChannelEndpoint> {
+        assert!(n >= 1);
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Message>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| ChannelEndpoint {
+                rank,
+                peers: senders.clone(),
+                rx,
+                parked: VecDeque::new(),
+            })
+            .collect()
+    }
+}
+
+/// One rank of an in-process world.
+pub struct ChannelEndpoint {
+    rank: Rank,
+    peers: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    /// Messages pulled off the channel while searching for a match.
+    parked: VecDeque<Message>,
+}
+
+impl ChannelEndpoint {
+    fn find_parked(&self, source: Option<Rank>, tag: Option<Tag>) -> Option<usize> {
+        self.parked.iter().position(|m| m.matches(source, tag))
+    }
+
+    fn pull_until_match(
+        &mut self,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<usize, CommError> {
+        if let Some(i) = self.find_parked(source, tag) {
+            return Ok(i);
+        }
+        loop {
+            let msg = self.rx.recv().map_err(|_| CommError::Disconnected)?;
+            let matched = msg.matches(source, tag);
+            self.parked.push_back(msg);
+            if matched {
+                return Ok(self.parked.len() - 1);
+            }
+        }
+    }
+}
+
+impl Transport for ChannelEndpoint {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send(&mut self, dest: Rank, tag: Tag, data: &[f64]) -> Result<(), CommError> {
+        let tx = self.peers.get(dest).ok_or(CommError::NoSuchRank(dest))?;
+        tx.send(Message {
+            source: self.rank,
+            tag,
+            data: data.to_vec(),
+        })
+        .map_err(|_| CommError::Disconnected)
+    }
+
+    fn probe(&mut self, source: Option<Rank>, tag: Option<Tag>) -> Result<Envelope, CommError> {
+        let i = self.pull_until_match(source, tag)?;
+        Ok(self.parked[i].envelope())
+    }
+
+    fn recv(&mut self, source: Rank, tag: Tag, buf: &mut Vec<f64>) -> Result<Envelope, CommError> {
+        let i = self.pull_until_match(Some(source), Some(tag))?;
+        let msg = self.parked.remove(i).expect("index just found");
+        let env = msg.envelope();
+        buf.clear();
+        buf.extend_from_slice(&msg.data);
+        Ok(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn world_has_correct_shape() {
+        let eps = ChannelWorld::new(4);
+        assert_eq!(eps.len(), 4);
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(ep.rank(), i);
+            assert_eq!(ep.size(), 4);
+        }
+    }
+
+    #[test]
+    fn ping_pong_between_threads() {
+        let mut eps = ChannelWorld::new(2);
+        let mut worker = eps.pop().unwrap();
+        let mut master = eps.pop().unwrap();
+        let h = thread::spawn(move || {
+            let mut buf = Vec::new();
+            worker.recv(0, 7, &mut buf).unwrap();
+            let doubled: Vec<f64> = buf.iter().map(|x| 2.0 * x).collect();
+            worker.send(0, 8, &doubled).unwrap();
+        });
+        master.send(1, 7, &[1.0, 2.0, 3.0]).unwrap();
+        let mut buf = Vec::new();
+        let env = master.recv(1, 8, &mut buf).unwrap();
+        assert_eq!(env.source, 1);
+        assert_eq!(buf, vec![2.0, 4.0, 6.0]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn probe_any_returns_metadata_without_consuming() {
+        let mut eps = ChannelWorld::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 3, &[9.0, 9.0]).unwrap();
+        let env = a.probe(None, None).unwrap();
+        assert_eq!(env, Envelope { source: 1, tag: 3, len: 2 });
+        // probing again still sees it
+        let env2 = a.probe(Some(1), Some(3)).unwrap();
+        assert_eq!(env, env2);
+        // and recv gets the data
+        let mut buf = Vec::new();
+        a.recv(1, 3, &mut buf).unwrap();
+        assert_eq!(buf, vec![9.0, 9.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_reordered() {
+        let mut eps = ChannelWorld::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 1, &[1.0]).unwrap();
+        b.send(0, 2, &[2.0]).unwrap();
+        b.send(0, 1, &[3.0]).unwrap();
+        let mut buf = Vec::new();
+        // pull tag 2 first even though a tag-1 message is ahead of it
+        a.recv(1, 2, &mut buf).unwrap();
+        assert_eq!(buf, vec![2.0]);
+        // tag-1 messages still arrive in FIFO order
+        a.recv(1, 1, &mut buf).unwrap();
+        assert_eq!(buf, vec![1.0]);
+        a.recv(1, 1, &mut buf).unwrap();
+        assert_eq!(buf, vec![3.0]);
+    }
+
+    #[test]
+    fn fifo_order_per_pair() {
+        let mut eps = ChannelWorld::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for i in 0..100 {
+            b.send(0, 1, &[i as f64]).unwrap();
+        }
+        let mut buf = Vec::new();
+        for i in 0..100 {
+            a.recv(1, 1, &mut buf).unwrap();
+            assert_eq!(buf[0], i as f64);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let mut eps = ChannelWorld::new(4);
+        let handles: Vec<_> = eps
+            .drain(1..)
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    ep.recv(0, 1, &mut buf).unwrap();
+                    buf[0]
+                })
+            })
+            .collect();
+        let mut master = eps.pop().unwrap();
+        master.broadcast(1, &[5.5]).unwrap();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 5.5);
+        }
+    }
+
+    #[test]
+    fn send_to_missing_rank_errors() {
+        let mut eps = ChannelWorld::new(1);
+        let mut only = eps.pop().unwrap();
+        assert_eq!(
+            only.send(3, 0, &[1.0]).unwrap_err(),
+            CommError::NoSuchRank(3)
+        );
+    }
+
+    #[test]
+    fn disconnected_world_errors() {
+        let mut eps = ChannelWorld::new(2);
+        let mut a = eps.remove(0);
+        drop(eps); // rank 1 gone
+        // sending still works (channel buffered) but receiving can't block
+        // forever: dropping all senders to rank 0 except its own clone...
+        // rank 0 holds a sender to itself, so the channel never closes;
+        // emulate worker completion by a message instead.
+        a.send(0, 6, &[0.0]).unwrap();
+        let mut buf = Vec::new();
+        let env = a.recv(0, 6, &mut buf).unwrap();
+        assert_eq!(env.source, 0);
+    }
+}

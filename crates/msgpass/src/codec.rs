@@ -1,0 +1,119 @@
+//! Wire framing for the TCP transport.
+//!
+//! Frame layout (little endian):
+//!
+//! ```text
+//! [ source: u32 ][ tag: u32 ][ len: u64 ][ len × f64 payload ]
+//! ```
+
+use crate::{CommError, Message, Rank, Tag};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame header size in bytes.
+pub const HEADER_BYTES: usize = 4 + 4 + 8;
+
+/// Encode a message into a wire frame.
+pub fn encode(source: Rank, tag: Tag, data: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_BYTES + data.len() * 8);
+    buf.put_u32_le(source as u32);
+    buf.put_u32_le(tag);
+    buf.put_u64_le(data.len() as u64);
+    for &x in data {
+        buf.put_f64_le(x);
+    }
+    buf.freeze()
+}
+
+/// Decode one frame from `buf`.  Returns `None` when more bytes are
+/// needed; on success the consumed bytes are split off `buf`.
+pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, CommError> {
+    if buf.len() < HEADER_BYTES {
+        return Ok(None);
+    }
+    let mut peek = &buf[..HEADER_BYTES];
+    let source = peek.get_u32_le() as Rank;
+    let tag = peek.get_u32_le();
+    let len = peek.get_u64_le();
+    if len > (1 << 32) {
+        return Err(CommError::Protocol(format!("absurd frame length {len}")));
+    }
+    let need = HEADER_BYTES + (len as usize) * 8;
+    if buf.len() < need {
+        return Ok(None);
+    }
+    buf.advance(HEADER_BYTES);
+    let mut data = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        data.push(buf.get_f64_le());
+    }
+    Ok(Some(Message { source, tag, data }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let data = vec![1.5, -2.25, 1e300, 0.0, f64::MIN_POSITIVE];
+        let frame = encode(3, 42, &data);
+        let mut buf = BytesMut::from(&frame[..]);
+        let msg = decode(&mut buf).unwrap().unwrap();
+        assert_eq!(msg.source, 3);
+        assert_eq!(msg.tag, 42);
+        assert_eq!(msg.data, data);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn partial_frames_need_more_bytes() {
+        let frame = encode(1, 2, &[3.0, 4.0]);
+        for cut in 0..frame.len() {
+            let mut buf = BytesMut::from(&frame[..cut]);
+            assert!(decode(&mut buf).unwrap().is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let f1 = encode(0, 1, &[1.0]);
+        let f2 = encode(0, 2, &[2.0, 3.0]);
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&f1);
+        buf.extend_from_slice(&f2);
+        let m1 = decode(&mut buf).unwrap().unwrap();
+        let m2 = decode(&mut buf).unwrap().unwrap();
+        assert_eq!(m1.tag, 1);
+        assert_eq!(m2.tag, 2);
+        assert_eq!(m2.data, vec![2.0, 3.0]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let frame = encode(5, 9, &[]);
+        let mut buf = BytesMut::from(&frame[..]);
+        let msg = decode(&mut buf).unwrap().unwrap();
+        assert!(msg.data.is_empty());
+    }
+
+    #[test]
+    fn nan_survives_roundtrip_bitwise() {
+        let data = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        let frame = encode(0, 0, &data);
+        let mut buf = BytesMut::from(&frame[..]);
+        let msg = decode(&mut buf).unwrap().unwrap();
+        assert!(msg.data[0].is_nan());
+        assert_eq!(msg.data[1], f64::INFINITY);
+        assert_eq!(msg.data[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        buf.put_u64_le(u64::MAX);
+        assert!(matches!(decode(&mut buf), Err(CommError::Protocol(_))));
+    }
+}

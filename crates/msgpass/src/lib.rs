@@ -1,0 +1,180 @@
+//! Message-passing substrate: the paper's wrapper-routine layer.
+//!
+//! PLINGER's portability rests on a thin set of wrapper routines —
+//! `initpass`, `endpass`, `mybcastreal`, `mysendreal`, `mycheckany`,
+//! `mycheckone`, `mychecktid`, `myrecvreal` — re-implemented over each
+//! message-passing library (PVM, MPI, MPL, PVMe).  This crate reproduces
+//! exactly that architecture in Rust: the [`Transport`] trait captures
+//! the primitives (tagged send, blocking probe by source and/or tag,
+//! receive), the [`wrappers`] module spells out the paper's Fortran
+//! routine names one-for-one, and four interchangeable transports play
+//! the roles of the four 1995 libraries:
+//!
+//! * [`channel::ChannelWorld`] — in-process crossbeam channels (the
+//!   "PVM on a shared-memory node" analogue),
+//! * [`tcp::TcpWorld`] — localhost TCP sockets between OS processes
+//!   (the "MPI across nodes" analogue),
+//! * [`shmem::ShmemWorld`] — mutex/condvar shared-memory mailboxes
+//!   (the "MPL on the SP2 switch" analogue),
+//! * [`serial::LoopbackWorld`] — a deterministic single-rank loopback
+//!   for protocol unit tests.
+//!
+//! As in the paper, the farm's behaviour — message sizes, tags,
+//! master/worker dynamics — is identical across transports; "the choice
+//! of which library to use … is simply a matter of which is most
+//! convenient to the user."
+
+pub mod channel;
+pub mod codec;
+pub mod serial;
+pub mod shmem;
+pub mod tcp;
+pub mod wrappers;
+
+use std::fmt;
+
+/// Message tag (the paper's `msgtype`).
+pub type Tag = u32;
+
+/// Process rank (the paper's `tid`); the master is rank 0.
+pub type Rank = usize;
+
+/// Metadata of a pending message, as returned by probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending rank.
+    pub source: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload length in `f64` words.
+    pub len: usize,
+}
+
+/// Communication errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// Peer rank does not exist.
+    NoSuchRank(Rank),
+    /// The other side hung up.
+    Disconnected,
+    /// The transport does not support this communication pattern.
+    Unsupported(&'static str),
+    /// Malformed frame on the wire.
+    Protocol(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::NoSuchRank(r) => write!(f, "no such rank: {r}"),
+            CommError::Disconnected => write!(f, "peer disconnected"),
+            CommError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            CommError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// A tagged, typed message-passing endpoint.
+///
+/// Semantics follow the 1995 libraries the paper targeted:
+/// * messages between a pair of ranks are delivered in FIFO order (the
+///   MPL constraint the paper notes "does not create difficulties");
+/// * `probe` blocks until a matching message is pending and returns its
+///   envelope without consuming it;
+/// * `recv` blocks until a message with the exact `(source, tag)` is
+///   pending and consumes it.
+pub trait Transport: Send {
+    /// This endpoint's rank (`mytid`).
+    fn rank(&self) -> Rank;
+
+    /// Number of ranks in the world (`nproc`).
+    fn size(&self) -> usize;
+
+    /// Send `data` to `dest` with tag `tag`.
+    fn send(&mut self, dest: Rank, tag: Tag, data: &[f64]) -> Result<(), CommError>;
+
+    /// Block until a message matching the filters is pending; `None`
+    /// matches anything (the paper's `MPI_ANY_SOURCE`/`MPI_ANY_TAG`).
+    fn probe(&mut self, source: Option<Rank>, tag: Option<Tag>) -> Result<Envelope, CommError>;
+
+    /// Receive the first pending message from `source` with tag `tag`
+    /// into `buf` (resized to fit).
+    fn recv(&mut self, source: Rank, tag: Tag, buf: &mut Vec<f64>) -> Result<Envelope, CommError>;
+
+    /// Broadcast from this rank to every other rank (the paper's
+    /// `mybcastreal` loops point-to-point sends, and so does this
+    /// default).
+    fn broadcast(&mut self, tag: Tag, data: &[f64]) -> Result<(), CommError> {
+        let me = self.rank();
+        for dest in 0..self.size() {
+            if dest != me {
+                self.send(dest, tag, data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes that `len` `f64` words occupy on the wire (payload only).
+    fn payload_bytes(len: usize) -> usize
+    where
+        Self: Sized,
+    {
+        len * 8
+    }
+}
+
+/// An owned message as stored in reorder queues.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub source: Rank,
+    /// Tag.
+    pub tag: Tag,
+    /// Payload.
+    pub data: Vec<f64>,
+}
+
+impl Message {
+    /// Envelope view of this message.
+    pub fn envelope(&self) -> Envelope {
+        Envelope {
+            source: self.source,
+            tag: self.tag,
+            len: self.data.len(),
+        }
+    }
+
+    /// True when the message matches the probe filters.
+    pub fn matches(&self, source: Option<Rank>, tag: Option<Tag>) -> bool {
+        source.map(|s| s == self.source).unwrap_or(true)
+            && tag.map(|t| t == self.tag).unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_matching() {
+        let m = Message {
+            source: 3,
+            tag: 5,
+            data: vec![1.0],
+        };
+        assert!(m.matches(None, None));
+        assert!(m.matches(Some(3), None));
+        assert!(m.matches(None, Some(5)));
+        assert!(m.matches(Some(3), Some(5)));
+        assert!(!m.matches(Some(2), Some(5)));
+        assert!(!m.matches(Some(3), Some(4)));
+    }
+
+    #[test]
+    fn comm_error_display() {
+        assert_eq!(CommError::NoSuchRank(7).to_string(), "no such rank: 7");
+        assert!(CommError::Disconnected.to_string().contains("disconnected"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Deterministic single-rank loopback transport.
+//!
+//! A world of size one where sends to rank 0 enqueue locally.  Used by
+//! the protocol unit tests: a master routine and a worker routine can be
+//! interleaved deterministically on one thread, and every probe/receive
+//! is reproducible run-to-run.
+
+use crate::{CommError, Envelope, Message, Rank, Tag, Transport};
+use std::collections::VecDeque;
+
+/// Single-rank loopback world.
+#[derive(Default)]
+pub struct LoopbackWorld {
+    queue: VecDeque<Message>,
+}
+
+impl LoopbackWorld {
+    /// Create an empty loopback endpoint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of messages currently queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Transport for LoopbackWorld {
+    fn rank(&self) -> Rank {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn send(&mut self, dest: Rank, tag: Tag, data: &[f64]) -> Result<(), CommError> {
+        if dest != 0 {
+            return Err(CommError::NoSuchRank(dest));
+        }
+        self.queue.push_back(Message {
+            source: 0,
+            tag,
+            data: data.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn probe(&mut self, source: Option<Rank>, tag: Option<Tag>) -> Result<Envelope, CommError> {
+        self.queue
+            .iter()
+            .find(|m| m.matches(source, tag))
+            .map(|m| m.envelope())
+            .ok_or(CommError::Disconnected) // loopback cannot block
+    }
+
+    fn recv(&mut self, source: Rank, tag: Tag, buf: &mut Vec<f64>) -> Result<Envelope, CommError> {
+        let idx = self
+            .queue
+            .iter()
+            .position(|m| m.matches(Some(source), Some(tag)))
+            .ok_or(CommError::Disconnected)?;
+        let msg = self.queue.remove(idx).expect("index just found");
+        let env = msg.envelope();
+        buf.clear();
+        buf.extend_from_slice(&msg.data);
+        Ok(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrip() {
+        let mut w = LoopbackWorld::new();
+        w.send(0, 4, &[1.0, 2.0]).unwrap();
+        assert_eq!(w.pending(), 1);
+        let env = w.probe(None, None).unwrap();
+        assert_eq!(env.tag, 4);
+        let mut buf = Vec::new();
+        w.recv(0, 4, &mut buf).unwrap();
+        assert_eq!(buf, vec![1.0, 2.0]);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn probe_on_empty_is_error_not_hang() {
+        let mut w = LoopbackWorld::new();
+        assert!(w.probe(None, None).is_err());
+    }
+
+    #[test]
+    fn selective_recv_by_tag() {
+        let mut w = LoopbackWorld::new();
+        w.send(0, 1, &[1.0]).unwrap();
+        w.send(0, 2, &[2.0]).unwrap();
+        let mut buf = Vec::new();
+        w.recv(0, 2, &mut buf).unwrap();
+        assert_eq!(buf, vec![2.0]);
+        w.recv(0, 1, &mut buf).unwrap();
+        assert_eq!(buf, vec![1.0]);
+    }
+
+    #[test]
+    fn send_to_other_rank_fails() {
+        let mut w = LoopbackWorld::new();
+        assert_eq!(w.send(1, 0, &[]).unwrap_err(), CommError::NoSuchRank(1));
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared-memory transport: mutex-guarded mailboxes with condition
+//! variables (parking_lot).
+//!
+//! The fourth transport, completing the paper's four-library portability
+//! story (PVM, MPI, MPL, PVMe → channel, TCP, loopback, shmem).  Unlike
+//! the channel transport, all pending messages live in one shared
+//! mailbox per rank, so a probe can inspect the entire pending set
+//! without draining anything — closest in spirit to MPL's behaviour on
+//! the SP2's shared switch adapters.
+
+use crate::{CommError, Envelope, Message, Rank, Tag, Transport};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    bell: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            bell: Condvar::new(),
+        }
+    }
+}
+
+/// Factory for a fixed-size shared-memory world.
+pub struct ShmemWorld;
+
+impl ShmemWorld {
+    /// Create `n` endpoints; index `i` is rank `i`.
+    pub fn new(n: usize) -> Vec<ShmemEndpoint> {
+        assert!(n >= 1);
+        let boxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::new())).collect();
+        (0..n)
+            .map(|rank| ShmemEndpoint {
+                rank,
+                boxes: boxes.clone(),
+            })
+            .collect()
+    }
+}
+
+/// One rank of a shared-memory world.
+pub struct ShmemEndpoint {
+    rank: Rank,
+    boxes: Vec<Arc<Mailbox>>,
+}
+
+impl Transport for ShmemEndpoint {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.boxes.len()
+    }
+
+    fn send(&mut self, dest: Rank, tag: Tag, data: &[f64]) -> Result<(), CommError> {
+        let mb = self.boxes.get(dest).ok_or(CommError::NoSuchRank(dest))?;
+        let mut q = mb.queue.lock();
+        q.push_back(Message {
+            source: self.rank,
+            tag,
+            data: data.to_vec(),
+        });
+        mb.bell.notify_all();
+        Ok(())
+    }
+
+    fn probe(&mut self, source: Option<Rank>, tag: Option<Tag>) -> Result<Envelope, CommError> {
+        let mb = &self.boxes[self.rank];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(m) = q.iter().find(|m| m.matches(source, tag)) {
+                return Ok(m.envelope());
+            }
+            mb.bell.wait(&mut q);
+        }
+    }
+
+    fn recv(&mut self, source: Rank, tag: Tag, buf: &mut Vec<f64>) -> Result<Envelope, CommError> {
+        let mb = &self.boxes[self.rank];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(i) = q.iter().position(|m| m.matches(Some(source), Some(tag))) {
+                let msg = q.remove(i).expect("index just found");
+                let env = msg.envelope();
+                buf.clear();
+                buf.extend_from_slice(&msg.data);
+                return Ok(env);
+            }
+            mb.bell.wait(&mut q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ping_pong() {
+        let mut eps = ShmemWorld::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let h = thread::spawn(move || {
+            let mut buf = Vec::new();
+            b.recv(0, 1, &mut buf).unwrap();
+            b.send(0, 2, &[buf[0] + 1.0]).unwrap();
+        });
+        a.send(1, 1, &[41.0]).unwrap();
+        let mut buf = Vec::new();
+        a.recv(1, 2, &mut buf).unwrap();
+        assert_eq!(buf, vec![42.0]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mut eps = ShmemWorld::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 9, &[1.0, 2.0, 3.0]).unwrap();
+        let env = a.probe(None, None).unwrap();
+        assert_eq!(env, Envelope { source: 1, tag: 9, len: 3 });
+        let env2 = a.probe(Some(1), Some(9)).unwrap();
+        assert_eq!(env, env2);
+        let mut buf = Vec::new();
+        a.recv(1, 9, &mut buf).unwrap();
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn selective_receive_out_of_order() {
+        let mut eps = ShmemWorld::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 1, &[1.0]).unwrap();
+        b.send(0, 2, &[2.0]).unwrap();
+        let mut buf = Vec::new();
+        a.recv(1, 2, &mut buf).unwrap();
+        assert_eq!(buf, vec![2.0]);
+        a.recv(1, 1, &mut buf).unwrap();
+        assert_eq!(buf, vec![1.0]);
+    }
+
+    #[test]
+    fn blocking_probe_wakes_on_send() {
+        let mut eps = ShmemWorld::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let h = thread::spawn(move || {
+            // a blocks in probe until b sends
+            let env = a.probe(None, None).unwrap();
+            env.tag
+        });
+        thread::sleep(std::time::Duration::from_millis(30));
+        b.send(0, 7, &[0.0]).unwrap();
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn broadcast_from_master() {
+        let mut eps = ShmemWorld::new(3);
+        let handles: Vec<_> = eps
+            .drain(1..)
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    ep.recv(0, 1, &mut buf).unwrap();
+                    buf[0]
+                })
+            })
+            .collect();
+        let mut master = eps.pop().unwrap();
+        master.broadcast(1, &[3.5]).unwrap();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3.5);
+        }
+    }
+}

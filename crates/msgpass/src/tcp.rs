@@ -1,0 +1,320 @@
+//! TCP transport: master/worker star over localhost sockets.
+//!
+//! This is the "distributed-memory" transport of the reproduction — the
+//! role MPI/PVM played across SP2 or T3D nodes.  PLINGER's protocol only
+//! ever communicates master ↔ worker, so the topology is a star rooted
+//! at rank 0; worker-to-worker sends return
+//! [`CommError::Unsupported`], which the farm never triggers.
+//!
+//! Each endpoint spawns one reader thread per socket that decodes frames
+//! ([`crate::codec`]) into an internal channel; probe/receive semantics
+//! (blocking, per-pair FIFO, reorder queue) are identical to the
+//! in-process transport, as the paper demands of its wrapper layer.
+
+use crate::codec::{decode, encode};
+use crate::{CommError, Envelope, Message, Rank, Tag, Transport};
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+/// Control tag used for the rank-introduction handshake.
+const HELLO_TAG: Tag = u32::MAX;
+
+/// A pending master endpoint: workers connect to [`Self::addr`].
+pub struct PendingMaster {
+    listener: TcpListener,
+    n_workers: usize,
+}
+
+impl PendingMaster {
+    /// Bind an ephemeral localhost port for `n_workers` workers.
+    pub fn bind(n_workers: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Ok(Self { listener, n_workers })
+    }
+
+    /// The address workers should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// Accept all workers and build the master endpoint (rank 0).
+    pub fn accept_all(self) -> Result<TcpEndpoint, CommError> {
+        let (tx, rx) = unbounded::<Message>();
+        let mut writers: Vec<Option<TcpStream>> = (0..=self.n_workers).map(|_| None).collect();
+        let mut readers = Vec::new();
+        for _ in 0..self.n_workers {
+            let (stream, _) = self
+                .listener
+                .accept()
+                .map_err(|e| CommError::Protocol(format!("accept failed: {e}")))?;
+            stream.set_nodelay(true).ok();
+            // handshake: first frame announces the worker's rank.  Any
+            // bytes that arrive behind the hello (eager first messages)
+            // are carried over into the reader thread's buffer.
+            let mut hello_stream = stream
+                .try_clone()
+                .map_err(|e| CommError::Protocol(format!("clone failed: {e}")))?;
+            let (hello, carry) = read_one_frame(&mut hello_stream)?;
+            if hello.tag != HELLO_TAG {
+                return Err(CommError::Protocol("expected hello frame".into()));
+            }
+            let rank = hello.source;
+            if rank == 0 || rank > self.n_workers {
+                return Err(CommError::Protocol(format!("bad hello rank {rank}")));
+            }
+            writers[rank] = Some(
+                stream
+                    .try_clone()
+                    .map_err(|e| CommError::Protocol(format!("clone failed: {e}")))?,
+            );
+            readers.push(spawn_reader(stream, carry, tx.clone()));
+        }
+        Ok(TcpEndpoint {
+            rank: 0,
+            size: self.n_workers + 1,
+            writers,
+            rx,
+            parked: VecDeque::new(),
+            _readers: readers,
+        })
+    }
+}
+
+/// Connect a worker endpoint with the given rank (1-based) to the master.
+pub fn connect_worker(addr: SocketAddr, rank: Rank, size: usize) -> Result<TcpEndpoint, CommError> {
+    assert!(rank >= 1 && rank < size, "worker rank must be 1..size");
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| CommError::Protocol(format!("connect failed: {e}")))?;
+    stream.set_nodelay(true).ok();
+    let mut hello_stream = stream
+        .try_clone()
+        .map_err(|e| CommError::Protocol(format!("clone failed: {e}")))?;
+    hello_stream
+        .write_all(&encode(rank, HELLO_TAG, &[]))
+        .map_err(|e| CommError::Protocol(format!("hello failed: {e}")))?;
+    let (tx, rx) = unbounded::<Message>();
+    let mut writers: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+    writers[0] = Some(
+        stream
+            .try_clone()
+            .map_err(|e| CommError::Protocol(format!("clone failed: {e}")))?,
+    );
+    let reader = spawn_reader(stream, BytesMut::new(), tx);
+    Ok(TcpEndpoint {
+        rank,
+        size,
+        writers,
+        rx,
+        parked: VecDeque::new(),
+        _readers: vec![reader],
+    })
+}
+
+/// Read exactly one frame; returns it together with any surplus bytes
+/// already pulled off the socket (they belong to subsequent frames).
+fn read_one_frame(stream: &mut TcpStream) -> Result<(Message, BytesMut), CommError> {
+    let mut buf = BytesMut::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(msg) = decode(&mut buf)? {
+            return Ok((msg, buf));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| CommError::Protocol(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(CommError::Disconnected);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn spawn_reader(mut stream: TcpStream, carry: BytesMut, tx: Sender<Message>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut buf = carry;
+        let mut chunk = [0u8; 1 << 16];
+        loop {
+            loop {
+                match decode(&mut buf) {
+                    Ok(Some(msg)) => {
+                        if tx.send(msg).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => return,
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    })
+}
+
+/// One rank of a TCP star world.
+pub struct TcpEndpoint {
+    rank: Rank,
+    size: usize,
+    writers: Vec<Option<TcpStream>>,
+    rx: Receiver<Message>,
+    parked: VecDeque<Message>,
+    _readers: Vec<JoinHandle<()>>,
+}
+
+impl TcpEndpoint {
+    fn pull_until_match(
+        &mut self,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<usize, CommError> {
+        if let Some(i) = self.parked.iter().position(|m| m.matches(source, tag)) {
+            return Ok(i);
+        }
+        loop {
+            let msg = self.rx.recv().map_err(|_| CommError::Disconnected)?;
+            let matched = msg.matches(source, tag);
+            self.parked.push_back(msg);
+            if matched {
+                return Ok(self.parked.len() - 1);
+            }
+        }
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&mut self, dest: Rank, tag: Tag, data: &[f64]) -> Result<(), CommError> {
+        if dest >= self.size {
+            return Err(CommError::NoSuchRank(dest));
+        }
+        let frame = encode(self.rank, tag, data);
+        match self.writers.get_mut(dest).and_then(|w| w.as_mut()) {
+            Some(stream) => stream
+                .write_all(&frame)
+                .map_err(|_| CommError::Disconnected),
+            None => Err(CommError::Unsupported(
+                "TCP star topology only links master and workers",
+            )),
+        }
+    }
+
+    fn probe(&mut self, source: Option<Rank>, tag: Option<Tag>) -> Result<Envelope, CommError> {
+        let i = self.pull_until_match(source, tag)?;
+        Ok(self.parked[i].envelope())
+    }
+
+    fn recv(&mut self, source: Rank, tag: Tag, buf: &mut Vec<f64>) -> Result<Envelope, CommError> {
+        let i = self.pull_until_match(Some(source), Some(tag))?;
+        let msg = self.parked.remove(i).expect("index just found");
+        let env = msg.envelope();
+        buf.clear();
+        buf.extend_from_slice(&msg.data);
+        Ok(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn star_ping_pong() {
+        let pending = PendingMaster::bind(2).unwrap();
+        let addr = pending.addr();
+        let workers: Vec<_> = (1..=2)
+            .map(|rank| {
+                thread::spawn(move || {
+                    let mut ep = connect_worker(addr, rank, 3).unwrap();
+                    let mut buf = Vec::new();
+                    ep.recv(0, 1, &mut buf).unwrap();
+                    ep.send(0, 2, &[buf[0] * rank as f64]).unwrap();
+                })
+            })
+            .collect();
+        let mut master = pending.accept_all().unwrap();
+        master.broadcast(1, &[10.0]).unwrap();
+        let mut got = Vec::new();
+        let mut buf = Vec::new();
+        for _ in 0..2 {
+            let env = master.probe(None, Some(2)).unwrap();
+            master.recv(env.source, 2, &mut buf).unwrap();
+            got.push(buf[0]);
+        }
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got, vec![10.0, 20.0]);
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn large_message_integrity() {
+        let pending = PendingMaster::bind(1).unwrap();
+        let addr = pending.addr();
+        let n = 100_000; // 800 kB, larger than the paper's 80 kB maximum
+        let worker = thread::spawn(move || {
+            let mut ep = connect_worker(addr, 1, 2).unwrap();
+            let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            ep.send(0, 5, &data).unwrap();
+        });
+        let mut master = pending.accept_all().unwrap();
+        let mut buf = Vec::new();
+        let env = master.recv(1, 5, &mut buf).unwrap();
+        assert_eq!(env.len, n);
+        for (i, &x) in buf.iter().enumerate() {
+            assert_eq!(x, (i as f64).sin());
+        }
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn worker_to_worker_unsupported() {
+        let pending = PendingMaster::bind(2).unwrap();
+        let addr = pending.addr();
+        let w = thread::spawn(move || {
+            let mut ep = connect_worker(addr, 1, 3).unwrap();
+            let err = ep.send(2, 1, &[1.0]).unwrap_err();
+            assert!(matches!(err, CommError::Unsupported(_)));
+            // unblock master accept-side bookkeeping by finishing cleanly
+        });
+        let w2 = thread::spawn(move || {
+            let _ep = connect_worker(addr, 2, 3).unwrap();
+        });
+        let _master = pending.accept_all().unwrap();
+        w.join().unwrap();
+        w2.join().unwrap();
+    }
+
+    #[test]
+    fn fifo_order_over_tcp() {
+        let pending = PendingMaster::bind(1).unwrap();
+        let addr = pending.addr();
+        let worker = thread::spawn(move || {
+            let mut ep = connect_worker(addr, 1, 2).unwrap();
+            for i in 0..200 {
+                ep.send(0, 1, &[i as f64]).unwrap();
+            }
+        });
+        let mut master = pending.accept_all().unwrap();
+        let mut buf = Vec::new();
+        for i in 0..200 {
+            master.recv(1, 1, &mut buf).unwrap();
+            assert_eq!(buf[0], i as f64);
+        }
+        worker.join().unwrap();
+    }
+}

@@ -1,0 +1,121 @@
+//! The paper's wrapper routines, name for name.
+//!
+//! Appendix A lists the message-passing elements PLINGER needs and the
+//! wrapper routines implemented over PVM, MPL, MPI, and PVMe:
+//!
+//! ```text
+//! initpass     - initialize message passing
+//! endpass      - exit from message passing
+//! mybcastreal  - send a message to all other processes
+//! mysendreal   - send a message to a given process
+//! mycheckany   - check for message of any type from any process
+//! mycheckone   - check for message of a given type from a given process
+//! mychecktid   - check for message of any type from a given process
+//! myrecvreal   - receive a message
+//! ```
+//!
+//! These functions reproduce the same call shapes over any
+//! [`Transport`]; the farm in the `plinger` crate is written exclusively
+//! against them, exactly as PLINGER's Fortran was.
+
+use crate::{CommError, Rank, Tag, Transport};
+
+/// `initpass` — returns `(mytid, mastid)`.
+pub fn initpass<T: Transport>(t: &T) -> (Rank, Rank) {
+    (t.rank(), 0)
+}
+
+/// `endpass` — exit from message passing (drop-based in Rust; kept for
+/// call-shape fidelity).
+pub fn endpass<T: Transport>(_t: T) {}
+
+/// `mybcastreal` — the master sends `buffer` to all other processes with
+/// tag `msgtype` (a loop of point-to-point sends, as in the MPI version).
+pub fn mybcastreal<T: Transport>(t: &mut T, buffer: &[f64], msgtype: Tag) -> Result<(), CommError> {
+    t.broadcast(msgtype, buffer)
+}
+
+/// `mysendreal` — send `buffer` with tag `msgtype` to `target`.
+pub fn mysendreal<T: Transport>(
+    t: &mut T,
+    buffer: &[f64],
+    msgtype: Tag,
+    target: Rank,
+) -> Result<(), CommError> {
+    t.send(target, msgtype, buffer)
+}
+
+/// `mycheckany` — wait for a message of any type from any process;
+/// returns `(msgtype, target)`.
+pub fn mycheckany<T: Transport>(t: &mut T) -> Result<(Tag, Rank), CommError> {
+    let env = t.probe(None, None)?;
+    Ok((env.tag, env.source))
+}
+
+/// `mycheckone` — wait for a message of type `msgtype` from `target`.
+pub fn mycheckone<T: Transport>(t: &mut T, msgtype: Tag, target: Rank) -> Result<(), CommError> {
+    t.probe(Some(target), Some(msgtype)).map(|_| ())
+}
+
+/// `mychecktid` — wait for a message of any type from `target`; returns
+/// its tag.
+pub fn mychecktid<T: Transport>(t: &mut T, target: Rank) -> Result<Tag, CommError> {
+    let env = t.probe(Some(target), None)?;
+    Ok(env.tag)
+}
+
+/// `myrecvreal` — receive a message of type `msgtype` from `target` into
+/// `buffer`; returns the received length.
+pub fn myrecvreal<T: Transport>(
+    t: &mut T,
+    buffer: &mut Vec<f64>,
+    msgtype: Tag,
+    target: Rank,
+) -> Result<usize, CommError> {
+    let env = t.recv(target, msgtype, buffer)?;
+    Ok(env.len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelWorld;
+    use std::thread;
+
+    #[test]
+    fn wrapper_names_cover_appendix_a() {
+        // master/worker exchange written purely in wrapper calls
+        let mut eps = ChannelWorld::new(2);
+        let mut worker = eps.pop().unwrap();
+        let mut master = eps.pop().unwrap();
+
+        let h = thread::spawn(move || {
+            let (mytid, mastid) = initpass(&worker);
+            assert_eq!(mytid, 1);
+            let mut buf = Vec::new();
+            // receive broadcast
+            mycheckone(&mut worker, 1, mastid).unwrap();
+            myrecvreal(&mut worker, &mut buf, 1, mastid).unwrap();
+            assert_eq!(buf, vec![3.0, 4.0]);
+            // ask for work
+            mysendreal(&mut worker, &[0.0], 2, mastid).unwrap();
+            // get assignment or stop
+            let tag = mychecktid(&mut worker, mastid).unwrap();
+            myrecvreal(&mut worker, &mut buf, tag, mastid).unwrap();
+            assert_eq!(tag, 6); // stop
+            endpass(worker);
+        });
+
+        let (mytid, _mastid) = initpass(&master);
+        assert_eq!(mytid, 0);
+        mybcastreal(&mut master, &[3.0, 4.0], 1).unwrap();
+        let (tag, who) = mycheckany(&mut master).unwrap();
+        assert_eq!(tag, 2);
+        assert_eq!(who, 1);
+        let mut buf = Vec::new();
+        myrecvreal(&mut master, &mut buf, 2, who).unwrap();
+        mysendreal(&mut master, &[0.0], 6, who).unwrap();
+        h.join().unwrap();
+        endpass(master);
+    }
+}

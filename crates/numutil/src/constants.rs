@@ -1,0 +1,137 @@
+//! Physical and astronomical constants in the LINGER unit system.
+//!
+//! The code works in comoving megaparsecs with the speed of light set to
+//! one, the convention of the original COSMICS/LINGER package.  Times are
+//! conformal times in Mpc, wavenumbers in Mpc⁻¹, and the Hubble constant
+//! enters as `H0 = h / 2997.92458 Mpc⁻¹`.
+
+/// Speed of light in km/s (exact, SI definition).
+pub const C_KM_S: f64 = 299_792.458;
+
+/// Hubble distance `c / (100 km/s/Mpc)` in Mpc.  `H0 = h / HUBBLE_DIST_MPC`.
+pub const HUBBLE_DIST_MPC: f64 = 2_997.924_58;
+
+/// CMB temperature today in kelvin (COBE/FIRAS value used by the paper).
+pub const T_CMB_K: f64 = 2.726;
+
+/// Photon density parameter times h²: `Ω_γ h² = 2.47e-5 (T/2.726K)⁴`.
+///
+/// Derived from `ρ_γ = (π²/15) (k_B T)⁴ / (ħc)³ c⁻²` against the critical
+/// density `ρ_c = 1.8788e-26 h² kg/m³`.
+pub const OMEGA_GAMMA_H2: f64 = 2.470_6e-5;
+
+/// Effective number of massless neutrino species in the standard model
+/// of the epoch (three species, instantaneous decoupling).
+pub const N_NU_DEFAULT: f64 = 3.0;
+
+/// `(7/8) (4/11)^{4/3}` — energy density of one massless neutrino species
+/// relative to the photons after e± annihilation.
+pub const NU_PHOTON_RATIO: f64 = 0.227_107_317_660_67;
+
+/// Thomson cross-section in m².
+pub const SIGMA_T_M2: f64 = 6.652_458_73e-29;
+
+/// Thomson cross-section times the critical-density hydrogen number
+/// density scale, expressed so that the conformal opacity is
+/// `dτ/dτ_conf = OPACITY_COEFF * Ω_b h² * (1-Y_He/ ..)` — computed in the
+/// recomb crate; here we keep the raw ingredients.
+pub const M_PROTON_KG: f64 = 1.672_621_923_69e-27;
+
+/// Critical density today divided by h², in kg/m³.
+pub const RHO_CRIT_H2_KG_M3: f64 = 1.878_34e-26;
+
+/// One megaparsec in metres.
+pub const MPC_M: f64 = 3.085_677_581_49e22;
+
+/// Boltzmann constant in eV/K.
+pub const K_B_EV_K: f64 = 8.617_333_262e-5;
+
+/// Neutrino temperature today relative to photons: `(4/11)^{1/3}`.
+pub const T_NU_T_GAMMA: f64 = 0.713_765_855_503_61;
+
+/// Helium mass fraction assumed by the standard-CDM runs of the paper.
+pub const Y_HELIUM_DEFAULT: f64 = 0.24;
+
+/// Hydrogen binding energy in eV.
+pub const E_ION_H_EV: f64 = 13.605_693_122_99;
+
+/// Helium first ionization energy in eV.
+pub const E_ION_HE1_EV: f64 = 24.587_387_94;
+
+/// Helium second ionization energy in eV.
+pub const E_ION_HE2_EV: f64 = 54.417_765_28;
+
+/// Lyman-alpha transition energy of hydrogen in eV (needed by the Peebles
+/// two-photon escape factor).
+pub const E_LYA_EV: f64 = 10.198_8;
+
+/// Electron mass times c² in eV.
+pub const M_E_C2_EV: f64 = 510_998.95;
+
+/// `π`.
+pub const PI: f64 = std::f64::consts::PI;
+
+/// `4π G` in units where densities are expressed as `8πG ρ a²/3` — the
+/// background crate works directly with `Ω` parameters, so Newton's
+/// constant never appears explicitly; this constant is retained for the
+/// Einstein source terms written as `4πG a² ρ̄ δ = (3/2) ℋ₀² Ω a⁻¹ δ` etc.
+pub const FOUR_PI_G_MARKER: f64 = 1.0;
+
+/// Conversion: `Ω_b h²` → hydrogen number density today in m⁻³,
+/// `n_H0 = Ω_b h² (1-Y) ρ_crit,h²/m_p`.
+#[inline]
+pub fn n_hydrogen_today_m3(omega_b_h2: f64, y_helium: f64) -> f64 {
+    omega_b_h2 * (1.0 - y_helium) * RHO_CRIT_H2_KG_M3 / M_PROTON_KG
+}
+
+/// Conformal Thomson opacity coefficient: `σ_T n_e c` expressed per Mpc of
+/// conformal time when `n_e` is the *present-day comoving* electron density
+/// in m⁻³ (the scale-factor dependence is applied by the caller).
+#[inline]
+pub fn thomson_rate_per_mpc(n_e_m3: f64) -> f64 {
+    SIGMA_T_M2 * n_e_m3 * MPC_M
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omega_gamma_consistent_with_temperature() {
+        // ρ_γ = a_rad T⁴ / c², a_rad = 7.5657e-16 J m⁻³ K⁻⁴
+        let a_rad = 7.565_733e-16;
+        let rho_gamma = a_rad * T_CMB_K.powi(4) / (C_KM_S * 1e3).powi(2);
+        let omega = rho_gamma / RHO_CRIT_H2_KG_M3;
+        assert!(
+            (omega - OMEGA_GAMMA_H2).abs() / OMEGA_GAMMA_H2 < 2e-3,
+            "Ω_γh² = {omega}"
+        );
+    }
+
+    #[test]
+    fn neutrino_ratio_value() {
+        let expect = (7.0 / 8.0) * (4.0f64 / 11.0).powf(4.0 / 3.0);
+        assert!((NU_PHOTON_RATIO - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_nu_ratio_value() {
+        let expect = (4.0f64 / 11.0).powf(1.0 / 3.0);
+        assert!((T_NU_T_GAMMA - expect).abs() < 1e-11);
+    }
+
+    #[test]
+    fn hydrogen_density_scale() {
+        // Ω_b h² = 0.0125, Y = 0.24 → n_H0 ≈ 0.17 m⁻³ (classic value ~2e-7 cm⁻³)
+        let n = n_hydrogen_today_m3(0.0125, 0.24);
+        assert!(n > 0.08 && n < 0.3, "n_H0 = {n}");
+    }
+
+    #[test]
+    fn thomson_rate_positive_scale() {
+        let n = n_hydrogen_today_m3(0.0125, 0.24);
+        let rate = thomson_rate_per_mpc(n);
+        // Present-day comoving Thomson opacity is a small number per Mpc.
+        assert!(rate > 1e-7 && rate < 1e-3, "rate = {rate}");
+    }
+}

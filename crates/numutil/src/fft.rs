@@ -1,0 +1,220 @@
+//! Radix-2 complex FFT and n-dimensional helpers.
+//!
+//! Powers the Gaussian-random-field synthesis of the initial-conditions
+//! generator (LINGER's role inside the COSMICS package).  Plain
+//! iterative Cooley–Tukey on interleaved `(re, im)` pairs; sizes must be
+//! powers of two.
+
+use std::f64::consts::PI;
+
+/// In-place complex FFT of `data` = `[re0, im0, re1, im1, …]`.
+/// `inverse = true` applies the conjugate transform *without* the `1/n`
+/// normalization (callers normalize once).
+pub fn fft_complex(data: &mut [f64], inverse: bool) {
+    let n = data.len() / 2;
+    assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // bit reversal
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(2 * i, 2 * j);
+            data.swap(2 * i + 1, 2 * j + 1);
+        }
+    }
+    // butterflies
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut cr = 1.0;
+            let mut ci = 0.0;
+            for j in 0..len / 2 {
+                let a = i + j;
+                let b = i + j + len / 2;
+                let (ar, ai) = (data[2 * a], data[2 * a + 1]);
+                let (br, bi) = (data[2 * b], data[2 * b + 1]);
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                data[2 * a] = ar + tr;
+                data[2 * a + 1] = ai + ti;
+                data[2 * b] = ar - tr;
+                data[2 * b + 1] = ai - ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place 3-D complex FFT of an `n×n×n` cube (row-major, interleaved
+/// complex).  `inverse` as in [`fft_complex`].
+pub fn fft3_complex(data: &mut [f64], n: usize, inverse: bool) {
+    assert_eq!(data.len(), 2 * n * n * n, "cube size mismatch");
+    let mut line = vec![0.0; 2 * n];
+    // x-lines (contiguous)
+    for z in 0..n {
+        for y in 0..n {
+            let base = 2 * (z * n * n + y * n);
+            fft_complex(&mut data[base..base + 2 * n], inverse);
+        }
+    }
+    // y-lines
+    for z in 0..n {
+        for x in 0..n {
+            for y in 0..n {
+                let idx = 2 * (z * n * n + y * n + x);
+                line[2 * y] = data[idx];
+                line[2 * y + 1] = data[idx + 1];
+            }
+            fft_complex(&mut line, inverse);
+            for y in 0..n {
+                let idx = 2 * (z * n * n + y * n + x);
+                data[idx] = line[2 * y];
+                data[idx + 1] = line[2 * y + 1];
+            }
+        }
+    }
+    // z-lines
+    for y in 0..n {
+        for x in 0..n {
+            for z in 0..n {
+                let idx = 2 * (z * n * n + y * n + x);
+                line[2 * z] = data[idx];
+                line[2 * z + 1] = data[idx + 1];
+            }
+            fft_complex(&mut line, inverse);
+            for z in 0..n {
+                let idx = 2 * (z * n * n + y * n + x);
+                data[idx] = line[2 * z];
+                data[idx + 1] = line[2 * z + 1];
+            }
+        }
+    }
+}
+
+/// Wavenumber (in fundamental-mode units, signed) of FFT bin `i` of `n`.
+#[inline]
+pub fn fft_freq(i: usize, n: usize) -> i64 {
+    if i <= n / 2 {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(n: usize) {
+        let mut data: Vec<f64> = (0..2 * n).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect();
+        let orig = data.clone();
+        fft_complex(&mut data, false);
+        fft_complex(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a / n as f64 - b).abs() < 1e-10, "roundtrip n={n}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            roundtrip(n);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let kbin = 5;
+        let mut data = vec![0.0; 2 * n];
+        for i in 0..n {
+            let ph = 2.0 * PI * kbin as f64 * i as f64 / n as f64;
+            data[2 * i] = ph.cos();
+            data[2 * i + 1] = ph.sin();
+        }
+        fft_complex(&mut data, false);
+        for b in 0..n {
+            let mag = (data[2 * b].powi(2) + data[2 * b + 1].powi(2)).sqrt();
+            if b == kbin {
+                assert!((mag - n as f64).abs() < 1e-9, "bin {b}: {mag}");
+            } else {
+                assert!(mag < 1e-9, "leakage in bin {b}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let n = 128;
+        let mut data: Vec<f64> = (0..2 * n).map(|i| ((i * 13) % 29) as f64 * 0.1 - 1.0).collect();
+        let time_energy: f64 = data.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum();
+        fft_complex(&mut data, false);
+        let freq_energy: f64 =
+            data.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    fn fft3_roundtrip() {
+        let n = 8;
+        let mut data: Vec<f64> = (0..2 * n * n * n)
+            .map(|i| ((i * 31 + 7) % 23) as f64 * 0.3 - 3.0)
+            .collect();
+        let orig = data.clone();
+        fft3_complex(&mut data, n, false);
+        fft3_complex(&mut data, n, true);
+        let norm = (n * n * n) as f64;
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a / norm - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft3_plane_wave() {
+        let n = 8;
+        let (kx, ky, kz) = (2i64, 1, 3);
+        let mut data = vec![0.0; 2 * n * n * n];
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let ph = 2.0 * PI
+                        * (kx as f64 * x as f64 + ky as f64 * y as f64 + kz as f64 * z as f64)
+                        / n as f64;
+                    let idx = 2 * (z * n * n + y * n + x);
+                    data[idx] = ph.cos();
+                    data[idx + 1] = ph.sin();
+                }
+            }
+        }
+        fft3_complex(&mut data, n, false);
+        let target = 2 * ((kz as usize) * n * n + (ky as usize) * n + kx as usize);
+        let mag = (data[target].powi(2) + data[target + 1].powi(2)).sqrt();
+        assert!((mag - (n * n * n) as f64).abs() < 1e-6, "mag = {mag}");
+    }
+
+    #[test]
+    fn fft_freq_signs() {
+        assert_eq!(fft_freq(0, 8), 0);
+        assert_eq!(fft_freq(3, 8), 3);
+        assert_eq!(fft_freq(4, 8), 4);
+        assert_eq!(fft_freq(5, 8), -3);
+        assert_eq!(fft_freq(7, 8), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut d = vec![0.0; 6];
+        fft_complex(&mut d, false);
+    }
+}

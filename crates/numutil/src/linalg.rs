@@ -1,0 +1,202 @@
+//! Small dense linear algebra: tridiagonal and general LU solves.
+//!
+//! The spline setup uses a dedicated tridiagonal solver; the general LU
+//! path backs the few-by-few systems in the initial-condition solver and
+//! the polynomial fits in the benchmark harness.
+
+/// Solve a tridiagonal system with the Thomas algorithm.
+///
+/// `sub`, `diag`, `sup` are the sub-, main, and super-diagonals
+/// (`sub[0]` and `sup[n-1]` are ignored).  Returns `None` if a pivot
+/// underflows.
+pub fn solve_tridiag(sub: &[f64], diag: &[f64], sup: &[f64], rhs: &[f64]) -> Option<Vec<f64>> {
+    let n = diag.len();
+    assert!(sub.len() == n && sup.len() == n && rhs.len() == n);
+    let mut c = vec![0.0; n];
+    let mut d = vec![0.0; n];
+    if diag[0].abs() < 1e-300 {
+        return None;
+    }
+    c[0] = sup[0] / diag[0];
+    d[0] = rhs[0] / diag[0];
+    for i in 1..n {
+        let m = diag[i] - sub[i] * c[i - 1];
+        if m.abs() < 1e-300 {
+            return None;
+        }
+        c[i] = sup[i] / m;
+        d[i] = (rhs[i] - sub[i] * d[i - 1]) / m;
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = d[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = d[i] - c[i] * x[i + 1];
+    }
+    Some(x)
+}
+
+/// LU decomposition with partial pivoting, in place.  Returns the pivot
+/// permutation, or `None` for a singular matrix.  `a` is row-major `n×n`.
+pub fn lu_decompose(a: &mut [f64], n: usize) -> Option<Vec<usize>> {
+    assert_eq!(a.len(), n * n);
+    let mut piv: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        // Find pivot.
+        let mut pmax = a[col * n + col].abs();
+        let mut prow = col;
+        for r in col + 1..n {
+            if a[r * n + col].abs() > pmax {
+                pmax = a[r * n + col].abs();
+                prow = r;
+            }
+        }
+        if pmax < 1e-300 {
+            return None;
+        }
+        if prow != col {
+            for k in 0..n {
+                a.swap(col * n + k, prow * n + k);
+            }
+            piv.swap(col, prow);
+        }
+        let inv = 1.0 / a[col * n + col];
+        for r in col + 1..n {
+            let f = a[r * n + col] * inv;
+            a[r * n + col] = f;
+            for k in col + 1..n {
+                a[r * n + k] -= f * a[col * n + k];
+            }
+        }
+    }
+    Some(piv)
+}
+
+/// Solve `LUx = Pb` given the factorization from [`lu_decompose`].
+pub fn lu_solve(lu: &[f64], n: usize, piv: &[usize], b: &[f64]) -> Vec<f64> {
+    assert_eq!(lu.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut x: Vec<f64> = piv.iter().map(|&p| b[p]).collect();
+    // Forward substitution (unit lower triangular).
+    for r in 1..n {
+        let mut s = x[r];
+        for k in 0..r {
+            s -= lu[r * n + k] * x[k];
+        }
+        x[r] = s;
+    }
+    // Back substitution.
+    for r in (0..n).rev() {
+        let mut s = x[r];
+        for k in r + 1..n {
+            s -= lu[r * n + k] * x[k];
+        }
+        x[r] = s / lu[r * n + r];
+    }
+    x
+}
+
+/// Convenience: solve a general dense system `Ax = b` (destroys copies).
+pub fn solve_dense(a: &[f64], n: usize, b: &[f64]) -> Option<Vec<f64>> {
+    let mut lu = a.to_vec();
+    let piv = lu_decompose(&mut lu, n)?;
+    Some(lu_solve(&lu, n, &piv, b))
+}
+
+/// Least-squares polynomial fit of degree `deg` via normal equations.
+/// Returns coefficients lowest order first.
+pub fn polyfit(xs: &[f64], ys: &[f64], deg: usize) -> Option<Vec<f64>> {
+    assert_eq!(xs.len(), ys.len());
+    let m = deg + 1;
+    let mut ata = vec![0.0; m * m];
+    let mut atb = vec![0.0; m];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut xi = vec![1.0; m];
+        for j in 1..m {
+            xi[j] = xi[j - 1] * x;
+        }
+        for i in 0..m {
+            atb[i] += xi[i] * y;
+            for j in 0..m {
+                ata[i * m + j] += xi[i] * xi[j];
+            }
+        }
+    }
+    solve_dense(&ata, m, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tridiag_known_solution() {
+        // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] → x = [1; 2; 3]
+        let x = solve_tridiag(
+            &[0.0, 1.0, 1.0],
+            &[2.0, 2.0, 2.0],
+            &[1.0, 1.0, 0.0],
+            &[4.0, 8.0, 8.0],
+        )
+        .unwrap();
+        for (xi, ei) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((xi - ei).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_solves_3x3() {
+        let a = [2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let b = [8.0, -11.0, -3.0];
+        let x = solve_dense(&a, 3, &b).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expect) {
+            assert!((xi - ei).abs() < 1e-12, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve_dense(&a, 2, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn polyfit_recovers_quadratic() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 - 2.0 * x + 0.5 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2).unwrap();
+        assert!((c[0] - 1.5).abs() < 1e-9);
+        assert!((c[1] + 2.0).abs() < 1e-9);
+        assert!((c[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lu_random_roundtrip() {
+        // A fixed pseudo-random 6x6 system: A x = b, then check residual.
+        let n = 6;
+        let mut a = vec![0.0; n * n];
+        let mut state = 1234567u64;
+        let mut rng = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for v in a.iter_mut() {
+            *v = rng();
+        }
+        // diagonally dominate to guarantee nonsingularity
+        for i in 0..n {
+            a[i * n + i] += 4.0;
+        }
+        let xtrue: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i * n + j] * xtrue[j];
+            }
+        }
+        let x = solve_dense(&a, n, &b).unwrap();
+        for (xi, ei) in x.iter().zip(&xtrue) {
+            assert!((xi - ei).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Bracketing root finders: bisection and Brent's method.
+//!
+//! Used to invert monotone relations — conformal time ↔ scale factor,
+//! redshift of recombination, COBE normalization — where robustness
+//! matters more than the last factor-of-two in iterations.
+
+/// Error type for root finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootError {
+    /// `f(a)` and `f(b)` have the same sign.
+    NoBracket { fa: f64, fb: f64 },
+    /// Iteration limit exhausted before reaching tolerance.
+    MaxIterations { best: f64 },
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RootError::NoBracket { fa, fb } => {
+                write!(f, "root not bracketed: f(a)={fa}, f(b)={fb}")
+            }
+            RootError::MaxIterations { best } => {
+                write!(f, "root finder hit iteration limit near {best}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Bisection on `[a, b]` to absolute tolerance `xtol`.
+pub fn bisect<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, xtol: f64) -> Result<f64, RootError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket { fa, fb });
+    }
+    for _ in 0..200 {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < xtol {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Brent's method on `[a, b]`: inverse-quadratic interpolation with
+/// bisection fallback.  Converges superlinearly for smooth `f`.
+pub fn brent<F: Fn(f64) -> f64>(f: F, a0: f64, b0: f64, xtol: f64) -> Result<f64, RootError> {
+    let (mut a, mut b) = (a0, b0);
+    let (mut fa, mut fb) = (f(a), f(b));
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket { fa, fb });
+    }
+    let (mut c, mut fc) = (a, fa);
+    let mut d = b - a;
+    let mut e = d;
+    for _ in 0..200 {
+        if fb.abs() > fc.abs() {
+            // b must be the best estimate
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * xtol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(b);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if a == c {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let qq = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+                q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        if d.abs() > tol1 {
+            b += d;
+        } else {
+            b += tol1.copysign(xm);
+        }
+        fb = f(b);
+        if fb.signum() == fc.signum() {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+    }
+    Err(RootError::MaxIterations { best: b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_sqrt2() {
+        let r = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-14).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        let r = brent(|x: f64| x.cos() - x, 0.0, 1.0, 1e-14).unwrap();
+        assert!((r - 0.739_085_133_215_160_6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_endpoint_root() {
+        assert_eq!(brent(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn no_bracket_is_error() {
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12),
+            Err(RootError::NoBracket { .. })
+        ));
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12),
+            Err(RootError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_steep_function() {
+        let r = brent(|x: f64| (x * 50.0).tanh() - 0.5, -1.0, 1.0, 1e-14).unwrap();
+        let exact = 0.5f64.atanh() / 50.0;
+        assert!((r - exact).abs() < 1e-12);
+    }
+}

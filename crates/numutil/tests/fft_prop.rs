@@ -1,0 +1,84 @@
+//! Property tests for the FFT substrate.
+
+use numutil::fft::{fft3_complex, fft_complex, fft_freq};
+use proptest::prelude::*;
+
+fn complex_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, 2 * n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn roundtrip_is_identity(data in complex_vec(64)) {
+        let mut work = data.clone();
+        fft_complex(&mut work, false);
+        fft_complex(&mut work, true);
+        let scale = data.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (w, d) in work.iter().zip(&data) {
+            prop_assert!((w / 64.0 - d).abs() < 1e-10 * scale);
+        }
+    }
+
+    #[test]
+    fn transform_is_linear(a in complex_vec(32), b in complex_vec(32), c in -5.0f64..5.0) {
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft_complex(&mut fa, false);
+        fft_complex(&mut fb, false);
+        let mut combo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + c * y).collect();
+        fft_complex(&mut combo, false);
+        let scale = fa.iter().chain(&fb).fold(1.0f64, |m, v| m.max(v.abs()));
+        for i in 0..combo.len() {
+            prop_assert!((combo[i] - (fa[i] + c * fb[i])).abs() < 1e-9 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn parseval_holds(data in complex_vec(128)) {
+        let time: f64 = data.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum();
+        let mut f = data.clone();
+        fft_complex(&mut f, false);
+        let freq: f64 = f.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum::<f64>() / 128.0;
+        prop_assert!((time - freq).abs() < 1e-8 * time.max(1.0));
+    }
+
+    #[test]
+    fn real_input_gives_hermitian_spectrum(reals in proptest::collection::vec(-10.0f64..10.0, 32)) {
+        let mut data = vec![0.0; 64];
+        for (i, &r) in reals.iter().enumerate() {
+            data[2 * i] = r;
+        }
+        fft_complex(&mut data, false);
+        // X[n-k] = conj(X[k])
+        for k in 1..16 {
+            let (re_k, im_k) = (data[2 * k], data[2 * k + 1]);
+            let mk = 32 - k;
+            let (re_mk, im_mk) = (data[2 * mk], data[2 * mk + 1]);
+            prop_assert!((re_k - re_mk).abs() < 1e-9 * re_k.abs().max(1.0));
+            prop_assert!((im_k + im_mk).abs() < 1e-9 * im_k.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn fft3_roundtrip(data in proptest::collection::vec(-10.0f64..10.0, 2 * 4 * 4 * 4)) {
+        let mut work = data.clone();
+        fft3_complex(&mut work, 4, false);
+        fft3_complex(&mut work, 4, true);
+        for (w, d) in work.iter().zip(&data) {
+            prop_assert!((w / 64.0 - d).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn fft_freq_covers_nyquist() {
+    // the Nyquist bin of an even-length transform is the positive fold
+    assert_eq!(fft_freq(8, 16), 8);
+    assert_eq!(fft_freq(9, 16), -7);
+    let freqs: Vec<i64> = (0..16).map(|i| fft_freq(i, 16)).collect();
+    let mut sorted = freqs.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (-7..=8).collect::<Vec<_>>());
+}

@@ -1,0 +1,50 @@
+//! `linger` — the serial code: LINGER's main loop over wavenumbers.
+//!
+//! ```text
+//! linger --model scdm --nk 32 --kmax 0.1 --output run1
+//! ```
+//!
+//! Writes `run1.linger` (ASCII headers) and `run1.lingerd` (binary
+//! moment payloads), the two output units of the paper's master
+//! subroutine.
+
+use plinger::cli::{parse, Parsed, USAGE};
+use plinger::output_files::{write_ascii, write_binary};
+use plinger::run_serial;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(Parsed::Run(o)) => o,
+        Ok(Parsed::TcpWorker(_)) => {
+            eprintln!("linger is the serial code; --tcp-worker belongs to plinger");
+            std::process::exit(2);
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\nusage: linger [options]\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "linger: {} modes, k ∈ [{:.3e}, {:.3e}] Mpc⁻¹, gauge {:?}, preset {:?}",
+        opts.spec.ks.len(),
+        opts.spec.ks[0],
+        opts.spec.ks[opts.spec.ks.len() - 1],
+        opts.spec.gauge,
+        opts.spec.preset
+    );
+    let t0 = std::time::Instant::now();
+    let (outputs, wall) = run_serial(&opts.spec);
+    let flops: u64 = outputs.iter().map(|o| o.stats.total_flops()).sum();
+    eprintln!(
+        "linger: done in {wall:.2} s ({:.1} Mflop/s); writing {}.linger / {}.lingerd",
+        flops as f64 / wall / 1e6,
+        opts.output,
+        opts.output
+    );
+    write_ascii(format!("{}.linger", opts.output), &opts.spec, &outputs)
+        .expect("write ascii output");
+    write_binary(format!("{}.lingerd", opts.output), &outputs).expect("write binary output");
+    eprintln!("linger: total {:.2} s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,267 @@
+//! Shared command-line parsing for the `linger` and `plinger` binaries.
+//!
+//! A tiny hand-rolled parser (no external CLI crates): flags are
+//! `--name value` pairs; unknown flags abort with usage.
+
+use crate::protocol::RunSpec;
+use background::CosmoParams;
+use boltzmann::{Gauge, InitialConditions, Preset};
+
+/// Parsed run options common to both binaries.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// The run specification (cosmology, grids, accuracy).
+    pub spec: RunSpec,
+    /// Output file prefix (writes `<prefix>.linger` + `<prefix>.lingerd`).
+    pub output: String,
+    /// Worker count (parallel binary only).
+    pub workers: usize,
+    /// Run over TCP subprocesses instead of in-process channels.
+    pub tcp: bool,
+}
+
+/// Internal marker for TCP worker subprocesses: `--tcp-worker ADDR RANK SIZE`.
+#[derive(Debug, Clone)]
+pub struct TcpWorkerArgs {
+    /// Master address to connect to.
+    pub addr: String,
+    /// This worker's rank.
+    pub rank: usize,
+    /// World size.
+    pub size: usize,
+}
+
+/// Result of parsing: a normal run or a hidden TCP-worker invocation.
+#[derive(Debug)]
+pub enum Parsed {
+    /// Drive a run.
+    Run(Box<CliOptions>),
+    /// Act as a TCP worker child process.
+    TcpWorker(TcpWorkerArgs),
+}
+
+/// Usage text shared by both binaries.
+pub const USAGE: &str = "\
+options:
+  --model scdm|lcdm|mdm     cosmology preset              [scdm]
+  --h VALUE                 Hubble parameter h
+  --omega-b VALUE           baryon density
+  --omega-c VALUE           CDM density
+  --omega-lambda VALUE      cosmological constant
+  --m-nu EV                 massive neutrino mass (eV)
+  --n-s VALUE               primordial spectral index
+  --gauge sync|newt         evolution gauge               [sync]
+  --ic adiabatic|iso        initial conditions            [adiabatic]
+  --preset draft|demo|prod  accuracy preset               [demo]
+  --kmin / --kmax VALUE     k-grid bounds (Mpc⁻¹)         [1e-4 / 0.1]
+  --nk N                    number of k values (log grid) [32]
+  --lmax N                  photon hierarchy override     [auto]
+  --tau-end MPC             stop early (conformal time)   [today]
+  --output PREFIX           output file prefix            [linger_out]
+  --workers N               parallel workers              [cores]
+  --tcp                     spawn workers as OS processes over TCP
+";
+
+/// Parse `args` (without argv[0]).  On error, returns the message to
+/// print alongside [`USAGE`].
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    // hidden worker mode first
+    if args.first().map(|s| s.as_str()) == Some("--tcp-worker") {
+        if args.len() != 4 {
+            return Err("--tcp-worker needs ADDR RANK SIZE".into());
+        }
+        return Ok(Parsed::TcpWorker(TcpWorkerArgs {
+            addr: args[1].clone(),
+            rank: args[2].parse().map_err(|_| "bad rank")?,
+            size: args[3].parse().map_err(|_| "bad size")?,
+        }));
+    }
+
+    let mut cosmo = CosmoParams::standard_cdm();
+    let mut gauge = Gauge::Synchronous;
+    let mut ic = InitialConditions::Adiabatic;
+    let mut preset = Preset::Demo;
+    let mut kmin = 1.0e-4;
+    let mut kmax = 0.1;
+    let mut nk = 32usize;
+    let mut lmax = None;
+    let mut tau_end = None;
+    let mut output = "linger_out".to_string();
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut tcp = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--model" => {
+                cosmo = match val()?.as_str() {
+                    "scdm" => CosmoParams::standard_cdm(),
+                    "lcdm" => CosmoParams::lcdm(),
+                    "mdm" => CosmoParams::mixed_dark_matter(),
+                    other => return Err(format!("unknown model {other}")),
+                }
+            }
+            "--h" => cosmo.h = num(val()?)?,
+            "--omega-b" => cosmo.omega_b = num(val()?)?,
+            "--omega-c" => cosmo.omega_c = num(val()?)?,
+            "--omega-lambda" => cosmo.omega_lambda = num(val()?)?,
+            "--m-nu" => {
+                cosmo.m_nu_ev = num(val()?)?;
+                if cosmo.m_nu_ev > 0.0 && cosmo.n_nu_massive == 0 {
+                    cosmo.n_nu_massive = 1;
+                    cosmo.n_nu_massless = 2.0;
+                }
+            }
+            "--n-s" => cosmo.n_s = num(val()?)?,
+            "--gauge" => {
+                gauge = match val()?.as_str() {
+                    "sync" => Gauge::Synchronous,
+                    "newt" => Gauge::ConformalNewtonian,
+                    other => return Err(format!("unknown gauge {other}")),
+                }
+            }
+            "--ic" => {
+                ic = match val()?.as_str() {
+                    "adiabatic" => InitialConditions::Adiabatic,
+                    "iso" => InitialConditions::CdmIsocurvature,
+                    other => return Err(format!("unknown ic {other}")),
+                }
+            }
+            "--preset" => {
+                preset = match val()?.as_str() {
+                    "draft" => Preset::Draft,
+                    "demo" => Preset::Demo,
+                    "prod" => Preset::Production,
+                    other => return Err(format!("unknown preset {other}")),
+                }
+            }
+            "--kmin" => kmin = num(val()?)?,
+            "--kmax" => kmax = num(val()?)?,
+            "--nk" => nk = num(val()?)? as usize,
+            "--lmax" => lmax = Some(num(val()?)? as usize),
+            "--tau-end" => tau_end = Some(num(val()?)?),
+            "--output" => output = val()?.clone(),
+            "--workers" => workers = num(val()?)? as usize,
+            "--tcp" => tcp = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(kmin > 0.0 && kmax > kmin) {
+        return Err(format!("bad k range [{kmin}, {kmax}]"));
+    }
+    if nk < 1 {
+        return Err("need at least one k".into());
+    }
+    if workers < 1 {
+        return Err("need at least one worker".into());
+    }
+
+    let ks = if nk == 1 {
+        vec![kmin]
+    } else {
+        numutil::grid::logspace(kmin, kmax, nk)
+    };
+    let spec = RunSpec {
+        cosmo,
+        gauge,
+        ic,
+        preset,
+        lmax_g: lmax,
+        lmax_nu: None,
+        lmax_h: 16,
+        nq: None,
+        tau_end,
+        ks,
+    };
+    Ok(Parsed::Run(Box::new(CliOptions {
+        spec,
+        output,
+        workers,
+        tcp,
+    })))
+}
+
+fn num(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("not a number: {s}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let p = parse(&[]).unwrap();
+        match p {
+            Parsed::Run(o) => {
+                assert_eq!(o.spec.ks.len(), 32);
+                assert_eq!(o.output, "linger_out");
+                assert!(!o.tcp);
+            }
+            _ => panic!("expected run"),
+        }
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let p = parse(&argv(
+            "--model lcdm --gauge newt --ic iso --preset draft --kmin 1e-3 \
+             --kmax 1e-2 --nk 5 --lmax 40 --tau-end 250 --output foo --workers 3 --tcp",
+        ))
+        .unwrap();
+        match p {
+            Parsed::Run(o) => {
+                assert_eq!(o.spec.cosmo.omega_lambda > 0.5, true);
+                assert_eq!(o.spec.gauge, Gauge::ConformalNewtonian);
+                assert_eq!(o.spec.ic, InitialConditions::CdmIsocurvature);
+                assert_eq!(o.spec.preset, Preset::Draft);
+                assert_eq!(o.spec.ks.len(), 5);
+                assert_eq!(o.spec.lmax_g, Some(40));
+                assert_eq!(o.spec.tau_end, Some(250.0));
+                assert_eq!(o.output, "foo");
+                assert_eq!(o.workers, 3);
+                assert!(o.tcp);
+            }
+            _ => panic!("expected run"),
+        }
+    }
+
+    #[test]
+    fn massive_nu_flag_reshuffles_species() {
+        match parse(&argv("--m-nu 4.66")).unwrap() {
+            Parsed::Run(o) => {
+                assert_eq!(o.spec.cosmo.n_nu_massive, 1);
+                assert_eq!(o.spec.cosmo.n_nu_massless, 2.0);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn tcp_worker_mode() {
+        match parse(&argv("--tcp-worker 127.0.0.1:4000 2 5")).unwrap() {
+            Parsed::TcpWorker(w) => {
+                assert_eq!(w.rank, 2);
+                assert_eq!(w.size, 5);
+                assert_eq!(w.addr, "127.0.0.1:4000");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn bad_flag_is_error() {
+        assert!(parse(&argv("--frobnicate 3")).is_err());
+        assert!(parse(&argv("--kmin -1")).is_err());
+        assert!(parse(&argv("--kmin 0.1 --kmax 0.01")).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! High-level farm runners and the timing report behind Figure 1.
+
+use crate::master::master_loop;
+use crate::protocol::RunSpec;
+use crate::schedule::SchedulePolicy;
+use crate::worker::{worker_loop, WorkerStats};
+use background::Background;
+use boltzmann::{evolve_mode, ModeOutput};
+use msgpass::channel::ChannelWorld;
+use recomb::ThermoHistory;
+
+/// Timing and throughput report of a farm run — the quantities Figure 1
+/// and §5.1 of the paper plot.
+#[derive(Debug)]
+pub struct FarmReport {
+    /// Finished modes in grid order.
+    pub outputs: Vec<ModeOutput>,
+    /// Master wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Per-worker statistics.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Bytes moved worker → master.
+    pub bytes_received: usize,
+    /// Completion order `(ik, worker)`.
+    pub completion_log: Vec<(usize, usize)>,
+}
+
+impl FarmReport {
+    /// Total CPU time summed over workers (the filled circles of
+    /// Figure 1), in seconds.
+    pub fn total_cpu_seconds(&self) -> f64 {
+        self.worker_stats.iter().map(|s| s.busy_seconds).sum()
+    }
+
+    /// Parallel efficiency: `total CPU / (wall × workers)` — the paper
+    /// reports ≈ 95% on 64 SP2 nodes.
+    pub fn parallel_efficiency(&self) -> f64 {
+        let n = self.worker_stats.len() as f64;
+        if n == 0.0 || self.wall_seconds == 0.0 {
+            return 0.0;
+        }
+        self.total_cpu_seconds() / (self.wall_seconds * n)
+    }
+
+    /// Total counted floating-point operations across all modes.
+    pub fn total_flops(&self) -> u64 {
+        self.outputs.iter().map(|o| o.stats.total_flops()).sum()
+    }
+
+    /// Aggregate flop rate in Mflop/s over the wall time (§5.1).
+    pub fn mflops(&self) -> f64 {
+        self.total_flops() as f64 / self.wall_seconds / 1.0e6
+    }
+}
+
+/// Run the farm in-process: `n_workers` threads over the channel
+/// transport, master on the calling thread.
+pub fn run_parallel_channels(
+    spec: &RunSpec,
+    policy: SchedulePolicy,
+    n_workers: usize,
+) -> FarmReport {
+    assert!(n_workers >= 1, "need at least one worker");
+    let mut eps = ChannelWorld::new(n_workers + 1);
+    let mut report = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = eps
+            .drain(1..)
+            .map(|mut ep| scope.spawn(move || worker_loop(&mut ep).expect("worker failed")))
+            .collect();
+        let mut master_ep = eps.pop().expect("master endpoint");
+        let ledger = master_loop(&mut master_ep, spec, policy).expect("master failed");
+        let worker_stats: Vec<WorkerStats> =
+            handles.into_iter().map(|h| h.join().expect("join")).collect();
+        report = Some(FarmReport {
+            outputs: ledger
+                .outputs
+                .into_iter()
+                .map(|o| o.expect("all modes complete"))
+                .collect(),
+            wall_seconds: ledger.wall_seconds,
+            worker_stats,
+            bytes_received: ledger.bytes_received,
+            completion_log: ledger.completion_log,
+        });
+    });
+    report.expect("scope completed")
+}
+
+/// The serial reference: LINGER's main loop over `k`, no message
+/// passing.  Used for correctness comparison (the farm must be
+/// bit-identical mode for mode) and as the single-node baseline of the
+/// scaling figure.
+pub fn run_serial(spec: &RunSpec) -> (Vec<ModeOutput>, f64) {
+    let t0 = std::time::Instant::now();
+    let bg = Background::new(spec.cosmo.clone());
+    let thermo = ThermoHistory::new(&bg);
+    let cfg = spec.mode_config();
+    let outputs: Vec<ModeOutput> = spec
+        .ks
+        .iter()
+        .map(|&k| evolve_mode(&bg, &thermo, k, &cfg).expect("serial mode failed"))
+        .collect();
+    (outputs, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boltzmann::Preset;
+
+    fn tiny_spec() -> RunSpec {
+        let mut spec = RunSpec::standard_cdm(vec![0.001, 0.004, 0.02, 0.008]);
+        spec.preset = Preset::Draft;
+        spec
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let spec = tiny_spec();
+        let (serial, _) = run_serial(&spec);
+        let par = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, 2);
+        assert_eq!(serial.len(), par.outputs.len());
+        for (s, p) in serial.iter().zip(&par.outputs) {
+            assert_eq!(s.k, p.k);
+            // bitwise identity of the physics payload: same code path,
+            // same operations, independent of transport and scheduling
+            assert_eq!(s.delta_c.to_bits(), p.delta_c.to_bits(), "δ_c differs");
+            assert_eq!(s.delta_b.to_bits(), p.delta_b.to_bits());
+            assert_eq!(s.phi.to_bits(), p.phi.to_bits());
+            assert_eq!(s.delta_t.len(), p.delta_t.len());
+            for (a, b) in s.delta_t.iter().zip(&p.delta_t) {
+                assert_eq!(a.to_bits(), b.to_bits(), "Θ_l differs");
+            }
+        }
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let spec = tiny_spec();
+        let rep = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, 3);
+        assert_eq!(rep.outputs.len(), 4);
+        assert!(rep.wall_seconds > 0.0);
+        assert!(rep.total_cpu_seconds() > 0.0);
+        let eff = rep.parallel_efficiency();
+        assert!(eff > 0.0 && eff <= 1.001, "efficiency = {eff}");
+        assert!(rep.total_flops() > 1_000_000);
+        let modes: usize = rep.worker_stats.iter().map(|s| s.modes).sum();
+        assert_eq!(modes, 4);
+    }
+
+    #[test]
+    fn single_worker_farm_works() {
+        let spec = tiny_spec();
+        let rep = run_parallel_channels(&spec, SchedulePolicy::Fifo, 1);
+        assert_eq!(rep.outputs.len(), 4);
+        // with one worker, completion order equals dispatch order
+        let iks: Vec<usize> = rep.completion_log.iter().map(|&(ik, _)| ik).collect();
+        assert_eq!(iks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scheduling_policies_cover_all_modes() {
+        let spec = tiny_spec();
+        for policy in [
+            SchedulePolicy::LargestFirst,
+            SchedulePolicy::SmallestFirst,
+            SchedulePolicy::Fifo,
+            SchedulePolicy::Random(7),
+        ] {
+            let rep = run_parallel_channels(&spec, policy, 2);
+            assert_eq!(rep.outputs.len(), 4, "{policy:?}");
+            for (i, o) in rep.outputs.iter().enumerate() {
+                assert_eq!(o.k, spec.ks[i], "{policy:?} slot {i}");
+            }
+        }
+    }
+}

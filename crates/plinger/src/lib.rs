@@ -1,0 +1,31 @@
+//! PLINGER: the parallel LINGER farm.
+//!
+//! The paper's observation is that every wavenumber of the linearized
+//! Einstein–Boltzmann system evolves independently, so the serial main
+//! loop over `k` parallelizes as a master/worker farm with trivial
+//! communication: a broadcast of run parameters, one integer of work
+//! assignment per mode, and the finished mode's moment hierarchy coming
+//! back (150 bytes – 80 kB, "roughly in proportion to the CPU time").
+//!
+//! This crate reproduces that farm verbatim over the `msgpass` wrapper
+//! routines: the message tags 1–6 of Appendix A, the master subroutine
+//! (`parentsub`), the worker subroutine (`kidsub`), largest-k-first
+//! scheduling ("one simple method by which we minimized this idle
+//! time"), and the timing accounting behind the paper's Figure 1 and
+//! §5.1 flop rates.
+
+pub mod cli;
+pub mod farm;
+pub mod master;
+pub mod output_files;
+pub mod protocol;
+pub mod schedule;
+pub mod simulate;
+pub mod worker;
+
+pub use farm::{run_parallel_channels, run_serial, FarmReport};
+pub use master::master_loop;
+pub use protocol::{RunSpec, TAG_ASSIGN, TAG_DATA, TAG_HEADER, TAG_INIT, TAG_REQUEST, TAG_STOP};
+pub use schedule::SchedulePolicy;
+pub use simulate::{simulate_farm, synthetic_costs, SimParams, SimResult};
+pub use worker::{worker_loop, WorkerContext};

@@ -1,0 +1,137 @@
+//! The master subroutine (`parentsub` in Appendix A).
+
+use boltzmann::ModeOutput;
+use msgpass::wrappers::*;
+use msgpass::{CommError, Transport};
+
+use crate::protocol::{RunSpec, TAG_ASSIGN, TAG_DATA, TAG_HEADER, TAG_INIT, TAG_REQUEST, TAG_STOP};
+use crate::schedule::SchedulePolicy;
+
+/// What the master accumulated over one farm run.
+#[derive(Debug)]
+pub struct MasterLedger {
+    /// Finished modes, indexed like `spec.ks` (every slot filled).
+    pub outputs: Vec<Option<ModeOutput>>,
+    /// Wall-clock seconds of the master loop (broadcast → last stop).
+    pub wall_seconds: f64,
+    /// Bytes received from workers (tags 4 + 5).
+    pub bytes_received: usize,
+    /// Completion order: `(ik, worker_rank)` in arrival order.
+    pub completion_log: Vec<(usize, usize)>,
+}
+
+/// Run the master loop: broadcast the spec, hand out wavenumbers in
+/// `policy` order, collect the two-part results, stop every worker.
+///
+/// Follows Appendix A: `mycheckany` drives the event loop; a tag-2
+/// request or a completed tag-4/5 pair triggers the next assignment (or
+/// tag-6 stop).
+pub fn master_loop<T: Transport>(
+    t: &mut T,
+    spec: &RunSpec,
+    policy: SchedulePolicy,
+) -> Result<MasterLedger, CommError> {
+    let t0 = std::time::Instant::now();
+    let nk = spec.ks.len();
+    let order = policy.order(&spec.ks);
+    let mut next = 0usize; // cursor into `order`
+    let mut ikdone = 0usize;
+    let mut outputs: Vec<Option<ModeOutput>> = (0..nk).map(|_| None).collect();
+    let mut completion_log = Vec::with_capacity(nk);
+    let mut bytes_received = 0usize;
+    let mut stopped = 0usize;
+    let n_workers = t.size() - 1;
+
+    // broadcast data to all node programs
+    mybcastreal(t, &spec.encode(), TAG_INIT)?;
+
+    let mut header = Vec::new();
+    let mut payload = Vec::new();
+
+    while ikdone < nk || stopped < n_workers {
+        let (msgtype, itid) = mycheckany(t)?;
+        let reply;
+
+        if msgtype == TAG_REQUEST {
+            // the worker is ready for its first ik; the message has no data
+            myrecvreal(t, &mut header, TAG_REQUEST, itid)?;
+            reply = true;
+        } else if msgtype == TAG_HEADER {
+            // first part of the data; its tail tells us lmax
+            myrecvreal(t, &mut header, TAG_HEADER, itid)?;
+            // second part follows from the same worker (tag 5)
+            mycheckone(t, TAG_DATA, itid)?;
+            myrecvreal(t, &mut payload, TAG_DATA, itid)?;
+            bytes_received += (header.len() + payload.len()) * 8;
+            let (ik, out) = ModeOutput::from_wire(&header, &payload);
+            outputs[ik] = Some(out);
+            completion_log.push((ik, itid));
+            ikdone += 1;
+            reply = true;
+        } else {
+            return Err(CommError::Protocol(format!(
+                "unexpected tag {msgtype} from rank {itid}"
+            )));
+        }
+
+        if reply {
+            if next < nk {
+                let ik = order[next];
+                next += 1;
+                mysendreal(t, &[ik as f64], TAG_ASSIGN, itid)?;
+            } else {
+                mysendreal(t, &[0.0], TAG_STOP, itid)?;
+                stopped += 1;
+            }
+        }
+    }
+
+    Ok(MasterLedger {
+        outputs,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        bytes_received,
+        completion_log,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::worker_loop;
+    use boltzmann::Preset;
+    use msgpass::channel::ChannelWorld;
+    use std::thread;
+
+    #[test]
+    fn farm_protocol_end_to_end_two_workers() {
+        let mut spec = RunSpec::standard_cdm(vec![0.002, 0.01, 0.03, 0.005]);
+        spec.preset = Preset::Draft;
+        let mut eps = ChannelWorld::new(3);
+        let workers: Vec<_> = eps
+            .drain(1..)
+            .map(|mut ep| thread::spawn(move || worker_loop(&mut ep).unwrap()))
+            .collect();
+        let mut master_ep = eps.pop().unwrap();
+        let ledger = master_loop(&mut master_ep, &spec, SchedulePolicy::LargestFirst).unwrap();
+
+        assert_eq!(ledger.completion_log.len(), 4);
+        assert!(ledger.outputs.iter().all(|o| o.is_some()));
+        for (i, out) in ledger.outputs.iter().enumerate() {
+            let out = out.as_ref().unwrap();
+            assert_eq!(out.k, spec.ks[i], "slot {i} holds the right mode");
+            assert!(out.delta_c.is_finite());
+        }
+        // largest-first: the first completion should be one of the big k's
+        // (can't be strict with 2 workers, but the first *assignment* is
+        // k = 0.03 → ik 2 must not complete last)
+        assert!(ledger.completion_log.iter().any(|&(ik, _)| ik == 2));
+        let stats: Vec<_> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+        let total: usize = stats.iter().map(|s| s.modes).sum();
+        assert_eq!(total, 4);
+        assert!(stats.iter().all(|s| s.busy_seconds > 0.0));
+        assert_eq!(
+            stats.iter().map(|s| s.bytes_sent).sum::<usize>(),
+            ledger.bytes_received
+        );
+    }
+}

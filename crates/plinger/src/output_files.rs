@@ -1,0 +1,134 @@
+//! Output files in the spirit of the paper's master subroutine, which
+//! writes each mode's 21-real header "to an ascii file" (unit 1) and the
+//! moment payload "to a binary file" (unit 2).
+
+use crate::protocol::RunSpec;
+use boltzmann::ModeOutput;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Write the ASCII header file: one line of run metadata, then one line
+/// of 21 reals per mode (the paper's `WRITE(unit_1,*) (y(i),i=1,20)`
+/// plus `lmax`).
+pub fn write_ascii<P: AsRef<Path>>(
+    path: P,
+    spec: &RunSpec,
+    outputs: &[ModeOutput],
+) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(
+        w,
+        "# linger output: nk = {}, h = {}, omega_b = {}, omega_c = {:.6}, \
+         omega_lambda = {}, t_cmb = {}, n_s = {}",
+        outputs.len(),
+        spec.cosmo.h,
+        spec.cosmo.omega_b,
+        spec.cosmo.omega_c,
+        spec.cosmo.omega_lambda,
+        spec.cosmo.t_cmb_k,
+        spec.cosmo.n_s
+    )?;
+    writeln!(
+        w,
+        "# ik k tau_end a_end delta_c theta_c delta_b theta_b delta_g theta_g \
+         delta_nu theta_nu delta_h sigma_g sigma_nu phi psi constraint cpu flops lmax"
+    )?;
+    for (ik, out) in outputs.iter().enumerate() {
+        let (header, _) = out.to_wire(ik);
+        let fields: Vec<String> = header.iter().map(|v| format!("{v:.10e}")).collect();
+        writeln!(w, "{}", fields.join(" "))?;
+    }
+    w.flush()
+}
+
+/// Write the binary moment file: for each mode, `lmax` as u64 followed by
+/// the `2·lmax+8`-real payload, little endian (the paper's unit-2 file).
+pub fn write_binary<P: AsRef<Path>>(path: P, outputs: &[ModeOutput]) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    w.write_all(&(outputs.len() as u64).to_le_bytes())?;
+    for (ik, out) in outputs.iter().enumerate() {
+        let (_, payload) = out.to_wire(ik);
+        w.write_all(&(ik as u64).to_le_bytes())?;
+        w.write_all(&(out.lmax_g as u64).to_le_bytes())?;
+        for v in &payload {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read back a binary moment file: `(ik, lmax, payload)` per record.
+pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<Vec<(usize, usize, Vec<f64>)>> {
+    let bytes = std::fs::read(path)?;
+    let mut pos = 0usize;
+    let take_u64 = |pos: &mut usize| -> io::Result<u64> {
+        if *pos + 8 > bytes.len() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated"));
+        }
+        let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
+        *pos += 8;
+        Ok(v)
+    };
+    let n = take_u64(&mut pos)? as usize;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ik = take_u64(&mut pos)? as usize;
+        let lmax = take_u64(&mut pos)? as usize;
+        let len = 2 * lmax + 8;
+        let mut payload = Vec::with_capacity(len);
+        for _ in 0..len {
+            if pos + 8 > bytes.len() {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated"));
+            }
+            payload.push(f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
+            pos += 8;
+        }
+        records.push((ik, lmax, payload));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farm::run_serial;
+    use boltzmann::Preset;
+
+    #[test]
+    fn files_roundtrip() {
+        let mut spec = RunSpec::standard_cdm(vec![4.0e-4, 1.2e-3]);
+        spec.preset = Preset::Draft;
+        let (outputs, _) = run_serial(&spec);
+        let dir = std::env::temp_dir().join("plinger_files_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ascii = dir.join("run.linger");
+        let binary = dir.join("run.lingerd");
+        write_ascii(&ascii, &spec, &outputs).unwrap();
+        write_binary(&binary, &outputs).unwrap();
+
+        let text = std::fs::read_to_string(&ascii).unwrap();
+        assert_eq!(text.lines().count(), 2 + outputs.len());
+        assert!(text.contains("# linger output: nk = 2"));
+
+        let records = read_binary(&binary).unwrap();
+        assert_eq!(records.len(), 2);
+        for ((ik, lmax, payload), out) in records.iter().zip(&outputs) {
+            assert_eq!(*lmax, out.lmax_g);
+            let (_, expect) = out.to_wire(*ik);
+            assert_eq!(payload, &expect, "binary payload must be bit-exact");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_binary_rejects_truncation() {
+        let dir = std::env::temp_dir().join("plinger_files_trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad.lingerd");
+        std::fs::write(&p, 5u64.to_le_bytes()).unwrap();
+        assert!(read_binary(&p).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

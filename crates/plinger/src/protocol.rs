@@ -1,0 +1,207 @@
+//! The wire protocol of Appendix A: message tags and the initial
+//! broadcast encoding.
+
+use background::CosmoParams;
+use boltzmann::{Gauge, InitialConditions, ModeConfig, Preset};
+use msgpass::Tag;
+
+/// Tag 1: first message from master to workers (run parameters).
+pub const TAG_INIT: Tag = 1;
+/// Tag 2: from worker, asking for a wavenumber.
+pub const TAG_REQUEST: Tag = 2;
+/// Tag 3: from master, giving the worker a wavenumber to work on.
+pub const TAG_ASSIGN: Tag = 3;
+/// Tag 4: from worker, first set of data (21 reals, `y(21) = lmax`).
+pub const TAG_HEADER: Tag = 4;
+/// Tag 5: from worker, second set of data (`2·lmax + 8` reals).
+pub const TAG_DATA: Tag = 5;
+/// Tag 6: from master, telling the worker to stop.
+pub const TAG_STOP: Tag = 6;
+
+/// Complete description of a PLINGER run, broadcast to every worker as
+/// the tag-1 message so each worker can rebuild the background and
+/// thermal history on its own node (as the Fortran original did).
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Cosmological parameters.
+    pub cosmo: CosmoParams,
+    /// Gauge of the evolution.
+    pub gauge: Gauge,
+    /// Initial conditions.
+    pub ic: InitialConditions,
+    /// Accuracy preset.
+    pub preset: Preset,
+    /// Photon hierarchy override (`None` = automatic).
+    pub lmax_g: Option<usize>,
+    /// Neutrino hierarchy override.
+    pub lmax_nu: Option<usize>,
+    /// Massive-neutrino hierarchy size.
+    pub lmax_h: usize,
+    /// Massive-neutrino momentum bins (`None` = follow the cosmology).
+    pub nq: Option<usize>,
+    /// End of the integration; `None` = today.
+    pub tau_end: Option<f64>,
+    /// The wavenumber grid, Mpc⁻¹.
+    pub ks: Vec<f64>,
+}
+
+impl RunSpec {
+    /// A spec with the paper's standard-CDM model and defaults.
+    pub fn standard_cdm(ks: Vec<f64>) -> Self {
+        Self {
+            cosmo: CosmoParams::standard_cdm(),
+            gauge: Gauge::Synchronous,
+            ic: InitialConditions::Adiabatic,
+            preset: Preset::Demo,
+            lmax_g: None,
+            lmax_nu: None,
+            lmax_h: 16,
+            nq: None,
+            tau_end: None,
+            ks,
+        }
+    }
+
+    /// The per-mode configuration this spec implies.
+    pub fn mode_config(&self) -> ModeConfig {
+        ModeConfig {
+            gauge: self.gauge,
+            ic: self.ic,
+            preset: self.preset,
+            lmax_g: self.lmax_g,
+            lmax_nu: self.lmax_nu,
+            lmax_h: self.lmax_h,
+            nq: self.nq,
+            tau_end: self.tau_end,
+            record_trajectory: false,
+            method: ode::Method::Verner65,
+        }
+    }
+
+    /// Encode as the tag-1 broadcast payload.
+    pub fn encode(&self) -> Vec<f64> {
+        let c = &self.cosmo;
+        let mut v = vec![
+            // run geometry
+            self.ks.len() as f64,
+            match self.gauge {
+                Gauge::Synchronous => 0.0,
+                Gauge::ConformalNewtonian => 1.0,
+            },
+            match self.ic {
+                InitialConditions::Adiabatic => 0.0,
+                InitialConditions::CdmIsocurvature => 1.0,
+            },
+            match self.preset {
+                Preset::Draft => 0.0,
+                Preset::Demo => 1.0,
+                Preset::Production => 2.0,
+            },
+            self.lmax_g.map(|l| l as f64).unwrap_or(-1.0),
+            self.lmax_nu.map(|l| l as f64).unwrap_or(-1.0),
+            self.lmax_h as f64,
+            self.nq.map(|n| n as f64).unwrap_or(-1.0),
+            self.tau_end.unwrap_or(-1.0),
+            // cosmology
+            c.h,
+            c.omega_c,
+            c.omega_b,
+            c.omega_lambda,
+            c.t_cmb_k,
+            c.y_helium,
+            c.n_nu_massless,
+            c.n_nu_massive as f64,
+            c.m_nu_ev,
+            c.n_s,
+        ];
+        v.extend_from_slice(&self.ks);
+        v
+    }
+
+    /// Decode a tag-1 broadcast payload.
+    pub fn decode(v: &[f64]) -> Self {
+        assert!(v.len() >= 19, "broadcast too short: {}", v.len());
+        let nk = v[0] as usize;
+        assert_eq!(v.len(), 19 + nk, "broadcast length mismatch");
+        Self {
+            gauge: if v[1] == 0.0 {
+                Gauge::Synchronous
+            } else {
+                Gauge::ConformalNewtonian
+            },
+            ic: if v[2] == 0.0 {
+                InitialConditions::Adiabatic
+            } else {
+                InitialConditions::CdmIsocurvature
+            },
+            preset: match v[3] as i64 {
+                0 => Preset::Draft,
+                1 => Preset::Demo,
+                _ => Preset::Production,
+            },
+            lmax_g: (v[4] >= 0.0).then(|| v[4] as usize),
+            lmax_nu: (v[5] >= 0.0).then(|| v[5] as usize),
+            lmax_h: v[6] as usize,
+            nq: (v[7] >= 0.0).then(|| v[7] as usize),
+            tau_end: (v[8] >= 0.0).then_some(v[8]),
+            cosmo: CosmoParams {
+                h: v[9],
+                omega_c: v[10],
+                omega_b: v[11],
+                omega_lambda: v[12],
+                t_cmb_k: v[13],
+                y_helium: v[14],
+                n_nu_massless: v[15],
+                n_nu_massive: v[16] as usize,
+                m_nu_ev: v[17],
+                n_s: v[18],
+            },
+            ks: v[19..].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_match_the_paper_table() {
+        assert_eq!(TAG_INIT, 1);
+        assert_eq!(TAG_REQUEST, 2);
+        assert_eq!(TAG_ASSIGN, 3);
+        assert_eq!(TAG_HEADER, 4);
+        assert_eq!(TAG_DATA, 5);
+        assert_eq!(TAG_STOP, 6);
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let mut spec = RunSpec::standard_cdm(vec![0.001, 0.01, 0.1]);
+        spec.gauge = Gauge::ConformalNewtonian;
+        spec.lmax_g = Some(77);
+        spec.tau_end = Some(250.0);
+        spec.cosmo.n_nu_massive = 1;
+        spec.cosmo.m_nu_ev = 4.66;
+        let wire = spec.encode();
+        let back = RunSpec::decode(&wire);
+        assert_eq!(back.ks, spec.ks);
+        assert_eq!(back.gauge, spec.gauge);
+        assert_eq!(back.lmax_g, Some(77));
+        assert_eq!(back.lmax_nu, None);
+        assert_eq!(back.tau_end, Some(250.0));
+        assert_eq!(back.cosmo.m_nu_ev, 4.66);
+        assert_eq!(back.cosmo.n_nu_massive, 1);
+        assert_eq!(back.preset, spec.preset);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast length mismatch")]
+    fn decode_rejects_truncated()
+    {
+        let spec = RunSpec::standard_cdm(vec![0.1, 0.2]);
+        let mut wire = spec.encode();
+        wire.pop();
+        let _ = RunSpec::decode(&wire);
+    }
+}

@@ -1,0 +1,82 @@
+//! Work-dispatch order for the master.
+//!
+//! The paper: "Since larger wavenumbers require greater computation, one
+//! simple method by which we minimized this idle time was to compute the
+//! largest k first."  Largest-first is therefore the default; the other
+//! policies exist for the scheduling ablation (`abl_sched` in
+//! DESIGN.md), which quantifies how much that one-line choice buys.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Dispatch-order policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Largest wavenumber first — the paper's choice.
+    LargestFirst,
+    /// Smallest wavenumber first (pessimal: the longest job lands last).
+    SmallestFirst,
+    /// Grid order as given.
+    Fifo,
+    /// Uniformly random permutation with a fixed seed.
+    Random(u64),
+}
+
+impl SchedulePolicy {
+    /// Indices of `ks` in dispatch order.
+    pub fn order(&self, ks: &[f64]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..ks.len()).collect();
+        match self {
+            SchedulePolicy::LargestFirst => {
+                idx.sort_by(|&a, &b| ks[b].total_cmp(&ks[a]));
+            }
+            SchedulePolicy::SmallestFirst => {
+                idx.sort_by(|&a, &b| ks[a].total_cmp(&ks[b]));
+            }
+            SchedulePolicy::Fifo => {}
+            SchedulePolicy::Random(seed) => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                idx.shuffle(&mut rng);
+            }
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KS: [f64; 5] = [0.01, 0.5, 0.05, 0.2, 0.001];
+
+    #[test]
+    fn largest_first_sorts_descending() {
+        let order = SchedulePolicy::LargestFirst.order(&KS);
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn smallest_first_sorts_ascending() {
+        let order = SchedulePolicy::SmallestFirst.order(&KS);
+        assert_eq!(order, vec![4, 0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn fifo_keeps_grid_order() {
+        let order = SchedulePolicy::Fifo.order(&KS);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_is_a_seeded_permutation() {
+        let o1 = SchedulePolicy::Random(42).order(&KS);
+        let o2 = SchedulePolicy::Random(42).order(&KS);
+        assert_eq!(o1, o2, "same seed must reproduce");
+        let mut sorted = o1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        let o3 = SchedulePolicy::Random(43).order(&KS);
+        assert!(o1 != o3 || KS.len() < 3, "different seeds should differ");
+    }
+}

@@ -1,0 +1,276 @@
+//! Discrete-event simulator of the master/worker farm.
+//!
+//! The paper's Figure 1 was measured on dedicated SP2 partitions of up
+//! to 256 nodes.  On a machine with fewer cores the farm's *dynamics*
+//! (who idles when, what largest-k-first buys, where the ideal-scaling
+//! curve bends) are reproduced exactly by replaying the measured
+//! per-mode CPU times through this simulator: workers request work when
+//! free, the master assigns in dispatch order, and the makespan is the
+//! paper's "wallclock time".  The real farm validates the simulator at
+//! the worker counts the hardware can actually exercise.
+
+use crate::schedule::SchedulePolicy;
+
+/// Inputs of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimParams {
+    /// Per-mode CPU durations, seconds, indexed like the k-grid.
+    pub durations: Vec<f64>,
+    /// Dispatch policy.
+    pub policy: SchedulePolicy,
+    /// Wavenumbers (used only by the policy ordering).
+    pub ks: Vec<f64>,
+    /// Number of workers.
+    pub n_workers: usize,
+    /// Fixed per-assignment message overhead, seconds (the paper:
+    /// "the overhead from message passing is insignificant").
+    pub overhead: f64,
+    /// Per-worker startup cost (background table construction).
+    pub startup: f64,
+    /// Relative speed of each worker (empty = homogeneous at 1.0).
+    /// Models the paper's heterogeneous C90/T3D environment, where T3D
+    /// nodes ran LINGER at 15 Mflop against the C90's 570.
+    pub speeds: Vec<f64>,
+}
+
+impl SimParams {
+    /// Homogeneous parameters (all workers at unit speed).
+    pub fn homogeneous(
+        durations: Vec<f64>,
+        policy: SchedulePolicy,
+        ks: Vec<f64>,
+        n_workers: usize,
+    ) -> Self {
+        Self {
+            durations,
+            policy,
+            ks,
+            n_workers,
+            overhead: 0.0,
+            startup: 0.0,
+            speeds: Vec::new(),
+        }
+    }
+}
+
+/// Outputs of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Makespan (wallclock), seconds.
+    pub wall_seconds: f64,
+    /// Busy seconds per worker.
+    pub busy: Vec<f64>,
+    /// Idle tail per worker: time between its last completion and the
+    /// makespan (the effect the paper minimizes with largest-k-first).
+    pub idle_tail: Vec<f64>,
+    /// Completion order of mode indices.
+    pub completion_order: Vec<usize>,
+}
+
+impl SimResult {
+    /// Parallel efficiency `Σ busy / (wall × n)`.
+    pub fn efficiency(&self) -> f64 {
+        let n = self.busy.len() as f64;
+        self.busy.iter().sum::<f64>() / (self.wall_seconds * n)
+    }
+}
+
+/// Run the list-scheduling simulation.
+pub fn simulate_farm(params: &SimParams) -> SimResult {
+    assert_eq!(params.durations.len(), params.ks.len());
+    assert!(params.n_workers >= 1);
+    if !params.speeds.is_empty() {
+        assert_eq!(params.speeds.len(), params.n_workers, "one speed per worker");
+        assert!(params.speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+    }
+    let order = params.policy.order(&params.ks);
+    let n = params.n_workers;
+    let speed = |w: usize| -> f64 {
+        params.speeds.get(w).copied().unwrap_or(1.0)
+    };
+    // worker state: time at which it becomes free
+    let mut free_at = vec![params.startup; n];
+    let mut busy = vec![0.0; n];
+    let mut last_done = vec![params.startup; n];
+    let mut completion: Vec<(f64, usize)> = Vec::with_capacity(order.len());
+
+    for &ik in &order {
+        // next request comes from the worker that frees earliest
+        let w = (0..n)
+            .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]))
+            .unwrap();
+        let elapsed = params.durations[ik] / speed(w);
+        let start = free_at[w] + params.overhead;
+        let end = start + elapsed;
+        free_at[w] = end;
+        busy[w] += elapsed;
+        last_done[w] = end;
+        completion.push((end, ik));
+    }
+
+    let wall = free_at.iter().cloned().fold(0.0, f64::max);
+    completion.sort_by(|a, b| a.0.total_cmp(&b.0));
+    SimResult {
+        wall_seconds: wall,
+        idle_tail: last_done.iter().map(|&t| wall - t).collect(),
+        busy,
+        completion_order: completion.into_iter().map(|(_, ik)| ik).collect(),
+    }
+}
+
+/// Synthetic per-mode cost model calibrated to LINGER: cost grows with
+/// the hierarchy size `lmax(k) ∝ k·τ₀`, so roughly `cost ∝ (a + k τ₀)²`
+/// (state size × step count both grow).  Used by scheduling studies
+/// when measured durations are not available.
+pub fn synthetic_costs(ks: &[f64], tau0: f64) -> Vec<f64> {
+    ks.iter()
+        .map(|&k| {
+            let l = (k * tau0).max(10.0);
+            1.0e-6 * l * l + 2.0e-3 * l + 0.05
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n_workers: usize, policy: SchedulePolicy) -> SimParams {
+        let ks: Vec<f64> = (1..=40).map(|i| i as f64 * 0.005).collect();
+        let durations = synthetic_costs(&ks, 12_000.0);
+        SimParams {
+            durations,
+            policy,
+            ks,
+            n_workers,
+            overhead: 0.0,
+            startup: 0.0,
+            speeds: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn one_worker_wall_is_total_cpu() {
+        let p = params(1, SchedulePolicy::Fifo);
+        let total: f64 = p.durations.iter().sum();
+        let r = simulate_farm(&p);
+        assert!((r.wall_seconds - total).abs() < 1e-9);
+        assert!((r.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_decreases_with_workers() {
+        let mut last = f64::INFINITY;
+        for n in [1, 2, 4, 8, 16] {
+            let r = simulate_farm(&params(n, SchedulePolicy::LargestFirst));
+            assert!(r.wall_seconds <= last + 1e-12, "n = {n}");
+            last = r.wall_seconds;
+        }
+    }
+
+    #[test]
+    fn total_busy_is_invariant() {
+        let p1 = params(1, SchedulePolicy::LargestFirst);
+        let total: f64 = p1.durations.iter().sum();
+        for n in [2, 5, 9] {
+            let r = simulate_farm(&params(n, SchedulePolicy::LargestFirst));
+            let busy: f64 = r.busy.iter().sum();
+            assert!((busy - total).abs() < 1e-9, "CPU time must not change with N");
+        }
+    }
+
+    #[test]
+    fn largest_first_beats_smallest_first() {
+        // the paper's idle-time argument: dispatching the longest job
+        // last leaves a long tail
+        let rl = simulate_farm(&params(8, SchedulePolicy::LargestFirst));
+        let rs = simulate_farm(&params(8, SchedulePolicy::SmallestFirst));
+        assert!(
+            rl.wall_seconds < rs.wall_seconds,
+            "largest-first {} vs smallest-first {}",
+            rl.wall_seconds,
+            rs.wall_seconds
+        );
+        assert!(rl.efficiency() > rs.efficiency());
+    }
+
+    #[test]
+    fn efficiency_bounded_and_high_for_many_jobs() {
+        let r = simulate_farm(&params(4, SchedulePolicy::LargestFirst));
+        let e = r.efficiency();
+        assert!(e > 0.9 && e <= 1.0, "efficiency = {e}");
+    }
+
+    #[test]
+    fn idle_tail_zero_for_single_worker() {
+        let r = simulate_farm(&params(1, SchedulePolicy::Fifo));
+        assert!(r.idle_tail[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_and_startup_add_up() {
+        let mut p = params(2, SchedulePolicy::Fifo);
+        let base = simulate_farm(&p).wall_seconds;
+        p.overhead = 0.01;
+        p.startup = 1.0;
+        let r = simulate_farm(&p);
+        assert!(r.wall_seconds > base + 1.0, "startup must delay the farm");
+        let expected_overhead = 0.01 * 20.0; // 40 jobs over 2 workers
+        assert!(r.wall_seconds > base + 1.0 + expected_overhead * 0.5);
+    }
+
+    #[test]
+    fn heterogeneous_fast_worker_does_more() {
+        // the paper's C90/T3D environment: one fast node among slow ones
+        let mut p = params(4, SchedulePolicy::LargestFirst);
+        p.speeds = vec![38.0, 1.0, 1.0, 1.0]; // C90 at 570 vs T3D at 15 Mflop
+        let r = simulate_farm(&p);
+        // the fast worker finishes far more work per busy-second; its
+        // busy time stays comparable, so check share of completed cost:
+        // reconstruct per-worker completed durations via busy·speed
+        let done_fast = r.busy[0] * 38.0;
+        let done_slow = r.busy[1] * 1.0;
+        assert!(
+            done_fast > 5.0 * done_slow,
+            "fast worker did {done_fast}, slow did {done_slow}"
+        );
+        // heterogeneous wall is far below the all-slow wall
+        let mut slow = params(4, SchedulePolicy::LargestFirst);
+        slow.speeds = vec![1.0; 4];
+        let r_slow = simulate_farm(&slow);
+        assert!(r.wall_seconds < 0.5 * r_slow.wall_seconds);
+    }
+
+    #[test]
+    fn homogeneous_speeds_match_default() {
+        let mut p = params(3, SchedulePolicy::Fifo);
+        let base = simulate_farm(&p);
+        p.speeds = vec![1.0; 3];
+        let r = simulate_farm(&p);
+        assert_eq!(base.wall_seconds, r.wall_seconds);
+        assert_eq!(base.completion_order, r.completion_order);
+    }
+
+    #[test]
+    #[should_panic(expected = "one speed per worker")]
+    fn speed_length_mismatch_panics() {
+        let mut p = params(3, SchedulePolicy::Fifo);
+        p.speeds = vec![1.0; 2];
+        let _ = simulate_farm(&p);
+    }
+
+    #[test]
+    fn homogeneous_constructor() {
+        let p = SimParams::homogeneous(vec![1.0, 2.0], SchedulePolicy::Fifo, vec![0.1, 0.2], 2);
+        let r = simulate_farm(&p);
+        assert!((r.wall_seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_covers_all_modes() {
+        let r = simulate_farm(&params(3, SchedulePolicy::Random(5)));
+        let mut seen = r.completion_order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,111 @@
+//! The worker subroutine (`kidsub` in Appendix A).
+
+use background::Background;
+use boltzmann::{evolve_mode, ModeOutput};
+use msgpass::wrappers::*;
+use msgpass::{CommError, Transport};
+use recomb::ThermoHistory;
+
+use crate::protocol::{RunSpec, TAG_ASSIGN, TAG_DATA, TAG_HEADER, TAG_INIT, TAG_REQUEST};
+
+/// Per-worker state built from the tag-1 broadcast: the background
+/// expansion and thermal history every mode integration shares.
+pub struct WorkerContext {
+    /// Decoded run description.
+    pub spec: RunSpec,
+    /// Background tables (built on this "node").
+    pub bg: Background,
+    /// Thermal history tables.
+    pub thermo: ThermoHistory,
+}
+
+impl WorkerContext {
+    /// Rebuild the physics tables from a broadcast payload — the work a
+    /// PLINGER worker did once per run on its own node.
+    pub fn from_broadcast(wire: &[f64]) -> Self {
+        let spec = RunSpec::decode(wire);
+        let bg = Background::new(spec.cosmo.clone());
+        let thermo = ThermoHistory::new(&bg);
+        Self { spec, bg, thermo }
+    }
+
+    /// Integrate one wavenumber by index.
+    pub fn run_mode(&self, ik: usize) -> Result<ModeOutput, boltzmann::EvolveError> {
+        let k = self.spec.ks[ik];
+        evolve_mode(&self.bg, &self.thermo, k, &self.spec.mode_config())
+    }
+}
+
+/// Statistics a worker reports after its stop message.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Modes completed.
+    pub modes: usize,
+    /// Seconds spent inside mode integrations (busy time).
+    pub busy_seconds: f64,
+    /// Total seconds between receiving the broadcast and stopping.
+    pub total_seconds: f64,
+    /// Bytes sent back to the master (header + data payloads).
+    pub bytes_sent: usize,
+}
+
+/// Run the worker loop until the master sends tag 6.
+///
+/// Mirrors Appendix A line by line: receive the initial data, ask for a
+/// wavenumber, and keep integrating until told to stop.
+pub fn worker_loop<T: Transport>(t: &mut T) -> Result<WorkerStats, CommError> {
+    let (_mytid, mastid) = initpass(t);
+    let mut buf = Vec::new();
+
+    // receive initial data from master
+    mycheckone(t, TAG_INIT, mastid)?;
+    myrecvreal(t, &mut buf, TAG_INIT, mastid)?;
+    let t_start = std::time::Instant::now();
+    let ctx = WorkerContext::from_broadcast(&buf);
+    let mut stats = WorkerStats::default();
+
+    // ask for a wavenumber from master
+    mysendreal(t, &[0.0], TAG_REQUEST, mastid)?;
+
+    loop {
+        // receive from master: next ik or message to stop
+        let tag = mychecktid(t, mastid)?;
+        myrecvreal(t, &mut buf, tag, mastid)?;
+        if tag != TAG_ASSIGN {
+            break;
+        }
+        let ik = buf[0] as usize;
+        let t_mode = std::time::Instant::now();
+        let out = ctx
+            .run_mode(ik)
+            .map_err(|e| CommError::Protocol(format!("integration failed: {e}")))?;
+        stats.busy_seconds += t_mode.elapsed().as_secs_f64();
+        stats.modes += 1;
+
+        // send results to master: header (tag 4) then data (tag 5)
+        let (header, payload) = out.to_wire(ik);
+        stats.bytes_sent += (header.len() + payload.len()) * 8;
+        mysendreal(t, &header, TAG_HEADER, mastid)?;
+        mysendreal(t, &payload, TAG_DATA, mastid)?;
+    }
+    stats.total_seconds = t_start.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boltzmann::Preset;
+
+    #[test]
+    fn context_from_broadcast_builds_physics() {
+        let mut spec = RunSpec::standard_cdm(vec![0.01]);
+        spec.preset = Preset::Draft;
+        let ctx = WorkerContext::from_broadcast(&spec.encode());
+        assert_eq!(ctx.spec.ks.len(), 1);
+        assert!(ctx.bg.tau0() > 10_000.0);
+        let out = ctx.run_mode(0).unwrap();
+        assert!(out.delta_c.is_finite());
+        assert_eq!(out.k, 0.01);
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end tests of the released command-line tools: `linger`
+//! (serial) and `plinger` (parallel, threads and TCP subprocesses) must
+//! produce byte-identical output files.
+
+use std::process::Command;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("plinger_cli_{tag}"));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run_tool(exe: &str, args: &[&str]) {
+    let status = Command::new(exe)
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to run {exe}: {e}"));
+    assert!(status.success(), "{exe} {args:?} failed: {status}");
+}
+
+const COMMON: &[&str] = &[
+    "--preset", "draft", "--nk", "3", "--kmin", "4e-4", "--kmax", "2e-3",
+];
+
+#[test]
+fn linger_writes_both_output_units() {
+    let dir = tmpdir("serial");
+    let prefix = dir.join("run").to_string_lossy().to_string();
+    let mut args = COMMON.to_vec();
+    args.extend_from_slice(&["--output", &prefix]);
+    run_tool(env!("CARGO_BIN_EXE_linger"), &args);
+
+    let ascii = std::fs::read_to_string(format!("{prefix}.linger")).unwrap();
+    assert!(ascii.contains("# linger output: nk = 3"));
+    assert_eq!(ascii.lines().count(), 5);
+    let records = plinger::output_files::read_binary(format!("{prefix}.lingerd")).unwrap();
+    assert_eq!(records.len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plinger_threads_match_linger_bitwise() {
+    let dir = tmpdir("threads");
+    let serial = dir.join("serial").to_string_lossy().to_string();
+    let parallel = dir.join("par").to_string_lossy().to_string();
+
+    let mut args = COMMON.to_vec();
+    args.extend_from_slice(&["--output", &serial]);
+    run_tool(env!("CARGO_BIN_EXE_linger"), &args);
+
+    let mut args = COMMON.to_vec();
+    args.extend_from_slice(&["--output", &parallel, "--workers", "2"]);
+    run_tool(env!("CARGO_BIN_EXE_plinger"), &args);
+
+    let a = std::fs::read(format!("{serial}.lingerd")).unwrap();
+    let b = std::fs::read(format!("{parallel}.lingerd")).unwrap();
+    assert_eq!(a, b, "binary moment files must be byte-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plinger_tcp_processes_match_linger_bitwise() {
+    let dir = tmpdir("tcp");
+    let serial = dir.join("serial").to_string_lossy().to_string();
+    let parallel = dir.join("tcp").to_string_lossy().to_string();
+
+    let mut args = COMMON.to_vec();
+    args.extend_from_slice(&["--output", &serial]);
+    run_tool(env!("CARGO_BIN_EXE_linger"), &args);
+
+    let mut args = COMMON.to_vec();
+    args.extend_from_slice(&["--output", &parallel, "--workers", "2", "--tcp"]);
+    run_tool(env!("CARGO_BIN_EXE_plinger"), &args);
+
+    let a = std::fs::read(format!("{serial}.lingerd")).unwrap();
+    let b = std::fs::read(format!("{parallel}.lingerd")).unwrap();
+    assert_eq!(a, b, "TCP-farm moment file must equal the serial one");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_linger"))
+        .args(["--bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "stderr: {err}");
+    assert!(err.contains("usage"), "usage text missing");
+}

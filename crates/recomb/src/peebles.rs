@@ -1,0 +1,139 @@
+//! The Peebles effective three-level hydrogen atom.
+//!
+//! Net recombination rate per hydrogen atom, including the case-B
+//! recombination coefficient, detailed-balance photoionization from the
+//! `n = 2` level, and the Peebles reduction factor combining two-photon
+//! `2s → 1s` decay with Lyman-α escape.
+
+use numutil::constants;
+
+/// Two-photon decay rate `Λ_{2s→1s}` in s⁻¹.
+pub const LAMBDA_2S_1S: f64 = 8.224_58;
+
+/// Lyman-α wavelength in m.
+pub const LAMBDA_LYA_M: f64 = 1.215_668e-7;
+
+/// Case-B recombination coefficient α_B(T) in m³/s
+/// (Péquignot–Petitjean–Boisson fit with the standard 1.14 fudge, the
+/// same form later adopted by RECFAST).
+pub fn alpha_b_m3s(t_k: f64) -> f64 {
+    let t4 = t_k / 1.0e4;
+    1.14 * 1.0e-19 * 4.309 * t4.powf(-0.6166) / (1.0 + 0.6703 * t4.powf(0.5300))
+}
+
+/// Photoionization rate from `n = 2`, `β_B(T)` in s⁻¹, by detailed balance
+/// against `α_B` with binding energy `E_ion/4 = 3.4 eV`.
+pub fn beta_b_sinv(t_k: f64) -> f64 {
+    let kt_ev = constants::K_B_EV_K * t_k;
+    let expo = -constants::E_ION_H_EV / 4.0 / kt_ev;
+    if expo < -600.0 {
+        return 0.0;
+    }
+    alpha_b_m3s(t_k) * super::saha::saha_prefactor_m3(t_k) * expo.exp()
+}
+
+/// Peebles reduction factor `C(T, n_1s, H)`.
+///
+/// `n_1s` is the ground-state neutral hydrogen density in m⁻³ and
+/// `h_sinv` the Hubble rate in s⁻¹ (for the Lyman-α escape probability).
+pub fn peebles_c(t_k: f64, n1s_m3: f64, h_sinv: f64) -> f64 {
+    let k_lya = LAMBDA_LYA_M.powi(3) / (8.0 * std::f64::consts::PI * h_sinv);
+    let beta = beta_b_sinv(t_k);
+    let num = 1.0 + k_lya * LAMBDA_2S_1S * n1s_m3;
+    let den = 1.0 + k_lya * (LAMBDA_2S_1S + beta) * n1s_m3;
+    num / den
+}
+
+/// `dx_H/d ln a` from the Peebles equation.
+///
+/// * `xh` — hydrogen ionized fraction (electrons from helium are
+///   negligible by the time this equation is active);
+/// * `t_m` — matter temperature (K) controlling α_B;
+/// * `t_r` — radiation temperature (K) controlling the stimulated terms;
+/// * `n_h` — total hydrogen density (m⁻³);
+/// * `h_sinv` — Hubble rate (s⁻¹).
+pub fn peebles_dxh_dlna(xh: f64, t_m: f64, t_r: f64, n_h: f64, h_sinv: f64) -> f64 {
+    let xh = xh.clamp(0.0, 1.0);
+    let n1s = (1.0 - xh) * n_h;
+    let c = peebles_c(t_r, n1s, h_sinv);
+    let alpha = alpha_b_m3s(t_m);
+    let beta = beta_b_sinv(t_r);
+    let kt_ev = constants::K_B_EV_K * t_r;
+    // ionization out of n=2 weighted by the Lyman-α Boltzmann factor
+    let lya = (-constants::E_LYA_EV / kt_ev).max(-600.0).exp();
+    let rate_sinv = c * (beta * (1.0 - xh) * lya - alpha * xh * xh * n_h);
+    rate_sinv / h_sinv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_b_reference() {
+        // α_B(10⁴ K) ≈ 2.6e-13 cm³/s · 1.14 fudge ≈ 3.0e-19 m³/s
+        let a = alpha_b_m3s(1.0e4);
+        assert!(a > 2.0e-19 && a < 4.0e-19, "α_B = {a:e}");
+        // decreasing with temperature
+        assert!(alpha_b_m3s(2.0e4) < a);
+        assert!(alpha_b_m3s(5.0e3) > a);
+    }
+
+    #[test]
+    fn beta_b_detailed_balance_shape() {
+        // tiny at low T, large at high T (β(1000 K) ≈ 9e-10 s⁻¹,
+        // β(6000 K) ≈ 7e5 s⁻¹)
+        assert!(beta_b_sinv(1000.0) < 1e-8);
+        assert!(beta_b_sinv(6000.0) > 1e5);
+        // monotone increasing
+        assert!(beta_b_sinv(2000.0) > beta_b_sinv(1500.0));
+    }
+
+    #[test]
+    fn peebles_c_limits() {
+        // β → 0 (cold): C → 1 (β(1500 K) ≈ 7e-4 s⁻¹ leaves a ~3e-5 deficit)
+        let c_cold = peebles_c(1500.0, 1e8, 1e-13);
+        assert!((c_cold - 1.0).abs() < 1e-3, "C_cold = {c_cold}");
+        let c_very_cold = peebles_c(800.0, 1e8, 1e-13);
+        assert!((c_very_cold - 1.0).abs() < 1e-9, "C = {c_very_cold}");
+        // hot with plenty of neutrals: C ≪ 1
+        let c_hot = peebles_c(4000.0, 1e7, 1e-13);
+        assert!(c_hot < 0.9, "C_hot = {c_hot}");
+        // bounded
+        for t in [2000.0, 3000.0, 4000.0] {
+            for n in [1e4, 1e7, 1e9] {
+                let c = peebles_c(t, n, 1e-13);
+                assert!(c > 0.0 && c <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_matches_saha_at_high_temperature() {
+        // where rates are huge, the zero of dx/dlna is near the Saha value
+        let t = 4300.0;
+        let n_h = 0.17 * 1580.0f64.powi(3); // m⁻³ at z ≈ 1580
+        let h = 1e-13;
+        // find zero of the net rate by bisection
+        let f = |x: f64| peebles_dxh_dlna(x, t, t, n_h, h);
+        let x_eq = numutil::roots::bisect(f, 1e-6, 1.0 - 1e-9, 1e-10).unwrap();
+        let x_saha = crate::saha::saha_hydrogen_xh(t, n_h, 0.0);
+        assert!(
+            (x_eq - x_saha).abs() < 0.05,
+            "x_eq = {x_eq}, x_saha = {x_saha}"
+        );
+    }
+
+    #[test]
+    fn recombination_drives_xh_down() {
+        // cold, mostly ionized: net rate negative
+        let rate = peebles_dxh_dlna(0.9, 2500.0, 2500.0, 1e9, 1e-13);
+        assert!(rate < 0.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn rate_vanishes_when_fully_neutral_and_cold() {
+        let rate = peebles_dxh_dlna(0.0, 100.0, 100.0, 1e9, 1e-13);
+        assert!(rate.abs() < 1e-20);
+    }
+}

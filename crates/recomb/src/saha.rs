@@ -1,0 +1,143 @@
+//! Saha ionization equilibrium for hydrogen and both helium stages.
+
+use numutil::constants;
+
+/// `(2π m_e k_B T / h²)^{3/2}` in m⁻³, the phase-space density scale of
+/// the Saha equation, written with `(m_e c²)(k_B T)/(hc)²`.
+#[inline]
+pub fn saha_prefactor_m3(t_k: f64) -> f64 {
+    const HC_EV_M: f64 = 1.239_841_984e-6; // h c in eV·m
+    let kt_ev = constants::K_B_EV_K * t_k;
+    let x = 2.0 * std::f64::consts::PI * constants::M_E_C2_EV * kt_ev / (HC_EV_M * HC_EV_M);
+    x.powf(1.5)
+}
+
+/// Hydrogen Saha equilibrium: solves
+/// `x_H (x_H + x_others) / (1 − x_H) = S(T)/n_H`
+/// for the ionized fraction `x_H`, where `x_others = x_e − x_H` is the
+/// electron contribution from helium (`x_e` is the *total* current
+/// electrons per hydrogen, used to linearize the coupling).
+pub fn saha_hydrogen_xh(t_k: f64, n_h_m3: f64, xe_total: f64) -> f64 {
+    let kt_ev = constants::K_B_EV_K * t_k;
+    let expo = -constants::E_ION_H_EV / kt_ev;
+    if expo < -500.0 {
+        return 0.0;
+    }
+    let s = saha_prefactor_m3(t_k) * expo.exp() / n_h_m3;
+    if s > 1e12 {
+        return 1.0;
+    }
+    // x_H (x_H + d)/(1 - x_H) = s, with d = electrons from helium
+    let d = (xe_total - 1.0).max(0.0); // helium electrons when H fully ionized guess
+    // quadratic: x² + (d + s) x − s = 0
+    let b = d + s;
+    let x = 0.5 * (-b + (b * b + 4.0 * s).sqrt());
+    x.clamp(0.0, 1.0)
+}
+
+/// Helium Saha equilibrium given the electron density `n_e` (m⁻³).
+///
+/// Returns `(x_HeII, x_HeIII)`: fractions of helium singly and doubly
+/// ionized (`x_HeI = 1 − x_HeII − x_HeIII`).
+pub fn saha_helium_fractions(t_k: f64, n_e_m3: f64) -> (f64, f64) {
+    let kt_ev = constants::K_B_EV_K * t_k;
+    let pref = saha_prefactor_m3(t_k);
+    // ratios r1 = n_HeII/n_HeI, r2 = n_HeIII/n_HeII
+    // statistical weights: g(HeI)=1, g(HeII)=2, g(HeIII)=1, g(e)=2
+    let e1 = -constants::E_ION_HE1_EV / kt_ev;
+    let e2 = -constants::E_ION_HE2_EV / kt_ev;
+    let r1 = if e1 < -500.0 {
+        0.0
+    } else {
+        4.0 * pref * e1.exp() / n_e_m3
+    };
+    let r2 = if e2 < -500.0 {
+        0.0
+    } else {
+        pref * e2.exp() / n_e_m3
+    };
+    let denom = 1.0 + r1 + r1 * r2;
+    (r1 / denom, r1 * r2 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefactor_magnitude() {
+        // At T = 3000 K, (2π m_e kT/h²)^{3/2} ≈ 6.6e25 m⁻³ (within factors)
+        let p = saha_prefactor_m3(3000.0);
+        assert!(p > 1e25 && p < 1e27, "prefactor = {p:e}");
+    }
+
+    #[test]
+    fn hydrogen_fully_ionized_hot() {
+        let x = saha_hydrogen_xh(1.0e5, 1e9, 1.16);
+        assert!(x > 0.999999, "x_H = {x}");
+    }
+
+    #[test]
+    fn hydrogen_neutral_cold() {
+        let x = saha_hydrogen_xh(1000.0, 1e9, 0.0);
+        assert!(x < 1e-10, "x_H = {x}");
+    }
+
+    #[test]
+    fn hydrogen_half_ionized_near_recombination_temperature() {
+        // classic result: x = 0.5 near T ≈ 3700-4000 K for cosmological n_H
+        let n_h = 0.17 * 1300.0f64.powi(3); // m⁻³ at z ≈ 1300
+        let mut t_half = 0.0;
+        for t in (3000..6000).step_by(10) {
+            let x = saha_hydrogen_xh(t as f64, n_h, 0.0);
+            if x >= 0.5 {
+                t_half = t as f64;
+                break;
+            }
+        }
+        assert!(
+            (3500.0..4500.0).contains(&t_half),
+            "T(x=1/2) = {t_half}"
+        );
+    }
+
+    #[test]
+    fn saha_equation_satisfied() {
+        let t = 4200.0;
+        let n_h = 1e9;
+        let x = saha_hydrogen_xh(t, n_h, 0.0);
+        let s = saha_prefactor_m3(t) * (-constants::E_ION_H_EV / (constants::K_B_EV_K * t)).exp();
+        let lhs = x * x / (1.0 - x) * n_h;
+        assert!((lhs - s).abs() / s < 1e-8, "Saha residual: {lhs} vs {s}");
+    }
+
+    #[test]
+    fn helium_doubly_ionized_hot() {
+        let (he2, he3) = saha_helium_fractions(5.0e4, 1e10);
+        assert!(he3 > 0.99, "x_HeIII = {he3}");
+        assert!(he2 < 0.01);
+    }
+
+    #[test]
+    fn helium_neutral_cold() {
+        let (he2, he3) = saha_helium_fractions(2000.0, 1e8);
+        assert!(he2 < 1e-8 && he3 < 1e-20, "He fractions: {he2}, {he3}");
+    }
+
+    #[test]
+    fn helium_single_stage_intermediate() {
+        // around T ~ 1.0e4 K (at this density) helium is mostly singly
+        // ionized: the second stage has recombined, the first has not
+        let (he2, he3) = saha_helium_fractions(1.0e4, 1e10);
+        assert!(he2 > 0.9, "x_HeII = {he2}, x_HeIII = {he3}");
+        assert!(he3 < 1e-6);
+    }
+
+    #[test]
+    fn fractions_sum_below_one() {
+        for t in [1e3, 5e3, 1e4, 3e4, 1e5] {
+            let (he2, he3) = saha_helium_fractions(t, 1e9);
+            assert!(he2 >= 0.0 && he3 >= 0.0 && he2 + he3 <= 1.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Continuity and consistency of the stitched thermal history: the
+//! Saha → Peebles handoff and the derived tables must be smooth enough
+//! for a high-order ODE integrator to consume.
+
+use background::{Background, CosmoParams};
+use recomb::ThermoHistory;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static (Background, ThermoHistory) {
+    static CTX: OnceLock<(Background, ThermoHistory)> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let bg = Background::new(CosmoParams::standard_cdm());
+        let th = ThermoHistory::new(&bg);
+        (bg, th)
+    })
+}
+
+#[test]
+fn xe_has_no_jumps_through_the_saha_peebles_switch() {
+    // scan recombination in fine steps; adjacent samples must differ by
+    // a bounded fraction (a seam would show as a spike)
+    let (_bg, th) = ctx();
+    let mut worst: f64 = 0.0;
+    let n = 4000;
+    for i in 1..n {
+        let z0 = 2000.0 * (1.0 - (i - 1) as f64 / n as f64) + 200.0;
+        let z1 = 2000.0 * (1.0 - i as f64 / n as f64) + 200.0;
+        let x0 = th.xe(1.0 / (1.0 + z0));
+        let x1 = th.xe(1.0 / (1.0 + z1));
+        worst = worst.max((x1 - x0).abs() / x0.max(1e-6));
+    }
+    assert!(worst < 0.02, "x_e jump of {worst} between adjacent fine samples");
+}
+
+#[test]
+fn opacity_and_its_log_slope_are_consistent() {
+    // finite-difference d ln κ̇ / d ln a must match the spline derivative
+    let (_bg, th) = ctx();
+    for &a in &[1e-4, 5e-4, 1.0 / 1101.0, 1e-2, 0.1] {
+        let da = a * 1e-4;
+        let fd = ((th.opacity(a + da)).ln() - (th.opacity(a - da)).ln()) / (2.0 * da / a);
+        let an = th.opacity_dlna(a);
+        assert!(
+            (fd - an).abs() < 0.02 * an.abs().max(1.0),
+            "a = {a}: fd slope {fd}, spline slope {an}"
+        );
+    }
+}
+
+#[test]
+fn optical_depth_is_monotone_in_time() {
+    let (bg, th) = ctx();
+    let mut last = f64::INFINITY;
+    for i in 0..200 {
+        let tau = 50.0 + (bg.tau0() - 50.0) * i as f64 / 199.0;
+        let k = th.optical_depth(tau);
+        assert!(k <= last + 1e-10, "κ not decreasing at τ = {tau}");
+        last = k;
+    }
+}
+
+#[test]
+fn visibility_is_sharply_peaked() {
+    // the visibility FWHM in conformal time should be a small fraction
+    // of τ_rec (the thin last-scattering surface the paper's ½°-scale
+    // features rely on)
+    let (bg, th) = ctx();
+    let tau_rec = th.tau_rec();
+    let g_peak = th.visibility(tau_rec, bg.a_of_tau(tau_rec));
+    let mut lo = tau_rec;
+    while th.visibility(lo, bg.a_of_tau(lo)) > 0.5 * g_peak && lo > 1.0 {
+        lo -= 1.0;
+    }
+    let mut hi = tau_rec;
+    while th.visibility(hi, bg.a_of_tau(hi)) > 0.5 * g_peak && hi < bg.tau0() {
+        hi += 1.0;
+    }
+    let fwhm = hi - lo;
+    assert!(
+        fwhm > 5.0 && fwhm < 0.5 * tau_rec,
+        "visibility FWHM = {fwhm} Mpc at τ_rec = {tau_rec}"
+    );
+}
+
+#[test]
+fn baryon_sound_speed_is_smooth_and_positive() {
+    let (_bg, th) = ctx();
+    let mut last = None;
+    for i in 0..500 {
+        let lna = (1e-6f64).ln() + ((1.0f64).ln() - (1e-6f64).ln()) * i as f64 / 499.0;
+        let a = lna.exp();
+        let cs2 = th.cs2_baryon(a, 2.726, 0.24);
+        assert!(cs2 > 0.0 && cs2 < 1.0, "c_s² = {cs2} at a = {a}");
+        if let Some(prev) = last {
+            let ratio: f64 = cs2 / prev;
+            assert!(
+                ratio > 0.5 && ratio < 2.0,
+                "c_s² jumps ×{ratio} at a = {a}"
+            );
+        }
+        last = Some(cs2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Minimal binary PGM (P5) writer for maps and movie frames.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Write a scalar field as an 8-bit PGM, linearly mapping
+/// `[lo, hi] → [0, 255]` (values outside are clamped).
+pub fn write_pgm<P: AsRef<Path>>(
+    path: P,
+    data: &[f64],
+    width: usize,
+    height: usize,
+    lo: f64,
+    hi: f64,
+) -> io::Result<()> {
+    assert_eq!(data.len(), width * height);
+    assert!(hi > lo, "need hi > lo");
+    let mut out = Vec::with_capacity(data.len() + 32);
+    write!(out, "P5\n{width} {height}\n255\n")?;
+    let scale = 255.0 / (hi - lo);
+    for &v in data {
+        let byte = ((v - lo) * scale).clamp(0.0, 255.0) as u8;
+        out.push(byte);
+    }
+    std::fs::write(path, out)
+}
+
+/// Symmetric range `(−r, +r)` covering `scale` × the extreme |value|.
+pub fn symmetric_range(data: &[f64], scale: f64) -> (f64, f64) {
+    let mut m = 0.0f64;
+    for &v in data {
+        m = m.max(v.abs());
+    }
+    let r = (m * scale).max(1e-300);
+    (-r, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_header_and_size() {
+        let dir = std::env::temp_dir().join("plinger_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        let data = vec![0.0, 0.5, 1.0, 0.25];
+        write_pgm(&path, &data, 2, 2, 0.0, 1.0).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n2 2\n255\n".len() + 4);
+        // pixel values
+        let px = &bytes[bytes.len() - 4..];
+        assert_eq!(px[0], 0);
+        assert_eq!(px[2], 255);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clamping_out_of_range() {
+        let dir = std::env::temp_dir().join("plinger_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.pgm");
+        write_pgm(&path, &[-5.0, 5.0], 2, 1, -1.0, 1.0).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let px = &bytes[bytes.len() - 2..];
+        assert_eq!(px[0], 0);
+        assert_eq!(px[1], 255);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn symmetric_range_covers_extremes() {
+        let (lo, hi) = symmetric_range(&[-3.0, 1.0, 2.0], 1.1);
+        assert!((hi - 3.3).abs() < 1e-12);
+        assert!((lo + 3.3).abs() < 1e-12);
+    }
+}

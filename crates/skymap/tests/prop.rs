@@ -1,0 +1,57 @@
+//! Property tests for sky-map synthesis.
+
+use proptest::prelude::*;
+use skymap::{AlmRealization, SkyMap};
+
+fn spectrum(l_max: usize, amp: f64) -> Vec<f64> {
+    (0..=l_max)
+        .map(|l| if l >= 2 { amp / (l * (l + 1)) as f64 } else { 0.0 })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn synthesis_is_linear_in_alm(seed in 0u64..100, factor in 0.5f64..4.0) {
+        let cl = spectrum(12, 1.0);
+        let mut alm = AlmRealization::generate(&cl, seed);
+        let map1 = SkyMap::synthesize(&alm, 24, 48);
+        // scale all coefficients
+        for l in 0..=alm.l_max {
+            alm.a_m0[l] *= factor;
+            for v in alm.a_cos[l].iter_mut() { *v *= factor; }
+            for v in alm.a_sin[l].iter_mut() { *v *= factor; }
+        }
+        let map2 = SkyMap::synthesize(&alm, 24, 48);
+        // rounding is set by the map's overall amplitude, not by the
+        // (possibly cancellation-suppressed) value of each pixel
+        let scale = map1.rms().max(1e-300);
+        for (a, b) in map1.data.iter().zip(&map2.data) {
+            prop_assert!((b - factor * a).abs() < 1e-9 * factor.max(1.0) * scale);
+        }
+    }
+
+    #[test]
+    fn map_rms_tracks_spectrum_amplitude(seed in 0u64..100, amp in 0.1f64..10.0) {
+        let base = AlmRealization::generate(&spectrum(16, 1.0), seed);
+        let scaled = AlmRealization::generate(&spectrum(16, amp), seed);
+        let m1 = SkyMap::synthesize(&base, 24, 48);
+        let m2 = SkyMap::synthesize(&scaled, 24, 48);
+        // same seed → same Gaussian deviates → rms scales as √amp
+        let ratio = m2.rms() / m1.rms();
+        prop_assert!((ratio - amp.sqrt()).abs() < 1e-9 * ratio.max(1.0),
+            "rms ratio {ratio}, expect {}", amp.sqrt());
+    }
+
+    #[test]
+    fn extrema_bound_every_pixel(seed in 0u64..50) {
+        let alm = AlmRealization::generate(&spectrum(10, 2.0), seed);
+        let map = SkyMap::synthesize(&alm, 16, 32);
+        let (lo, hi) = map.extrema();
+        for &v in &map.data {
+            prop_assert!(v >= lo && v <= hi);
+        }
+        prop_assert!(map.rms() <= lo.abs().max(hi.abs()) + 1e-12);
+    }
+}

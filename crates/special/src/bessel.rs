@@ -1,0 +1,237 @@
+//! Spherical Bessel functions `j_l(x)`.
+//!
+//! Strategy: for `x > l` the upward recurrence is stable; for `x <= l` we
+//! run Miller's downward recurrence from a safely high starting order and
+//! normalize against `j_0`.  Small arguments use the series limit
+//! `j_l(x) → x^l / (2l+1)!!` to avoid under/overflow.
+
+/// `j_0(x) = sin(x)/x`, with the series limit at the origin.
+#[inline]
+pub fn j0(x: f64) -> f64 {
+    if x.abs() < 1e-6 {
+        1.0 - x * x / 6.0
+    } else {
+        x.sin() / x
+    }
+}
+
+/// `j_1(x) = sin(x)/x² − cos(x)/x`.
+#[inline]
+pub fn j1(x: f64) -> f64 {
+    if x.abs() < 1e-4 {
+        x / 3.0 - x * x * x / 30.0
+    } else {
+        x.sin() / (x * x) - x.cos() / x
+    }
+}
+
+/// Double factorial `(2l+1)!!` in log space to avoid overflow.
+fn ln_double_factorial_odd(l: usize) -> f64 {
+    // (2l+1)!! = (2l+1)! / (2^l l!)
+    let mut s = 0.0;
+    let mut m = 2 * l + 1;
+    while m > 1 {
+        s += (m as f64).ln();
+        m -= 2;
+    }
+    s
+}
+
+/// Spherical Bessel function `j_l(x)` for `x >= 0`.
+pub fn sph_bessel_jl(l: usize, x: f64) -> f64 {
+    assert!(x >= 0.0, "sph_bessel_jl requires x >= 0");
+    if l == 0 {
+        return j0(x);
+    }
+    if l == 1 {
+        return j1(x);
+    }
+    // Tiny argument: series leading term (guard against total underflow).
+    let lf = l as f64;
+    if x < 1e-10 * (lf + 1.0) {
+        let ln_val = lf * x.max(1e-300).ln() - ln_double_factorial_odd(l);
+        return if ln_val < -700.0 { 0.0 } else { ln_val.exp() };
+    }
+    if x > lf {
+        // Upward recurrence: j_{n+1} = (2n+1)/x j_n - j_{n-1}
+        let mut jm = j0(x);
+        let mut j = j1(x);
+        for n in 1..l {
+            let jn = (2.0 * n as f64 + 1.0) / x * j - jm;
+            jm = j;
+            j = jn;
+        }
+        j
+    } else {
+        // Downward (Miller). Start high enough above l.
+        let extra = (x.sqrt() * 15.0) as usize + 36;
+        let lstart = l + extra;
+        let mut jp = 0.0f64;
+        let mut j = 1e-30f64;
+        let mut jl = 0.0f64;
+        let mut j0acc = 0.0f64;
+        for n in (1..=lstart).rev() {
+            let jm = (2.0 * n as f64 + 1.0) / x * j - jp;
+            jp = j;
+            j = jm;
+            if n - 1 == l {
+                jl = j;
+            }
+            // renormalize on the fly to dodge overflow
+            if j.abs() > 1e250 {
+                jp /= 1e250;
+                j /= 1e250;
+                jl /= 1e250;
+            }
+        }
+        j0acc += j; // j now holds the downward estimate of j_0
+        let scale = j0(x) / j0acc;
+        jl * scale
+    }
+}
+
+/// Fill `out[l] = j_l(x)` for `l = 0..out.len()` with one downward pass
+/// (much cheaper than `out.len()` independent calls).
+pub fn sph_bessel_jl_array(x: f64, out: &mut [f64]) {
+    let lmax = out.len().saturating_sub(1);
+    if out.is_empty() {
+        return;
+    }
+    out[0] = j0(x);
+    if lmax == 0 {
+        return;
+    }
+    out[1] = j1(x);
+    if x > lmax as f64 {
+        for n in 1..lmax {
+            out[n + 1] = (2.0 * n as f64 + 1.0) / x * out[n] - out[n - 1];
+        }
+        return;
+    }
+    if x < 1e-12 {
+        for v in out.iter_mut().skip(2) {
+            *v = 0.0;
+        }
+        return;
+    }
+    // Single Miller sweep.
+    let extra = (x.sqrt() * 15.0) as usize + 36;
+    let lstart = lmax + extra;
+    let mut jp = 0.0f64;
+    let mut j = 1e-30f64;
+    let mut tmp = vec![0.0f64; lmax + 1];
+    for n in (1..=lstart).rev() {
+        let jm = (2.0 * n as f64 + 1.0) / x * j - jp;
+        jp = j;
+        j = jm;
+        if n - 1 <= lmax {
+            tmp[n - 1] = j;
+        }
+        if j.abs() > 1e250 {
+            jp /= 1e250;
+            j /= 1e250;
+            for v in tmp.iter_mut() {
+                *v /= 1e250;
+            }
+        }
+    }
+    let scale = j0(x) / tmp[0];
+    for (o, t) in out.iter_mut().zip(&tmp) {
+        *o = t * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values verified against scipy.special.spherical_jn.
+    const REFS: &[(usize, f64, f64)] = &[
+        (0, 0.5, 0.958_851_077_208_406),
+        (1, 0.5, 0.162_537_030_636_066_6),
+        (2, 1.0, 0.062_035_052_011_373_86),
+        (2, 10.0, 0.077_942_193_628_562_45),
+        (5, 1.0, 9.256_115_861_125_816e-5),
+        (5, 10.0, -0.055_534_511_621_452_18),
+        (10, 5.0, 4.073_442_442_494_604e-4),
+        (10, 25.0, -0.036_253_285_601_128_57),
+        (50, 10.0, 2.230_696_023_218_647e-31),
+        (50, 60.0, -0.021_230_978_268_738_99),
+        (100, 120.0, 0.010_398_358_612_379_5),
+    ];
+
+    #[test]
+    fn matches_reference_values() {
+        for &(l, x, expect) in REFS {
+            let got = sph_bessel_jl(l, x);
+            let tol = 1e-9 * expect.abs().max(1e-12);
+            assert!(
+                (got - expect).abs() < tol.max(1e-13),
+                "j_{l}({x}) = {got:e}, expect {expect:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn array_matches_scalar() {
+        for &x in &[0.3, 2.0, 17.5, 80.0] {
+            let mut arr = vec![0.0; 61];
+            sph_bessel_jl_array(x, &mut arr);
+            for l in (0..=60).step_by(7) {
+                let s = sph_bessel_jl(l, x);
+                assert!(
+                    (arr[l] - s).abs() < 1e-10 * s.abs().max(1e-10),
+                    "l={l} x={x}: array={} scalar={s}",
+                    arr[l]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_argument_series() {
+        // j_2(x) ≈ x²/15 for small x
+        let x = 1e-4;
+        assert!((sph_bessel_jl(2, x) - x * x / 15.0).abs() < 1e-16);
+        // j_3(x) ≈ x³/105
+        assert!((sph_bessel_jl(3, x) - x * x * x / 105.0).abs() < 1e-19);
+    }
+
+    #[test]
+    fn zero_argument() {
+        assert_eq!(sph_bessel_jl(0, 0.0), 1.0);
+        assert_eq!(sph_bessel_jl(3, 0.0), 0.0);
+        assert_eq!(sph_bessel_jl(500, 0.0), 0.0);
+    }
+
+    #[test]
+    fn satisfies_recurrence() {
+        // (2l+1)/x j_l = j_{l-1} + j_{l+1}
+        for &x in &[3.0, 12.0, 40.0] {
+            for l in [2usize, 5, 11, 30] {
+                let lhs = (2.0 * l as f64 + 1.0) / x * sph_bessel_jl(l, x);
+                let rhs = sph_bessel_jl(l - 1, x) + sph_bessel_jl(l + 1, x);
+                assert!(
+                    (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1e-8),
+                    "recurrence fails at l={l}, x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_sum_rule() {
+        // Σ_l (2l+1) j_l²(x) = 1 for any x
+        for &x in &[1.0, 7.3, 31.0] {
+            let lmax = (x as usize) + 80;
+            let mut arr = vec![0.0; lmax + 1];
+            sph_bessel_jl_array(x, &mut arr);
+            let s: f64 = arr
+                .iter()
+                .enumerate()
+                .map(|(l, j)| (2.0 * l as f64 + 1.0) * j * j)
+                .sum();
+            assert!((s - 1.0).abs() < 1e-8, "sum rule at x={x}: {s}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Fermi–Dirac momentum integrals for the massive-neutrino background.
+//!
+//! In LINGER units the comoving neutrino momentum is measured in units of
+//! the present neutrino temperature, `x = q / (k_B T_ν0)`, and the mass
+//! enters through `r = a m c² / (k_B T_ν0)`.  The background density and
+//! pressure then reduce to the dimensionless kernels
+//!
+//! ```text
+//! I_n    = ∫ x² /(e^x+1) dx                      (number)
+//! I_ρ(r) = ∫ x² √(x²+r²) /(e^x+1) dx             (energy)
+//! I_p(r) = (1/3) ∫ x⁴ /√(x²+r²) /(e^x+1) dx      (pressure)
+//! ```
+//!
+//! evaluated with Gauss–Laguerre quadrature after factoring `e^{-x}`.
+
+use numutil::quad::gauss_laguerre;
+
+/// Number of quadrature points used by the fixed rules below; 32 points
+/// give ≈ 12 significant digits on these smooth kernels.
+const NQ: usize = 32;
+
+fn with_rule<F: Fn(f64) -> f64>(f: F) -> f64 {
+    use std::sync::OnceLock;
+    static RULE: OnceLock<(Vec<f64>, Vec<f64>)> = OnceLock::new();
+    let (xs, ws) = RULE.get_or_init(|| gauss_laguerre(NQ));
+    xs.iter()
+        .zip(ws)
+        .map(|(&x, &w)| {
+            // weight already contains e^{-x}; multiply back the FD kernel
+            w * f(x) * (x.exp() / (x.exp() + 1.0))
+        })
+        .sum()
+}
+
+/// `∫ x²/(e^x+1) dx = (3/2) ζ(3) ≈ 1.803085…`
+pub fn fermi_dirac_number() -> f64 {
+    with_rule(|x| x * x)
+}
+
+/// Energy kernel `I_ρ(r)`; `I_ρ(0) = 7π⁴/120` (relativistic limit) and
+/// `I_ρ(r) → r · (3/2)ζ(3)` as `r → ∞` (non-relativistic limit).
+pub fn fermi_dirac_energy(r: f64) -> f64 {
+    assert!(r >= 0.0);
+    with_rule(|x| x * x * (x * x + r * r).sqrt())
+}
+
+/// Pressure kernel `I_p(r)`; `I_p(0) = I_ρ(0)/3` and `I_p → 0` for large `r`.
+pub fn fermi_dirac_pressure(r: f64) -> f64 {
+    assert!(r >= 0.0);
+    with_rule(|x| x * x * x * x / (3.0 * (x * x + r * r).sqrt()))
+}
+
+/// The logarithmic derivative `d ln f₀ / d ln q = -x e^x/(e^x+1)` needed by
+/// the massive-neutrino Boltzmann hierarchy source terms.
+#[inline]
+pub fn dlnf0_dlnq(x: f64) -> f64 {
+    // numerically safe for large x: e^x/(e^x+1) = 1/(1+e^{-x})
+    -x / (1.0 + (-x).exp())
+}
+
+/// Precomputed momentum grid for the neutrino phase-space hierarchy:
+/// Gauss–Laguerre nodes `q_i` with combined weights
+/// `w_i e^{q_i} f₀(q_i) q_i²` ready for density-like integrals,
+/// so that `∫ q² f₀(q) g(q) dq ≈ Σ w̃_i g(q_i)`.
+#[derive(Debug, Clone)]
+pub struct NeutrinoMomentumGrid {
+    /// Momentum nodes in units of `k_B T_ν0`.
+    pub q: Vec<f64>,
+    /// Combined weights `w̃_i` (see struct docs).
+    pub w: Vec<f64>,
+    /// `d ln f₀ / d ln q` at each node.
+    pub dlnf: Vec<f64>,
+}
+
+impl NeutrinoMomentumGrid {
+    /// Build an `n`-point grid.  LINGER production runs used a comparable
+    /// fixed sampling of the Fermi–Dirac distribution.
+    pub fn new(n: usize) -> Self {
+        let (xs, ws) = gauss_laguerre(n);
+        let q = xs.clone();
+        let w: Vec<f64> = xs
+            .iter()
+            .zip(&ws)
+            .map(|(&x, &wt)| wt * (x.exp() / (x.exp() + 1.0)) * x * x)
+            .collect();
+        let dlnf = xs.iter().map(|&x| dlnf0_dlnq(x)).collect();
+        Self { q, w, dlnf }
+    }
+
+    /// Number of momentum bins.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True if the grid is empty (never the case for `new(n>0)`).
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ZETA3: f64 = 1.202_056_903_159_594;
+
+    #[test]
+    fn number_integral() {
+        let expect = 1.5 * ZETA3;
+        assert!((fermi_dirac_number() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_relativistic_limit() {
+        // I_ρ(0) = 7π⁴/120
+        let expect = 7.0 * std::f64::consts::PI.powi(4) / 120.0;
+        assert!((fermi_dirac_energy(0.0) - expect).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pressure_is_third_of_energy_when_massless() {
+        let e = fermi_dirac_energy(0.0);
+        let p = fermi_dirac_pressure(0.0);
+        assert!((p - e / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_nonrelativistic_limit() {
+        // I_ρ(r) → r ∫ x²/(e^x+1) = r (3/2)ζ(3) for r ≫ x_typ
+        let r = 5000.0;
+        let expect = r * 1.5 * ZETA3;
+        let got = fermi_dirac_energy(r);
+        assert!((got - expect).abs() / expect < 1e-4, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn pressure_vanishes_nonrelativistic() {
+        let e = fermi_dirac_energy(1000.0);
+        let p = fermi_dirac_pressure(1000.0);
+        assert!(p / e < 1e-3, "w = {}", p / e);
+    }
+
+    #[test]
+    fn energy_monotone_in_mass() {
+        let mut last = fermi_dirac_energy(0.0);
+        for r in [0.1, 1.0, 3.0, 10.0, 100.0] {
+            let e = fermi_dirac_energy(r);
+            assert!(e > last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn dlnf0_limits() {
+        assert!((dlnf0_dlnq(0.0)).abs() < 1e-14);
+        // large x: → -x
+        assert!((dlnf0_dlnq(50.0) + 50.0).abs() < 1e-10);
+        // moderate: -x/(1+e^{-x})
+        let x = 2.0f64;
+        assert!((dlnf0_dlnq(x) + x / (1.0 + (-x).exp())).abs() < 1e-14);
+    }
+
+    #[test]
+    fn momentum_grid_recovers_number_density() {
+        let g = NeutrinoMomentumGrid::new(24);
+        let n: f64 = g.w.iter().sum();
+        assert!((n - 1.5 * ZETA3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn momentum_grid_recovers_energy() {
+        let g = NeutrinoMomentumGrid::new(24);
+        for r in [0.0, 2.0, 20.0] {
+            let e: f64 = g
+                .q
+                .iter()
+                .zip(&g.w)
+                .map(|(&q, &w)| w * (q * q + r * r).sqrt())
+                .sum();
+            let expect = fermi_dirac_energy(r);
+            assert!((e - expect).abs() / expect < 1e-6, "r={r}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Legendre polynomials and normalized associated Legendre functions.
+//!
+//! The associated functions use the fully-normalized convention
+//! `Ñ_l^m = sqrt((2l+1)/(4π) (l-m)!/(l+m)!) P_l^m`, the natural basis for
+//! spherical-harmonic synthesis of sky maps — the recurrences then stay
+//! O(1) in magnitude up to very high `l`.
+
+/// Legendre polynomial `P_l(x)` by the Bonnet recurrence.
+pub fn legendre_pl(l: usize, x: f64) -> f64 {
+    match l {
+        0 => 1.0,
+        1 => x,
+        _ => {
+            let mut pm = 1.0;
+            let mut p = x;
+            for n in 1..l {
+                let nf = n as f64;
+                let pn = ((2.0 * nf + 1.0) * x * p - nf * pm) / (nf + 1.0);
+                pm = p;
+                p = pn;
+            }
+            p
+        }
+    }
+}
+
+/// Fill `out[l] = P_l(x)` for all `l < out.len()` in one sweep.
+pub fn legendre_pl_array(x: f64, out: &mut [f64]) {
+    if out.is_empty() {
+        return;
+    }
+    out[0] = 1.0;
+    if out.len() == 1 {
+        return;
+    }
+    out[1] = x;
+    for n in 1..out.len() - 1 {
+        let nf = n as f64;
+        out[n + 1] = ((2.0 * nf + 1.0) * x * out[n] - nf * out[n - 1]) / (nf + 1.0);
+    }
+}
+
+/// Fully-normalized associated Legendre `Ñ_l^m(x)` such that
+/// `Y_lm(θ,φ) = Ñ_l^m(cosθ) e^{imφ}`.
+///
+/// Computed by the standard stable recurrence: seed `Ñ_m^m`, then climb in
+/// `l` at fixed `m`.
+pub fn assoc_legendre_norm(l: usize, m: usize, x: f64) -> f64 {
+    assert!(m <= l, "require m <= l");
+    assert!((-1.0..=1.0).contains(&x), "require |x| <= 1");
+    let sint2 = 1.0 - x * x;
+    // Seed: Ñ_m^m = (-1)^m sqrt((2m+1)/(4π) (2m-1)!!/(2m)!!) sin^m θ  —
+    // build the prefactor iteratively to avoid factorial overflow.
+    let mut pmm = (1.0 / (4.0 * std::f64::consts::PI)).sqrt();
+    for k in 1..=m {
+        let kf = k as f64;
+        pmm *= -((2.0 * kf + 1.0) / (2.0 * kf)).sqrt();
+    }
+    pmm *= sint2.powf(m as f64 / 2.0).max(0.0).powf(1.0); // sin^m θ
+    if l == m {
+        return pmm;
+    }
+    // Ñ_{m+1}^m = x sqrt(2m+3) Ñ_m^m
+    let mut pm1 = x * ((2 * m + 3) as f64).sqrt() * pmm;
+    if l == m + 1 {
+        return pm1;
+    }
+    let mf = m as f64;
+    let mut pll = 0.0;
+    let mut plm2 = pmm;
+    for ll in m + 2..=l {
+        let lf = ll as f64;
+        let a = ((4.0 * lf * lf - 1.0) / (lf * lf - mf * mf)).sqrt();
+        let b = (((lf - 1.0) * (lf - 1.0) - mf * mf) / (4.0 * (lf - 1.0) * (lf - 1.0) - 1.0))
+            .sqrt();
+        pll = a * (x * pm1 - b * plm2);
+        plm2 = pm1;
+        pm1 = pll;
+    }
+    pll
+}
+
+/// Fill `out[l-m] = Ñ_l^m(x)` for `l = m ..= lmax` in one sweep.
+pub fn assoc_legendre_norm_array(lmax: usize, m: usize, x: f64, out: &mut [f64]) {
+    assert!(m <= lmax);
+    assert_eq!(out.len(), lmax - m + 1);
+    let sint2 = 1.0 - x * x;
+    let mut pmm = (1.0 / (4.0 * std::f64::consts::PI)).sqrt();
+    for k in 1..=m {
+        let kf = k as f64;
+        pmm *= -((2.0 * kf + 1.0) / (2.0 * kf)).sqrt();
+    }
+    pmm *= sint2.max(0.0).powf(m as f64 / 2.0);
+    out[0] = pmm;
+    if lmax == m {
+        return;
+    }
+    out[1] = x * ((2 * m + 3) as f64).sqrt() * pmm;
+    let mf = m as f64;
+    for ll in m + 2..=lmax {
+        let lf = ll as f64;
+        let a = ((4.0 * lf * lf - 1.0) / (lf * lf - mf * mf)).sqrt();
+        let b = (((lf - 1.0) * (lf - 1.0) - mf * mf) / (4.0 * (lf - 1.0) * (lf - 1.0) - 1.0))
+            .sqrt();
+        out[ll - m] = a * (x * out[ll - m - 1] - b * out[ll - m - 2]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn low_order_polynomials() {
+        for &x in &[-0.9, -0.2, 0.0, 0.5, 1.0] {
+            assert_eq!(legendre_pl(0, x), 1.0);
+            assert_eq!(legendre_pl(1, x), x);
+            assert!((legendre_pl(2, x) - 0.5 * (3.0 * x * x - 1.0)).abs() < 1e-14);
+            assert!(
+                (legendre_pl(3, x) - 0.5 * (5.0 * x * x * x - 3.0 * x)).abs() < 1e-14
+            );
+        }
+    }
+
+    #[test]
+    fn pl_at_unity() {
+        for l in [0usize, 1, 5, 20, 100] {
+            assert!((legendre_pl(l, 1.0) - 1.0).abs() < 1e-10);
+            let sign = if l % 2 == 0 { 1.0 } else { -1.0 };
+            assert!((legendre_pl(l, -1.0) - sign).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn array_matches_scalar() {
+        let mut arr = vec![0.0; 51];
+        legendre_pl_array(0.37, &mut arr);
+        for l in 0..=50 {
+            assert!((arr[l] - legendre_pl(l, 0.37)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pl_orthogonality() {
+        // ∫ P_l P_l' dx = 2/(2l+1) δ_ll'  via 64-pt Gauss-Legendre
+        let (xs, ws) = numutil::quad::gauss_legendre(64);
+        for (l1, l2) in [(3usize, 3usize), (3, 5), (10, 10), (10, 12)] {
+            let s: f64 = xs
+                .iter()
+                .zip(&ws)
+                .map(|(&x, &w)| w * legendre_pl(l1, x) * legendre_pl(l2, x))
+                .sum();
+            let expect = if l1 == l2 { 2.0 / (2.0 * l1 as f64 + 1.0) } else { 0.0 };
+            assert!((s - expect).abs() < 1e-12, "l1={l1} l2={l2}: {s}");
+        }
+    }
+
+    #[test]
+    fn ylm_normalization() {
+        // ∫ |Y_lm|² dΩ = 2π ∫ Ñ² dx = 1
+        let (xs, ws) = numutil::quad::gauss_legendre(128);
+        for (l, m) in [(0usize, 0usize), (2, 0), (2, 2), (5, 3), (20, 17), (40, 40)] {
+            let s: f64 = xs
+                .iter()
+                .zip(&ws)
+                .map(|(&x, &w)| {
+                    let p = assoc_legendre_norm(l, m, x);
+                    w * p * p
+                })
+                .sum::<f64>()
+                * 2.0
+                * PI;
+            assert!((s - 1.0).abs() < 1e-9, "(l,m)=({l},{m}) norm={s}");
+        }
+    }
+
+    #[test]
+    fn m0_matches_scaled_pl() {
+        // Ñ_l^0 = sqrt((2l+1)/4π) P_l
+        for l in [0usize, 1, 4, 15] {
+            for &x in &[-0.8, 0.1, 0.9] {
+                let expect = ((2.0 * l as f64 + 1.0) / (4.0 * PI)).sqrt() * legendre_pl(l, x);
+                assert!(
+                    (assoc_legendre_norm(l, 0, x) - expect).abs() < 1e-12,
+                    "l={l} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn array_assoc_matches_scalar() {
+        let lmax = 30;
+        for m in [0usize, 1, 7, 30] {
+            let mut arr = vec![0.0; lmax - m + 1];
+            assoc_legendre_norm_array(lmax, m, 0.42, &mut arr);
+            for l in m..=lmax {
+                let s = assoc_legendre_norm(l, m, 0.42);
+                assert!((arr[l - m] - s).abs() < 1e-12, "l={l} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn addition_theorem_spot_check() {
+        // Σ_m |Y_lm(n)|² = (2l+1)/4π (with real-basis m<0 terms equal to m>0)
+        let l = 12;
+        let x: f64 = 0.3;
+        let mut sum = assoc_legendre_norm(l, 0, x).powi(2);
+        for m in 1..=l {
+            sum += 2.0 * assoc_legendre_norm(l, m, x).powi(2);
+        }
+        let expect = (2.0 * l as f64 + 1.0) / (4.0 * PI);
+        assert!((sum - expect).abs() < 1e-10, "sum={sum} expect={expect}");
+    }
+}

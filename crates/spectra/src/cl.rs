@@ -1,0 +1,228 @@
+//! The CMB angular power spectrum from evolved modes.
+//!
+//! With the MB95 expansion `Δ_T(k, n̂) = Σ_l (−i)^l (2l+1) Δ_Tl P_l(μ)`
+//! and adiabatic modes normalized by the initial potential `ψ_i`, the
+//! temperature autocorrelation multipoles are
+//!
+//! ```text
+//! C_l = 4π ∫ dln k  𝒫_ψ(k) [Δ_Tl(k, τ₀)/ψ_i(k)]².
+//! ```
+//!
+//! The quadrature splines the integrand in `ln k` over the mode grid —
+//! which must resolve the `π/τ₀` oscillation of `Δ_l(k)` (see
+//! [`crate::kgrid::cl_k_grid`] and the paper's 5000-point production
+//! grids).
+
+use boltzmann::ModeOutput;
+use numutil::interp::CubicSpline;
+
+use crate::primordial::PrimordialSpectrum;
+
+/// An assembled angular power spectrum.
+#[derive(Debug, Clone)]
+pub struct ClSpectrum {
+    /// Multipoles `l = 0..=l_max` (entries 0 and 1 are zero: monopole
+    /// and dipole are not observables).
+    pub cl: Vec<f64>,
+    /// Same for the polarization moments `G_l` (E-type in this 1995
+    /// formalism's single polarization channel).
+    pub cl_pol: Vec<f64>,
+    /// Temperature–polarization cross-spectrum `⟨Θ_l G_l⟩` (signed).
+    pub cl_cross: Vec<f64>,
+}
+
+impl ClSpectrum {
+    /// Largest multipole carried.
+    pub fn l_max(&self) -> usize {
+        self.cl.len().saturating_sub(1)
+    }
+
+    /// The conventional band power `l(l+1)C_l/2π`.
+    pub fn band_power(&self, l: usize) -> f64 {
+        let lf = l as f64;
+        lf * (lf + 1.0) * self.cl[l] / (2.0 * std::f64::consts::PI)
+    }
+
+    /// Band powers averaged over bins of width `dl` centred on the
+    /// returned `l` values — what Figure 2 effectively plots, and how
+    /// the sampling ripple of coarse k-grids averages out.
+    pub fn binned_band_power(&self, l_min: usize, dl: usize) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut l = l_min;
+        while l + dl <= self.l_max() + 1 {
+            let mut sum = 0.0;
+            for li in l..l + dl {
+                sum += self.band_power(li);
+            }
+            out.push((l as f64 + 0.5 * dl as f64, sum / dl as f64));
+            l += dl;
+        }
+        out
+    }
+
+    /// Rescale all spectra by `factor` (used by COBE normalization).
+    pub fn rescaled(&self, factor: f64) -> Self {
+        Self {
+            cl: self.cl.iter().map(|c| c * factor).collect(),
+            cl_pol: self.cl_pol.iter().map(|c| c * factor).collect(),
+            cl_cross: self.cl_cross.iter().map(|c| c * factor).collect(),
+        }
+    }
+}
+
+/// Assemble `C_l` for `l = 2..=l_max` from evolved modes (sorted in
+/// ascending `k`, as the farm returns them when the grid is sorted).
+pub fn angular_power_spectrum(
+    outputs: &[ModeOutput],
+    prim: &PrimordialSpectrum,
+    l_max: usize,
+) -> ClSpectrum {
+    assert!(outputs.len() >= 4, "need at least four modes");
+    assert!(
+        outputs.windows(2).all(|w| w[1].k > w[0].k),
+        "modes must be sorted in k"
+    );
+    let lnk: Vec<f64> = outputs.iter().map(|o| o.k.ln()).collect();
+
+    let mut cl = vec![0.0; l_max + 1];
+    let mut cl_pol = vec![0.0; l_max + 1];
+    let mut cl_cross = vec![0.0; l_max + 1];
+    let four_pi = 4.0 * std::f64::consts::PI;
+
+    for l in 2..=l_max {
+        let mut f_t = Vec::with_capacity(outputs.len());
+        let mut f_p = Vec::with_capacity(outputs.len());
+        let mut f_x = Vec::with_capacity(outputs.len());
+        for o in outputs {
+            let p = prim.power(o.k);
+            let (t, g) = if l <= o.lmax_g {
+                (o.delta_t[l] / o.psi_initial, o.delta_p[l] / o.psi_initial)
+            } else {
+                (0.0, 0.0)
+            };
+            f_t.push(p * t * t);
+            f_p.push(p * g * g);
+            f_x.push(p * t * g);
+        }
+        let st = CubicSpline::natural(lnk.clone(), f_t);
+        let sp = CubicSpline::natural(lnk.clone(), f_p);
+        let sx = CubicSpline::natural(lnk.clone(), f_x);
+        cl[l] = four_pi * st.integral_to(lnk[lnk.len() - 1]).max(0.0);
+        cl_pol[l] = four_pi * sp.integral_to(lnk[lnk.len() - 1]).max(0.0);
+        // the cross-spectrum is signed — no clamping
+        cl_cross[l] = four_pi * sx.integral_to(lnk[lnk.len() - 1]);
+    }
+
+    ClSpectrum { cl, cl_pol, cl_cross }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use background::{Background, CosmoParams};
+    use boltzmann::{evolve_mode, ModeConfig, Preset};
+    use recomb::ThermoHistory;
+    use std::sync::OnceLock;
+
+    fn sw_modes() -> &'static (Vec<ModeOutput>, f64) {
+        static CTX: OnceLock<(Vec<ModeOutput>, f64)> = OnceLock::new();
+        CTX.get_or_init(|| {
+            let bg = Background::new(CosmoParams::standard_cdm());
+            let th = ThermoHistory::new(&bg);
+            let cfg = ModeConfig {
+                preset: Preset::Draft,
+                ..Default::default()
+            };
+            // dense enough to resolve the j_l oscillations for l ≤ 8
+            let ks = crate::kgrid::cl_k_grid(bg.tau0(), 10, 2.0);
+            let outs: Vec<ModeOutput> = ks
+                .iter()
+                .map(|&k| evolve_mode(&bg, &th, k, &cfg).unwrap())
+                .collect();
+            (outs, bg.tau0())
+        })
+    }
+
+    #[test]
+    fn sachs_wolfe_plateau_is_flat() {
+        // For n = 1 SCDM, l(l+1)C_l is flat at low l (Sachs–Wolfe).
+        let (outs, _) = sw_modes();
+        let prim = PrimordialSpectrum::unit(1.0);
+        let spec = angular_power_spectrum(outs, &prim, 8);
+        let bands: Vec<f64> = (2..=8).map(|l| spec.band_power(l)).collect();
+        let mean = bands.iter().sum::<f64>() / bands.len() as f64;
+        for (i, b) in bands.iter().enumerate() {
+            assert!(
+                (b - mean).abs() / mean < 0.25,
+                "band l = {}: {} vs mean {}",
+                i + 2,
+                b,
+                mean
+            );
+        }
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn sachs_wolfe_amplitude_matches_analytic() {
+        // l(l+1)C_l/2π ≈ (1/3 ψ_rec/ψ_i)² · 𝒫_ψ ≈ (0.3)² A for SCDM
+        // (ψ_rec ≈ 0.9 ψ_i through the transition; ISW adds a little).
+        let (outs, _) = sw_modes();
+        let prim = PrimordialSpectrum::unit(1.0);
+        let spec = angular_power_spectrum(outs, &prim, 6);
+        let band = spec.band_power(4);
+        let analytic = (0.3f64).powi(2);
+        assert!(
+            band > 0.4 * analytic && band < 2.5 * analytic,
+            "band = {band}, analytic SW = {analytic}"
+        );
+    }
+
+    #[test]
+    fn polarization_much_smaller_than_temperature_at_low_l() {
+        let (outs, _) = sw_modes();
+        let prim = PrimordialSpectrum::unit(1.0);
+        let spec = angular_power_spectrum(outs, &prim, 6);
+        assert!(spec.cl_pol[4] < 0.05 * spec.cl[4]);
+        assert!(spec.cl_pol[4] >= 0.0);
+    }
+
+    #[test]
+    fn binned_band_power_shape() {
+        let (outs, _) = sw_modes();
+        let prim = PrimordialSpectrum::unit(1.0);
+        let spec = angular_power_spectrum(outs, &prim, 8);
+        let bins = spec.binned_band_power(2, 3);
+        assert_eq!(bins.len(), 2); // l = 2-4, 5-7
+        assert!(bins.iter().all(|&(_, v)| v > 0.0));
+    }
+
+    #[test]
+    fn cross_spectrum_respects_cauchy_schwarz() {
+        // |C_l^{TG}| ≤ √(C_l^T C_l^G) — guaranteed for the integrals,
+        // and a consistency check of the shared quadrature
+        let (outs, _) = sw_modes();
+        let prim = PrimordialSpectrum::unit(1.0);
+        let spec = angular_power_spectrum(outs, &prim, 8);
+        for l in 2..=8 {
+            let bound = (spec.cl[l] * spec.cl_pol[l]).sqrt();
+            assert!(
+                spec.cl_cross[l].abs() <= bound * 1.02 + 1e-30,
+                "l = {l}: |X| = {} > bound {bound}",
+                spec.cl_cross[l].abs()
+            );
+        }
+    }
+
+    #[test]
+    fn rescaling_is_linear() {
+        let (outs, _) = sw_modes();
+        let prim = PrimordialSpectrum::unit(1.0);
+        let spec = angular_power_spectrum(outs, &prim, 4);
+        let scaled = spec.rescaled(2.5);
+        assert!((scaled.cl[3] - 2.5 * spec.cl[3]).abs() < 1e-25);
+        // equivalently, rescaling the primordial amplitude
+        let spec2 = angular_power_spectrum(outs, &prim.rescaled(2.5), 4);
+        assert!((spec2.cl[3] - scaled.cl[3]).abs() / scaled.cl[3] < 1e-12);
+    }
+}

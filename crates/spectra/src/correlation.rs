@@ -1,0 +1,112 @@
+//! The two-point temperature autocorrelation function.
+//!
+//! The paper (§6.1): "The two-point temperature autocorrelation
+//! function, C, compares the temperatures at points in the sky separated
+//! by some angle."  In terms of the multipoles,
+//!
+//! ```text
+//! C(θ) = (1/4π) Σ_l (2l+1) C_l P_l(cos θ),
+//! ```
+//!
+//! optionally smoothed by a Gaussian beam `W_l = e^{−l(l+1)σ²}` (the
+//! COBE 10° beam, for comparison with the 1992 detection).
+
+use crate::cl::ClSpectrum;
+use special::legendre::legendre_pl_array;
+
+/// Evaluate `C(θ)` at the given angles (radians); `fwhm_deg` applies a
+/// Gaussian beam of that full width at half maximum (0 = none).
+pub fn correlation_function(spec: &ClSpectrum, thetas_rad: &[f64], fwhm_deg: f64) -> Vec<f64> {
+    let l_max = spec.l_max();
+    let sigma = if fwhm_deg > 0.0 {
+        fwhm_deg.to_radians() / (8.0 * 2.0f64.ln()).sqrt()
+    } else {
+        0.0
+    };
+    let mut pl = vec![0.0; l_max + 1];
+    thetas_rad
+        .iter()
+        .map(|&theta| {
+            legendre_pl_array(theta.cos(), &mut pl);
+            let mut sum = 0.0;
+            for l in 2..=l_max {
+                let lf = l as f64;
+                let beam = (-lf * (lf + 1.0) * sigma * sigma).exp();
+                sum += (2.0 * lf + 1.0) * spec.cl[l] * beam * pl[l];
+            }
+            sum / (4.0 * std::f64::consts::PI)
+        })
+        .collect()
+}
+
+/// `C(0)` — the map variance implied by the spectrum (with beam).
+pub fn map_variance(spec: &ClSpectrum, fwhm_deg: f64) -> f64 {
+    correlation_function(spec, &[0.0], fwhm_deg)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw_like(l_max: usize) -> ClSpectrum {
+        let mut cl = vec![0.0; l_max + 1];
+        for (l, c) in cl.iter_mut().enumerate().skip(2) {
+            let lf = l as f64;
+            *c = 1.0e-10 * 24.0 / (lf * (lf + 1.0));
+        }
+        ClSpectrum {
+            cl: cl.clone(),
+            cl_pol: vec![0.0; l_max + 1],
+            cl_cross: vec![0.0; l_max + 1],
+        }
+    }
+
+    #[test]
+    fn variance_is_parseval_sum() {
+        let spec = sw_like(30);
+        let v = map_variance(&spec, 0.0);
+        let expect: f64 = (2..=30)
+            .map(|l| (2.0 * l as f64 + 1.0) * spec.cl[l])
+            .sum::<f64>()
+            / (4.0 * std::f64::consts::PI);
+        assert!((v - expect).abs() < 1e-18, "C(0) = {v}, Parseval {expect}");
+    }
+
+    #[test]
+    fn correlation_decays_with_angle() {
+        let spec = sw_like(40);
+        let thetas: Vec<f64> = (0..10).map(|i| (i as f64 * 10.0).to_radians()).collect();
+        let c = correlation_function(&spec, &thetas, 0.0);
+        assert!(c[0] > 0.0);
+        // large-angle correlation much smaller than C(0)
+        assert!(c[9].abs() < 0.5 * c[0], "C(90°)/C(0) = {}", c[9] / c[0]);
+    }
+
+    #[test]
+    fn beam_suppresses_variance() {
+        let spec = sw_like(40);
+        let raw = map_variance(&spec, 0.0);
+        let cobe = map_variance(&spec, 10.0);
+        assert!(cobe < raw, "beam must reduce variance");
+        // a 10° beam kills everything above l ~ 20
+        assert!(cobe > 0.2 * raw, "SW-dominated spectrum survives at low l");
+    }
+
+    #[test]
+    fn single_multipole_correlation_is_legendre() {
+        let l0 = 7usize;
+        let mut cl = vec![0.0; 11];
+        cl[l0] = 2.0;
+        let spec = ClSpectrum {
+            cl,
+            cl_pol: vec![0.0; 11],
+            cl_cross: vec![0.0; 11],
+        };
+        let theta = 0.6f64;
+        let c = correlation_function(&spec, &[theta], 0.0)[0];
+        let expect = (2.0 * l0 as f64 + 1.0) * 2.0
+            * special::legendre::legendre_pl(l0, theta.cos())
+            / (4.0 * std::f64::consts::PI);
+        assert!((c - expect).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,85 @@
+//! Wavenumber grids for the two quadratures.
+//!
+//! The anisotropy integrand `|Δ_l(k)|²` oscillates in `k` with period
+//! `≈ π/τ₀`, which is why the paper integrates "up to 5000 points in k".
+//! [`cl_k_grid`] reproduces that layout scaled to a target `l_max`:
+//! logarithmic coverage of the COBE scales below the first oscillation,
+//! then uniform spacing `Δk = π/(osc_samples · τ₀)` out to
+//! `k_max ≈ l_max/τ₀` (with margin).  The matter spectrum is smooth in
+//! `k`, so [`matter_k_grid`] is simply logarithmic.
+
+/// k-grid for the `C_l` quadrature.
+///
+/// `osc_samples` points per half-oscillation of `Δ_l(k)`; the paper's
+/// production setting corresponds to ≳ 2 at `l_max = 3000`.
+pub fn cl_k_grid(tau0: f64, l_max: usize, osc_samples: f64) -> Vec<f64> {
+    assert!(l_max >= 2 && tau0 > 0.0 && osc_samples > 0.0);
+    let k_max = 1.25 * (l_max as f64 + 50.0) / tau0;
+    let k_min = 0.25 / tau0; // kτ₀ = 0.25: safely below l = 2
+    let dk = std::f64::consts::PI / (osc_samples * tau0);
+    // log section up to where the linear spacing takes over
+    let k_split = (12.0 * dk).max(2.0 * k_min).min(k_max / 2.0);
+    let n_log = 18;
+    let mut ks = numutil::grid::logspace(k_min, k_split, n_log);
+    let mut k = k_split + dk;
+    while k < k_max {
+        ks.push(k);
+        k += dk;
+    }
+    ks.push(k_max);
+    ks
+}
+
+/// Logarithmic k-grid for the matter power spectrum.
+pub fn matter_k_grid(k_min: f64, k_max: f64, n: usize) -> Vec<f64> {
+    numutil::grid::logspace(k_min, k_max, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_sorted_and_bounded() {
+        let ks = cl_k_grid(11_900.0, 300, 2.0);
+        assert!(numutil::grid::is_strictly_increasing(&ks));
+        assert!(ks[0] < 5e-5);
+        let kmax = *ks.last().unwrap();
+        assert!(kmax > 300.0 / 11_900.0, "k_max = {kmax}");
+    }
+
+    #[test]
+    fn oscillation_sampling_sets_spacing() {
+        let tau0 = 11_900.0;
+        let ks = cl_k_grid(tau0, 200, 2.0);
+        let dk_expect = std::f64::consts::PI / (2.0 * tau0);
+        // find a pair in the linear section
+        let i = ks.len() / 2;
+        let dk = ks[i + 1] - ks[i];
+        assert!((dk - dk_expect).abs() / dk_expect < 0.01, "dk = {dk}");
+    }
+
+    #[test]
+    fn grid_size_scales_with_lmax() {
+        let small = cl_k_grid(11_900.0, 100, 2.0).len();
+        let large = cl_k_grid(11_900.0, 500, 2.0).len();
+        assert!(large > 3 * small);
+    }
+
+    #[test]
+    fn paper_production_scale_count() {
+        // l_max = 3000 at ~2.5 samples per half-oscillation lands in the
+        // few-thousand range the paper quotes ("up to 5000 points in k")
+        let n = cl_k_grid(11_900.0, 3000, 2.5).len();
+        assert!(n > 2000 && n < 8000, "n = {n}");
+    }
+
+    #[test]
+    fn matter_grid_is_log() {
+        let ks = matter_k_grid(1e-4, 1.0, 41);
+        assert_eq!(ks.len(), 41);
+        let r0 = ks[1] / ks[0];
+        let r1 = ks[40] / ks[39];
+        assert!((r0 - r1).abs() < 1e-10);
+    }
+}

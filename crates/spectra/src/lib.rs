@@ -1,0 +1,21 @@
+//! Assembly of observables from evolved modes: the CMB anisotropy power
+//! spectrum `C_l` and the linear matter power spectrum `P(k)`.
+//!
+//! LINGER/PLINGER output `Δ_l(k)` and the matter transfer functions per
+//! wavenumber; this crate performs the remaining quadrature over `k`
+//! and the COBE normalization that produce the paper's Figure 2 and the
+//! quantities (σ₈, `P(k)`) quoted for large-scale structure work.
+
+pub mod cl;
+pub mod correlation;
+pub mod kgrid;
+pub mod matter;
+pub mod normalize;
+pub mod primordial;
+
+pub use cl::{angular_power_spectrum, ClSpectrum};
+pub use correlation::{correlation_function, map_variance};
+pub use kgrid::{cl_k_grid, matter_k_grid};
+pub use matter::{matter_power_spectrum, sigma_r, transfer_function, MatterPower};
+pub use normalize::{cobe_normalize, qrms_ps_from_c2, Q_RMS_PS_UK};
+pub use primordial::PrimordialSpectrum;

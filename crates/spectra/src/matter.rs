@@ -1,0 +1,203 @@
+//! Matter transfer function, power spectrum, and σ₈.
+
+use boltzmann::ModeOutput;
+use numutil::interp::CubicSpline;
+
+use crate::primordial::PrimordialSpectrum;
+
+/// The linear matter power spectrum on the mode grid.
+#[derive(Debug, Clone)]
+pub struct MatterPower {
+    /// Wavenumbers, Mpc⁻¹.
+    pub k: Vec<f64>,
+    /// `P(k)` in Mpc³.
+    pub p: Vec<f64>,
+    /// Transfer function normalized to unity at the largest scale.
+    pub t: Vec<f64>,
+}
+
+impl MatterPower {
+    /// Spline interpolation of `ln P(ln k)`.
+    pub fn interpolator(&self) -> CubicSpline {
+        let lnk: Vec<f64> = self.k.iter().map(|k| k.ln()).collect();
+        let lnp: Vec<f64> = self.p.iter().map(|p| p.max(1e-300).ln()).collect();
+        CubicSpline::natural(lnk, lnp)
+    }
+}
+
+/// Transfer function `T(k) = [δ_m(k)/k²] / [δ_m(k₁)/k₁²]` (unity at the
+/// smallest wavenumber of the grid, which must be far outside the
+/// horizon at equality).
+pub fn transfer_function(outputs: &[ModeOutput], omega_c: f64, omega_b: f64) -> Vec<f64> {
+    assert!(!outputs.is_empty());
+    let d0 = outputs[0].delta_matter(omega_c, omega_b) / (outputs[0].k * outputs[0].k);
+    outputs
+        .iter()
+        .map(|o| (o.delta_matter(omega_c, omega_b) / (o.k * o.k)) / d0)
+        .collect()
+}
+
+/// Assemble `P(k) = 2π² k^{-3} 𝒫_ψ(k) (δ_m(k)/ψ_i)²` from evolved modes.
+pub fn matter_power_spectrum(
+    outputs: &[ModeOutput],
+    prim: &PrimordialSpectrum,
+    omega_c: f64,
+    omega_b: f64,
+) -> MatterPower {
+    let k: Vec<f64> = outputs.iter().map(|o| o.k).collect();
+    let p: Vec<f64> = outputs
+        .iter()
+        .map(|o| {
+            let dm = o.delta_matter(omega_c, omega_b) / o.psi_initial;
+            2.0 * std::f64::consts::PI.powi(2) / (o.k * o.k * o.k) * prim.power(o.k) * dm * dm
+        })
+        .collect();
+    let t = transfer_function(outputs, omega_c, omega_b);
+    MatterPower { k, p, t }
+}
+
+/// RMS linear mass fluctuation in a top-hat sphere of radius `r_mpc`:
+/// `σ²(R) = ∫ dlnk  k³P(k)/2π²  W²(kR)`.
+pub fn sigma_r(mp: &MatterPower, r_mpc: f64) -> f64 {
+    let spline = mp.interpolator();
+    let lnk_min = mp.k[0].ln();
+    let lnk_max = mp.k[mp.k.len() - 1].ln();
+    let integrand = |lnk: f64| {
+        let k = lnk.exp();
+        let p = spline.eval(lnk).exp();
+        let x = k * r_mpc;
+        let w = if x < 1e-3 {
+            1.0 - x * x / 10.0
+        } else {
+            3.0 * (x.sin() - x * x.cos()) / (x * x * x)
+        };
+        k * k * k * p / (2.0 * std::f64::consts::PI.powi(2)) * w * w
+    };
+    let (v, _) = numutil::quad::romberg(integrand, lnk_min, lnk_max, 1e-8);
+    v.max(0.0).sqrt()
+}
+
+/// BBKS (Bardeen et al. 1986) fitting formula for the CDM transfer
+/// function — the era's standard analytic reference, used to validate
+/// the shape of the numerical result.
+pub fn bbks_transfer(k: f64, gamma: f64) -> f64 {
+    let q = k / gamma;
+    if q < 1e-8 {
+        return 1.0;
+    }
+    let l = (1.0 + 2.34 * q).ln() / (2.34 * q);
+    l * (1.0 + 3.89 * q + (16.1 * q).powi(2) + (5.46 * q).powi(3) + (6.71 * q).powi(4))
+        .powf(-0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use background::{Background, CosmoParams};
+    use boltzmann::{evolve_mode, ModeConfig, ModeOutput, Preset};
+    use recomb::ThermoHistory;
+    use std::sync::OnceLock;
+
+    fn modes() -> &'static Vec<ModeOutput> {
+        static CTX: OnceLock<Vec<ModeOutput>> = OnceLock::new();
+        CTX.get_or_init(|| {
+            let bg = Background::new(CosmoParams::standard_cdm());
+            let th = ThermoHistory::new(&bg);
+            let cfg = ModeConfig {
+                preset: Preset::Draft,
+                ..Default::default()
+            };
+            crate::kgrid::matter_k_grid(1e-4, 0.3, 17)
+                .iter()
+                .map(|&k| evolve_mode(&bg, &th, k, &cfg).unwrap())
+                .collect()
+        })
+    }
+
+    #[test]
+    fn transfer_is_one_at_large_scales_and_falls() {
+        let t = transfer_function(modes(), 0.95, 0.05);
+        assert!((t[0] - 1.0).abs() < 1e-12);
+        assert!(t[1] > 0.9, "T should stay ~1 superhorizon: {}", t[1]);
+        let last = *t.last().unwrap();
+        assert!(last < 0.1, "T(k=0.3) = {last} should be strongly suppressed");
+        // monotone decreasing (no BAO resolution at this sampling)
+        for w in t.windows(2) {
+            assert!(w[1] <= w[0] * 1.02, "transfer not decreasing: {w:?}");
+        }
+    }
+
+    #[test]
+    fn transfer_tracks_bbks_shape() {
+        // SCDM: Γ = Ω h ≈ 0.5 (with the baryon correction of the era,
+        // Γ ≈ Ω h e^{−Ω_b(1+1/Ω)} ≈ 0.45); agree within ~25% out to the
+        // strongly suppressed region.
+        let outs = modes();
+        let t = transfer_function(outs, 0.95, 0.05);
+        // BBKS argument q = k[Mpc⁻¹]/(Γh), Γ = Ωh·e^{−Ω_b(1+√(2h)/Ω)}
+        // (Sugiyama 1995 baryon correction): Γh ≈ 0.25·e^{−0.1} ≈ 0.226
+        let gamma_h = 0.5 * 0.5 * (-0.05f64 * (1.0 + (2.0f64 * 0.5).sqrt())).exp();
+        for (o, &ti) in outs.iter().zip(&t) {
+            let bbks = bbks_transfer(o.k, gamma_h);
+            if bbks > 0.01 {
+                assert!(
+                    (ti / bbks - 1.0).abs() < 0.3,
+                    "k = {}: T = {ti}, BBKS = {bbks}",
+                    o.k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_spectrum_turns_over() {
+        // P(k) rises ∝ k at large scales (n = 1), peaks near k_eq,
+        // falls at small scales.
+        let mp = matter_power_spectrum(modes(), &PrimordialSpectrum::unit(1.0), 0.95, 0.05);
+        let imax = mp
+            .p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let k_peak = mp.k[imax];
+        // SCDM turnover near k_eq ≈ 0.01·(Ωh²/0.25)… a few × 10⁻²
+        assert!(
+            k_peak > 2e-3 && k_peak < 0.1,
+            "P(k) peaks at k = {k_peak}"
+        );
+        // rising slope at the largest scales ≈ kⁿ
+        let slope = (mp.p[1] / mp.p[0]).ln() / (mp.k[1] / mp.k[0]).ln();
+        assert!((slope - 1.0).abs() < 0.15, "large-scale slope = {slope}");
+    }
+
+    #[test]
+    fn sigma8_scales_with_amplitude() {
+        let mp1 = matter_power_spectrum(modes(), &PrimordialSpectrum::unit(1.0), 0.95, 0.05);
+        let mp4 = matter_power_spectrum(
+            modes(),
+            &PrimordialSpectrum::unit(1.0).rescaled(4.0),
+            0.95,
+            0.05,
+        );
+        let r = 8.0 / 0.5; // 8 Mpc/h with h = 0.5
+        let s1 = sigma_r(&mp1, r);
+        let s4 = sigma_r(&mp4, r);
+        assert!((s4 / s1 - 2.0).abs() < 1e-6, "σ ∝ √A: ratio {}", s4 / s1);
+        assert!(s1 > 0.0);
+    }
+
+    #[test]
+    fn bbks_limits() {
+        assert!((bbks_transfer(1e-10, 0.25) - 1.0).abs() < 1e-6);
+        assert!(bbks_transfer(1.0, 0.25) < 0.01);
+        // monotone decreasing
+        let mut last = 1.0;
+        for i in 1..50 {
+            let t = bbks_transfer(i as f64 * 0.01, 0.25);
+            assert!(t <= last);
+            last = t;
+        }
+    }
+}

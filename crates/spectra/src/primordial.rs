@@ -1,0 +1,70 @@
+//! Primordial perturbation spectra.
+//!
+//! The paper's standard-CDM run uses a scale-invariant (n = 1)
+//! Harrison–Zel'dovich spectrum normalized a posteriori to COBE.  We
+//! parameterize the dimensionless power of the initial Newtonian
+//! potential, `𝒫_ψ(k) = A (k/k₀)^{n−1}`, per unit of the MB95 `C = 1`
+//! mode amplitude carried by the transfer functions.
+
+/// Power-law primordial spectrum of the initial potential ψ.
+#[derive(Debug, Clone, Copy)]
+pub struct PrimordialSpectrum {
+    /// Dimensionless amplitude at the pivot.
+    pub amplitude: f64,
+    /// Spectral index `n` (`n = 1` is scale-invariant).
+    pub n_s: f64,
+    /// Pivot wavenumber, Mpc⁻¹.
+    pub k_pivot: f64,
+}
+
+impl PrimordialSpectrum {
+    /// Unit-amplitude spectrum with index `n_s` (amplitude fixed later
+    /// by COBE normalization).
+    pub fn unit(n_s: f64) -> Self {
+        Self {
+            amplitude: 1.0,
+            n_s,
+            k_pivot: 0.05,
+        }
+    }
+
+    /// Dimensionless power `𝒫_ψ(k)`.
+    #[inline]
+    pub fn power(&self, k: f64) -> f64 {
+        self.amplitude * (k / self.k_pivot).powf(self.n_s - 1.0)
+    }
+
+    /// Rescale the amplitude by `factor`.
+    pub fn rescaled(&self, factor: f64) -> Self {
+        Self {
+            amplitude: self.amplitude * factor,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_invariant_is_flat() {
+        let p = PrimordialSpectrum::unit(1.0);
+        assert_eq!(p.power(1e-4), p.power(1.0));
+    }
+
+    #[test]
+    fn tilt_changes_slope() {
+        let p = PrimordialSpectrum::unit(0.95);
+        // red tilt: more power at large scales
+        assert!(p.power(1e-3) > p.power(1e-1));
+        let ratio = p.power(0.005) / p.power(0.5);
+        assert!((ratio - 100f64.powf(0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescaling_scales_power() {
+        let p = PrimordialSpectrum::unit(1.0).rescaled(4.0);
+        assert_eq!(p.power(0.01), 4.0);
+    }
+}

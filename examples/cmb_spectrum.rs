@@ -1,0 +1,60 @@
+//! CMB anisotropy spectrum: a miniature of the paper's Figure 2 —
+//! run the PLINGER farm over a k-grid, assemble `l(l+1)C_l/2π`, and
+//! normalize to the COBE `Q_rms−PS`.
+//!
+//! ```text
+//! cargo run --release --example cmb_spectrum [l_max] [n_workers]
+//! ```
+//!
+//! The default `l_max = 60` takes ~a minute on a laptop; the Figure-2
+//! bench binary (`fig2_spectrum`) pushes to the acoustic peaks.
+
+use plinger_repro::prelude::*;
+
+fn main() {
+    let l_max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let n_workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+
+    // a dense-enough grid to resolve the Δ_l(k) oscillations (Δk ≈ π/2τ₀)
+    let bg_probe = Background::new(CosmoParams::standard_cdm());
+    let ks = cl_k_grid(bg_probe.tau0(), l_max, 2.0);
+    println!(
+        "# PLINGER run: {} modes to k = {:.4} Mpc⁻¹ on {} workers (largest-k-first)",
+        ks.len(),
+        ks.last().unwrap(),
+        n_workers
+    );
+
+    let spec = RunSpec::standard_cdm(ks);
+    let report = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, n_workers);
+    println!(
+        "# wall {:.1} s, total worker CPU {:.1} s, efficiency {:.1}%, {:.1} Mflop/s aggregate",
+        report.wall_seconds,
+        report.total_cpu_seconds(),
+        100.0 * report.parallel_efficiency(),
+        report.mflops()
+    );
+
+    let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
+    let raw = angular_power_spectrum(&report.outputs, &prim, l_max);
+    let (cl, amp) = cobe_normalize(&raw, spec.cosmo.t_cmb_k, Q_RMS_PS_UK);
+    println!(
+        "# COBE normalization: Q_rms−PS = {Q_RMS_PS_UK} µK → primordial amplitude {:.3e}",
+        amp
+    );
+
+    let t0_uk2 = (spec.cosmo.t_cmb_k * 1.0e6).powi(2);
+    println!("#\n# l   l(l+1)C_l/2π [µK²]   (temperature)   [polarization]");
+    for l in (2..=l_max).step_by((l_max / 30).max(1)) {
+        let lf = l as f64;
+        let band_t = cl.band_power(l) * t0_uk2;
+        let band_p = lf * (lf + 1.0) * cl.cl_pol[l] / (2.0 * std::f64::consts::PI) * t0_uk2;
+        println!("{l:5}  {band_t:14.3}        {band_p:12.5}");
+    }
+}

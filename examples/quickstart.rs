@@ -1,0 +1,64 @@
+//! Quickstart: evolve a single wavenumber through recombination to the
+//! present and print the quantities a LINGER worker would report.
+//!
+//! ```text
+//! cargo run --release --example quickstart [k_mpc_inv]
+//! ```
+
+use plinger_repro::prelude::*;
+
+fn main() {
+    let k: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+
+    println!("# LINGER quickstart: standard CDM, one mode");
+    let params = CosmoParams::standard_cdm();
+    println!(
+        "# cosmology: h = {}, Ω_b = {}, Ω_c = {:.4}, T = {} K, n = {}",
+        params.h, params.omega_b, params.omega_c, params.t_cmb_k, params.n_s
+    );
+
+    let t0 = std::time::Instant::now();
+    let bg = Background::new(params);
+    let thermo = ThermoHistory::new(&bg);
+    println!(
+        "# background built in {:.2} s: τ₀ = {:.1} Mpc, z_rec = {:.0}, τ_rec = {:.1} Mpc",
+        t0.elapsed().as_secs_f64(),
+        bg.tau0(),
+        thermo.z_rec(),
+        thermo.tau_rec()
+    );
+
+    let cfg = ModeConfig::default();
+    let out = evolve_mode(&bg, &thermo, k, &cfg).expect("mode failed");
+
+    println!("\n# mode k = {k} Mpc⁻¹ evolved to τ₀ (lmax = {})", out.lmax_g);
+    println!("  δ_c   = {:+.6e}   θ_c  = {:+.6e}", out.delta_c, out.theta_c);
+    println!("  δ_b   = {:+.6e}   θ_b  = {:+.6e}", out.delta_b, out.theta_b);
+    println!("  δ_γ   = {:+.6e}   θ_γ  = {:+.6e}", out.delta_g, out.theta_g);
+    println!("  δ_ν   = {:+.6e}   θ_ν  = {:+.6e}", out.delta_nu, out.theta_nu);
+    println!("  φ     = {:+.6e}   ψ    = {:+.6e}", out.phi, out.psi);
+    println!("  σ_γ   = {:+.6e}   σ_ν  = {:+.6e}", out.sigma_g, out.sigma_nu);
+    println!(
+        "\n# integrator: {} steps accepted, {} rejected, {} RHS evals",
+        out.stats.accepted, out.stats.rejected, out.stats.rhs_evals
+    );
+    println!(
+        "# counted work: {:.1} Mflop in {:.2} s → {:.1} Mflop/s",
+        out.stats.total_flops() as f64 / 1e6,
+        out.cpu_seconds,
+        out.stats.total_flops() as f64 / 1e6 / out.cpu_seconds
+    );
+    println!(
+        "# wire record: 21-real header + {}-real payload = {} bytes",
+        2 * out.lmax_g + 8,
+        (21 + 2 * out.lmax_g + 8) * 8
+    );
+
+    println!("\n# first photon temperature moments Θ_l = F_γl/4:");
+    for l in 0..out.lmax_g.min(8) {
+        println!("  Θ_{l} = {:+.6e}", out.delta_t[l]);
+    }
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Splice captured experiment outputs into EXPERIMENTS.md.
+
+Replaces each `<!-- NAME_RESULTS -->` marker with a fenced code block
+containing `results/<file>.txt` (optionally truncated).
+"""
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+MAP = {
+    "FIG1_RESULTS": ("fig1_scaling.txt", None),
+    "FIG2_RESULTS": ("fig2_spectrum.txt", None),
+    "FIG3_RESULTS": ("fig3_skymap.txt", None),
+    "FLOPS_RESULTS": ("tab_flops.txt", None),
+    "MESSAGES_RESULTS": ("tab_messages.txt", None),
+    "SCHED_RESULTS": ("abl_sched.txt", None),
+    "MOVIE_RESULTS": ("movie_psi.txt", 40),
+}
+
+
+def main() -> int:
+    md_path = ROOT / "EXPERIMENTS.md"
+    text = md_path.read_text()
+    for marker, (fname, limit) in MAP.items():
+        path = ROOT / "results" / fname
+        tag = f"<!-- {marker} -->"
+        if tag not in text:
+            print(f"marker {tag} missing", file=sys.stderr)
+            continue
+        if not path.exists():
+            print(f"results file {path} missing; leaving marker", file=sys.stderr)
+            continue
+        lines = path.read_text().splitlines()
+        if limit and len(lines) > limit:
+            lines = lines[:limit] + [f"… ({len(lines) - limit} more lines)"]
+        block = "```text\n" + "\n".join(lines) + "\n```"
+        text = text.replace(tag, block)
+    md_path.write_text(text)
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Generate tests/golden.rs from dump_reference output.
+
+Usage: target/release/dump_reference | scripts/gen_golden.py
+"""
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+TEMPLATE = '''//! Golden regression values for the reference SCDM modes.
+//!
+//! These constants pin the numerical output of the full pipeline
+//! (background → recombination → Boltzmann) for three wavenumbers at
+//! Draft accuracy.  They are NOT external truth — they exist to catch
+//! unintended changes.  After an *intentional* physics change,
+//! regenerate with `cargo run --release -p bench --bin dump_reference |
+//! scripts/gen_golden.py`.
+
+use background::{{Background, CosmoParams}};
+use boltzmann::{{evolve_mode, Gauge, ModeConfig, Preset}};
+use recomb::ThermoHistory;
+use std::sync::OnceLock;
+
+{constants}
+
+fn ctx() -> &'static (Background, ThermoHistory) {{
+    static CTX: OnceLock<(Background, ThermoHistory)> = OnceLock::new();
+    CTX.get_or_init(|| {{
+        let bg = Background::new(CosmoParams::standard_cdm());
+        let th = ThermoHistory::new(&bg);
+        (bg, th)
+    }})
+}}
+
+fn run(k: f64) -> boltzmann::ModeOutput {{
+    let (bg, th) = ctx();
+    let cfg = ModeConfig {{
+        gauge: Gauge::Synchronous,
+        preset: Preset::Draft,
+        lmax_g: Some(40),
+        lmax_nu: Some(40),
+        ..Default::default()
+    }};
+    evolve_mode(bg, th, k, &cfg).unwrap()
+}}
+
+/// libm differences across platforms justify a loose-ish bound; any real
+/// regression moves these quantities by far more.
+const TOL: f64 = 1e-6;
+
+fn check(label: &str, got: f64, expect: f64) {{
+    let rel = (got - expect).abs() / expect.abs().max(1e-300);
+    assert!(rel < TOL, "{{label}}: got {{got:?}}, expected {{expect:?}} (rel {{rel:.2e}})");
+}}
+
+#[test]
+fn background_reference_values() {{
+    let (bg, th) = ctx();
+    check("tau0", bg.tau0(), TAU0);
+    check("z_rec", th.z_rec(), Z_REC);
+    check("tau_rec", th.tau_rec(), TAU_REC);
+}}
+
+{tests}
+'''
+
+TEST_TEMPLATE = '''#[test]
+fn golden_mode_{name}() {{
+    let out = run({k});
+    check("delta_c", out.delta_c, {label}_DELTA_C);
+    check("delta_b", out.delta_b, {label}_DELTA_B);
+    check("delta_g", out.delta_g, {label}_DELTA_G);
+    check("phi", out.phi, {label}_PHI);
+    check("psi", out.psi, {label}_PSI);
+    check("theta2", out.delta_t[2], {label}_THETA2);
+    check("theta10", out.delta_t[10], {label}_THETA10);
+}}
+'''
+
+
+def main() -> int:
+    text = sys.stdin.read()
+    consts = [
+        line for line in text.splitlines() if line.startswith(("pub const", "//"))
+    ]
+    constants = "\n".join(consts)
+    tests = []
+    for label, k in [("K1E3", "1.0e-3"), ("K1E2", "1.0e-2"), ("K5E2", "5.0e-2")]:
+        if f"{label}_DELTA_C" not in text:
+            print(f"missing {label} constants", file=sys.stderr)
+            return 1
+        tests.append(
+            TEST_TEMPLATE.format(name=label.lower(), k=k, label=label)
+        )
+    out = TEMPLATE.format(constants=constants, tests="\n".join(tests))
+    # the template braces: TEMPLATE uses doubled braces for literals
+    (ROOT / "tests" / "golden.rs").write_text(out)
+    print("wrote tests/golden.rs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact and capture the outputs under results/.
+# Usage: scripts/run_experiments.sh [quick|full]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mode="${1:-quick}"
+
+cargo build --release -p bench --bins
+
+mkdir -p results
+run() {
+    local name="$1"; shift
+    echo "== $name =="
+    ./target/release/"$name" "$@" | tee "results/${name}.txt"
+}
+
+run validate
+run tab_messages
+run tab_flops
+run fig1_scaling
+run abl_sched
+if [ "$mode" = "full" ]; then
+    run fig2_spectrum 500
+    run fig3_skymap 300
+else
+    run fig2_spectrum 300
+    run fig3_skymap 200
+fi
+run movie_psi 12 64
+
+echo "All experiment outputs are in results/"

@@ -1,0 +1,100 @@
+//! Transport-independence of the farm: the same master/worker code runs
+//! over the in-process channel transport and the TCP star, producing
+//! identical physics — the paper's claim that "the choice of which
+//! library to use has no effect" beyond convenience.
+
+use msgpass::tcp::{connect_worker, PendingMaster};
+use plinger::{master_loop, worker_loop, RunSpec, SchedulePolicy};
+use plinger_repro::prelude::*;
+
+fn tiny_spec() -> RunSpec {
+    let mut spec = RunSpec::standard_cdm(vec![3.0e-4, 1.5e-3, 6.0e-4]);
+    spec.preset = Preset::Draft;
+    spec
+}
+
+#[test]
+fn farm_over_tcp_star_matches_serial() {
+    let spec = tiny_spec();
+    let n_workers = 2;
+    let pending = PendingMaster::bind(n_workers).unwrap();
+    let addr = pending.addr();
+    let workers: Vec<_> = (1..=n_workers)
+        .map(|rank| {
+            std::thread::spawn(move || {
+                let mut ep = connect_worker(addr, rank, n_workers + 1).unwrap();
+                worker_loop(&mut ep).unwrap()
+            })
+        })
+        .collect();
+    let mut master = pending.accept_all().unwrap();
+    let ledger = master_loop(&mut master, &spec, SchedulePolicy::LargestFirst).unwrap();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let (serial, _) = run_serial(&spec);
+    for (i, out) in ledger.outputs.iter().enumerate() {
+        let out = out.as_ref().expect("mode complete");
+        assert_eq!(out.k, spec.ks[i]);
+        // physics identical over TCP (f64 round-trips bit-exactly)
+        assert_eq!(out.delta_c.to_bits(), serial[i].delta_c.to_bits());
+        assert_eq!(out.psi.to_bits(), serial[i].psi.to_bits());
+        for (a, b) in out.delta_t.iter().zip(&serial[i].delta_t) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn channel_and_tcp_agree_with_each_other() {
+    let spec = tiny_spec();
+    let chan = run_parallel_channels(&spec, SchedulePolicy::Fifo, 2);
+
+    let pending = PendingMaster::bind(1).unwrap();
+    let addr = pending.addr();
+    let w = std::thread::spawn(move || {
+        let mut ep = connect_worker(addr, 1, 2).unwrap();
+        worker_loop(&mut ep).unwrap()
+    });
+    let mut master = pending.accept_all().unwrap();
+    let ledger = master_loop(&mut master, &spec, SchedulePolicy::Random(9)).unwrap();
+    w.join().unwrap();
+
+    for (c, t) in chan.outputs.iter().zip(&ledger.outputs) {
+        let t = t.as_ref().unwrap();
+        assert_eq!(c.delta_b.to_bits(), t.delta_b.to_bits());
+        assert_eq!(c.lmax_g, t.lmax_g);
+    }
+}
+
+#[test]
+fn farm_over_shared_memory_matches_serial() {
+    let spec = tiny_spec();
+    let mut eps = msgpass::shmem::ShmemWorld::new(3);
+    let workers: Vec<_> = eps
+        .drain(1..)
+        .map(|mut ep| std::thread::spawn(move || worker_loop(&mut ep).unwrap()))
+        .collect();
+    let mut master = eps.pop().unwrap();
+    let ledger = master_loop(&mut master, &spec, SchedulePolicy::LargestFirst).unwrap();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let (serial, _) = run_serial(&spec);
+    for (out, s) in ledger.outputs.iter().zip(&serial) {
+        let out = out.as_ref().unwrap();
+        assert_eq!(out.delta_c.to_bits(), s.delta_c.to_bits());
+        assert_eq!(out.delta_t.len(), s.delta_t.len());
+    }
+}
+
+#[test]
+fn completion_log_respects_scheduling() {
+    // with one worker the completion order IS the dispatch order
+    let spec = tiny_spec();
+    let rep = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, 1);
+    let iks: Vec<usize> = rep.completion_log.iter().map(|&(ik, _)| ik).collect();
+    // ks = [3e-4, 1.5e-3, 6e-4] → largest first: 1, 2, 0
+    assert_eq!(iks, vec![1, 2, 0]);
+}

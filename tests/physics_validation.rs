@@ -1,0 +1,179 @@
+//! Physics validation across crates: analytic limits the full pipeline
+//! must respect, independent of normalization conventions.
+
+use plinger_repro::prelude::*;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static (Background, ThermoHistory) {
+    static CTX: OnceLock<(Background, ThermoHistory)> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let bg = Background::new(CosmoParams::standard_cdm());
+        let th = ThermoHistory::new(&bg);
+        (bg, th)
+    })
+}
+
+fn draft() -> ModeConfig {
+    ModeConfig {
+        preset: Preset::Draft,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn matter_era_growth_is_linear_in_a() {
+    // δ_c ∝ a during matter domination for a subhorizon mode
+    let (bg, th) = ctx();
+    let k = 0.05;
+    let mut cfg = draft();
+    cfg.tau_end = Some(bg.conformal_time(0.02));
+    let d1 = evolve_mode(bg, th, k, &cfg).unwrap();
+    cfg.tau_end = Some(bg.conformal_time(0.08));
+    let d2 = evolve_mode(bg, th, k, &cfg).unwrap();
+    let growth = d2.delta_c / d1.delta_c;
+    assert!(
+        (growth - 4.0).abs() < 0.25,
+        "δ_c growth a: 0.02→0.08 gave ×{growth}, expect ≈4"
+    );
+}
+
+#[test]
+fn superhorizon_potential_is_frozen_in_matter_era() {
+    let (bg, th) = ctx();
+    let k = 1.0e-4; // far outside the horizon until very late
+    let mut cfg = draft();
+    cfg.tau_end = Some(bg.conformal_time(0.01));
+    let p1 = evolve_mode(bg, th, k, &cfg).unwrap();
+    cfg.tau_end = Some(bg.conformal_time(0.5));
+    let p2 = evolve_mode(bg, th, k, &cfg).unwrap();
+    assert!(
+        ((p2.psi - p1.psi) / p1.psi).abs() < 0.01,
+        "superhorizon ψ drifted: {} → {}",
+        p1.psi,
+        p2.psi
+    );
+}
+
+#[test]
+fn radiation_to_matter_potential_drop_is_nine_tenths() {
+    // ζ conservation: φ_matter = (3/5)·R with R = 2C ⇒ φ = 1.2 for C = 1
+    let (bg, th) = ctx();
+    let out = evolve_mode(bg, th, 5.0e-4, &draft()).unwrap();
+    assert!(
+        (out.phi - 1.2).abs() < 0.01,
+        "matter-era superhorizon φ = {}, expect 1.200",
+        out.phi
+    );
+}
+
+#[test]
+fn photon_and_neutrino_monopoles_track_until_decoupling_scales() {
+    // adiabatic modes: δ_γ ≈ δ_ν while both are relativistic & superhorizon
+    let (bg, th) = ctx();
+    let mut cfg = draft();
+    cfg.tau_end = Some(100.0);
+    let out = evolve_mode(bg, th, 3.0e-4, &cfg).unwrap();
+    let rel = (out.delta_g - out.delta_nu).abs() / out.delta_g.abs();
+    assert!(rel < 0.02, "δ_γ vs δ_ν mismatch {rel}");
+}
+
+#[test]
+fn baryons_fall_into_cdm_wells_after_decoupling() {
+    // by z = 0, δ_b → δ_c on subhorizon scales (baryon catch-up)
+    let (bg, th) = ctx();
+    let out = evolve_mode(bg, th, 0.05, &draft()).unwrap();
+    let rel = (out.delta_b - out.delta_c).abs() / out.delta_c.abs();
+    assert!(rel < 0.05, "δ_b/δ_c = {}", out.delta_b / out.delta_c);
+}
+
+#[test]
+fn acoustic_phase_matches_sound_horizon() {
+    // the effective temperature (Θ0+ψ)(k) at recombination oscillates as
+    // cos(k r_s); its *first zero* sits at k r_s = π/2.  With the
+    // photon-dominated bound r_s = τ_rec/√3 (an overestimate of the true
+    // baryon-loaded sound horizon), the measured crossing must land
+    // slightly *above* (π/2)/r_s_bound — between 1× and 1.8×.
+    let (bg, th) = ctx();
+    let rs_bound = th.tau_rec() / 3.0f64.sqrt();
+    let k_zero_bound = std::f64::consts::FRAC_PI_2 / rs_bound;
+    let mut cfg = draft();
+    cfg.tau_end = Some(th.tau_rec());
+    cfg.lmax_g = Some(12);
+    cfg.lmax_nu = Some(12);
+    let mut prev: Option<f64> = None;
+    let mut k_cross = 0.0;
+    for i in 0..40 {
+        let k = k_zero_bound * (0.5 + 0.075 * i as f64);
+        let out = evolve_mode(bg, th, k, &cfg).unwrap();
+        let eff = out.delta_t[0] + out.psi;
+        if let Some(p) = prev {
+            if p * eff < 0.0 {
+                k_cross = k;
+                break;
+            }
+        }
+        prev = Some(eff);
+    }
+    assert!(k_cross > 0.0, "no acoustic zero crossing found");
+    let ratio = k_cross / k_zero_bound;
+    assert!(
+        (1.0..1.8).contains(&ratio),
+        "first acoustic zero at k = {k_cross}, {ratio}× the photon-limit (expect 1–1.8×)"
+    );
+}
+
+#[test]
+fn massive_neutrinos_suppress_small_scale_power() {
+    // MDM: free-streaming massive neutrinos damp δ_m at large k relative
+    // to SCDM with identical large-scale normalization
+    let scdm = CosmoParams::standard_cdm();
+    let mdm = CosmoParams::mixed_dark_matter();
+    let bg_s = Background::new(scdm.clone());
+    let th_s = ThermoHistory::new(&bg_s);
+    let bg_m = Background::new(mdm.clone());
+    let th_m = ThermoHistory::new(&bg_m);
+    let mut cfg = draft();
+    cfg.lmax_h = 10;
+    cfg.nq = Some(8);
+
+    let ratio_at = |k: f64| {
+        let s = evolve_mode(&bg_s, &th_s, k, &cfg).unwrap();
+        let m = evolve_mode(&bg_m, &th_m, k, &cfg).unwrap();
+        (m.delta_matter(mdm.omega_c, mdm.omega_b) / s.delta_matter(scdm.omega_c, scdm.omega_b))
+            .abs()
+    };
+    let big = ratio_at(3.0e-4);
+    let small = ratio_at(0.2);
+    assert!(
+        small < 0.75 * big,
+        "MDM suppression: ratio(k=0.2)/ratio(k=3e-4) = {}",
+        small / big
+    );
+}
+
+#[test]
+fn isocurvature_mode_is_distinct() {
+    let (bg, th) = ctx();
+    let mut cfg = draft();
+    cfg.ic = InitialConditions::CdmIsocurvature;
+    let iso = evolve_mode(bg, th, 1.0e-3, &cfg).unwrap();
+    let ad = evolve_mode(bg, th, 1.0e-3, &draft()).unwrap();
+    assert!(iso.delta_c.is_finite() && iso.delta_c != 0.0);
+    // isocurvature keeps δ_γ/δ_c very different from the adiabatic 4/3·…
+    let r_iso = (iso.delta_g / iso.delta_c).abs();
+    let r_ad = (ad.delta_g / ad.delta_c).abs();
+    assert!(
+        (r_iso - r_ad).abs() > 0.1 * r_ad.max(r_iso),
+        "iso and adiabatic ratios too similar: {r_iso} vs {r_ad}"
+    );
+}
+
+#[test]
+fn opacity_declines_through_recombination() {
+    let (bg, th) = ctx();
+    let a_rec = 1.0 / (1.0 + th.z_rec());
+    let before = th.opacity(a_rec / 1.5);
+    let after = th.opacity(a_rec * 3.0);
+    assert!(before / after > 100.0, "opacity drop {}", before / after);
+    let _ = bg;
+}

@@ -1,0 +1,84 @@
+//! Cross-crate integration tests: the full LINGER → PLINGER → spectra →
+//! skymap pipeline on small workloads.
+
+use plinger_repro::prelude::*;
+use std::sync::OnceLock;
+
+fn farm_report() -> &'static (RunSpec, FarmReport) {
+    static CTX: OnceLock<(RunSpec, FarmReport)> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let mut spec = RunSpec::standard_cdm(
+            plinger_repro::numutil::grid::logspace(2.0e-4, 2.0e-3, 12),
+        );
+        spec.preset = Preset::Draft;
+        let report = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, 2);
+        (spec, report)
+    })
+}
+
+#[test]
+fn farm_to_spectrum_pipeline() {
+    let (spec, report) = farm_report();
+    assert_eq!(report.outputs.len(), spec.ks.len());
+    let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
+    let cl = angular_power_spectrum(&report.outputs, &prim, 6);
+    assert!(cl.cl[2] > 0.0);
+    let (normed, amp) = cobe_normalize(&cl, spec.cosmo.t_cmb_k, Q_RMS_PS_UK);
+    assert!(amp > 0.0);
+    // COBE-normalized quadrupole band power in µK² must be O(hundreds)
+    let t_uk2 = (spec.cosmo.t_cmb_k * 1e6_f64).powi(2);
+    let d2 = normed.band_power(2) * t_uk2;
+    assert!(d2 > 100.0 && d2 < 5000.0, "D_2 = {d2} µK²");
+}
+
+#[test]
+fn farm_to_map_pipeline() {
+    let (spec, report) = farm_report();
+    let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
+    let cl = angular_power_spectrum(&report.outputs, &prim, 6);
+    let (normed, _) = cobe_normalize(&cl, spec.cosmo.t_cmb_k, Q_RMS_PS_UK);
+    let alm = AlmRealization::generate(&normed.cl, 42);
+    let map = SkyMap::synthesize(&alm, 24, 48);
+    let t_uk = spec.cosmo.t_cmb_k * 1e6;
+    let rms = map.rms() * t_uk;
+    // a COBE-normalized low-l map fluctuates at the tens-of-µK level
+    assert!(rms > 5.0 && rms < 300.0, "map rms = {rms} µK");
+}
+
+#[test]
+fn serial_reference_agrees_with_farm() {
+    let (spec, report) = farm_report();
+    let (serial, _) = run_serial(spec);
+    for (s, p) in serial.iter().zip(&report.outputs) {
+        assert_eq!(s.delta_c.to_bits(), p.delta_c.to_bits());
+        assert_eq!(s.psi.to_bits(), p.psi.to_bits());
+    }
+}
+
+#[test]
+fn matter_pipeline_produces_growing_spectrum() {
+    let mut spec = RunSpec::standard_cdm(matter_k_grid(1e-4, 0.05, 8));
+    spec.preset = Preset::Draft;
+    let report = run_parallel_channels(&spec, SchedulePolicy::SmallestFirst, 2);
+    let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
+    let mp = matter_power_spectrum(&report.outputs, &prim, spec.cosmo.omega_c, spec.cosmo.omega_b);
+    // n = 1: P ∝ k on large scales
+    assert!(mp.p[1] > mp.p[0]);
+    // σ decreases with radius
+    let s8 = sigma_r(&mp, 16.0);
+    let s32 = sigma_r(&mp, 64.0);
+    assert!(s8 > s32, "σ(16) = {s8}, σ(64) = {s32}");
+}
+
+#[test]
+fn gauge_choice_does_not_change_observables() {
+    let ks = vec![8.0e-4];
+    let mut spec_s = RunSpec::standard_cdm(ks.clone());
+    spec_s.preset = Preset::Draft;
+    let mut spec_n = spec_s.clone();
+    spec_n.gauge = Gauge::ConformalNewtonian;
+    let (out_s, _) = run_serial(&spec_s);
+    let (out_n, _) = run_serial(&spec_n);
+    let rel = (out_s[0].psi - out_n[0].psi).abs() / out_s[0].psi.abs();
+    assert!(rel < 0.02, "ψ gauge mismatch: {rel}");
+}
