@@ -128,16 +128,12 @@ impl Background {
             let lna0 = lna_start + (lna_end - lna_start) * (i - 1) as f64 / (n - 1) as f64;
             let lna1 = lna_start + (lna_end - lna_start) * i as f64 / (n - 1) as f64;
             // dτ = d(ln a) / ℋ
-            tau += gl_integrate(
-                |lna| 1.0 / self.conformal_hubble(lna.exp()),
-                lna0,
-                lna1,
-                8,
-            );
+            tau += gl_integrate(|lna| 1.0 / self.conformal_hubble(lna.exp()), lna0, lna1, 8);
             lnas.push(lna1);
             taus.push(tau);
         }
-        self.tau0 = *taus.last().unwrap();
+        // `tau` holds the last accumulated value, i.e. τ(a = 1)
+        self.tau0 = tau;
         self.lna_of_tau = CubicSpline::natural(taus.clone(), lnas.clone());
         self.tau_of_lna = CubicSpline::natural(lnas, taus);
     }
@@ -176,7 +172,7 @@ impl Background {
     fn nu_kernels(&self, r: f64) -> (f64, f64) {
         match (&self.nu_rho_spline, &self.nu_p_spline) {
             (Some(srho), Some(sp)) => {
-                let lr = r.max(1e-6).min(1e8).ln();
+                let lr = r.clamp(1e-6, 1e8).ln();
                 (srho.eval(lr).exp(), sp.eval(lr).exp())
             }
             _ => (self.nu_kernel_rel, self.nu_kernel_rel / 3.0),
@@ -227,8 +223,7 @@ impl Background {
     /// `R_ν = ρ_ν / (ρ_γ + ρ_ν)` — enters the adiabatic initial conditions.
     pub fn r_nu_early(&self) -> f64 {
         let p = &self.params;
-        let nu = p.omega_nu_massless()
-            + p.omega_nu_one_relativistic() * p.n_nu_massive as f64;
+        let nu = p.omega_nu_massless() + p.omega_nu_one_relativistic() * p.n_nu_massive as f64;
         nu / (nu + p.omega_gamma())
     }
 
@@ -312,8 +307,8 @@ mod tests {
         // exact prediction with the offset:
         let p = bg.params();
         let a_eq = (p.omega_gamma() + p.omega_nu_massless()) / (p.omega_c + p.omega_b);
-        let expect = ((0.08f64 + a_eq).sqrt() - a_eq.sqrt())
-            / ((0.02f64 + a_eq).sqrt() - a_eq.sqrt());
+        let expect =
+            ((0.08f64 + a_eq).sqrt() - a_eq.sqrt()) / ((0.02f64 + a_eq).sqrt() - a_eq.sqrt());
         assert!((ratio - expect).abs() < 0.01, "ratio {ratio} vs {expect}");
     }
 

@@ -123,8 +123,7 @@ impl CosmoParams {
     /// Photon density parameter today.
     #[inline]
     pub fn omega_gamma(&self) -> f64 {
-        constants::OMEGA_GAMMA_H2 * (self.t_cmb_k / constants::T_CMB_K).powi(4)
-            / (self.h * self.h)
+        constants::OMEGA_GAMMA_H2 * (self.t_cmb_k / constants::T_CMB_K).powi(4) / (self.h * self.h)
     }
 
     /// Massless-neutrino density parameter today.
@@ -151,9 +150,11 @@ impl CosmoParams {
     /// from the relativistic normalization times the kernel ratio; for the
     /// flat presets this is consistent to machine precision.
     pub fn omega_k(&self) -> f64 {
-        let mut sum =
-            self.omega_c + self.omega_b + self.omega_lambda + self.omega_gamma()
-                + self.omega_nu_massless();
+        let mut sum = self.omega_c
+            + self.omega_b
+            + self.omega_lambda
+            + self.omega_gamma()
+            + self.omega_nu_massless();
         if self.has_massive_nu() {
             let t_nu0_ev = constants::K_B_EV_K * self.t_cmb_k * constants::T_NU_T_GAMMA;
             let r = self.m_nu_ev / t_nu0_ev;
@@ -174,7 +175,10 @@ impl CosmoParams {
     pub fn validate(&self) {
         assert!(self.h > 0.1 && self.h < 2.0, "h out of range: {}", self.h);
         assert!(self.omega_c >= 0.0, "negative Ω_c");
-        assert!(self.omega_b > 0.0, "Ω_b must be positive (baryons required)");
+        assert!(
+            self.omega_b > 0.0,
+            "Ω_b must be positive (baryons required)"
+        );
         assert!(self.t_cmb_k > 0.0, "T_cmb must be positive");
         assert!(
             (0.0..0.5).contains(&self.y_helium),
@@ -216,7 +220,7 @@ mod tests {
     fn h0_units() {
         let p = CosmoParams::standard_cdm();
         // H0 = 0.5/2997.9 Mpc⁻¹ → Hubble radius 5995.8 Mpc
-        assert!((1.0 / p.h0() - 5995.849_16).abs() < 0.01);
+        assert!((1.0 / p.h0() - 5_995.849_16).abs() < 0.01);
     }
 
     #[test]

@@ -13,7 +13,9 @@ fn fake_outputs(nk: usize, lmax: usize) -> Vec<ModeOutput> {
         .map(|i| {
             let k = 1e-4 + 5e-4 * i as f64;
             let delta_t: Vec<f64> = (0..=lmax)
-                .map(|l| ((k * 11_900.0 - l as f64) / 40.0).cos() * (-((l as f64) / 300.0)).exp() * 1e-2)
+                .map(|l| {
+                    ((k * 11_900.0 - l as f64) / 40.0).cos() * (-((l as f64) / 300.0)).exp() * 1e-2
+                })
                 .collect();
             ModeOutput {
                 k,
@@ -66,7 +68,13 @@ fn bench_map_synthesis(c: &mut Criterion) {
     group.sample_size(10);
     for lmax in [64usize, 192] {
         let cl: Vec<f64> = (0..=lmax)
-            .map(|l| if l >= 2 { 1.0 / (l * (l + 1)) as f64 } else { 0.0 })
+            .map(|l| {
+                if l >= 2 {
+                    1.0 / (l * (l + 1)) as f64
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let alm = AlmRealization::generate(&cl, 1);
         group.bench_with_input(BenchmarkId::from_parameter(lmax), &alm, |b, alm| {

@@ -34,7 +34,11 @@ fn bench_verner_step(c: &mut Criterion) {
     let th = ThermoHistory::new(&bg);
     let lay = StateLayout::new(Gauge::Synchronous, 256, 256, 16, 0);
     let mut group = c.benchmark_group("dverk_step");
-    for method in [Method::Verner65, Method::DormandPrince54, Method::CashKarp45] {
+    for method in [
+        Method::Verner65,
+        Method::DormandPrince54,
+        Method::CashKarp45,
+    ] {
         let mut rhs = LingerRhs::new(&bg, &th, lay.clone(), 0.05);
         let mut integ = Integrator::new();
         let opts = IntegrateOpts {

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use msgpass::channel::ChannelWorld;
 use msgpass::codec::{decode, encode};
-use msgpass::Transport;
+use msgpass::{Transport, World};
 use std::hint::black_box;
 
 fn bench_codec(c: &mut Criterion) {
@@ -30,23 +30,18 @@ fn bench_channel_roundtrip(c: &mut Criterion) {
     for len in [19usize, 10_000] {
         group.throughput(Throughput::Bytes((2 * len * 8) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(len * 8), &len, |b, &len| {
-            let mut eps = ChannelWorld::new(2);
+            let mut eps = ChannelWorld::endpoints(2).unwrap();
             let mut worker = eps.pop().unwrap();
             let mut master = eps.pop().unwrap();
             let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
             let stop2 = stop.clone();
             let echo = std::thread::spawn(move || {
                 let mut buf = Vec::new();
-                loop {
-                    match worker.recv(0, 1, &mut buf) {
-                        Ok(_) => {
-                            if buf.is_empty() || stop2.load(std::sync::atomic::Ordering::Relaxed) {
-                                break;
-                            }
-                            worker.send(0, 2, &buf).ok();
-                        }
-                        Err(_) => break,
+                while worker.recv(0, 1, &mut buf).is_ok() {
+                    if buf.is_empty() || stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
                     }
+                    worker.send(0, 2, &buf).ok();
                 }
             });
             let data: Vec<f64> = (0..len).map(|i| i as f64).collect();

@@ -17,7 +17,8 @@
 //! ```
 
 use bench::experiments::{measure_serial, print_table, scaling_workload};
-use plinger::{run_parallel_channels, simulate_farm, SchedulePolicy, SimParams};
+use msgpass::channel::ChannelWorld;
+use plinger::{simulate_farm, Farm, SchedulePolicy, SimParams};
 
 fn main() {
     let n_modes: usize = std::env::args()
@@ -46,11 +47,15 @@ fn main() {
     );
 
     // --- real farm at feasible worker counts ---------------------------
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("\n# real farm runs (this machine has {cores} core(s)):");
     let mut rows = Vec::new();
     for n in [1usize, 2, 4] {
-        let rep = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, n);
+        let rep = Farm::<ChannelWorld>::new(n)
+            .run(&spec, SchedulePolicy::LargestFirst)
+            .expect("farm run");
         rows.push(vec![
             n.to_string(),
             format!("{:.2}", rep.wall_seconds),
@@ -130,5 +135,8 @@ fn main() {
         &rows,
     );
     println!("# the X in the paper\'s Figure 1: a 256-node T3D partition delivers");
-    println!("# ~{:.1} C90-equivalents of throughput (256 × 15/570).", 256.0 * t3d_speed);
+    println!(
+        "# ~{:.1} C90-equivalents of throughput (256 × 15/570).",
+        256.0 * t3d_speed
+    );
 }

@@ -13,7 +13,8 @@
 
 use bench::experiments::{print_table, spectrum_workload};
 use bench::BAND_POWERS_1995;
-use plinger::{run_parallel_channels, SchedulePolicy};
+use msgpass::channel::ChannelWorld;
+use plinger::{Farm, SchedulePolicy};
 use spectra::{angular_power_spectrum, cobe_normalize, PrimordialSpectrum, Q_RMS_PS_UK};
 
 fn main() {
@@ -25,7 +26,9 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2.0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let spec = spectrum_workload(l_max, osc);
     println!(
@@ -33,7 +36,9 @@ fn main() {
         spec.ks.len()
     );
     let t0 = std::time::Instant::now();
-    let report = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, workers);
+    let report = Farm::<ChannelWorld>::new(workers)
+        .run(&spec, SchedulePolicy::LargestFirst)
+        .expect("farm run");
     println!(
         "# farm: {:.1} s wall, {:.1} Mflop/s aggregate, efficiency {:.1}%",
         t0.elapsed().as_secs_f64(),

@@ -11,7 +11,8 @@
 //! ```
 
 use bench::experiments::spectrum_workload;
-use plinger::{run_parallel_channels, SchedulePolicy};
+use msgpass::channel::ChannelWorld;
+use plinger::{Farm, SchedulePolicy};
 use skymap::pgm::{symmetric_range, write_pgm};
 use skymap::{AlmRealization, SkyMap};
 use spectra::{angular_power_spectrum, cobe_normalize, PrimordialSpectrum, Q_RMS_PS_UK};
@@ -25,11 +26,15 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1995);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     println!("# Figure 3 reproduction: simulated sky map to l = {l_max}");
     let spec = spectrum_workload(l_max, 2.0);
-    let report = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, workers);
+    let report = Farm::<ChannelWorld>::new(workers)
+        .run(&spec, SchedulePolicy::LargestFirst)
+        .expect("farm run");
     let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
     let raw = angular_power_spectrum(&report.outputs, &prim, l_max);
     let (cl, _) = cobe_normalize(&raw, spec.cosmo.t_cmb_k, Q_RMS_PS_UK);
@@ -78,7 +83,14 @@ fn main() {
     println!("# (\"much greater detail here because this map has not been smoothed");
     println!("#   like the COBE map\" — compare the two rms values)");
     let (plo, phi) = symmetric_range(&map_s.data, 1.0);
-    write_pgm("fig3_map_cobe.pgm", &map_s.data, map_s.nlon, map_s.nlat, plo, phi)
-        .expect("write smoothed map");
+    write_pgm(
+        "fig3_map_cobe.pgm",
+        &map_s.data,
+        map_s.nlon,
+        map_s.nlat,
+        plo,
+        phi,
+    )
+    .expect("write smoothed map");
     println!("# wrote fig3_map_cobe.pgm");
 }

@@ -68,14 +68,20 @@ fn main() {
                 .collect()
         })
         .collect();
-    println!("# shell evolutions took {:.1} s", t0.elapsed().as_secs_f64());
+    println!(
+        "# shell evolutions took {:.1} s",
+        t0.elapsed().as_secs_f64()
+    );
 
     // acoustic-oscillation diagnostic: zero crossings of ψ(τ) per shell
     println!("#\n#   k [Mpc⁻¹]   ψ zero-crossings before τ_end   k·r_s(τ_end)/π");
     for (k, h) in shells.iter().zip(&histories) {
         let crossings = h.windows(2).filter(|w| w[0].1 * w[1].1 < 0.0).count();
         let rs = tau_end / 3.0f64.sqrt();
-        println!("{k:12.4}   {crossings:6}                          {:8.2}", k * rs / std::f64::consts::PI);
+        println!(
+            "{k:12.4}   {crossings:6}                          {:8.2}",
+            k * rs / std::f64::consts::PI
+        );
     }
     println!("# (crossing counts growing with k ↔ acoustic oscillations of the");
     println!("#  photon-baryon fluid driving ψ at sub-sound-horizon scales)");
@@ -83,7 +89,10 @@ fn main() {
     let prim = PrimordialSpectrum::unit(1.0);
     let power: Vec<f64> = shells.iter().map(|&k| prim.power(k)).collect();
     let field = PotentialField::new(box_mpc, npix, &shells, &histories, &power, 2048, seed);
-    println!("#\n# synthesizing {} Fourier modes on a {npix}² grid", field.n_modes());
+    println!(
+        "#\n# synthesizing {} Fourier modes on a {npix}² grid",
+        field.n_modes()
+    );
 
     let tau_start = 10.0;
     let first = field.frame(tau_start);
@@ -94,7 +103,9 @@ fn main() {
         let rms = PotentialField::frame_rms(&frame);
         let path = format!("movie_psi_{i:03}.pgm");
         write_pgm(&path, &frame, npix, npix, lo, hi).expect("write frame");
-        println!("frame {i:3}: τ = {tau:6.1} Mpc, a = {:9.3e}, ψ_rms = {rms:.3e} → {path}",
-            bg.a_of_tau(tau));
+        println!(
+            "frame {i:3}: τ = {tau:6.1} Mpc, a = {:9.3e}, ψ_rms = {rms:.3e} → {path}",
+            bg.a_of_tau(tau)
+        );
     }
 }

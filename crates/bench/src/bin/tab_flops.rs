@@ -30,7 +30,7 @@ fn main() {
 
     println!("# §5.1 reproduction: flop rates");
     let spec = scaling_workload(n_modes, k_max);
-    let (outputs, serial_wall) = run_serial(&spec);
+    let (outputs, serial_wall) = run_serial(&spec).expect("serial pass");
     let total_flops: u64 = outputs.iter().map(|o| o.stats.total_flops()).sum();
     let in_mode_secs: f64 = outputs.iter().map(|o| o.cpu_seconds).sum();
     let node_mflops = total_flops as f64 / in_mode_secs / 1e6;
@@ -43,7 +43,7 @@ fn main() {
         serial_wall
     );
 
-    let mut rows = vec![
+    let rows = [
         vec![
             "this machine (measured)".to_string(),
             format!("{node_mflops:.0}"),
@@ -65,13 +65,16 @@ fn main() {
             "1/10 of peak".to_string(),
         ],
     ];
-    print_table(&["single node", "Mflop/s", "note"], &mut rows[..]);
+    print_table(&["single node", "Mflop/s", "note"], &rows[..]);
 
     // --- aggregate rates at the paper's node counts --------------------
     println!("\n# aggregate rates (farm-simulated on measured durations):");
     let (durations, _, _) = measure_serial(&spec);
     let mut rows = Vec::new();
-    for (n, paper) in [(64usize, "2.4 Gflop (SP2×64)"), (256, "9.6 Gflop (SP2×256), 3.7 (T3D×256)")] {
+    for (n, paper) in [
+        (64usize, "2.4 Gflop (SP2×64)"),
+        (256, "9.6 Gflop (SP2×256), 3.7 (T3D×256)"),
+    ] {
         let sim = simulate_farm(&SimParams {
             durations: durations.clone(),
             policy: SchedulePolicy::LargestFirst,
@@ -89,7 +92,10 @@ fn main() {
             paper.to_string(),
         ]);
     }
-    print_table(&["nodes", "this code [Gflop/s]", "efficiency", "paper"], &rows);
+    print_table(
+        &["nodes", "this code [Gflop/s]", "efficiency", "paper"],
+        &rows,
+    );
     println!("# note: with {n_modes} modes the 256-node farm starves (fewer jobs than");
     println!("# nodes); the paper's production runs used thousands of k-values.");
 }

@@ -27,7 +27,7 @@ fn main() {
 
     println!("# §4 reproduction: message size vs CPU time per wavenumber");
     let spec = message_workload(n_modes, k_max);
-    let (outputs, _) = run_serial(&spec);
+    let (outputs, _) = run_serial(&spec).expect("serial pass");
 
     let mut rows = Vec::new();
     for (ik, out) in outputs.iter().enumerate() {

@@ -30,7 +30,10 @@ impl Score {
 }
 
 fn main() {
-    let mut s = Score { passed: 0, failed: 0 };
+    let mut s = Score {
+        passed: 0,
+        failed: 0,
+    };
     println!("# plinger-rs validation scorecard\n");
 
     // --- background & thermal history ---------------------------------
@@ -39,7 +42,10 @@ fn main() {
     s.check(
         "conformal age",
         (11_000.0..12_500.0).contains(&bg.tau0()),
-        format!("τ₀ = {:.0} Mpc (SCDM h=0.5 expectation ≈ 11 800)", bg.tau0()),
+        format!(
+            "τ₀ = {:.0} Mpc (SCDM h=0.5 expectation ≈ 11 800)",
+            bg.tau0()
+        ),
     );
     s.check(
         "recombination epoch",
@@ -119,7 +125,10 @@ fn main() {
     s.check(
         "Sachs–Wolfe plateau",
         worst < 0.25 && (0.4 * 0.09..2.5 * 0.09).contains(&mean),
-        format!("l(l+1)C_l/2π flat to {:.0}% with mean {mean:.3e} (SW ≈ 0.09·A)", worst * 100.0),
+        format!(
+            "l(l+1)C_l/2π flat to {:.0}% with mean {mean:.3e} (SW ≈ 0.09·A)",
+            worst * 100.0
+        ),
     );
 
     // --- transfer function vs BBKS ---------------------------------------
@@ -147,8 +156,10 @@ fn main() {
     // --- farm determinism -------------------------------------------------
     let mut fspec = plinger::RunSpec::standard_cdm(vec![8.0e-4, 2.4e-3, 1.6e-3]);
     fspec.preset = Preset::Draft;
-    let (serial, _) = plinger::run_serial(&fspec);
-    let par = plinger::run_parallel_channels(&fspec, plinger::SchedulePolicy::LargestFirst, 2);
+    let (serial, _) = plinger::run_serial(&fspec).expect("serial pass");
+    let par = plinger::Farm::<msgpass::channel::ChannelWorld>::new(2)
+        .run(&fspec, plinger::SchedulePolicy::LargestFirst)
+        .expect("farm run");
     let identical = serial
         .iter()
         .zip(&par.outputs)

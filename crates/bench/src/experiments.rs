@@ -30,7 +30,7 @@ pub fn spectrum_workload(l_max: usize, osc_samples: f64) -> RunSpec {
 /// Measure per-mode CPU seconds with a serial pass; returns
 /// `(durations, outputs_count, total_seconds)`.
 pub fn measure_serial(spec: &RunSpec) -> (Vec<f64>, usize, f64) {
-    let (outputs, total) = run_serial(spec);
+    let (outputs, total) = run_serial(spec).expect("serial reference pass");
     let durations: Vec<f64> = outputs.iter().map(|o| o.cpu_seconds).collect();
     let n = outputs.len();
     (durations, n, total)

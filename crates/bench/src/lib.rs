@@ -43,7 +43,7 @@ mod tests {
     #[test]
     fn band_powers_are_physical() {
         for &(name, l, dt, lo, hi) in BAND_POWERS_1995 {
-            assert!(l >= 2.0 && l <= 1000.0, "{name}");
+            assert!((2.0..=1000.0).contains(&l), "{name}");
             assert!(dt > 10.0 && dt < 100.0, "{name}: {dt} µK");
             assert!(lo > 0.0 && hi > 0.0);
         }

@@ -101,6 +101,11 @@ impl Default for ModeConfig {
 /// Failure modes of a mode evolution.
 #[derive(Debug)]
 pub enum EvolveError {
+    /// The requested wavenumber is not a positive finite number.
+    BadWavenumber {
+        /// The offending wavenumber.
+        k: f64,
+    },
     /// The ODE integrator failed.
     Ode {
         /// Wavenumber of the failing mode.
@@ -113,6 +118,9 @@ pub enum EvolveError {
 impl std::fmt::Display for EvolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            EvolveError::BadWavenumber { k } => {
+                write!(f, "wavenumber k = {k} Mpc⁻¹ is not positive and finite")
+            }
             EvolveError::Ode { k, source } => {
                 write!(f, "mode k = {k} Mpc⁻¹ failed: {source}")
             }
@@ -143,6 +151,9 @@ pub fn evolve_mode(
     config: &ModeConfig,
 ) -> Result<ModeOutput, EvolveError> {
     let wall_start = std::time::Instant::now();
+    if !(k > 0.0 && k.is_finite()) {
+        return Err(EvolveError::BadWavenumber { k });
+    }
     // the perturbation equations are the flat-space MB95 set; the
     // hyperspherical generalization for open/closed models is out of scope
     assert!(
@@ -153,19 +164,29 @@ pub fn evolve_mode(
     let tau_end = config.tau_end.unwrap_or_else(|| bg.tau0());
     let preset = config.preset;
 
-    let lmax_g = config.lmax_g.unwrap_or_else(|| auto_lmax(k, tau_end, preset));
+    let lmax_g = config
+        .lmax_g
+        .unwrap_or_else(|| auto_lmax(k, tau_end, preset));
     let lmax_nu = config
         .lmax_nu
-        .unwrap_or_else(|| auto_lmax(k, tau_end, preset).min(600).max(16));
+        .unwrap_or_else(|| auto_lmax(k, tau_end, preset).clamp(16, 600));
     let nq = config
         .nq
         .unwrap_or(if bg.params().has_massive_nu() { 16 } else { 0 });
-    let layout = StateLayout::new(config.gauge, lmax_g.max(3), lmax_nu.max(3), config.lmax_h, nq);
+    let layout = StateLayout::new(
+        config.gauge,
+        lmax_g.max(3),
+        lmax_nu.max(3),
+        config.lmax_h,
+        nq,
+    );
 
     let mut rhs = LingerRhs::new(bg, thermo, layout.clone(), k);
 
     // start time: kτ = 10⁻³, but no later than a = 10⁻⁵ (radiation era)
-    let tau_start = (1.0e-3 / k).min(bg.conformal_time(1.0e-5)).min(0.2 * tau_end);
+    let tau_start = (1.0e-3 / k)
+        .min(bg.conformal_time(1.0e-5))
+        .min(0.2 * tau_end);
     let mut y = vec![0.0; layout.dim()];
     set_initial_conditions(&rhs, config.ic, tau_start, bg.r_nu_early(), &mut y);
 
@@ -241,7 +262,7 @@ pub fn potential_history(
         cfg.gauge,
         out.lmax_g,
         cfg.lmax_nu
-            .unwrap_or_else(|| auto_lmax(k, out.tau_end, cfg.preset).min(600).max(16))
+            .unwrap_or_else(|| auto_lmax(k, out.tau_end, cfg.preset).clamp(16, 600))
             .max(3),
         cfg.lmax_h,
         cfg.nq

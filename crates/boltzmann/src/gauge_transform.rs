@@ -92,8 +92,8 @@ pub fn sync_to_newtonian(
             let q = grid.q[iq];
             let dlnf = grid.dlnf[iq];
             let eps = (q * q + r * r).sqrt();
-            y_newt[newt_layout.psi(iq, 0)] = y_sync[sl.psi(iq, 0)]
-                + hub * alpha / 4.0 * (3.0 + q * q / (eps * eps)) * dlnf;
+            y_newt[newt_layout.psi(iq, 0)] =
+                y_sync[sl.psi(iq, 0)] + hub * alpha / 4.0 * (3.0 + q * q / (eps * eps)) * dlnf;
             y_newt[newt_layout.psi(iq, 1)] =
                 y_sync[sl.psi(iq, 1)] - eps / (3.0 * q * k) * alpha * k2 * dlnf;
             for l in 2..=sl.lmax_h {
@@ -166,7 +166,13 @@ mod tests {
         let srhs = LingerRhs::new(&bg, &th, slay.clone(), k);
         let nrhs = LingerRhs::new(&bg, &th, nlay.clone(), k);
         let mut ys = vec![0.0; slay.dim()];
-        set_initial_conditions(&srhs, InitialConditions::Adiabatic, tau, bg.r_nu_early(), &mut ys);
+        set_initial_conditions(
+            &srhs,
+            InitialConditions::Adiabatic,
+            tau,
+            bg.r_nu_early(),
+            &mut ys,
+        );
         let mut yn = vec![0.0; nlay.dim()];
         sync_to_newtonian(&srhs, tau, &ys, &nlay, &mut yn);
         let m = nrhs.metrics(tau, &yn);

@@ -130,7 +130,13 @@ mod tests {
         let lay = StateLayout::new(Gauge::Synchronous, 8, 8, 4, 0);
         let rhs = LingerRhs::new(&bg, &th, lay.clone(), 0.01);
         let mut y = vec![0.0; lay.dim()];
-        set_initial_conditions(&rhs, InitialConditions::Adiabatic, 1.0, bg.r_nu_early(), &mut y);
+        set_initial_conditions(
+            &rhs,
+            InitialConditions::Adiabatic,
+            1.0,
+            bg.r_nu_early(),
+            &mut y,
+        );
         // adiabatic: δ_b = δ_c = (3/4) δ_γ = (3/4) δ_ν
         let dg = y[lay.fg(0)];
         assert!(dg < 0.0);
@@ -158,7 +164,11 @@ mod tests {
         // seeded by exact gauge transformation, so the analytic relations
         // hold up to O(kτ, ωτ) corrections)
         let phi = y[StateLayout::METRIC0];
-        assert!((phi / psi - (1.0 + 0.4 * r_nu)).abs() < 0.02, "φ/ψ = {}", phi / psi);
+        assert!(
+            (phi / psi - (1.0 + 0.4 * r_nu)).abs() < 0.02,
+            "φ/ψ = {}",
+            phi / psi
+        );
         // δ_γ = −2ψ, δ_c = −(3/2)ψ
         assert!((y[lay.fg(0)] + 2.0 * psi).abs() < 0.05);
         assert!((y[StateLayout::DELTA_C] + 1.5 * psi).abs() < 0.05);
@@ -179,7 +189,13 @@ mod tests {
         let lay = StateLayout::new(Gauge::Synchronous, 8, 8, 5, 8);
         let rhs = LingerRhs::new(&bg2, &th, lay.clone(), 0.01);
         let mut y = vec![0.0; lay.dim()];
-        set_initial_conditions(&rhs, InitialConditions::Adiabatic, 1.0, bg2.r_nu_early(), &mut y);
+        set_initial_conditions(
+            &rhs,
+            InitialConditions::Adiabatic,
+            1.0,
+            bg2.r_nu_early(),
+            &mut y,
+        );
         // reconstruct δ from the Ψ0 moments: δ = Σ w ε Ψ0 / Σ w ε with
         // ε ≈ q early; with Ψ0 = −¼δ dlnf, Σ w q (−¼ dlnf) ... the
         // integral identity ∫ q²f₀ q (dlnf₀/dlnq) dq = −4 ∫ q³f₀ gives

@@ -46,7 +46,7 @@ pub mod rhs;
 pub use evolve::{evolve_mode, EvolveError, ModeConfig, Preset};
 pub use initial::InitialConditions;
 pub use layout::{Gauge, StateLayout};
-pub use output::ModeOutput;
+pub use output::{ModeOutput, WireError};
 pub use rhs::LingerRhs;
 
 #[cfg(test)]

@@ -10,9 +10,45 @@
 
 use background::Background;
 use ode::{DenseSample, StepStats};
+use std::fmt;
 
 use crate::layout::{Gauge, StateLayout};
 use crate::rhs::LingerRhs;
+
+/// A malformed wire record (wrong header or payload geometry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The header was not exactly 21 reals.
+    BadHeaderLen {
+        /// Actual header length.
+        got: usize,
+    },
+    /// The payload length disagreed with the `lmax` the header declared.
+    BadPayloadLen {
+        /// `lmax_g` read from `header[20]`.
+        lmax_g: usize,
+        /// Expected payload length, `2·lmax + 8`.
+        want: usize,
+        /// Actual payload length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadHeaderLen { got } => {
+                write!(f, "wire header must be 21 reals, got {got}")
+            }
+            WireError::BadPayloadLen { lmax_g, want, got } => write!(
+                f,
+                "wire payload for lmax={lmax_g} must be {want} reals (2·lmax+8), got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// Results of one k-mode integration.
 #[derive(Debug, Clone)]
@@ -167,14 +203,24 @@ impl ModeOutput {
     /// Reconstruct a record from the wire format.  Returns `(ik, record)`.
     /// Work counters that do not travel (stepper flops, trajectory) are
     /// left empty.
-    pub fn from_wire(header: &[f64], payload: &[f64]) -> (usize, Self) {
-        assert_eq!(header.len(), 21, "header must be 21 reals");
+    ///
+    /// Malformed frames — a header that is not 21 reals, or a payload
+    /// whose length disagrees with the `lmax` the header declares — are
+    /// reported as [`WireError`] rather than panicking, so a corrupt
+    /// message from one worker can fail a farm run cleanly.
+    pub fn from_wire(header: &[f64], payload: &[f64]) -> Result<(usize, Self), WireError> {
+        if header.len() != 21 {
+            return Err(WireError::BadHeaderLen { got: header.len() });
+        }
         let lmax_g = header[20] as usize;
-        assert_eq!(
-            payload.len(),
-            2 * lmax_g + 8,
-            "payload must be 2·lmax+8 reals"
-        );
+        let want = 2 * lmax_g + 8;
+        if payload.len() != want {
+            return Err(WireError::BadPayloadLen {
+                lmax_g,
+                want,
+                got: payload.len(),
+            });
+        }
         let nl = lmax_g + 1;
         let delta_t = payload[6..6 + nl].to_vec();
         let delta_p = payload[6 + nl..6 + 2 * nl].to_vec();
@@ -216,7 +262,7 @@ impl ModeOutput {
             stats,
             trajectory: Vec::new(),
         };
-        (header[0] as usize, out)
+        Ok((header[0] as usize, out))
     }
 }
 
@@ -255,7 +301,7 @@ mod tests {
                 rhs_flops: 123456789,
                 stepper_flops: 0,
             },
-            cpu_seconds: 3.14,
+            cpu_seconds: 3.25,
             trajectory: Vec::new(),
         }
     }
@@ -275,7 +321,7 @@ mod tests {
     fn wire_roundtrip_is_lossless() {
         let out = sample_output(31);
         let (h, p) = out.to_wire(42);
-        let (ik, back) = ModeOutput::from_wire(&h, &p);
+        let (ik, back) = ModeOutput::from_wire(&h, &p).unwrap();
         assert_eq!(ik, 42);
         assert_eq!(back.k, out.k);
         assert_eq!(back.lmax_g, out.lmax_g);
@@ -309,8 +355,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "header must be 21 reals")]
     fn from_wire_rejects_bad_header() {
-        let _ = ModeOutput::from_wire(&[0.0; 20], &[0.0; 28]);
+        let err = ModeOutput::from_wire(&[0.0; 20], &[0.0; 28]).unwrap_err();
+        assert_eq!(err, WireError::BadHeaderLen { got: 20 });
+    }
+
+    #[test]
+    fn from_wire_rejects_mismatched_payload() {
+        let (h, mut p) = sample_output(10).to_wire(0);
+        p.pop();
+        let err = ModeOutput::from_wire(&h, &p).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::BadPayloadLen {
+                lmax_g: 10,
+                want: 28,
+                got: 27
+            }
+        );
     }
 }

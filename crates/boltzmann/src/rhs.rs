@@ -55,12 +55,7 @@ pub struct LingerRhs<'a> {
 
 impl<'a> LingerRhs<'a> {
     /// Build the RHS for wavenumber `k`.
-    pub fn new(
-        bg: &'a Background,
-        thermo: &'a ThermoHistory,
-        layout: StateLayout,
-        k: f64,
-    ) -> Self {
+    pub fn new(bg: &'a Background, thermo: &'a ThermoHistory, layout: StateLayout, k: f64) -> Self {
         assert!(k > 0.0, "wavenumber must be positive");
         let p = bg.params();
         let nu_grid = NeutrinoMomentumGrid::new(layout.nq.max(1));
@@ -171,14 +166,16 @@ impl<'a> LingerRhs<'a> {
             rps_h = 2.0 / 3.0 * c_h * s2;
         }
 
-        let s_delta = d.cdm * delta_c + d.baryon * delta_b + d.photon * delta_g
+        let s_delta = d.cdm * delta_c
+            + d.baryon * delta_b
+            + d.photon * delta_g
             + d.nu_massless * delta_nu
             + drho_h;
-        let s_theta = d.cdm * theta_c + d.baryon * theta_b
+        let s_theta = d.cdm * theta_c
+            + d.baryon * theta_b
             + 4.0 / 3.0 * (d.photon * theta_g + d.nu_massless * theta_nu)
             + rpth_h;
-        let s_sigma =
-            4.0 / 3.0 * (d.photon * sigma_g + d.nu_massless * sigma_nu) + rps_h;
+        let s_sigma = 4.0 / 3.0 * (d.photon * sigma_g + d.nu_massless * sigma_nu) + rps_h;
 
         match lay.gauge {
             Gauge::Synchronous => {
@@ -290,10 +287,13 @@ impl Rhs for LingerRhs<'_> {
         let mut sigma_g = 0.5 * y[lay.fg(2)];
 
         // --- Einstein equations -----------------------------------------
-        let s_delta = d.cdm * delta_c + d.baryon * delta_b + d.photon * delta_g
+        let s_delta = d.cdm * delta_c
+            + d.baryon * delta_b
+            + d.photon * delta_g
             + d.nu_massless * delta_nu
             + drho_h;
-        let s_theta = d.cdm * theta_c + d.baryon * theta_b
+        let s_theta = d.cdm * theta_c
+            + d.baryon * theta_b
             + 4.0 / 3.0 * (d.photon * theta_g + d.nu_massless * theta_nu)
             + rpth_h;
 
@@ -316,8 +316,7 @@ impl Rhs for LingerRhs<'_> {
                 if self.tca {
                     sigma_g = self.sigma_gamma_tca(tau_c, theta_g, 0.0);
                 }
-                let s_sigma =
-                    4.0 / 3.0 * (d.photon * sigma_g + d.nu_massless * sigma_nu) + rps_h;
+                let s_sigma = 4.0 / 3.0 * (d.photon * sigma_g + d.nu_massless * sigma_nu) + rps_h;
                 let phi = y[StateLayout::METRIC0];
                 let psi = phi - 4.5 * s_sigma / k2;
                 let phidot = -hub * psi + 1.5 * s_theta / k2;
@@ -358,11 +357,10 @@ impl Rhs for LingerRhs<'_> {
             //   X = k²(δ_γ/4 − σ_γ) + ℋθ_b − c_s²k²δ_b
             //   S = θ_γ − θ_b,  Ṡ from differentiating S_qs = τ_c X/(1+R)
             let x_slip = k2 * (0.25 * delta_g - sigma_g) + hub * theta_b - cs2 * k2 * delta_b;
-            let theta_dot_zero = (-hub * theta_b
-                + cs2 * k2 * delta_b
-                + r_drag * k2 * (0.25 * delta_g - sigma_g))
-                / (1.0 + r_drag)
-                + src_theta;
+            let theta_dot_zero =
+                (-hub * theta_b + cs2 * k2 * delta_b + r_drag * k2 * (0.25 * delta_g - sigma_g))
+                    / (1.0 + r_drag)
+                    + src_theta;
             delta_b_dot = -theta_b + src_d_matter;
             let delta_g_dot_zero = -4.0 / 3.0 * theta_g + src_d_rad;
             let hubdot = self.bg.dconformal_hubble_dtau(a);
@@ -384,8 +382,7 @@ impl Rhs for LingerRhs<'_> {
                 + cs2 * k2 * delta_b
                 + src_theta
                 + r_drag * opac * (theta_g - theta_b);
-            theta_g_dot =
-                k2 * (0.25 * delta_g - sigma_g) + src_theta + opac * (theta_b - theta_g);
+            theta_g_dot = k2 * (0.25 * delta_g - sigma_g) + src_theta + opac * (theta_b - theta_g);
         }
         dydt[StateLayout::DELTA_B] = delta_b_dot;
         dydt[StateLayout::THETA_B] = theta_b_dot;
@@ -405,9 +402,9 @@ impl Rhs for LingerRhs<'_> {
             let pi_pol = y[lay.fg(2)] + y[lay.gg(0)] + y[lay.gg(2)];
             {
                 let f3 = y[lay.fg(3)];
-                dydt[lay.fg(2)] = 8.0 / 15.0 * theta_g - 3.0 / 5.0 * k * f3
-                    - 9.0 / 5.0 * opac * sigma_g
-                    + 0.1 * opac * (y[lay.gg(0)] + y[lay.gg(2)]);
+                dydt[lay.fg(2)] =
+                    8.0 / 15.0 * theta_g - 3.0 / 5.0 * k * f3 - 9.0 / 5.0 * opac * sigma_g
+                        + 0.1 * opac * (y[lay.gg(0)] + y[lay.gg(2)]);
                 match lay.gauge {
                     Gauge::Synchronous => {
                         dydt[lay.fg(2)] += 4.0 / 15.0 * hdot + 8.0 / 5.0 * etadot;
@@ -428,8 +425,7 @@ impl Rhs for LingerRhs<'_> {
                 - opac * y[lay.fg(lm)];
 
             // --- polarization hierarchy -----------------------------------
-            dydt[lay.gg(0)] =
-                -k * y[lay.gg(1)] + opac * (-y[lay.gg(0)] + 0.5 * pi_pol);
+            dydt[lay.gg(0)] = -k * y[lay.gg(1)] + opac * (-y[lay.gg(0)] + 0.5 * pi_pol);
             for l in 1..lay.lmax_g {
                 let lf = l as f64;
                 let mut g = k / (2.0 * lf + 1.0)
@@ -460,12 +456,11 @@ impl Rhs for LingerRhs<'_> {
         }
         for l in 3..lay.lmax_nu {
             let lf = l as f64;
-            dydt[lay.fnu(l)] = k / (2.0 * lf + 1.0)
-                * (lf * y[lay.fnu(l - 1)] - (lf + 1.0) * y[lay.fnu(l + 1)]);
+            dydt[lay.fnu(l)] =
+                k / (2.0 * lf + 1.0) * (lf * y[lay.fnu(l - 1)] - (lf + 1.0) * y[lay.fnu(l + 1)]);
         }
         let lmn = lay.lmax_nu;
-        dydt[lay.fnu(lmn)] =
-            k * y[lay.fnu(lmn - 1)] - (lmn as f64 + 1.0) / tau * y[lay.fnu(lmn)];
+        dydt[lay.fnu(lmn)] = k * y[lay.fnu(lmn - 1)] - (lmn as f64 + 1.0) / tau * y[lay.fnu(lmn)];
 
         // --- massive neutrinos (MB95 eqs 56–58) ----------------------------
         for iq in 0..lay.nq {
@@ -486,8 +481,7 @@ impl Rhs for LingerRhs<'_> {
                     Gauge::ConformalNewtonian => -eps * k / (3.0 * q) * psi * dlnf,
                 };
             // l = 2
-            dydt[lay.psi(iq, 2)] = qke / 5.0
-                * (2.0 * y[lay.psi(iq, 1)] - 3.0 * y[lay.psi(iq, 3)])
+            dydt[lay.psi(iq, 2)] = qke / 5.0 * (2.0 * y[lay.psi(iq, 1)] - 3.0 * y[lay.psi(iq, 3)])
                 - match lay.gauge {
                     Gauge::Synchronous => (hdot / 15.0 + 2.0 / 5.0 * etadot) * dlnf,
                     Gauge::ConformalNewtonian => 0.0,

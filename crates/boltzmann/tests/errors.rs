@@ -15,11 +15,15 @@ fn open_universe_is_rejected() {
 }
 
 #[test]
-#[should_panic(expected = "wavenumber must be positive")]
-fn nonpositive_k_is_rejected() {
+fn nonpositive_k_is_a_typed_error() {
     let bg = Background::new(CosmoParams::standard_cdm());
     let th = ThermoHistory::new(&bg);
-    let _ = evolve_mode(&bg, &th, 0.0, &ModeConfig::default());
+    for bad in [0.0, -1.0e-3, f64::NAN, f64::INFINITY] {
+        match evolve_mode(&bg, &th, bad, &ModeConfig::default()) {
+            Err(boltzmann::EvolveError::BadWavenumber { .. }) => {}
+            other => panic!("k = {bad} must be rejected, got {:?}", other.map(|_| ())),
+        }
+    }
 }
 
 #[test]

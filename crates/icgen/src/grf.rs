@@ -73,11 +73,7 @@ impl GaussianField {
         fft3_complex(&mut real, n, true);
         let norm = 1.0 / n3 as f64;
         let delta: Vec<f64> = (0..n3).map(|i| real[2 * i] * norm).collect();
-        Self {
-            n,
-            box_mpc,
-            delta,
-        }
+        Self { n, box_mpc, delta }
     }
 
     /// Sample variance of the realization.
@@ -145,9 +141,8 @@ impl GaussianField {
                         .floor()
                         .clamp(0.0, nbins as f64 - 1.0) as usize;
                     let idx = 2 * (z * n * n + y * n + x);
-                    let p_est =
-                        (data[idx] * data[idx] + data[idx + 1] * data[idx + 1]) * v_cell
-                            / n3 as f64;
+                    let p_est = (data[idx] * data[idx] + data[idx + 1] * data[idx + 1]) * v_cell
+                        / n3 as f64;
                     psum[bin] += p_est;
                     count[bin] += 1;
                 }

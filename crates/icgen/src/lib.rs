@@ -12,4 +12,4 @@ pub mod grf;
 pub mod zeldovich;
 
 pub use grf::GaussianField;
-pub use zeldovich::{ZeldovichIcs, Particle};
+pub use zeldovich::{Particle, ZeldovichIcs};

@@ -272,6 +272,9 @@ mod tests {
         let corr = num / (dr.sqrt() * dd.sqrt());
         // NGP assignment at lattice resolution is noisy; require a clear
         // positive correlation rather than a tight match
-        assert!(corr > 0.2, "NGP density decorrelated from input: r = {corr}");
+        assert!(
+            corr > 0.2,
+            "NGP density decorrelated from input: r = {corr}"
+        );
     }
 }

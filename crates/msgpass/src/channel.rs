@@ -6,17 +6,20 @@
 //! channel park messages in a local reorder queue, preserving per-pair
 //! FIFO order exactly as the 1995 libraries did.
 
-use crate::{CommError, Envelope, Message, Rank, Tag, Transport};
+use crate::{CommError, Envelope, Message, Rank, Tag, Transport, World};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 /// Factory for a fixed-size in-process world.
 pub struct ChannelWorld;
 
 impl ChannelWorld {
     /// Create `n` endpoints; index `i` in the returned vector is rank `i`.
+    /// `ChannelWorld` is a stateless factory, so this deliberately returns
+    /// the endpoint set rather than `Self`; prefer [`World::endpoints`].
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(n: usize) -> Vec<ChannelEndpoint> {
-        assert!(n >= 1);
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -34,6 +37,19 @@ impl ChannelWorld {
                 parked: VecDeque::new(),
             })
             .collect()
+    }
+}
+
+impl World for ChannelWorld {
+    type Endpoint = ChannelEndpoint;
+
+    const NAME: &'static str = "channel";
+
+    fn endpoints(n_ranks: usize) -> Result<Vec<ChannelEndpoint>, CommError> {
+        if n_ranks == 0 {
+            return Err(CommError::Unsupported("world needs at least one rank"));
+        }
+        Ok(ChannelWorld::new(n_ranks))
     }
 }
 
@@ -68,6 +84,41 @@ impl ChannelEndpoint {
             }
         }
     }
+
+    /// Like [`Self::pull_until_match`] but bounded by a deadline;
+    /// `Ok(None)` when it passes without a match.
+    fn pull_until_deadline(
+        &mut self,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+        deadline: Instant,
+    ) -> Result<Option<usize>, CommError> {
+        if let Some(i) = self.find_parked(source, tag) {
+            return Ok(Some(i));
+        }
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(msg) => {
+                    let matched = msg.matches(source, tag);
+                    self.parked.push_back(msg);
+                    if matched {
+                        return Ok(Some(self.parked.len() - 1));
+                    }
+                }
+                Err(_) => return Ok(None),
+            }
+        }
+    }
+
+    fn take_parked(&mut self, i: usize) -> Result<Message, CommError> {
+        self.parked
+            .remove(i)
+            .ok_or_else(|| CommError::Protocol("reorder queue index vanished".into()))
+    }
 }
 
 impl Transport for ChannelEndpoint {
@@ -94,9 +145,21 @@ impl Transport for ChannelEndpoint {
         Ok(self.parked[i].envelope())
     }
 
+    fn probe_timeout(
+        &mut self,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, CommError> {
+        let deadline = Instant::now() + timeout;
+        Ok(self
+            .pull_until_deadline(source, tag, deadline)?
+            .map(|i| self.parked[i].envelope()))
+    }
+
     fn recv(&mut self, source: Rank, tag: Tag, buf: &mut Vec<f64>) -> Result<Envelope, CommError> {
         let i = self.pull_until_match(Some(source), Some(tag))?;
-        let msg = self.parked.remove(i).expect("index just found");
+        let msg = self.take_parked(i)?;
         let env = msg.envelope();
         buf.clear();
         buf.extend_from_slice(&msg.data);
@@ -145,7 +208,14 @@ mod tests {
         let mut a = eps.pop().unwrap();
         b.send(0, 3, &[9.0, 9.0]).unwrap();
         let env = a.probe(None, None).unwrap();
-        assert_eq!(env, Envelope { source: 1, tag: 3, len: 2 });
+        assert_eq!(
+            env,
+            Envelope {
+                source: 1,
+                tag: 3,
+                len: 2
+            }
+        );
         // probing again still sees it
         let env2 = a.probe(Some(1), Some(3)).unwrap();
         assert_eq!(env, env2);
@@ -153,6 +223,32 @@ mod tests {
         let mut buf = Vec::new();
         a.recv(1, 3, &mut buf).unwrap();
         assert_eq!(buf, vec![9.0, 9.0]);
+    }
+
+    #[test]
+    fn probe_timeout_expires_then_matches() {
+        let mut eps = ChannelWorld::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        // nothing pending: a short bounded probe returns None
+        let none = a
+            .probe_timeout(None, None, Duration::from_millis(10))
+            .unwrap();
+        assert!(none.is_none());
+        b.send(0, 3, &[1.0]).unwrap();
+        let env = a
+            .probe_timeout(None, None, Duration::from_millis(200))
+            .unwrap()
+            .expect("message is pending");
+        assert_eq!(env.tag, 3);
+        // mismatched filter still times out without consuming
+        let miss = a
+            .probe_timeout(Some(1), Some(9), Duration::from_millis(10))
+            .unwrap();
+        assert!(miss.is_none());
+        let mut buf = Vec::new();
+        a.recv(1, 3, &mut buf).unwrap();
+        assert_eq!(buf, vec![1.0]);
     }
 
     #[test]
@@ -220,14 +316,19 @@ mod tests {
     }
 
     #[test]
+    fn empty_world_is_rejected() {
+        assert!(<ChannelWorld as World>::endpoints(0).is_err());
+    }
+
+    #[test]
     fn disconnected_world_errors() {
         let mut eps = ChannelWorld::new(2);
         let mut a = eps.remove(0);
         drop(eps); // rank 1 gone
-        // sending still works (channel buffered) but receiving can't block
-        // forever: dropping all senders to rank 0 except its own clone...
-        // rank 0 holds a sender to itself, so the channel never closes;
-        // emulate worker completion by a message instead.
+                   // sending still works (channel buffered) but receiving can't block
+                   // forever: dropping all senders to rank 0 except its own clone...
+                   // rank 0 holds a sender to itself, so the channel never closes;
+                   // emulate worker completion by a message instead.
         a.send(0, 6, &[0.0]).unwrap();
         let mut buf = Vec::new();
         let env = a.recv(0, 6, &mut buf).unwrap();

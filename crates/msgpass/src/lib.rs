@@ -19,10 +19,15 @@
 //! * [`serial::LoopbackWorld`] — a deterministic single-rank loopback
 //!   for protocol unit tests.
 //!
-//! As in the paper, the farm's behaviour — message sizes, tags,
-//! master/worker dynamics — is identical across transports; "the choice
-//! of which library to use … is simply a matter of which is most
-//! convenient to the user."
+//! The [`World`] trait is the single entry point for building all the
+//! endpoints of a run at once: `W::endpoints(n)` returns one
+//! [`Transport`] per rank, with rank 0 conventionally the master.  Farm
+//! code written against `World` + `Transport` runs unchanged over every
+//! transport — the paper's claim that "the choice of which library to
+//! use … is simply a matter of which is most convenient to the user."
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod channel;
 pub mod codec;
@@ -32,6 +37,7 @@ pub mod tcp;
 pub mod wrappers;
 
 use std::fmt;
+use std::time::Duration;
 
 /// Message tag (the paper's `msgtype`).
 pub type Tag = u32;
@@ -99,6 +105,22 @@ pub trait Transport: Send {
     /// matches anything (the paper's `MPI_ANY_SOURCE`/`MPI_ANY_TAG`).
     fn probe(&mut self, source: Option<Rank>, tag: Option<Tag>) -> Result<Envelope, CommError>;
 
+    /// Bounded probe: like [`Transport::probe`], but give up after
+    /// `timeout` and return `Ok(None)` when no matching message arrived.
+    ///
+    /// This is the primitive behind liveness-aware event loops: a master
+    /// that polls with a short timeout can interleave peer-health checks
+    /// with message handling and so never deadlocks on a worker that
+    /// died without saying goodbye (thread endpoints keep their channels
+    /// open through clones held by every peer, so a vanished worker is
+    /// otherwise indistinguishable from a slow one).
+    fn probe_timeout(
+        &mut self,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, CommError>;
+
     /// Receive the first pending message from `source` with tag `tag`
     /// into `buf` (resized to fit).
     fn recv(&mut self, source: Rank, tag: Tag, buf: &mut Vec<f64>) -> Result<Envelope, CommError>;
@@ -106,6 +128,19 @@ pub trait Transport: Send {
     /// Broadcast from this rank to every other rank (the paper's
     /// `mybcastreal` loops point-to-point sends, and so does this
     /// default).
+    ///
+    /// # Partial-failure semantics
+    ///
+    /// The loop stops at the **first** failing send: ranks earlier in
+    /// rank order have already received the message, ranks after the
+    /// failing one have not, and nothing is rolled back.  A broadcast
+    /// error therefore leaves the world in a mixed state in which some
+    /// peers hold the payload and others never will.  Callers that use
+    /// the broadcast to open a session (as the farm's tag-1 spec
+    /// broadcast does) must treat any `Err` as fatal for the whole
+    /// session and tear everything down — the farm maps it to
+    /// `FarmError::Setup` — rather than proceed with the subset that
+    /// was reached.
     fn broadcast(&mut self, tag: Tag, data: &[f64]) -> Result<(), CommError> {
         let me = self.rank();
         for dest in 0..self.size() {
@@ -123,6 +158,27 @@ pub trait Transport: Send {
     {
         len * 8
     }
+}
+
+/// A factory for the complete set of endpoints of one run.
+///
+/// `endpoints(n)` builds an `n`-rank world and returns its endpoints in
+/// rank order (index `i` is rank `i`; rank 0 is the master by the
+/// farm's convention).  Each endpoint is `Send + 'static` so it can be
+/// moved to a worker thread.  This is the single seam through which the
+/// farm selects a transport: `Farm::<ChannelWorld>`,
+/// `Farm::<ShmemWorld>`, `Farm::<TcpWorld>` are the same code over
+/// different message-passing substrates, exactly as PLINGER was the
+/// same Fortran over PVM, MPI, MPL, and PVMe.
+pub trait World {
+    /// The endpoint type of this transport.
+    type Endpoint: Transport + Send + 'static;
+
+    /// Human-readable transport name (for logs and error messages).
+    const NAME: &'static str;
+
+    /// Build an `n`-rank world; index `i` of the result is rank `i`.
+    fn endpoints(n_ranks: usize) -> Result<Vec<Self::Endpoint>, CommError>;
 }
 
 /// An owned message as stored in reorder queues.
@@ -176,5 +232,21 @@ mod tests {
     fn comm_error_display() {
         assert_eq!(CommError::NoSuchRank(7).to_string(), "no such rank: 7");
         assert!(CommError::Disconnected.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn worlds_build_uniformly() {
+        fn shape<W: World>(n: usize) {
+            let eps = W::endpoints(n).unwrap();
+            assert_eq!(eps.len(), n, "{}", W::NAME);
+            for (i, ep) in eps.iter().enumerate() {
+                assert_eq!(ep.rank(), i, "{}", W::NAME);
+                assert_eq!(ep.size(), n, "{}", W::NAME);
+            }
+        }
+        shape::<channel::ChannelWorld>(3);
+        shape::<shmem::ShmemWorld>(3);
+        shape::<tcp::TcpWorld>(3);
+        shape::<serial::LoopbackWorld>(1);
     }
 }

@@ -5,8 +5,9 @@
 //! interleaved deterministically on one thread, and every probe/receive
 //! is reproducible run-to-run.
 
-use crate::{CommError, Envelope, Message, Rank, Tag, Transport};
+use crate::{CommError, Envelope, Message, Rank, Tag, Transport, World};
 use std::collections::VecDeque;
+use std::time::Duration;
 
 /// Single-rank loopback world.
 #[derive(Default)]
@@ -23,6 +24,21 @@ impl LoopbackWorld {
     /// Number of messages currently queued.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+}
+
+impl World for LoopbackWorld {
+    type Endpoint = LoopbackWorld;
+
+    const NAME: &'static str = "serial";
+
+    fn endpoints(n_ranks: usize) -> Result<Vec<LoopbackWorld>, CommError> {
+        if n_ranks != 1 {
+            return Err(CommError::Unsupported(
+                "loopback worlds have exactly one rank",
+            ));
+        }
+        Ok(vec![LoopbackWorld::new()])
     }
 }
 
@@ -55,13 +71,31 @@ impl Transport for LoopbackWorld {
             .ok_or(CommError::Disconnected) // loopback cannot block
     }
 
+    fn probe_timeout(
+        &mut self,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+        _timeout: Duration,
+    ) -> Result<Option<Envelope>, CommError> {
+        // single-threaded: nothing can arrive while we wait, so the
+        // bounded probe degenerates to a non-blocking queue scan
+        Ok(self
+            .queue
+            .iter()
+            .find(|m| m.matches(source, tag))
+            .map(|m| m.envelope()))
+    }
+
     fn recv(&mut self, source: Rank, tag: Tag, buf: &mut Vec<f64>) -> Result<Envelope, CommError> {
         let idx = self
             .queue
             .iter()
             .position(|m| m.matches(Some(source), Some(tag)))
             .ok_or(CommError::Disconnected)?;
-        let msg = self.queue.remove(idx).expect("index just found");
+        let msg = self
+            .queue
+            .remove(idx)
+            .ok_or_else(|| CommError::Protocol("loopback queue index vanished".into()))?;
         let env = msg.envelope();
         buf.clear();
         buf.extend_from_slice(&msg.data);
@@ -93,6 +127,20 @@ mod tests {
     }
 
     #[test]
+    fn bounded_probe_on_empty_is_none() {
+        let mut w = LoopbackWorld::new();
+        let got = w
+            .probe_timeout(None, None, Duration::from_millis(1))
+            .unwrap();
+        assert!(got.is_none());
+        w.send(0, 2, &[1.0]).unwrap();
+        let env = w
+            .probe_timeout(None, Some(2), Duration::from_millis(1))
+            .unwrap();
+        assert_eq!(env.map(|e| e.tag), Some(2));
+    }
+
+    #[test]
     fn selective_recv_by_tag() {
         let mut w = LoopbackWorld::new();
         w.send(0, 1, &[1.0]).unwrap();
@@ -108,5 +156,11 @@ mod tests {
     fn send_to_other_rank_fails() {
         let mut w = LoopbackWorld::new();
         assert_eq!(w.send(1, 0, &[]).unwrap_err(), CommError::NoSuchRank(1));
+    }
+
+    #[test]
+    fn multi_rank_loopback_is_rejected() {
+        assert!(<LoopbackWorld as World>::endpoints(2).is_err());
+        assert!(<LoopbackWorld as World>::endpoints(0).is_err());
     }
 }

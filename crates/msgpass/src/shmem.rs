@@ -8,10 +8,11 @@
 //! without draining anything — closest in spirit to MPL's behaviour on
 //! the SP2's shared switch adapters.
 
-use crate::{CommError, Envelope, Message, Rank, Tag, Transport};
+use crate::{CommError, Envelope, Message, Rank, Tag, Transport, World};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Mailbox {
     queue: Mutex<VecDeque<Message>>,
@@ -32,8 +33,10 @@ pub struct ShmemWorld;
 
 impl ShmemWorld {
     /// Create `n` endpoints; index `i` is rank `i`.
+    /// `ShmemWorld` is a stateless factory, so this deliberately returns
+    /// the endpoint set rather than `Self`; prefer [`World::endpoints`].
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(n: usize) -> Vec<ShmemEndpoint> {
-        assert!(n >= 1);
         let boxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::new())).collect();
         (0..n)
             .map(|rank| ShmemEndpoint {
@@ -44,10 +47,31 @@ impl ShmemWorld {
     }
 }
 
+impl World for ShmemWorld {
+    type Endpoint = ShmemEndpoint;
+
+    const NAME: &'static str = "shmem";
+
+    fn endpoints(n_ranks: usize) -> Result<Vec<ShmemEndpoint>, CommError> {
+        if n_ranks == 0 {
+            return Err(CommError::Unsupported("world needs at least one rank"));
+        }
+        Ok(ShmemWorld::new(n_ranks))
+    }
+}
+
 /// One rank of a shared-memory world.
 pub struct ShmemEndpoint {
     rank: Rank,
     boxes: Vec<Arc<Mailbox>>,
+}
+
+impl ShmemEndpoint {
+    fn own_box(&self) -> Result<&Arc<Mailbox>, CommError> {
+        self.boxes
+            .get(self.rank)
+            .ok_or(CommError::NoSuchRank(self.rank))
+    }
 }
 
 impl Transport for ShmemEndpoint {
@@ -72,7 +96,7 @@ impl Transport for ShmemEndpoint {
     }
 
     fn probe(&mut self, source: Option<Rank>, tag: Option<Tag>) -> Result<Envelope, CommError> {
-        let mb = &self.boxes[self.rank];
+        let mb = self.own_box()?;
         let mut q = mb.queue.lock();
         loop {
             if let Some(m) = q.iter().find(|m| m.matches(source, tag)) {
@@ -82,12 +106,42 @@ impl Transport for ShmemEndpoint {
         }
     }
 
+    fn probe_timeout(
+        &mut self,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, CommError> {
+        let deadline = Instant::now() + timeout;
+        let mb = self.own_box()?;
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(m) = q.iter().find(|m| m.matches(source, tag)) {
+                return Ok(Some(m.envelope()));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            if mb.bell.wait_for(&mut q, deadline - now).timed_out() {
+                // one final scan: a send may have slipped in right at the
+                // deadline
+                return Ok(q
+                    .iter()
+                    .find(|m| m.matches(source, tag))
+                    .map(|m| m.envelope()));
+            }
+        }
+    }
+
     fn recv(&mut self, source: Rank, tag: Tag, buf: &mut Vec<f64>) -> Result<Envelope, CommError> {
-        let mb = &self.boxes[self.rank];
+        let mb = self.own_box()?;
         let mut q = mb.queue.lock();
         loop {
             if let Some(i) = q.iter().position(|m| m.matches(Some(source), Some(tag))) {
-                let msg = q.remove(i).expect("index just found");
+                let msg = q
+                    .remove(i)
+                    .ok_or_else(|| CommError::Protocol("mailbox index vanished".into()))?;
                 let env = msg.envelope();
                 buf.clear();
                 buf.extend_from_slice(&msg.data);
@@ -127,7 +181,14 @@ mod tests {
         let mut a = eps.pop().unwrap();
         b.send(0, 9, &[1.0, 2.0, 3.0]).unwrap();
         let env = a.probe(None, None).unwrap();
-        assert_eq!(env, Envelope { source: 1, tag: 9, len: 3 });
+        assert_eq!(
+            env,
+            Envelope {
+                source: 1,
+                tag: 9,
+                len: 3
+            }
+        );
         let env2 = a.probe(Some(1), Some(9)).unwrap();
         assert_eq!(env, env2);
         let mut buf = Vec::new();
@@ -162,6 +223,27 @@ mod tests {
         thread::sleep(std::time::Duration::from_millis(30));
         b.send(0, 7, &[0.0]).unwrap();
         assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn bounded_probe_times_out_and_wakes() {
+        let mut eps = ShmemWorld::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let t0 = Instant::now();
+        let none = a
+            .probe_timeout(None, None, Duration::from_millis(20))
+            .unwrap();
+        assert!(none.is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        let h = thread::spawn(move || {
+            a.probe_timeout(None, None, Duration::from_secs(5))
+                .unwrap()
+                .map(|e| e.tag)
+        });
+        thread::sleep(Duration::from_millis(20));
+        b.send(0, 4, &[0.0]).unwrap();
+        assert_eq!(h.join().unwrap(), Some(4));
     }
 
     #[test]

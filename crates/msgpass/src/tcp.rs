@@ -10,15 +10,22 @@
 //! ([`crate::codec`]) into an internal channel; probe/receive semantics
 //! (blocking, per-pair FIFO, reorder queue) are identical to the
 //! in-process transport, as the paper demands of its wrapper layer.
+//!
+//! Two assembly paths exist: [`TcpWorld`] builds all endpoints of a
+//! star inside one process (for tests and thread-based farms over real
+//! sockets), while [`PendingMaster`] + [`connect_worker`] split the
+//! handshake across processes (the `plinger --transport tcp` deployment,
+//! where each worker is an OS subprocess).
 
 use crate::codec::{decode, encode};
-use crate::{CommError, Envelope, Message, Rank, Tag, Transport};
+use crate::{CommError, Envelope, Message, Rank, Tag, Transport, World};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Control tag used for the rank-introduction handshake.
 const HELLO_TAG: Tag = u32::MAX;
@@ -26,6 +33,7 @@ const HELLO_TAG: Tag = u32::MAX;
 /// A pending master endpoint: workers connect to [`Self::addr`].
 pub struct PendingMaster {
     listener: TcpListener,
+    addr: SocketAddr,
     n_workers: usize,
 }
 
@@ -33,12 +41,17 @@ impl PendingMaster {
     /// Bind an ephemeral localhost port for `n_workers` workers.
     pub fn bind(n_workers: usize) -> std::io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
-        Ok(Self { listener, n_workers })
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            addr,
+            n_workers,
+        })
     }
 
     /// The address workers should connect to.
     pub fn addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener has addr")
+        self.addr
     }
 
     /// Accept all workers and build the master endpoint (rank 0).
@@ -86,7 +99,9 @@ impl PendingMaster {
 
 /// Connect a worker endpoint with the given rank (1-based) to the master.
 pub fn connect_worker(addr: SocketAddr, rank: Rank, size: usize) -> Result<TcpEndpoint, CommError> {
-    assert!(rank >= 1 && rank < size, "worker rank must be 1..size");
+    if rank < 1 || rank >= size {
+        return Err(CommError::NoSuchRank(rank));
+    }
     let stream = TcpStream::connect(addr)
         .map_err(|e| CommError::Protocol(format!("connect failed: {e}")))?;
     stream.set_nodelay(true).ok();
@@ -112,6 +127,38 @@ pub fn connect_worker(addr: SocketAddr, rank: Rank, size: usize) -> Result<TcpEn
         parked: VecDeque::new(),
         _readers: vec![reader],
     })
+}
+
+/// In-process factory for a localhost TCP star: all endpoints are built
+/// inside the calling process, connected through real sockets.
+///
+/// The connect side runs before the accept side; the listener backlog
+/// holds the pending connections, so no helper threads are needed.
+pub struct TcpWorld;
+
+impl World for TcpWorld {
+    type Endpoint = TcpEndpoint;
+
+    const NAME: &'static str = "tcp";
+
+    fn endpoints(n_ranks: usize) -> Result<Vec<TcpEndpoint>, CommError> {
+        if n_ranks == 0 {
+            return Err(CommError::Unsupported("world needs at least one rank"));
+        }
+        let n_workers = n_ranks - 1;
+        let pending = PendingMaster::bind(n_workers)
+            .map_err(|e| CommError::Protocol(format!("bind failed: {e}")))?;
+        let addr = pending.addr();
+        let mut workers = Vec::with_capacity(n_workers);
+        for rank in 1..n_ranks {
+            workers.push(connect_worker(addr, rank, n_ranks)?);
+        }
+        let master = pending.accept_all()?;
+        let mut eps = Vec::with_capacity(n_ranks);
+        eps.push(master);
+        eps.extend(workers);
+        Ok(eps)
+    }
 }
 
 /// Read exactly one frame; returns it together with any surplus bytes
@@ -185,6 +232,33 @@ impl TcpEndpoint {
             }
         }
     }
+
+    fn pull_until_deadline(
+        &mut self,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+        deadline: Instant,
+    ) -> Result<Option<usize>, CommError> {
+        if let Some(i) = self.parked.iter().position(|m| m.matches(source, tag)) {
+            return Ok(Some(i));
+        }
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(msg) => {
+                    let matched = msg.matches(source, tag);
+                    self.parked.push_back(msg);
+                    if matched {
+                        return Ok(Some(self.parked.len() - 1));
+                    }
+                }
+                Err(_) => return Ok(None),
+            }
+        }
+    }
 }
 
 impl Transport for TcpEndpoint {
@@ -216,9 +290,24 @@ impl Transport for TcpEndpoint {
         Ok(self.parked[i].envelope())
     }
 
+    fn probe_timeout(
+        &mut self,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, CommError> {
+        let deadline = Instant::now() + timeout;
+        Ok(self
+            .pull_until_deadline(source, tag, deadline)?
+            .map(|i| self.parked[i].envelope()))
+    }
+
     fn recv(&mut self, source: Rank, tag: Tag, buf: &mut Vec<f64>) -> Result<Envelope, CommError> {
         let i = self.pull_until_match(Some(source), Some(tag))?;
-        let msg = self.parked.remove(i).expect("index just found");
+        let msg = self
+            .parked
+            .remove(i)
+            .ok_or_else(|| CommError::Protocol("reorder queue index vanished".into()))?;
         let env = msg.envelope();
         buf.clear();
         buf.extend_from_slice(&msg.data);
@@ -262,6 +351,53 @@ mod tests {
     }
 
     #[test]
+    fn in_process_world_over_sockets() {
+        let mut eps = TcpWorld::endpoints(3).unwrap();
+        assert_eq!(eps.len(), 3);
+        let handles: Vec<_> = eps
+            .drain(1..)
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    ep.recv(0, 1, &mut buf).unwrap();
+                    ep.send(0, 2, &[buf[0] + ep.rank() as f64]).unwrap();
+                })
+            })
+            .collect();
+        let mut master = eps.remove(0);
+        master.broadcast(1, &[100.0]).unwrap();
+        let mut got = Vec::new();
+        let mut buf = Vec::new();
+        for _ in 0..2 {
+            let env = master.probe(None, Some(2)).unwrap();
+            master.recv(env.source, 2, &mut buf).unwrap();
+            got.push(buf[0]);
+        }
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got, vec![101.0, 102.0]);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn probe_timeout_detects_silence() {
+        let mut eps = TcpWorld::endpoints(2).unwrap();
+        let mut master = eps.remove(0);
+        let none = master
+            .probe_timeout(None, None, Duration::from_millis(20))
+            .unwrap();
+        assert!(none.is_none());
+        let mut worker = eps.remove(0);
+        worker.send(0, 3, &[1.5]).unwrap();
+        let env = master
+            .probe_timeout(None, None, Duration::from_secs(2))
+            .unwrap()
+            .expect("frame should arrive");
+        assert_eq!(env.tag, 3);
+    }
+
+    #[test]
     fn large_message_integrity() {
         let pending = PendingMaster::bind(1).unwrap();
         let addr = pending.addr();
@@ -297,6 +433,20 @@ mod tests {
         let _master = pending.accept_all().unwrap();
         w.join().unwrap();
         w2.join().unwrap();
+    }
+
+    #[test]
+    fn bad_worker_rank_is_error_not_panic() {
+        let pending = PendingMaster::bind(1).unwrap();
+        let addr = pending.addr();
+        assert!(matches!(
+            connect_worker(addr, 0, 2),
+            Err(CommError::NoSuchRank(0))
+        ));
+        assert!(matches!(
+            connect_worker(addr, 2, 2),
+            Err(CommError::NoSuchRank(2))
+        ));
     }
 
     #[test]

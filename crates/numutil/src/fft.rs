@@ -12,7 +12,10 @@ use std::f64::consts::PI;
 /// normalization (callers normalize once).
 pub fn fft_complex(data: &mut [f64], inverse: bool) {
     let n = data.len() / 2;
-    assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT size must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -116,7 +119,9 @@ mod tests {
     use super::*;
 
     fn roundtrip(n: usize) {
-        let mut data: Vec<f64> = (0..2 * n).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect();
+        let mut data: Vec<f64> = (0..2 * n)
+            .map(|i| ((i * 37 + 11) % 17) as f64 - 8.0)
+            .collect();
         let orig = data.clone();
         fft_complex(&mut data, false);
         fft_complex(&mut data, true);
@@ -156,11 +161,16 @@ mod tests {
     #[test]
     fn parseval_identity() {
         let n = 128;
-        let mut data: Vec<f64> = (0..2 * n).map(|i| ((i * 13) % 29) as f64 * 0.1 - 1.0).collect();
+        let mut data: Vec<f64> = (0..2 * n)
+            .map(|i| ((i * 13) % 29) as f64 * 0.1 - 1.0)
+            .collect();
         let time_energy: f64 = data.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum();
         fft_complex(&mut data, false);
-        let freq_energy: f64 =
-            data.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum::<f64>() / n as f64;
+        let freq_energy: f64 = data
+            .chunks(2)
+            .map(|c| c[0] * c[0] + c[1] * c[1])
+            .sum::<f64>()
+            / n as f64;
         assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
     }
 
@@ -187,7 +197,8 @@ mod tests {
         for z in 0..n {
             for y in 0..n {
                 for x in 0..n {
-                    let ph = 2.0 * PI
+                    let ph = 2.0
+                        * PI
                         * (kx as f64 * x as f64 + ky as f64 * y as f64 + kz as f64 * z as f64)
                         / n as f64;
                     let idx = 2 * (z * n * n + y * n + x);

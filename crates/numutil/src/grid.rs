@@ -15,14 +15,23 @@ pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
 /// `n` points logarithmically spaced on `[a, b]` inclusive (`a, b > 0`).
 pub fn logspace(a: f64, b: f64, n: usize) -> Vec<f64> {
     assert!(a > 0.0 && b > 0.0, "logspace requires positive bounds");
-    linspace(a.ln(), b.ln(), n).into_iter().map(f64::exp).collect()
+    linspace(a.ln(), b.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
 }
 
 /// Composite k-grid: logarithmic below the pivot `k_split`, linear above,
 /// deduplicated and sorted.  This mirrors LINGER's practice of covering
 /// the COBE scales logarithmically while resolving the acoustic
 /// oscillations with uniform spacing `dk ~ π / τ₀`.
-pub fn composite_k_grid(k_min: f64, k_split: f64, k_max: f64, n_log: usize, n_lin: usize) -> Vec<f64> {
+pub fn composite_k_grid(
+    k_min: f64,
+    k_split: f64,
+    k_max: f64,
+    n_log: usize,
+    n_lin: usize,
+) -> Vec<f64> {
     assert!(k_min > 0.0 && k_min < k_split && k_split < k_max);
     let mut ks = logspace(k_min, k_split, n_log);
     let lin = linspace(k_split, k_max, n_lin);

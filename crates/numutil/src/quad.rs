@@ -142,10 +142,7 @@ pub fn romberg<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> (f64, f64) 
         }
     }
     let last = KMAX - 1;
-    (
-        r[last][last],
-        (r[last][last] - r[last - 1][last - 1]).abs(),
-    )
+    (r[last][last], (r[last][last] - r[last - 1][last - 1]).abs())
 }
 
 /// Composite trapezoid rule over tabulated samples `(xs, ys)`.
@@ -203,7 +200,11 @@ mod tests {
         // ∫ e^{-x} x^k dx = k!
         let (xs, ws) = gauss_laguerre(16);
         for (k, expect) in [(1u32, 1.0f64), (2, 2.0), (3, 6.0), (5, 120.0)] {
-            let s: f64 = xs.iter().zip(&ws).map(|(&x, &w)| w * x.powi(k as i32)).sum();
+            let s: f64 = xs
+                .iter()
+                .zip(&ws)
+                .map(|(&x, &w)| w * x.powi(k as i32))
+                .sum();
             assert!((s - expect).abs() / expect < 1e-10, "k={k} s={s}");
         }
     }

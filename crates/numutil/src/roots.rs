@@ -29,7 +29,12 @@ impl std::fmt::Display for RootError {
 impl std::error::Error for RootError {}
 
 /// Bisection on `[a, b]` to absolute tolerance `xtol`.
-pub fn bisect<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, xtol: f64) -> Result<f64, RootError> {
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    mut a: f64,
+    mut b: f64,
+    xtol: f64,
+) -> Result<f64, RootError> {
     let mut fa = f(a);
     let fb = f(b);
     if fa == 0.0 {

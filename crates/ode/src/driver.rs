@@ -106,17 +106,22 @@ impl Solution {
     /// Cubic-Hermite interpolation of the recorded trajectory at time `t`.
     ///
     /// Panics if the trajectory was not recorded or `t` lies outside it.
+    #[allow(clippy::needless_range_loop)] // lockstep over four state arrays
     pub fn sample(&self, t: f64, out: &mut [f64]) {
         assert!(
             self.trajectory.len() >= 2,
             "trajectory not recorded (set record_trajectory)"
         );
         let tr = &self.trajectory;
-        let first = tr.first().unwrap().t;
-        let last = tr.last().unwrap().t;
+        let first = tr[0].t;
+        let last = tr[tr.len() - 1].t;
         let fwd = last >= first;
         assert!(
-            if fwd { (first..=last).contains(&t) } else { (last..=first).contains(&t) },
+            if fwd {
+                (first..=last).contains(&t)
+            } else {
+                (last..=first).contains(&t)
+            },
             "sample time {t} outside recorded range [{first}, {last}]"
         );
         // binary search for the bracketing pair
@@ -172,11 +177,11 @@ impl std::error::Error for OdeError {}
 
 /// Reusable integrator workspace.
 pub struct Integrator {
-    k: Vec<Vec<f64>>,  // stage derivatives
-    ytmp: Vec<f64>,    // stage state
-    yerr: Vec<f64>,    // error estimate
-    ynew: Vec<f64>,    // candidate state
-    err_prev: f64,     // PI controller memory
+    k: Vec<Vec<f64>>, // stage derivatives
+    ytmp: Vec<f64>,   // stage state
+    yerr: Vec<f64>,   // error estimate
+    ynew: Vec<f64>,   // candidate state
+    err_prev: f64,    // PI controller memory
 }
 
 impl Default for Integrator {
@@ -211,6 +216,7 @@ impl Integrator {
 
     /// Integrate `rhs` from `(t0, y0)` to `t1`; `y0` is updated in place to
     /// the final state.  Supports forward and backward integration.
+    #[allow(clippy::needless_range_loop)] // RK stages index k[s][j] in lockstep
     pub fn integrate<R: Rhs + ?Sized>(
         &mut self,
         rhs: &mut R,
@@ -239,8 +245,7 @@ impl Integrator {
         let flops_rhs = rhs.flops_per_eval();
         // stage-combination flops: per step, sum over stage rows of 2n per
         // coefficient + final combination 2·stages·n twice (y and err).
-        let comb_flops =
-            (tab.stages * (tab.stages - 1) + 4 * tab.stages) as u64 * n as u64;
+        let comb_flops = (tab.stages * (tab.stages - 1) + 4 * tab.stages) as u64 * n as u64;
 
         let mut t = t0;
         let mut trajectory = Vec::new();
@@ -491,7 +496,14 @@ mod tests {
             atol: 1e-13,
             ..Default::default()
         };
-        integrate(&mut Oscillator, 0.0, 20.0 * std::f64::consts::PI, &mut y, &opts).unwrap();
+        integrate(
+            &mut Oscillator,
+            0.0,
+            20.0 * std::f64::consts::PI,
+            &mut y,
+            &opts,
+        )
+        .unwrap();
         let e = y[0] * y[0] + y[1] * y[1];
         assert!((e - 1.0).abs() < 1e-8, "energy drift: {e}");
         assert!((y[0] - 1.0).abs() < 1e-7, "phase error: {}", y[0]);
@@ -662,7 +674,13 @@ mod tests {
             .unwrap();
         let mut y2 = [1.0, 0.0];
         integ
-            .integrate(&mut Oscillator, 0.0, 1.0, &mut y2, &IntegrateOpts::default())
+            .integrate(
+                &mut Oscillator,
+                0.0,
+                1.0,
+                &mut y2,
+                &IntegrateOpts::default(),
+            )
             .unwrap();
         assert!((y1[0] - (-1.0f64).exp()).abs() < 1e-6);
         assert!((y2[0] - 1.0f64.cos()).abs() < 1e-6);

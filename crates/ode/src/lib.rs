@@ -15,7 +15,9 @@
 pub mod driver;
 pub mod tableau;
 
-pub use driver::{integrate, DenseSample, IntegrateOpts, Integrator, OdeError, Solution, StepStats};
+pub use driver::{
+    integrate, DenseSample, IntegrateOpts, Integrator, OdeError, Solution, StepStats,
+};
 pub use tableau::{Method, Tableau};
 
 /// A first-order ODE system `dy/dt = f(t, y)`.

@@ -19,7 +19,11 @@ pub enum Method {
 
 impl Method {
     /// All methods, for parameter sweeps in tests and benches.
-    pub const ALL: [Method; 3] = [Method::Verner65, Method::DormandPrince54, Method::CashKarp45];
+    pub const ALL: [Method; 3] = [
+        Method::Verner65,
+        Method::DormandPrince54,
+        Method::CashKarp45,
+    ];
 
     /// Order of the higher-order solution actually propagated.
     pub fn order(&self) -> usize {

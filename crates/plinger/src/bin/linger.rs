@@ -8,21 +8,25 @@
 //! moment payloads), the two output units of the paper's master
 //! subroutine.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use std::process::ExitCode;
+
 use plinger::cli::{parse, Parsed, USAGE};
 use plinger::output_files::{write_ascii, write_binary};
 use plinger::run_serial;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse(&args) {
         Ok(Parsed::Run(o)) => o,
         Ok(Parsed::TcpWorker(_)) => {
             eprintln!("linger is the serial code; --tcp-worker belongs to plinger");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
         Err(msg) => {
             eprintln!("error: {msg}\n\nusage: linger [options]\n{USAGE}");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     };
 
@@ -35,16 +39,31 @@ fn main() {
         opts.spec.preset
     );
     let t0 = std::time::Instant::now();
-    let (outputs, wall) = run_serial(&opts.spec);
+    let (outputs, wall) = match run_serial(&opts.spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("linger: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let flops: u64 = outputs.iter().map(|o| o.stats.total_flops()).sum();
+    let rate = if wall > 0.0 {
+        flops as f64 / wall / 1e6
+    } else {
+        0.0
+    };
     eprintln!(
-        "linger: done in {wall:.2} s ({:.1} Mflop/s); writing {}.linger / {}.lingerd",
-        flops as f64 / wall / 1e6,
-        opts.output,
-        opts.output
+        "linger: done in {wall:.2} s ({rate:.1} Mflop/s); writing {}.linger / {}.lingerd",
+        opts.output, opts.output
     );
-    write_ascii(format!("{}.linger", opts.output), &opts.spec, &outputs)
-        .expect("write ascii output");
-    write_binary(format!("{}.lingerd", opts.output), &outputs).expect("write binary output");
+    if let Err(e) = write_ascii(format!("{}.linger", opts.output), &opts.spec, &outputs) {
+        eprintln!("linger: writing ASCII output failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = write_binary(format!("{}.lingerd", opts.output), &outputs) {
+        eprintln!("linger: writing binary output failed: {e}");
+        return ExitCode::FAILURE;
+    }
     eprintln!("linger: total {:.2} s", t0.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
 }

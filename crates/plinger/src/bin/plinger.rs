@@ -1,100 +1,103 @@
 //! `plinger` — the parallel code: master/worker farm over wavenumbers.
 //!
 //! ```text
-//! plinger --model scdm --nk 64 --workers 8 --output run1        # threads
-//! plinger --model scdm --nk 64 --workers 4 --tcp --output run1  # processes
+//! plinger --model scdm --nk 64 --workers 8 --output run1                 # threads
+//! plinger --model scdm --nk 64 --workers 8 --transport shmem ...        # threads, shmem
+//! plinger --model scdm --nk 64 --workers 4 --transport tcp --output r1  # processes
 //! ```
 //!
-//! With `--tcp`, the master spawns `--workers` copies of itself as OS
-//! subprocesses (hidden `--tcp-worker ADDR RANK SIZE` mode) connected
-//! over localhost TCP — the multi-node deployment of the paper mapped
-//! onto one machine.  Outputs are identical to `linger`'s, mode for
-//! mode and bit for bit.
+//! With `--transport tcp` (or the `--tcp` shorthand), the master spawns
+//! `--workers` copies of itself as OS subprocesses (hidden
+//! `--tcp-worker ADDR RANK SIZE` mode) connected over localhost TCP —
+//! the multi-node deployment of the paper mapped onto one machine.
+//! Outputs are identical to `linger`'s, mode for mode and bit for bit.
 
-use msgpass::tcp::{connect_worker, PendingMaster};
-use plinger::cli::{parse, Parsed, USAGE};
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use std::process::ExitCode;
+
+use msgpass::channel::ChannelWorld;
+use msgpass::shmem::ShmemWorld;
+use plinger::cli::{parse, CliOptions, Parsed, TransportKind, USAGE};
 use plinger::output_files::{write_ascii, write_binary};
-use plinger::{master_loop, run_parallel_channels, worker_loop, SchedulePolicy};
+use plinger::{run_tcp_processes, run_tcp_worker, Farm, FarmReport, SchedulePolicy};
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse(&args) {
         Ok(Parsed::TcpWorker(w)) => {
-            let addr: std::net::SocketAddr = w.addr.parse().expect("bad master address");
-            let mut ep = connect_worker(addr, w.rank, w.size).expect("connect to master");
-            let stats = worker_loop(&mut ep).expect("worker loop");
-            eprintln!(
-                "plinger[worker {}]: {} modes, {:.2} s busy",
-                w.rank, stats.modes, stats.busy_seconds
-            );
+            let addr: std::net::SocketAddr = match w.addr.parse() {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("plinger[worker {}]: bad master address: {e}", w.rank);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_tcp_worker(addr, w.rank, w.size) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("plinger[worker {}]: {e}", w.rank);
+                    ExitCode::FAILURE
+                }
+            }
         }
         Ok(Parsed::Run(opts)) => run_master(*opts),
         Err(msg) => {
             eprintln!("error: {msg}\n\nusage: plinger [options]\n{USAGE}");
-            std::process::exit(2);
+            ExitCode::from(2)
         }
     }
 }
 
-fn run_master(opts: plinger::cli::CliOptions) {
+fn run_master(opts: CliOptions) -> ExitCode {
+    let transport_name = match opts.transport {
+        TransportKind::Channel => "channel threads",
+        TransportKind::Shmem => "shmem threads",
+        TransportKind::Tcp => "TCP processes",
+    };
     eprintln!(
-        "plinger: {} modes on {} workers ({}), largest-k-first",
+        "plinger: {} modes on {} workers ({transport_name}), largest-k-first",
         opts.spec.ks.len(),
         opts.workers,
-        if opts.tcp { "TCP processes" } else { "threads" }
     );
     let t0 = std::time::Instant::now();
-    let (outputs, wall, efficiency) = if opts.tcp {
-        run_tcp(&opts)
-    } else {
-        let rep = run_parallel_channels(&opts.spec, SchedulePolicy::LargestFirst, opts.workers);
-        let eff = rep.parallel_efficiency();
-        (rep.outputs, rep.wall_seconds, eff)
+    let policy = SchedulePolicy::LargestFirst;
+    let report: Result<FarmReport, _> = match opts.transport {
+        TransportKind::Channel => Farm::<ChannelWorld>::new(opts.workers).run(&opts.spec, policy),
+        TransportKind::Shmem => Farm::<ShmemWorld>::new(opts.workers).run(&opts.spec, policy),
+        TransportKind::Tcp => match std::env::current_exe() {
+            Ok(exe) => run_tcp_processes(&opts.spec, policy, opts.workers, &exe),
+            Err(e) => {
+                eprintln!("plinger: cannot locate own executable: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
-    let flops: u64 = outputs.iter().map(|o| o.stats.total_flops()).sum();
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("plinger: farm failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!(
-        "plinger: {wall:.2} s wall, {:.1} Mflop/s aggregate, efficiency {:.1}%",
-        flops as f64 / wall / 1e6,
-        100.0 * efficiency
+        "plinger: {:.2} s wall, {:.1} Mflop/s aggregate, efficiency {:.1}%",
+        report.wall_seconds,
+        report.mflops(),
+        100.0 * report.parallel_efficiency()
     );
-    write_ascii(format!("{}.linger", opts.output), &opts.spec, &outputs)
-        .expect("write ascii output");
-    write_binary(format!("{}.lingerd", opts.output), &outputs).expect("write binary output");
-    eprintln!("plinger: total {:.2} s", t0.elapsed().as_secs_f64());
-}
-
-fn run_tcp(opts: &plinger::cli::CliOptions) -> (Vec<boltzmann::ModeOutput>, f64, f64) {
-    let n = opts.workers;
-    let pending = PendingMaster::bind(n).expect("bind master socket");
-    let addr = pending.addr();
-    let exe = std::env::current_exe().expect("current_exe");
-    let children: Vec<std::process::Child> = (1..=n)
-        .map(|rank| {
-            std::process::Command::new(&exe)
-                .args([
-                    "--tcp-worker",
-                    &addr.to_string(),
-                    &rank.to_string(),
-                    &(n + 1).to_string(),
-                ])
-                .spawn()
-                .expect("spawn worker process")
-        })
-        .collect();
-    let mut master = pending.accept_all().expect("accept workers");
-    let t0 = std::time::Instant::now();
-    let ledger =
-        master_loop(&mut master, &opts.spec, SchedulePolicy::LargestFirst).expect("master loop");
-    let wall = t0.elapsed().as_secs_f64();
-    for mut c in children {
-        c.wait().expect("worker exit");
+    if let Err(e) = write_ascii(
+        format!("{}.linger", opts.output),
+        &opts.spec,
+        &report.outputs,
+    ) {
+        eprintln!("plinger: writing ASCII output failed: {e}");
+        return ExitCode::FAILURE;
     }
-    let outputs: Vec<_> = ledger
-        .outputs
-        .into_iter()
-        .map(|o| o.expect("mode complete"))
-        .collect();
-    let busy: f64 = outputs.iter().map(|o| o.cpu_seconds).sum();
-    let eff = busy / (wall * n as f64);
-    (outputs, wall, eff)
+    if let Err(e) = write_binary(format!("{}.lingerd", opts.output), &report.outputs) {
+        eprintln!("plinger: writing binary output failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("plinger: total {:.2} s", t0.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
 }

@@ -7,6 +7,18 @@ use crate::protocol::RunSpec;
 use background::CosmoParams;
 use boltzmann::{Gauge, InitialConditions, Preset};
 
+/// Which message-passing substrate the parallel binary farms over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process worker threads over crossbeam channels.
+    #[default]
+    Channel,
+    /// In-process worker threads over shared-memory mailboxes.
+    Shmem,
+    /// OS-subprocess workers over localhost TCP sockets.
+    Tcp,
+}
+
 /// Parsed run options common to both binaries.
 #[derive(Debug, Clone)]
 pub struct CliOptions {
@@ -16,8 +28,8 @@ pub struct CliOptions {
     pub output: String,
     /// Worker count (parallel binary only).
     pub workers: usize,
-    /// Run over TCP subprocesses instead of in-process channels.
-    pub tcp: bool,
+    /// Transport selection (parallel binary only).
+    pub transport: TransportKind,
 }
 
 /// Internal marker for TCP worker subprocesses: `--tcp-worker ADDR RANK SIZE`.
@@ -59,7 +71,8 @@ options:
   --tau-end MPC             stop early (conformal time)   [today]
   --output PREFIX           output file prefix            [linger_out]
   --workers N               parallel workers              [cores]
-  --tcp                     spawn workers as OS processes over TCP
+  --transport KIND          channel|shmem|tcp             [channel]
+  --tcp                     shorthand for --transport tcp
 ";
 
 /// Parse `args` (without argv[0]).  On error, returns the message to
@@ -90,7 +103,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut tcp = false;
+    let mut transport = TransportKind::default();
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -147,7 +160,15 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             "--tau-end" => tau_end = Some(num(val()?)?),
             "--output" => output = val()?.clone(),
             "--workers" => workers = num(val()?)? as usize,
-            "--tcp" => tcp = true,
+            "--transport" => {
+                transport = match val()?.as_str() {
+                    "channel" => TransportKind::Channel,
+                    "shmem" => TransportKind::Shmem,
+                    "tcp" => TransportKind::Tcp,
+                    other => return Err(format!("unknown transport {other}")),
+                }
+            }
+            "--tcp" => transport = TransportKind::Tcp,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -182,7 +203,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
         spec,
         output,
         workers,
-        tcp,
+        transport,
     })))
 }
 
@@ -205,7 +226,7 @@ mod tests {
             Parsed::Run(o) => {
                 assert_eq!(o.spec.ks.len(), 32);
                 assert_eq!(o.output, "linger_out");
-                assert!(!o.tcp);
+                assert_eq!(o.transport, TransportKind::Channel);
             }
             _ => panic!("expected run"),
         }
@@ -220,7 +241,7 @@ mod tests {
         .unwrap();
         match p {
             Parsed::Run(o) => {
-                assert_eq!(o.spec.cosmo.omega_lambda > 0.5, true);
+                assert!(o.spec.cosmo.omega_lambda > 0.5);
                 assert_eq!(o.spec.gauge, Gauge::ConformalNewtonian);
                 assert_eq!(o.spec.ic, InitialConditions::CdmIsocurvature);
                 assert_eq!(o.spec.preset, Preset::Draft);
@@ -229,10 +250,26 @@ mod tests {
                 assert_eq!(o.spec.tau_end, Some(250.0));
                 assert_eq!(o.output, "foo");
                 assert_eq!(o.workers, 3);
-                assert!(o.tcp);
+                assert_eq!(o.transport, TransportKind::Tcp);
             }
             _ => panic!("expected run"),
         }
+    }
+
+    #[test]
+    fn transport_flag_selects_substrate() {
+        for (arg, want) in [
+            ("--transport channel", TransportKind::Channel),
+            ("--transport shmem", TransportKind::Shmem),
+            ("--transport tcp", TransportKind::Tcp),
+            ("--tcp", TransportKind::Tcp),
+        ] {
+            match parse(&argv(arg)).unwrap() {
+                Parsed::Run(o) => assert_eq!(o.transport, want, "{arg}"),
+                _ => panic!("expected run for {arg}"),
+            }
+        }
+        assert!(parse(&argv("--transport carrier-pigeon")).is_err());
     }
 
     #[test]

@@ -1,13 +1,36 @@
-//! High-level farm runners and the timing report behind Figure 1.
+//! Transport-generic farm sessions and the timing report behind
+//! Figure 1.
+//!
+//! [`Farm`] owns one complete master/worker session over any
+//! [`World`]: it assembles the endpoints, spawns the worker threads,
+//! runs the master loop (broadcast → dispatch → collect → stop), joins
+//! the workers, and folds everything into a [`FarmReport`].  The same
+//! `Farm::<W>::run` drives the channel, shared-memory, and in-process
+//! TCP transports — the paper's "same Fortran over PVM, MPI, MPL, PVMe"
+//! claim, as one generic type.  The multi-process TCP deployment, whose
+//! workers are OS subprocesses rather than threads, is the separate
+//! [`run_tcp_processes`]/[`run_tcp_worker`] pair built on the same
+//! master loop.
 
-use crate::master::master_loop;
-use crate::protocol::RunSpec;
-use crate::schedule::SchedulePolicy;
-use crate::worker::{worker_loop, WorkerStats};
+use std::marker::PhantomData;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
 use background::Background;
 use boltzmann::{evolve_mode, ModeOutput};
-use msgpass::channel::ChannelWorld;
+use msgpass::tcp::{connect_worker, PendingMaster};
+use msgpass::{Rank, World};
 use recomb::ThermoHistory;
+
+use crate::error::FarmError;
+use crate::master::{master_loop, MasterConfig};
+use crate::protocol::RunSpec;
+use crate::schedule::SchedulePolicy;
+use crate::worker::{worker_loop, worker_loop_limited, WorkerStats};
 
 /// Timing and throughput report of a farm run — the quantities Figure 1
 /// and §5.1 of the paper plot.
@@ -48,66 +71,344 @@ impl FarmReport {
     }
 
     /// Aggregate flop rate in Mflop/s over the wall time (§5.1).
+    /// A degenerate run with no measurable wall time reports 0 rather
+    /// than dividing by zero.
     pub fn mflops(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
         self.total_flops() as f64 / self.wall_seconds / 1.0e6
     }
 }
 
-/// Run the farm in-process: `n_workers` threads over the channel
-/// transport, master on the calling thread.
-pub fn run_parallel_channels(
-    spec: &RunSpec,
-    policy: SchedulePolicy,
+/// Fault injection for session-layer tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Worker `rank` silently vanishes (thread returns without any
+    /// goodbye message) when handed its `after_modes + 1`-th assignment.
+    DropWorker {
+        /// Rank to kill (1-based; rank 0 is the master).
+        rank: Rank,
+        /// Assignments the worker completes before dying.
+        after_modes: usize,
+    },
+}
+
+/// A transport-generic farm session.
+///
+/// ```no_run
+/// use msgpass::channel::ChannelWorld;
+/// use plinger::{Farm, RunSpec, SchedulePolicy};
+///
+/// let spec = RunSpec::standard_cdm(vec![0.001, 0.01, 0.1]);
+/// let report = Farm::<ChannelWorld>::new(4)
+///     .run(&spec, SchedulePolicy::LargestFirst)
+///     .expect("farm run");
+/// println!("{:.1} Mflop/s", report.mflops());
+/// ```
+pub struct Farm<W: World> {
     n_workers: usize,
-) -> FarmReport {
-    assert!(n_workers >= 1, "need at least one worker");
-    let mut eps = ChannelWorld::new(n_workers + 1);
-    let mut report = None;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = eps
-            .drain(1..)
-            .map(|mut ep| scope.spawn(move || worker_loop(&mut ep).expect("worker failed")))
+    config: MasterConfig,
+    fault: Option<FaultPlan>,
+    _world: PhantomData<W>,
+}
+
+impl<W: World> Farm<W> {
+    /// A farm with `n_workers` workers over transport `W` and default
+    /// timing.
+    pub fn new(n_workers: usize) -> Self {
+        Self {
+            n_workers,
+            config: MasterConfig::default(),
+            fault: None,
+            _world: PhantomData,
+        }
+    }
+
+    /// Override the master's probe interval.
+    pub fn poll(mut self, poll: Duration) -> Self {
+        self.config.poll = poll;
+        self
+    }
+
+    /// Override the drain deadline used during shutdown.
+    pub fn drain_timeout(mut self, d: Duration) -> Self {
+        self.config.drain_timeout = d;
+        self
+    }
+
+    /// Inject a fault (tests only): see [`FaultPlan`].
+    pub fn fault_plan(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Run one complete session: assemble a `(n_workers + 1)`-rank
+    /// world, spawn the workers, drive the master loop, join everyone,
+    /// and account the run.
+    pub fn run(&self, spec: &RunSpec, policy: SchedulePolicy) -> Result<FarmReport, FarmError> {
+        if self.n_workers < 1 {
+            return Err(FarmError::Setup(msgpass::CommError::Unsupported(
+                "a farm needs at least one worker",
+            )));
+        }
+        let mut eps = W::endpoints(self.n_workers + 1).map_err(FarmError::Setup)?;
+        if eps.len() != self.n_workers + 1 {
+            return Err(FarmError::Setup(msgpass::CommError::Protocol(format!(
+                "transport {} built {} endpoints for {} ranks",
+                W::NAME,
+                eps.len(),
+                self.n_workers + 1
+            ))));
+        }
+
+        let alive: Vec<Arc<AtomicBool>> = (0..self.n_workers)
+            .map(|_| Arc::new(AtomicBool::new(true)))
             .collect();
-        let mut master_ep = eps.pop().expect("master endpoint");
-        let ledger = master_loop(&mut master_ep, spec, policy).expect("master failed");
-        let worker_stats: Vec<WorkerStats> =
-            handles.into_iter().map(|h| h.join().expect("join")).collect();
-        report = Some(FarmReport {
-            outputs: ledger
-                .outputs
-                .into_iter()
-                .map(|o| o.expect("all modes complete"))
-                .collect(),
-            wall_seconds: ledger.wall_seconds,
-            worker_stats,
-            bytes_received: ledger.bytes_received,
-            completion_log: ledger.completion_log,
+        let fault = self.fault;
+
+        let mut session: Option<Result<FarmReport, FarmError>> = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = eps
+                .drain(1..)
+                .enumerate()
+                .map(|(i, mut ep)| {
+                    let flag = Arc::clone(&alive[i]);
+                    let limit = match fault {
+                        Some(FaultPlan::DropWorker { rank, after_modes }) if rank == i + 1 => {
+                            Some(after_modes)
+                        }
+                        _ => None,
+                    };
+                    scope.spawn(move || {
+                        let out = worker_loop_limited(&mut ep, limit);
+                        flag.store(false, Ordering::SeqCst);
+                        out
+                    })
+                })
+                .collect();
+
+            let mut watch = || -> Vec<Rank> {
+                alive
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| !a.load(Ordering::SeqCst))
+                    .map(|(i, _)| i + 1)
+                    .collect()
+            };
+
+            let master = eps.pop().map_or_else(
+                || {
+                    Err(FarmError::Setup(msgpass::CommError::Protocol(
+                        "world produced no master endpoint".into(),
+                    )))
+                },
+                Ok,
+            );
+            let outcome = master.and_then(|mut master_ep| {
+                master_loop(&mut master_ep, spec, policy, &self.config, &mut watch)
+            });
+
+            // join every worker regardless of how the master fared; a
+            // faulted worker returning Ok early is part of the plan
+            let mut join_error = None;
+            for (i, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(Ok(_)) | Ok(Err(_)) => {}
+                    Err(panic) => {
+                        if join_error.is_none() {
+                            join_error = Some(FarmError::WorkerJoin {
+                                rank: i + 1,
+                                detail: panic_text(&panic),
+                            });
+                        }
+                    }
+                }
+            }
+
+            session = Some(match (outcome, join_error) {
+                (Err(e), _) => Err(e),
+                (Ok(_), Some(e)) => Err(e),
+                (Ok(ledger), None) => finish_report(ledger),
+            });
         });
-    });
-    report.expect("scope completed")
+        session.unwrap_or_else(|| {
+            Err(FarmError::Protocol {
+                rank: 0,
+                detail: "farm scope ended without a result".into(),
+            })
+        })
+    }
+}
+
+fn panic_text(panic: &Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked".into())
+}
+
+/// Fold a completed ledger into a report, verifying every mode slot is
+/// filled (the master loop guarantees this on success).
+fn finish_report(ledger: crate::master::MasterLedger) -> Result<FarmReport, FarmError> {
+    let mut outputs = Vec::with_capacity(ledger.outputs.len());
+    for (ik, slot) in ledger.outputs.into_iter().enumerate() {
+        match slot {
+            Some(out) => outputs.push(out),
+            None => {
+                return Err(FarmError::Protocol {
+                    rank: 0,
+                    detail: format!("mode ik={ik} missing from a completed session"),
+                })
+            }
+        }
+    }
+    Ok(FarmReport {
+        outputs,
+        wall_seconds: ledger.wall_seconds,
+        worker_stats: ledger.worker_stats,
+        bytes_received: ledger.bytes_received,
+        completion_log: ledger.completion_log,
+    })
 }
 
 /// The serial reference: LINGER's main loop over `k`, no message
 /// passing.  Used for correctness comparison (the farm must be
 /// bit-identical mode for mode) and as the single-node baseline of the
 /// scaling figure.
-pub fn run_serial(spec: &RunSpec) -> (Vec<ModeOutput>, f64) {
+pub fn run_serial(spec: &RunSpec) -> Result<(Vec<ModeOutput>, f64), FarmError> {
     let t0 = std::time::Instant::now();
     let bg = Background::new(spec.cosmo.clone());
     let thermo = ThermoHistory::new(&bg);
     let cfg = spec.mode_config();
-    let outputs: Vec<ModeOutput> = spec
-        .ks
-        .iter()
-        .map(|&k| evolve_mode(&bg, &thermo, k, &cfg).expect("serial mode failed"))
-        .collect();
-    (outputs, t0.elapsed().as_secs_f64())
+    let mut outputs = Vec::with_capacity(spec.ks.len());
+    for (ik, &k) in spec.ks.iter().enumerate() {
+        let out = evolve_mode(&bg, &thermo, k, &cfg).map_err(|e| FarmError::Evolve {
+            rank: 0,
+            ik,
+            k,
+            source: Some(e),
+        })?;
+        outputs.push(out);
+    }
+    Ok((outputs, t0.elapsed().as_secs_f64()))
+}
+
+/// Run the farm with OS-subprocess workers over localhost TCP: the
+/// master binds an ephemeral port, spawns `n_workers` copies of `exe`
+/// with the hidden `--tcp-worker ADDR RANK SIZE` arguments, and drives
+/// the same master loop the thread farms use.  Worker liveness is
+/// tracked through `Child::try_wait`, so a killed subprocess surfaces as
+/// [`FarmError::WorkerLost`] instead of a hang.
+pub fn run_tcp_processes(
+    spec: &RunSpec,
+    policy: SchedulePolicy,
+    n_workers: usize,
+    exe: &Path,
+) -> Result<FarmReport, FarmError> {
+    if n_workers < 1 {
+        return Err(FarmError::Setup(msgpass::CommError::Unsupported(
+            "a farm needs at least one worker",
+        )));
+    }
+    let pending = PendingMaster::bind(n_workers)
+        .map_err(|e| FarmError::Setup(msgpass::CommError::Protocol(format!("bind failed: {e}"))))?;
+    let addr = pending.addr();
+    let size = n_workers + 1;
+    let mut children: Vec<Child> = Vec::with_capacity(n_workers);
+    for rank in 1..=n_workers {
+        let child = Command::new(exe)
+            .arg("--tcp-worker")
+            .arg(addr.to_string())
+            .arg(rank.to_string())
+            .arg(size.to_string())
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                FarmError::Setup(msgpass::CommError::Protocol(format!(
+                    "spawning worker {rank} failed: {e}"
+                )))
+            });
+        match child {
+            Ok(c) => children.push(c),
+            Err(e) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(e);
+            }
+        }
+    }
+    let mut master_ep = match pending.accept_all() {
+        Ok(ep) => ep,
+        Err(e) => {
+            for mut c in children {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            return Err(FarmError::Setup(e));
+        }
+    };
+
+    let cfg = MasterConfig::default();
+    let mut watch = || -> Vec<Rank> {
+        children
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, c)| match c.try_wait() {
+                Ok(Some(_)) | Err(_) => Some(i + 1),
+                Ok(None) => None,
+            })
+            .collect()
+    };
+    let outcome = master_loop(&mut master_ep, spec, policy, &cfg, &mut watch);
+
+    let mut join_error = None;
+    for (i, mut c) in children.into_iter().enumerate() {
+        match c.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                if join_error.is_none() && outcome.is_ok() {
+                    join_error = Some(FarmError::WorkerJoin {
+                        rank: i + 1,
+                        detail: format!("worker process exited with {status}"),
+                    });
+                }
+            }
+            Err(e) => {
+                if join_error.is_none() && outcome.is_ok() {
+                    join_error = Some(FarmError::WorkerJoin {
+                        rank: i + 1,
+                        detail: format!("wait failed: {e}"),
+                    });
+                }
+            }
+        }
+    }
+
+    match (outcome, join_error) {
+        (Err(e), _) => Err(e),
+        (Ok(_), Some(e)) => Err(e),
+        (Ok(ledger), None) => finish_report(ledger),
+    }
+}
+
+/// Entry point for a `--tcp-worker` subprocess: connect to the master
+/// and run the ordinary worker loop.
+pub fn run_tcp_worker(addr: SocketAddr, rank: Rank, size: usize) -> Result<(), FarmError> {
+    let mut ep = connect_worker(addr, rank, size).map_err(FarmError::Setup)?;
+    worker_loop(&mut ep)?;
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use boltzmann::Preset;
+    use msgpass::channel::ChannelWorld;
+    use msgpass::shmem::ShmemWorld;
 
     fn tiny_spec() -> RunSpec {
         let mut spec = RunSpec::standard_cdm(vec![0.001, 0.004, 0.02, 0.008]);
@@ -118,8 +419,10 @@ mod tests {
     #[test]
     fn parallel_matches_serial_bitwise() {
         let spec = tiny_spec();
-        let (serial, _) = run_serial(&spec);
-        let par = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, 2);
+        let (serial, _) = run_serial(&spec).unwrap();
+        let par = Farm::<ChannelWorld>::new(2)
+            .run(&spec, SchedulePolicy::LargestFirst)
+            .unwrap();
         assert_eq!(serial.len(), par.outputs.len());
         for (s, p) in serial.iter().zip(&par.outputs) {
             assert_eq!(s.k, p.k);
@@ -138,13 +441,16 @@ mod tests {
     #[test]
     fn report_accounting_is_consistent() {
         let spec = tiny_spec();
-        let rep = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, 3);
+        let rep = Farm::<ChannelWorld>::new(3)
+            .run(&spec, SchedulePolicy::LargestFirst)
+            .unwrap();
         assert_eq!(rep.outputs.len(), 4);
         assert!(rep.wall_seconds > 0.0);
         assert!(rep.total_cpu_seconds() > 0.0);
         let eff = rep.parallel_efficiency();
         assert!(eff > 0.0 && eff <= 1.001, "efficiency = {eff}");
         assert!(rep.total_flops() > 1_000_000);
+        assert!(rep.mflops() > 0.0);
         let modes: usize = rep.worker_stats.iter().map(|s| s.modes).sum();
         assert_eq!(modes, 4);
     }
@@ -152,7 +458,9 @@ mod tests {
     #[test]
     fn single_worker_farm_works() {
         let spec = tiny_spec();
-        let rep = run_parallel_channels(&spec, SchedulePolicy::Fifo, 1);
+        let rep = Farm::<ChannelWorld>::new(1)
+            .run(&spec, SchedulePolicy::Fifo)
+            .unwrap();
         assert_eq!(rep.outputs.len(), 4);
         // with one worker, completion order equals dispatch order
         let iks: Vec<usize> = rep.completion_log.iter().map(|&(ik, _)| ik).collect();
@@ -168,11 +476,65 @@ mod tests {
             SchedulePolicy::Fifo,
             SchedulePolicy::Random(7),
         ] {
-            let rep = run_parallel_channels(&spec, policy, 2);
+            let rep = Farm::<ChannelWorld>::new(2).run(&spec, policy).unwrap();
             assert_eq!(rep.outputs.len(), 4, "{policy:?}");
             for (i, o) in rep.outputs.iter().enumerate() {
                 assert_eq!(o.k, spec.ks[i], "{policy:?} slot {i}");
             }
+        }
+    }
+
+    #[test]
+    fn shmem_farm_matches_channel_farm() {
+        let spec = tiny_spec();
+        let a = Farm::<ChannelWorld>::new(2)
+            .run(&spec, SchedulePolicy::LargestFirst)
+            .unwrap();
+        let b = Farm::<ShmemWorld>::new(2)
+            .run(&spec, SchedulePolicy::LargestFirst)
+            .unwrap();
+        for (x, y) in a.outputs.iter().zip(&b.outputs) {
+            assert_eq!(x.delta_c.to_bits(), y.delta_c.to_bits());
+            assert_eq!(x.phi.to_bits(), y.phi.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_a_setup_error() {
+        let spec = tiny_spec();
+        let err = Farm::<ChannelWorld>::new(0)
+            .run(&spec, SchedulePolicy::Fifo)
+            .unwrap_err();
+        assert!(matches!(err, FarmError::Setup(_)));
+    }
+
+    #[test]
+    fn mflops_guards_zero_wall() {
+        let rep = FarmReport {
+            outputs: Vec::new(),
+            wall_seconds: 0.0,
+            worker_stats: Vec::new(),
+            bytes_received: 0,
+            completion_log: Vec::new(),
+        };
+        assert_eq!(rep.mflops(), 0.0);
+        assert_eq!(rep.parallel_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn serial_reports_evolve_error_with_mode() {
+        let mut spec = tiny_spec();
+        spec.ks = vec![0.001, f64::NAN];
+        let err = run_serial(&spec).unwrap_err();
+        match err {
+            FarmError::Evolve {
+                rank, ik, source, ..
+            } => {
+                assert_eq!(rank, 0);
+                assert_eq!(ik, 1);
+                assert!(source.is_some());
+            }
+            other => panic!("expected Evolve, got {other}"),
         }
     }
 }

@@ -7,14 +7,24 @@
 //! assignment per mode, and the finished mode's moment hierarchy coming
 //! back (150 bytes – 80 kB, "roughly in proportion to the CPU time").
 //!
-//! This crate reproduces that farm verbatim over the `msgpass` wrapper
-//! routines: the message tags 1–6 of Appendix A, the master subroutine
-//! (`parentsub`), the worker subroutine (`kidsub`), largest-k-first
-//! scheduling ("one simple method by which we minimized this idle
-//! time"), and the timing accounting behind the paper's Figure 1 and
-//! §5.1 flop rates.
+//! This crate reproduces that farm over the `msgpass` wrapper routines:
+//! the message tags of Appendix A (1–6, plus tags 7–8 for statistics
+//! and failure reports), the master subroutine (`parentsub`) hardened
+//! into a liveness-aware session loop, the worker subroutine
+//! (`kidsub`), largest-k-first scheduling ("one simple method by which
+//! we minimized this idle time"), and the timing accounting behind the
+//! paper's Figure 1 and §5.1 flop rates.
+//!
+//! The entry point is [`Farm`]: one transport-generic session type that
+//! assembles a world, spawns workers, runs the master loop, and returns
+//! a [`FarmReport`] — or a typed [`FarmError`] naming exactly what
+//! failed, with no panics on the communication path.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cli;
+pub mod error;
 pub mod farm;
 pub mod master;
 pub mod output_files;
@@ -23,9 +33,13 @@ pub mod schedule;
 pub mod simulate;
 pub mod worker;
 
-pub use farm::{run_parallel_channels, run_serial, FarmReport};
-pub use master::master_loop;
-pub use protocol::{RunSpec, TAG_ASSIGN, TAG_DATA, TAG_HEADER, TAG_INIT, TAG_REQUEST, TAG_STOP};
+pub use error::FarmError;
+pub use farm::{run_serial, run_tcp_processes, run_tcp_worker, Farm, FarmReport, FaultPlan};
+pub use master::{master_loop, MasterConfig, MasterLedger};
+pub use protocol::{
+    RunSpec, SpecDecodeError, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_INIT, TAG_REQUEST,
+    TAG_STATS, TAG_STOP,
+};
 pub use schedule::SchedulePolicy;
 pub use simulate::{simulate_farm, synthetic_costs, SimParams, SimResult};
-pub use worker::{worker_loop, WorkerContext};
+pub use worker::{worker_loop, worker_loop_limited, WorkerContext, WorkerStats};

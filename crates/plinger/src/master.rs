@@ -1,16 +1,55 @@
-//! The master subroutine (`parentsub` in Appendix A).
+//! The master subroutine (`parentsub` in Appendix A), hardened into a
+//! session loop that survives worker death.
+//!
+//! The paper's listing drives the farm with a blocking `mycheckany`; a
+//! worker that dies without a goodbye would park that master forever.
+//! This version polls with [`Transport::probe_timeout`] and consults a
+//! caller-supplied liveness watch between polls, so a lost worker turns
+//! into a typed [`FarmError::WorkerLost`] naming every unfinished mode
+//! instead of a deadlock.  Any abnormal event — worker death, a tag-8
+//! failure report, an unexpected tag, a malformed result — routes
+//! through one drain-and-stop shutdown that flushes tag-6 stops to all
+//! surviving workers and collects what statistics it can before
+//! returning the error.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
 
 use boltzmann::ModeOutput;
 use msgpass::wrappers::*;
-use msgpass::{CommError, Transport};
+use msgpass::{Rank, Transport};
 
-use crate::protocol::{RunSpec, TAG_ASSIGN, TAG_DATA, TAG_HEADER, TAG_INIT, TAG_REQUEST, TAG_STOP};
+use crate::error::FarmError;
+use crate::protocol::{
+    RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_INIT, TAG_REQUEST, TAG_STATS, TAG_STOP,
+};
 use crate::schedule::SchedulePolicy;
+use crate::worker::WorkerStats;
+
+/// Timing knobs of the master loop.
+#[derive(Debug, Clone, Copy)]
+pub struct MasterConfig {
+    /// How long one bounded probe waits before re-checking liveness.
+    pub poll: Duration,
+    /// How long the drain phase waits for survivors' statistics (and the
+    /// normal shutdown waits for stragglers) before giving up.
+    pub drain_timeout: Duration,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        Self {
+            poll: Duration::from_millis(25),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
 
 /// What the master accumulated over one farm run.
 #[derive(Debug)]
 pub struct MasterLedger {
-    /// Finished modes, indexed like `spec.ks` (every slot filled).
+    /// Finished modes, indexed like `spec.ks` (every slot filled on
+    /// success).
     pub outputs: Vec<Option<ModeOutput>>,
     /// Wall-clock seconds of the master loop (broadcast → last stop).
     pub wall_seconds: f64,
@@ -18,80 +57,271 @@ pub struct MasterLedger {
     pub bytes_received: usize,
     /// Completion order: `(ik, worker_rank)` in arrival order.
     pub completion_log: Vec<(usize, usize)>,
+    /// Per-worker statistics in rank order (rank 1 first), collected
+    /// from the tag-7 reports.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
-/// Run the master loop: broadcast the spec, hand out wavenumbers in
-/// `policy` order, collect the two-part results, stop every worker.
-///
-/// Follows Appendix A: `mycheckany` drives the event loop; a tag-2
-/// request or a completed tag-4/5 pair triggers the next assignment (or
-/// tag-6 stop).
-pub fn master_loop<T: Transport>(
-    t: &mut T,
-    spec: &RunSpec,
-    policy: SchedulePolicy,
-) -> Result<MasterLedger, CommError> {
-    let t0 = std::time::Instant::now();
-    let nk = spec.ks.len();
-    let order = policy.order(&spec.ks);
-    let mut next = 0usize; // cursor into `order`
-    let mut ikdone = 0usize;
-    let mut outputs: Vec<Option<ModeOutput>> = (0..nk).map(|_| None).collect();
-    let mut completion_log = Vec::with_capacity(nk);
-    let mut bytes_received = 0usize;
-    let mut stopped = 0usize;
-    let n_workers = t.size() - 1;
+/// Internal mutable state of one master session.
+struct Session {
+    order: Vec<usize>,
+    next: usize,
+    outputs: Vec<Option<ModeOutput>>,
+    completion_log: Vec<(usize, usize)>,
+    bytes_received: usize,
+    /// Ranks the stop message has been sent to.
+    stopped: HashSet<Rank>,
+    /// Statistics by worker index (rank − 1).
+    stats: Vec<Option<WorkerStats>>,
+    n_workers: usize,
+}
 
-    // broadcast data to all node programs
-    mybcastreal(t, &spec.encode(), TAG_INIT)?;
+impl Session {
+    fn ikdone(&self) -> usize {
+        self.completion_log.len()
+    }
 
-    let mut header = Vec::new();
-    let mut payload = Vec::new();
+    fn stats_done(&self) -> usize {
+        self.stats.iter().filter(|s| s.is_some()).count()
+    }
 
-    while ikdone < nk || stopped < n_workers {
-        let (msgtype, itid) = mycheckany(t)?;
-        let reply;
+    fn unfinished(&self) -> Vec<usize> {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(ik, o)| o.is_none().then_some(ik))
+            .collect()
+    }
 
-        if msgtype == TAG_REQUEST {
-            // the worker is ready for its first ik; the message has no data
-            myrecvreal(t, &mut header, TAG_REQUEST, itid)?;
-            reply = true;
-        } else if msgtype == TAG_HEADER {
-            // first part of the data; its tail tells us lmax
-            myrecvreal(t, &mut header, TAG_HEADER, itid)?;
-            // second part follows from the same worker (tag 5)
-            mycheckone(t, TAG_DATA, itid)?;
-            myrecvreal(t, &mut payload, TAG_DATA, itid)?;
-            bytes_received += (header.len() + payload.len()) * 8;
-            let (ik, out) = ModeOutput::from_wire(&header, &payload);
-            outputs[ik] = Some(out);
-            completion_log.push((ik, itid));
-            ikdone += 1;
-            reply = true;
+    /// Reply to a ready worker: next assignment, or stop.
+    fn dispatch<T: Transport>(&mut self, t: &mut T, rank: Rank) -> Result<(), FarmError> {
+        if self.next < self.order.len() {
+            let ik = self.order[self.next];
+            self.next += 1;
+            mysendreal(t, &[ik as f64], TAG_ASSIGN, rank)?;
         } else {
-            return Err(CommError::Protocol(format!(
-                "unexpected tag {msgtype} from rank {itid}"
-            )));
+            mysendreal(t, &[0.0], TAG_STOP, rank)?;
+            self.stopped.insert(rank);
         }
+        Ok(())
+    }
 
-        if reply {
-            if next < nk {
-                let ik = order[next];
-                next += 1;
-                mysendreal(t, &[ik as f64], TAG_ASSIGN, itid)?;
-            } else {
-                mysendreal(t, &[0.0], TAG_STOP, itid)?;
-                stopped += 1;
+    fn record_stats(&mut self, rank: Rank, payload: &[f64]) -> Result<(), FarmError> {
+        let ws = WorkerStats::from_wire(payload).ok_or_else(|| FarmError::Protocol {
+            rank,
+            detail: format!("stats message must be 4 reals, got {}", payload.len()),
+        })?;
+        if let Some(slot) = self.stats.get_mut(rank.wrapping_sub(1)) {
+            *slot = Some(ws);
+        }
+        Ok(())
+    }
+
+    /// Flush stops to every worker not yet stopped, then drain pending
+    /// messages (collecting statistics) until the deadline or until
+    /// every live worker has reported.  Send errors are ignored: some of
+    /// these workers may already be gone, and the point is to unblock
+    /// the survivors.
+    fn drain_and_stop<T: Transport>(
+        &mut self,
+        t: &mut T,
+        cfg: &MasterConfig,
+        watch: &mut dyn FnMut() -> Vec<Rank>,
+    ) {
+        for rank in 1..=self.n_workers {
+            if !self.stopped.contains(&rank) {
+                let _ = mysendreal(t, &[0.0], TAG_STOP, rank);
+                self.stopped.insert(rank);
+            }
+        }
+        let deadline = Instant::now() + cfg.drain_timeout;
+        let mut buf = Vec::new();
+        while Instant::now() < deadline {
+            let dead: HashSet<Rank> = watch().into_iter().collect();
+            let expected = (1..=self.n_workers)
+                .filter(|r| !dead.contains(r) && self.stats[r - 1].is_none())
+                .count();
+            if expected == 0 {
+                break;
+            }
+            match t.probe_timeout(None, None, cfg.poll) {
+                Ok(Some(env)) => {
+                    if myrecvreal(t, &mut buf, env.tag, env.source).is_err() {
+                        break;
+                    }
+                    if env.tag == TAG_STATS {
+                        let _ = self.record_stats(env.source, &buf);
+                    }
+                }
+                Ok(None) => continue,
+                Err(_) => break,
             }
         }
     }
 
-    Ok(MasterLedger {
-        outputs,
-        wall_seconds: t0.elapsed().as_secs_f64(),
-        bytes_received,
-        completion_log,
-    })
+    fn into_ledger(self, t0: Instant) -> MasterLedger {
+        MasterLedger {
+            outputs: self.outputs,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            bytes_received: self.bytes_received,
+            completion_log: self.completion_log,
+            worker_stats: self
+                .stats
+                .into_iter()
+                .map(Option::unwrap_or_default)
+                .collect(),
+        }
+    }
+}
+
+/// Run the master loop: broadcast the spec, hand out wavenumbers in
+/// `policy` order, collect the two-part results, stop every worker,
+/// gather their statistics.
+///
+/// `watch` is polled between probes and must return the ranks believed
+/// dead (thread farms report workers whose loop returned; process farms
+/// report children that exited).  A dead rank that was never stopped
+/// aborts the session with [`FarmError::WorkerLost`] after draining the
+/// survivors.
+pub fn master_loop<T: Transport>(
+    t: &mut T,
+    spec: &RunSpec,
+    policy: SchedulePolicy,
+    cfg: &MasterConfig,
+    watch: &mut dyn FnMut() -> Vec<Rank>,
+) -> Result<MasterLedger, FarmError> {
+    let t0 = Instant::now();
+    let nk = spec.ks.len();
+    let n_workers = t.size() - 1;
+    let mut s = Session {
+        order: policy.order(&spec.ks),
+        next: 0,
+        outputs: (0..nk).map(|_| None).collect(),
+        completion_log: Vec::with_capacity(nk),
+        bytes_received: 0,
+        stopped: HashSet::new(),
+        stats: vec![None; n_workers],
+        n_workers,
+    };
+
+    // broadcast data to all node programs; a partial broadcast leaves the
+    // world inconsistent, so any failure here is fatal for the session
+    mybcastreal(t, &spec.encode(), TAG_INIT).map_err(FarmError::Setup)?;
+
+    let mut header = Vec::new();
+    let mut payload = Vec::new();
+
+    while s.ikdone() < nk || s.stopped.len() < n_workers || s.stats_done() < n_workers {
+        let env = match t.probe_timeout(None, None, cfg.poll) {
+            Ok(e) => e,
+            Err(e) => {
+                s.drain_and_stop(t, cfg, watch);
+                return Err(FarmError::Comm(e));
+            }
+        };
+        let Some(env) = env else {
+            // silence: check for casualties before waiting again
+            let dead = watch();
+            if let Some(&rank) = dead.iter().find(|r| !s.stopped.contains(r)) {
+                s.drain_and_stop(t, cfg, watch);
+                return Err(FarmError::WorkerLost {
+                    rank,
+                    unfinished: s.unfinished(),
+                });
+            }
+            // a stopped worker that died before reporting statistics can
+            // never report; don't wait for it forever
+            if let Some(&rank) = dead.iter().find(|&&r| s.stats[r - 1].is_none()) {
+                if s.ikdone() == nk && s.stopped.len() == n_workers {
+                    return Err(FarmError::WorkerJoin {
+                        rank,
+                        detail: "worker exited without reporting statistics".into(),
+                    });
+                }
+            }
+            continue;
+        };
+        let itid = env.source;
+
+        match env.tag {
+            TAG_REQUEST => {
+                // the worker is ready for its first ik; no data
+                myrecvreal(t, &mut header, TAG_REQUEST, itid)?;
+                s.dispatch(t, itid)?;
+            }
+            TAG_HEADER => {
+                // first part of the data; its tail tells us lmax
+                myrecvreal(t, &mut header, TAG_HEADER, itid)?;
+                // second part follows from the same worker (tag 5);
+                // bounded wait in case the worker dies in between
+                let data_deadline = Instant::now() + cfg.drain_timeout;
+                loop {
+                    match t.probe_timeout(Some(itid), Some(TAG_DATA), cfg.poll)? {
+                        Some(_) => break,
+                        None => {
+                            if watch().contains(&itid) || Instant::now() >= data_deadline {
+                                s.drain_and_stop(t, cfg, watch);
+                                return Err(FarmError::WorkerLost {
+                                    rank: itid,
+                                    unfinished: s.unfinished(),
+                                });
+                            }
+                        }
+                    }
+                }
+                myrecvreal(t, &mut payload, TAG_DATA, itid)?;
+                s.bytes_received += (header.len() + payload.len()) * 8;
+                let (ik, out) = match ModeOutput::from_wire(&header, &payload) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        s.drain_and_stop(t, cfg, watch);
+                        return Err(FarmError::Wire {
+                            rank: itid,
+                            source: e,
+                        });
+                    }
+                };
+                if ik >= nk || s.outputs[ik].is_some() {
+                    s.drain_and_stop(t, cfg, watch);
+                    return Err(FarmError::Protocol {
+                        rank: itid,
+                        detail: format!("result for invalid or duplicate mode ik={ik}"),
+                    });
+                }
+                s.outputs[ik] = Some(out);
+                s.completion_log.push((ik, itid));
+                s.dispatch(t, itid)?;
+            }
+            TAG_FAIL => {
+                myrecvreal(t, &mut payload, TAG_FAIL, itid)?;
+                let ik = payload.first().copied().unwrap_or(-1.0) as usize;
+                let k = payload.get(1).copied().unwrap_or(f64::NAN);
+                s.drain_and_stop(t, cfg, watch);
+                return Err(FarmError::Evolve {
+                    rank: itid,
+                    ik,
+                    k,
+                    source: None,
+                });
+            }
+            TAG_STATS => {
+                myrecvreal(t, &mut payload, TAG_STATS, itid)?;
+                s.record_stats(itid, &payload)?;
+            }
+            other => {
+                // consume it so the drain doesn't trip over it again,
+                // then shut the session down
+                let _ = myrecvreal(t, &mut payload, other, itid);
+                s.drain_and_stop(t, cfg, watch);
+                return Err(FarmError::Protocol {
+                    rank: itid,
+                    detail: format!("unexpected tag {other}"),
+                });
+            }
+        }
+    }
+
+    Ok(s.into_ledger(t0))
 }
 
 #[cfg(test)]
@@ -101,6 +331,10 @@ mod tests {
     use boltzmann::Preset;
     use msgpass::channel::ChannelWorld;
     use std::thread;
+
+    fn no_watch() -> impl FnMut() -> Vec<Rank> {
+        Vec::new
+    }
 
     #[test]
     fn farm_protocol_end_to_end_two_workers() {
@@ -112,7 +346,15 @@ mod tests {
             .map(|mut ep| thread::spawn(move || worker_loop(&mut ep).unwrap()))
             .collect();
         let mut master_ep = eps.pop().unwrap();
-        let ledger = master_loop(&mut master_ep, &spec, SchedulePolicy::LargestFirst).unwrap();
+        let cfg = MasterConfig::default();
+        let ledger = master_loop(
+            &mut master_ep,
+            &spec,
+            SchedulePolicy::LargestFirst,
+            &cfg,
+            &mut no_watch(),
+        )
+        .unwrap();
 
         assert_eq!(ledger.completion_log.len(), 4);
         assert!(ledger.outputs.iter().all(|o| o.is_some()));
@@ -125,13 +367,59 @@ mod tests {
         // (can't be strict with 2 workers, but the first *assignment* is
         // k = 0.03 → ik 2 must not complete last)
         assert!(ledger.completion_log.iter().any(|&(ik, _)| ik == 2));
-        let stats: Vec<_> = workers.into_iter().map(|h| h.join().unwrap()).collect();
-        let total: usize = stats.iter().map(|s| s.modes).sum();
+        let local: Vec<_> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+        let total: usize = local.iter().map(|s| s.modes).sum();
         assert_eq!(total, 4);
-        assert!(stats.iter().all(|s| s.busy_seconds > 0.0));
+        // the wire-carried statistics must agree with the workers' own
+        assert_eq!(ledger.worker_stats.len(), 2);
         assert_eq!(
-            stats.iter().map(|s| s.bytes_sent).sum::<usize>(),
+            ledger.worker_stats.iter().map(|s| s.modes).sum::<usize>(),
+            4
+        );
+        assert!(ledger.worker_stats.iter().all(|s| s.busy_seconds > 0.0));
+        assert_eq!(
+            ledger
+                .worker_stats
+                .iter()
+                .map(|s| s.bytes_sent)
+                .sum::<usize>(),
             ledger.bytes_received
         );
+    }
+
+    #[test]
+    fn unexpected_tag_drains_and_errors() {
+        let spec = RunSpec::standard_cdm(vec![0.01]);
+        let mut eps = ChannelWorld::new(2);
+        let mut rogue = eps.pop().unwrap();
+        let mut master_ep = eps.pop().unwrap();
+        let h = thread::spawn(move || {
+            let mut buf = Vec::new();
+            // swallow the init broadcast, then send garbage
+            rogue.recv(0, TAG_INIT, &mut buf).unwrap();
+            rogue.send(0, 99, &[1.0]).unwrap();
+            // the drain must still deliver our stop
+            rogue.recv(0, TAG_STOP, &mut buf).unwrap();
+        });
+        let cfg = MasterConfig {
+            poll: Duration::from_millis(5),
+            drain_timeout: Duration::from_millis(300),
+        };
+        let err = master_loop(
+            &mut master_ep,
+            &spec,
+            SchedulePolicy::Fifo,
+            &cfg,
+            &mut no_watch(),
+        )
+        .unwrap_err();
+        match err {
+            FarmError::Protocol { rank, detail } => {
+                assert_eq!(rank, 1);
+                assert!(detail.contains("99"), "{detail}");
+            }
+            other => panic!("expected Protocol, got {other}"),
+        }
+        h.join().unwrap();
     }
 }

@@ -67,9 +67,10 @@ pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<Vec<(usize, usize, Vec
         if *pos + 8 > bytes.len() {
             return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated"));
         }
-        let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&bytes[*pos..*pos + 8]);
         *pos += 8;
-        Ok(v)
+        Ok(u64::from_le_bytes(word))
     };
     let n = take_u64(&mut pos)? as usize;
     let mut records = Vec::with_capacity(n);
@@ -82,7 +83,9 @@ pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<Vec<(usize, usize, Vec
             if pos + 8 > bytes.len() {
                 return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated"));
             }
-            payload.push(f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[pos..pos + 8]);
+            payload.push(f64::from_le_bytes(word));
             pos += 8;
         }
         records.push((ik, lmax, payload));
@@ -100,7 +103,7 @@ mod tests {
     fn files_roundtrip() {
         let mut spec = RunSpec::standard_cdm(vec![4.0e-4, 1.2e-3]);
         spec.preset = Preset::Draft;
-        let (outputs, _) = run_serial(&spec);
+        let (outputs, _) = run_serial(&spec).unwrap();
         let dir = std::env::temp_dir().join("plinger_files_test");
         std::fs::create_dir_all(&dir).unwrap();
         let ascii = dir.join("run.linger");

@@ -17,6 +17,50 @@ pub const TAG_HEADER: Tag = 4;
 pub const TAG_DATA: Tag = 5;
 /// Tag 6: from master, telling the worker to stop.
 pub const TAG_STOP: Tag = 6;
+/// Tag 7: from worker, after the stop — its session statistics
+/// (4 reals: modes, busy seconds, total seconds, bytes sent).  Not in
+/// the paper's table; carrying the counters over the wire keeps the
+/// report uniform whether workers are threads or OS processes.
+pub const TAG_STATS: Tag = 7;
+/// Tag 8: from worker, a mode integration failed (2 reals: ik, k).  The
+/// master drains and stops the farm, returning a typed error instead of
+/// the worker dying silently.
+pub const TAG_FAIL: Tag = 8;
+
+/// A tag-1 broadcast payload that cannot be decoded into a [`RunSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecDecodeError {
+    /// Payload shorter than the fixed 19-real prefix.
+    TooShort {
+        /// Actual length.
+        got: usize,
+    },
+    /// Payload length disagrees with the k-count it declares.
+    LengthMismatch {
+        /// k-count read from the first real.
+        nk: usize,
+        /// Expected total length, `19 + nk`.
+        want: usize,
+        /// Actual length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SpecDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecDecodeError::TooShort { got } => {
+                write!(f, "broadcast too short: {got} reals (need ≥ 19)")
+            }
+            SpecDecodeError::LengthMismatch { nk, want, got } => write!(
+                f,
+                "broadcast length mismatch: {nk} modes need {want} reals, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecDecodeError {}
 
 /// Complete description of a PLINGER run, broadcast to every worker as
 /// the tag-1 message so each worker can rebuild the background and
@@ -118,12 +162,22 @@ impl RunSpec {
         v
     }
 
-    /// Decode a tag-1 broadcast payload.
-    pub fn decode(v: &[f64]) -> Self {
-        assert!(v.len() >= 19, "broadcast too short: {}", v.len());
+    /// Decode a tag-1 broadcast payload.  A truncated or inconsistent
+    /// payload is a [`SpecDecodeError`], not a panic — a worker that
+    /// receives garbage must be able to fail the session cleanly.
+    pub fn decode(v: &[f64]) -> Result<Self, SpecDecodeError> {
+        if v.len() < 19 {
+            return Err(SpecDecodeError::TooShort { got: v.len() });
+        }
         let nk = v[0] as usize;
-        assert_eq!(v.len(), 19 + nk, "broadcast length mismatch");
-        Self {
+        if v.len() != 19 + nk {
+            return Err(SpecDecodeError::LengthMismatch {
+                nk,
+                want: 19 + nk,
+                got: v.len(),
+            });
+        }
+        Ok(Self {
             gauge: if v[1] == 0.0 {
                 Gauge::Synchronous
             } else {
@@ -157,7 +211,7 @@ impl RunSpec {
                 n_s: v[18],
             },
             ks: v[19..].to_vec(),
-        }
+        })
     }
 }
 
@@ -173,6 +227,10 @@ mod tests {
         assert_eq!(TAG_HEADER, 4);
         assert_eq!(TAG_DATA, 5);
         assert_eq!(TAG_STOP, 6);
+        // extensions beyond the paper's table, for session accounting
+        // and typed failure reporting
+        assert_eq!(TAG_STATS, 7);
+        assert_eq!(TAG_FAIL, 8);
     }
 
     #[test]
@@ -184,7 +242,7 @@ mod tests {
         spec.cosmo.n_nu_massive = 1;
         spec.cosmo.m_nu_ev = 4.66;
         let wire = spec.encode();
-        let back = RunSpec::decode(&wire);
+        let back = RunSpec::decode(&wire).unwrap();
         assert_eq!(back.ks, spec.ks);
         assert_eq!(back.gauge, spec.gauge);
         assert_eq!(back.lmax_g, Some(77));
@@ -196,12 +254,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "broadcast length mismatch")]
-    fn decode_rejects_truncated()
-    {
+    fn decode_rejects_truncated() {
         let spec = RunSpec::standard_cdm(vec![0.1, 0.2]);
         let mut wire = spec.encode();
         wire.pop();
-        let _ = RunSpec::decode(&wire);
+        assert_eq!(
+            RunSpec::decode(&wire).unwrap_err(),
+            SpecDecodeError::LengthMismatch {
+                nk: 2,
+                want: 21,
+                got: 20
+            }
+        );
+        assert_eq!(
+            RunSpec::decode(&[0.0; 5]).unwrap_err(),
+            SpecDecodeError::TooShort { got: 5 }
+        );
     }
 }

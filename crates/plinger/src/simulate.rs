@@ -80,14 +80,19 @@ pub fn simulate_farm(params: &SimParams) -> SimResult {
     assert_eq!(params.durations.len(), params.ks.len());
     assert!(params.n_workers >= 1);
     if !params.speeds.is_empty() {
-        assert_eq!(params.speeds.len(), params.n_workers, "one speed per worker");
-        assert!(params.speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        assert_eq!(
+            params.speeds.len(),
+            params.n_workers,
+            "one speed per worker"
+        );
+        assert!(
+            params.speeds.iter().all(|&s| s > 0.0),
+            "speeds must be positive"
+        );
     }
     let order = params.policy.order(&params.ks);
     let n = params.n_workers;
-    let speed = |w: usize| -> f64 {
-        params.speeds.get(w).copied().unwrap_or(1.0)
-    };
+    let speed = |w: usize| -> f64 { params.speeds.get(w).copied().unwrap_or(1.0) };
     // worker state: time at which it becomes free
     let mut free_at = vec![params.startup; n];
     let mut busy = vec![0.0; n];
@@ -98,7 +103,7 @@ pub fn simulate_farm(params: &SimParams) -> SimResult {
         // next request comes from the worker that frees earliest
         let w = (0..n)
             .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]))
-            .unwrap();
+            .unwrap_or(0);
         let elapsed = params.durations[ik] / speed(w);
         let start = free_at[w] + params.overhead;
         let end = start + elapsed;
@@ -175,7 +180,10 @@ mod tests {
         for n in [2, 5, 9] {
             let r = simulate_farm(&params(n, SchedulePolicy::LargestFirst));
             let busy: f64 = r.busy.iter().sum();
-            assert!((busy - total).abs() < 1e-9, "CPU time must not change with N");
+            assert!(
+                (busy - total).abs() < 1e-9,
+                "CPU time must not change with N"
+            );
         }
     }
 

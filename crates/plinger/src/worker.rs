@@ -3,10 +3,13 @@
 use background::Background;
 use boltzmann::{evolve_mode, ModeOutput};
 use msgpass::wrappers::*;
-use msgpass::{CommError, Transport};
+use msgpass::Transport;
 use recomb::ThermoHistory;
 
-use crate::protocol::{RunSpec, TAG_ASSIGN, TAG_DATA, TAG_HEADER, TAG_INIT, TAG_REQUEST};
+use crate::error::FarmError;
+use crate::protocol::{
+    RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_INIT, TAG_REQUEST, TAG_STATS, TAG_STOP,
+};
 
 /// Per-worker state built from the tag-1 broadcast: the background
 /// expansion and thermal history every mode integration shares.
@@ -21,12 +24,13 @@ pub struct WorkerContext {
 
 impl WorkerContext {
     /// Rebuild the physics tables from a broadcast payload — the work a
-    /// PLINGER worker did once per run on its own node.
-    pub fn from_broadcast(wire: &[f64]) -> Self {
-        let spec = RunSpec::decode(wire);
+    /// PLINGER worker did once per run on its own node.  A malformed
+    /// payload is reported, not panicked on.
+    pub fn from_broadcast(wire: &[f64]) -> Result<Self, FarmError> {
+        let spec = RunSpec::decode(wire)?;
         let bg = Background::new(spec.cosmo.clone());
         let thermo = ThermoHistory::new(&bg);
-        Self { spec, bg, thermo }
+        Ok(Self { spec, bg, thermo })
     }
 
     /// Integrate one wavenumber by index.
@@ -36,8 +40,9 @@ impl WorkerContext {
     }
 }
 
-/// Statistics a worker reports after its stop message.
-#[derive(Debug, Clone, Copy, Default)]
+/// Statistics a worker reports after its stop message (shipped to the
+/// master as the tag-7 payload, 4 reals).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WorkerStats {
     /// Modes completed.
     pub modes: usize,
@@ -49,20 +54,78 @@ pub struct WorkerStats {
     pub bytes_sent: usize,
 }
 
+impl WorkerStats {
+    /// Encode as the tag-7 payload.
+    pub fn to_wire(&self) -> [f64; 4] {
+        [
+            self.modes as f64,
+            self.busy_seconds,
+            self.total_seconds,
+            self.bytes_sent as f64,
+        ]
+    }
+
+    /// Decode a tag-7 payload; `None` when the geometry is wrong.
+    pub fn from_wire(v: &[f64]) -> Option<Self> {
+        if v.len() != 4 {
+            return None;
+        }
+        Some(Self {
+            modes: v[0] as usize,
+            busy_seconds: v[1],
+            total_seconds: v[2],
+            bytes_sent: v[3] as usize,
+        })
+    }
+}
+
 /// Run the worker loop until the master sends tag 6.
 ///
-/// Mirrors Appendix A line by line: receive the initial data, ask for a
-/// wavenumber, and keep integrating until told to stop.
-pub fn worker_loop<T: Transport>(t: &mut T) -> Result<WorkerStats, CommError> {
+/// Mirrors Appendix A line by line — receive the initial data, ask for a
+/// wavenumber, keep integrating until told to stop — with three
+/// session-layer refinements over the paper's listing:
+///
+/// * the first wait accepts *any* tag from the master, so a stop sent
+///   before (or instead of) the init broadcast still unblocks the
+///   worker — the master's drain path relies on this;
+/// * a failed mode integration is reported with tag 8 (ik, k) instead of
+///   killing the worker, after which the worker parks until stopped;
+/// * after the stop, the worker ships its statistics as tag 7 so the
+///   master's report is transport-independent.
+pub fn worker_loop<T: Transport>(t: &mut T) -> Result<WorkerStats, FarmError> {
+    worker_loop_limited(t, None)
+}
+
+/// [`worker_loop`] with an optional mode budget: after completing
+/// `max_modes` assignments the worker returns silently on its next
+/// assignment, exactly as if its thread or node had died mid-run.  This
+/// is the fault-injection hook behind `FaultPlan::DropWorker`; real
+/// deployments pass `None` via [`worker_loop`].
+pub fn worker_loop_limited<T: Transport>(
+    t: &mut T,
+    max_modes: Option<usize>,
+) -> Result<WorkerStats, FarmError> {
     let (_mytid, mastid) = initpass(t);
     let mut buf = Vec::new();
+    let mut stats = WorkerStats::default();
 
-    // receive initial data from master
-    mycheckone(t, TAG_INIT, mastid)?;
+    // First wait: any tag from the master.  Normally this is the tag-1
+    // broadcast; a drain-and-stop can arrive first instead.
+    let first = mychecktid(t, mastid)?;
+    if first == TAG_STOP {
+        myrecvreal(t, &mut buf, TAG_STOP, mastid)?;
+        mysendreal(t, &stats.to_wire(), TAG_STATS, mastid)?;
+        return Ok(stats);
+    }
+    if first != TAG_INIT {
+        return Err(FarmError::Protocol {
+            rank: t.rank(),
+            detail: format!("worker expected init or stop, got tag {first}"),
+        });
+    }
     myrecvreal(t, &mut buf, TAG_INIT, mastid)?;
     let t_start = std::time::Instant::now();
-    let ctx = WorkerContext::from_broadcast(&buf);
-    let mut stats = WorkerStats::default();
+    let ctx = WorkerContext::from_broadcast(&buf)?;
 
     // ask for a wavenumber from master
     mysendreal(t, &[0.0], TAG_REQUEST, mastid)?;
@@ -74,21 +137,40 @@ pub fn worker_loop<T: Transport>(t: &mut T) -> Result<WorkerStats, CommError> {
         if tag != TAG_ASSIGN {
             break;
         }
-        let ik = buf[0] as usize;
+        let ik = buf.first().copied().unwrap_or(-1.0) as usize;
+        if ik >= ctx.spec.ks.len() {
+            return Err(FarmError::Protocol {
+                rank: t.rank(),
+                detail: format!("assignment ik={ik} outside the k-grid"),
+            });
+        }
+        if max_modes.is_some_and(|m| stats.modes >= m) {
+            // fault injection: vanish without a goodbye
+            return Ok(stats);
+        }
         let t_mode = std::time::Instant::now();
-        let out = ctx
-            .run_mode(ik)
-            .map_err(|e| CommError::Protocol(format!("integration failed: {e}")))?;
-        stats.busy_seconds += t_mode.elapsed().as_secs_f64();
-        stats.modes += 1;
-
-        // send results to master: header (tag 4) then data (tag 5)
-        let (header, payload) = out.to_wire(ik);
-        stats.bytes_sent += (header.len() + payload.len()) * 8;
-        mysendreal(t, &header, TAG_HEADER, mastid)?;
-        mysendreal(t, &payload, TAG_DATA, mastid)?;
+        match ctx.run_mode(ik) {
+            Ok(out) => {
+                stats.busy_seconds += t_mode.elapsed().as_secs_f64();
+                stats.modes += 1;
+                // send results to master: header (tag 4) then data (tag 5)
+                let (header, payload) = out.to_wire(ik);
+                stats.bytes_sent += (header.len() + payload.len()) * 8;
+                mysendreal(t, &header, TAG_HEADER, mastid)?;
+                mysendreal(t, &payload, TAG_DATA, mastid)?;
+            }
+            Err(_) => {
+                stats.busy_seconds += t_mode.elapsed().as_secs_f64();
+                // report the failure and park until the master stops us
+                mysendreal(t, &[ik as f64, ctx.spec.ks[ik]], TAG_FAIL, mastid)?;
+                mycheckone(t, TAG_STOP, mastid)?;
+                myrecvreal(t, &mut buf, TAG_STOP, mastid)?;
+                break;
+            }
+        }
     }
     stats.total_seconds = t_start.elapsed().as_secs_f64();
+    mysendreal(t, &stats.to_wire(), TAG_STATS, mastid)?;
     Ok(stats)
 }
 
@@ -101,11 +183,32 @@ mod tests {
     fn context_from_broadcast_builds_physics() {
         let mut spec = RunSpec::standard_cdm(vec![0.01]);
         spec.preset = Preset::Draft;
-        let ctx = WorkerContext::from_broadcast(&spec.encode());
+        let ctx = WorkerContext::from_broadcast(&spec.encode()).unwrap();
         assert_eq!(ctx.spec.ks.len(), 1);
         assert!(ctx.bg.tau0() > 10_000.0);
         let out = ctx.run_mode(0).unwrap();
         assert!(out.delta_c.is_finite());
         assert_eq!(out.k, 0.01);
+    }
+
+    #[test]
+    fn context_rejects_malformed_broadcast() {
+        match WorkerContext::from_broadcast(&[1.0, 2.0]) {
+            Err(FarmError::SpecDecode(_)) => {}
+            Err(other) => panic!("expected SpecDecode, got {other}"),
+            Ok(_) => panic!("malformed broadcast must not decode"),
+        }
+    }
+
+    #[test]
+    fn stats_wire_roundtrip() {
+        let s = WorkerStats {
+            modes: 3,
+            busy_seconds: 1.5,
+            total_seconds: 2.0,
+            bytes_sent: 4096,
+        };
+        assert_eq!(WorkerStats::from_wire(&s.to_wire()), Some(s));
+        assert_eq!(WorkerStats::from_wire(&[1.0, 2.0]), None);
     }
 }

@@ -33,7 +33,7 @@ proptest! {
         let mut spec = RunSpec::standard_cdm(ks.clone());
         spec.lmax_g = lmax_g;
         spec.tau_end = tau_end;
-        let back = RunSpec::decode(&spec.encode());
+        let back = RunSpec::decode(&spec.encode()).unwrap();
         prop_assert_eq!(back.ks, ks);
         prop_assert_eq!(back.lmax_g, lmax_g);
         match (back.tau_end, tau_end) {

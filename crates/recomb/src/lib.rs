@@ -154,8 +154,7 @@ impl ThermoHistory {
                     let k2 = f((xh + 0.5 * h_step * k1).clamp(1e-12, 1.0));
                     let k3 = f((xh + 0.5 * h_step * k2).clamp(1e-12, 1.0));
                     let k4 = f((xh + h_step * k3).clamp(1e-12, 1.0));
-                    xh = (xh + h_step / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4))
-                        .clamp(1e-12, 1.0);
+                    xh = (xh + h_step / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)).clamp(1e-12, 1.0);
                 }
                 let ne = (xh * n_h).max(1e-30);
                 let (x_he2, x_he3) = saha_helium_fractions(tgamma, ne);
@@ -219,7 +218,10 @@ impl ThermoHistory {
 
         // optical depth κ(τ) = ∫_τ^τ0 (dκ/dτ) dτ', on the same a-grid
         let a_start = lnas[0].exp();
-        let taus: Vec<f64> = lnas.iter().map(|&lna| bg.conformal_time(lna.exp())).collect();
+        let taus: Vec<f64> = lnas
+            .iter()
+            .map(|&lna| bg.conformal_time(lna.exp()))
+            .collect();
         let opacs: Vec<f64> = lnas
             .iter()
             .zip(&xes)
@@ -230,8 +232,7 @@ impl ThermoHistory {
             .collect();
         let mut kappa = vec![0.0; n];
         for i in (0..n - 1).rev() {
-            kappa[i] = kappa[i + 1]
-                + 0.5 * (opacs[i] + opacs[i + 1]) * (taus[i + 1] - taus[i]);
+            kappa[i] = kappa[i + 1] + 0.5 * (opacs[i] + opacs[i + 1]) * (taus[i + 1] - taus[i]);
         }
         let kappa_spline = CubicSpline::natural(taus.clone(), kappa.clone());
 
@@ -301,8 +302,7 @@ impl ThermoHistory {
         let ts = self.kappa_spline.xs();
         if tau <= ts[0] {
             // extend with the fully-ionized opacity ∝ a⁻² ∝ τ⁻² (radiation era)
-            self.kappa_spline.ys()[0]
-                + self.opacity_before_table(tau)
+            self.kappa_spline.ys()[0] + self.opacity_before_table(tau)
         } else if tau >= ts[ts.len() - 1] {
             0.0
         } else {
@@ -339,8 +339,7 @@ impl ThermoHistory {
         // k_B T / (m_p c²) with m_p c² = 938.272 MeV
         let mp_c2_ev = 938.272_088e6;
         let kt_ev = constants::K_B_EV_K * tb;
-        (kt_ev / mp_c2_ev) * (1.0 - y_helium) * (1.0 + self.f_he + xe)
-            * (1.0 - dlntb / 3.0)
+        (kt_ev / mp_c2_ev) * (1.0 - y_helium) * (1.0 + self.f_he + xe) * (1.0 - dlntb / 3.0)
     }
 
     /// Conformal time of the visibility peak ("recombination"), Mpc.
@@ -364,7 +363,7 @@ impl ThermoHistory {
 fn compton_rate_sinv(xe: f64, f_he: f64, tgamma_k: f64) -> f64 {
     // a_r = 7.5657e-16 J m⁻³ K⁻⁴; m_e c = 2.7309e-22 kg m/s
     let a_rad = 7.565_733e-16;
-    let m_e_c = 9.109_383_7015e-31 * constants::C_KM_S * 1.0e3;
+    let m_e_c = 9.109_383_701_5e-31 * constants::C_KM_S * 1.0e3;
     (8.0 / 3.0) * constants::SIGMA_T_M2 * a_rad * tgamma_k.powi(4) * xe
         / (m_e_c * (1.0 + f_he + xe))
 }
@@ -425,7 +424,9 @@ mod tests {
     fn xe_monotone_through_recombination() {
         let (_bg, th) = thermo();
         let mut last = f64::INFINITY;
-        for z in [5000.0f64, 3000.0, 2000.0, 1500.0, 1200.0, 1000.0, 800.0, 400.0] {
+        for z in [
+            5000.0f64, 3000.0, 2000.0, 1500.0, 1200.0, 1000.0, 800.0, 400.0,
+        ] {
             let xe = th.xe(1.0 / (z + 1.0));
             assert!(xe <= last + 1e-9, "x_e not monotone at z={z}");
             last = xe;
@@ -454,7 +455,11 @@ mod tests {
             th.tau_rec()
         );
         // ballpark: 250-350 Mpc for SCDM h=0.5 (the paper's movie ends at 250)
-        assert!(th.tau_rec() > 200.0 && th.tau_rec() < 400.0, "τ_rec = {}", th.tau_rec());
+        assert!(
+            th.tau_rec() > 200.0 && th.tau_rec() < 400.0,
+            "τ_rec = {}",
+            th.tau_rec()
+        );
     }
 
     #[test]
@@ -465,7 +470,11 @@ mod tests {
         let a = 1.0 / 2001.0;
         let tb = th.t_baryon(a, t_cmb);
         let tg = t_cmb / a;
-        assert!((tb - tg).abs() / tg < 0.01, "T_b/T_γ at z=2000: {}", tb / tg);
+        assert!(
+            (tb - tg).abs() / tg < 0.01,
+            "T_b/T_γ at z=2000: {}",
+            tb / tg
+        );
         // decoupled by z = 30: T_b < T_γ
         let a = 1.0 / 31.0;
         let tb = th.t_baryon(a, t_cmb);

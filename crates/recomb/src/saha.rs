@@ -29,7 +29,7 @@ pub fn saha_hydrogen_xh(t_k: f64, n_h_m3: f64, xe_total: f64) -> f64 {
     }
     // x_H (x_H + d)/(1 - x_H) = s, with d = electrons from helium
     let d = (xe_total - 1.0).max(0.0); // helium electrons when H fully ionized guess
-    // quadratic: x² + (d + s) x − s = 0
+                                       // quadratic: x² + (d + s) x − s = 0
     let b = d + s;
     let x = 0.5 * (-b + (b * b + 4.0 * s).sqrt());
     x.clamp(0.0, 1.0)
@@ -95,10 +95,7 @@ mod tests {
                 break;
             }
         }
-        assert!(
-            (3500.0..4500.0).contains(&t_half),
-            "T(x=1/2) = {t_half}"
-        );
+        assert!((3500.0..4500.0).contains(&t_half), "T(x=1/2) = {t_half}");
     }
 
     #[test]

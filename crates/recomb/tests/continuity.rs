@@ -29,7 +29,10 @@ fn xe_has_no_jumps_through_the_saha_peebles_switch() {
         let x1 = th.xe(1.0 / (1.0 + z1));
         worst = worst.max((x1 - x0).abs() / x0.max(1e-6));
     }
-    assert!(worst < 0.02, "x_e jump of {worst} between adjacent fine samples");
+    assert!(
+        worst < 0.02,
+        "x_e jump of {worst} between adjacent fine samples"
+    );
 }
 
 #[test]
@@ -93,10 +96,7 @@ fn baryon_sound_speed_is_smooth_and_positive() {
         assert!(cs2 > 0.0 && cs2 < 1.0, "c_s² = {cs2} at a = {a}");
         if let Some(prev) = last {
             let ratio: f64 = cs2 / prev;
-            assert!(
-                ratio > 0.5 && ratio < 2.0,
-                "c_s² jumps ×{ratio} at a = {a}"
-            );
+            assert!(ratio > 0.5 && ratio < 2.0, "c_s² jumps ×{ratio} at a = {a}");
         }
         last = Some(cs2);
     }

@@ -69,8 +69,8 @@ impl AlmRealization {
                 }
                 let mut sum = self.a_m0[l] * self.a_m0[l];
                 for m in 0..l {
-                    sum += self.a_cos[l][m] * self.a_cos[l][m]
-                        + self.a_sin[l][m] * self.a_sin[l][m];
+                    sum +=
+                        self.a_cos[l][m] * self.a_cos[l][m] + self.a_sin[l][m] * self.a_sin[l][m];
                 }
                 sum / (2.0 * l as f64 + 1.0)
             })
@@ -84,7 +84,13 @@ mod tests {
 
     fn flat_cl(l_max: usize, amp: f64) -> Vec<f64> {
         (0..=l_max)
-            .map(|l| if l >= 2 { amp / (l * (l + 1)) as f64 } else { 0.0 })
+            .map(|l| {
+                if l >= 2 {
+                    amp / (l * (l + 1)) as f64
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 

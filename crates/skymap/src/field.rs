@@ -61,7 +61,7 @@ impl PotentialField {
                 let mut taus = Vec::with_capacity(h.len());
                 let mut psis = Vec::with_capacity(h.len());
                 for &(t, p) in h {
-                    if taus.last().map_or(true, |&last| t > last) {
+                    if taus.last().is_none_or(|&last| t > last) {
                         taus.push(t);
                         psis.push(p);
                     }
@@ -207,7 +207,11 @@ mod tests {
     #[test]
     fn mode_count_respects_budget_and_box() {
         let f = build(2);
-        assert!(f.n_modes() > 10 && f.n_modes() <= 64, "modes = {}", f.n_modes());
+        assert!(
+            f.n_modes() > 10 && f.n_modes() <= 64,
+            "modes = {}",
+            f.n_modes()
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ impl SkyMap {
                             bs += alm.a_sin[l][m - 1] * p;
                         }
                     }
-                    let norm = if m == 0 { 1.0 } else { std::f64::consts::SQRT_2 };
+                    let norm = if m == 0 {
+                        1.0
+                    } else {
+                        std::f64::consts::SQRT_2
+                    };
                     b_cos[m] = norm * bc;
                     b_sin[m] = norm * bs;
                 }
@@ -138,7 +142,11 @@ impl SkyMap {
             for m in 0..=l_max {
                 plm.resize(l_max - m + 1, 0.0);
                 assoc_legendre_norm_array(l_max, m, x, &mut plm);
-                let norm = if m == 0 { 1.0 } else { std::f64::consts::SQRT_2 };
+                let norm = if m == 0 {
+                    1.0
+                } else {
+                    std::f64::consts::SQRT_2
+                };
                 for l in m.max(2)..=l_max {
                     let p = plm[l - m] * w * norm;
                     if m == 0 {
@@ -182,8 +190,7 @@ impl SkyMap {
             let ilat = ((t / std::f64::consts::PI) * self.nlat as f64 - 0.5)
                 .round()
                 .clamp(0.0, self.nlat as f64 - 1.0) as usize;
-            let ilon = ((phi.rem_euclid(2.0 * std::f64::consts::PI)
-                / (2.0 * std::f64::consts::PI))
+            let ilon = ((phi.rem_euclid(2.0 * std::f64::consts::PI) / (2.0 * std::f64::consts::PI))
                 * self.nlon as f64)
                 .floor()
                 .clamp(0.0, self.nlon as f64 - 1.0) as usize;
@@ -281,7 +288,13 @@ mod tests {
     fn map_variance_matches_parseval() {
         // ⟨T²⟩ = Σ_l (2l+1) Ĉ_l / 4π with Ĉ_l the realization's own power
         let cl: Vec<f64> = (0..=24)
-            .map(|l| if l >= 2 { 1.0 / (l * (l + 1)) as f64 } else { 0.0 })
+            .map(|l| {
+                if l >= 2 {
+                    1.0 / (l * (l + 1)) as f64
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let a = AlmRealization::generate(&cl, 11);
         let map = SkyMap::synthesize(&a, 96, 192);
@@ -316,7 +329,13 @@ mod tests {
         // compare with Σ(2l+1)Ĉ_l P_l(cosθ)/4π using the realization's
         // own measured Ĉ_l (removes cosmic variance from the comparison)
         let cl: Vec<f64> = (0..=20)
-            .map(|l| if l >= 2 { 1.0 / (l * (l + 1)) as f64 } else { 0.0 })
+            .map(|l| {
+                if l >= 2 {
+                    1.0 / (l * (l + 1)) as f64
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let alm = AlmRealization::generate(&cl, 9);
         let map = SkyMap::synthesize(&alm, 96, 192);

@@ -5,7 +5,13 @@ use skymap::{AlmRealization, SkyMap};
 
 fn spectrum(l_max: usize, amp: f64) -> Vec<f64> {
     (0..=l_max)
-        .map(|l| if l >= 2 { amp / (l * (l + 1)) as f64 } else { 0.0 })
+        .map(|l| {
+            if l >= 2 {
+                amp / (l * (l + 1)) as f64
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 

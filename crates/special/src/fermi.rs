@@ -130,7 +130,10 @@ mod tests {
         let r = 5000.0;
         let expect = r * 1.5 * ZETA3;
         let got = fermi_dirac_energy(r);
-        assert!((got - expect).abs() / expect < 1e-4, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() / expect < 1e-4,
+            "got {got}, expect {expect}"
+        );
     }
 
     #[test]
@@ -171,12 +174,11 @@ mod tests {
     fn momentum_grid_recovers_energy() {
         let g = NeutrinoMomentumGrid::new(24);
         for r in [0.0, 2.0, 20.0] {
-            let e: f64 = g
-                .q
-                .iter()
-                .zip(&g.w)
-                .map(|(&q, &w)| w * (q * q + r * r).sqrt())
-                .sum();
+            let e: f64 =
+                g.q.iter()
+                    .zip(&g.w)
+                    .map(|(&q, &w)| w * (q * q + r * r).sqrt())
+                    .sum();
             let expect = fermi_dirac_energy(r);
             assert!((e - expect).abs() / expect < 1e-6, "r={r}");
         }

@@ -71,8 +71,8 @@ pub fn assoc_legendre_norm(l: usize, m: usize, x: f64) -> f64 {
     for ll in m + 2..=l {
         let lf = ll as f64;
         let a = ((4.0 * lf * lf - 1.0) / (lf * lf - mf * mf)).sqrt();
-        let b = (((lf - 1.0) * (lf - 1.0) - mf * mf) / (4.0 * (lf - 1.0) * (lf - 1.0) - 1.0))
-            .sqrt();
+        let b =
+            (((lf - 1.0) * (lf - 1.0) - mf * mf) / (4.0 * (lf - 1.0) * (lf - 1.0) - 1.0)).sqrt();
         pll = a * (x * pm1 - b * plm2);
         plm2 = pm1;
         pm1 = pll;
@@ -100,8 +100,8 @@ pub fn assoc_legendre_norm_array(lmax: usize, m: usize, x: f64, out: &mut [f64])
     for ll in m + 2..=lmax {
         let lf = ll as f64;
         let a = ((4.0 * lf * lf - 1.0) / (lf * lf - mf * mf)).sqrt();
-        let b = (((lf - 1.0) * (lf - 1.0) - mf * mf) / (4.0 * (lf - 1.0) * (lf - 1.0) - 1.0))
-            .sqrt();
+        let b =
+            (((lf - 1.0) * (lf - 1.0) - mf * mf) / (4.0 * (lf - 1.0) * (lf - 1.0) - 1.0)).sqrt();
         out[ll - m] = a * (x * out[ll - m - 1] - b * out[ll - m - 2]);
     }
 }
@@ -117,9 +117,7 @@ mod tests {
             assert_eq!(legendre_pl(0, x), 1.0);
             assert_eq!(legendre_pl(1, x), x);
             assert!((legendre_pl(2, x) - 0.5 * (3.0 * x * x - 1.0)).abs() < 1e-14);
-            assert!(
-                (legendre_pl(3, x) - 0.5 * (5.0 * x * x * x - 3.0 * x)).abs() < 1e-14
-            );
+            assert!((legendre_pl(3, x) - 0.5 * (5.0 * x * x * x - 3.0 * x)).abs() < 1e-14);
         }
     }
 
@@ -136,8 +134,8 @@ mod tests {
     fn array_matches_scalar() {
         let mut arr = vec![0.0; 51];
         legendre_pl_array(0.37, &mut arr);
-        for l in 0..=50 {
-            assert!((arr[l] - legendre_pl(l, 0.37)).abs() < 1e-12);
+        for (l, &a) in arr.iter().enumerate() {
+            assert!((a - legendre_pl(l, 0.37)).abs() < 1e-12);
         }
     }
 
@@ -151,7 +149,11 @@ mod tests {
                 .zip(&ws)
                 .map(|(&x, &w)| w * legendre_pl(l1, x) * legendre_pl(l2, x))
                 .sum();
-            let expect = if l1 == l2 { 2.0 / (2.0 * l1 as f64 + 1.0) } else { 0.0 };
+            let expect = if l1 == l2 {
+                2.0 / (2.0 * l1 as f64 + 1.0)
+            } else {
+                0.0
+            };
             assert!((s - expect).abs() < 1e-12, "l1={l1} l2={l2}: {s}");
         }
     }

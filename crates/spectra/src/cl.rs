@@ -113,7 +113,11 @@ pub fn angular_power_spectrum(
         cl_cross[l] = four_pi * sx.integral_to(lnk[lnk.len() - 1]);
     }
 
-    ClSpectrum { cl, cl_pol, cl_cross }
+    ClSpectrum {
+        cl,
+        cl_pol,
+        cl_cross,
+    }
 }
 
 #[cfg(test)]

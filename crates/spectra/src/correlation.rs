@@ -16,6 +16,7 @@ use special::legendre::legendre_pl_array;
 
 /// Evaluate `C(θ)` at the given angles (radians); `fwhm_deg` applies a
 /// Gaussian beam of that full width at half maximum (0 = none).
+#[allow(clippy::needless_range_loop)] // l indexes cl and pl in lockstep and enters the weights
 pub fn correlation_function(spec: &ClSpectrum, thetas_rad: &[f64], fwhm_deg: f64) -> Vec<f64> {
     let l_max = spec.l_max();
     let sigma = if fwhm_deg > 0.0 {
@@ -104,9 +105,9 @@ mod tests {
         };
         let theta = 0.6f64;
         let c = correlation_function(&spec, &[theta], 0.0)[0];
-        let expect = (2.0 * l0 as f64 + 1.0) * 2.0
-            * special::legendre::legendre_pl(l0, theta.cos())
-            / (4.0 * std::f64::consts::PI);
+        let expect =
+            (2.0 * l0 as f64 + 1.0) * 2.0 * special::legendre::legendre_pl(l0, theta.cos())
+                / (4.0 * std::f64::consts::PI);
         assert!((c - expect).abs() < 1e-14);
     }
 }

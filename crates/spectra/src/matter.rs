@@ -86,8 +86,7 @@ pub fn bbks_transfer(k: f64, gamma: f64) -> f64 {
         return 1.0;
     }
     let l = (1.0 + 2.34 * q).ln() / (2.34 * q);
-    l * (1.0 + 3.89 * q + (16.1 * q).powi(2) + (5.46 * q).powi(3) + (6.71 * q).powi(4))
-        .powf(-0.25)
+    l * (1.0 + 3.89 * q + (16.1 * q).powi(2) + (5.46 * q).powi(3) + (6.71 * q).powi(4)).powf(-0.25)
 }
 
 #[cfg(test)]
@@ -120,7 +119,10 @@ mod tests {
         assert!((t[0] - 1.0).abs() < 1e-12);
         assert!(t[1] > 0.9, "T should stay ~1 superhorizon: {}", t[1]);
         let last = *t.last().unwrap();
-        assert!(last < 0.1, "T(k=0.3) = {last} should be strongly suppressed");
+        assert!(
+            last < 0.1,
+            "T(k=0.3) = {last} should be strongly suppressed"
+        );
         // monotone decreasing (no BAO resolution at this sampling)
         for w in t.windows(2) {
             assert!(w[1] <= w[0] * 1.02, "transfer not decreasing: {w:?}");
@@ -154,19 +156,15 @@ mod tests {
         // P(k) rises ∝ k at large scales (n = 1), peaks near k_eq,
         // falls at small scales.
         let mp = matter_power_spectrum(modes(), &PrimordialSpectrum::unit(1.0), 0.95, 0.05);
-        let imax = mp
-            .p
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let imax =
+            mp.p.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
         let k_peak = mp.k[imax];
         // SCDM turnover near k_eq ≈ 0.01·(Ωh²/0.25)… a few × 10⁻²
-        assert!(
-            k_peak > 2e-3 && k_peak < 0.1,
-            "P(k) peaks at k = {k_peak}"
-        );
+        assert!(k_peak > 2e-3 && k_peak < 0.1, "P(k) peaks at k = {k_peak}");
         // rising slope at the largest scales ≈ kⁿ
         let slope = (mp.p[1] / mp.p[0]).ln() / (mp.k[1] / mp.k[0]).ln();
         assert!((slope - 1.0).abs() < 0.15, "large-scale slope = {slope}");

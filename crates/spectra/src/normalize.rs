@@ -20,8 +20,7 @@ pub fn qrms_ps_from_c2(c2: f64, t_cmb_k: f64) -> f64 {
 /// the rescaled spectrum and the amplitude factor applied.
 pub fn cobe_normalize(spec: &ClSpectrum, t_cmb_k: f64, q_target_uk: f64) -> (ClSpectrum, f64) {
     assert!(spec.cl.len() > 2 && spec.cl[2] > 0.0, "need a quadrupole");
-    let c2_target = (4.0 * std::f64::consts::PI / 5.0)
-        * (q_target_uk / (t_cmb_k * 1.0e6)).powi(2);
+    let c2_target = (4.0 * std::f64::consts::PI / 5.0) * (q_target_uk / (t_cmb_k * 1.0e6)).powi(2);
     let factor = c2_target / spec.cl[2];
     (spec.rescaled(factor), factor)
 }
@@ -56,7 +55,11 @@ mod tests {
     fn c2_of_18uk_magnitude() {
         // C2 = (4π/5)(18e-6/2.726)² ≈ 1.1e-10
         let (spec, _) = cobe_normalize(&fake_spec(), 2.726, 18.0);
-        assert!(spec.cl[2] > 5e-11 && spec.cl[2] < 2e-10, "C2 = {}", spec.cl[2]);
+        assert!(
+            spec.cl[2] > 5e-11 && spec.cl[2] < 2e-10,
+            "C2 = {}",
+            spec.cl[2]
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ fn main() {
     let n_workers: usize = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
 
     // a dense-enough grid to resolve the Δ_l(k) oscillations (Δk ≈ π/2τ₀)
     let bg_probe = Background::new(CosmoParams::standard_cdm());
@@ -32,7 +36,9 @@ fn main() {
     );
 
     let spec = RunSpec::standard_cdm(ks);
-    let report = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, n_workers);
+    let report = Farm::<ChannelWorld>::new(n_workers)
+        .run(&spec, SchedulePolicy::LargestFirst)
+        .expect("farm run");
     println!(
         "# wall {:.1} s, total worker CPU {:.1} s, efficiency {:.1}%, {:.1} Mflop/s aggregate",
         report.wall_seconds,

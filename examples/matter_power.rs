@@ -16,12 +16,18 @@ fn main() {
     let n_workers: usize = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
 
     let ks = matter_k_grid(1e-4, 1.0, n_k);
     let spec = RunSpec::standard_cdm(ks);
     println!("# {} modes on {} workers", n_k, n_workers);
-    let report = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, n_workers);
+    let report = Farm::<ChannelWorld>::new(n_workers)
+        .run(&spec, SchedulePolicy::LargestFirst)
+        .expect("farm run");
 
     let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
     let (omega_c, omega_b, h) = (spec.cosmo.omega_c, spec.cosmo.omega_b, spec.cosmo.h);

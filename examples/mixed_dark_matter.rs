@@ -15,7 +15,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(17);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let ks = matter_k_grid(1e-4, 0.5, n_k);
 
@@ -28,8 +30,12 @@ fn main() {
         "# MDM: Ω_ν ≈ 0.2 in one ν species of {} eV (vs SCDM), {} modes each",
         mdm.cosmo.m_nu_ev, n_k
     );
-    let rep_s = run_parallel_channels(&scdm, SchedulePolicy::LargestFirst, workers);
-    let rep_m = run_parallel_channels(&mdm, SchedulePolicy::LargestFirst, workers);
+    let rep_s = Farm::<ChannelWorld>::new(workers)
+        .run(&scdm, SchedulePolicy::LargestFirst)
+        .expect("farm run");
+    let rep_m = Farm::<ChannelWorld>::new(workers)
+        .run(&mdm, SchedulePolicy::LargestFirst)
+        .expect("farm run");
 
     let t_s = transfer_function(&rep_s.outputs, scdm.cosmo.omega_c, scdm.cosmo.omega_b);
     let t_m = transfer_function(&rep_m.outputs, mdm.cosmo.omega_c, mdm.cosmo.omega_b);
@@ -48,6 +54,9 @@ fn main() {
         "\n# small-scale power suppression: P_MDM/P_SCDM = {suppression:.3} at k = {:.2} Mpc⁻¹",
         ks[n_k - 1]
     );
-    println!("# (free-streaming of the {} eV neutrino; the 1995 C+HDM literature", mdm.cosmo.m_nu_ev);
+    println!(
+        "# (free-streaming of the {} eV neutrino; the 1995 C+HDM literature",
+        mdm.cosmo.m_nu_ev
+    );
     println!("#  quotes factors of ~2-4 suppression at cluster scales)");
 }

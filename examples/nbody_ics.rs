@@ -26,7 +26,9 @@ fn main() {
         .nth(3)
         .and_then(|s| s.parse().ok())
         .unwrap_or(49.0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     // transfer functions over the box's modes
     let k_min = 2.0 * std::f64::consts::PI / box_mpc / 2.0;
@@ -34,12 +36,19 @@ fn main() {
     let mut spec = RunSpec::standard_cdm(matter_k_grid(k_min.min(1e-3), k_max, 28));
     spec.preset = Preset::Demo;
     println!("# evolving {} transfer modes to z = 0…", spec.ks.len());
-    let report = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, workers);
+    let report = Farm::<ChannelWorld>::new(workers)
+        .run(&spec, SchedulePolicy::LargestFirst)
+        .expect("farm run");
 
     // COBE-ish amplitude: normalize σ₈ to the classic COBE-normalized
     // SCDM value ≈ 1.2 (the model's famous excess over observations)
     let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
-    let mp0 = matter_power_spectrum(&report.outputs, &prim, spec.cosmo.omega_c, spec.cosmo.omega_b);
+    let mp0 = matter_power_spectrum(
+        &report.outputs,
+        &prim,
+        spec.cosmo.omega_c,
+        spec.cosmo.omega_b,
+    );
     let s8_unit = sigma_r(&mp0, 8.0 / spec.cosmo.h);
     let target_s8 = 1.2;
     let amp = (target_s8 / s8_unit).powi(2);

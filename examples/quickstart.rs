@@ -34,13 +34,31 @@ fn main() {
     let cfg = ModeConfig::default();
     let out = evolve_mode(&bg, &thermo, k, &cfg).expect("mode failed");
 
-    println!("\n# mode k = {k} Mpc⁻¹ evolved to τ₀ (lmax = {})", out.lmax_g);
-    println!("  δ_c   = {:+.6e}   θ_c  = {:+.6e}", out.delta_c, out.theta_c);
-    println!("  δ_b   = {:+.6e}   θ_b  = {:+.6e}", out.delta_b, out.theta_b);
-    println!("  δ_γ   = {:+.6e}   θ_γ  = {:+.6e}", out.delta_g, out.theta_g);
-    println!("  δ_ν   = {:+.6e}   θ_ν  = {:+.6e}", out.delta_nu, out.theta_nu);
+    println!(
+        "\n# mode k = {k} Mpc⁻¹ evolved to τ₀ (lmax = {})",
+        out.lmax_g
+    );
+    println!(
+        "  δ_c   = {:+.6e}   θ_c  = {:+.6e}",
+        out.delta_c, out.theta_c
+    );
+    println!(
+        "  δ_b   = {:+.6e}   θ_b  = {:+.6e}",
+        out.delta_b, out.theta_b
+    );
+    println!(
+        "  δ_γ   = {:+.6e}   θ_γ  = {:+.6e}",
+        out.delta_g, out.theta_g
+    );
+    println!(
+        "  δ_ν   = {:+.6e}   θ_ν  = {:+.6e}",
+        out.delta_nu, out.theta_nu
+    );
     println!("  φ     = {:+.6e}   ψ    = {:+.6e}", out.phi, out.psi);
-    println!("  σ_γ   = {:+.6e}   σ_ν  = {:+.6e}", out.sigma_g, out.sigma_nu);
+    println!(
+        "  σ_γ   = {:+.6e}   σ_ν  = {:+.6e}",
+        out.sigma_g, out.sigma_nu
+    );
     println!(
         "\n# integrator: {} steps accepted, {} rejected, {} RHS evals",
         out.stats.accepted, out.stats.rejected, out.stats.rhs_evals

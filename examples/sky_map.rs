@@ -20,13 +20,17 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1995);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let bg_probe = Background::new(CosmoParams::standard_cdm());
     let ks = cl_k_grid(bg_probe.tau0(), l_max, 2.0);
     println!("# computing C_l to l = {l_max} from {} modes…", ks.len());
     let spec = RunSpec::standard_cdm(ks);
-    let report = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, workers);
+    let report = Farm::<ChannelWorld>::new(workers)
+        .run(&spec, SchedulePolicy::LargestFirst)
+        .expect("farm run");
 
     let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
     let raw = angular_power_spectrum(&report.outputs, &prim, l_max);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The repo's one-stop gate: formatting, lints (warnings are errors), and
+# the full test suite.  Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "ci: all green"

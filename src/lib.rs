@@ -14,8 +14,12 @@
 //! // 1. pick a cosmology and build the wavenumber grid
 //! let spec = RunSpec::standard_cdm(vec![1e-3, 5e-3, 1e-2]);
 //!
-//! // 2. run the farm (4 workers, largest-k-first as in the paper)
-//! let report = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, 4);
+//! // 2. run the farm (4 workers, largest-k-first as in the paper);
+//! //    swap ChannelWorld for ShmemWorld or TcpWorld to change the
+//! //    message-passing substrate without touching the farm code
+//! let report = Farm::<ChannelWorld>::new(4)
+//!     .run(&spec, SchedulePolicy::LargestFirst)
+//!     .expect("farm session");
 //!
 //! // 3. assemble observables
 //! let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
@@ -25,8 +29,8 @@
 //! ```
 
 pub use background;
-pub use icgen;
 pub use boltzmann;
+pub use icgen;
 pub use msgpass;
 pub use numutil;
 pub use ode;
@@ -39,19 +43,21 @@ pub use spectra;
 /// Convenient one-stop imports.
 pub mod prelude {
     pub use background::{Background, CosmoParams, Species};
-    pub use boltzmann::{
-        evolve_mode, Gauge, InitialConditions, ModeConfig, ModeOutput, Preset,
-    };
-    pub use msgpass::{Transport, Rank, Tag};
+    pub use boltzmann::{evolve_mode, Gauge, InitialConditions, ModeConfig, ModeOutput, Preset};
+    pub use msgpass::channel::ChannelWorld;
+    pub use msgpass::shmem::ShmemWorld;
+    pub use msgpass::tcp::TcpWorld;
+    pub use msgpass::{CommError, Rank, Tag, Transport, World};
     pub use plinger::{
-        run_parallel_channels, run_serial, FarmReport, RunSpec, SchedulePolicy,
+        run_serial, run_tcp_processes, Farm, FarmError, FarmReport, FaultPlan, RunSpec,
+        SchedulePolicy,
     };
     pub use recomb::ThermoHistory;
     pub use skymap::{AlmRealization, PotentialField, SkyMap};
     pub use spectra::{
-        angular_power_spectrum, cl_k_grid, cobe_normalize, correlation_function,
-        map_variance, matter_k_grid, matter_power_spectrum, sigma_r,
-        transfer_function, ClSpectrum, MatterPower, PrimordialSpectrum, Q_RMS_PS_UK,
+        angular_power_spectrum, cl_k_grid, cobe_normalize, correlation_function, map_variance,
+        matter_k_grid, matter_power_spectrum, sigma_r, transfer_function, ClSpectrum, MatterPower,
+        PrimordialSpectrum, Q_RMS_PS_UK,
     };
 }
 

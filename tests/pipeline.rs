@@ -7,11 +7,12 @@ use std::sync::OnceLock;
 fn farm_report() -> &'static (RunSpec, FarmReport) {
     static CTX: OnceLock<(RunSpec, FarmReport)> = OnceLock::new();
     CTX.get_or_init(|| {
-        let mut spec = RunSpec::standard_cdm(
-            plinger_repro::numutil::grid::logspace(2.0e-4, 2.0e-3, 12),
-        );
+        let mut spec =
+            RunSpec::standard_cdm(plinger_repro::numutil::grid::logspace(2.0e-4, 2.0e-3, 12));
         spec.preset = Preset::Draft;
-        let report = run_parallel_channels(&spec, SchedulePolicy::LargestFirst, 2);
+        let report = Farm::<ChannelWorld>::new(2)
+            .run(&spec, SchedulePolicy::LargestFirst)
+            .expect("farm run");
         (spec, report)
     })
 }
@@ -48,7 +49,7 @@ fn farm_to_map_pipeline() {
 #[test]
 fn serial_reference_agrees_with_farm() {
     let (spec, report) = farm_report();
-    let (serial, _) = run_serial(spec);
+    let (serial, _) = run_serial(spec).expect("serial run");
     for (s, p) in serial.iter().zip(&report.outputs) {
         assert_eq!(s.delta_c.to_bits(), p.delta_c.to_bits());
         assert_eq!(s.psi.to_bits(), p.psi.to_bits());
@@ -59,9 +60,16 @@ fn serial_reference_agrees_with_farm() {
 fn matter_pipeline_produces_growing_spectrum() {
     let mut spec = RunSpec::standard_cdm(matter_k_grid(1e-4, 0.05, 8));
     spec.preset = Preset::Draft;
-    let report = run_parallel_channels(&spec, SchedulePolicy::SmallestFirst, 2);
+    let report = Farm::<ChannelWorld>::new(2)
+        .run(&spec, SchedulePolicy::SmallestFirst)
+        .expect("farm run");
     let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
-    let mp = matter_power_spectrum(&report.outputs, &prim, spec.cosmo.omega_c, spec.cosmo.omega_b);
+    let mp = matter_power_spectrum(
+        &report.outputs,
+        &prim,
+        spec.cosmo.omega_c,
+        spec.cosmo.omega_b,
+    );
     // n = 1: P ∝ k on large scales
     assert!(mp.p[1] > mp.p[0]);
     // σ decreases with radius
@@ -77,8 +85,8 @@ fn gauge_choice_does_not_change_observables() {
     spec_s.preset = Preset::Draft;
     let mut spec_n = spec_s.clone();
     spec_n.gauge = Gauge::ConformalNewtonian;
-    let (out_s, _) = run_serial(&spec_s);
-    let (out_n, _) = run_serial(&spec_n);
+    let (out_s, _) = run_serial(&spec_s).expect("serial run");
+    let (out_n, _) = run_serial(&spec_n).expect("serial run");
     let rel = (out_s[0].psi - out_n[0].psi).abs() / out_s[0].psi.abs();
     assert!(rel < 0.02, "ψ gauge mismatch: {rel}");
 }
