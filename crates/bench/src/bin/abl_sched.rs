@@ -12,7 +12,8 @@
 //! ```
 
 use bench::experiments::{measure_serial, print_table, scaling_workload};
-use plinger::{simulate_farm, SchedulePolicy, SimParams};
+use msgpass::channel::ChannelWorld;
+use plinger::{simulate_farm, Farm, SchedulePolicy, SimParams};
 
 fn main() {
     let n_modes: usize = std::env::args()
@@ -69,4 +70,27 @@ fn main() {
     }
     println!("\n# expectation: largest-first ≥ FIFO/random ≫ smallest-first once the");
     println!("# worker count is comparable to the number of long jobs.");
+
+    // --- real farm cross-check ----------------------------------------
+    // the simulator replays measured durations; this reruns the actual
+    // farm and reads the idle / imbalance ledger straight off the report
+    println!("\n# real farm (4 workers, measured idle / imbalance per policy):");
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let rep = Farm::<ChannelWorld>::new(4)
+            .run(&spec, policy)
+            .expect("farm run");
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", rep.wall_seconds),
+            format!("{:.1}%", 100.0 * rep.parallel_efficiency()),
+            format!("{:.3}", rep.idle_seconds()),
+            format!("{:.2}", rep.load_imbalance()),
+        ]);
+    }
+    print_table(
+        &["policy", "wall [s]", "efficiency", "Σidle [s]", "imbalance"],
+        &rows,
+    );
+    println!("# imbalance = max worker busy time / mean (1.00 = perfectly even)");
 }

@@ -61,9 +61,21 @@ fn main() {
             format!("{:.2}", rep.wall_seconds),
             format!("{:.2}", rep.total_cpu_seconds()),
             format!("{:.1}%", 100.0 * rep.parallel_efficiency()),
+            format!("{:.2}", rep.idle_seconds()),
+            format!("{:.2}", rep.load_imbalance()),
         ]);
     }
-    print_table(&["workers", "wall [s]", "ΣCPU [s]", "efficiency"], &rows);
+    print_table(
+        &[
+            "workers",
+            "wall [s]",
+            "ΣCPU [s]",
+            "efficiency",
+            "idle [s]",
+            "imbalance",
+        ],
+        &rows,
+    );
     println!("# (with fewer cores than workers the OS time-slices; the simulation below");
     println!("#  replays the same measured durations on dedicated processors)");
 

@@ -29,16 +29,25 @@ fn main() {
     let spec = message_workload(n_modes, k_max);
     let (outputs, _) = run_serial(&spec).expect("serial pass");
 
+    // serialize each mode exactly once; both the table and the
+    // proportionality check below read the same measured sizes
+    let bytes: Vec<f64> = outputs
+        .iter()
+        .enumerate()
+        .map(|(ik, o)| {
+            let (h, p) = o.to_wire(ik);
+            ((h.len() + p.len()) * 8) as f64
+        })
+        .collect();
+
     let mut rows = Vec::new();
-    for (ik, out) in outputs.iter().enumerate() {
-        let (h, p) = out.to_wire(ik);
-        let bytes = (h.len() + p.len()) * 8;
+    for (out, b) in outputs.iter().zip(&bytes) {
         rows.push(vec![
             format!("{:.2e}", out.k),
             out.lmax_g.to_string(),
             format!("{:.3}", out.cpu_seconds),
-            bytes.to_string(),
-            format!("{:.1}", bytes as f64 / out.cpu_seconds / 1e3),
+            format!("{b:.0}"),
+            format!("{:.1}", b / out.cpu_seconds / 1e3),
         ]);
     }
     print_table(
@@ -48,14 +57,6 @@ fn main() {
 
     // proportionality check: message bytes vs CPU time correlation
     let cpu: Vec<f64> = outputs.iter().map(|o| o.cpu_seconds).collect();
-    let bytes: Vec<f64> = outputs
-        .iter()
-        .enumerate()
-        .map(|(ik, o)| {
-            let (h, p) = o.to_wire(ik);
-            ((h.len() + p.len()) * 8) as f64
-        })
-        .collect();
     let span_bytes = bytes.iter().cloned().fold(0.0f64, f64::max)
         / bytes.iter().cloned().fold(f64::INFINITY, f64::min);
     let span_cpu = cpu.iter().cloned().fold(0.0f64, f64::max)

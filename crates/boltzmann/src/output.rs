@@ -193,7 +193,7 @@ impl ModeOutput {
             Gauge::Synchronous => 0.0,
             Gauge::ConformalNewtonian => 1.0,
         });
-        payload.push(0.0); // reserved
+        payload.push(self.stats.stepper_flops as f64);
         payload.extend_from_slice(&self.delta_t);
         payload.extend_from_slice(&self.delta_p);
         debug_assert_eq!(payload.len(), 2 * self.lmax_g + 8);
@@ -201,8 +201,12 @@ impl ModeOutput {
     }
 
     /// Reconstruct a record from the wire format.  Returns `(ik, record)`.
-    /// Work counters that do not travel (stepper flops, trajectory) are
-    /// left empty.
+    /// The full [`StepStats`] travel: accepted/rejected steps and RHS
+    /// evaluations ride in `payload[1..4]`, stepper flops in
+    /// `payload[5]`, and RHS flops are recovered as the difference
+    /// between the header's total-flops word and the stepper flops.
+    /// Only the trajectory stays behind (it is a debugging aid, not a
+    /// result).
     ///
     /// Malformed frames — a header that is not 21 reals, or a payload
     /// whose length disagrees with the `lmax` the header declares — are
@@ -224,12 +228,13 @@ impl ModeOutput {
         let nl = lmax_g + 1;
         let delta_t = payload[6..6 + nl].to_vec();
         let delta_p = payload[6 + nl..6 + 2 * nl].to_vec();
+        let stepper_flops = payload[5] as u64;
         let stats = StepStats {
             accepted: payload[2] as usize,
             rejected: payload[3] as usize,
             rhs_evals: payload[1] as usize,
-            rhs_flops: header[19] as u64,
-            stepper_flops: 0,
+            rhs_flops: (header[19] as u64).saturating_sub(stepper_flops),
+            stepper_flops,
         };
         let out = Self {
             k: header[1],
@@ -299,7 +304,7 @@ mod tests {
                 rejected: 13,
                 rhs_evals: 8104,
                 rhs_flops: 123456789,
-                stepper_flops: 0,
+                stepper_flops: 4200,
             },
             cpu_seconds: 3.25,
             trajectory: Vec::new(),
@@ -329,6 +334,11 @@ mod tests {
         assert_eq!(back.delta_t, out.delta_t);
         assert_eq!(back.delta_p, out.delta_p);
         assert_eq!(back.stats.rhs_evals, out.stats.rhs_evals);
+        assert_eq!(back.stats.accepted, out.stats.accepted);
+        assert_eq!(back.stats.rejected, out.stats.rejected);
+        assert_eq!(back.stats.stepper_flops, out.stats.stepper_flops);
+        assert_eq!(back.stats.rhs_flops, out.stats.rhs_flops);
+        assert_eq!(back.stats.total_flops(), out.stats.total_flops());
         assert_eq!(back.gauge, out.gauge);
         assert_eq!(back.psi_initial, out.psi_initial);
     }

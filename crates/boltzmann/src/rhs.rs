@@ -1,6 +1,6 @@
 //! The Einstein–Boltzmann right-hand side for one k-mode.
 //!
-//! Equations follow Ma & Bertschinger (1995) [MB95].  All times are
+//! Equations follow Ma & Bertschinger (1995) \[MB95\].  All times are
 //! conformal (Mpc), all densities appear in "Einstein units"
 //! `g_i = (8πG/3) a² ρ̄_i` so that `4πG a² δρ = (3/2) Σ g_i δ_i`.
 //!

@@ -68,6 +68,22 @@ impl StepStats {
         self.rhs_flops + self.stepper_flops
     }
 
+    /// Total steps attempted (accepted + rejected).
+    pub fn total_steps(&self) -> usize {
+        self.accepted + self.rejected
+    }
+
+    /// Fraction of attempted steps that were accepted (1.0 when no
+    /// steps were attempted, so an untouched integration reads as
+    /// perfectly efficient rather than broken).
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.total_steps() == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.total_steps() as f64
+        }
+    }
+
     /// Merge counters from another integration segment.
     pub fn merge(&mut self, other: &StepStats) {
         self.accepted += other.accepted;
@@ -446,6 +462,23 @@ pub fn integrate<R: Rhs + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn step_stats_helpers() {
+        let s = StepStats {
+            accepted: 90,
+            rejected: 10,
+            rhs_evals: 800,
+            rhs_flops: 1000,
+            stepper_flops: 200,
+        };
+        assert_eq!(s.total_steps(), 100);
+        assert_eq!(s.acceptance_ratio(), 0.9);
+        assert_eq!(s.total_flops(), 1200);
+        let empty = StepStats::default();
+        assert_eq!(empty.total_steps(), 0);
+        assert_eq!(empty.acceptance_ratio(), 1.0);
+    }
 
     struct Decay;
     impl Rhs for Decay {

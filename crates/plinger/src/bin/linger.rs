@@ -12,9 +12,9 @@
 
 use std::process::ExitCode;
 
-use plinger::cli::{parse, Parsed, USAGE};
-use plinger::output_files::{write_ascii, write_binary};
-use plinger::run_serial;
+use plinger::cli::{parse, Parsed, TelemetryMode, USAGE};
+use plinger::output_files::{write_ascii, write_binary, write_run_report, write_trace};
+use plinger::{render_pretty, run_serial, FarmReport, FarmTelemetry};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +63,40 @@ fn main() -> ExitCode {
     if let Err(e) = write_binary(format!("{}.lingerd", opts.output), &outputs) {
         eprintln!("linger: writing binary output failed: {e}");
         return ExitCode::FAILURE;
+    }
+    // The serial code has no workers or message traffic, but the mode
+    // timing ledger is still worth a report: wrap the run in an
+    // otherwise-empty FarmReport so the same writers apply.
+    let report = FarmReport {
+        outputs,
+        wall_seconds: wall,
+        worker_stats: Vec::new(),
+        bytes_received: 0,
+        completion_log: Vec::new(),
+        telemetry: FarmTelemetry::default(),
+    };
+    if opts.telemetry != TelemetryMode::Off {
+        match write_run_report(&opts.output, &report, "serial") {
+            Ok((path, text)) => match opts.telemetry {
+                TelemetryMode::Json => println!("{text}"),
+                TelemetryMode::Pretty => {
+                    print!("{}", render_pretty(&report, "serial"));
+                    eprintln!("linger: run report written to {path}");
+                }
+                TelemetryMode::Off => unreachable!(),
+            },
+            Err(e) => {
+                eprintln!("linger: writing run report failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = write_trace(path, &report) {
+            eprintln!("linger: writing trace failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("linger: chrome trace written to {path}");
     }
     eprintln!("linger: total {:.2} s", t0.elapsed().as_secs_f64());
     ExitCode::SUCCESS

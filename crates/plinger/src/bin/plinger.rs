@@ -18,9 +18,9 @@ use std::process::ExitCode;
 
 use msgpass::channel::ChannelWorld;
 use msgpass::shmem::ShmemWorld;
-use plinger::cli::{parse, CliOptions, Parsed, TransportKind, USAGE};
-use plinger::output_files::{write_ascii, write_binary};
-use plinger::{run_tcp_processes, run_tcp_worker, Farm, FarmReport, SchedulePolicy};
+use plinger::cli::{parse, CliOptions, Parsed, TelemetryMode, TransportKind, USAGE};
+use plinger::output_files::{write_ascii, write_binary, write_run_report, write_trace};
+use plinger::{render_pretty, run_tcp_processes, run_tcp_worker, Farm, FarmReport, SchedulePolicy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,10 +50,18 @@ fn main() -> ExitCode {
 }
 
 fn run_master(opts: CliOptions) -> ExitCode {
+    if opts.telemetry == TelemetryMode::Off {
+        telemetry::set_enabled(false);
+    }
     let transport_name = match opts.transport {
         TransportKind::Channel => "channel threads",
         TransportKind::Shmem => "shmem threads",
         TransportKind::Tcp => "TCP processes",
+    };
+    let transport_tag = match opts.transport {
+        TransportKind::Channel => "channel",
+        TransportKind::Shmem => "shmem",
+        TransportKind::Tcp => "tcp",
     };
     eprintln!(
         "plinger: {} modes on {} workers ({transport_name}), largest-k-first",
@@ -97,6 +105,29 @@ fn run_master(opts: CliOptions) -> ExitCode {
     if let Err(e) = write_binary(format!("{}.lingerd", opts.output), &report.outputs) {
         eprintln!("plinger: writing binary output failed: {e}");
         return ExitCode::FAILURE;
+    }
+    if opts.telemetry != TelemetryMode::Off {
+        match write_run_report(&opts.output, &report, transport_tag) {
+            Ok((path, text)) => match opts.telemetry {
+                TelemetryMode::Json => println!("{text}"),
+                TelemetryMode::Pretty => {
+                    print!("{}", render_pretty(&report, transport_tag));
+                    eprintln!("plinger: run report written to {path}");
+                }
+                TelemetryMode::Off => unreachable!(),
+            },
+            Err(e) => {
+                eprintln!("plinger: writing run report failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = write_trace(path, &report) {
+            eprintln!("plinger: writing trace failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("plinger: chrome trace written to {path}");
     }
     eprintln!("plinger: total {:.2} s", t0.elapsed().as_secs_f64());
     ExitCode::SUCCESS

@@ -19,6 +19,18 @@ pub enum TransportKind {
     Tcp,
 }
 
+/// How the run report is surfaced at the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryMode {
+    /// Human-readable summary tables on stdout (plus the JSON file).
+    #[default]
+    Pretty,
+    /// Machine-readable `run_report.json` on stdout (plus the file).
+    Json,
+    /// Disable telemetry recording entirely; no report is written.
+    Off,
+}
+
 /// Parsed run options common to both binaries.
 #[derive(Debug, Clone)]
 pub struct CliOptions {
@@ -30,6 +42,10 @@ pub struct CliOptions {
     pub workers: usize,
     /// Transport selection (parallel binary only).
     pub transport: TransportKind,
+    /// Run-report surfacing mode.
+    pub telemetry: TelemetryMode,
+    /// Optional chrome-tracing output path (`--trace-out trace.json`).
+    pub trace_out: Option<String>,
 }
 
 /// Internal marker for TCP worker subprocesses: `--tcp-worker ADDR RANK SIZE`.
@@ -73,9 +89,11 @@ options:
   --workers N               parallel workers              [cores]
   --transport KIND          channel|shmem|tcp             [channel]
   --tcp                     shorthand for --transport tcp
+  --telemetry MODE          pretty|json|off               [pretty]
+  --trace-out FILE          write chrome-tracing JSON spans to FILE
 ";
 
-/// Parse `args` (without argv[0]).  On error, returns the message to
+/// Parse `args` (without `argv[0]`).  On error, returns the message to
 /// print alongside [`USAGE`].
 pub fn parse(args: &[String]) -> Result<Parsed, String> {
     // hidden worker mode first
@@ -104,6 +122,8 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut transport = TransportKind::default();
+    let mut telemetry = TelemetryMode::default();
+    let mut trace_out = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -169,6 +189,15 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
                 }
             }
             "--tcp" => transport = TransportKind::Tcp,
+            "--telemetry" => {
+                telemetry = match val()?.as_str() {
+                    "pretty" => TelemetryMode::Pretty,
+                    "json" => TelemetryMode::Json,
+                    "off" => TelemetryMode::Off,
+                    other => return Err(format!("unknown telemetry mode {other}")),
+                }
+            }
+            "--trace-out" => trace_out = Some(val()?.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -204,6 +233,8 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
         output,
         workers,
         transport,
+        telemetry,
+        trace_out,
     })))
 }
 
@@ -293,6 +324,33 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        match parse(&[]).unwrap() {
+            Parsed::Run(o) => {
+                assert_eq!(o.telemetry, TelemetryMode::Pretty);
+                assert_eq!(o.trace_out, None);
+            }
+            _ => panic!("expected run"),
+        }
+        for (arg, want) in [
+            ("--telemetry pretty", TelemetryMode::Pretty),
+            ("--telemetry json", TelemetryMode::Json),
+            ("--telemetry off", TelemetryMode::Off),
+        ] {
+            match parse(&argv(arg)).unwrap() {
+                Parsed::Run(o) => assert_eq!(o.telemetry, want, "{arg}"),
+                _ => panic!("expected run for {arg}"),
+            }
+        }
+        match parse(&argv("--trace-out /tmp/trace.json")).unwrap() {
+            Parsed::Run(o) => assert_eq!(o.trace_out.as_deref(), Some("/tmp/trace.json")),
+            _ => panic!("expected run"),
+        }
+        assert!(parse(&argv("--telemetry verbose")).is_err());
+        assert!(parse(&argv("--trace-out")).is_err());
     }
 
     #[test]

@@ -18,19 +18,21 @@ use std::path::Path;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use background::Background;
 use boltzmann::{evolve_mode, ModeOutput};
+use msgpass::instrument::Instrumented;
 use msgpass::tcp::{connect_worker, PendingMaster};
 use msgpass::{Rank, World};
 use recomb::ThermoHistory;
 
 use crate::error::FarmError;
-use crate::master::{master_loop, MasterConfig};
+use crate::master::{master_session, MasterConfig};
 use crate::protocol::RunSpec;
+use crate::report::FarmTelemetry;
 use crate::schedule::SchedulePolicy;
-use crate::worker::{worker_loop, worker_loop_limited, WorkerStats};
+use crate::worker::{worker_loop, worker_session, WorkerStats};
 
 /// Timing and throughput report of a farm run — the quantities Figure 1
 /// and §5.1 of the paper plot.
@@ -46,6 +48,9 @@ pub struct FarmReport {
     pub bytes_received: usize,
     /// Completion order `(ik, worker)`.
     pub completion_log: Vec<(usize, usize)>,
+    /// Measured telemetry: per-endpoint message counters, the span
+    /// timeline, master idle time.  Empty when telemetry is disabled.
+    pub telemetry: FarmTelemetry,
 }
 
 impl FarmReport {
@@ -78,6 +83,38 @@ impl FarmReport {
             return 0.0;
         }
         self.total_flops() as f64 / self.wall_seconds / 1.0e6
+    }
+
+    /// Total worker idle time in seconds: `Σ max(total − busy, 0)` over
+    /// workers — the quantity the paper's largest-k-first scheduling
+    /// "minimized".  A report with no workers (or no measured time)
+    /// reads 0.
+    pub fn idle_seconds(&self) -> f64 {
+        self.worker_stats
+            .iter()
+            .map(|w| (w.total_seconds - w.busy_seconds).max(0.0))
+            .sum()
+    }
+
+    /// Load imbalance as `max(busy) / mean(busy)` over workers: 1.0 is
+    /// a perfectly balanced farm, larger values mean some worker
+    /// carried disproportionate load.  Degenerate cases — no workers,
+    /// or no measured busy time at all — read 0.
+    pub fn load_imbalance(&self) -> f64 {
+        let n = self.worker_stats.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total: f64 = self.worker_stats.iter().map(|w| w.busy_seconds).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let max = self
+            .worker_stats
+            .iter()
+            .map(|w| w.busy_seconds)
+            .fold(0.0, f64::max);
+        max / (total / n as f64)
     }
 }
 
@@ -152,7 +189,7 @@ impl<W: World> Farm<W> {
                 "a farm needs at least one worker",
             )));
         }
-        let mut eps = W::endpoints(self.n_workers + 1).map_err(FarmError::Setup)?;
+        let eps = W::endpoints(self.n_workers + 1).map_err(FarmError::Setup)?;
         if eps.len() != self.n_workers + 1 {
             return Err(FarmError::Setup(msgpass::CommError::Protocol(format!(
                 "transport {} built {} endpoints for {} ranks",
@@ -161,6 +198,20 @@ impl<W: World> Farm<W> {
                 self.n_workers + 1
             ))));
         }
+
+        // one epoch anchors every span recorder, and every endpoint is
+        // wrapped so the run's message table is a measurement, not a
+        // reconstruction; the Arc handles survive the move into threads
+        let epoch = Instant::now();
+        let mut comm_handles = Vec::with_capacity(eps.len());
+        let mut eps: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                let (wrapped, stats) = Instrumented::new(ep);
+                comm_handles.push(stats);
+                wrapped
+            })
+            .collect();
 
         let alive: Vec<Arc<AtomicBool>> = (0..self.n_workers)
             .map(|_| Arc::new(AtomicBool::new(true)))
@@ -181,7 +232,7 @@ impl<W: World> Farm<W> {
                         _ => None,
                     };
                     scope.spawn(move || {
-                        let out = worker_loop_limited(&mut ep, limit);
+                        let out = worker_session(&mut ep, limit, epoch);
                         flag.store(false, Ordering::SeqCst);
                         out
                     })
@@ -206,15 +257,24 @@ impl<W: World> Farm<W> {
                 Ok,
             );
             let outcome = master.and_then(|mut master_ep| {
-                master_loop(&mut master_ep, spec, policy, &self.config, &mut watch)
+                master_session(
+                    &mut master_ep,
+                    spec,
+                    policy,
+                    &self.config,
+                    &mut watch,
+                    epoch,
+                )
             });
 
             // join every worker regardless of how the master fared; a
             // faulted worker returning Ok early is part of the plan
             let mut join_error = None;
+            let mut worker_spans = Vec::new();
             for (i, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok(Ok(_)) | Ok(Err(_)) => {}
+                    Ok(Ok(out)) => worker_spans.extend(out.spans),
+                    Ok(Err(_)) => {}
                     Err(panic) => {
                         if join_error.is_none() {
                             join_error = Some(FarmError::WorkerJoin {
@@ -229,7 +289,14 @@ impl<W: World> Farm<W> {
             session = Some(match (outcome, join_error) {
                 (Err(e), _) => Err(e),
                 (Ok(_), Some(e)) => Err(e),
-                (Ok(ledger), None) => finish_report(ledger),
+                (Ok(ledger), None) => {
+                    let comm = comm_handles
+                        .iter()
+                        .enumerate()
+                        .map(|(rank, h)| h.snapshot(rank))
+                        .collect();
+                    finish_report(ledger, comm, worker_spans)
+                }
             });
         });
         session.unwrap_or_else(|| {
@@ -250,8 +317,14 @@ fn panic_text(panic: &Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Fold a completed ledger into a report, verifying every mode slot is
-/// filled (the master loop guarantees this on success).
-fn finish_report(ledger: crate::master::MasterLedger) -> Result<FarmReport, FarmError> {
+/// filled (the master loop guarantees this on success).  `comm` and
+/// `worker_spans` carry the measured telemetry: per-endpoint counters in
+/// rank order and the workers' local span timelines.
+fn finish_report(
+    ledger: crate::master::MasterLedger,
+    comm: Vec<msgpass::instrument::CommSnapshot>,
+    worker_spans: Vec<telemetry::SpanEvent>,
+) -> Result<FarmReport, FarmError> {
     let mut outputs = Vec::with_capacity(ledger.outputs.len());
     for (ik, slot) in ledger.outputs.into_iter().enumerate() {
         match slot {
@@ -264,12 +337,19 @@ fn finish_report(ledger: crate::master::MasterLedger) -> Result<FarmReport, Farm
             }
         }
     }
+    let mut spans = ledger.spans;
+    spans.extend(worker_spans);
     Ok(FarmReport {
         outputs,
         wall_seconds: ledger.wall_seconds,
         worker_stats: ledger.worker_stats,
         bytes_received: ledger.bytes_received,
         completion_log: ledger.completion_log,
+        telemetry: FarmTelemetry {
+            comm,
+            spans,
+            master_idle_seconds: ledger.idle_seconds,
+        },
     })
 }
 
@@ -341,7 +421,7 @@ pub fn run_tcp_processes(
             }
         }
     }
-    let mut master_ep = match pending.accept_all() {
+    let master_ep = match pending.accept_all() {
         Ok(ep) => ep,
         Err(e) => {
             for mut c in children {
@@ -351,6 +431,11 @@ pub fn run_tcp_processes(
             return Err(FarmError::Setup(e));
         }
     };
+    // Only the master side is instrumented here: subprocess workers
+    // keep their in-process telemetry to themselves (their wire-shipped
+    // tag-7 statistics still arrive), so `comm` holds one snapshot.
+    let epoch = Instant::now();
+    let (mut master_ep, comm_handle) = Instrumented::new(master_ep);
 
     let cfg = MasterConfig::default();
     let mut watch = || -> Vec<Rank> {
@@ -363,7 +448,7 @@ pub fn run_tcp_processes(
             })
             .collect()
     };
-    let outcome = master_loop(&mut master_ep, spec, policy, &cfg, &mut watch);
+    let outcome = master_session(&mut master_ep, spec, policy, &cfg, &mut watch, epoch);
 
     let mut join_error = None;
     for (i, mut c) in children.into_iter().enumerate() {
@@ -391,7 +476,7 @@ pub fn run_tcp_processes(
     match (outcome, join_error) {
         (Err(e), _) => Err(e),
         (Ok(_), Some(e)) => Err(e),
-        (Ok(ledger), None) => finish_report(ledger),
+        (Ok(ledger), None) => finish_report(ledger, vec![comm_handle.snapshot(0)], Vec::new()),
     }
 }
 
@@ -516,9 +601,94 @@ mod tests {
             worker_stats: Vec::new(),
             bytes_received: 0,
             completion_log: Vec::new(),
+            telemetry: FarmTelemetry::default(),
         };
         assert_eq!(rep.mflops(), 0.0);
         assert_eq!(rep.parallel_efficiency(), 0.0);
+        // zero-worker edge cases of the idle/imbalance helpers
+        assert_eq!(rep.idle_seconds(), 0.0);
+        assert_eq!(rep.load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn idle_and_imbalance_helpers() {
+        let worker = |busy: f64, total: f64| WorkerStats {
+            modes: 1,
+            busy_seconds: busy,
+            total_seconds: total,
+            ..WorkerStats::default()
+        };
+        let mut rep = FarmReport {
+            outputs: Vec::new(),
+            wall_seconds: 4.0,
+            worker_stats: vec![worker(3.0, 4.0), worker(1.0, 4.0)],
+            bytes_received: 0,
+            completion_log: Vec::new(),
+            telemetry: FarmTelemetry::default(),
+        };
+        // idle = (4-3) + (4-1); imbalance = 3 / mean(3,1) = 1.5
+        assert!((rep.idle_seconds() - 4.0).abs() < 1e-12);
+        assert!((rep.load_imbalance() - 1.5).abs() < 1e-12);
+
+        // a clock glitch reporting busy > total must not go negative
+        rep.worker_stats = vec![worker(5.0, 4.0)];
+        assert_eq!(rep.idle_seconds(), 0.0);
+        assert_eq!(rep.load_imbalance(), 1.0);
+
+        // zero measured wall/busy time: helpers read 0, not NaN
+        rep.worker_stats = vec![worker(0.0, 0.0), worker(0.0, 0.0)];
+        rep.wall_seconds = 0.0;
+        assert_eq!(rep.idle_seconds(), 0.0);
+        assert_eq!(rep.load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn farm_report_carries_measured_telemetry() {
+        let spec = tiny_spec();
+        let rep = Farm::<ChannelWorld>::new(2)
+            .run(&spec, SchedulePolicy::LargestFirst)
+            .unwrap();
+        let merged = rep.telemetry.merged_comm();
+        // closed world: per-tag sent == per-tag recv over all endpoints
+        for t in 0..msgpass::instrument::TRACKED_TAGS {
+            assert_eq!(
+                merged.sent_count[t], merged.recv_count[t],
+                "tag {t} sent/recv mismatch"
+            );
+        }
+        // the measured tag-4+5 bytes are exactly what workers accounted
+        let wire_bytes: u64 = merged.sent_bytes[4] + merged.sent_bytes[5];
+        let stats_bytes: u64 = rep.worker_stats.iter().map(|w| w.bytes_sent as u64).sum();
+        assert_eq!(wire_bytes, stats_bytes);
+        // spans: every mode appears as a worker-track span, master has
+        // assign + collect spans
+        let mode_spans = rep
+            .telemetry
+            .spans
+            .iter()
+            .filter(|s| s.name == "mode")
+            .count();
+        assert_eq!(mode_spans, spec.ks.len());
+        assert!(rep.telemetry.spans.iter().any(|s| s.name == "collect"));
+        assert!(rep.telemetry.spans.iter().any(|s| s.name == "assign"));
+        // steps made it over the wire
+        assert!(
+            rep.worker_stats
+                .iter()
+                .map(|w| w.steps_accepted)
+                .sum::<usize>()
+                > 0
+        );
+        assert_eq!(
+            rep.worker_stats
+                .iter()
+                .map(|w| w.steps_accepted + w.steps_rejected)
+                .sum::<usize>(),
+            rep.outputs
+                .iter()
+                .map(|o| o.stats.accepted + o.stats.rejected)
+                .sum::<usize>()
+        );
     }
 
     #[test]

@@ -29,17 +29,21 @@ pub mod farm;
 pub mod master;
 pub mod output_files;
 pub mod protocol;
+pub mod report;
 pub mod schedule;
 pub mod simulate;
 pub mod worker;
 
 pub use error::FarmError;
 pub use farm::{run_serial, run_tcp_processes, run_tcp_worker, Farm, FarmReport, FaultPlan};
-pub use master::{master_loop, MasterConfig, MasterLedger};
+pub use master::{master_loop, master_session, MasterConfig, MasterLedger};
 pub use protocol::{
     RunSpec, SpecDecodeError, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_INIT, TAG_REQUEST,
     TAG_STATS, TAG_STOP,
 };
+pub use report::{build_run_report, render_pretty, FarmTelemetry};
 pub use schedule::SchedulePolicy;
 pub use simulate::{simulate_farm, synthetic_costs, SimParams, SimResult};
-pub use worker::{worker_loop, worker_loop_limited, WorkerContext, WorkerStats};
+pub use worker::{
+    worker_loop, worker_loop_limited, worker_session, WorkerContext, WorkerOutcome, WorkerStats,
+};

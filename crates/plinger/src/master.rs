@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use boltzmann::ModeOutput;
 use msgpass::wrappers::*;
 use msgpass::{Rank, Transport};
+use telemetry::{SpanEvent, SpanRecorder};
 
 use crate::error::FarmError;
 use crate::protocol::{
@@ -60,6 +61,12 @@ pub struct MasterLedger {
     /// Per-worker statistics in rank order (rank 1 first), collected
     /// from the tag-7 reports.
     pub worker_stats: Vec<WorkerStats>,
+    /// Master-side wall-clock spans (`assign`, `collect`, `idle` events
+    /// on track 0).  Empty when telemetry is disabled.
+    pub spans: Vec<SpanEvent>,
+    /// Seconds the master spent with nothing pending (the contiguous
+    /// gaps between handled messages).
+    pub idle_seconds: f64,
 }
 
 /// Internal mutable state of one master session.
@@ -74,6 +81,12 @@ struct Session {
     /// Statistics by worker index (rank − 1).
     stats: Vec<Option<WorkerStats>>,
     n_workers: usize,
+    /// Master-side span timeline (track 0 of the trace).
+    rec: SpanRecorder,
+    /// Start of the current contiguous idle interval, if any.
+    idle_since: Option<Instant>,
+    /// Accumulated idle seconds.
+    idle_seconds: f64,
 }
 
 impl Session {
@@ -93,12 +106,30 @@ impl Session {
             .collect()
     }
 
+    /// Close the current idle interval, if one is open, recording it as
+    /// an `idle` span and adding it to the idle total.
+    fn end_idle(&mut self) {
+        if let Some(since) = self.idle_since.take() {
+            let now = Instant::now();
+            self.idle_seconds += now.duration_since(since).as_secs_f64();
+            self.rec.record("idle", "master", since, now, &[]);
+        }
+    }
+
     /// Reply to a ready worker: next assignment, or stop.
     fn dispatch<T: Transport>(&mut self, t: &mut T, rank: Rank) -> Result<(), FarmError> {
         if self.next < self.order.len() {
             let ik = self.order[self.next];
             self.next += 1;
+            let t0 = Instant::now();
             mysendreal(t, &[ik as f64], TAG_ASSIGN, rank)?;
+            self.rec.record(
+                "assign",
+                "master",
+                t0,
+                Instant::now(),
+                &[("ik", ik.to_string()), ("worker", rank.to_string())],
+            );
         } else {
             mysendreal(t, &[0.0], TAG_STOP, rank)?;
             self.stopped.insert(rank);
@@ -109,7 +140,10 @@ impl Session {
     fn record_stats(&mut self, rank: Rank, payload: &[f64]) -> Result<(), FarmError> {
         let ws = WorkerStats::from_wire(payload).ok_or_else(|| FarmError::Protocol {
             rank,
-            detail: format!("stats message must be 4 reals, got {}", payload.len()),
+            detail: format!(
+                "stats message must be 4 or 8 finite non-negative reals, got {} values",
+                payload.len()
+            ),
         })?;
         if let Some(slot) = self.stats.get_mut(rank.wrapping_sub(1)) {
             *slot = Some(ws);
@@ -159,7 +193,8 @@ impl Session {
         }
     }
 
-    fn into_ledger(self, t0: Instant) -> MasterLedger {
+    fn into_ledger(mut self, t0: Instant) -> MasterLedger {
+        self.end_idle();
         MasterLedger {
             outputs: self.outputs,
             wall_seconds: t0.elapsed().as_secs_f64(),
@@ -170,6 +205,8 @@ impl Session {
                 .into_iter()
                 .map(Option::unwrap_or_default)
                 .collect(),
+            spans: self.rec.into_events(),
+            idle_seconds: self.idle_seconds,
         }
     }
 }
@@ -190,6 +227,20 @@ pub fn master_loop<T: Transport>(
     cfg: &MasterConfig,
     watch: &mut dyn FnMut() -> Vec<Rank>,
 ) -> Result<MasterLedger, FarmError> {
+    master_session(t, spec, policy, cfg, watch, Instant::now())
+}
+
+/// [`master_loop`] with an explicit span epoch: every span the master
+/// records is stamped relative to `epoch`, so a farm that hands the same
+/// epoch to its workers gets one aligned timeline across all tracks.
+pub fn master_session<T: Transport>(
+    t: &mut T,
+    spec: &RunSpec,
+    policy: SchedulePolicy,
+    cfg: &MasterConfig,
+    watch: &mut dyn FnMut() -> Vec<Rank>,
+    epoch: Instant,
+) -> Result<MasterLedger, FarmError> {
     let t0 = Instant::now();
     let nk = spec.ks.len();
     let n_workers = t.size() - 1;
@@ -202,6 +253,9 @@ pub fn master_loop<T: Transport>(
         stopped: HashSet::new(),
         stats: vec![None; n_workers],
         n_workers,
+        rec: SpanRecorder::new(epoch, 0, 0),
+        idle_since: None,
+        idle_seconds: 0.0,
     };
 
     // broadcast data to all node programs; a partial broadcast leaves the
@@ -212,6 +266,7 @@ pub fn master_loop<T: Transport>(
     let mut payload = Vec::new();
 
     while s.ikdone() < nk || s.stopped.len() < n_workers || s.stats_done() < n_workers {
+        let poll_start = Instant::now();
         let env = match t.probe_timeout(None, None, cfg.poll) {
             Ok(e) => e,
             Err(e) => {
@@ -220,6 +275,11 @@ pub fn master_loop<T: Transport>(
             }
         };
         let Some(env) = env else {
+            // nothing pending for a whole poll interval: the master is
+            // idle; keep (or open) the contiguous idle interval
+            if s.idle_since.is_none() {
+                s.idle_since = Some(poll_start);
+            }
             // silence: check for casualties before waiting again
             let dead = watch();
             if let Some(&rank) = dead.iter().find(|r| !s.stopped.contains(r)) {
@@ -242,6 +302,7 @@ pub fn master_loop<T: Transport>(
             continue;
         };
         let itid = env.source;
+        s.end_idle();
 
         match env.tag {
             TAG_REQUEST => {
@@ -250,6 +311,7 @@ pub fn master_loop<T: Transport>(
                 s.dispatch(t, itid)?;
             }
             TAG_HEADER => {
+                let t_collect = Instant::now();
                 // first part of the data; its tail tells us lmax
                 myrecvreal(t, &mut header, TAG_HEADER, itid)?;
                 // second part follows from the same worker (tag 5);
@@ -288,6 +350,17 @@ pub fn master_loop<T: Transport>(
                         detail: format!("result for invalid or duplicate mode ik={ik}"),
                     });
                 }
+                s.rec.record(
+                    "collect",
+                    "master",
+                    t_collect,
+                    Instant::now(),
+                    &[
+                        ("ik", ik.to_string()),
+                        ("k", format!("{:.6e}", out.k)),
+                        ("worker", itid.to_string()),
+                    ],
+                );
                 s.outputs[ik] = Some(out);
                 s.completion_log.push((ik, itid));
                 s.dispatch(t, itid)?;

@@ -1,8 +1,16 @@
 //! Output files in the spirit of the paper's master subroutine, which
 //! writes each mode's 21-real header "to an ascii file" (unit 1) and the
 //! moment payload "to a binary file" (unit 2).
+//!
+//! Beyond the two paper files, a run also produces observability
+//! artifacts: [`write_run_report`] emits the machine-readable
+//! `<prefix>.run_report.json` ledger (schema documented in
+//! [`crate::report`]) and [`write_trace`] dumps the recorded spans as a
+//! chrome-tracing JSON array loadable in Perfetto / `chrome://tracing`.
 
+use crate::farm::FarmReport;
 use crate::protocol::RunSpec;
+use crate::report::build_run_report;
 use boltzmann::ModeOutput;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
@@ -56,6 +64,30 @@ pub fn write_binary<P: AsRef<Path>>(path: P, outputs: &[ModeOutput]) -> io::Resu
             w.write_all(&v.to_le_bytes())?;
         }
     }
+    w.flush()
+}
+
+/// Write the run-report ledger to `<prefix>.run_report.json` and return
+/// the serialized JSON text (so callers can also print it).
+///
+/// `transport` names the substrate the farm ran over (`"channel"`,
+/// `"shmem"`, `"tcp"`, or `"serial"`).
+pub fn write_run_report(
+    prefix: &str,
+    report: &FarmReport,
+    transport: &str,
+) -> io::Result<(String, String)> {
+    let path = format!("{prefix}.run_report.json");
+    let text = build_run_report(report, transport).to_string();
+    std::fs::write(&path, &text)?;
+    Ok((path, text))
+}
+
+/// Write the recorded spans as a chrome-tracing JSON array to `path`.
+pub fn write_trace<P: AsRef<Path>>(path: P, report: &FarmReport) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    telemetry::write_chrome_trace(&mut w, &report.telemetry.spans)?;
     w.flush()
 }
 
@@ -121,6 +153,49 @@ mod tests {
             assert_eq!(*lmax, out.lmax_g);
             let (_, expect) = out.to_wire(*ik);
             assert_eq!(payload, &expect, "binary payload must be bit-exact");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_report_and_trace_files() {
+        use crate::farm::Farm;
+        use crate::schedule::SchedulePolicy;
+        use msgpass::channel::ChannelWorld;
+
+        let mut spec = RunSpec::standard_cdm(vec![4.0e-4, 1.2e-3, 2.0e-3]);
+        spec.preset = Preset::Draft;
+        let rep = Farm::<ChannelWorld>::new(2)
+            .run(&spec, SchedulePolicy::LargestFirst)
+            .unwrap();
+
+        let dir = std::env::temp_dir().join("plinger_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("run").to_string_lossy().into_owned();
+
+        let (path, text) = write_run_report(&prefix, &rep, "channel").unwrap();
+        assert!(path.ends_with(".run_report.json"));
+        let parsed = telemetry::Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("plinger.run_report/1")
+        );
+        let run = parsed.get("run").unwrap();
+        let eff = run.get("efficiency").and_then(|v| v.as_f64()).unwrap();
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency {eff} out of range");
+        let modes = parsed.get("modes").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(modes.len(), 3);
+
+        let trace = dir.join("trace.json");
+        write_trace(&trace, &rep).unwrap();
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let events = telemetry::Json::parse(&trace_text).unwrap();
+        let events = events.as_array().unwrap();
+        assert!(!events.is_empty());
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+            assert!(ev.get("pid").is_some() && ev.get("tid").is_some());
+            assert!(ev.get("ts").is_some() && ev.get("dur").is_some());
         }
         std::fs::remove_dir_all(&dir).ok();
     }

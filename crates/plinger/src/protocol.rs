@@ -1,5 +1,21 @@
 //! The wire protocol of Appendix A: message tags and the initial
 //! broadcast encoding.
+//!
+//! # Wire formats beyond the paper's table
+//!
+//! Two messages carry more than the paper's Appendix A specifies:
+//!
+//! * **Tag 5 (data)** — the `2·lmax + 8` payload reserves slots
+//!   `payload[1..6]` for integrator statistics: RHS evaluations,
+//!   accepted steps, rejected steps, the gauge discriminant, and the
+//!   stepper's own flop count.  Together with `header[19]`
+//!   (total flops) this lets [`boltzmann::ModeOutput::from_wire`]
+//!   reconstruct the full [`ode::StepStats`] on the master side, so
+//!   per-mode timing ledgers survive the wire even when workers are OS
+//!   subprocesses.
+//! * **Tag 7 (stats)** — an 8-real worker self-report (see
+//!   [`TAG_STATS`]); 4-real payloads from older workers still decode,
+//!   with the newer counters zero-filled.
 
 use background::CosmoParams;
 use boltzmann::{Gauge, InitialConditions, ModeConfig, Preset};
@@ -17,10 +33,16 @@ pub const TAG_HEADER: Tag = 4;
 pub const TAG_DATA: Tag = 5;
 /// Tag 6: from master, telling the worker to stop.
 pub const TAG_STOP: Tag = 6;
-/// Tag 7: from worker, after the stop — its session statistics
-/// (4 reals: modes, busy seconds, total seconds, bytes sent).  Not in
-/// the paper's table; carrying the counters over the wire keeps the
-/// report uniform whether workers are threads or OS processes.
+/// Tag 7: from worker, after the stop — its session statistics as
+/// 8 reals: `[modes, busy seconds, total seconds, bytes sent,
+/// steps accepted, steps rejected, rhs evals, bytes received]`.
+///
+/// A legacy 4-real payload (the first four fields) also decodes, with
+/// the rest zero-filled; any other length, or any non-finite or
+/// negative value, is rejected by
+/// [`crate::worker::WorkerStats::from_wire`].  Not in the paper's
+/// table; carrying the counters over the wire keeps the report uniform
+/// whether workers are threads or OS processes.
 pub const TAG_STATS: Tag = 7;
 /// Tag 8: from worker, a mode integration failed (2 reals: ik, k).  The
 /// master drains and stops the farm, returning a typed error instead of

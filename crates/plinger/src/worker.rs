@@ -1,10 +1,13 @@
 //! The worker subroutine (`kidsub` in Appendix A).
 
+use std::time::Instant;
+
 use background::Background;
 use boltzmann::{evolve_mode, ModeOutput};
 use msgpass::wrappers::*;
 use msgpass::Transport;
 use recomb::ThermoHistory;
+use telemetry::{SpanEvent, SpanRecorder};
 
 use crate::error::FarmError;
 use crate::protocol::{
@@ -40,8 +43,9 @@ impl WorkerContext {
     }
 }
 
-/// Statistics a worker reports after its stop message (shipped to the
-/// master as the tag-7 payload, 4 reals).
+/// Statistics a worker reports after its stop message, shipped to the
+/// master as the tag-7 payload (8 reals; see the `protocol` module docs
+/// for the wire layout).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WorkerStats {
     /// Modes completed.
@@ -52,31 +56,69 @@ pub struct WorkerStats {
     pub total_seconds: f64,
     /// Bytes sent back to the master (header + data payloads).
     pub bytes_sent: usize,
+    /// Integrator steps accepted across all modes.
+    pub steps_accepted: usize,
+    /// Integrator steps rejected across all modes.
+    pub steps_rejected: usize,
+    /// Right-hand-side evaluations across all modes.
+    pub rhs_evals: usize,
+    /// Bytes received from the master (broadcast + assignments).
+    pub bytes_received: usize,
 }
 
 impl WorkerStats {
     /// Encode as the tag-7 payload.
-    pub fn to_wire(&self) -> [f64; 4] {
+    pub fn to_wire(&self) -> [f64; 8] {
         [
             self.modes as f64,
             self.busy_seconds,
             self.total_seconds,
             self.bytes_sent as f64,
+            self.steps_accepted as f64,
+            self.steps_rejected as f64,
+            self.rhs_evals as f64,
+            self.bytes_received as f64,
         ]
     }
 
-    /// Decode a tag-7 payload; `None` when the geometry is wrong.
+    /// Decode a tag-7 payload.
+    ///
+    /// Accepts the current 8-real layout and the pre-extension 4-real
+    /// layout (integrator counters read as zero).  Returns `None` for
+    /// any other length and for payloads containing NaN, non-finite, or
+    /// negative values — a garbled stats message must not silently
+    /// become a plausible-looking report.
     pub fn from_wire(v: &[f64]) -> Option<Self> {
-        if v.len() != 4 {
+        if v.len() != 4 && v.len() != 8 {
             return None;
         }
+        if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return None;
+        }
+        let at = |i: usize| v.get(i).copied().unwrap_or(0.0);
         Some(Self {
-            modes: v[0] as usize,
-            busy_seconds: v[1],
-            total_seconds: v[2],
-            bytes_sent: v[3] as usize,
+            modes: at(0) as usize,
+            busy_seconds: at(1),
+            total_seconds: at(2),
+            bytes_sent: at(3) as usize,
+            steps_accepted: at(4) as usize,
+            steps_rejected: at(5) as usize,
+            rhs_evals: at(6) as usize,
+            bytes_received: at(7) as usize,
         })
     }
+}
+
+/// What one worker accumulated over a session: the wire-shipped
+/// statistics plus its local span timeline (mode and wait intervals,
+/// stamped against the session epoch).
+#[derive(Debug, Default)]
+pub struct WorkerOutcome {
+    /// The statistics also shipped to the master as tag 7.
+    pub stats: WorkerStats,
+    /// Local wall-clock spans (`mode` and `wait` events on this rank's
+    /// track).  Empty when telemetry is disabled.
+    pub spans: Vec<SpanEvent>,
 }
 
 /// Run the worker loop until the master sends tag 6.
@@ -93,7 +135,7 @@ impl WorkerStats {
 /// * after the stop, the worker ships its statistics as tag 7 so the
 ///   master's report is transport-independent.
 pub fn worker_loop<T: Transport>(t: &mut T) -> Result<WorkerStats, FarmError> {
-    worker_loop_limited(t, None)
+    worker_session(t, None, Instant::now()).map(|o| o.stats)
 }
 
 /// [`worker_loop`] with an optional mode budget: after completing
@@ -105,9 +147,26 @@ pub fn worker_loop_limited<T: Transport>(
     t: &mut T,
     max_modes: Option<usize>,
 ) -> Result<WorkerStats, FarmError> {
-    let (_mytid, mastid) = initpass(t);
+    worker_session(t, max_modes, Instant::now()).map(|o| o.stats)
+}
+
+/// The full worker session: [`worker_loop_limited`] plus telemetry.
+///
+/// `epoch` anchors this worker's span timestamps; the farm passes one
+/// epoch to every rank so the per-rank tracks align in a trace viewer.
+/// Two span kinds are recorded on the worker's track: `mode` (one per
+/// integration, with `ik` and `k` arguments) and `wait` (the interval
+/// spent blocked on the master between finishing one result and
+/// receiving the next assignment).
+pub fn worker_session<T: Transport>(
+    t: &mut T,
+    max_modes: Option<usize>,
+    epoch: Instant,
+) -> Result<WorkerOutcome, FarmError> {
+    let (mytid, mastid) = initpass(t);
     let mut buf = Vec::new();
     let mut stats = WorkerStats::default();
+    let mut rec = SpanRecorder::new(epoch, 0, mytid as u64);
 
     // First wait: any tag from the master.  Normally this is the tag-1
     // broadcast; a drain-and-stop can arrive first instead.
@@ -115,7 +174,10 @@ pub fn worker_loop_limited<T: Transport>(
     if first == TAG_STOP {
         myrecvreal(t, &mut buf, TAG_STOP, mastid)?;
         mysendreal(t, &stats.to_wire(), TAG_STATS, mastid)?;
-        return Ok(stats);
+        return Ok(WorkerOutcome {
+            stats,
+            spans: rec.into_events(),
+        });
     }
     if first != TAG_INIT {
         return Err(FarmError::Protocol {
@@ -123,8 +185,9 @@ pub fn worker_loop_limited<T: Transport>(
             detail: format!("worker expected init or stop, got tag {first}"),
         });
     }
-    myrecvreal(t, &mut buf, TAG_INIT, mastid)?;
-    let t_start = std::time::Instant::now();
+    let n = myrecvreal(t, &mut buf, TAG_INIT, mastid)?;
+    stats.bytes_received += n * 8;
+    let t_start = Instant::now();
     let ctx = WorkerContext::from_broadcast(&buf)?;
 
     // ask for a wavenumber from master
@@ -132,8 +195,11 @@ pub fn worker_loop_limited<T: Transport>(
 
     loop {
         // receive from master: next ik or message to stop
+        let t_wait = Instant::now();
         let tag = mychecktid(t, mastid)?;
-        myrecvreal(t, &mut buf, tag, mastid)?;
+        let n = myrecvreal(t, &mut buf, tag, mastid)?;
+        stats.bytes_received += n * 8;
+        rec.record("wait", "worker", t_wait, Instant::now(), &[]);
         if tag != TAG_ASSIGN {
             break;
         }
@@ -146,13 +212,27 @@ pub fn worker_loop_limited<T: Transport>(
         }
         if max_modes.is_some_and(|m| stats.modes >= m) {
             // fault injection: vanish without a goodbye
-            return Ok(stats);
+            return Ok(WorkerOutcome {
+                stats,
+                spans: rec.into_events(),
+            });
         }
-        let t_mode = std::time::Instant::now();
+        let k = ctx.spec.ks[ik];
+        let t_mode = Instant::now();
         match ctx.run_mode(ik) {
             Ok(out) => {
+                rec.record(
+                    "mode",
+                    "worker",
+                    t_mode,
+                    Instant::now(),
+                    &[("ik", ik.to_string()), ("k", format!("{k:.6e}"))],
+                );
                 stats.busy_seconds += t_mode.elapsed().as_secs_f64();
                 stats.modes += 1;
+                stats.steps_accepted += out.stats.accepted;
+                stats.steps_rejected += out.stats.rejected;
+                stats.rhs_evals += out.stats.rhs_evals;
                 // send results to master: header (tag 4) then data (tag 5)
                 let (header, payload) = out.to_wire(ik);
                 stats.bytes_sent += (header.len() + payload.len()) * 8;
@@ -160,9 +240,16 @@ pub fn worker_loop_limited<T: Transport>(
                 mysendreal(t, &payload, TAG_DATA, mastid)?;
             }
             Err(_) => {
+                rec.record(
+                    "mode",
+                    "worker",
+                    t_mode,
+                    Instant::now(),
+                    &[("ik", ik.to_string()), ("failed", "true".to_string())],
+                );
                 stats.busy_seconds += t_mode.elapsed().as_secs_f64();
                 // report the failure and park until the master stops us
-                mysendreal(t, &[ik as f64, ctx.spec.ks[ik]], TAG_FAIL, mastid)?;
+                mysendreal(t, &[ik as f64, k], TAG_FAIL, mastid)?;
                 mycheckone(t, TAG_STOP, mastid)?;
                 myrecvreal(t, &mut buf, TAG_STOP, mastid)?;
                 break;
@@ -171,7 +258,10 @@ pub fn worker_loop_limited<T: Transport>(
     }
     stats.total_seconds = t_start.elapsed().as_secs_f64();
     mysendreal(t, &stats.to_wire(), TAG_STATS, mastid)?;
-    Ok(stats)
+    Ok(WorkerOutcome {
+        stats,
+        spans: rec.into_events(),
+    })
 }
 
 #[cfg(test)]
@@ -207,8 +297,50 @@ mod tests {
             busy_seconds: 1.5,
             total_seconds: 2.0,
             bytes_sent: 4096,
+            steps_accepted: 900,
+            steps_rejected: 12,
+            rhs_evals: 7300,
+            bytes_received: 512,
         };
         assert_eq!(WorkerStats::from_wire(&s.to_wire()), Some(s));
         assert_eq!(WorkerStats::from_wire(&[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn stats_legacy_four_real_payload_decodes() {
+        let got = WorkerStats::from_wire(&[3.0, 1.5, 2.0, 4096.0]).unwrap();
+        assert_eq!(got.modes, 3);
+        assert_eq!(got.bytes_sent, 4096);
+        assert_eq!(got.steps_accepted, 0);
+        assert_eq!(got.bytes_received, 0);
+    }
+
+    #[test]
+    fn stats_rejects_garbage_payloads() {
+        // NaN, infinities, and negatives must not decode
+        assert_eq!(
+            WorkerStats::from_wire(&[f64::NAN, 1.0, 2.0, 3.0]),
+            None,
+            "NaN modes"
+        );
+        assert_eq!(
+            WorkerStats::from_wire(&[1.0, f64::INFINITY, 2.0, 3.0]),
+            None,
+            "infinite busy"
+        );
+        assert_eq!(
+            WorkerStats::from_wire(&[1.0, 1.0, -2.0, 3.0]),
+            None,
+            "negative total"
+        );
+        assert_eq!(
+            WorkerStats::from_wire(&[1.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, f64::NEG_INFINITY]),
+            None,
+            "non-finite bytes_received"
+        );
+        // wrong geometry
+        assert_eq!(WorkerStats::from_wire(&[1.0; 5]), None);
+        assert_eq!(WorkerStats::from_wire(&[1.0; 9]), None);
+        assert_eq!(WorkerStats::from_wire(&[]), None);
     }
 }

@@ -1,0 +1,181 @@
+//! The observability spine of the PLINGER reproduction.
+//!
+//! The paper's performance story (§4–§5) is built on measurements —
+//! per-mode CPU time versus message size, aggregate Mflop/s, worker
+//! idle time — and COSMICS shipped the same timing accounting in its
+//! serial LINGER.  This crate provides the primitives those
+//! measurements hang off, with **no external dependencies**:
+//!
+//! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s, safe to hammer from every worker thread;
+//! * [`span`] — wall-clock [`SpanRecorder`]s whose events export as
+//!   Perfetto/chrome-tracing JSON (`chrome://tracing`, `ui.perfetto.dev`);
+//! * [`json`] — a minimal JSON value type with a writer *and* a parser,
+//!   so run reports can be produced and validated without serde;
+//! * [`TelemetrySnapshot`] — the merged, immutable view of everything a
+//!   run recorded, one per farm session.
+//!
+//! # Recording model
+//!
+//! Hot paths record into *per-thread* (or per-endpoint) structures that
+//! the owner folds into one [`TelemetrySnapshot`] when the run ends;
+//! nothing global is locked while work is in flight.  The single piece
+//! of shared state is the process-wide enable flag: [`set_enabled`]
+//! flips it, and every recording primitive starts with an inlined
+//! [`enabled`] check — one relaxed atomic load — so a disabled run pays
+//! effectively nothing on the hot path.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use span::{write_chrome_trace, SpanEvent, SpanRecorder};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide recording switch (default: on).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable all telemetry recording in this process.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry recording is enabled.  Inlined so a disabled
+/// recording site reduces to one relaxed load and a branch.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The merged, immutable result of one instrumented run: named
+/// counters and gauges, named histograms, and the span timeline.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Monotonic event counts by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-set values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Distribution summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Wall-clock spans, in recording order.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl TelemetrySnapshot {
+    /// Fold another snapshot into this one: counters add, gauges take
+    /// the other side's value, histograms merge, spans concatenate.
+    pub fn merge(&mut self, other: TelemetrySnapshot) {
+        for (name, v) in other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in other.gauges {
+            self.gauges.insert(name, v);
+        }
+        for (name, h) in other.histograms {
+            match self.histograms.get_mut(&name) {
+                Some(mine) => mine.merge(&h),
+                None => {
+                    self.histograms.insert(name, h);
+                }
+            }
+        }
+        self.spans.extend(other.spans);
+    }
+
+    /// A counter's value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Add `v` to the named counter.
+    pub fn add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// JSON view of the snapshot (spans omitted — they export through
+    /// [`write_chrome_trace`] instead).
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v)))
+            .collect();
+        let hists = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("histograms".into(), Json::Obj(hists)),
+            ("span_events".into(), Json::Num(self.spans.len() as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enable_flag_roundtrip() {
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_concats_spans() {
+        let mut a = TelemetrySnapshot::default();
+        a.add("msgs", 3);
+        a.gauges.insert("depth".into(), 1.0);
+        let mut b = TelemetrySnapshot::default();
+        b.add("msgs", 4);
+        b.add("bytes", 100);
+        b.gauges.insert("depth".into(), 2.0);
+        b.spans.push(SpanEvent {
+            name: "x".into(),
+            cat: "test".into(),
+            pid: 1,
+            tid: 0,
+            ts_us: 0,
+            dur_us: 5,
+            args: Vec::new(),
+        });
+        a.merge(b);
+        assert_eq!(a.counter("msgs"), 7);
+        assert_eq!(a.counter("bytes"), 100);
+        assert_eq!(a.counter("absent"), 0);
+        assert_eq!(a.gauges["depth"], 2.0);
+        assert_eq!(a.spans.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_parses_back() {
+        let mut s = TelemetrySnapshot::default();
+        s.add("n", 2);
+        let text = s.to_json().to_string();
+        let back = json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("counters")
+                .and_then(|c| c.get("n"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Lock-free recording primitives: counters, gauges, and log-bucketed
+//! histograms.
+//!
+//! All three are safe to share across threads behind an `Arc` and are
+//! recorded with relaxed atomics — telemetry orders nothing; it only
+//! counts.  Every mutating call first checks the crate-wide
+//! [`crate::enabled`] flag so a disabled run reduces each site to one
+//! relaxed load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Number of log2 buckets in a [`Histogram`].  Bucket `i` holds values
+/// `v` with `floor(log2(v)) == i` (bucket 0 also holds `v == 0`), so 64
+/// buckets cover the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement (stored as `f64` bits).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Record the current value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Last recorded value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds or
+/// bytes), with exact count/sum/min/max alongside the buckets.
+///
+/// Bucketing by `floor(log2(v))` keeps recording allocation-free and
+/// wait-free while still answering "what order of magnitude are the
+/// latencies" — the resolution the §4 timing tables actually need.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket that holds `v`.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (63 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Immutable summary of everything recorded so far.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data summary of a [`Histogram`], mergeable across threads and
+/// ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`floor(log2(v))` indexing).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in [0, 1]) from the bucket boundaries:
+    /// returns the upper edge of the bucket holding the q-th sample,
+    /// clamped to the observed max.  0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // upper edge of bucket i is 2^(i+1) - 1
+                let edge = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return edge.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = if self.count == 0 {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+    }
+
+    /// JSON summary (count/sum/min/max/mean/p50/p99 — buckets omitted).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Num(self.count as f64)),
+            ("sum".into(), Json::Num(self.sum as f64)),
+            ("min".into(), Json::Num(self.min as f64)),
+            ("max".into(), Json::Num(self.max as f64)),
+            ("mean".into(), Json::Num(self.mean())),
+            ("p50".into(), Json::Num(self.quantile(0.5) as f64)),
+            ("p99".into(), Json::Num(self.quantile(0.99) as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let g = Gauge::new();
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean(), 26.5);
+        // p50 lands in bucket 1 (values 2..=3), upper edge 3
+        assert_eq!(s.quantile(0.5), 3);
+        // p100 clamps to the observed max
+        assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_combines() {
+        let a = Histogram::new();
+        a.record(1);
+        a.record(4);
+        let b = Histogram::new();
+        b.record(1000);
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa.count, 3);
+        assert_eq!(sa.sum, 1005);
+        assert_eq!(sa.min, 1);
+        assert_eq!(sa.max, 1000);
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&sa);
+        assert_eq!(empty.min, 1);
+        assert_eq!(empty.count, 3);
+    }
+}

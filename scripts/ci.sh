@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# The repo's one-stop gate: formatting, lints (warnings are errors), and
-# the full test suite.  Run before every push.
+# The repo's one-stop gate: formatting, lints (warnings are errors),
+# docs, the full test suite, and a telemetry smoke run.  Run before
+# every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +11,36 @@ cargo fmt --all -- --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== cargo test =="
 cargo test -q --workspace
+
+echo "== telemetry smoke run =="
+# a tiny farm must produce a parseable run report with a sane
+# efficiency, plus a chrome-tracing span file
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run -q --release -p plinger --bin plinger -- \
+    --preset draft --nk 3 --kmin 4e-4 --kmax 2e-3 --workers 2 \
+    --telemetry json --trace-out "$smoke_dir/trace.json" \
+    --output "$smoke_dir/smoke" > "$smoke_dir/report.json"
+python3 - "$smoke_dir" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+report = json.load(open(os.path.join(d, "report.json")))
+assert report["schema"] == "plinger.run_report/1", report.get("schema")
+eff = report["run"]["efficiency"]
+assert 0.0 < eff <= 1.0, f"efficiency {eff} out of (0, 1]"
+assert len(report["modes"]) == 3, len(report["modes"])
+assert report["run"]["workers"] == 2
+on_disk = json.load(open(os.path.join(d, "smoke.run_report.json")))
+assert on_disk == report, "stdout JSON and run_report.json file differ"
+trace = json.load(open(os.path.join(d, "trace.json")))
+assert trace and all(ev["ph"] == "X" for ev in trace), "bad trace events"
+assert all("pid" in ev and "tid" in ev and "ts" in ev and "dur" in ev for ev in trace)
+print(f"smoke: efficiency {eff:.3f}, {len(trace)} trace events")
+EOF
 
 echo "ci: all green"
