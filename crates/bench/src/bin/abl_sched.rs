@@ -77,9 +77,13 @@ fn main() {
     println!("\n# real farm (4 workers, measured idle / imbalance per policy):");
     let mut rows = Vec::new();
     for (name, policy) in policies {
-        let rep = Farm::<ChannelWorld>::new(4)
-            .run(&spec, policy)
-            .expect("farm run");
+        let rep = match Farm::<ChannelWorld>::new(4).run(&spec, policy) {
+            Ok(rep) => rep,
+            Err(e) => {
+                eprintln!("abl_sched: farm run ({name}) failed: {e}");
+                std::process::exit(1);
+            }
+        };
         rows.push(vec![
             name.to_string(),
             format!("{:.3}", rep.wall_seconds),

@@ -53,9 +53,13 @@ fn main() {
     println!("\n# real farm runs (this machine has {cores} core(s)):");
     let mut rows = Vec::new();
     for n in [1usize, 2, 4] {
-        let rep = Farm::<ChannelWorld>::new(n)
-            .run(&spec, SchedulePolicy::LargestFirst)
-            .expect("farm run");
+        let rep = match Farm::<ChannelWorld>::new(n).run(&spec, SchedulePolicy::LargestFirst) {
+            Ok(rep) => rep,
+            Err(e) => {
+                eprintln!("fig1_scaling: farm run with {n} worker(s) failed: {e}");
+                std::process::exit(1);
+            }
+        };
         rows.push(vec![
             n.to_string(),
             format!("{:.2}", rep.wall_seconds),

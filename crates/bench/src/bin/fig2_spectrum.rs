@@ -36,9 +36,13 @@ fn main() {
         spec.ks.len()
     );
     let t0 = std::time::Instant::now();
-    let report = Farm::<ChannelWorld>::new(workers)
-        .run(&spec, SchedulePolicy::LargestFirst)
-        .expect("farm run");
+    let report = match Farm::<ChannelWorld>::new(workers).run(&spec, SchedulePolicy::LargestFirst) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig2_spectrum: farm run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "# farm: {:.1} s wall, {:.1} Mflop/s aggregate, efficiency {:.1}%",
         t0.elapsed().as_secs_f64(),

@@ -32,9 +32,13 @@ fn main() {
 
     println!("# Figure 3 reproduction: simulated sky map to l = {l_max}");
     let spec = spectrum_workload(l_max, 2.0);
-    let report = Farm::<ChannelWorld>::new(workers)
-        .run(&spec, SchedulePolicy::LargestFirst)
-        .expect("farm run");
+    let report = match Farm::<ChannelWorld>::new(workers).run(&spec, SchedulePolicy::LargestFirst) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig3_skymap: farm run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let prim = PrimordialSpectrum::unit(spec.cosmo.n_s);
     let raw = angular_power_spectrum(&report.outputs, &prim, l_max);
     let (cl, _) = cobe_normalize(&raw, spec.cosmo.t_cmb_k, Q_RMS_PS_UK);

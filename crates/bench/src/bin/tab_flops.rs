@@ -30,7 +30,13 @@ fn main() {
 
     println!("# §5.1 reproduction: flop rates");
     let spec = scaling_workload(n_modes, k_max);
-    let (outputs, serial_wall) = run_serial(&spec).expect("serial pass");
+    let (outputs, serial_wall) = match run_serial(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tab_flops: serial pass failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let total_flops: u64 = outputs.iter().map(|o| o.stats.total_flops()).sum();
     let in_mode_secs: f64 = outputs.iter().map(|o| o.cpu_seconds).sum();
     let node_mflops = total_flops as f64 / in_mode_secs / 1e6;

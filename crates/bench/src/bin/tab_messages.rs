@@ -27,7 +27,13 @@ fn main() {
 
     println!("# §4 reproduction: message size vs CPU time per wavenumber");
     let spec = message_workload(n_modes, k_max);
-    let (outputs, _) = run_serial(&spec).expect("serial pass");
+    let (outputs, _) = match run_serial(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tab_messages: serial pass failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     // serialize each mode exactly once; both the table and the
     // proportionality check below read the same measured sizes

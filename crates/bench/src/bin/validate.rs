@@ -156,10 +156,22 @@ fn main() {
     // --- farm determinism -------------------------------------------------
     let mut fspec = plinger::RunSpec::standard_cdm(vec![8.0e-4, 2.4e-3, 1.6e-3]);
     fspec.preset = Preset::Draft;
-    let (serial, _) = plinger::run_serial(&fspec).expect("serial pass");
-    let par = plinger::Farm::<msgpass::channel::ChannelWorld>::new(2)
+    let (serial, _) = match plinger::run_serial(&fspec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("validate: serial pass failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let par = match plinger::Farm::<msgpass::channel::ChannelWorld>::new(2)
         .run(&fspec, plinger::SchedulePolicy::LargestFirst)
-        .expect("farm run");
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("validate: farm run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let identical = serial
         .iter()
         .zip(&par.outputs)

@@ -150,6 +150,20 @@ pub fn evolve_mode(
     k: f64,
     config: &ModeConfig,
 ) -> Result<ModeOutput, EvolveError> {
+    evolve_mode_observed(bg, thermo, k, config, None)
+}
+
+/// Like [`evolve_mode`], with a callback invoked after every accepted
+/// integrator step.  The observer cannot perturb the integration — the
+/// output is bit-identical with or without it.  PLINGER workers use it
+/// to emit heartbeats between DVERK step batches.
+pub fn evolve_mode_observed(
+    bg: &Background,
+    thermo: &ThermoHistory,
+    k: f64,
+    config: &ModeConfig,
+    mut observer: Option<&mut dyn FnMut()>,
+) -> Result<ModeOutput, EvolveError> {
     let wall_start = std::time::Instant::now();
     if !(k > 0.0 && k.is_finite()) {
         return Err(EvolveError::BadWavenumber { k });
@@ -207,11 +221,20 @@ pub fn evolve_mode(
     let mut trajectory = Vec::new();
     let mut tau = tau_start;
 
+    // trampoline: `&mut dyn FnMut()` is invariant in the trait object's
+    // lifetime, so the caller's observer cannot be reborrowed for two
+    // sequential integrate_observed calls; a local closure can
+    let mut relay = || {
+        if let Some(obs) = observer.as_mut() {
+            obs()
+        }
+    };
+
     if tau_switch > tau_start {
         rhs.tca = true;
         let upper = tau_switch.min(tau_end);
         let sol = integ
-            .integrate(&mut rhs, tau, upper, &mut y, &opts)
+            .integrate_observed(&mut rhs, tau, upper, &mut y, &opts, Some(&mut relay))
             .map_err(|source| EvolveError::Ode { k, source })?;
         stats.merge(&sol.stats);
         trajectory.extend(sol.trajectory);
@@ -227,7 +250,7 @@ pub fn evolve_mode(
         // moments; keep the same tolerances but refresh the controller
         opts.h0 = None;
         let sol = integ
-            .integrate(&mut rhs, tau, tau_end, &mut y, &opts)
+            .integrate_observed(&mut rhs, tau, tau_end, &mut y, &opts, Some(&mut relay))
             .map_err(|source| EvolveError::Ode { k, source })?;
         stats.merge(&sol.stats);
         trajectory.extend(sol.trajectory);

@@ -31,6 +31,7 @@
 
 pub mod channel;
 pub mod codec;
+pub mod fault;
 pub mod instrument;
 pub mod serial;
 pub mod shmem;

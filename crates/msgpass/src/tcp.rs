@@ -24,8 +24,12 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Shared writer table: one slot per rank, swappable at respawn time.
+type WriterTable = Arc<Mutex<Vec<Option<TcpStream>>>>;
 
 /// Control tag used for the rank-introduction handshake.
 const HELLO_TAG: Tag = u32::MAX;
@@ -56,6 +60,13 @@ impl PendingMaster {
 
     /// Accept all workers and build the master endpoint (rank 0).
     pub fn accept_all(self) -> Result<TcpEndpoint, CommError> {
+        self.accept_all_keep().map(|(ep, _port)| ep)
+    }
+
+    /// Accept all workers like [`Self::accept_all`], but keep the
+    /// listening socket open and return a [`RespawnPort`] through which
+    /// a replacement worker can be re-handshaked into the star mid-run.
+    pub fn accept_all_keep(self) -> Result<(TcpEndpoint, RespawnPort), CommError> {
         let (tx, rx) = unbounded::<Message>();
         let mut writers: Vec<Option<TcpStream>> = (0..=self.n_workers).map(|_| None).collect();
         let mut readers = Vec::new();
@@ -86,14 +97,113 @@ impl PendingMaster {
             );
             readers.push(spawn_reader(stream, carry, tx.clone()));
         }
-        Ok(TcpEndpoint {
+        let writers: WriterTable = Arc::new(Mutex::new(writers));
+        let port = RespawnPort {
+            listener: self.listener,
+            addr: self.addr,
+            n_workers: self.n_workers,
+            tx,
+            writers: Arc::clone(&writers),
+        };
+        let ep = TcpEndpoint {
             rank: 0,
             size: self.n_workers + 1,
             writers,
             rx,
             parked: VecDeque::new(),
             _readers: readers,
-        })
+        };
+        Ok((ep, port))
+    }
+}
+
+/// The master's still-open listening socket, used to re-admit a
+/// replacement worker after its predecessor died.
+///
+/// Obtained from [`PendingMaster::accept_all_keep`].  [`Self::admit`]
+/// swaps the new connection into the master endpoint's writer table and
+/// attaches a fresh reader thread, so the endpoint keeps working without
+/// being rebuilt; stale frames from the dead predecessor may still be
+/// queued and must be tolerated by the caller's protocol.
+pub struct RespawnPort {
+    listener: TcpListener,
+    addr: SocketAddr,
+    n_workers: usize,
+    tx: Sender<Message>,
+    writers: WriterTable,
+}
+
+impl RespawnPort {
+    /// The address replacement workers should connect to (same as the
+    /// original [`PendingMaster::addr`]).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait up to `timeout` for a replacement worker to connect and
+    /// introduce itself as `expected_rank`, then splice it into the
+    /// master endpoint's writer table and spawn its reader thread.
+    pub fn admit(&self, expected_rank: Rank, timeout: Duration) -> Result<(), CommError> {
+        if expected_rank == 0 || expected_rank > self.n_workers {
+            return Err(CommError::NoSuchRank(expected_rank));
+        }
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| CommError::Protocol(format!("set_nonblocking failed: {e}")))?;
+        let deadline = Instant::now() + timeout;
+        let accepted = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => break stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        self.listener.set_nonblocking(false).ok();
+                        return Err(CommError::Protocol(format!(
+                            "no reconnection from rank {expected_rank} within {timeout:?}"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    self.listener.set_nonblocking(false).ok();
+                    return Err(CommError::Protocol(format!("accept failed: {e}")));
+                }
+            }
+        };
+        self.listener.set_nonblocking(false).ok();
+        accepted
+            .set_nonblocking(false)
+            .map_err(|e| CommError::Protocol(format!("set_blocking failed: {e}")))?;
+        accepted.set_nodelay(true).ok();
+        let mut hello_stream = accepted
+            .try_clone()
+            .map_err(|e| CommError::Protocol(format!("clone failed: {e}")))?;
+        // bound the hello read so a connect-and-hang client can't wedge us
+        hello_stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .ok();
+        let (hello, carry) = read_one_frame(&mut hello_stream)?;
+        if hello.tag != HELLO_TAG {
+            return Err(CommError::Protocol("expected hello frame".into()));
+        }
+        if hello.source != expected_rank {
+            return Err(CommError::Protocol(format!(
+                "expected hello from rank {expected_rank}, got {}",
+                hello.source
+            )));
+        }
+        let writer = accepted
+            .try_clone()
+            .map_err(|e| CommError::Protocol(format!("clone failed: {e}")))?;
+        {
+            let mut writers = self
+                .writers
+                .lock()
+                .map_err(|_| CommError::Protocol("writer table poisoned".into()))?;
+            writers[expected_rank] = Some(writer);
+        }
+        // detached on purpose: the reader dies with its socket
+        let _reader = spawn_reader(accepted, carry, self.tx.clone());
+        Ok(())
     }
 }
 
@@ -122,7 +232,7 @@ pub fn connect_worker(addr: SocketAddr, rank: Rank, size: usize) -> Result<TcpEn
     Ok(TcpEndpoint {
         rank,
         size,
-        writers,
+        writers: Arc::new(Mutex::new(writers)),
         rx,
         parked: VecDeque::new(),
         _readers: vec![reader],
@@ -208,7 +318,7 @@ fn spawn_reader(mut stream: TcpStream, carry: BytesMut, tx: Sender<Message>) -> 
 pub struct TcpEndpoint {
     rank: Rank,
     size: usize,
-    writers: Vec<Option<TcpStream>>,
+    writers: WriterTable,
     rx: Receiver<Message>,
     parked: VecDeque<Message>,
     _readers: Vec<JoinHandle<()>>,
@@ -275,7 +385,11 @@ impl Transport for TcpEndpoint {
             return Err(CommError::NoSuchRank(dest));
         }
         let frame = encode(self.rank, tag, data);
-        match self.writers.get_mut(dest).and_then(|w| w.as_mut()) {
+        let mut writers = self
+            .writers
+            .lock()
+            .map_err(|_| CommError::Protocol("writer table poisoned".into()))?;
+        match writers.get_mut(dest).and_then(|w| w.as_mut()) {
             Some(stream) => stream
                 .write_all(&frame)
                 .map_err(|_| CommError::Disconnected),
@@ -447,6 +561,49 @@ mod tests {
             connect_worker(addr, 2, 2),
             Err(CommError::NoSuchRank(2))
         ));
+    }
+
+    #[test]
+    fn respawn_port_readmits_a_replacement_worker() {
+        let pending = PendingMaster::bind(1).unwrap();
+        let addr = pending.addr();
+        let first = thread::spawn(move || {
+            let mut ep = connect_worker(addr, 1, 2).unwrap();
+            ep.send(0, 3, &[1.0]).unwrap();
+            // drop: the worker "dies" after one message
+        });
+        let (mut master, port) = pending.accept_all_keep().unwrap();
+        let mut buf = Vec::new();
+        master.recv(1, 3, &mut buf).unwrap();
+        assert_eq!(buf, vec![1.0]);
+        first.join().unwrap();
+
+        // a replacement connects under the same rank
+        let second = thread::spawn(move || {
+            let mut ep = connect_worker(addr, 1, 2).unwrap();
+            let mut buf = Vec::new();
+            ep.recv(0, 1, &mut buf).unwrap();
+            ep.send(0, 3, &[buf[0] + 1.0]).unwrap();
+        });
+        port.admit(1, Duration::from_secs(5)).unwrap();
+        master.send(1, 1, &[41.0]).unwrap();
+        master.recv(1, 3, &mut buf).unwrap();
+        assert_eq!(buf, vec![42.0]);
+        second.join().unwrap();
+    }
+
+    #[test]
+    fn respawn_admit_times_out_cleanly() {
+        let pending = PendingMaster::bind(1).unwrap();
+        let addr = pending.addr();
+        let w = thread::spawn(move || {
+            let _ep = connect_worker(addr, 1, 2).unwrap();
+        });
+        let (_master, port) = pending.accept_all_keep().unwrap();
+        w.join().unwrap();
+        let err = port.admit(1, Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, CommError::Protocol(_)));
+        assert_eq!(port.addr(), addr);
     }
 
     #[test]

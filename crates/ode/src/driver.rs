@@ -232,7 +232,6 @@ impl Integrator {
 
     /// Integrate `rhs` from `(t0, y0)` to `t1`; `y0` is updated in place to
     /// the final state.  Supports forward and backward integration.
-    #[allow(clippy::needless_range_loop)] // RK stages index k[s][j] in lockstep
     pub fn integrate<R: Rhs + ?Sized>(
         &mut self,
         rhs: &mut R,
@@ -240,6 +239,24 @@ impl Integrator {
         t1: f64,
         y: &mut [f64],
         opts: &IntegrateOpts,
+    ) -> Result<Solution, OdeError> {
+        self.integrate_observed(rhs, t0, t1, y, opts, None)
+    }
+
+    /// Like [`Self::integrate`], with a callback invoked after every
+    /// accepted step.  The observer sees no state and cannot perturb the
+    /// integration — results are bit-identical with or without it; it
+    /// exists so long integrations can report liveness (PLINGER workers
+    /// heartbeat between DVERK step batches).
+    #[allow(clippy::needless_range_loop)] // RK stages index k[s][j] in lockstep
+    pub fn integrate_observed<R: Rhs + ?Sized>(
+        &mut self,
+        rhs: &mut R,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+        opts: &IntegrateOpts,
+        mut observer: Option<&mut dyn FnMut()>,
     ) -> Result<Solution, OdeError> {
         let n = y.len();
         assert_eq!(n, rhs.dim(), "state length must equal rhs.dim()");
@@ -385,6 +402,9 @@ impl Integrator {
                 t += h;
                 y.copy_from_slice(&self.ynew);
                 stats.accepted += 1;
+                if let Some(obs) = observer.as_mut() {
+                    obs();
+                }
 
                 if tab.fsal {
                     // derivative at the new point is the last stage
@@ -655,6 +675,23 @@ mod tests {
                 (-t).exp()
             );
         }
+    }
+
+    #[test]
+    fn observer_fires_once_per_accepted_step_and_changes_nothing() {
+        let opts = IntegrateOpts::default();
+        let mut y = [1.0];
+        let mut n = 0usize;
+        let mut obs = || n += 1;
+        let sol = Integrator::new()
+            .integrate_observed(&mut Decay, 0.0, 2.0, &mut y, &opts, Some(&mut obs))
+            .unwrap();
+        assert_eq!(n, sol.stats.accepted);
+        // bit-identical to the unobserved path
+        let mut y2 = [1.0];
+        let sol2 = integrate(&mut Decay, 0.0, 2.0, &mut y2, &opts).unwrap();
+        assert_eq!(y[0].to_bits(), y2[0].to_bits());
+        assert_eq!(sol.stats.accepted, sol2.stats.accepted);
     }
 
     #[test]

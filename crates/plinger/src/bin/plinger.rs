@@ -20,7 +20,14 @@ use msgpass::channel::ChannelWorld;
 use msgpass::shmem::ShmemWorld;
 use plinger::cli::{parse, CliOptions, Parsed, TelemetryMode, TransportKind, USAGE};
 use plinger::output_files::{write_ascii, write_binary, write_run_report, write_trace};
-use plinger::{render_pretty, run_tcp_processes, run_tcp_worker, Farm, FarmReport, SchedulePolicy};
+use plinger::{
+    parse_worker_fault, render_pretty, run_tcp_processes, run_tcp_worker, Farm, FarmReport,
+    SchedulePolicy, TcpFarmOptions,
+};
+
+/// Exit code used by scripted-fault workers so the master's respawn
+/// logic can tell a deliberate vanish from a clean end-of-run exit.
+const FAULT_EXIT: u8 = 42;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +40,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match run_tcp_worker(addr, w.rank, w.size) {
+            let fault = match w.fault.as_deref() {
+                Some(s) => match parse_worker_fault(s) {
+                    Some(f) => Some(f),
+                    None => {
+                        eprintln!("plinger[worker {}]: bad fault spec {s:?}", w.rank);
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            // A vanish fault simulates a crash: exit with the marker
+            // code so the master treats it as an abnormal exit worth a
+            // replacement. Stall/failmode workers run to completion and
+            // take the normal exit path.
+            let vanish = matches!(fault, Some(plinger::WorkerFault::Vanish { .. }));
+            match run_tcp_worker(addr, w.rank, w.size, fault) {
+                Ok(()) if vanish => ExitCode::from(FAULT_EXIT),
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("plinger[worker {}]: {e}", w.rank);
@@ -70,11 +93,23 @@ fn run_master(opts: CliOptions) -> ExitCode {
     );
     let t0 = std::time::Instant::now();
     let policy = SchedulePolicy::LargestFirst;
+    let cfg = opts.master_config();
     let report: Result<FarmReport, _> = match opts.transport {
-        TransportKind::Channel => Farm::<ChannelWorld>::new(opts.workers).run(&opts.spec, policy),
-        TransportKind::Shmem => Farm::<ShmemWorld>::new(opts.workers).run(&opts.spec, policy),
+        TransportKind::Channel => Farm::<ChannelWorld>::new(opts.workers)
+            .master_config(cfg)
+            .run(&opts.spec, policy),
+        TransportKind::Shmem => Farm::<ShmemWorld>::new(opts.workers)
+            .master_config(cfg)
+            .run(&opts.spec, policy),
         TransportKind::Tcp => match std::env::current_exe() {
-            Ok(exe) => run_tcp_processes(&opts.spec, policy, opts.workers, &exe),
+            Ok(exe) => {
+                let tcp_opts = TcpFarmOptions {
+                    master: cfg,
+                    respawn_limit: opts.respawn_limit,
+                    fault: None,
+                };
+                run_tcp_processes(&opts.spec, policy, opts.workers, &exe, &tcp_opts)
+            }
             Err(e) => {
                 eprintln!("plinger: cannot locate own executable: {e}");
                 return ExitCode::FAILURE;

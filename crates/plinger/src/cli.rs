@@ -3,9 +3,12 @@
 //! A tiny hand-rolled parser (no external CLI crates): flags are
 //! `--name value` pairs; unknown flags abort with usage.
 
+use crate::master::MasterConfig;
 use crate::protocol::RunSpec;
+use crate::recovery::RecoveryPolicy;
 use background::CosmoParams;
 use boltzmann::{Gauge, InitialConditions, Preset};
+use std::time::Duration;
 
 /// Which message-passing substrate the parallel binary farms over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,9 +49,34 @@ pub struct CliOptions {
     pub telemetry: TelemetryMode,
     /// Optional chrome-tracing output path (`--trace-out trace.json`).
     pub trace_out: Option<String>,
+    /// Master idle-poll interval override (`--poll MS`).
+    pub poll: Option<Duration>,
+    /// Worker drain timeout override (`--drain-timeout MS`).
+    pub drain_timeout: Option<Duration>,
+    /// Heartbeat silence threshold override (`--heartbeat-timeout MS`).
+    pub heartbeat_timeout: Option<Duration>,
+    /// Recovery policy assembled from `--recovery` / `--max-attempts`.
+    pub recovery: RecoveryPolicy,
+    /// Subprocess respawn budget (`--respawn-limit N`, TCP only).
+    pub respawn_limit: usize,
 }
 
-/// Internal marker for TCP worker subprocesses: `--tcp-worker ADDR RANK SIZE`.
+impl CliOptions {
+    /// Assemble a [`MasterConfig`] from the parsed farm knobs, leaving
+    /// unset timings at their library defaults.
+    pub fn master_config(&self) -> MasterConfig {
+        let d = MasterConfig::default();
+        MasterConfig {
+            poll: self.poll.unwrap_or(d.poll),
+            drain_timeout: self.drain_timeout.unwrap_or(d.drain_timeout),
+            heartbeat_timeout: self.heartbeat_timeout.unwrap_or(d.heartbeat_timeout),
+            recovery: self.recovery,
+        }
+    }
+}
+
+/// Internal marker for TCP worker subprocesses:
+/// `--tcp-worker ADDR RANK SIZE [FAULT]`.
 #[derive(Debug, Clone)]
 pub struct TcpWorkerArgs {
     /// Master address to connect to.
@@ -57,6 +85,9 @@ pub struct TcpWorkerArgs {
     pub rank: usize,
     /// World size.
     pub size: usize,
+    /// Optional scripted fault (`vanish:N`, `stall:N:MS`, `failmode:IK`)
+    /// injected by the fault-plan test harness.
+    pub fault: Option<String>,
 }
 
 /// Result of parsing: a normal run or a hidden TCP-worker invocation.
@@ -91,6 +122,12 @@ options:
   --tcp                     shorthand for --transport tcp
   --telemetry MODE          pretty|json|off               [pretty]
   --trace-out FILE          write chrome-tracing JSON spans to FILE
+  --recovery MODE           failfast|requeue              [requeue]
+  --max-attempts N          dispatches per mode before quarantine [2]
+  --poll MS                 master idle-poll interval     [25]
+  --drain-timeout MS        worker drain window on error  [5000]
+  --heartbeat-timeout MS    silence before a worker is dead [30000]
+  --respawn-limit N         TCP subprocess respawn budget [2]
 ";
 
 /// Parse `args` (without `argv[0]`).  On error, returns the message to
@@ -98,13 +135,14 @@ options:
 pub fn parse(args: &[String]) -> Result<Parsed, String> {
     // hidden worker mode first
     if args.first().map(|s| s.as_str()) == Some("--tcp-worker") {
-        if args.len() != 4 {
-            return Err("--tcp-worker needs ADDR RANK SIZE".into());
+        if args.len() != 4 && args.len() != 5 {
+            return Err("--tcp-worker needs ADDR RANK SIZE [FAULT]".into());
         }
         return Ok(Parsed::TcpWorker(TcpWorkerArgs {
             addr: args[1].clone(),
             rank: args[2].parse().map_err(|_| "bad rank")?,
             size: args[3].parse().map_err(|_| "bad size")?,
+            fault: args.get(4).cloned(),
         }));
     }
 
@@ -124,6 +162,12 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut transport = TransportKind::default();
     let mut telemetry = TelemetryMode::default();
     let mut trace_out = None;
+    let mut poll = None;
+    let mut drain_timeout = None;
+    let mut heartbeat_timeout = None;
+    let mut requeue = true;
+    let mut max_attempts = 2usize;
+    let mut respawn_limit = 2usize;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -198,6 +242,20 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
                 }
             }
             "--trace-out" => trace_out = Some(val()?.clone()),
+            "--recovery" => {
+                requeue = match val()?.as_str() {
+                    "failfast" => false,
+                    "requeue" => true,
+                    other => return Err(format!("unknown recovery mode {other}")),
+                }
+            }
+            "--max-attempts" => max_attempts = num(val()?)? as usize,
+            "--poll" => poll = Some(Duration::from_millis(num(val()?)? as u64)),
+            "--drain-timeout" => drain_timeout = Some(Duration::from_millis(num(val()?)? as u64)),
+            "--heartbeat-timeout" => {
+                heartbeat_timeout = Some(Duration::from_millis(num(val()?)? as u64))
+            }
+            "--respawn-limit" => respawn_limit = num(val()?)? as usize,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -210,6 +268,17 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
     if workers < 1 {
         return Err("need at least one worker".into());
     }
+    if max_attempts < 1 {
+        return Err("need at least one attempt per mode".into());
+    }
+    let recovery = if requeue {
+        RecoveryPolicy::Requeue {
+            max_attempts,
+            respawn: respawn_limit > 0,
+        }
+    } else {
+        RecoveryPolicy::FailFast
+    };
 
     let ks = if nk == 1 {
         vec![kmin]
@@ -235,6 +304,11 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
         transport,
         telemetry,
         trace_out,
+        poll,
+        drain_timeout,
+        heartbeat_timeout,
+        recovery,
+        respawn_limit,
     })))
 }
 
@@ -321,9 +395,62 @@ mod tests {
                 assert_eq!(w.rank, 2);
                 assert_eq!(w.size, 5);
                 assert_eq!(w.addr, "127.0.0.1:4000");
+                assert_eq!(w.fault, None);
             }
             _ => panic!(),
         }
+        match parse(&argv("--tcp-worker 127.0.0.1:4000 2 5 vanish:1")).unwrap() {
+            Parsed::TcpWorker(w) => assert_eq!(w.fault.as_deref(), Some("vanish:1")),
+            _ => panic!(),
+        }
+        assert!(parse(&argv("--tcp-worker 127.0.0.1:4000 2 5 vanish:1 extra")).is_err());
+    }
+
+    #[test]
+    fn recovery_flags_parse() {
+        match parse(&[]).unwrap() {
+            Parsed::Run(o) => {
+                assert_eq!(
+                    o.recovery,
+                    RecoveryPolicy::Requeue {
+                        max_attempts: 2,
+                        respawn: true
+                    }
+                );
+                assert_eq!(o.respawn_limit, 2);
+                let cfg = o.master_config();
+                assert_eq!(cfg.poll, MasterConfig::default().poll);
+            }
+            _ => panic!("expected run"),
+        }
+        match parse(&argv("--recovery failfast")).unwrap() {
+            Parsed::Run(o) => assert_eq!(o.recovery, RecoveryPolicy::FailFast),
+            _ => panic!("expected run"),
+        }
+        match parse(&argv(
+            "--recovery requeue --max-attempts 3 --respawn-limit 0 \
+             --poll 10 --drain-timeout 750 --heartbeat-timeout 2000",
+        ))
+        .unwrap()
+        {
+            Parsed::Run(o) => {
+                assert_eq!(
+                    o.recovery,
+                    RecoveryPolicy::Requeue {
+                        max_attempts: 3,
+                        respawn: false
+                    }
+                );
+                assert_eq!(o.respawn_limit, 0);
+                let cfg = o.master_config();
+                assert_eq!(cfg.poll, Duration::from_millis(10));
+                assert_eq!(cfg.drain_timeout, Duration::from_millis(750));
+                assert_eq!(cfg.heartbeat_timeout, Duration::from_millis(2000));
+            }
+            _ => panic!("expected run"),
+        }
+        assert!(parse(&argv("--recovery maybe")).is_err());
+        assert!(parse(&argv("--max-attempts 0")).is_err());
     }
 
     #[test]

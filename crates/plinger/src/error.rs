@@ -69,6 +69,13 @@ pub enum FarmError {
         /// Panic payload or exit-status description.
         detail: String,
     },
+    /// Under [`crate::RecoveryPolicy::Requeue`], every worker died (and
+    /// respawn, if any, was exhausted) while modes were still pending.
+    /// Requeue can survive any loss but the last.
+    AllWorkersLost {
+        /// Mode indices (into the k-grid) left without results.
+        unfinished: Vec<usize>,
+    },
 }
 
 impl fmt::Display for FarmError {
@@ -104,6 +111,12 @@ impl fmt::Display for FarmError {
             FarmError::WorkerJoin { rank, detail } => {
                 write!(f, "worker rank {rank} failed to join: {detail}")
             }
+            FarmError::AllWorkersLost { unfinished } => write!(
+                f,
+                "all workers lost; {} mode(s) unfinished: {:?}",
+                unfinished.len(),
+                unfinished
+            ),
         }
     }
 }

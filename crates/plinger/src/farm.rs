@@ -22,23 +22,28 @@ use std::time::{Duration, Instant};
 
 use background::Background;
 use boltzmann::{evolve_mode, ModeOutput};
+use msgpass::fault::{FaultAction, FaultRule, FaultSpec, FaultWhen, FaultyTransport};
 use msgpass::instrument::Instrumented;
 use msgpass::tcp::{connect_worker, PendingMaster};
-use msgpass::{Rank, World};
+use msgpass::{Rank, Tag, World};
 use recomb::ThermoHistory;
 
 use crate::error::FarmError;
 use crate::master::{master_session, MasterConfig};
 use crate::protocol::RunSpec;
+use crate::recovery::{RecoveryLog, RecoveryPolicy, WorkerEvent};
 use crate::report::FarmTelemetry;
 use crate::schedule::SchedulePolicy;
-use crate::worker::{worker_loop, worker_session, WorkerStats};
+use crate::worker::{worker_session, WorkerFault, WorkerStats};
 
 /// Timing and throughput report of a farm run — the quantities Figure 1
 /// and §5.1 of the paper plot.
 #[derive(Debug)]
 pub struct FarmReport {
-    /// Finished modes in grid order.
+    /// Finished modes in grid order.  Under [`RecoveryPolicy::Requeue`]
+    /// a quarantined mode leaves no entry here — its identity lives in
+    /// `recovery.failed_modes`, and `outputs[j]` is the `j`-th
+    /// *non-quarantined* mode of the grid.
     pub outputs: Vec<ModeOutput>,
     /// Master wall-clock seconds.
     pub wall_seconds: f64,
@@ -51,6 +56,10 @@ pub struct FarmReport {
     /// Measured telemetry: per-endpoint message counters, the span
     /// timeline, master idle time.  Empty when telemetry is disabled.
     pub telemetry: FarmTelemetry,
+    /// Every recovery action the master took: requeues, heartbeat
+    /// misses, respawns, quarantined modes.  Clean on an undisturbed
+    /// run.
+    pub recovery: RecoveryLog,
 }
 
 impl FarmReport {
@@ -118,8 +127,18 @@ impl FarmReport {
     }
 }
 
-/// Fault injection for session-layer tests.
+/// Fault injection for session-layer tests: what to break, where.
+///
+/// Worker-level plans (`DropWorker`, `StallWorker`, `FailMode`) are
+/// carried into the worker loop as a [`WorkerFault`]; message-level
+/// plans (`CorruptPayload`, `DropMessage`) become a deterministic
+/// [`FaultSpec`] applied at the transport seam of every endpoint — a
+/// rule only fires on the endpoint that actually sends the targeted
+/// tag.  Thread farms support all variants; `run_tcp_processes`
+/// supports the worker-level ones (the fault rides a hidden CLI
+/// argument into the subprocess).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FaultPlan {
     /// Worker `rank` silently vanishes (thread returns without any
     /// goodbye message) when handed its `after_modes + 1`-th assignment.
@@ -129,6 +148,80 @@ pub enum FaultPlan {
         /// Assignments the worker completes before dying.
         after_modes: usize,
     },
+    /// Worker `rank` goes silent for `stall` when handed its
+    /// `after_modes + 1`-th assignment, then vanishes — a hang the
+    /// master's heartbeat timeout must catch.
+    StallWorker {
+        /// Rank to hang (1-based).
+        rank: Rank,
+        /// Assignments the worker completes before hanging.
+        after_modes: usize,
+        /// How long the worker stays silent before vanishing.
+        stall: Duration,
+    },
+    /// Every worker reports mode `ik` as failed (tag 8) instead of
+    /// integrating it — a poison mode that exhausts its retry budget.
+    FailMode {
+        /// The poisoned mode index.
+        ik: usize,
+    },
+    /// The first message with this tag sent by any single endpoint has
+    /// its payload corrupted (truncated + NaN-poisoned) in transit.
+    CorruptPayload {
+        /// Wire tag to corrupt (e.g. 5 for the result payload).
+        tag: Tag,
+    },
+    /// The `nth` message (0-based, counted per endpoint) with this tag
+    /// is silently dropped in transit.
+    DropMessage {
+        /// Wire tag to drop (e.g. 3 for an assignment).
+        tag: Tag,
+        /// Which matching message to drop, 0-based.
+        nth: u64,
+    },
+}
+
+impl FaultPlan {
+    /// The worker-level fault rank `rank` should run under this plan.
+    fn worker_fault(&self, rank: Rank) -> Option<WorkerFault> {
+        match *self {
+            FaultPlan::DropWorker {
+                rank: r,
+                after_modes,
+            } if r == rank => Some(WorkerFault::Vanish { after_modes }),
+            FaultPlan::StallWorker {
+                rank: r,
+                after_modes,
+                stall,
+            } if r == rank => Some(WorkerFault::Stall { after_modes, stall }),
+            FaultPlan::FailMode { ik } => Some(WorkerFault::FailMode { ik }),
+            _ => None,
+        }
+    }
+
+    /// The transport-level fault script this plan injects (passthrough
+    /// for worker-level plans).
+    fn fault_spec(&self) -> FaultSpec {
+        match *self {
+            FaultPlan::CorruptPayload { tag } => FaultSpec {
+                seed: 0,
+                rules: vec![FaultRule {
+                    tag: Some(tag),
+                    action: FaultAction::Corrupt,
+                    when: FaultWhen::Nth(0),
+                }],
+            },
+            FaultPlan::DropMessage { tag, nth } => FaultSpec {
+                seed: 0,
+                rules: vec![FaultRule {
+                    tag: Some(tag),
+                    action: FaultAction::Drop,
+                    when: FaultWhen::Nth(nth),
+                }],
+            },
+            _ => FaultSpec::passthrough(),
+        }
+    }
 }
 
 /// A transport-generic farm session.
@@ -162,6 +255,13 @@ impl<W: World> Farm<W> {
         }
     }
 
+    /// Replace the whole master configuration at once (CLI plumbing;
+    /// the individual builders below tweak single knobs).
+    pub fn master_config(mut self, config: MasterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
     /// Override the master's probe interval.
     pub fn poll(mut self, poll: Duration) -> Self {
         self.config.poll = poll;
@@ -171,6 +271,20 @@ impl<W: World> Farm<W> {
     /// Override the drain deadline used during shutdown.
     pub fn drain_timeout(mut self, d: Duration) -> Self {
         self.config.drain_timeout = d;
+        self
+    }
+
+    /// Set the recovery policy ([`RecoveryPolicy::FailFast`] is the
+    /// default; [`RecoveryPolicy::requeue`] makes the farm self-heal).
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.config.recovery = policy;
+        self
+    }
+
+    /// Override the heartbeat silence window after which a rank holding
+    /// an assignment is declared dead.
+    pub fn heartbeat_timeout(mut self, d: Duration) -> Self {
+        self.config.heartbeat_timeout = d;
         self
     }
 
@@ -201,15 +315,24 @@ impl<W: World> Farm<W> {
 
         // one epoch anchors every span recorder, and every endpoint is
         // wrapped so the run's message table is a measurement, not a
-        // reconstruction; the Arc handles survive the move into threads
+        // reconstruction; the Arc handles survive the move into threads.
+        // The fault wrapper sits outside the instrumentation so a
+        // dropped message is never counted as sent (closed-world
+        // telemetry survives fault runs); with no message-level fault
+        // the wrapper is a passthrough.
         let epoch = Instant::now();
+        let fault_spec = self
+            .fault
+            .map(|f| f.fault_spec())
+            .unwrap_or_else(FaultSpec::passthrough);
         let mut comm_handles = Vec::with_capacity(eps.len());
         let mut eps: Vec<_> = eps
             .into_iter()
             .map(|ep| {
                 let (wrapped, stats) = Instrumented::new(ep);
                 comm_handles.push(stats);
-                wrapped
+                let (faulty, _log) = FaultyTransport::new(wrapped, fault_spec.clone());
+                faulty
             })
             .collect();
 
@@ -225,26 +348,21 @@ impl<W: World> Farm<W> {
                 .enumerate()
                 .map(|(i, mut ep)| {
                     let flag = Arc::clone(&alive[i]);
-                    let limit = match fault {
-                        Some(FaultPlan::DropWorker { rank, after_modes }) if rank == i + 1 => {
-                            Some(after_modes)
-                        }
-                        _ => None,
-                    };
+                    let worker_fault = fault.and_then(|f| f.worker_fault(i + 1));
                     scope.spawn(move || {
-                        let out = worker_session(&mut ep, limit, epoch);
+                        let out = worker_session(&mut ep, worker_fault, epoch);
                         flag.store(false, Ordering::SeqCst);
                         out
                     })
                 })
                 .collect();
 
-            let mut watch = || -> Vec<Rank> {
+            let mut watch = || -> Vec<WorkerEvent> {
                 alive
                     .iter()
                     .enumerate()
                     .filter(|(_, a)| !a.load(Ordering::SeqCst))
-                    .map(|(i, _)| i + 1)
+                    .map(|(i, _)| WorkerEvent::Dead(i + 1))
                     .collect()
             };
 
@@ -268,7 +386,9 @@ impl<W: World> Farm<W> {
             });
 
             // join every worker regardless of how the master fared; a
-            // faulted worker returning Ok early is part of the plan
+            // faulted worker returning Ok early is part of the plan, and
+            // under the Requeue policy even a panicked worker is a
+            // casualty the session already recovered from
             let mut join_error = None;
             let mut worker_spans = Vec::new();
             for (i, h) in handles.into_iter().enumerate() {
@@ -276,7 +396,7 @@ impl<W: World> Farm<W> {
                     Ok(Ok(out)) => worker_spans.extend(out.spans),
                     Ok(Err(_)) => {}
                     Err(panic) => {
-                        if join_error.is_none() {
+                        if join_error.is_none() && !self.config.recovery.recovers() {
                             join_error = Some(FarmError::WorkerJoin {
                                 rank: i + 1,
                                 detail: panic_text(&panic),
@@ -317,18 +437,23 @@ fn panic_text(panic: &Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Fold a completed ledger into a report, verifying every mode slot is
-/// filled (the master loop guarantees this on success).  `comm` and
-/// `worker_spans` carry the measured telemetry: per-endpoint counters in
-/// rank order and the workers' local span timelines.
+/// filled (the master loop guarantees this on success) — except slots
+/// the session explicitly quarantined, which are accounted in the
+/// recovery log instead.  `comm` and `worker_spans` carry the measured
+/// telemetry: per-endpoint counters in rank order and the workers'
+/// local span timelines.
 fn finish_report(
     ledger: crate::master::MasterLedger,
     comm: Vec<msgpass::instrument::CommSnapshot>,
     worker_spans: Vec<telemetry::SpanEvent>,
 ) -> Result<FarmReport, FarmError> {
+    let quarantined: std::collections::HashSet<usize> =
+        ledger.recovery.failed_modes.iter().map(|f| f.ik).collect();
     let mut outputs = Vec::with_capacity(ledger.outputs.len());
     for (ik, slot) in ledger.outputs.into_iter().enumerate() {
         match slot {
             Some(out) => outputs.push(out),
+            None if quarantined.contains(&ik) => {}
             None => {
                 return Err(FarmError::Protocol {
                     rank: 0,
@@ -350,6 +475,7 @@ fn finish_report(
             spans,
             master_idle_seconds: ledger.idle_seconds,
         },
+        recovery: ledger.recovery,
     })
 }
 
@@ -375,17 +501,103 @@ pub fn run_serial(spec: &RunSpec) -> Result<(Vec<ModeOutput>, f64), FarmError> {
     Ok((outputs, t0.elapsed().as_secs_f64()))
 }
 
+/// Knobs of the multi-process TCP deployment.
+#[derive(Debug, Clone)]
+pub struct TcpFarmOptions {
+    /// Timing and recovery configuration for the master loop.
+    pub master: MasterConfig,
+    /// How many times a dead worker process may be relaunched and
+    /// re-handshaked mid-run (total across all ranks).  Respawn also
+    /// requires `master.recovery` to be
+    /// `RecoveryPolicy::Requeue { respawn: true, .. }`.
+    pub respawn_limit: usize,
+    /// Worker-level fault to inject into the initial processes (tests):
+    /// `DropWorker`, `StallWorker`, and `FailMode` ride a hidden CLI
+    /// argument; message-level plans are not supported across process
+    /// boundaries and are ignored.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for TcpFarmOptions {
+    fn default() -> Self {
+        Self {
+            master: MasterConfig::default(),
+            respawn_limit: 2,
+            fault: None,
+        }
+    }
+}
+
+/// Render the worker-level fault of `plan` for `rank` as the hidden CLI
+/// argument `--tcp-worker` understands (see [`parse_worker_fault`]).
+fn worker_fault_arg(plan: Option<FaultPlan>, rank: Rank) -> Option<String> {
+    match plan?.worker_fault(rank)? {
+        WorkerFault::Vanish { after_modes } => Some(format!("vanish:{after_modes}")),
+        WorkerFault::Stall { after_modes, stall } => {
+            Some(format!("stall:{after_modes}:{}", stall.as_millis()))
+        }
+        WorkerFault::FailMode { ik } => Some(format!("failmode:{ik}")),
+    }
+}
+
+/// Parse the hidden fault argument a `--tcp-worker` subprocess may
+/// receive: `vanish:N`, `stall:N:MS`, or `failmode:IK`.
+pub fn parse_worker_fault(s: &str) -> Option<WorkerFault> {
+    let mut parts = s.split(':');
+    match parts.next()? {
+        "vanish" => Some(WorkerFault::Vanish {
+            after_modes: parts.next()?.parse().ok()?,
+        }),
+        "stall" => Some(WorkerFault::Stall {
+            after_modes: parts.next()?.parse().ok()?,
+            stall: Duration::from_millis(parts.next()?.parse().ok()?),
+        }),
+        "failmode" => Some(WorkerFault::FailMode {
+            ik: parts.next()?.parse().ok()?,
+        }),
+        _ => None,
+    }
+}
+
+fn spawn_tcp_worker(
+    exe: &Path,
+    addr: SocketAddr,
+    rank: Rank,
+    size: usize,
+    fault: Option<String>,
+) -> Result<Child, FarmError> {
+    let mut cmd = Command::new(exe);
+    cmd.arg("--tcp-worker")
+        .arg(addr.to_string())
+        .arg(rank.to_string())
+        .arg(size.to_string());
+    if let Some(f) = fault {
+        cmd.arg(f);
+    }
+    cmd.stdin(Stdio::null()).spawn().map_err(|e| {
+        FarmError::Setup(msgpass::CommError::Protocol(format!(
+            "spawning worker {rank} failed: {e}"
+        )))
+    })
+}
+
 /// Run the farm with OS-subprocess workers over localhost TCP: the
 /// master binds an ephemeral port, spawns `n_workers` copies of `exe`
-/// with the hidden `--tcp-worker ADDR RANK SIZE` arguments, and drives
-/// the same master loop the thread farms use.  Worker liveness is
-/// tracked through `Child::try_wait`, so a killed subprocess surfaces as
-/// [`FarmError::WorkerLost`] instead of a hang.
+/// with the hidden `--tcp-worker ADDR RANK SIZE [FAULT]` arguments, and
+/// drives the same master loop the thread farms use.  Worker liveness
+/// is tracked through `Child::try_wait`.  Under
+/// [`RecoveryPolicy::FailFast`] a dead subprocess surfaces as
+/// [`FarmError::WorkerLost`]; under [`RecoveryPolicy::Requeue`] a
+/// process that exited abnormally is relaunched (up to
+/// `opts.respawn_limit` times) and re-handshaked into the running star
+/// through the kept listening socket, or — when respawn is off or
+/// exhausted — its work is redistributed to the survivors.
 pub fn run_tcp_processes(
     spec: &RunSpec,
     policy: SchedulePolicy,
     n_workers: usize,
     exe: &Path,
+    opts: &TcpFarmOptions,
 ) -> Result<FarmReport, FarmError> {
     if n_workers < 1 {
         return Err(FarmError::Setup(msgpass::CommError::Unsupported(
@@ -398,19 +610,7 @@ pub fn run_tcp_processes(
     let size = n_workers + 1;
     let mut children: Vec<Child> = Vec::with_capacity(n_workers);
     for rank in 1..=n_workers {
-        let child = Command::new(exe)
-            .arg("--tcp-worker")
-            .arg(addr.to_string())
-            .arg(rank.to_string())
-            .arg(size.to_string())
-            .stdin(Stdio::null())
-            .spawn()
-            .map_err(|e| {
-                FarmError::Setup(msgpass::CommError::Protocol(format!(
-                    "spawning worker {rank} failed: {e}"
-                )))
-            });
-        match child {
+        match spawn_tcp_worker(exe, addr, rank, size, worker_fault_arg(opts.fault, rank)) {
             Ok(c) => children.push(c),
             Err(e) => {
                 for mut c in children {
@@ -421,8 +621,8 @@ pub fn run_tcp_processes(
             }
         }
     }
-    let master_ep = match pending.accept_all() {
-        Ok(ep) => ep,
+    let (master_ep, port) = match pending.accept_all_keep() {
+        Ok(pair) => pair,
         Err(e) => {
             for mut c in children {
                 let _ = c.kill();
@@ -437,25 +637,71 @@ pub fn run_tcp_processes(
     let epoch = Instant::now();
     let (mut master_ep, comm_handle) = Instrumented::new(master_ep);
 
-    let cfg = MasterConfig::default();
-    let mut watch = || -> Vec<Rank> {
-        children
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(i, c)| match c.try_wait() {
-                Ok(Some(_)) | Err(_) => Some(i + 1),
-                Ok(None) => None,
-            })
-            .collect()
+    let cfg = opts.master;
+    let respawn_allowed = matches!(cfg.recovery, RecoveryPolicy::Requeue { respawn: true, .. });
+    let mut respawns_left = if respawn_allowed {
+        opts.respawn_limit
+    } else {
+        0
     };
-    let outcome = master_session(&mut master_ep, spec, policy, &cfg, &mut watch, epoch);
+    // ranks whose corpse we already reported (or replaced) — try_wait
+    // keeps answering for a reaped child, so gate on this to attempt
+    // each respawn exactly once
+    let mut handled: Vec<bool> = vec![false; n_workers];
+    let watch = |children: &mut Vec<Child>,
+                 respawns_left: &mut usize,
+                 handled: &mut Vec<bool>|
+     -> Vec<WorkerEvent> {
+        let mut events = Vec::new();
+        for i in 0..children.len() {
+            let rank = i + 1;
+            let status = match children[i].try_wait() {
+                Ok(None) => continue,
+                Ok(Some(st)) => Some(st),
+                Err(_) => None,
+            };
+            if handled[i] {
+                events.push(WorkerEvent::Dead(rank));
+                continue;
+            }
+            handled[i] = true;
+            // a clean exit is a worker that took its stop (or a scripted
+            // vanish, which exits with a marker code); only abnormal
+            // exits are worth a replacement process
+            let abnormal = status.map(|st| !st.success()).unwrap_or(true);
+            if abnormal && *respawns_left > 0 {
+                let replacement = spawn_tcp_worker(exe, addr, rank, size, None)
+                    .ok()
+                    .and_then(|c| port.admit(rank, Duration::from_secs(10)).ok().map(|_| c));
+                if let Some(c) = replacement {
+                    *respawns_left -= 1;
+                    children[i] = c;
+                    handled[i] = false;
+                    events.push(WorkerEvent::Respawned(rank));
+                    continue;
+                }
+            }
+            events.push(WorkerEvent::Dead(rank));
+        }
+        events
+    };
+    let mut watch_adapter =
+        || -> Vec<WorkerEvent> { watch(&mut children, &mut respawns_left, &mut handled) };
+    let outcome = master_session(
+        &mut master_ep,
+        spec,
+        policy,
+        &cfg,
+        &mut watch_adapter,
+        epoch,
+    );
 
     let mut join_error = None;
     for (i, mut c) in children.into_iter().enumerate() {
         match c.wait() {
             Ok(status) if status.success() => {}
             Ok(status) => {
-                if join_error.is_none() && outcome.is_ok() {
+                if join_error.is_none() && outcome.is_ok() && !cfg.recovery.recovers() {
                     join_error = Some(FarmError::WorkerJoin {
                         rank: i + 1,
                         detail: format!("worker process exited with {status}"),
@@ -463,7 +709,7 @@ pub fn run_tcp_processes(
                 }
             }
             Err(e) => {
-                if join_error.is_none() && outcome.is_ok() {
+                if join_error.is_none() && outcome.is_ok() && !cfg.recovery.recovers() {
                     join_error = Some(FarmError::WorkerJoin {
                         rank: i + 1,
                         detail: format!("wait failed: {e}"),
@@ -481,10 +727,16 @@ pub fn run_tcp_processes(
 }
 
 /// Entry point for a `--tcp-worker` subprocess: connect to the master
-/// and run the ordinary worker loop.
-pub fn run_tcp_worker(addr: SocketAddr, rank: Rank, size: usize) -> Result<(), FarmError> {
+/// and run the ordinary worker session, under an optional scripted
+/// fault.
+pub fn run_tcp_worker(
+    addr: SocketAddr,
+    rank: Rank,
+    size: usize,
+    fault: Option<WorkerFault>,
+) -> Result<(), FarmError> {
     let mut ep = connect_worker(addr, rank, size).map_err(FarmError::Setup)?;
-    worker_loop(&mut ep)?;
+    worker_session(&mut ep, fault, Instant::now())?;
     Ok(())
 }
 
@@ -602,6 +854,7 @@ mod tests {
             bytes_received: 0,
             completion_log: Vec::new(),
             telemetry: FarmTelemetry::default(),
+            recovery: RecoveryLog::default(),
         };
         assert_eq!(rep.mflops(), 0.0);
         assert_eq!(rep.parallel_efficiency(), 0.0);
@@ -625,6 +878,7 @@ mod tests {
             bytes_received: 0,
             completion_log: Vec::new(),
             telemetry: FarmTelemetry::default(),
+            recovery: RecoveryLog::default(),
         };
         // idle = (4-3) + (4-1); imbalance = 3 / mean(3,1) = 1.5
         assert!((rep.idle_seconds() - 4.0).abs() < 1e-12);

@@ -29,21 +29,27 @@ pub mod farm;
 pub mod master;
 pub mod output_files;
 pub mod protocol;
+pub mod recovery;
 pub mod report;
 pub mod schedule;
 pub mod simulate;
 pub mod worker;
 
 pub use error::FarmError;
-pub use farm::{run_serial, run_tcp_processes, run_tcp_worker, Farm, FarmReport, FaultPlan};
+pub use farm::{
+    parse_worker_fault, run_serial, run_tcp_processes, run_tcp_worker, Farm, FarmReport, FaultPlan,
+    TcpFarmOptions,
+};
 pub use master::{master_loop, master_session, MasterConfig, MasterLedger};
 pub use protocol::{
-    RunSpec, SpecDecodeError, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_INIT, TAG_REQUEST,
-    TAG_STATS, TAG_STOP,
+    RunSpec, SpecDecodeError, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT,
+    TAG_REQUEST, TAG_STATS, TAG_STOP,
 };
+pub use recovery::{FailedMode, RecoveryLog, RecoveryPolicy, WorkerEvent};
 pub use report::{build_run_report, render_pretty, FarmTelemetry};
-pub use schedule::SchedulePolicy;
+pub use schedule::{SchedulePolicy, WorkQueue};
 pub use simulate::{simulate_farm, synthetic_costs, SimParams, SimResult};
 pub use worker::{
-    worker_loop, worker_loop_limited, worker_session, WorkerContext, WorkerOutcome, WorkerStats,
+    worker_loop, worker_loop_limited, worker_session, WorkerContext, WorkerFault, WorkerOutcome,
+    WorkerStats,
 };

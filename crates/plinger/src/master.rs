@@ -4,13 +4,24 @@
 //! The paper's listing drives the farm with a blocking `mycheckany`; a
 //! worker that dies without a goodbye would park that master forever.
 //! This version polls with [`Transport::probe_timeout`] and consults a
-//! caller-supplied liveness watch between polls, so a lost worker turns
-//! into a typed [`FarmError::WorkerLost`] naming every unfinished mode
-//! instead of a deadlock.  Any abnormal event — worker death, a tag-8
-//! failure report, an unexpected tag, a malformed result — routes
-//! through one drain-and-stop shutdown that flushes tag-6 stops to all
-//! surviving workers and collects what statistics it can before
-//! returning the error.
+//! caller-supplied liveness watch between polls.  What happens when a
+//! worker is lost is governed by [`RecoveryPolicy`]:
+//!
+//! * under [`RecoveryPolicy::FailFast`] any abnormal event — worker
+//!   death, a tag-8 failure report, an unexpected tag, a malformed
+//!   result — routes through one drain-and-stop shutdown that flushes
+//!   tag-6 stops to all surviving workers and collects what statistics
+//!   it can before returning the typed error;
+//! * under [`RecoveryPolicy::Requeue`] the dead rank's in-flight mode
+//!   goes back to the head of the work queue and is redistributed to
+//!   survivors (state machine: *in-flight → requeued*, or *in-flight →
+//!   quarantined* once the mode's attempt budget is spent), and the run
+//!   finishes as long as one worker lives.
+//!
+//! Liveness has two sources: the watch callback (thread joins, process
+//! exits, socket closes) and tag-9 heartbeats — a rank holding an
+//! assignment that has been silent for `heartbeat_timeout` is declared
+//! dead even if its thread still exists, which catches *hung* workers.
 
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -22,12 +33,14 @@ use telemetry::{SpanEvent, SpanRecorder};
 
 use crate::error::FarmError;
 use crate::protocol::{
-    RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_INIT, TAG_REQUEST, TAG_STATS, TAG_STOP,
+    RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT, TAG_REQUEST,
+    TAG_STATS, TAG_STOP,
 };
-use crate::schedule::SchedulePolicy;
+use crate::recovery::{FailedMode, RecoveryLog, RecoveryPolicy, WorkerEvent};
+use crate::schedule::{SchedulePolicy, WorkQueue};
 use crate::worker::WorkerStats;
 
-/// Timing knobs of the master loop.
+/// Timing and recovery knobs of the master loop.
 #[derive(Debug, Clone, Copy)]
 pub struct MasterConfig {
     /// How long one bounded probe waits before re-checking liveness.
@@ -35,6 +48,13 @@ pub struct MasterConfig {
     /// How long the drain phase waits for survivors' statistics (and the
     /// normal shutdown waits for stragglers) before giving up.
     pub drain_timeout: Duration,
+    /// A rank holding an assignment that has sent nothing (result,
+    /// request, or tag-9 heartbeat) for this long is declared dead.
+    /// Workers heartbeat at ~100 ms intervals while integrating, so the
+    /// default is generous by orders of magnitude.
+    pub heartbeat_timeout: Duration,
+    /// What to do when a worker is lost.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for MasterConfig {
@@ -42,6 +62,8 @@ impl Default for MasterConfig {
         Self {
             poll: Duration::from_millis(25),
             drain_timeout: Duration::from_secs(5),
+            heartbeat_timeout: Duration::from_secs(30),
+            recovery: RecoveryPolicy::FailFast,
         }
     }
 }
@@ -50,7 +72,7 @@ impl Default for MasterConfig {
 #[derive(Debug)]
 pub struct MasterLedger {
     /// Finished modes, indexed like `spec.ks` (every slot filled on
-    /// success).
+    /// success; quarantined modes leave `None` holes).
     pub outputs: Vec<Option<ModeOutput>>,
     /// Wall-clock seconds of the master loop (broadcast → last stop).
     pub wall_seconds: f64,
@@ -61,18 +83,21 @@ pub struct MasterLedger {
     /// Per-worker statistics in rank order (rank 1 first), collected
     /// from the tag-7 reports.
     pub worker_stats: Vec<WorkerStats>,
-    /// Master-side wall-clock spans (`assign`, `collect`, `idle` events
-    /// on track 0).  Empty when telemetry is disabled.
+    /// Master-side wall-clock spans (`assign`, `collect`, `idle`, and
+    /// `recover` events on track 0).  Empty when telemetry is disabled.
     pub spans: Vec<SpanEvent>,
     /// Seconds the master spent with nothing pending (the contiguous
     /// gaps between handled messages).
     pub idle_seconds: f64,
+    /// Every recovery action taken (requeues, heartbeat misses,
+    /// respawns, quarantined modes).  Clean on an undisturbed run.
+    pub recovery: RecoveryLog,
 }
 
 /// Internal mutable state of one master session.
 struct Session {
-    order: Vec<usize>,
-    next: usize,
+    queue: WorkQueue,
+    ks: Vec<f64>,
     outputs: Vec<Option<ModeOutput>>,
     completion_log: Vec<(usize, usize)>,
     bytes_received: usize,
@@ -81,6 +106,22 @@ struct Session {
     /// Statistics by worker index (rank − 1).
     stats: Vec<Option<WorkerStats>>,
     n_workers: usize,
+    /// Recovery knobs (copied out of the config so helpers don't need
+    /// the whole config threaded through).
+    policy: RecoveryPolicy,
+    /// Assignment currently held by each worker (index = rank − 1).
+    in_flight: Vec<Option<usize>>,
+    /// Ranks declared dead (watch report or heartbeat silence).
+    dead: HashSet<Rank>,
+    /// Last time each rank sent *anything* (index = rank − 1).
+    last_seen: Vec<Instant>,
+    /// Idle ranks held back from their stop because another worker still
+    /// carries a mode that may yet be requeued (Requeue policy only).
+    parked: HashSet<Rank>,
+    /// Modes that exhausted their attempt budget.
+    quarantined: HashSet<usize>,
+    /// Counters for every recovery action.
+    recovery: RecoveryLog,
     /// Master-side span timeline (track 0 of the trace).
     rec: SpanRecorder,
     /// Start of the current contiguous idle interval, if any.
@@ -94,16 +135,31 @@ impl Session {
         self.completion_log.len()
     }
 
-    fn stats_done(&self) -> usize {
-        self.stats.iter().filter(|s| s.is_some()).count()
-    }
-
     fn unfinished(&self) -> Vec<usize> {
         self.outputs
             .iter()
             .enumerate()
             .filter_map(|(ik, o)| o.is_none().then_some(ik))
             .collect()
+    }
+
+    /// Every mode is either completed or quarantined.
+    fn all_settled(&self) -> bool {
+        self.ikdone() + self.quarantined.len() >= self.outputs.len()
+    }
+
+    /// Session exit condition.  Under FailFast this is exactly the
+    /// historical one (all modes done, all workers stopped and
+    /// reported); under Requeue a dead rank counts as resolved — it will
+    /// never stop or report.
+    fn finished(&self) -> bool {
+        if !self.all_settled() {
+            return false;
+        }
+        (1..=self.n_workers).all(|r| {
+            (self.policy.recovers() && self.dead.contains(&r))
+                || (self.stopped.contains(&r) && self.stats[r - 1].is_some())
+        })
     }
 
     /// Close the current idle interval, if one is open, recording it as
@@ -116,13 +172,16 @@ impl Session {
         }
     }
 
-    /// Reply to a ready worker: next assignment, or stop.
+    /// Reply to a ready worker: next assignment, or stop.  Under the
+    /// Requeue policy a worker with no pending work is *parked* (no
+    /// reply yet) while other workers still carry modes that may come
+    /// back to the queue.
     fn dispatch<T: Transport>(&mut self, t: &mut T, rank: Rank) -> Result<(), FarmError> {
-        if self.next < self.order.len() {
-            let ik = self.order[self.next];
-            self.next += 1;
+        self.in_flight[rank - 1] = None;
+        if let Some(ik) = self.queue.pop() {
             let t0 = Instant::now();
             mysendreal(t, &[ik as f64], TAG_ASSIGN, rank)?;
+            self.in_flight[rank - 1] = Some(ik);
             self.rec.record(
                 "assign",
                 "master",
@@ -130,9 +189,177 @@ impl Session {
                 Instant::now(),
                 &[("ik", ik.to_string()), ("worker", rank.to_string())],
             );
+        } else if self.policy.recovers() && !self.all_settled() {
+            self.parked.insert(rank);
         } else {
             mysendreal(t, &[0.0], TAG_STOP, rank)?;
             self.stopped.insert(rank);
+        }
+        Ok(())
+    }
+
+    /// Release every parked worker with a stop (called once all modes
+    /// are settled).
+    fn stop_parked<T: Transport>(&mut self, t: &mut T) -> Result<(), FarmError> {
+        if self.parked.is_empty() {
+            return Ok(());
+        }
+        let ranks: Vec<Rank> = self.parked.drain().collect();
+        for rank in ranks {
+            mysendreal(t, &[0.0], TAG_STOP, rank)?;
+            self.stopped.insert(rank);
+        }
+        Ok(())
+    }
+
+    /// A mode came back without a result (its worker died, stalled, or
+    /// reported failure): return it to the head of the queue if it still
+    /// has attempt budget, else quarantine it.  Requeued work wakes any
+    /// parked worker.
+    fn requeue_or_quarantine<T: Transport>(
+        &mut self,
+        t: &mut T,
+        ik: usize,
+        reason: &str,
+    ) -> Result<(), FarmError> {
+        let t0 = Instant::now();
+        let attempts = self.queue.attempts(ik);
+        if attempts >= self.policy.max_attempts() {
+            self.quarantined.insert(ik);
+            self.recovery.failed_modes.push(FailedMode {
+                ik,
+                k: self.ks.get(ik).copied().unwrap_or(f64::NAN),
+                attempts,
+                reason: reason.to_string(),
+            });
+            self.rec.record(
+                "recover",
+                "master",
+                t0,
+                Instant::now(),
+                &[
+                    ("ik", ik.to_string()),
+                    ("action", "quarantine".to_string()),
+                    ("reason", reason.to_string()),
+                ],
+            );
+        } else {
+            self.queue.requeue_front(ik);
+            self.recovery.requeues += 1;
+            self.rec.record(
+                "recover",
+                "master",
+                t0,
+                Instant::now(),
+                &[
+                    ("ik", ik.to_string()),
+                    ("action", "requeue".to_string()),
+                    ("reason", reason.to_string()),
+                ],
+            );
+            let parked: Vec<Rank> = self.parked.drain().collect();
+            for rank in parked {
+                self.dispatch(t, rank)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Declare a rank dead and recover its in-flight mode (Requeue
+    /// policy only).
+    fn mark_dead<T: Transport>(
+        &mut self,
+        t: &mut T,
+        rank: Rank,
+        reason: &str,
+    ) -> Result<(), FarmError> {
+        if !self.dead.insert(rank) {
+            return Ok(());
+        }
+        self.parked.remove(&rank);
+        if let Some(ik) = self.in_flight[rank - 1].take() {
+            self.requeue_or_quarantine(t, ik, reason)?;
+        }
+        Ok(())
+    }
+
+    /// Fold a batch of watch events into the session.  Returns
+    /// `Ok(Some(rank))` when the FailFast policy demands the session
+    /// abort with [`FarmError::WorkerLost`] for that rank.
+    fn apply_events<T: Transport>(
+        &mut self,
+        t: &mut T,
+        spec_wire: &[f64],
+        events: Vec<WorkerEvent>,
+    ) -> Result<Option<Rank>, FarmError> {
+        for ev in events {
+            match ev {
+                WorkerEvent::Dead(rank) => {
+                    if rank == 0 || rank > self.n_workers || self.dead.contains(&rank) {
+                        continue;
+                    }
+                    if self.policy.recovers() {
+                        self.mark_dead(t, rank, "worker lost")?;
+                    } else if !self.stopped.contains(&rank) {
+                        return Ok(Some(rank));
+                    }
+                    // FailFast + already stopped: the idle branch's
+                    // missing-statistics check handles it (WorkerJoin).
+                }
+                WorkerEvent::Respawned(rank) => {
+                    if rank == 0 || rank > self.n_workers {
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    self.dead.remove(&rank);
+                    self.stopped.remove(&rank);
+                    self.parked.remove(&rank);
+                    self.stats[rank - 1] = None;
+                    // a watch that replaces a child reports Respawned
+                    // without a Dead first; whatever the old incarnation
+                    // was holding died with it
+                    if let Some(ik) = self.in_flight[rank - 1].take() {
+                        self.requeue_or_quarantine(t, ik, "worker respawned")?;
+                    }
+                    self.last_seen[rank - 1] = Instant::now();
+                    self.recovery.respawns += 1;
+                    // the replacement process missed the tag-1 broadcast;
+                    // re-send the spec point-to-point, it will answer with
+                    // a tag-2 work request like any fresh worker
+                    mysendreal(t, spec_wire, TAG_INIT, rank)?;
+                    self.rec.record(
+                        "recover",
+                        "master",
+                        t0,
+                        Instant::now(),
+                        &[
+                            ("worker", rank.to_string()),
+                            ("action", "respawn".to_string()),
+                        ],
+                    );
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Declare dead any live rank that holds an assignment but has been
+    /// silent past the heartbeat timeout (Requeue policy only): workers
+    /// heartbeat every ~100 ms while integrating, so prolonged silence
+    /// means the worker is hung, not busy.
+    fn scan_heartbeats<T: Transport>(
+        &mut self,
+        t: &mut T,
+        timeout: Duration,
+    ) -> Result<(), FarmError> {
+        for rank in 1..=self.n_workers {
+            if self.dead.contains(&rank) || self.stopped.contains(&rank) {
+                continue;
+            }
+            if self.in_flight[rank - 1].is_some() && self.last_seen[rank - 1].elapsed() > timeout {
+                self.recovery.heartbeat_misses += 1;
+                self.mark_dead(t, rank, "heartbeat timeout")?;
+            }
         }
         Ok(())
     }
@@ -160,7 +387,7 @@ impl Session {
         &mut self,
         t: &mut T,
         cfg: &MasterConfig,
-        watch: &mut dyn FnMut() -> Vec<Rank>,
+        watch: &mut dyn FnMut() -> Vec<WorkerEvent>,
     ) {
         for rank in 1..=self.n_workers {
             if !self.stopped.contains(&rank) {
@@ -171,9 +398,45 @@ impl Session {
         let deadline = Instant::now() + cfg.drain_timeout;
         let mut buf = Vec::new();
         while Instant::now() < deadline {
-            let dead: HashSet<Rank> = watch().into_iter().collect();
+            let dead: HashSet<Rank> = watch()
+                .into_iter()
+                .filter_map(|e| match e {
+                    WorkerEvent::Dead(r) => Some(r),
+                    WorkerEvent::Respawned(_) => None,
+                })
+                .chain(self.dead.iter().copied())
+                .collect();
             let expected = (1..=self.n_workers)
                 .filter(|r| !dead.contains(r) && self.stats[r - 1].is_none())
+                .count();
+            if expected == 0 {
+                break;
+            }
+            match t.probe_timeout(None, None, cfg.poll) {
+                Ok(Some(env)) => {
+                    if myrecvreal(t, &mut buf, env.tag, env.source).is_err() {
+                        break;
+                    }
+                    if env.tag == TAG_STATS {
+                        let _ = self.record_stats(env.source, &buf);
+                    }
+                }
+                Ok(None) => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Collect tag-7 goodbye reports that were still in flight when the
+    /// death report won the race against them (a worker that took its
+    /// stop, sent statistics, and exited can be seen dead by the watch
+    /// before its last message is read).  Bounded by the drain timeout.
+    fn sweep_stats<T: Transport>(&mut self, t: &mut T, cfg: &MasterConfig) {
+        let deadline = Instant::now() + cfg.drain_timeout;
+        let mut buf = Vec::new();
+        while Instant::now() < deadline {
+            let expected = (1..=self.n_workers)
+                .filter(|&r| self.stopped.contains(&r) && self.stats[r - 1].is_none())
                 .count();
             if expected == 0 {
                 break;
@@ -207,6 +470,7 @@ impl Session {
                 .collect(),
             spans: self.rec.into_events(),
             idle_seconds: self.idle_seconds,
+            recovery: self.recovery,
         }
     }
 }
@@ -215,17 +479,19 @@ impl Session {
 /// `policy` order, collect the two-part results, stop every worker,
 /// gather their statistics.
 ///
-/// `watch` is polled between probes and must return the ranks believed
-/// dead (thread farms report workers whose loop returned; process farms
-/// report children that exited).  A dead rank that was never stopped
-/// aborts the session with [`FarmError::WorkerLost`] after draining the
-/// survivors.
+/// `watch` is polled between probes and must report liveness changes
+/// (thread farms report workers whose loop returned; process farms
+/// report children that exited, and may report a respawn after
+/// re-handshaking a replacement).  Under [`RecoveryPolicy::FailFast`] a
+/// dead rank that was never stopped aborts the session with
+/// [`FarmError::WorkerLost`] after draining the survivors; under
+/// [`RecoveryPolicy::Requeue`] its work is redistributed.
 pub fn master_loop<T: Transport>(
     t: &mut T,
     spec: &RunSpec,
     policy: SchedulePolicy,
     cfg: &MasterConfig,
-    watch: &mut dyn FnMut() -> Vec<Rank>,
+    watch: &mut dyn FnMut() -> Vec<WorkerEvent>,
 ) -> Result<MasterLedger, FarmError> {
     master_session(t, spec, policy, cfg, watch, Instant::now())
 }
@@ -238,21 +504,29 @@ pub fn master_session<T: Transport>(
     spec: &RunSpec,
     policy: SchedulePolicy,
     cfg: &MasterConfig,
-    watch: &mut dyn FnMut() -> Vec<Rank>,
+    watch: &mut dyn FnMut() -> Vec<WorkerEvent>,
     epoch: Instant,
 ) -> Result<MasterLedger, FarmError> {
     let t0 = Instant::now();
     let nk = spec.ks.len();
     let n_workers = t.size() - 1;
+    let order = policy.order(&spec.ks);
     let mut s = Session {
-        order: policy.order(&spec.ks),
-        next: 0,
+        queue: WorkQueue::new(&order, nk),
+        ks: spec.ks.clone(),
         outputs: (0..nk).map(|_| None).collect(),
         completion_log: Vec::with_capacity(nk),
         bytes_received: 0,
         stopped: HashSet::new(),
         stats: vec![None; n_workers],
         n_workers,
+        policy: cfg.recovery,
+        in_flight: vec![None; n_workers],
+        dead: HashSet::new(),
+        last_seen: vec![Instant::now(); n_workers],
+        parked: HashSet::new(),
+        quarantined: HashSet::new(),
+        recovery: RecoveryLog::default(),
         rec: SpanRecorder::new(epoch, 0, 0),
         idle_since: None,
         idle_seconds: 0.0,
@@ -260,12 +534,17 @@ pub fn master_session<T: Transport>(
 
     // broadcast data to all node programs; a partial broadcast leaves the
     // world inconsistent, so any failure here is fatal for the session
-    mybcastreal(t, &spec.encode(), TAG_INIT).map_err(FarmError::Setup)?;
+    let spec_wire = spec.encode();
+    mybcastreal(t, &spec_wire, TAG_INIT).map_err(FarmError::Setup)?;
 
     let mut header = Vec::new();
     let mut payload = Vec::new();
 
-    while s.ikdone() < nk || s.stopped.len() < n_workers || s.stats_done() < n_workers {
+    while !s.finished() {
+        // a quarantine can settle the run while workers sit parked
+        if s.all_settled() {
+            s.stop_parked(t)?;
+        }
         let poll_start = Instant::now();
         let env = match t.probe_timeout(None, None, cfg.poll) {
             Ok(e) => e,
@@ -281,34 +560,76 @@ pub fn master_session<T: Transport>(
                 s.idle_since = Some(poll_start);
             }
             // silence: check for casualties before waiting again
-            let dead = watch();
-            if let Some(&rank) = dead.iter().find(|r| !s.stopped.contains(r)) {
+            let events = watch();
+            let dead_now: Vec<Rank> = events
+                .iter()
+                .filter_map(|e| match e {
+                    WorkerEvent::Dead(r) => Some(*r),
+                    WorkerEvent::Respawned(_) => None,
+                })
+                .collect();
+            if let Some(rank) = s.apply_events(t, &spec_wire, events)? {
                 s.drain_and_stop(t, cfg, watch);
                 return Err(FarmError::WorkerLost {
                     rank,
                     unfinished: s.unfinished(),
                 });
             }
-            // a stopped worker that died before reporting statistics can
-            // never report; don't wait for it forever
-            if let Some(&rank) = dead.iter().find(|&&r| s.stats[r - 1].is_none()) {
-                if s.ikdone() == nk && s.stopped.len() == n_workers {
-                    return Err(FarmError::WorkerJoin {
-                        rank,
-                        detail: "worker exited without reporting statistics".into(),
+            if cfg.recovery.recovers() {
+                s.scan_heartbeats(t, cfg.heartbeat_timeout)?;
+                if s.dead.len() == s.n_workers && !s.all_settled() {
+                    return Err(FarmError::AllWorkersLost {
+                        unfinished: s.unfinished(),
                     });
+                }
+            } else {
+                // a stopped worker that died before reporting statistics
+                // can never report; don't wait for it forever
+                if let Some(&rank) = dead_now
+                    .iter()
+                    .find(|&&r| r >= 1 && r <= n_workers && s.stats[r - 1].is_none())
+                {
+                    if s.ikdone() == nk && s.stopped.len() == n_workers {
+                        return Err(FarmError::WorkerJoin {
+                            rank,
+                            detail: "worker exited without reporting statistics".into(),
+                        });
+                    }
                 }
             }
             continue;
         };
         let itid = env.source;
         s.end_idle();
+        if itid >= 1 && itid <= n_workers {
+            s.last_seen[itid - 1] = Instant::now();
+        }
+
+        // a rank already declared dead may still have messages in the
+        // pipe (the death report raced them); consume without acting —
+        // except its goodbye statistics, which are still good data
+        if s.dead.contains(&itid) {
+            let _ = myrecvreal(t, &mut payload, env.tag, itid);
+            match env.tag {
+                TAG_STATS => {
+                    let _ = s.record_stats(itid, &payload);
+                }
+                TAG_HEADER | TAG_FAIL => s.recovery.late_results += 1,
+                _ => {}
+            }
+            continue;
+        }
 
         match env.tag {
             TAG_REQUEST => {
                 // the worker is ready for its first ik; no data
                 myrecvreal(t, &mut header, TAG_REQUEST, itid)?;
                 s.dispatch(t, itid)?;
+            }
+            TAG_HEARTBEAT => {
+                // tag 9: liveness only; last_seen was refreshed above
+                myrecvreal(t, &mut payload, TAG_HEARTBEAT, itid)?;
+                s.recovery.heartbeats += 1;
             }
             TAG_HEADER => {
                 let t_collect = Instant::now();
@@ -317,11 +638,30 @@ pub fn master_session<T: Transport>(
                 // second part follows from the same worker (tag 5);
                 // bounded wait in case the worker dies in between
                 let data_deadline = Instant::now() + cfg.drain_timeout;
+                let mut lost = false;
                 loop {
                     match t.probe_timeout(Some(itid), Some(TAG_DATA), cfg.poll)? {
                         Some(_) => break,
                         None => {
-                            if watch().contains(&itid) || Instant::now() >= data_deadline {
+                            let events = watch();
+                            if let Some(rank) = s.apply_events(t, &spec_wire, events)? {
+                                s.drain_and_stop(t, cfg, watch);
+                                return Err(FarmError::WorkerLost {
+                                    rank,
+                                    unfinished: s.unfinished(),
+                                });
+                            }
+                            if s.dead.contains(&itid) {
+                                // apply_events already requeued its mode
+                                lost = true;
+                                break;
+                            }
+                            if Instant::now() >= data_deadline {
+                                if cfg.recovery.recovers() {
+                                    s.mark_dead(t, itid, "silent between header and data")?;
+                                    lost = true;
+                                    break;
+                                }
                                 s.drain_and_stop(t, cfg, watch);
                                 return Err(FarmError::WorkerLost {
                                     rank: itid,
@@ -331,11 +671,25 @@ pub fn master_session<T: Transport>(
                         }
                     }
                 }
+                if lost {
+                    continue;
+                }
                 myrecvreal(t, &mut payload, TAG_DATA, itid)?;
+                s.last_seen[itid - 1] = Instant::now();
                 s.bytes_received += (header.len() + payload.len()) * 8;
                 let (ik, out) = match ModeOutput::from_wire(&header, &payload) {
                     Ok(pair) => pair,
                     Err(e) => {
+                        if cfg.recovery.recovers() {
+                            // a corrupted result is recoverable: the mode
+                            // goes back to the queue, the worker gets the
+                            // next assignment
+                            if let Some(ik) = s.in_flight[itid - 1].take() {
+                                s.requeue_or_quarantine(t, ik, &format!("malformed result: {e}"))?;
+                            }
+                            s.dispatch(t, itid)?;
+                            continue;
+                        }
                         s.drain_and_stop(t, cfg, watch);
                         return Err(FarmError::Wire {
                             rank: itid,
@@ -364,18 +718,38 @@ pub fn master_session<T: Transport>(
                 s.outputs[ik] = Some(out);
                 s.completion_log.push((ik, itid));
                 s.dispatch(t, itid)?;
+                if s.all_settled() {
+                    s.stop_parked(t)?;
+                }
             }
             TAG_FAIL => {
                 myrecvreal(t, &mut payload, TAG_FAIL, itid)?;
                 let ik = payload.first().copied().unwrap_or(-1.0) as usize;
                 let k = payload.get(1).copied().unwrap_or(f64::NAN);
-                s.drain_and_stop(t, cfg, watch);
-                return Err(FarmError::Evolve {
-                    rank: itid,
-                    ik,
-                    k,
-                    source: None,
-                });
+                if cfg.recovery.recovers() {
+                    // the worker survives its failed mode; budget the
+                    // mode and hand the worker something else
+                    s.in_flight[itid - 1] = None;
+                    if ik < nk && s.outputs[ik].is_none() && !s.quarantined.contains(&ik) {
+                        s.requeue_or_quarantine(
+                            t,
+                            ik,
+                            &format!("integration failed on rank {itid}"),
+                        )?;
+                    }
+                    s.dispatch(t, itid)?;
+                    if s.all_settled() {
+                        s.stop_parked(t)?;
+                    }
+                } else {
+                    s.drain_and_stop(t, cfg, watch);
+                    return Err(FarmError::Evolve {
+                        rank: itid,
+                        ik,
+                        k,
+                        source: None,
+                    });
+                }
             }
             TAG_STATS => {
                 myrecvreal(t, &mut payload, TAG_STATS, itid)?;
@@ -394,6 +768,18 @@ pub fn master_session<T: Transport>(
         }
     }
 
+    if cfg.recovery.recovers() {
+        // collect goodbye statistics that raced a death report, then give
+        // ranks we declared dead on heartbeat evidence (which may in fact
+        // be alive, just stalled) a best-effort stop so they can exit
+        s.sweep_stats(t, cfg);
+        for rank in 1..=n_workers {
+            if !s.stopped.contains(&rank) {
+                let _ = mysendreal(t, &[0.0], TAG_STOP, rank);
+            }
+        }
+    }
+
     Ok(s.into_ledger(t0))
 }
 
@@ -405,7 +791,7 @@ mod tests {
     use msgpass::channel::ChannelWorld;
     use std::thread;
 
-    fn no_watch() -> impl FnMut() -> Vec<Rank> {
+    fn no_watch() -> impl FnMut() -> Vec<WorkerEvent> {
         Vec::new
     }
 
@@ -477,6 +863,7 @@ mod tests {
         let cfg = MasterConfig {
             poll: Duration::from_millis(5),
             drain_timeout: Duration::from_millis(300),
+            ..MasterConfig::default()
         };
         let err = master_loop(
             &mut master_ep,

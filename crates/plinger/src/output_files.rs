@@ -178,7 +178,7 @@ mod tests {
         let parsed = telemetry::Json::parse(&text).unwrap();
         assert_eq!(
             parsed.get("schema").and_then(|v| v.as_str()),
-            Some("plinger.run_report/1")
+            Some("plinger.run_report/2")
         );
         let run = parsed.get("run").unwrap();
         let eff = run.get("efficiency").and_then(|v| v.as_f64()).unwrap();

@@ -44,10 +44,20 @@ pub const TAG_STOP: Tag = 6;
 /// table; carrying the counters over the wire keeps the report uniform
 /// whether workers are threads or OS processes.
 pub const TAG_STATS: Tag = 7;
-/// Tag 8: from worker, a mode integration failed (2 reals: ik, k).  The
-/// master drains and stops the farm, returning a typed error instead of
-/// the worker dying silently.
+/// Tag 8: from worker, a mode integration failed (2 reals: ik, k).
+/// Under [`crate::RecoveryPolicy::FailFast`] the master drains and
+/// stops the farm, returning a typed error; under
+/// [`crate::RecoveryPolicy::Requeue`] the mode goes back into the
+/// queue (or is quarantined once its attempt budget is spent) and the
+/// worker stays in rotation.
 pub const TAG_FAIL: Tag = 8;
+/// Tag 9: from worker, a liveness heartbeat (1 real: a monotonically
+/// increasing sequence number).  Workers emit one between DVERK step
+/// batches, at most every ~100 ms; the master only reads them to
+/// refresh a rank's last-seen clock, so losing heartbeats is harmless
+/// while data messages still flow.  Not in the paper's table — the
+/// 1995 codes had no liveness detection beyond socket close.
+pub const TAG_HEARTBEAT: Tag = 9;
 
 /// A tag-1 broadcast payload that cannot be decoded into a [`RunSpec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -253,6 +263,7 @@ mod tests {
         // and typed failure reporting
         assert_eq!(TAG_STATS, 7);
         assert_eq!(TAG_FAIL, 8);
+        assert_eq!(TAG_HEARTBEAT, 9);
     }
 
     #[test]

@@ -7,14 +7,14 @@
 //! instrumented endpoints and the master/worker span recorders saw;
 //! [`build_run_report`] folds it together with the
 //! [`FarmReport`] accounting into one JSON document
-//! (schema `plinger.run_report/1`), and [`render_pretty`] prints the
+//! (schema `plinger.run_report/2`), and [`render_pretty`] prints the
 //! same numbers as human-readable tables.
 //!
-//! # `run_report.json` schema (version 1)
+//! # `run_report.json` schema (version 2)
 //!
 //! ```text
 //! {
-//!   "schema":  "plinger.run_report/1",
+//!   "schema":  "plinger.run_report/2",
 //!   "run":     { transport, workers, modes, wall_seconds,
 //!                total_cpu_seconds, idle_seconds, master_idle_seconds,
 //!                efficiency, load_imbalance, total_flops, mflops },
@@ -25,14 +25,23 @@
 //!   "latency": { send_ns: {count,sum,min,max,mean,p50,p99},
 //!                recv_ns: {…} },
 //!   "modes":   [ { ik, k, worker, cpu_seconds, accepted, rejected,
-//!                  rhs_evals, rhs_flops, stepper_flops } ]
+//!                  rhs_evals, rhs_flops, stepper_flops } ],
+//!   "recovery":{ requeues, heartbeat_misses, heartbeats, respawns,
+//!                late_results,
+//!                failed_modes: [ { ik, k, attempts, reason } ] }
 //! }
 //! ```
 //!
+//! Version 2 adds the `recovery` block (every self-healing action the
+//! master took — all zeros/empty on an undisturbed run) and, with it,
+//! the possibility of *holes* in `modes`: a quarantined mode appears in
+//! `recovery.failed_modes`, not in `modes`.
+//!
 //! `messages` is the merged per-tag table over every instrumented
 //! endpoint in the run; in a closed world each tag's `sent` equals its
-//! `recv`.  `workers[i].idle_seconds` is `total − busy`, clamped at
-//! zero.  `modes` is ordered by the k-grid index.
+//! `recv` (tag 9, the heartbeat, is timing-dependent in count but obeys
+//! the same invariant).  `workers[i].idle_seconds` is `total − busy`,
+//! clamped at zero.  `modes` is ordered by the k-grid index.
 
 use telemetry::json::Json;
 use telemetry::{SpanEvent, TelemetrySnapshot};
@@ -52,6 +61,7 @@ pub fn tag_name(tag: usize) -> &'static str {
         6 => "stop",
         7 => "stats",
         8 => "fail",
+        9 => "heartbeat",
         _ => "other",
     }
 }
@@ -114,7 +124,7 @@ impl FarmTelemetry {
     }
 }
 
-/// Build the version-1 run report document for a completed farm run.
+/// Build the version-2 run report document for a completed farm run.
 pub fn build_run_report(report: &FarmReport, transport: &str) -> Json {
     let merged = report.telemetry.merged_comm();
 
@@ -195,12 +205,21 @@ pub fn build_run_report(report: &FarmReport, transport: &str) -> Json {
             .map(|&(_, w)| w as f64)
             .unwrap_or(-1.0)
     };
+    // outputs hold the non-quarantined modes in grid order: recover each
+    // one's true grid index by walking the grid and skipping quarantined
+    // slots (on a clean run this is the identity)
+    let quarantined: std::collections::HashSet<usize> =
+        report.recovery.failed_modes.iter().map(|f| f.ik).collect();
+    let nk_total = report.outputs.len() + quarantined.len();
+    let grid_iks: Vec<usize> = (0..nk_total)
+        .filter(|ik| !quarantined.contains(ik))
+        .collect();
     let modes = Json::Arr(
         report
             .outputs
             .iter()
-            .enumerate()
-            .map(|(ik, o)| {
+            .zip(&grid_iks)
+            .map(|(o, &ik)| {
                 Json::Obj(vec![
                     ("ik".into(), Json::Num(ik as f64)),
                     ("k".into(), Json::Num(o.k)),
@@ -219,13 +238,55 @@ pub fn build_run_report(report: &FarmReport, transport: &str) -> Json {
             .collect(),
     );
 
+    let recovery = Json::Obj(vec![
+        (
+            "requeues".into(),
+            Json::Num(report.recovery.requeues as f64),
+        ),
+        (
+            "heartbeat_misses".into(),
+            Json::Num(report.recovery.heartbeat_misses as f64),
+        ),
+        (
+            "heartbeats".into(),
+            Json::Num(report.recovery.heartbeats as f64),
+        ),
+        (
+            "respawns".into(),
+            Json::Num(report.recovery.respawns as f64),
+        ),
+        (
+            "late_results".into(),
+            Json::Num(report.recovery.late_results as f64),
+        ),
+        (
+            "failed_modes".into(),
+            Json::Arr(
+                report
+                    .recovery
+                    .failed_modes
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("ik".into(), Json::Num(f.ik as f64)),
+                            ("k".into(), Json::Num(f.k)),
+                            ("attempts".into(), Json::Num(f.attempts as f64)),
+                            ("reason".into(), Json::Str(f.reason.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+
     Json::Obj(vec![
-        ("schema".into(), Json::Str("plinger.run_report/1".into())),
+        ("schema".into(), Json::Str("plinger.run_report/2".into())),
         ("run".into(), run),
         ("workers".into(), workers),
         ("messages".into(), messages),
         ("latency".into(), latency),
         ("modes".into(), modes),
+        ("recovery".into(), recovery),
     ])
 }
 
@@ -270,6 +331,25 @@ pub fn render_pretty(report: &FarmReport, transport: &str) -> String {
             w.rhs_evals,
         );
     }
+    if !report.recovery.is_clean() || report.recovery.heartbeats > 0 {
+        let _ = writeln!(
+            out,
+            "recovery: requeues={} heartbeat_misses={} heartbeats={} respawns={} late={} quarantined={}",
+            report.recovery.requeues,
+            report.recovery.heartbeat_misses,
+            report.recovery.heartbeats,
+            report.recovery.respawns,
+            report.recovery.late_results,
+            report.recovery.failed_modes.len(),
+        );
+        for f in &report.recovery.failed_modes {
+            let _ = writeln!(
+                out,
+                "  quarantined ik={} k={:.6e} after {} attempt(s): {}",
+                f.ik, f.k, f.attempts, f.reason
+            );
+        }
+    }
     if merged.total_sent() > 0 {
         let _ = writeln!(
             out,
@@ -313,6 +393,7 @@ mod tests {
     fn tag_names_cover_protocol() {
         assert_eq!(tag_name(1), "init");
         assert_eq!(tag_name(7), "stats");
+        assert_eq!(tag_name(9), "heartbeat");
         assert_eq!(tag_name(15), "other");
     }
 
@@ -351,13 +432,20 @@ mod tests {
             bytes_received: 0,
             completion_log: Vec::new(),
             telemetry: FarmTelemetry::default(),
+            recovery: crate::recovery::RecoveryLog::default(),
         };
         let doc = build_run_report(&rep, "none");
         let text = doc.to_string();
         let back = json::parse(&text).unwrap();
         assert_eq!(
             back.get("schema").and_then(Json::as_str),
-            Some("plinger.run_report/1")
+            Some("plinger.run_report/2")
+        );
+        assert_eq!(
+            back.get("recovery")
+                .and_then(|r| r.get("requeues"))
+                .and_then(Json::as_f64),
+            Some(0.0)
         );
         assert_eq!(
             back.get("run")

@@ -44,6 +44,60 @@ impl SchedulePolicy {
     }
 }
 
+/// The master's pending-work queue: the dispatch order plus a per-mode
+/// attempt counter, so requeued modes can be retried and budgeted.
+///
+/// Modes leave through [`Self::pop`] (incrementing their attempt
+/// count) and come back through [`Self::requeue_front`] when the worker
+/// holding them is lost — to the *front*, so a recovered mode is
+/// retried before untouched work, preserving the largest-first rationale
+/// (the requeued mode is the one most likely to be long).
+#[derive(Debug, Clone)]
+pub struct WorkQueue {
+    pending: std::collections::VecDeque<usize>,
+    attempts: Vec<usize>,
+}
+
+impl WorkQueue {
+    /// Build from a dispatch order over `nk` modes (as produced by
+    /// [`SchedulePolicy::order`]).
+    pub fn new(order: &[usize], nk: usize) -> Self {
+        Self {
+            pending: order.iter().copied().collect(),
+            attempts: vec![0; nk],
+        }
+    }
+
+    /// Pop the next mode to dispatch, counting the attempt.
+    pub fn pop(&mut self) -> Option<usize> {
+        let ik = self.pending.pop_front()?;
+        if let Some(a) = self.attempts.get_mut(ik) {
+            *a += 1;
+        }
+        Some(ik)
+    }
+
+    /// Return a lost mode to the head of the queue.
+    pub fn requeue_front(&mut self, ik: usize) {
+        self.pending.push_front(ik);
+    }
+
+    /// How many times `ik` has been handed out so far.
+    pub fn attempts(&self, ik: usize) -> usize {
+        self.attempts.get(ik).copied().unwrap_or(0)
+    }
+
+    /// Modes still waiting for dispatch.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no modes wait for dispatch.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +120,27 @@ mod tests {
     fn fifo_keeps_grid_order() {
         let order = SchedulePolicy::Fifo.order(&KS);
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn work_queue_counts_attempts_and_requeues_to_front() {
+        let order = SchedulePolicy::LargestFirst.order(&KS);
+        let mut q = WorkQueue::new(&order, KS.len());
+        assert_eq!(q.len(), 5);
+        assert!(!q.is_empty());
+        let first = q.pop().unwrap();
+        assert_eq!(first, 1); // largest k
+        assert_eq!(q.attempts(1), 1);
+        assert_eq!(q.attempts(3), 0);
+        // worker died holding ik=1: requeue; it must come back first
+        q.requeue_front(1);
+        assert_eq!(q.pop().unwrap(), 1);
+        assert_eq!(q.attempts(1), 2);
+        // drain the rest
+        let rest: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(rest, vec![3, 2, 0, 4]);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

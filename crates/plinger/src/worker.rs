@@ -1,9 +1,9 @@
 //! The worker subroutine (`kidsub` in Appendix A).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use background::Background;
-use boltzmann::{evolve_mode, ModeOutput};
+use boltzmann::{evolve_mode, evolve_mode_observed, ModeOutput};
 use msgpass::wrappers::*;
 use msgpass::Transport;
 use recomb::ThermoHistory;
@@ -11,8 +11,42 @@ use telemetry::{SpanEvent, SpanRecorder};
 
 use crate::error::FarmError;
 use crate::protocol::{
-    RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_INIT, TAG_REQUEST, TAG_STATS, TAG_STOP,
+    RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT, TAG_REQUEST,
+    TAG_STATS, TAG_STOP,
 };
+
+/// How many accepted integrator steps pass between heartbeat-clock
+/// checks (checking `Instant::now` every step would be pure overhead).
+const HEARTBEAT_CHECK_STEPS: usize = 64;
+
+/// Minimum wall-clock spacing between two heartbeats from one worker.
+const HEARTBEAT_MIN_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A scripted worker misbehaviour, driven by the farm's fault plan.
+/// Real deployments pass `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Return silently (no goodbye, no stats) when the next assignment
+    /// arrives after `after_modes` completed modes — a dead thread/node.
+    Vanish {
+        /// Completed modes before vanishing.
+        after_modes: usize,
+    },
+    /// Go silent for `stall` on the next assignment after `after_modes`
+    /// completed modes, then vanish — a hung worker that heartbeat
+    /// timeouts must catch.
+    Stall {
+        /// Completed modes before stalling.
+        after_modes: usize,
+        /// How long to hang before vanishing.
+        stall: Duration,
+    },
+    /// Report mode `ik` as failed (tag 8) instead of integrating it.
+    FailMode {
+        /// The poisoned mode index.
+        ik: usize,
+    },
+}
 
 /// Per-worker state built from the tag-1 broadcast: the background
 /// expansion and thermal history every mode integration shares.
@@ -40,6 +74,24 @@ impl WorkerContext {
     pub fn run_mode(&self, ik: usize) -> Result<ModeOutput, boltzmann::EvolveError> {
         let k = self.spec.ks[ik];
         evolve_mode(&self.bg, &self.thermo, k, &self.spec.mode_config())
+    }
+
+    /// [`Self::run_mode`] with a per-accepted-step callback (the
+    /// heartbeat hook).  The observer cannot perturb the integration;
+    /// outputs are bit-identical to [`Self::run_mode`].
+    pub fn run_mode_observed(
+        &self,
+        ik: usize,
+        observer: Option<&mut dyn FnMut()>,
+    ) -> Result<ModeOutput, boltzmann::EvolveError> {
+        let k = self.spec.ks[ik];
+        evolve_mode_observed(
+            &self.bg,
+            &self.thermo,
+            k,
+            &self.spec.mode_config(),
+            observer,
+        )
     }
 }
 
@@ -147,7 +199,8 @@ pub fn worker_loop_limited<T: Transport>(
     t: &mut T,
     max_modes: Option<usize>,
 ) -> Result<WorkerStats, FarmError> {
-    worker_session(t, max_modes, Instant::now()).map(|o| o.stats)
+    let fault = max_modes.map(|after_modes| WorkerFault::Vanish { after_modes });
+    worker_session(t, fault, Instant::now()).map(|o| o.stats)
 }
 
 /// The full worker session: [`worker_loop_limited`] plus telemetry.
@@ -158,9 +211,16 @@ pub fn worker_loop_limited<T: Transport>(
 /// integration, with `ik` and `k` arguments) and `wait` (the interval
 /// spent blocked on the master between finishing one result and
 /// receiving the next assignment).
+///
+/// During each integration the worker emits tag-9 heartbeats between
+/// DVERK step batches, at most one per `HEARTBEAT_MIN_INTERVAL`
+/// (100 ms).
+/// Heartbeat sends are best-effort (a send error is swallowed — the
+/// master will notice the silence) and excluded from
+/// [`WorkerStats::bytes_sent`], which accounts result traffic only.
 pub fn worker_session<T: Transport>(
     t: &mut T,
-    max_modes: Option<usize>,
+    fault: Option<WorkerFault>,
     epoch: Instant,
 ) -> Result<WorkerOutcome, FarmError> {
     let (mytid, mastid) = initpass(t);
@@ -193,6 +253,9 @@ pub fn worker_session<T: Transport>(
     // ask for a wavenumber from master
     mysendreal(t, &[0.0], TAG_REQUEST, mastid)?;
 
+    let mut last_heartbeat = Instant::now();
+    let mut heartbeat_seq = 0.0f64;
+
     loop {
         // receive from master: next ik or message to stop
         let t_wait = Instant::now();
@@ -210,16 +273,50 @@ pub fn worker_session<T: Transport>(
                 detail: format!("assignment ik={ik} outside the k-grid"),
             });
         }
-        if max_modes.is_some_and(|m| stats.modes >= m) {
-            // fault injection: vanish without a goodbye
-            return Ok(WorkerOutcome {
-                stats,
-                spans: rec.into_events(),
-            });
-        }
         let k = ctx.spec.ks[ik];
+        match fault {
+            Some(WorkerFault::Vanish { after_modes }) if stats.modes >= after_modes => {
+                // fault injection: vanish without a goodbye
+                return Ok(WorkerOutcome {
+                    stats,
+                    spans: rec.into_events(),
+                });
+            }
+            Some(WorkerFault::Stall { after_modes, stall }) if stats.modes >= after_modes => {
+                // fault injection: hang silently, then vanish — the
+                // master's heartbeat timeout must catch this
+                std::thread::sleep(stall);
+                return Ok(WorkerOutcome {
+                    stats,
+                    spans: rec.into_events(),
+                });
+            }
+            Some(WorkerFault::FailMode { ik: bad }) if bad == ik => {
+                // fault injection: report the mode as failed
+                mysendreal(t, &[ik as f64, k], TAG_FAIL, mastid)?;
+                continue;
+            }
+            _ => {}
+        }
         let t_mode = Instant::now();
-        match ctx.run_mode(ik) {
+        let result = {
+            let mut steps_since = 0usize;
+            let mut observer = || {
+                steps_since += 1;
+                if steps_since >= HEARTBEAT_CHECK_STEPS {
+                    steps_since = 0;
+                    if last_heartbeat.elapsed() >= HEARTBEAT_MIN_INTERVAL {
+                        heartbeat_seq += 1.0;
+                        // best-effort: not counted in bytes_sent, and a
+                        // dead master will surface on the next real send
+                        let _ = t.send(mastid, TAG_HEARTBEAT, &[heartbeat_seq]);
+                        last_heartbeat = Instant::now();
+                    }
+                }
+            };
+            ctx.run_mode_observed(ik, Some(&mut observer))
+        };
+        match result {
             Ok(out) => {
                 rec.record(
                     "mode",
@@ -248,11 +345,10 @@ pub fn worker_session<T: Transport>(
                     &[("ik", ik.to_string()), ("failed", "true".to_string())],
                 );
                 stats.busy_seconds += t_mode.elapsed().as_secs_f64();
-                // report the failure and park until the master stops us
+                // report the failure and go back to waiting: a
+                // fail-fast master answers with the stop, a requeueing
+                // master with the next assignment
                 mysendreal(t, &[ik as f64, k], TAG_FAIL, mastid)?;
-                mycheckone(t, TAG_STOP, mastid)?;
-                myrecvreal(t, &mut buf, TAG_STOP, mastid)?;
-                break;
             }
         }
     }

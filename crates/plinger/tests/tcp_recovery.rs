@@ -1,0 +1,87 @@
+//! Process-level self-healing: `run_tcp_processes` must survive a
+//! worker subprocess that dies mid-run, either by relaunching it
+//! (respawn budget > 0) or by redistributing its work onto the
+//! survivors (respawn budget 0), finishing bit-identical to the serial
+//! reference either way.
+
+use boltzmann::Preset;
+use plinger::{
+    run_serial, run_tcp_processes, FaultPlan, MasterConfig, RecoveryPolicy, RunSpec,
+    SchedulePolicy, TcpFarmOptions,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_plinger"))
+}
+
+fn spec_of(ks: &[f64]) -> RunSpec {
+    let mut spec = RunSpec::standard_cdm(ks.to_vec());
+    spec.preset = Preset::Draft;
+    spec
+}
+
+fn assert_bitwise(outputs: &[boltzmann::ModeOutput], serial: &[boltzmann::ModeOutput]) {
+    assert_eq!(outputs.len(), serial.len());
+    for (out, s) in outputs.iter().zip(serial) {
+        assert_eq!(out.k, s.k);
+        assert_eq!(out.delta_c.to_bits(), s.delta_c.to_bits());
+        for (a, b) in out.delta_t.iter().zip(&s.delta_t) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+fn fast_master(recovery: RecoveryPolicy) -> MasterConfig {
+    MasterConfig {
+        poll: Duration::from_millis(10),
+        drain_timeout: Duration::from_secs(2),
+        heartbeat_timeout: Duration::from_secs(5),
+        recovery,
+    }
+}
+
+#[test]
+fn killed_worker_is_respawned_and_run_finishes() {
+    // worker 1 exits after one mode (scripted vanish, abnormal exit
+    // code); the watch relaunches it, re-handshakes it under the same
+    // rank, and the farm finishes with a respawn on the ledger
+    let spec = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4, 1.2e-3]);
+    let opts = TcpFarmOptions {
+        master: fast_master(RecoveryPolicy::requeue()),
+        respawn_limit: 2,
+        fault: Some(FaultPlan::DropWorker {
+            rank: 1,
+            after_modes: 1,
+        }),
+    };
+    let rep = run_tcp_processes(&spec, SchedulePolicy::Fifo, 2, &exe(), &opts).unwrap();
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert_eq!(rep.recovery.respawns, 1, "{:?}", rep.recovery);
+    assert!(rep.recovery.failed_modes.is_empty());
+}
+
+#[test]
+fn no_respawn_budget_recovers_through_survivors() {
+    // same loss, but respawns are off: the single survivor must absorb
+    // the whole queue via requeue alone
+    let spec = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4]);
+    let opts = TcpFarmOptions {
+        master: fast_master(RecoveryPolicy::Requeue {
+            max_attempts: 2,
+            respawn: false,
+        }),
+        respawn_limit: 0,
+        fault: Some(FaultPlan::DropWorker {
+            rank: 1,
+            after_modes: 0,
+        }),
+    };
+    let rep = run_tcp_processes(&spec, SchedulePolicy::Fifo, 2, &exe(), &opts).unwrap();
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert_eq!(rep.recovery.respawns, 0);
+    assert!(rep.recovery.requeues >= 1, "{:?}", rep.recovery);
+}

@@ -55,6 +55,15 @@ fn check_internal_consistency(rep: &FarmReport, transport: &str) {
     );
 }
 
+/// Zero out the tag-9 heartbeat slot: heartbeats are emitted on a wall
+/// clock (only when a mode runs ≥100 ms), so their count is a property
+/// of the machine, not the protocol.  Per-tag sent==recv still holds
+/// for them (checked above); cross-transport equality does not.
+fn mask_heartbeat(mut counts: [u64; TRACKED_TAGS]) -> [u64; TRACKED_TAGS] {
+    counts[plinger::TAG_HEARTBEAT as usize] = 0;
+    counts
+}
+
 #[test]
 fn telemetry_agrees_across_transports() {
     let spec = spec_for(vec![0.001, 0.004, 0.02, 0.008]);
@@ -74,11 +83,13 @@ fn telemetry_agrees_across_transports() {
     for (name, rep) in &reps[1..] {
         let merged = rep.telemetry.merged_comm();
         assert_eq!(
-            merged.sent_count, reference.sent_count,
+            mask_heartbeat(merged.sent_count),
+            mask_heartbeat(reference.sent_count),
             "per-tag send counts differ between channel and {name}"
         );
         assert_eq!(
-            merged.sent_bytes, reference.sent_bytes,
+            mask_heartbeat(merged.sent_bytes),
+            mask_heartbeat(reference.sent_bytes),
             "per-tag send bytes differ between channel and {name}"
         );
     }
@@ -112,8 +123,8 @@ proptest! {
         let shmem = run_farm::<ShmemWorld>(&spec, workers);
         check_internal_consistency(&shmem, "shmem");
         prop_assert_eq!(
-            channel.telemetry.merged_comm().sent_count,
-            shmem.telemetry.merged_comm().sent_count
+            mask_heartbeat(channel.telemetry.merged_comm().sent_count),
+            mask_heartbeat(shmem.telemetry.merged_comm().sent_count)
         );
     }
 }

@@ -30,11 +30,14 @@ python3 - "$smoke_dir" <<'EOF'
 import json, sys, os
 d = sys.argv[1]
 report = json.load(open(os.path.join(d, "report.json")))
-assert report["schema"] == "plinger.run_report/1", report.get("schema")
+assert report["schema"] == "plinger.run_report/2", report.get("schema")
 eff = report["run"]["efficiency"]
 assert 0.0 < eff <= 1.0, f"efficiency {eff} out of (0, 1]"
 assert len(report["modes"]) == 3, len(report["modes"])
 assert report["run"]["workers"] == 2
+rec = report["recovery"]
+assert rec["requeues"] == 0 and rec["respawns"] == 0, rec
+assert rec["failed_modes"] == [], rec
 on_disk = json.load(open(os.path.join(d, "smoke.run_report.json")))
 assert on_disk == report, "stdout JSON and run_report.json file differ"
 trace = json.load(open(os.path.join(d, "trace.json")))
@@ -42,5 +45,16 @@ assert trace and all(ev["ph"] == "X" for ev in trace), "bad trace events"
 assert all("pid" in ev and "tid" in ev and "ts" in ev and "dur" in ev for ev in trace)
 print(f"smoke: efficiency {eff:.3f}, {len(trace)} trace events")
 EOF
+
+echo "== fault matrix =="
+# the recovery tests sweep every FaultPlan variant over the channel and
+# shmem worlds (recovery_matrix), the raw fault seam (msgpass fault
+# unit tests), and the TCP subprocess deployment (tcp_recovery:
+# respawn and requeue-only); FailFast semantics are pinned by
+# farm_transports.  Run them explicitly so a fault-handling regression
+# names itself in the CI log.
+cargo test -q --test recovery_matrix
+cargo test -q -p plinger --test tcp_recovery --test protocol_compat
+cargo test -q -p msgpass fault::
 
 echo "ci: all green"

@@ -49,8 +49,8 @@ pub mod prelude {
     pub use msgpass::tcp::TcpWorld;
     pub use msgpass::{CommError, Rank, Tag, Transport, World};
     pub use plinger::{
-        run_serial, run_tcp_processes, Farm, FarmError, FarmReport, FaultPlan, RunSpec,
-        SchedulePolicy,
+        run_serial, run_tcp_processes, Farm, FarmError, FarmReport, FaultPlan, RecoveryLog,
+        RecoveryPolicy, RunSpec, SchedulePolicy, TcpFarmOptions,
     };
     pub use recomb::ThermoHistory;
     pub use skymap::{AlmRealization, PotentialField, SkyMap};

@@ -1,0 +1,255 @@
+//! The self-healing farm under every fault the plan can inject.
+//!
+//! Each test disturbs a run — a vanished worker, a hung worker, a
+//! poison mode, a corrupted or dropped message — and checks that under
+//! `RecoveryPolicy::Requeue` the farm still finishes, that the surviving
+//! outputs are bit-identical to the undisturbed serial reference, and
+//! that the recovery ledger records exactly what happened.  FailFast
+//! runs of the same faults must keep today's drain-and-stop semantics
+//! (those live in `farm_transports.rs`; one poison-mode case is here).
+
+use std::time::Duration;
+
+use msgpass::channel::ChannelWorld;
+use msgpass::shmem::ShmemWorld;
+use plinger::{
+    build_run_report, Farm, FarmError, FarmReport, FaultPlan, RecoveryPolicy, RunSpec,
+    SchedulePolicy,
+};
+use plinger_repro::prelude::*;
+
+fn spec_of(ks: &[f64]) -> RunSpec {
+    let mut spec = RunSpec::standard_cdm(ks.to_vec());
+    spec.preset = Preset::Draft;
+    spec
+}
+
+fn assert_bitwise(outputs: &[boltzmann::ModeOutput], serial: &[boltzmann::ModeOutput]) {
+    assert_eq!(outputs.len(), serial.len(), "mode count mismatch");
+    for (out, s) in outputs.iter().zip(serial) {
+        assert_eq!(out.k, s.k, "grid order mismatch");
+        assert_eq!(out.delta_c.to_bits(), s.delta_c.to_bits());
+        assert_eq!(out.psi.to_bits(), s.psi.to_bits());
+        for (a, b) in out.delta_t.iter().zip(&s.delta_t) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+fn report_number(report: &FarmReport, field: &str) -> f64 {
+    let json = build_run_report(report, "channel");
+    json.get("recovery")
+        .and_then(|r| r.get(field))
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("run report lacks recovery.{field}"))
+}
+
+#[test]
+fn requeue_finishes_after_worker_loss_bitwise() {
+    // worker 1 dies holding a mode; under Requeue the mode returns to
+    // the queue and worker 2 finishes the run, bit-identical to serial
+    let spec = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4, 1.2e-3, 6.0e-4]);
+    let rep = Farm::<ChannelWorld>::new(2)
+        .poll(Duration::from_millis(10))
+        .drain_timeout(Duration::from_millis(500))
+        .recovery(RecoveryPolicy::requeue())
+        .fault_plan(FaultPlan::DropWorker {
+            rank: 1,
+            after_modes: 1,
+        })
+        .run(&spec, SchedulePolicy::Fifo)
+        .unwrap();
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert!(rep.recovery.requeues >= 1, "requeue not recorded");
+    assert!(rep.recovery.failed_modes.is_empty(), "nothing quarantined");
+    // the recovery block reaches the run report
+    assert!(report_number(&rep, "requeues") >= 1.0);
+    assert_eq!(report_number(&rep, "respawns"), 0.0);
+}
+
+#[test]
+fn requeue_over_shmem_finishes_too() {
+    // shmem has no disconnect signal; recovery rides purely on the
+    // watch flags, same as the channel world
+    let spec = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4, 1.0e-3]);
+    let rep = Farm::<ShmemWorld>::new(2)
+        .poll(Duration::from_millis(10))
+        .drain_timeout(Duration::from_millis(500))
+        .recovery(RecoveryPolicy::requeue())
+        .fault_plan(FaultPlan::DropWorker {
+            rank: 2,
+            after_modes: 0,
+        })
+        .run(&spec, SchedulePolicy::Fifo)
+        .unwrap();
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert!(rep.recovery.requeues >= 1);
+}
+
+#[test]
+fn stalled_worker_caught_by_heartbeat_timeout() {
+    // worker 1 hangs on its first assignment; integration heartbeats
+    // stop arriving, so the master declares it dead on silence alone
+    // and worker 2 absorbs the queue
+    let spec = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4]);
+    let rep = Farm::<ChannelWorld>::new(2)
+        .poll(Duration::from_millis(10))
+        .drain_timeout(Duration::from_millis(500))
+        .heartbeat_timeout(Duration::from_millis(300))
+        .recovery(RecoveryPolicy::requeue())
+        .fault_plan(FaultPlan::StallWorker {
+            rank: 1,
+            after_modes: 0,
+            stall: Duration::from_millis(1500),
+        })
+        .run(&spec, SchedulePolicy::Fifo)
+        .unwrap();
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert!(
+        rep.recovery.heartbeat_misses >= 1,
+        "heartbeat miss not recorded: {:?}",
+        rep.recovery
+    );
+    assert!(report_number(&rep, "heartbeat_misses") >= 1.0);
+}
+
+#[test]
+fn poison_mode_quarantined_after_retry_budget() {
+    // every worker reports ik=1 as failed; with a budget of two
+    // dispatches the mode is retried once, then quarantined, and the
+    // rest of the grid still matches serial
+    let ks = [3.0e-4, 1.5e-3, 6.0e-4, 9.0e-4];
+    let spec = spec_of(&ks);
+    let rep = Farm::<ChannelWorld>::new(2)
+        .poll(Duration::from_millis(10))
+        .drain_timeout(Duration::from_millis(500))
+        .recovery(RecoveryPolicy::Requeue {
+            max_attempts: 2,
+            respawn: false,
+        })
+        .fault_plan(FaultPlan::FailMode { ik: 1 })
+        .run(&spec, SchedulePolicy::Fifo)
+        .unwrap();
+    assert_eq!(rep.recovery.failed_modes.len(), 1, "{:?}", rep.recovery);
+    let failed = &rep.recovery.failed_modes[0];
+    assert_eq!(failed.ik, 1);
+    assert_eq!(failed.k, ks[1]);
+    assert_eq!(failed.attempts, 2, "budget is two dispatches");
+    assert_eq!(rep.recovery.requeues, 1, "one retry before quarantine");
+    // outputs hold the three surviving modes in grid order
+    let (serial, _) = run_serial(&spec).unwrap();
+    let surviving: Vec<_> = serial
+        .into_iter()
+        .enumerate()
+        .filter(|(ik, _)| *ik != 1)
+        .map(|(_, o)| o)
+        .collect();
+    assert_bitwise(&rep.outputs, &surviving);
+    // and the ledger reaches the run report
+    let json = build_run_report(&rep, "channel");
+    let failed_modes = json
+        .get("recovery")
+        .and_then(|r| r.get("failed_modes"))
+        .and_then(|v| v.as_array())
+        .expect("failed_modes array");
+    assert_eq!(failed_modes.len(), 1);
+    assert_eq!(
+        failed_modes[0].get("ik").and_then(|v| v.as_f64()),
+        Some(1.0)
+    );
+}
+
+#[test]
+fn poison_mode_under_failfast_stays_fatal() {
+    // today's behaviour: the first tag-8 failure aborts the session
+    let spec = spec_of(&[3.0e-4, 1.5e-3, 6.0e-4]);
+    let err = Farm::<ChannelWorld>::new(2)
+        .poll(Duration::from_millis(10))
+        .drain_timeout(Duration::from_millis(500))
+        .fault_plan(FaultPlan::FailMode { ik: 1 })
+        .run(&spec, SchedulePolicy::Fifo)
+        .unwrap_err();
+    match err {
+        FarmError::Evolve { ik, .. } => assert_eq!(ik, 1),
+        other => panic!("expected Evolve, got {other}"),
+    }
+}
+
+#[test]
+fn corrupted_result_payload_is_retried() {
+    // the first tag-5 payload each endpoint sends arrives truncated and
+    // NaN-poisoned; the master rejects it at decode, requeues the mode,
+    // and the retry (rule already consumed) comes through clean
+    let spec = spec_of(&[3.0e-4, 1.5e-3, 6.0e-4]);
+    let rep = Farm::<ChannelWorld>::new(2)
+        .poll(Duration::from_millis(10))
+        .drain_timeout(Duration::from_millis(500))
+        .recovery(RecoveryPolicy::Requeue {
+            max_attempts: 3,
+            respawn: false,
+        })
+        .fault_plan(FaultPlan::CorruptPayload { tag: 5 })
+        .run(&spec, SchedulePolicy::Fifo)
+        .unwrap();
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert!(rep.recovery.requeues >= 1, "{:?}", rep.recovery);
+    assert!(rep.recovery.failed_modes.is_empty());
+}
+
+#[test]
+fn corrupted_result_under_failfast_is_a_wire_error() {
+    // same fault, old policy: the malformed tag-5 payload surfaces as a
+    // typed wire error naming the sender
+    let spec = spec_of(&[3.0e-4, 1.5e-3]);
+    let err = Farm::<ChannelWorld>::new(1)
+        .poll(Duration::from_millis(10))
+        .drain_timeout(Duration::from_millis(500))
+        .fault_plan(FaultPlan::CorruptPayload { tag: 5 })
+        .run(&spec, SchedulePolicy::Fifo)
+        .unwrap_err();
+    match err {
+        FarmError::Wire { rank, .. } => assert_eq!(rank, 1),
+        other => panic!("expected Wire, got {other}"),
+    }
+}
+
+#[test]
+fn dropped_assignment_recovered_by_silence() {
+    // the master's first tag-3 assignment evaporates in transit; the
+    // assigned worker never starts integrating (so never heartbeats),
+    // the silence window expires, and the mode is redistributed
+    let spec = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4]);
+    let rep = Farm::<ChannelWorld>::new(2)
+        .poll(Duration::from_millis(10))
+        .drain_timeout(Duration::from_millis(500))
+        .heartbeat_timeout(Duration::from_millis(300))
+        .recovery(RecoveryPolicy::requeue())
+        .fault_plan(FaultPlan::DropMessage { tag: 3, nth: 0 })
+        .run(&spec, SchedulePolicy::Fifo)
+        .unwrap();
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert!(rep.recovery.heartbeat_misses >= 1, "{:?}", rep.recovery);
+    assert!(rep.recovery.requeues >= 1);
+}
+
+#[test]
+fn clean_requeue_run_has_clean_ledger() {
+    // Requeue enabled but nothing goes wrong: the ledger must stay
+    // clean and the outputs identical to FailFast's
+    let spec = spec_of(&[3.0e-4, 1.5e-3, 6.0e-4]);
+    let rep = Farm::<ChannelWorld>::new(2)
+        .recovery(RecoveryPolicy::requeue())
+        .run(&spec, SchedulePolicy::LargestFirst)
+        .unwrap();
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert!(rep.recovery.is_clean(), "{:?}", rep.recovery);
+    assert_eq!(rep.recovery.requeues, 0);
+    assert_eq!(rep.recovery.respawns, 0);
+    assert!(rep.recovery.failed_modes.is_empty());
+}
