@@ -141,6 +141,13 @@ impl Background {
     /// Per-species densities in Einstein units at scale factor `a`
     /// (normalized to `a = 1` today).
     pub fn densities(&self, a: f64) -> EinsteinDensities {
+        self.densities_impl(a, None)
+    }
+
+    /// One body for the direct and hinted density paths, so the cached
+    /// fast path reuses literally the same expressions (and bits) as the
+    /// public queries — only the spline interval search differs.
+    fn densities_impl(&self, a: f64, hint: Option<&mut usize>) -> EinsteinDensities {
         let p = &self.params;
         let h0sq = p.h0() * p.h0();
         let mut d = EinsteinDensities {
@@ -153,7 +160,7 @@ impl Background {
         };
         if p.has_massive_nu() {
             let r = self.nu_mass_ratio(a);
-            let (irho, ip) = self.nu_kernels(r);
+            let (irho, ip) = self.nu_kernels_impl(r, hint);
             let base = h0sq * p.omega_nu_one_relativistic() * p.n_nu_massive as f64 / (a * a);
             d.nu_massive = base * irho / self.nu_kernel_rel;
             d.nu_massive_p = base * ip / self.nu_kernel_rel;
@@ -169,22 +176,47 @@ impl Background {
         a * self.params.m_nu_ev / t_nu0_ev
     }
 
-    fn nu_kernels(&self, r: f64) -> (f64, f64) {
+    fn nu_kernels_impl(&self, r: f64, hint: Option<&mut usize>) -> (f64, f64) {
         match (&self.nu_rho_spline, &self.nu_p_spline) {
             (Some(srho), Some(sp)) => {
                 let lr = r.clamp(1e-6, 1e8).ln();
-                (srho.eval(lr).exp(), sp.eval(lr).exp())
+                match hint {
+                    // ρ and p kernels share one abscissa, so one hint
+                    // serves both (the second lookup starts on the
+                    // interval the first just found)
+                    Some(h) => (srho.eval_hunt(lr, h).exp(), sp.eval_hunt(lr, h).exp()),
+                    None => (srho.eval(lr).exp(), sp.eval(lr).exp()),
+                }
             }
             _ => (self.nu_kernel_rel, self.nu_kernel_rel / 3.0),
         }
     }
 
-    /// Conformal Hubble rate `ℋ = ȧ/a` (dot = d/dτ) in Mpc⁻¹.
-    pub fn conformal_hubble(&self, a: f64) -> f64 {
-        let d = self.densities(a);
+    /// `ℋ` from densities already in hand — shared by
+    /// [`Self::conformal_hubble`] and [`BgCache::at_tau`] so both paths
+    /// run the identical expression.
+    #[inline]
+    fn hubble_from(&self, d: &EinsteinDensities) -> f64 {
         let h0sq = self.params.h0() * self.params.h0();
         let curv = h0sq * self.params.omega_k();
         (d.total() + curv).max(0.0).sqrt()
+    }
+
+    /// `dℋ/dτ` from densities already in hand.
+    #[inline]
+    fn dhubble_from(&self, d: &EinsteinDensities) -> f64 {
+        // matter: w = 0 → −½ g; radiation: w = 1/3 → −g; Λ: w = −1 → +g
+        let mut sum = -0.5 * (d.cdm + d.baryon) - (d.photon + d.nu_massless) + d.lambda;
+        if self.params.has_massive_nu() {
+            sum += -0.5 * (d.nu_massive + 3.0 * d.nu_massive_p);
+        }
+        sum
+    }
+
+    /// Conformal Hubble rate `ℋ = ȧ/a` (dot = d/dτ) in Mpc⁻¹.
+    pub fn conformal_hubble(&self, a: f64) -> f64 {
+        let d = self.densities(a);
+        self.hubble_from(&d)
     }
 
     /// `dℋ/dτ` in Mpc⁻².
@@ -195,12 +227,7 @@ impl Background {
     /// curvature term dropping out.
     pub fn dconformal_hubble_dtau(&self, a: f64) -> f64 {
         let d = self.densities(a);
-        // matter: w = 0 → −½ g; radiation: w = 1/3 → −g; Λ: w = −1 → +g
-        let mut sum = -0.5 * (d.cdm + d.baryon) - (d.photon + d.nu_massless) + d.lambda;
-        if self.params.has_massive_nu() {
-            sum += -0.5 * (d.nu_massive + 3.0 * d.nu_massive_p);
-        }
-        sum
+        self.dhubble_from(&d)
     }
 
     /// Conformal time at scale factor `a` (Mpc).
@@ -227,6 +254,16 @@ impl Background {
         nu / (nu + p.omega_gamma())
     }
 
+    /// A stateful fast-path reader over this background's tables — see
+    /// [`BgCache`].
+    pub fn cache(&self) -> BgCache<'_> {
+        BgCache {
+            bg: self,
+            h_time: 0,
+            h_nu: 0,
+        }
+    }
+
     /// Density parameter of each species today (massive ν evaluated from
     /// the kernel at `a = 1`).
     pub fn omega_today(&self, s: Species) -> f64 {
@@ -239,6 +276,60 @@ impl Background {
             Species::NuMassless => d.nu_massless / h0sq,
             Species::NuMassive => d.nu_massive / h0sq,
             Species::Lambda => d.lambda / h0sq,
+        }
+    }
+}
+
+/// Everything the Einstein–Boltzmann right-hand side needs from the
+/// background at one conformal time, computed in a single pass.
+#[derive(Debug, Clone, Copy)]
+pub struct BgPoint {
+    /// Scale factor `a(τ)`.
+    pub a: f64,
+    /// Conformal Hubble rate `ℋ`, Mpc⁻¹.
+    pub hub: f64,
+    /// `dℋ/dτ`, Mpc⁻².
+    pub dhub: f64,
+    /// Per-species Einstein-unit densities.
+    pub d: EinsteinDensities,
+}
+
+/// Stateful fast path over [`Background`] for the inner ODE loop.
+///
+/// Holds hunt hints (last-found spline intervals) for the `a(τ)` map
+/// and the massive-neutrino kernels, so the near-monotone query
+/// sequence of an integration finds its interval in O(1) instead of a
+/// fresh bisection per lookup, and evaluates `a`, `ℋ`, `ℋ'`, and the
+/// densities from one table walk instead of three.  Results are
+/// bitwise identical to the corresponding [`Background`] queries: the
+/// interval index is unique, the interpolation arithmetic is shared,
+/// and `ℋ`/`ℋ'` are computed by the same `*_from` expressions the
+/// direct path uses.  Cheap to construct — one per `LingerRhs` (or per
+/// worker) costs two `usize` hints.
+pub struct BgCache<'a> {
+    bg: &'a Background,
+    h_time: usize,
+    h_nu: usize,
+}
+
+impl<'a> BgCache<'a> {
+    /// The background this cache reads.
+    pub fn background(&self) -> &'a Background {
+        self.bg
+    }
+
+    /// Scale factor, expansion rates, and densities at conformal time
+    /// `tau` — the per-eval background block of the RHS, in one call.
+    #[inline]
+    pub fn at_tau(&mut self, tau: f64) -> BgPoint {
+        let bg = self.bg;
+        let a = bg.lna_of_tau.eval_hunt(tau, &mut self.h_time).exp();
+        let d = bg.densities_impl(a, Some(&mut self.h_nu));
+        BgPoint {
+            a,
+            hub: bg.hubble_from(&d),
+            dhub: bg.dhubble_from(&d),
+            d,
         }
     }
 }

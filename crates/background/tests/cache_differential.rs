@@ -1,0 +1,126 @@
+//! Differential tests: the hunted [`BgCache`] fast path must reproduce
+//! the direct [`Background`] queries *bitwise* — same spline interval,
+//! same arithmetic — for every scale factor, every cosmology, and every
+//! access pattern (monotone, reversed, random jumps), including exactly
+//! at table knots.  These tests lock the cache layer down so the RHS
+//! hot path cannot drift from the reference implementation.
+
+use background::{Background, CosmoParams};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Prebuilt cosmologies (construction tabulates 1600-point time maps,
+/// so build each once).  Index 2 carries a massive neutrino to exercise
+/// the Fermi–Dirac kernel splines.
+fn cosmos() -> &'static [Background; 3] {
+    static BGS: OnceLock<[Background; 3]> = OnceLock::new();
+    BGS.get_or_init(|| {
+        let mut massive = CosmoParams::standard_cdm();
+        massive.n_nu_massless = 2.0;
+        massive.n_nu_massive = 1;
+        massive.m_nu_ev = 0.5;
+        [
+            Background::new(CosmoParams::standard_cdm()),
+            Background::new(CosmoParams::lcdm()),
+            Background::new(massive),
+        ]
+    })
+}
+
+/// One differential comparison at conformal time `tau`.
+fn assert_point_matches(bg: &Background, cache: &mut background::BgCache<'_>, tau: f64) {
+    let pt = cache.at_tau(tau);
+    let a = bg.a_of_tau(tau);
+    assert_eq!(pt.a.to_bits(), a.to_bits(), "a(τ) differs at τ={tau}");
+    assert_eq!(
+        pt.hub.to_bits(),
+        bg.conformal_hubble(a).to_bits(),
+        "ℋ differs at τ={tau}"
+    );
+    assert_eq!(
+        pt.dhub.to_bits(),
+        bg.dconformal_hubble_dtau(a).to_bits(),
+        "ℋ' differs at τ={tau}"
+    );
+    let d = bg.densities(a);
+    for (name, got, want) in [
+        ("cdm", pt.d.cdm, d.cdm),
+        ("baryon", pt.d.baryon, d.baryon),
+        ("photon", pt.d.photon, d.photon),
+        ("nu_massless", pt.d.nu_massless, d.nu_massless),
+        ("nu_massive", pt.d.nu_massive, d.nu_massive),
+        ("nu_massive_p", pt.d.nu_massive_p, d.nu_massive_p),
+        ("lambda", pt.d.lambda, d.lambda),
+    ] {
+        assert_eq!(got.to_bits(), want.to_bits(), "{name} differs at τ={tau}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cache_matches_direct_queries_bitwise(
+        idx in 0usize..3,
+        a1 in 1e-8f64..1.0,
+        a2 in 1e-8f64..1.0,
+        a3 in 1e-8f64..1.0,
+    ) {
+        let bg = &cosmos()[idx];
+        let mut cache = bg.cache();
+        // three arbitrary scale factors per case: the second and third
+        // queries run off whatever hint the previous one left, so both
+        // the hunt-up and hunt-down paths get exercised
+        for a in [a1, a2, a3] {
+            let tau = bg.conformal_time(a);
+            assert_point_matches(bg, &mut cache, tau);
+        }
+    }
+
+    #[test]
+    fn cache_survives_monotone_and_reversed_sweeps(idx in 0usize..3) {
+        let bg = &cosmos()[idx];
+        let mut cache = bg.cache();
+        let tau0 = bg.conformal_time(1e-8);
+        let tau1 = bg.conformal_time(1.0);
+        let n = 160;
+        // forward sweep (the integrator's natural pattern) ...
+        for i in 0..n {
+            let tau = tau0 + (tau1 - tau0) * i as f64 / (n - 1) as f64;
+            assert_point_matches(bg, &mut cache, tau);
+        }
+        // ... then straight back down without resetting the hint
+        for i in (0..n).rev() {
+            let tau = tau0 + (tau1 - tau0) * i as f64 / (n - 1) as f64;
+            assert_point_matches(bg, &mut cache, tau);
+        }
+    }
+}
+
+#[test]
+fn cache_is_exact_at_time_map_knots() {
+    // The time map tabulates ln a on a uniform 1600-point grid from
+    // a = 1e-12 to 1; τ at those scale factors lands exactly on the
+    // knots of the inverse spline.  The cache must agree bitwise there
+    // too (a knot query is the boundary case of the interval search).
+    for bg in cosmos() {
+        let mut cache = bg.cache();
+        let lna_start = (1e-12f64).ln();
+        for i in (0..1600).step_by(37) {
+            let lna = lna_start * (1.0 - i as f64 / 1599.0);
+            let tau = bg.conformal_time(lna.exp());
+            assert_point_matches(bg, &mut cache, tau);
+        }
+    }
+}
+
+#[test]
+fn cache_handles_off_table_times() {
+    // queries beyond both table ends extrapolate identically
+    let bg = &cosmos()[0];
+    let mut cache = bg.cache();
+    let tau_lo = bg.conformal_time(1e-12);
+    for tau in [tau_lo * 0.5, tau_lo, bg.tau0(), bg.tau0() * 1.1] {
+        assert_point_matches(bg, &mut cache, tau);
+    }
+}

@@ -162,7 +162,25 @@ pub fn evolve_mode_observed(
     thermo: &ThermoHistory,
     k: f64,
     config: &ModeConfig,
+    observer: Option<&mut dyn FnMut()>,
+) -> Result<ModeOutput, EvolveError> {
+    evolve_mode_scratch(bg, thermo, k, config, observer, &mut Integrator::new())
+}
+
+/// Like [`evolve_mode_observed`], reusing a caller-held [`Integrator`]
+/// as scratch space.  A worker looping over many modes passes the same
+/// integrator each time so the step-stage buffers keep their capacity
+/// instead of being reallocated per mode.  The integrator resets its
+/// adaptive state at the start of every integration, so the output is
+/// bit-identical to a fresh [`Integrator::new`] — `farm_transports.rs`
+/// locks that equivalence down against the serial reference.
+pub fn evolve_mode_scratch(
+    bg: &Background,
+    thermo: &ThermoHistory,
+    k: f64,
+    config: &ModeConfig,
     mut observer: Option<&mut dyn FnMut()>,
+    integ: &mut Integrator,
 ) -> Result<ModeOutput, EvolveError> {
     let wall_start = std::time::Instant::now();
     if !(k > 0.0 && k.is_finite()) {
@@ -216,7 +234,6 @@ pub fn evolve_mode_observed(
         ..Default::default()
     };
 
-    let mut integ = Integrator::new();
     let mut stats = StepStats::default();
     let mut trajectory = Vec::new();
     let mut tau = tau_start;

@@ -43,7 +43,9 @@ pub mod layout;
 pub mod output;
 pub mod rhs;
 
-pub use evolve::{evolve_mode, evolve_mode_observed, EvolveError, ModeConfig, Preset};
+pub use evolve::{
+    evolve_mode, evolve_mode_observed, evolve_mode_scratch, EvolveError, ModeConfig, Preset,
+};
 pub use initial::InitialConditions;
 pub use layout::{Gauge, StateLayout};
 pub use output::{ModeOutput, WireError};

@@ -8,9 +8,9 @@
 //! Thomson time `τ_c = 1/κ̇`) replaces the stiff Euler equations at early
 //! times; the switch is managed by the mode evolver.
 
-use background::Background;
+use background::{Background, BgCache};
 use ode::Rhs;
-use recomb::ThermoHistory;
+use recomb::{ThermoCache, ThermoHistory};
 use special::fermi::NeutrinoMomentumGrid;
 
 use crate::layout::{Gauge, StateLayout};
@@ -51,6 +51,19 @@ pub struct LingerRhs<'a> {
     y_he: f64,
     h0sq_omega_nu1: f64,
     n_nu_massive: f64,
+    /// Hunted background reader (stateful spline hints).
+    bgc: BgCache<'a>,
+    /// Hunted thermodynamics reader.
+    thc: ThermoCache<'a>,
+    /// `k / (2l + 1)` by multipole — hoisted out of the hierarchy loops
+    /// (same operands and operation order as the in-loop expression it
+    /// replaces, so the products are bit-identical).
+    ktab: Vec<f64>,
+    /// `l` as f64 by multipole (`lf_tab[l + 1]` doubles as `l + 1`).
+    lf_tab: Vec<f64>,
+    /// `2l + 1` as f64 — the massive-ν divisor, which must stay a
+    /// division (`qke` varies per momentum bin).
+    tlp1: Vec<f64>,
 }
 
 impl<'a> LingerRhs<'a> {
@@ -59,6 +72,16 @@ impl<'a> LingerRhs<'a> {
         assert!(k > 0.0, "wavenumber must be positive");
         let p = bg.params();
         let nu_grid = NeutrinoMomentumGrid::new(layout.nq.max(1));
+        let lmax_tab = layout.lmax_g.max(layout.lmax_nu).max(layout.lmax_h);
+        let mut ktab = Vec::with_capacity(lmax_tab + 2);
+        let mut lf_tab = Vec::with_capacity(lmax_tab + 2);
+        let mut tlp1 = Vec::with_capacity(lmax_tab + 2);
+        for l in 0..=lmax_tab + 1 {
+            let lf = l as f64;
+            ktab.push(k / (2.0 * lf + 1.0));
+            lf_tab.push(lf);
+            tlp1.push(2.0 * lf + 1.0);
+        }
         Self {
             bg,
             thermo,
@@ -71,6 +94,11 @@ impl<'a> LingerRhs<'a> {
             y_he: p.y_helium,
             h0sq_omega_nu1: p.h0() * p.h0() * p.omega_nu_one_relativistic(),
             n_nu_massive: p.n_nu_massive as f64,
+            bgc: bg.cache(),
+            thc: thermo.cache(),
+            ktab,
+            lf_tab,
+            tlp1,
         }
     }
 
@@ -234,13 +262,15 @@ impl Rhs for LingerRhs<'_> {
 
     fn flops_per_eval(&self) -> u64 {
         // Analytic census of the arithmetic below (multiplies + adds +
-        // divides + sqrt counted as one flop each, spline lookups ≈ 12):
+        // divides + sqrt counted as one flop each, hunted spline
+        // lookups ≈ 10 — the interval search is amortized to O(1) by
+        // the cache hints, and ℋ/ℋ' share one densities pass):
         let lay = &self.layout;
-        let fixed = 420u64; // background, thermo, metric sources
-        let photon_t = 10 * (lay.lmax_g as u64) + 60;
-        let photon_p = 11 * (lay.lmax_g as u64) + 40;
-        let nu = 9 * (lay.lmax_nu as u64) + 40;
-        let massive = (lay.nq as u64) * (9 * lay.lmax_h as u64 + 30);
+        let fixed = 330u64; // background, thermo, metric sources
+        let photon_t = 6 * (lay.lmax_g as u64) + 60;
+        let photon_p = 6 * (lay.lmax_g as u64) + 40;
+        let nu = 4 * (lay.lmax_nu as u64) + 40;
+        let massive = (lay.nq as u64) * (6 * lay.lmax_h as u64 + 30);
         fixed + photon_t + photon_p + nu + massive
     }
 
@@ -250,11 +280,15 @@ impl Rhs for LingerRhs<'_> {
         let k2 = k * k;
 
         // --- background & thermodynamics at this instant ---------------
-        let a = self.bg.a_of_tau(tau);
-        let hub = self.bg.conformal_hubble(a);
-        let d = self.bg.densities(a);
-        let opac = self.thermo.opacity(a); // κ̇ = a n_e σ_T, Mpc⁻¹
-        let cs2 = self.thermo.cs2_baryon(a, self.t_cmb, self.y_he);
+        // Hunted caches: one table walk each, bit-identical to the
+        // direct Background/ThermoHistory queries they replace.
+        let pt = self.bgc.at_tau(tau);
+        let a = pt.a;
+        let hub = pt.hub;
+        let d = pt.d;
+        let tp = self.thc.at(a, self.t_cmb, self.y_he);
+        let opac = tp.opacity; // κ̇ = a n_e σ_T, Mpc⁻¹
+        let cs2 = tp.cs2;
 
         // --- extract fluid variables ------------------------------------
         let delta_c = y[StateLayout::DELTA_C];
@@ -363,8 +397,8 @@ impl Rhs for LingerRhs<'_> {
                     + src_theta;
             delta_b_dot = -theta_b + src_d_matter;
             let delta_g_dot_zero = -4.0 / 3.0 * theta_g + src_d_rad;
-            let hubdot = self.bg.dconformal_hubble_dtau(a);
-            let dln_opac = self.thermo.opacity_dlna(a); // d ln κ̇ / d ln a
+            let hubdot = pt.dhub;
+            let dln_opac = tp.opacity_dlna; // d ln κ̇ / d ln a
             let tauc_rate = -hub * dln_opac; // τ̇_c/τ_c
             let xdot = k2 * 0.25 * delta_g_dot_zero + hubdot * theta_b + hub * theta_dot_zero
                 - cs2 * k2 * delta_b_dot;
@@ -391,13 +425,10 @@ impl Rhs for LingerRhs<'_> {
         dydt[lay.fg(0)] = -4.0 / 3.0 * theta_g + src_d_rad;
         dydt[lay.fg(1)] = 4.0 / (3.0 * k) * theta_g_dot;
         if self.tca {
-            for l in 2..=lay.lmax_g {
-                dydt[lay.fg(l)] = 0.0;
-            }
-            for l in 0..=lay.lmax_g {
-                dydt[lay.gg(l)] = 0.0;
-            }
+            dydt[lay.fg(2)..=lay.fg(lay.lmax_g)].fill(0.0);
+            dydt[lay.gg(0)..=lay.gg(lay.lmax_g)].fill(0.0);
         } else {
+            let lm = lay.lmax_g;
             // l = 2 with Thomson sources (MB95 eq 63/64)
             let pi_pol = y[lay.fg(2)] + y[lay.gg(0)] + y[lay.gg(2)];
             {
@@ -412,31 +443,45 @@ impl Rhs for LingerRhs<'_> {
                     Gauge::ConformalNewtonian => {}
                 }
             }
-            for l in 3..lay.lmax_g {
-                let lf = l as f64;
-                dydt[lay.fg(l)] = k / (2.0 * lf + 1.0)
-                    * (lf * y[lay.fg(l - 1)] - (lf + 1.0) * y[lay.fg(l + 1)])
-                    - opac * y[lay.fg(l)];
+            // interior 3 ≤ l < lmax as one flat vectorizable run
+            {
+                let b = lay.fg(0);
+                ladder_damped(
+                    &mut dydt[b + 3..b + lm],
+                    &y[b + 2..b + lm - 1],
+                    &y[b + 3..b + lm],
+                    &y[b + 4..b + lm + 1],
+                    &self.ktab[3..lm],
+                    &self.lf_tab[3..lm],
+                    &self.lf_tab[4..lm + 1],
+                    opac,
+                );
             }
             // truncation (MB95 eq 51)
-            let lm = lay.lmax_g;
             dydt[lay.fg(lm)] = k * y[lay.fg(lm - 1)]
                 - (lm as f64 + 1.0) / tau * y[lay.fg(lm)]
                 - opac * y[lay.fg(lm)];
 
             // --- polarization hierarchy -----------------------------------
             dydt[lay.gg(0)] = -k * y[lay.gg(1)] + opac * (-y[lay.gg(0)] + 0.5 * pi_pol);
-            for l in 1..lay.lmax_g {
-                let lf = l as f64;
-                let mut g = k / (2.0 * lf + 1.0)
-                    * (lf * y[lay.gg(l - 1)] - (lf + 1.0) * y[lay.gg(l + 1)])
-                    - opac * y[lay.gg(l)];
-                if l == 2 {
-                    g += 0.1 * opac * pi_pol;
-                }
-                dydt[lay.gg(l)] = g;
+            {
+                let b = lay.gg(0);
+                ladder_damped(
+                    &mut dydt[b + 1..b + lm],
+                    &y[b..b + lm - 1],
+                    &y[b + 1..b + lm],
+                    &y[b + 2..b + lm + 1],
+                    &self.ktab[1..lm],
+                    &self.lf_tab[1..lm],
+                    &self.lf_tab[2..lm + 1],
+                    opac,
+                );
             }
-            let lm = lay.lmax_g;
+            if lm > 2 {
+                // Thomson quadrupole source, added onto the ladder row
+                // exactly as the scalar loop accumulated it
+                dydt[lay.gg(2)] += 0.1 * opac * pi_pol;
+            }
             dydt[lay.gg(lm)] = k * y[lay.gg(lm - 1)]
                 - (lm as f64 + 1.0) / tau * y[lay.gg(lm)]
                 - opac * y[lay.gg(lm)];
@@ -454,12 +499,18 @@ impl Rhs for LingerRhs<'_> {
                 dydt[lay.fnu(2)] += 4.0 / 15.0 * hdot + 8.0 / 5.0 * etadot;
             }
         }
-        for l in 3..lay.lmax_nu {
-            let lf = l as f64;
-            dydt[lay.fnu(l)] =
-                k / (2.0 * lf + 1.0) * (lf * y[lay.fnu(l - 1)] - (lf + 1.0) * y[lay.fnu(l + 1)]);
-        }
         let lmn = lay.lmax_nu;
+        {
+            let b = lay.fnu(0);
+            ladder_free(
+                &mut dydt[b + 3..b + lmn],
+                &y[b + 2..b + lmn - 1],
+                &y[b + 4..b + lmn + 1],
+                &self.ktab[3..lmn],
+                &self.lf_tab[3..lmn],
+                &self.lf_tab[4..lmn + 1],
+            );
+        }
         dydt[lay.fnu(lmn)] = k * y[lay.fnu(lmn - 1)] - (lmn as f64 + 1.0) / tau * y[lay.fnu(lmn)];
 
         // --- massive neutrinos (MB95 eqs 56–58) ----------------------------
@@ -486,15 +537,84 @@ impl Rhs for LingerRhs<'_> {
                     Gauge::Synchronous => (hdot / 15.0 + 2.0 / 5.0 * etadot) * dlnf,
                     Gauge::ConformalNewtonian => 0.0,
                 };
-            for l in 3..lay.lmax_h {
-                let lf = l as f64;
-                dydt[lay.psi(iq, l)] = qke / (2.0 * lf + 1.0)
-                    * (lf * y[lay.psi(iq, l - 1)] - (lf + 1.0) * y[lay.psi(iq, l + 1)]);
-            }
             let lm = lay.lmax_h;
+            {
+                let b = lay.psi(iq, 0);
+                ladder_massive(
+                    &mut dydt[b + 3..b + lm],
+                    &y[b + 2..b + lm - 1],
+                    &y[b + 4..b + lm + 1],
+                    &self.tlp1[3..lm],
+                    &self.lf_tab[3..lm],
+                    &self.lf_tab[4..lm + 1],
+                    qke,
+                );
+            }
             dydt[lay.psi(iq, lm)] =
                 qke * y[lay.psi(iq, lm - 1)] - (lm as f64 + 1.0) / tau * y[lay.psi(iq, lm)];
         }
+    }
+}
+
+/// Interior run of a Thomson-damped Boltzmann ladder:
+/// `out[i] = ktab[i]·(lf[i]·ym[i] − lf1[i]·yp[i]) − opac·yc[i]`.
+///
+/// The explicit equal-length reslices let the compiler drop bounds
+/// checks and autovectorize; the arithmetic matches the scalar loop it
+/// replaced operation for operation, so results are bit-identical.
+#[inline]
+#[allow(clippy::too_many_arguments)] // kernel seam: each slice is one hoisted table
+fn ladder_damped(
+    out: &mut [f64],
+    ym: &[f64],
+    yc: &[f64],
+    yp: &[f64],
+    ktab: &[f64],
+    lf: &[f64],
+    lf1: &[f64],
+    opac: f64,
+) {
+    let n = out.len();
+    let (ym, yc, yp) = (&ym[..n], &yc[..n], &yp[..n]);
+    let (ktab, lf, lf1) = (&ktab[..n], &lf[..n], &lf1[..n]);
+    for i in 0..n {
+        out[i] = ktab[i] * (lf[i] * ym[i] - lf1[i] * yp[i]) - opac * yc[i];
+    }
+}
+
+/// Interior run of an undamped (collisionless) ladder.  Kept separate
+/// from [`ladder_damped`] rather than passing `opac = 0`: a
+/// `− 0·y` term could flip the sign of a zero derivative, and the
+/// golden tests compare bits.
+#[inline]
+fn ladder_free(out: &mut [f64], ym: &[f64], yp: &[f64], ktab: &[f64], lf: &[f64], lf1: &[f64]) {
+    let n = out.len();
+    let (ym, yp) = (&ym[..n], &yp[..n]);
+    let (ktab, lf, lf1) = (&ktab[..n], &lf[..n], &lf1[..n]);
+    for i in 0..n {
+        out[i] = ktab[i] * (lf[i] * ym[i] - lf1[i] * yp[i]);
+    }
+}
+
+/// Interior run of one massive-neutrino momentum bin:
+/// `out[i] = qke/(2l+1)·(lf·ym − lf1·yp)`.  The division by `2l+1`
+/// stays a division (not a reciprocal multiply) because `qke` varies
+/// per bin and the scalar loop divided — same bits required.
+#[inline]
+fn ladder_massive(
+    out: &mut [f64],
+    ym: &[f64],
+    yp: &[f64],
+    tlp1: &[f64],
+    lf: &[f64],
+    lf1: &[f64],
+    qke: f64,
+) {
+    let n = out.len();
+    let (ym, yp) = (&ym[..n], &yp[..n]);
+    let (tlp1, lf, lf1) = (&tlp1[..n], &lf[..n], &lf1[..n]);
+    for i in 0..n {
+        out[i] = qke / tlp1[i] * (lf[i] * ym[i] - lf1[i] * yp[i]);
     }
 }
 

@@ -35,6 +35,60 @@ pub fn locate(xs: &[f64], x: f64) -> usize {
     lo
 }
 
+/// [`locate`] with a starting guess: hunt outward from `hint` with
+/// geometrically growing steps to bracket `x`, then bisect inside the
+/// bracket.  O(1) for the near-monotone query sequences an ODE driver
+/// produces, and returns exactly the index [`locate`] would — the
+/// bracketed interval is unique, so downstream interpolation arithmetic
+/// is unchanged to the last bit.
+#[inline]
+pub fn locate_hunt(xs: &[f64], x: f64, hint: usize) -> usize {
+    debug_assert!(xs.len() >= 2);
+    let n = xs.len();
+    if x <= xs[0] {
+        return 0;
+    }
+    if x >= xs[n - 1] {
+        return n - 2;
+    }
+    let mut lo = hint.min(n - 2);
+    let mut hi;
+    if xs[lo] <= x {
+        // hunt upward
+        if x < xs[lo + 1] {
+            return lo;
+        }
+        let mut step = 1usize;
+        hi = lo + 1;
+        while xs[hi] <= x {
+            lo = hi;
+            hi = (lo + step).min(n - 1);
+            step *= 2;
+        }
+    } else {
+        // hunt downward (x > xs[0] guarantees termination)
+        let mut step = 1usize;
+        hi = lo;
+        loop {
+            lo = hi.saturating_sub(step);
+            if xs[lo] <= x {
+                break;
+            }
+            hi = lo;
+            step *= 2;
+        }
+    }
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if xs[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
 /// Piecewise-linear interpolation over a strictly increasing abscissa.
 #[derive(Debug, Clone)]
 pub struct LinearInterp {
@@ -134,10 +188,11 @@ impl CubicSpline {
         Self { xs, ys, y2 }
     }
 
-    /// Spline value at `x`.
+    /// The cubic on segment `i` evaluated at `x` — single source of the
+    /// interpolation arithmetic, so the hinted and bisecting entry
+    /// points are bitwise interchangeable.
     #[inline]
-    pub fn eval(&self, x: f64) -> f64 {
-        let i = locate(&self.xs, x);
+    fn segment_value(&self, i: usize, x: f64) -> f64 {
         let h = self.xs[i + 1] - self.xs[i];
         let a = (self.xs[i + 1] - x) / h;
         let b = (x - self.xs[i]) / h;
@@ -146,15 +201,45 @@ impl CubicSpline {
             + ((a * a * a - a) * self.y2[i] + (b * b * b - b) * self.y2[i + 1]) * (h * h) / 6.0
     }
 
-    /// First derivative of the spline at `x`.
+    /// First derivative of the segment-`i` cubic at `x`.
     #[inline]
-    pub fn deriv(&self, x: f64) -> f64 {
-        let i = locate(&self.xs, x);
+    fn segment_deriv(&self, i: usize, x: f64) -> f64 {
         let h = self.xs[i + 1] - self.xs[i];
         let a = (self.xs[i + 1] - x) / h;
         let b = (x - self.xs[i]) / h;
         (self.ys[i + 1] - self.ys[i]) / h
             + ((3.0 * b * b - 1.0) * self.y2[i + 1] - (3.0 * a * a - 1.0) * self.y2[i]) * h / 6.0
+    }
+
+    /// Spline value at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.segment_value(locate(&self.xs, x), x)
+    }
+
+    /// First derivative of the spline at `x`.
+    #[inline]
+    pub fn deriv(&self, x: f64) -> f64 {
+        self.segment_deriv(locate(&self.xs, x), x)
+    }
+
+    /// [`Self::eval`] with a caller-held interval hint (updated in
+    /// place).  Bitwise identical to `eval` for every `x`; only the
+    /// interval search differs.
+    #[inline]
+    pub fn eval_hunt(&self, x: f64, hint: &mut usize) -> f64 {
+        let i = locate_hunt(&self.xs, x, *hint);
+        *hint = i;
+        self.segment_value(i, x)
+    }
+
+    /// [`Self::deriv`] with a caller-held interval hint (updated in
+    /// place).  Bitwise identical to `deriv` for every `x`.
+    #[inline]
+    pub fn deriv_hunt(&self, x: f64, hint: &mut usize) -> f64 {
+        let i = locate_hunt(&self.xs, x, *hint);
+        *hint = i;
+        self.segment_deriv(i, x)
     }
 
     /// Definite integral of the spline from `xs[0]` to `x` (exact for the
@@ -234,6 +319,47 @@ mod tests {
         assert_eq!(locate(&xs, 1.0), 1);
         assert_eq!(locate(&xs, 4.9), 2);
         assert_eq!(locate(&xs, 7.0), 2);
+    }
+
+    #[test]
+    fn locate_hunt_agrees_with_locate_everywhere() {
+        // irregular grid + every hint + a dense sweep of x, including
+        // knots, off-table points, and both table ends
+        let xs = [0.0, 0.7, 1.0, 2.0, 2.1, 5.0, 9.0];
+        let mut queries: Vec<f64> = xs.to_vec();
+        for i in 0..200 {
+            queries.push(-1.0 + 11.0 * i as f64 / 199.0);
+        }
+        for hint in 0..xs.len() + 2 {
+            for &x in &queries {
+                assert_eq!(
+                    locate_hunt(&xs, x, hint),
+                    locate(&xs, x),
+                    "x={x} hint={hint}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hunted_spline_is_bitwise_identical() {
+        let xs = grid(64, -3.0, 4.0);
+        let ys: Vec<f64> = xs.iter().map(|&x| (0.7 * x).sin() + 0.1 * x * x).collect();
+        let sp = CubicSpline::natural(xs, ys);
+        let mut hint = 0usize;
+        // monotone up, then jump back down, then random-ish: every access
+        // pattern must reproduce the bisecting path exactly
+        let mut queries = Vec::new();
+        for i in 0..300 {
+            queries.push(-3.5 + 8.0 * i as f64 / 299.0);
+        }
+        for i in 0..300 {
+            queries.push(4.5 - 8.0 * i as f64 / 299.0);
+        }
+        for &x in &queries {
+            assert_eq!(sp.eval_hunt(x, &mut hint).to_bits(), sp.eval(x).to_bits());
+            assert_eq!(sp.deriv_hunt(x, &mut hint).to_bits(), sp.deriv(x).to_bits());
+        }
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub struct CliOptions {
     pub recovery: RecoveryPolicy,
     /// Subprocess respawn budget (`--respawn-limit N`, TCP only).
     pub respawn_limit: usize,
+    /// Modes per assignment message (`--chunk N`).
+    pub chunk: usize,
 }
 
 impl CliOptions {
@@ -71,6 +73,7 @@ impl CliOptions {
             drain_timeout: self.drain_timeout.unwrap_or(d.drain_timeout),
             heartbeat_timeout: self.heartbeat_timeout.unwrap_or(d.heartbeat_timeout),
             recovery: self.recovery,
+            chunk: self.chunk,
         }
     }
 }
@@ -128,6 +131,7 @@ options:
   --drain-timeout MS        worker drain window on error  [5000]
   --heartbeat-timeout MS    silence before a worker is dead [30000]
   --respawn-limit N         TCP subprocess respawn budget [2]
+  --chunk N                 modes per assignment message  [1]
 ";
 
 /// Parse `args` (without `argv[0]`).  On error, returns the message to
@@ -168,6 +172,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut requeue = true;
     let mut max_attempts = 2usize;
     let mut respawn_limit = 2usize;
+    let mut chunk = 1usize;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -256,6 +261,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
                 heartbeat_timeout = Some(Duration::from_millis(num(val()?)? as u64))
             }
             "--respawn-limit" => respawn_limit = num(val()?)? as usize,
+            "--chunk" => chunk = num(val()?)? as usize,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -270,6 +276,9 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
     }
     if max_attempts < 1 {
         return Err("need at least one attempt per mode".into());
+    }
+    if chunk < 1 {
+        return Err("need at least one mode per assignment".into());
     }
     let recovery = if requeue {
         RecoveryPolicy::Requeue {
@@ -309,6 +318,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
         heartbeat_timeout,
         recovery,
         respawn_limit,
+        chunk,
     })))
 }
 

@@ -21,11 +21,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use background::Background;
-use boltzmann::{evolve_mode, ModeOutput};
+use boltzmann::{evolve_mode_scratch, ModeOutput};
 use msgpass::fault::{FaultAction, FaultRule, FaultSpec, FaultWhen, FaultyTransport};
 use msgpass::instrument::Instrumented;
 use msgpass::tcp::{connect_worker, PendingMaster};
 use msgpass::{Rank, Tag, World};
+use ode::Integrator;
 use recomb::ThermoHistory;
 
 use crate::error::FarmError;
@@ -288,6 +289,15 @@ impl<W: World> Farm<W> {
         self
     }
 
+    /// Modes per assignment message (default 1, the paper's protocol).
+    /// A chunk is a run of the dispatch order, so results are bitwise
+    /// independent of the chunk size; bigger chunks only amortize the
+    /// request/assign round trip.  `0` is treated as `1`.
+    pub fn chunk(mut self, n: usize) -> Self {
+        self.config.chunk = n.max(1);
+        self
+    }
+
     /// Inject a fault (tests only): see [`FaultPlan`].
     pub fn fault_plan(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
@@ -489,12 +499,17 @@ pub fn run_serial(spec: &RunSpec) -> Result<(Vec<ModeOutput>, f64), FarmError> {
     let thermo = ThermoHistory::new(&bg);
     let cfg = spec.mode_config();
     let mut outputs = Vec::with_capacity(spec.ks.len());
+    // one integrator across the whole loop: its stage buffers keep
+    // their capacity from mode to mode (bit-identical to a fresh one)
+    let mut integ = Integrator::new();
     for (ik, &k) in spec.ks.iter().enumerate() {
-        let out = evolve_mode(&bg, &thermo, k, &cfg).map_err(|e| FarmError::Evolve {
-            rank: 0,
-            ik,
-            k,
-            source: Some(e),
+        let out = evolve_mode_scratch(&bg, &thermo, k, &cfg, None, &mut integ).map_err(|e| {
+            FarmError::Evolve {
+                rank: 0,
+                ik,
+                k,
+                source: Some(e),
+            }
         })?;
         outputs.push(out);
     }

@@ -55,6 +55,12 @@ pub struct MasterConfig {
     pub heartbeat_timeout: Duration,
     /// What to do when a worker is lost.
     pub recovery: RecoveryPolicy,
+    /// Modes per tag-3 assignment.  `1` (the default) is the paper's
+    /// one-at-a-time protocol; larger chunks amortize the
+    /// request/assign round trip when modes are cheap.  A chunk is a
+    /// *run* of the dispatch order, so largest-first remains
+    /// largest-first across chunks; `0` is treated as `1`.
+    pub chunk: usize,
 }
 
 impl Default for MasterConfig {
@@ -64,6 +70,7 @@ impl Default for MasterConfig {
             drain_timeout: Duration::from_secs(5),
             heartbeat_timeout: Duration::from_secs(30),
             recovery: RecoveryPolicy::FailFast,
+            chunk: 1,
         }
     }
 }
@@ -109,8 +116,12 @@ struct Session {
     /// Recovery knobs (copied out of the config so helpers don't need
     /// the whole config threaded through).
     policy: RecoveryPolicy,
-    /// Assignment currently held by each worker (index = rank − 1).
-    in_flight: Vec<Option<usize>>,
+    /// Modes per tag-3 assignment (≥ 1; copied from the config).
+    chunk: usize,
+    /// Modes currently held by each worker (index = rank − 1), in the
+    /// order they were assigned — the worker reports them back in this
+    /// order, one result (or tag-8 failure) per mode.
+    in_flight: Vec<Vec<usize>>,
     /// Ranks declared dead (watch report or heartbeat silence).
     dead: HashSet<Rank>,
     /// Last time each rank sent *anything* (index = rank − 1).
@@ -172,28 +183,70 @@ impl Session {
         }
     }
 
-    /// Reply to a ready worker: next assignment, or stop.  Under the
-    /// Requeue policy a worker with no pending work is *parked* (no
-    /// reply yet) while other workers still carry modes that may come
-    /// back to the queue.
+    /// Reply to a ready worker: next assignment (a chunk of up to
+    /// `self.chunk` modes in one tag-3 message), or stop.  A worker
+    /// still part-way through a chunk gets nothing — it is refilled
+    /// only once its last in-flight mode resolves.  Under the Requeue
+    /// policy a worker with no pending work is *parked* (no reply yet)
+    /// while other workers still carry modes that may come back to the
+    /// queue.
     fn dispatch<T: Transport>(&mut self, t: &mut T, rank: Rank) -> Result<(), FarmError> {
-        self.in_flight[rank - 1] = None;
-        if let Some(ik) = self.queue.pop() {
+        if !self.in_flight[rank - 1].is_empty() {
+            return Ok(());
+        }
+        let iks = self.queue.pop_chunk(self.chunk);
+        if !iks.is_empty() {
             let t0 = Instant::now();
-            mysendreal(t, &[ik as f64], TAG_ASSIGN, rank)?;
-            self.in_flight[rank - 1] = Some(ik);
+            let wire: Vec<f64> = iks.iter().map(|&ik| ik as f64).collect();
+            mysendreal(t, &wire, TAG_ASSIGN, rank)?;
+            self.in_flight[rank - 1] = iks;
+            // the silence clock measures the worker against *this*
+            // assignment; a long park before it must not count
+            self.last_seen[rank - 1] = Instant::now();
+            let iks_str = self.in_flight[rank - 1]
+                .iter()
+                .map(|ik| ik.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
             self.rec.record(
                 "assign",
                 "master",
                 t0,
                 Instant::now(),
-                &[("ik", ik.to_string()), ("worker", rank.to_string())],
+                &[("ik", iks_str), ("worker", rank.to_string())],
             );
         } else if self.policy.recovers() && !self.all_settled() {
             self.parked.insert(rank);
         } else {
             mysendreal(t, &[0.0], TAG_STOP, rank)?;
             self.stopped.insert(rank);
+        }
+        Ok(())
+    }
+
+    /// Strike one resolved mode off a rank's in-flight list (no-op if
+    /// it was not held — e.g. already recovered through another path).
+    fn resolve_in_flight(&mut self, rank: Rank, ik: usize) {
+        let held = &mut self.in_flight[rank - 1];
+        if let Some(pos) = held.iter().position(|&x| x == ik) {
+            held.remove(pos);
+        }
+    }
+
+    /// Take everything a lost rank was holding and requeue (or
+    /// quarantine) it, front-of-queue, preserving the chunk's internal
+    /// dispatch order.
+    fn recover_chunk<T: Transport>(
+        &mut self,
+        t: &mut T,
+        rank: Rank,
+        reason: &str,
+    ) -> Result<(), FarmError> {
+        let chunk = std::mem::take(&mut self.in_flight[rank - 1]);
+        // requeue back-to-front so requeue_front leaves the chunk's
+        // first mode first in the queue
+        for &ik in chunk.iter().rev() {
+            self.requeue_or_quarantine(t, ik, reason)?;
         }
         Ok(())
     }
@@ -277,10 +330,7 @@ impl Session {
             return Ok(());
         }
         self.parked.remove(&rank);
-        if let Some(ik) = self.in_flight[rank - 1].take() {
-            self.requeue_or_quarantine(t, ik, reason)?;
-        }
-        Ok(())
+        self.recover_chunk(t, rank, reason)
     }
 
     /// Fold a batch of watch events into the session.  Returns
@@ -318,9 +368,7 @@ impl Session {
                     // a watch that replaces a child reports Respawned
                     // without a Dead first; whatever the old incarnation
                     // was holding died with it
-                    if let Some(ik) = self.in_flight[rank - 1].take() {
-                        self.requeue_or_quarantine(t, ik, "worker respawned")?;
-                    }
+                    self.recover_chunk(t, rank, "worker respawned")?;
                     self.last_seen[rank - 1] = Instant::now();
                     self.recovery.respawns += 1;
                     // the replacement process missed the tag-1 broadcast;
@@ -356,7 +404,8 @@ impl Session {
             if self.dead.contains(&rank) || self.stopped.contains(&rank) {
                 continue;
             }
-            if self.in_flight[rank - 1].is_some() && self.last_seen[rank - 1].elapsed() > timeout {
+            if !self.in_flight[rank - 1].is_empty() && self.last_seen[rank - 1].elapsed() > timeout
+            {
                 self.recovery.heartbeat_misses += 1;
                 self.mark_dead(t, rank, "heartbeat timeout")?;
             }
@@ -521,7 +570,8 @@ pub fn master_session<T: Transport>(
         stats: vec![None; n_workers],
         n_workers,
         policy: cfg.recovery,
-        in_flight: vec![None; n_workers],
+        chunk: cfg.chunk.max(1),
+        in_flight: vec![Vec::new(); n_workers],
         dead: HashSet::new(),
         last_seen: vec![Instant::now(); n_workers],
         parked: HashSet::new(),
@@ -681,13 +731,21 @@ pub fn master_session<T: Transport>(
                     Ok(pair) => pair,
                     Err(e) => {
                         if cfg.recovery.recovers() {
-                            // a corrupted result is recoverable: the mode
-                            // goes back to the queue, the worker gets the
-                            // next assignment
-                            if let Some(ik) = s.in_flight[itid - 1].take() {
-                                s.requeue_or_quarantine(t, ik, &format!("malformed result: {e}"))?;
+                            let held = s.in_flight[itid - 1].len();
+                            // a corrupted result is recoverable: the
+                            // mode goes back to the queue
+                            s.recover_chunk(t, itid, &format!("malformed result: {e}"))?;
+                            if held <= 1 {
+                                // single-mode protocol: the worker is
+                                // between modes, hand it fresh work
+                                s.dispatch(t, itid)?;
+                            } else {
+                                // mid-chunk the result stream can no
+                                // longer be trusted mode-for-mode:
+                                // retire the rank so its remaining
+                                // sends are consumed as late traffic
+                                s.mark_dead(t, itid, "result stream desynchronized")?;
                             }
-                            s.dispatch(t, itid)?;
                             continue;
                         }
                         s.drain_and_stop(t, cfg, watch);
@@ -717,6 +775,7 @@ pub fn master_session<T: Transport>(
                 );
                 s.outputs[ik] = Some(out);
                 s.completion_log.push((ik, itid));
+                s.resolve_in_flight(itid, ik);
                 s.dispatch(t, itid)?;
                 if s.all_settled() {
                     s.stop_parked(t)?;
@@ -727,9 +786,10 @@ pub fn master_session<T: Transport>(
                 let ik = payload.first().copied().unwrap_or(-1.0) as usize;
                 let k = payload.get(1).copied().unwrap_or(f64::NAN);
                 if cfg.recovery.recovers() {
-                    // the worker survives its failed mode; budget the
-                    // mode and hand the worker something else
-                    s.in_flight[itid - 1] = None;
+                    // the worker survives its failed mode (and keeps
+                    // working through the rest of its chunk); budget
+                    // the mode and refill the worker once it runs dry
+                    s.resolve_in_flight(itid, ik);
                     if ik < nk && s.outputs[ik].is_none() && !s.quarantined.contains(&ik) {
                         s.requeue_or_quarantine(
                             t,

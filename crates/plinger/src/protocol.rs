@@ -25,7 +25,11 @@ use msgpass::Tag;
 pub const TAG_INIT: Tag = 1;
 /// Tag 2: from worker, asking for a wavenumber.
 pub const TAG_REQUEST: Tag = 2;
-/// Tag 3: from master, giving the worker a wavenumber to work on.
+/// Tag 3: from master, giving the worker one or more mode indices to
+/// work on.  The payload is `[ik0, ik1, ...]` — a *chunk*, a run of the
+/// dispatch order; the worker answers each index in payload order with
+/// a tag-4/5 result pair or a tag-8 failure.  A single-element payload
+/// is the paper's one-mode-at-a-time protocol (and the default).
 pub const TAG_ASSIGN: Tag = 3;
 /// Tag 4: from worker, first set of data (21 reals, `y(21) = lmax`).
 pub const TAG_HEADER: Tag = 4;

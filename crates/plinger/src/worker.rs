@@ -3,9 +3,10 @@
 use std::time::{Duration, Instant};
 
 use background::Background;
-use boltzmann::{evolve_mode, evolve_mode_observed, ModeOutput};
+use boltzmann::{evolve_mode, evolve_mode_observed, evolve_mode_scratch, ModeOutput};
 use msgpass::wrappers::*;
 use msgpass::Transport;
+use ode::Integrator;
 use recomb::ThermoHistory;
 use telemetry::{SpanEvent, SpanRecorder};
 
@@ -91,6 +92,27 @@ impl WorkerContext {
             k,
             &self.spec.mode_config(),
             observer,
+        )
+    }
+
+    /// [`Self::run_mode_observed`] reusing a caller-held integrator as
+    /// scratch space (bit-identical; the session loop passes one
+    /// integrator across all its assignments so stage buffers are
+    /// allocated once per worker, not once per mode).
+    pub fn run_mode_scratch(
+        &self,
+        ik: usize,
+        observer: Option<&mut dyn FnMut()>,
+        integ: &mut Integrator,
+    ) -> Result<ModeOutput, boltzmann::EvolveError> {
+        let k = self.spec.ks[ik];
+        evolve_mode_scratch(
+            &self.bg,
+            &self.thermo,
+            k,
+            &self.spec.mode_config(),
+            observer,
+            integ,
         )
     }
 }
@@ -255,6 +277,9 @@ pub fn worker_session<T: Transport>(
 
     let mut last_heartbeat = Instant::now();
     let mut heartbeat_seq = 0.0f64;
+    // one integrator for the whole session: scratch buffers warm up on
+    // the first mode and are reused (bit-identically) for every mode after
+    let mut integ = Integrator::new();
 
     loop {
         // receive from master: next ik or message to stop
@@ -266,89 +291,97 @@ pub fn worker_session<T: Transport>(
         if tag != TAG_ASSIGN {
             break;
         }
-        let ik = buf.first().copied().unwrap_or(-1.0) as usize;
-        if ik >= ctx.spec.ks.len() {
-            return Err(FarmError::Protocol {
-                rank: t.rank(),
-                detail: format!("assignment ik={ik} outside the k-grid"),
-            });
-        }
-        let k = ctx.spec.ks[ik];
-        match fault {
-            Some(WorkerFault::Vanish { after_modes }) if stats.modes >= after_modes => {
-                // fault injection: vanish without a goodbye
-                return Ok(WorkerOutcome {
-                    stats,
-                    spans: rec.into_events(),
+        // a tag-3 assignment carries one or more mode indices (a
+        // chunk); work through them in assignment order, answering
+        // each with a header+data pair or a tag-8 failure before
+        // touching the next — the master strikes them off one by one
+        let iks: Vec<usize> = buf.iter().map(|&v| v as usize).collect();
+        for ik in iks {
+            if ik >= ctx.spec.ks.len() {
+                return Err(FarmError::Protocol {
+                    rank: t.rank(),
+                    detail: format!("assignment ik={ik} outside the k-grid"),
                 });
             }
-            Some(WorkerFault::Stall { after_modes, stall }) if stats.modes >= after_modes => {
-                // fault injection: hang silently, then vanish — the
-                // master's heartbeat timeout must catch this
-                std::thread::sleep(stall);
-                return Ok(WorkerOutcome {
-                    stats,
-                    spans: rec.into_events(),
-                });
-            }
-            Some(WorkerFault::FailMode { ik: bad }) if bad == ik => {
-                // fault injection: report the mode as failed
-                mysendreal(t, &[ik as f64, k], TAG_FAIL, mastid)?;
-                continue;
-            }
-            _ => {}
-        }
-        let t_mode = Instant::now();
-        let result = {
-            let mut steps_since = 0usize;
-            let mut observer = || {
-                steps_since += 1;
-                if steps_since >= HEARTBEAT_CHECK_STEPS {
-                    steps_since = 0;
-                    if last_heartbeat.elapsed() >= HEARTBEAT_MIN_INTERVAL {
-                        heartbeat_seq += 1.0;
-                        // best-effort: not counted in bytes_sent, and a
-                        // dead master will surface on the next real send
-                        let _ = t.send(mastid, TAG_HEARTBEAT, &[heartbeat_seq]);
-                        last_heartbeat = Instant::now();
-                    }
+            let k = ctx.spec.ks[ik];
+            // fault checks run per *mode*, not per assignment, so a fault
+            // can strike mid-chunk (the recovery tests depend on this)
+            match fault {
+                Some(WorkerFault::Vanish { after_modes }) if stats.modes >= after_modes => {
+                    // fault injection: vanish without a goodbye
+                    return Ok(WorkerOutcome {
+                        stats,
+                        spans: rec.into_events(),
+                    });
                 }
-            };
-            ctx.run_mode_observed(ik, Some(&mut observer))
-        };
-        match result {
-            Ok(out) => {
-                rec.record(
-                    "mode",
-                    "worker",
-                    t_mode,
-                    Instant::now(),
-                    &[("ik", ik.to_string()), ("k", format!("{k:.6e}"))],
-                );
-                stats.busy_seconds += t_mode.elapsed().as_secs_f64();
-                stats.modes += 1;
-                stats.steps_accepted += out.stats.accepted;
-                stats.steps_rejected += out.stats.rejected;
-                stats.rhs_evals += out.stats.rhs_evals;
-                // send results to master: header (tag 4) then data (tag 5)
-                let (header, payload) = out.to_wire(ik);
-                stats.bytes_sent += (header.len() + payload.len()) * 8;
-                mysendreal(t, &header, TAG_HEADER, mastid)?;
-                mysendreal(t, &payload, TAG_DATA, mastid)?;
+                Some(WorkerFault::Stall { after_modes, stall }) if stats.modes >= after_modes => {
+                    // fault injection: hang silently, then vanish — the
+                    // master's heartbeat timeout must catch this
+                    std::thread::sleep(stall);
+                    return Ok(WorkerOutcome {
+                        stats,
+                        spans: rec.into_events(),
+                    });
+                }
+                Some(WorkerFault::FailMode { ik: bad }) if bad == ik => {
+                    // fault injection: report the mode as failed
+                    mysendreal(t, &[ik as f64, k], TAG_FAIL, mastid)?;
+                    continue;
+                }
+                _ => {}
             }
-            Err(_) => {
-                rec.record(
-                    "mode",
-                    "worker",
-                    t_mode,
-                    Instant::now(),
-                    &[("ik", ik.to_string()), ("failed", "true".to_string())],
-                );
-                stats.busy_seconds += t_mode.elapsed().as_secs_f64();
-                // report the failure and go back to waiting: a
-                // fail-fast master answers with the stop, a requeueing
-                // master with the next assignment
-                mysendreal(t, &[ik as f64, k], TAG_FAIL, mastid)?;
+            let t_mode = Instant::now();
+            let result = {
+                let mut steps_since = 0usize;
+                let mut observer = || {
+                    steps_since += 1;
+                    if steps_since >= HEARTBEAT_CHECK_STEPS {
+                        steps_since = 0;
+                        if last_heartbeat.elapsed() >= HEARTBEAT_MIN_INTERVAL {
+                            heartbeat_seq += 1.0;
+                            // best-effort: not counted in bytes_sent, and a
+                            // dead master will surface on the next real send
+                            let _ = t.send(mastid, TAG_HEARTBEAT, &[heartbeat_seq]);
+                            last_heartbeat = Instant::now();
+                        }
+                    }
+                };
+                ctx.run_mode_scratch(ik, Some(&mut observer), &mut integ)
+            };
+            match result {
+                Ok(out) => {
+                    rec.record(
+                        "mode",
+                        "worker",
+                        t_mode,
+                        Instant::now(),
+                        &[("ik", ik.to_string()), ("k", format!("{k:.6e}"))],
+                    );
+                    stats.busy_seconds += t_mode.elapsed().as_secs_f64();
+                    stats.modes += 1;
+                    stats.steps_accepted += out.stats.accepted;
+                    stats.steps_rejected += out.stats.rejected;
+                    stats.rhs_evals += out.stats.rhs_evals;
+                    // send results to master: header (tag 4) then data (tag 5)
+                    let (header, payload) = out.to_wire(ik);
+                    stats.bytes_sent += (header.len() + payload.len()) * 8;
+                    mysendreal(t, &header, TAG_HEADER, mastid)?;
+                    mysendreal(t, &payload, TAG_DATA, mastid)?;
+                }
+                Err(_) => {
+                    rec.record(
+                        "mode",
+                        "worker",
+                        t_mode,
+                        Instant::now(),
+                        &[("ik", ik.to_string()), ("failed", "true".to_string())],
+                    );
+                    stats.busy_seconds += t_mode.elapsed().as_secs_f64();
+                    // report the failure and go back to waiting: a
+                    // fail-fast master answers with the stop, a requeueing
+                    // master with the next assignment
+                    mysendreal(t, &[ik as f64, k], TAG_FAIL, mastid)?;
+                }
             }
         }
     }

@@ -39,6 +39,7 @@ fn fast_master(recovery: RecoveryPolicy) -> MasterConfig {
         drain_timeout: Duration::from_secs(2),
         heartbeat_timeout: Duration::from_secs(5),
         recovery,
+        ..MasterConfig::default()
     }
 }
 

@@ -335,11 +335,25 @@ impl ThermoHistory {
         } else {
             self.tb_spline.deriv(a.ln()) / tb
         };
+        self.cs2_from(tb, xe, dlntb, y_helium)
+    }
+
+    /// The sound-speed expression from its ingredients — shared by
+    /// [`Self::cs2_baryon`] and [`ThermoCache::at`] so both paths run
+    /// the identical arithmetic.
+    #[inline]
+    fn cs2_from(&self, tb: f64, xe: f64, dlntb: f64, y_helium: f64) -> f64 {
         // mean particle count per hydrogen mass: (1-Y)(1 + f_He + x_e);
         // k_B T / (m_p c²) with m_p c² = 938.272 MeV
         let mp_c2_ev = 938.272_088e6;
         let kt_ev = constants::K_B_EV_K * tb;
         (kt_ev / mp_c2_ev) * (1.0 - y_helium) * (1.0 + self.f_he + xe) * (1.0 - dlntb / 3.0)
+    }
+
+    /// A stateful fast-path reader over this history's tables — see
+    /// [`ThermoCache`].
+    pub fn cache(&self) -> ThermoCache<'_> {
+        ThermoCache { th: self, h: 0 }
     }
 
     /// Conformal time of the visibility peak ("recombination"), Mpc.
@@ -355,6 +369,73 @@ impl ThermoHistory {
     /// Helium-to-hydrogen number ratio.
     pub fn f_helium(&self) -> f64 {
         self.f_he
+    }
+}
+
+/// The thermodynamic inputs of one RHS evaluation, computed in a single
+/// pass: Thomson opacity, its logarithmic derivative, and the baryon
+/// sound speed.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermoPoint {
+    /// `dκ/dτ = a n_e σ_T`, Mpc⁻¹.
+    pub opacity: f64,
+    /// `d ln(dκ/dτ) / d ln a` (tight-coupling slip input).
+    pub opacity_dlna: f64,
+    /// Baryon adiabatic sound speed squared, c = 1 units.
+    pub cs2: f64,
+}
+
+/// Stateful fast path over [`ThermoHistory`] for the inner ODE loop.
+///
+/// The `x_e`, `T_b`, and `ln κ̇` splines share one `ln a` abscissa, so a
+/// single hunt hint (the last-found interval) serves all five lookups
+/// of a query, and `ln a` is computed once instead of per lookup.
+/// Results are bitwise identical to the corresponding [`ThermoHistory`]
+/// queries: the interval index is unique and the interpolation and
+/// sound-speed arithmetic are shared with the direct path.  Cheap to
+/// construct — one per `LingerRhs` (or per worker) costs one `usize`.
+pub struct ThermoCache<'a> {
+    th: &'a ThermoHistory,
+    h: usize,
+}
+
+impl<'a> ThermoCache<'a> {
+    /// The history this cache reads.
+    pub fn history(&self) -> &'a ThermoHistory {
+        self.th
+    }
+
+    /// Opacity, its log-derivative, and the baryon sound speed at scale
+    /// factor `a` — the per-eval thermodynamics block of the RHS, in
+    /// one call.
+    #[inline]
+    pub fn at(&mut self, a: f64, t_cmb_k: f64, y_helium: f64) -> ThermoPoint {
+        let th = self.th;
+        if a < th.a_start {
+            // fully-ionized analytic regime, mirroring the branch each
+            // direct query takes before the table starts
+            let opacity =
+                constants::thomson_rate_per_mpc((1.0 + 2.0 * th.f_he) * th.n_h0) / (a * a);
+            let tb = t_cmb_k / a;
+            let xe = 1.0 + 2.0 * th.f_he;
+            ThermoPoint {
+                opacity,
+                opacity_dlna: -2.0,
+                cs2: th.cs2_from(tb, xe, -1.0, y_helium),
+            }
+        } else {
+            let lna = a.ln();
+            let opacity = th.lnopac_spline.eval_hunt(lna, &mut self.h).exp();
+            let opacity_dlna = th.lnopac_spline.deriv_hunt(lna, &mut self.h);
+            let tb = th.tb_spline.eval_hunt(lna, &mut self.h);
+            let xe = th.xe_spline.eval_hunt(lna, &mut self.h);
+            let dlntb = th.tb_spline.deriv_hunt(lna, &mut self.h) / tb;
+            ThermoPoint {
+                opacity,
+                opacity_dlna,
+                cs2: th.cs2_from(tb, xe, dlntb, y_helium),
+            }
+        }
     }
 }
 

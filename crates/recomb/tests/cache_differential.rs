@@ -1,0 +1,124 @@
+//! Differential tests: the hunted [`ThermoCache`] fast path must
+//! reproduce the direct [`ThermoHistory`] queries *bitwise* — same
+//! spline interval, same arithmetic — over the whole scale-factor
+//! range, including the analytic fully-ionized region below the
+//! tabulated start, the boundary itself, and the table knots.
+
+use background::{Background, CosmoParams};
+use proptest::prelude::*;
+use recomb::{ThermoCache, ThermoHistory};
+use std::sync::OnceLock;
+
+struct Fixture {
+    th: ThermoHistory,
+    t_cmb: f64,
+    y_he: f64,
+}
+
+/// Two recombination histories (each build runs the full ionization
+/// integration, so construct once): standard CDM and ΛCDM.
+fn fixtures() -> &'static [Fixture; 2] {
+    static FIX: OnceLock<[Fixture; 2]> = OnceLock::new();
+    FIX.get_or_init(|| {
+        [CosmoParams::standard_cdm(), CosmoParams::lcdm()].map(|p| {
+            let t_cmb = p.t_cmb_k;
+            let y_he = p.y_helium;
+            let bg = Background::new(p);
+            Fixture {
+                th: ThermoHistory::new(&bg),
+                t_cmb,
+                y_he,
+            }
+        })
+    })
+}
+
+/// One differential comparison at scale factor `a`.
+fn assert_point_matches(fix: &Fixture, cache: &mut ThermoCache<'_>, a: f64) {
+    let pt = cache.at(a, fix.t_cmb, fix.y_he);
+    assert_eq!(
+        pt.opacity.to_bits(),
+        fix.th.opacity(a).to_bits(),
+        "opacity differs at a={a}"
+    );
+    assert_eq!(
+        pt.opacity_dlna.to_bits(),
+        fix.th.opacity_dlna(a).to_bits(),
+        "dln(opacity)/dln(a) differs at a={a}"
+    );
+    assert_eq!(
+        pt.cs2.to_bits(),
+        fix.th.cs2_baryon(a, fix.t_cmb, fix.y_he).to_bits(),
+        "baryon c_s^2 differs at a={a}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cache_matches_direct_queries_bitwise(
+        idx in 0usize..2,
+        a1 in 1e-8f64..1.0,
+        a2 in 1e-8f64..1.0,
+        a3 in 1e-8f64..1.0,
+    ) {
+        let fix = &fixtures()[idx];
+        let mut cache = fix.th.cache();
+        // arbitrary jump pattern: later queries reuse the hint the
+        // earlier ones left behind, covering hunt-up and hunt-down
+        for a in [a1, a2, a3] {
+            assert_point_matches(fix, &mut cache, a);
+        }
+    }
+
+    #[test]
+    fn cache_matches_across_analytic_boundary(da in 0.0f64..2e-4) {
+        // straddle a_start = 1e-4: below it the history answers from
+        // the analytic fully-ionized expressions, above from splines;
+        // the cache must switch branches at exactly the same point
+        let fix = &fixtures()[0];
+        let mut cache = fix.th.cache();
+        for a in [1e-4 - da * 0.5, 1e-4 + da * 0.5, 1e-4] {
+            if a > 0.0 {
+                assert_point_matches(fix, &mut cache, a);
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_survives_monotone_and_reversed_sweeps() {
+    for fix in fixtures() {
+        let mut cache = fix.th.cache();
+        let (lo, hi) = ((1e-8f64).ln(), 0.0f64);
+        let n = 400;
+        for i in 0..n {
+            let a = (lo + (hi - lo) * i as f64 / (n - 1) as f64).exp();
+            assert_point_matches(fix, &mut cache, a);
+        }
+        for i in (0..n).rev() {
+            let a = (lo + (hi - lo) * i as f64 / (n - 1) as f64).exp();
+            assert_point_matches(fix, &mut cache, a);
+        }
+    }
+}
+
+#[test]
+fn cache_is_exact_at_table_knots() {
+    // The thermo splines share one uniform ln(a) grid: 2400 points
+    // from a = 1e-4 to 1.  Reconstruct those abscissas and query at
+    // the knots, where the interval search sits exactly on a segment
+    // boundary.
+    let fix = &fixtures()[0];
+    let mut cache = fix.th.cache();
+    let n = 2400usize;
+    let lna_start = (1.0f64 / 1.0e4).ln();
+    let dlna = -lna_start / (n - 1) as f64;
+    for i in (0..n).step_by(53) {
+        let a = (lna_start + dlna * i as f64).exp();
+        assert_point_matches(fix, &mut cache, a);
+    }
+    // and the final knot a = 1 exactly
+    assert_point_matches(fix, &mut cache, 1.0);
+}

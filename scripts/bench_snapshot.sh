@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Re-measure the RHS hot-path microbenchmark and snapshot the result
+# into BENCH_rhs.json at the repo root.
+#
+# The baseline numbers below are the medians of the same bench measured
+# on this machine immediately BEFORE the shared-cache + vectorizable-
+# kernel rework of the RHS (per-call spline bisection, index-chasing
+# hierarchy loops).  The snapshot records the current medians, the flop
+# census per evaluation, and the speedup against that pinned baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(cargo bench -p bench --bench rhs_eval 2>&1)"
+echo "$out"
+
+BENCH_OUT="$out" python3 - <<'EOF'
+import json, os, re
+
+out = os.environ["BENCH_OUT"]
+
+# medians the seed RHS produced before the cache/kernel rework (ns/eval)
+baseline = {
+    "lmax16_tca_off": 344.46,
+    "lmax16_tca_on": 197.25,
+    "lmax64_tca_off": 553.62,
+    "lmax64_tca_on": 378.10,
+}
+
+flops = {m.group(1): int(m.group(2))
+         for m in re.finditer(r"^flops: (\S+) (\d+)$", out, re.M)}
+medians = {m.group(1): float(m.group(2))
+           for m in re.finditer(
+               r"^bench: rhs_eval/(\S+) median ([0-9.]+) ns/iter", out, re.M)}
+assert set(medians) == set(baseline), f"cases changed: {sorted(medians)}"
+
+cases = {}
+for case, ns in sorted(medians.items()):
+    f = flops.get(case, 0)
+    cases[case] = {
+        "median_ns_per_eval": ns,
+        "flops_per_eval": f,
+        "mflops": round(f / ns * 1e3, 1) if ns > 0 else 0.0,
+        "baseline_ns_per_eval": baseline[case],
+        "speedup_vs_baseline": round(baseline[case] / ns, 2),
+    }
+
+snapshot = {
+    "schema": "plinger.bench_rhs/1",
+    "bench": "rhs_eval (single LingerRhs::eval call, seeded dense state)",
+    "cases": cases,
+}
+with open("BENCH_rhs.json", "w") as fh:
+    json.dump(snapshot, fh, indent=2)
+    fh.write("\n")
+
+worst = min(c["speedup_vs_baseline"] for c in cases.values())
+print(f"bench_snapshot: wrote BENCH_rhs.json (worst-case speedup {worst}x)")
+EOF

@@ -46,6 +46,21 @@ assert all("pid" in ev and "tid" in ev and "ts" in ev and "dur" in ev for ev in 
 print(f"smoke: efficiency {eff:.3f}, {len(trace)} trace events")
 EOF
 
+echo "== hot-path differential layer =="
+# the RHS fast path (hunted spline caches, chunked assignment) is
+# pinned against the direct implementations by dedicated differential
+# suites; run them explicitly so a cache-coherence regression names
+# itself in the CI log
+cargo test -q -p background --test cache_differential
+cargo test -q -p recomb --test cache_differential
+cargo test -q --test farm_transports chunked
+cargo test -q --test recovery_matrix chunk
+
+echo "== rhs bench smoke =="
+# compile-and-run-once smoke of the microbench behind BENCH_rhs.json
+# (full measurement is scripts/bench_snapshot.sh, not a CI gate)
+cargo bench -p bench --bench rhs_eval -- --test
+
 echo "== fault matrix =="
 # the recovery tests sweep every FaultPlan variant over the channel and
 # shmem worlds (recovery_matrix), the raw fault seam (msgpass fault

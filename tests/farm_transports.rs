@@ -69,6 +69,53 @@ fn farm_over_shared_memory_matches_serial() {
 }
 
 #[test]
+fn chunked_assignment_is_bitwise_identical_to_unchunked() {
+    // six modes, two workers, four modes per assignment: the mode set a
+    // worker receives in one message must produce exactly the bits that
+    // six single-mode assignments (and the serial loop) produce
+    let mut spec = RunSpec::standard_cdm(vec![3.0e-4, 1.5e-3, 6.0e-4, 9.0e-4, 2.0e-4, 1.1e-3]);
+    spec.preset = Preset::Draft;
+    let (serial, _) = run_serial(&spec).unwrap();
+    for n_workers in [1, 2] {
+        let chunked = Farm::<ChannelWorld>::new(n_workers)
+            .chunk(4)
+            .run(&spec, SchedulePolicy::LargestFirst)
+            .unwrap();
+        let single = Farm::<ChannelWorld>::new(n_workers)
+            .chunk(1)
+            .run(&spec, SchedulePolicy::LargestFirst)
+            .unwrap();
+        assert_bitwise_match(&chunked.outputs, &serial);
+        assert_bitwise_match(&single.outputs, &serial);
+    }
+}
+
+#[test]
+fn chunked_assignment_over_shmem_matches_serial() {
+    let mut spec = RunSpec::standard_cdm(vec![3.0e-4, 1.5e-3, 6.0e-4, 9.0e-4, 2.0e-4]);
+    spec.preset = Preset::Draft;
+    let rep = Farm::<ShmemWorld>::new(2)
+        .chunk(4)
+        .run(&spec, SchedulePolicy::LargestFirst)
+        .unwrap();
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_bitwise_match(&rep.outputs, &serial);
+}
+
+#[test]
+fn chunked_completion_log_keeps_dispatch_order() {
+    // one worker, one big chunk: completions still arrive in
+    // largest-first order because a chunk is a run of that order
+    let spec = tiny_spec();
+    let rep = Farm::<ChannelWorld>::new(1)
+        .chunk(8)
+        .run(&spec, SchedulePolicy::LargestFirst)
+        .unwrap();
+    let iks: Vec<usize> = rep.completion_log.iter().map(|&(ik, _)| ik).collect();
+    assert_eq!(iks, vec![1, 2, 0]);
+}
+
+#[test]
 fn completion_log_respects_scheduling() {
     // with one worker the completion order IS the dispatch order
     let spec = tiny_spec();

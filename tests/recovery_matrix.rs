@@ -89,6 +89,71 @@ fn requeue_over_shmem_finishes_too() {
 }
 
 #[test]
+fn worker_lost_mid_chunk_requeues_the_rest_of_the_chunk() {
+    // chunk = 4 and worker 1 vanishes after completing one mode of its
+    // chunk: the three modes it still held all return to the queue (in
+    // chunk order) and the survivor finishes the run bit-identically;
+    // eight modes so both workers hold a full four-mode chunk whichever
+    // requests first
+    let spec = spec_of(&[
+        2.0e-4, 8.0e-4, 4.0e-4, 1.2e-3, 6.0e-4, 9.0e-4, 3.0e-4, 1.0e-3,
+    ]);
+    let rep = Farm::<ChannelWorld>::new(2)
+        .chunk(4)
+        .poll(Duration::from_millis(10))
+        .drain_timeout(Duration::from_millis(500))
+        .heartbeat_timeout(Duration::from_millis(400))
+        .recovery(RecoveryPolicy::Requeue {
+            max_attempts: 3,
+            respawn: false,
+        })
+        .fault_plan(FaultPlan::DropWorker {
+            rank: 1,
+            after_modes: 1,
+        })
+        .run(&spec, SchedulePolicy::Fifo)
+        .unwrap();
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert!(
+        rep.recovery.requeues >= 3,
+        "the whole remaining chunk must be requeued: {:?}",
+        rep.recovery
+    );
+    assert!(rep.recovery.failed_modes.is_empty());
+}
+
+#[test]
+fn chunked_poison_mode_spares_its_chunkmates() {
+    // the poison mode rides in a chunk with healthy modes; a tag-8
+    // failure must only strike the poisoned ik off the worker's chunk —
+    // its chunk-mates still complete on the same worker
+    let ks = [3.0e-4, 1.5e-3, 6.0e-4, 9.0e-4];
+    let spec = spec_of(&ks);
+    let rep = Farm::<ChannelWorld>::new(1)
+        .chunk(4)
+        .poll(Duration::from_millis(10))
+        .drain_timeout(Duration::from_millis(500))
+        .recovery(RecoveryPolicy::Requeue {
+            max_attempts: 2,
+            respawn: false,
+        })
+        .fault_plan(FaultPlan::FailMode { ik: 1 })
+        .run(&spec, SchedulePolicy::Fifo)
+        .unwrap();
+    assert_eq!(rep.recovery.failed_modes.len(), 1, "{:?}", rep.recovery);
+    assert_eq!(rep.recovery.failed_modes[0].ik, 1);
+    let (serial, _) = run_serial(&spec).unwrap();
+    let surviving: Vec<_> = serial
+        .into_iter()
+        .enumerate()
+        .filter(|(ik, _)| *ik != 1)
+        .map(|(_, o)| o)
+        .collect();
+    assert_bitwise(&rep.outputs, &surviving);
+}
+
+#[test]
 fn stalled_worker_caught_by_heartbeat_timeout() {
     // worker 1 hangs on its first assignment; integration heartbeats
     // stop arriving, so the master declares it dead on silence alone

@@ -1,0 +1,220 @@
+//! Offline stand-in for `bytes`.
+//!
+//! `BytesMut` is a `Vec<u8>` plus a read cursor; `Bytes` is a frozen
+//! variant.  Implements the little-endian `Buf`/`BufMut` accessors the
+//! `msgpass` codec uses, with the same consume-on-read semantics.  Both
+//! `&[u8]` (for `Buf`) and the owned buffers are readable, matching the
+//! upstream crate's blanket impls the codec relies on.
+
+/// Read-side trait: consume bytes from the front.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// The readable byte slice.
+    fn chunk(&self) -> &[u8];
+    /// Discard `cnt` bytes from the front.
+    fn advance(&mut self, cnt: usize);
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64` (bit-exact).
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write-side trait: append bytes at the back.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64` (bit-exact).
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Growable byte buffer with a read cursor.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append bytes at the back.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Freeze into an immutable [`Bytes`] of the unread tail.
+    pub fn freeze(mut self) -> Bytes {
+        self.compact();
+        Bytes { buf: self.buf }
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        Self {
+            buf: src.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.pos += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+/// Immutable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    buf: Vec<u8>,
+}
+
+impl Bytes {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_roundtrip_is_bit_exact() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u32_le(7);
+        b.put_u64_le(u64::MAX - 3);
+        b.put_f64_le(f64::NAN);
+        assert_eq!(b.get_u32_le(), 7);
+        assert_eq!(b.get_u64_le(), u64::MAX - 3);
+        assert_eq!(b.get_f64_le().to_bits(), f64::NAN.to_bits());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn freeze_drops_consumed_prefix() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        b.advance(2);
+        let f = b.freeze();
+        assert_eq!(&f[..], &[3, 4]);
+    }
+
+    #[test]
+    fn slice_buf_reads() {
+        let data = 42u32.to_le_bytes();
+        let mut s = &data[..];
+        assert_eq!(s.get_u32_le(), 42);
+        assert_eq!(s.remaining(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the workspace's benchmarking surface: `criterion_group!`
+//! (both forms), `criterion_main!`, benchmark groups, throughput
+//! labels, and `Bencher::iter`.  Measurement is deliberately simple —
+//! each sample times a calibrated batch of iterations and the harness
+//! reports the median over `sample_size` samples:
+//!
+//! ```text
+//! bench: <group>/<id> median 123.45 ns/iter (N samples)
+//! ```
+//!
+//! That line is stable, greppable output for `scripts/bench_snapshot.sh`.
+//! Passing `--test` (as `cargo bench -- --test` does) runs every
+//! routine exactly once with no timing, as upstream criterion does.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; accepted and ignored by this harness.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one routine.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: calibrate a batch size, then time
+    /// `sample_size` batches and keep the median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.median_ns = 0.0;
+            self.samples = 0;
+            return;
+        }
+        // calibrate: find an iteration count that runs ≥ ~1 ms
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || iters >= (1 << 24) {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+        self.samples = samples_ns.len();
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _crit: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+            samples: 0,
+        };
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _crit: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Record a throughput annotation (ignored by this harness).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+            samples: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+            samples: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, b: &Bencher) {
+    if b.samples == 0 {
+        println!("bench: {id} ok (test mode)");
+    } else {
+        println!(
+            "bench: {id} median {:.2} ns/iter ({} samples)",
+            b.median_ns, b.samples
+        );
+    }
+}
+
+/// Define a benchmark group; supports both the positional and the
+/// `name/config/targets` forms upstream criterion accepts.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routine(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    criterion_group!(positional, routine);
+    criterion_group! {
+        name = named;
+        config = Criterion::default().sample_size(2);
+        targets = routine
+    }
+
+    #[test]
+    fn groups_run() {
+        positional();
+        named();
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            median_ns: 0.0,
+            samples: 0,
+        };
+        b.iter(|| std::hint::black_box(17u64.wrapping_mul(13)));
+        assert!(b.median_ns > 0.0);
+        assert_eq!(b.samples, 3);
+    }
+}

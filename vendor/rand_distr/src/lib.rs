@@ -1,0 +1,59 @@
+//! Offline stand-in for `rand_distr`.
+//!
+//! The workspace only draws standard normals, so this crate provides
+//! the [`Distribution`] trait and [`StandardNormal`] implemented with
+//! the Box–Muller transform over the vendored `rand` generator.
+
+use rand::Rng;
+
+/// Types that can sample values of type `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draw one value from the distribution.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms -> one normal (the second branch of
+        // the pair is discarded to keep the sampler stateless)
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roughly_standard_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x: f64 = StandardNormal.sample(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let x: f64 = StandardNormal.sample(&mut a);
+        let y: f64 = StandardNormal.sample(&mut b);
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `into_par_iter`/`par_iter` fall back to the corresponding sequential
+//! iterators, so every downstream adaptor chain (`map`, `enumerate`,
+//! `collect`, …) compiles and runs unchanged — just on one core.  The
+//! workspace only leans on rayon for throughput, never for semantics,
+//! so a sequential stand-in is behaviour-preserving.
+
+pub mod prelude {
+    //! Parallel-iterator traits, sequentially implemented.
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// "Parallel" iteration — sequential here.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item: 'data;
+        /// "Parallel" iteration over references — sequential here.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_is_sequential_iter() {
+        let v: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_vec() {
+        let data = vec![1, 2, 3];
+        let s: i32 = data.par_iter().sum();
+        assert_eq!(s, 6);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace deliberately carries no serialization logic (run
+//! reports are hand-rolled JSON in `telemetry`), but a few types derive
+//! `Serialize`/`Deserialize` for downstream consumers.  This stub keeps
+//! those derives compiling in a container with no registry access: the
+//! traits are empty markers and the derive macros expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name; carries no methods.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name; carries no methods.
+pub trait Deserialize<'de> {}

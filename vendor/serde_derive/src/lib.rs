@@ -1,0 +1,15 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the stub `Serialize` trait has no items.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the stub `Deserialize` trait has no items.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
