@@ -29,7 +29,7 @@ use telemetry::{Histogram, HistogramSnapshot};
 use crate::{CommError, Envelope, Rank, Tag, Transport};
 
 /// Number of distinct tags tracked individually; tags `>= TRACKED_TAGS`
-/// fold into the last slot.  The farm protocol uses tags 1–8, so 16
+/// fold into the last slot.  The farm protocol uses tags 1–11, so 16
 /// leaves ample headroom.
 pub const TRACKED_TAGS: usize = 16;
 
@@ -171,6 +171,32 @@ impl CommSnapshot {
         }
         self.send_ns.merge(&other.send_ns);
         self.recv_ns.merge(&other.recv_ns);
+    }
+
+    /// Traffic accumulated since `base`, an earlier snapshot of the
+    /// *same* endpoint: tag-wise saturating differences of every
+    /// counter.  A pooled farm takes a snapshot between jobs and
+    /// reports each job's table as `now.delta(&before)`, so per-job
+    /// reports don't accumulate earlier jobs' traffic.  Latency
+    /// histograms subtract bucket-wise; their `min`/`max` stay
+    /// cumulative (see [`HistogramSnapshot::delta`]).
+    pub fn delta(&self, base: &CommSnapshot) -> CommSnapshot {
+        let sub = |a: &[u64; TRACKED_TAGS], b: &[u64; TRACKED_TAGS]| {
+            let mut out = [0u64; TRACKED_TAGS];
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = a[i].saturating_sub(b[i]);
+            }
+            out
+        };
+        CommSnapshot {
+            rank: self.rank,
+            sent_count: sub(&self.sent_count, &base.sent_count),
+            sent_bytes: sub(&self.sent_bytes, &base.sent_bytes),
+            recv_count: sub(&self.recv_count, &base.recv_count),
+            recv_bytes: sub(&self.recv_bytes, &base.recv_bytes),
+            send_ns: self.send_ns.delta(&base.send_ns),
+            recv_ns: self.recv_ns.delta(&base.recv_ns),
+        }
     }
 }
 

@@ -1,0 +1,366 @@
+//! `plinger-serve` — spectrum-as-a-service over a warm farm pool.
+//!
+//! ```text
+//! plinger-serve --listen 127.0.0.1:0 --workers 4                 # server
+//! plinger-serve --connect 127.0.0.1:PORT --model lcdm --nk 16    # client
+//! ```
+//!
+//! The server starts one [`plinger::FarmPool`] of resident workers and
+//! accepts TCP connections, each speaking the length-prefixed
+//! request/response frames of `docs/PROTOCOL.md` (the `msgpass` codec
+//! framing, tags 20–29).  Requests for a k-grid already served come
+//! straight out of the content-addressed result cache, bit for bit;
+//! misses run as one pooled job on the warm workers.  Concurrent
+//! connections are each handled on their own thread and multiplex onto
+//! the single pool in arrival order.
+//!
+//! The client parses the same cosmology/grid flags as `linger` and
+//! `plinger`, sends one spectrum request, and prints a one-line summary
+//! whose `fnv=` field hashes the response body's exact bit patterns —
+//! two invocations print the same hash exactly when the service
+//! answered with identical bits.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Mutex;
+
+use bytes::BytesMut;
+use msgpass::channel::ChannelWorld;
+use msgpass::shmem::ShmemWorld;
+use msgpass::{codec, Message, World};
+use plinger::cli::{FarmArgs, FarmSettings, SpecArgs, TransportKind};
+use plinger::output_files::write_run_report;
+use plinger::pool::PoolOptions;
+use plinger::service::{
+    decode_error_text, decode_spectrum_body, encode_error_text, TAG_REQ_METRICS, TAG_REQ_SPECTRUM,
+    TAG_RESP_ERROR, TAG_RESP_METRICS, TAG_RESP_SPECTRUM,
+};
+use plinger::{hash_reals, FarmPool, RunSpec, SchedulePolicy, SpecDecodeError, SpectrumService};
+
+const USAGE: &str = "\
+usage:
+  plinger-serve --listen ADDR [server options]
+  plinger-serve --connect ADDR [spectrum options]
+
+server options:
+  --listen ADDR             bind address (port 0 picks one; the bound
+                            address is printed on startup)
+  --workers N               resident pool workers            [cores]
+  --transport channel|shmem pool transport                   [channel]
+  --max-requests N          exit after N connections         [serve forever]
+  --report-dir DIR          write a run_report JSON per cache miss
+  --recovery MODE           failfast|requeue                 [requeue]
+  --max-attempts N          dispatches per mode before quarantine [2]
+  --poll MS / --drain-timeout MS / --heartbeat-timeout MS
+  --respawn-limit N         pooled worker respawn budget     [2]
+  --chunk N                 modes per assignment message     [1]
+
+spectrum options (client): the same cosmology/grid flags as linger —
+  --model, --h, --omega-b, --omega-c, --omega-lambda, --m-nu, --n-s,
+  --gauge, --ic, --preset, --kmin, --kmax, --nk, --lmax, --tau-end
+plus:
+  --metrics                 also query service counters
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args
+        .iter()
+        .position(|a| a == "--listen" || a == "--connect");
+    let result = match mode.map(|i| args[i].as_str()) {
+        Some("--listen") => server_main(&args),
+        Some("--connect") => client_main(&args),
+        _ => Err("need --listen ADDR (server) or --connect ADDR (client)".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// ---------------------------------------------------------------- server
+
+fn server_main(args: &[String]) -> Result<(), String> {
+    let mut farm = FarmArgs::default();
+    let mut listen = None;
+    let mut max_requests = 0usize;
+    let mut report_dir: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if farm.try_flag(flag, &mut it)? {
+            continue;
+        }
+        let mut val = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => listen = Some(val()?.clone()),
+            "--max-requests" => {
+                max_requests = val()?
+                    .parse()
+                    .map_err(|_| "bad --max-requests value".to_string())?
+            }
+            "--report-dir" => report_dir = Some(PathBuf::from(val()?)),
+            other => return Err(format!("unknown server flag {other}")),
+        }
+    }
+    let listen = listen.ok_or("--listen needs a value")?;
+    let settings = farm.build()?;
+    match settings.transport {
+        TransportKind::Channel => {
+            serve::<ChannelWorld>(&settings, &listen, max_requests, report_dir)
+        }
+        TransportKind::Shmem => serve::<ShmemWorld>(&settings, &listen, max_requests, report_dir),
+        TransportKind::Tcp => {
+            Err("plinger-serve pools thread transports; use --transport channel|shmem".into())
+        }
+    }
+}
+
+fn serve<W: World>(
+    settings: &FarmSettings,
+    listen: &str,
+    max_requests: usize,
+    report_dir: Option<PathBuf>,
+) -> Result<(), String> {
+    let pool = FarmPool::<W>::start_with(
+        settings.workers,
+        settings.master_config(),
+        PoolOptions {
+            respawn_limit: settings.respawn_limit,
+            fault: None,
+        },
+    )
+    .map_err(|e| format!("starting pool failed: {e}"))?;
+    let service = Mutex::new(SpectrumService::new(pool, SchedulePolicy::LargestFirst));
+
+    let listener = TcpListener::bind(listen).map_err(|e| format!("bind {listen} failed: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr failed: {e}"))?;
+    // the startup line scripts parse to learn the ephemeral port
+    println!("plinger-serve: listening on {addr}");
+    eprintln!(
+        "plinger-serve: pool of {} {} workers warm",
+        settings.workers,
+        W::NAME
+    );
+
+    let transport_tag = W::NAME;
+    let dir = report_dir.as_deref();
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("creating report dir {} failed: {e}", dir.display()))?;
+    }
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut accepted = 0usize;
+        for stream in listener.incoming() {
+            let stream = stream.map_err(|e| format!("accept failed: {e}"))?;
+            accepted += 1;
+            let service = &service;
+            scope.spawn(move || {
+                if let Err(e) = handle_connection(stream, service, dir, transport_tag) {
+                    eprintln!("plinger-serve: connection error: {e}");
+                }
+            });
+            if max_requests > 0 && accepted >= max_requests {
+                break;
+            }
+        }
+        Ok(())
+        // scope exit joins every in-flight connection handler
+    })?;
+
+    let service = service
+        .into_inner()
+        .map_err(|_| "service lock poisoned".to_string())?;
+    println!(
+        "plinger-serve: served {} requests, cache hits={} misses={}, pool jobs={}",
+        service.requests(),
+        service.cache().hits(),
+        service.cache().misses(),
+        service.pool().jobs_run(),
+    );
+    service.shutdown();
+    Ok(())
+}
+
+fn handle_connection<W: World>(
+    mut stream: TcpStream,
+    service: &Mutex<SpectrumService<W>>,
+    report_dir: Option<&Path>,
+    transport_tag: &str,
+) -> Result<(), String> {
+    let mut buf = BytesMut::new();
+    while let Some(msg) = read_frame(&mut stream, &mut buf)? {
+        match msg.tag {
+            TAG_REQ_SPECTRUM => {
+                let reply = match RunSpec::decode(&msg.data) {
+                    Ok(spec) => answer_spectrum(service, &spec, report_dir, transport_tag),
+                    Err(e) => Err(spec_error_text(&e)),
+                };
+                match reply {
+                    Ok(payload) => send_frame(&mut stream, TAG_RESP_SPECTRUM, &payload)?,
+                    Err(text) => {
+                        send_frame(&mut stream, TAG_RESP_ERROR, &encode_error_text(&text))?
+                    }
+                }
+            }
+            TAG_REQ_METRICS => {
+                let counters = {
+                    let svc = service
+                        .lock()
+                        .map_err(|_| "service lock poisoned".to_string())?;
+                    [
+                        svc.requests() as f64,
+                        svc.cache().hits() as f64,
+                        svc.cache().misses() as f64,
+                        svc.pool().jobs_run() as f64,
+                        svc.pool().n_workers() as f64,
+                    ]
+                };
+                send_frame(&mut stream, TAG_RESP_METRICS, &counters)?;
+            }
+            other => {
+                let text = format!("unknown request tag {other}");
+                send_frame(&mut stream, TAG_RESP_ERROR, &encode_error_text(&text))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn answer_spectrum<W: World>(
+    service: &Mutex<SpectrumService<W>>,
+    spec: &RunSpec,
+    report_dir: Option<&Path>,
+    transport_tag: &str,
+) -> Result<Vec<f64>, String> {
+    let mut svc = service
+        .lock()
+        .map_err(|_| "service lock poisoned".to_string())?;
+    let reply = svc.handle(spec).map_err(|e| format!("farm failed: {e}"))?;
+    let requests = svc.requests();
+    drop(svc);
+    if let (Some(dir), Some(report)) = (report_dir, reply.report.as_ref()) {
+        let prefix = dir
+            .join(format!("req{:04}_{:016x}", requests, reply.key))
+            .to_string_lossy()
+            .into_owned();
+        match write_run_report(&prefix, report, transport_tag) {
+            Ok((path, _)) => eprintln!("plinger-serve: run report written to {path}"),
+            Err(e) => eprintln!("plinger-serve: writing run report failed: {e}"),
+        }
+    }
+    let mut payload = Vec::with_capacity(1 + reply.body.len());
+    payload.push(if reply.cache_hit { 1.0 } else { 0.0 });
+    payload.extend_from_slice(&reply.body);
+    Ok(payload)
+}
+
+fn spec_error_text(e: &SpecDecodeError) -> String {
+    format!("bad spectrum request: {e:?}")
+}
+
+// ---------------------------------------------------------------- client
+
+fn client_main(args: &[String]) -> Result<(), String> {
+    let mut spec = SpecArgs::default();
+    let mut connect = None;
+    let mut want_metrics = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if spec.try_flag(flag, &mut it)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--connect" => {
+                connect = Some(
+                    it.next()
+                        .ok_or_else(|| "--connect needs a value".to_string())?
+                        .clone(),
+                )
+            }
+            "--metrics" => want_metrics = true,
+            other => return Err(format!("unknown client flag {other}")),
+        }
+    }
+    let addr = connect.ok_or("--connect needs a value")?;
+    let spec = spec.build()?;
+
+    let mut stream =
+        TcpStream::connect(&addr).map_err(|e| format!("connect {addr} failed: {e}"))?;
+    let mut buf = BytesMut::new();
+
+    send_frame(&mut stream, TAG_REQ_SPECTRUM, &spec.encode())?;
+    let msg = read_frame(&mut stream, &mut buf)?
+        .ok_or_else(|| "server closed the connection before answering".to_string())?;
+    match msg.tag {
+        TAG_RESP_SPECTRUM => {
+            let (hit, body) = msg
+                .data
+                .split_first()
+                .ok_or_else(|| "empty spectrum response".to_string())?;
+            let (outputs, wall) = decode_spectrum_body(body)?;
+            println!(
+                "cache_hit={} outputs={} wall={:.6} fnv={:016x}",
+                if *hit != 0.0 { 1 } else { 0 },
+                outputs.len(),
+                wall,
+                hash_reals(body),
+            );
+        }
+        TAG_RESP_ERROR => return Err(format!("server error: {}", decode_error_text(&msg.data))),
+        other => return Err(format!("unexpected response tag {other}")),
+    }
+
+    if want_metrics {
+        send_frame(&mut stream, TAG_REQ_METRICS, &[])?;
+        let msg = read_frame(&mut stream, &mut buf)?
+            .ok_or_else(|| "server closed the connection before metrics".to_string())?;
+        if msg.tag != TAG_RESP_METRICS || msg.data.len() != 5 {
+            return Err(format!("bad metrics response (tag {})", msg.tag));
+        }
+        println!(
+            "requests={} hits={} misses={} jobs={} workers={}",
+            msg.data[0], msg.data[1], msg.data[2], msg.data[3], msg.data[4],
+        );
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------- framing
+
+fn send_frame(stream: &mut TcpStream, tag: msgpass::Tag, data: &[f64]) -> Result<(), String> {
+    stream
+        .write_all(&codec::encode(0, tag, data))
+        .map_err(|e| format!("send failed: {e}"))
+}
+
+/// Read one codec frame, buffering partial reads.  `Ok(None)` is a
+/// clean EOF between frames (the peer hung up).
+fn read_frame(stream: &mut TcpStream, buf: &mut BytesMut) -> Result<Option<Message>, String> {
+    loop {
+        if let Some(msg) = codec::decode(buf).map_err(|e| format!("bad frame: {e}"))? {
+            return Ok(Some(msg));
+        }
+        let mut chunk = [0u8; 8192];
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("recv failed: {e}"))?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err("connection closed mid-frame".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}

@@ -1,7 +1,16 @@
-//! Shared command-line parsing for the `linger` and `plinger` binaries.
+//! Shared command-line parsing for the `linger`, `plinger`, and
+//! `plinger-serve` binaries.
 //!
 //! A tiny hand-rolled parser (no external CLI crates): flags are
-//! `--name value` pairs; unknown flags abort with usage.
+//! `--name value` pairs; unknown flags abort with usage.  The flags are
+//! grouped into two reusable builders — [`SpecArgs`] (cosmology, grid,
+//! accuracy → a [`RunSpec`]) and [`FarmArgs`] (workers, transport,
+//! recovery, timing → [`FarmSettings`]) — so each binary composes
+//! exactly the groups it understands: `linger`/`plinger` take both
+//! through [`parse`], the `plinger-serve` server takes [`FarmArgs`]
+//! plus its own listen flags, and the `plinger-serve` client takes
+//! [`SpecArgs`] plus a connect address.  Every flag keeps one
+//! definition, one default, and one error message across all binaries.
 
 use crate::master::MasterConfig;
 use crate::protocol::RunSpec;
@@ -134,191 +143,360 @@ options:
   --chunk N                 modes per assignment message  [1]
 ";
 
-/// Parse `args` (without `argv[0]`).  On error, returns the message to
-/// print alongside [`USAGE`].
-pub fn parse(args: &[String]) -> Result<Parsed, String> {
-    // hidden worker mode first
-    if args.first().map(|s| s.as_str()) == Some("--tcp-worker") {
-        if args.len() != 4 && args.len() != 5 {
-            return Err("--tcp-worker needs ADDR RANK SIZE [FAULT]".into());
+/// Pop the value of `flag` off the argument iterator.
+fn take<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Builder for the run-specification flag group: cosmology, gauge,
+/// initial conditions, accuracy preset, and the k grid.
+///
+/// Feed it flags via [`SpecArgs::try_flag`] (it answers `Ok(false)` for
+/// flags it does not own, so builders chain), then [`SpecArgs::build`]
+/// validates and assembles the [`RunSpec`].
+#[derive(Debug, Clone)]
+pub struct SpecArgs {
+    /// Cosmological parameters (preset + individual overrides).
+    pub cosmo: CosmoParams,
+    /// Evolution gauge.
+    pub gauge: Gauge,
+    /// Perturbation initial conditions.
+    pub ic: InitialConditions,
+    /// Accuracy preset.
+    pub preset: Preset,
+    /// Lower k-grid bound, Mpc⁻¹.
+    pub kmin: f64,
+    /// Upper k-grid bound, Mpc⁻¹.
+    pub kmax: f64,
+    /// Number of (log-spaced) grid points.
+    pub nk: usize,
+    /// Photon hierarchy override.
+    pub lmax: Option<usize>,
+    /// Early-stop conformal time, Mpc.
+    pub tau_end: Option<f64>,
+}
+
+impl Default for SpecArgs {
+    fn default() -> Self {
+        Self {
+            cosmo: CosmoParams::standard_cdm(),
+            gauge: Gauge::Synchronous,
+            ic: InitialConditions::Adiabatic,
+            preset: Preset::Demo,
+            kmin: 1.0e-4,
+            kmax: 0.1,
+            nk: 32,
+            lmax: None,
+            tau_end: None,
         }
-        return Ok(Parsed::TcpWorker(TcpWorkerArgs {
-            addr: args[1].clone(),
-            rank: args[2].parse().map_err(|_| "bad rank")?,
-            size: args[3].parse().map_err(|_| "bad size")?,
-            fault: args.get(4).cloned(),
-        }));
     }
+}
 
-    let mut cosmo = CosmoParams::standard_cdm();
-    let mut gauge = Gauge::Synchronous;
-    let mut ic = InitialConditions::Adiabatic;
-    let mut preset = Preset::Demo;
-    let mut kmin = 1.0e-4;
-    let mut kmax = 0.1;
-    let mut nk = 32usize;
-    let mut lmax = None;
-    let mut tau_end = None;
-    let mut output = "linger_out".to_string();
-    let mut workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut transport = TransportKind::default();
-    let mut telemetry = TelemetryMode::default();
-    let mut trace_out = None;
-    let mut poll = None;
-    let mut drain_timeout = None;
-    let mut heartbeat_timeout = None;
-    let mut requeue = true;
-    let mut max_attempts = 2usize;
-    let mut respawn_limit = 2usize;
-    let mut chunk = 1usize;
-
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut val = || -> Result<&String, String> {
-            it.next().ok_or_else(|| format!("{flag} needs a value"))
-        };
-        match flag.as_str() {
+impl SpecArgs {
+    /// Consume `flag` (and its value from `it`) if it belongs to this
+    /// group.  `Ok(true)` means handled; `Ok(false)` means not ours.
+    pub fn try_flag(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match flag {
             "--model" => {
-                cosmo = match val()?.as_str() {
+                self.cosmo = match take(flag, it)?.as_str() {
                     "scdm" => CosmoParams::standard_cdm(),
                     "lcdm" => CosmoParams::lcdm(),
                     "mdm" => CosmoParams::mixed_dark_matter(),
                     other => return Err(format!("unknown model {other}")),
                 }
             }
-            "--h" => cosmo.h = num(val()?)?,
-            "--omega-b" => cosmo.omega_b = num(val()?)?,
-            "--omega-c" => cosmo.omega_c = num(val()?)?,
-            "--omega-lambda" => cosmo.omega_lambda = num(val()?)?,
+            "--h" => self.cosmo.h = num(take(flag, it)?)?,
+            "--omega-b" => self.cosmo.omega_b = num(take(flag, it)?)?,
+            "--omega-c" => self.cosmo.omega_c = num(take(flag, it)?)?,
+            "--omega-lambda" => self.cosmo.omega_lambda = num(take(flag, it)?)?,
             "--m-nu" => {
-                cosmo.m_nu_ev = num(val()?)?;
-                if cosmo.m_nu_ev > 0.0 && cosmo.n_nu_massive == 0 {
-                    cosmo.n_nu_massive = 1;
-                    cosmo.n_nu_massless = 2.0;
+                self.cosmo.m_nu_ev = num(take(flag, it)?)?;
+                if self.cosmo.m_nu_ev > 0.0 && self.cosmo.n_nu_massive == 0 {
+                    self.cosmo.n_nu_massive = 1;
+                    self.cosmo.n_nu_massless = 2.0;
                 }
             }
-            "--n-s" => cosmo.n_s = num(val()?)?,
+            "--n-s" => self.cosmo.n_s = num(take(flag, it)?)?,
             "--gauge" => {
-                gauge = match val()?.as_str() {
+                self.gauge = match take(flag, it)?.as_str() {
                     "sync" => Gauge::Synchronous,
                     "newt" => Gauge::ConformalNewtonian,
                     other => return Err(format!("unknown gauge {other}")),
                 }
             }
             "--ic" => {
-                ic = match val()?.as_str() {
+                self.ic = match take(flag, it)?.as_str() {
                     "adiabatic" => InitialConditions::Adiabatic,
                     "iso" => InitialConditions::CdmIsocurvature,
                     other => return Err(format!("unknown ic {other}")),
                 }
             }
             "--preset" => {
-                preset = match val()?.as_str() {
+                self.preset = match take(flag, it)?.as_str() {
                     "draft" => Preset::Draft,
                     "demo" => Preset::Demo,
                     "prod" => Preset::Production,
                     other => return Err(format!("unknown preset {other}")),
                 }
             }
-            "--kmin" => kmin = num(val()?)?,
-            "--kmax" => kmax = num(val()?)?,
-            "--nk" => nk = num(val()?)? as usize,
-            "--lmax" => lmax = Some(num(val()?)? as usize),
-            "--tau-end" => tau_end = Some(num(val()?)?),
-            "--output" => output = val()?.clone(),
-            "--workers" => workers = num(val()?)? as usize,
+            "--kmin" => self.kmin = num(take(flag, it)?)?,
+            "--kmax" => self.kmax = num(take(flag, it)?)?,
+            "--nk" => self.nk = num(take(flag, it)?)? as usize,
+            "--lmax" => self.lmax = Some(num(take(flag, it)?)? as usize),
+            "--tau-end" => self.tau_end = Some(num(take(flag, it)?)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Validate and assemble the [`RunSpec`].
+    pub fn build(self) -> Result<RunSpec, String> {
+        if !(self.kmin > 0.0 && self.kmax > self.kmin) {
+            return Err(format!("bad k range [{}, {}]", self.kmin, self.kmax));
+        }
+        if self.nk < 1 {
+            return Err("need at least one k".into());
+        }
+        let ks = if self.nk == 1 {
+            vec![self.kmin]
+        } else {
+            numutil::grid::logspace(self.kmin, self.kmax, self.nk)
+        };
+        Ok(RunSpec {
+            cosmo: self.cosmo,
+            gauge: self.gauge,
+            ic: self.ic,
+            preset: self.preset,
+            lmax_g: self.lmax,
+            lmax_nu: None,
+            lmax_h: 16,
+            nq: None,
+            tau_end: self.tau_end,
+            ks,
+        })
+    }
+}
+
+/// Builder for the farm flag group: worker count, transport, recovery
+/// policy, master timings, respawn budget, and chunking.
+#[derive(Debug, Clone)]
+pub struct FarmArgs {
+    /// Worker count (defaults to the core count).
+    pub workers: usize,
+    /// Transport selection.
+    pub transport: TransportKind,
+    /// `--recovery requeue` (the default) vs `failfast`.
+    pub requeue: bool,
+    /// Dispatches per mode before quarantine.
+    pub max_attempts: usize,
+    /// Master idle-poll interval override.
+    pub poll: Option<Duration>,
+    /// Worker drain timeout override.
+    pub drain_timeout: Option<Duration>,
+    /// Heartbeat silence threshold override.
+    pub heartbeat_timeout: Option<Duration>,
+    /// Worker respawn budget.
+    pub respawn_limit: usize,
+    /// Modes per assignment message.
+    pub chunk: usize,
+}
+
+impl Default for FarmArgs {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            transport: TransportKind::default(),
+            requeue: true,
+            max_attempts: 2,
+            poll: None,
+            drain_timeout: None,
+            heartbeat_timeout: None,
+            respawn_limit: 2,
+            chunk: 1,
+        }
+    }
+}
+
+/// Validated farm settings out of [`FarmArgs::build`].
+#[derive(Debug, Clone)]
+pub struct FarmSettings {
+    /// Worker count (≥ 1).
+    pub workers: usize,
+    /// Transport selection.
+    pub transport: TransportKind,
+    /// Assembled recovery policy.
+    pub recovery: RecoveryPolicy,
+    /// Master idle-poll interval override.
+    pub poll: Option<Duration>,
+    /// Worker drain timeout override.
+    pub drain_timeout: Option<Duration>,
+    /// Heartbeat silence threshold override.
+    pub heartbeat_timeout: Option<Duration>,
+    /// Worker respawn budget.
+    pub respawn_limit: usize,
+    /// Modes per assignment message (≥ 1).
+    pub chunk: usize,
+}
+
+impl FarmSettings {
+    /// Assemble a [`MasterConfig`], leaving unset timings at their
+    /// library defaults.
+    pub fn master_config(&self) -> MasterConfig {
+        let d = MasterConfig::default();
+        MasterConfig {
+            poll: self.poll.unwrap_or(d.poll),
+            drain_timeout: self.drain_timeout.unwrap_or(d.drain_timeout),
+            heartbeat_timeout: self.heartbeat_timeout.unwrap_or(d.heartbeat_timeout),
+            recovery: self.recovery,
+            chunk: self.chunk,
+        }
+    }
+}
+
+impl FarmArgs {
+    /// Consume `flag` (and its value from `it`) if it belongs to this
+    /// group.  `Ok(true)` means handled; `Ok(false)` means not ours.
+    pub fn try_flag(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--workers" => self.workers = num(take(flag, it)?)? as usize,
             "--transport" => {
-                transport = match val()?.as_str() {
+                self.transport = match take(flag, it)?.as_str() {
                     "channel" => TransportKind::Channel,
                     "shmem" => TransportKind::Shmem,
                     "tcp" => TransportKind::Tcp,
                     other => return Err(format!("unknown transport {other}")),
                 }
             }
-            "--tcp" => transport = TransportKind::Tcp,
+            "--tcp" => self.transport = TransportKind::Tcp,
+            "--recovery" => {
+                self.requeue = match take(flag, it)?.as_str() {
+                    "failfast" => false,
+                    "requeue" => true,
+                    other => return Err(format!("unknown recovery mode {other}")),
+                }
+            }
+            "--max-attempts" => self.max_attempts = num(take(flag, it)?)? as usize,
+            "--poll" => self.poll = Some(Duration::from_millis(num(take(flag, it)?)? as u64)),
+            "--drain-timeout" => {
+                self.drain_timeout = Some(Duration::from_millis(num(take(flag, it)?)? as u64))
+            }
+            "--heartbeat-timeout" => {
+                self.heartbeat_timeout = Some(Duration::from_millis(num(take(flag, it)?)? as u64))
+            }
+            "--respawn-limit" => self.respawn_limit = num(take(flag, it)?)? as usize,
+            "--chunk" => self.chunk = num(take(flag, it)?)? as usize,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Validate and assemble the [`FarmSettings`].
+    pub fn build(self) -> Result<FarmSettings, String> {
+        if self.workers < 1 {
+            return Err("need at least one worker".into());
+        }
+        if self.max_attempts < 1 {
+            return Err("need at least one attempt per mode".into());
+        }
+        if self.chunk < 1 {
+            return Err("need at least one mode per assignment".into());
+        }
+        let recovery = if self.requeue {
+            RecoveryPolicy::Requeue {
+                max_attempts: self.max_attempts,
+                respawn: self.respawn_limit > 0,
+            }
+        } else {
+            RecoveryPolicy::FailFast
+        };
+        Ok(FarmSettings {
+            workers: self.workers,
+            transport: self.transport,
+            recovery,
+            poll: self.poll,
+            drain_timeout: self.drain_timeout,
+            heartbeat_timeout: self.heartbeat_timeout,
+            respawn_limit: self.respawn_limit,
+            chunk: self.chunk,
+        })
+    }
+}
+
+/// Recognize the hidden `--tcp-worker ADDR RANK SIZE [FAULT]` prefix.
+/// `Ok(None)` means the arguments are a normal invocation.
+pub fn parse_tcp_worker(args: &[String]) -> Result<Option<TcpWorkerArgs>, String> {
+    if args.first().map(|s| s.as_str()) != Some("--tcp-worker") {
+        return Ok(None);
+    }
+    if args.len() != 4 && args.len() != 5 {
+        return Err("--tcp-worker needs ADDR RANK SIZE [FAULT]".into());
+    }
+    Ok(Some(TcpWorkerArgs {
+        addr: args[1].clone(),
+        rank: args[2].parse().map_err(|_| "bad rank")?,
+        size: args[3].parse().map_err(|_| "bad size")?,
+        fault: args.get(4).cloned(),
+    }))
+}
+
+/// Parse `args` (without `argv[0]`).  On error, returns the message to
+/// print alongside [`USAGE`].
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    // hidden worker mode first
+    if let Some(w) = parse_tcp_worker(args)? {
+        return Ok(Parsed::TcpWorker(w));
+    }
+
+    let mut spec = SpecArgs::default();
+    let mut farm = FarmArgs::default();
+    let mut output = "linger_out".to_string();
+    let mut telemetry = TelemetryMode::default();
+    let mut trace_out = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if spec.try_flag(flag, &mut it)? || farm.try_flag(flag, &mut it)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--output" => output = take(flag, &mut it)?.clone(),
             "--telemetry" => {
-                telemetry = match val()?.as_str() {
+                telemetry = match take(flag, &mut it)?.as_str() {
                     "pretty" => TelemetryMode::Pretty,
                     "json" => TelemetryMode::Json,
                     "off" => TelemetryMode::Off,
                     other => return Err(format!("unknown telemetry mode {other}")),
                 }
             }
-            "--trace-out" => trace_out = Some(val()?.clone()),
-            "--recovery" => {
-                requeue = match val()?.as_str() {
-                    "failfast" => false,
-                    "requeue" => true,
-                    other => return Err(format!("unknown recovery mode {other}")),
-                }
-            }
-            "--max-attempts" => max_attempts = num(val()?)? as usize,
-            "--poll" => poll = Some(Duration::from_millis(num(val()?)? as u64)),
-            "--drain-timeout" => drain_timeout = Some(Duration::from_millis(num(val()?)? as u64)),
-            "--heartbeat-timeout" => {
-                heartbeat_timeout = Some(Duration::from_millis(num(val()?)? as u64))
-            }
-            "--respawn-limit" => respawn_limit = num(val()?)? as usize,
-            "--chunk" => chunk = num(val()?)? as usize,
+            "--trace-out" => trace_out = Some(take(flag, &mut it)?.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if !(kmin > 0.0 && kmax > kmin) {
-        return Err(format!("bad k range [{kmin}, {kmax}]"));
-    }
-    if nk < 1 {
-        return Err("need at least one k".into());
-    }
-    if workers < 1 {
-        return Err("need at least one worker".into());
-    }
-    if max_attempts < 1 {
-        return Err("need at least one attempt per mode".into());
-    }
-    if chunk < 1 {
-        return Err("need at least one mode per assignment".into());
-    }
-    let recovery = if requeue {
-        RecoveryPolicy::Requeue {
-            max_attempts,
-            respawn: respawn_limit > 0,
-        }
-    } else {
-        RecoveryPolicy::FailFast
-    };
-
-    let ks = if nk == 1 {
-        vec![kmin]
-    } else {
-        numutil::grid::logspace(kmin, kmax, nk)
-    };
-    let spec = RunSpec {
-        cosmo,
-        gauge,
-        ic,
-        preset,
-        lmax_g: lmax,
-        lmax_nu: None,
-        lmax_h: 16,
-        nq: None,
-        tau_end,
-        ks,
-    };
+    let spec = spec.build()?;
+    let farm = farm.build()?;
     Ok(Parsed::Run(Box::new(CliOptions {
         spec,
         output,
-        workers,
-        transport,
+        workers: farm.workers,
+        transport: farm.transport,
         telemetry,
         trace_out,
-        poll,
-        drain_timeout,
-        heartbeat_timeout,
-        recovery,
-        respawn_limit,
-        chunk,
+        poll: farm.poll,
+        drain_timeout: farm.drain_timeout,
+        heartbeat_timeout: farm.heartbeat_timeout,
+        recovery: farm.recovery,
+        respawn_limit: farm.respawn_limit,
+        chunk: farm.chunk,
     })))
 }
 
@@ -495,5 +673,44 @@ mod tests {
         assert!(parse(&argv("--frobnicate 3")).is_err());
         assert!(parse(&argv("--kmin -1")).is_err());
         assert!(parse(&argv("--kmin 0.1 --kmax 0.01")).is_err());
+    }
+
+    #[test]
+    fn builders_compose_independently() {
+        // the serve client path: spec flags only, farm flags rejected
+        let args = argv("--model lcdm --nk 3 --preset draft");
+        let mut spec = SpecArgs::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            assert!(spec.try_flag(flag, &mut it).unwrap(), "{flag} not owned");
+        }
+        let spec = spec.build().unwrap();
+        assert_eq!(spec.ks.len(), 3);
+        assert!(spec.cosmo.omega_lambda > 0.5);
+
+        let mut spec = SpecArgs::default();
+        let args = argv("--workers 3");
+        let mut it = args.iter();
+        let flag = it.next().unwrap();
+        assert!(!spec.try_flag(flag, &mut it).unwrap());
+
+        // the serve server path: farm flags only
+        let args = argv("--workers 2 --transport shmem --recovery failfast");
+        let mut farm = FarmArgs::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            assert!(farm.try_flag(flag, &mut it).unwrap(), "{flag} not owned");
+        }
+        let farm = farm.build().unwrap();
+        assert_eq!(farm.workers, 2);
+        assert_eq!(farm.transport, TransportKind::Shmem);
+        assert_eq!(farm.recovery, RecoveryPolicy::FailFast);
+
+        // a value-less flag errors inside the builder, not at build()
+        let args = argv("--kmin");
+        let mut spec = SpecArgs::default();
+        let mut it = args.iter();
+        let flag = it.next().unwrap();
+        assert!(spec.try_flag(flag, &mut it).is_err());
     }
 }

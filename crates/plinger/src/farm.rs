@@ -35,7 +35,7 @@ use crate::protocol::RunSpec;
 use crate::recovery::{RecoveryLog, RecoveryPolicy, WorkerEvent};
 use crate::report::FarmTelemetry;
 use crate::schedule::SchedulePolicy;
-use crate::worker::{worker_session, WorkerFault, WorkerStats};
+use crate::worker::{worker_pool_session, worker_session, WorkerFault, WorkerStats};
 
 /// Timing and throughput report of a farm run — the quantities Figure 1
 /// and §5.1 of the paper plot.
@@ -184,7 +184,7 @@ pub enum FaultPlan {
 
 impl FaultPlan {
     /// The worker-level fault rank `rank` should run under this plan.
-    fn worker_fault(&self, rank: Rank) -> Option<WorkerFault> {
+    pub(crate) fn worker_fault(&self, rank: Rank) -> Option<WorkerFault> {
         match *self {
             FaultPlan::DropWorker {
                 rank: r,
@@ -452,7 +452,7 @@ fn panic_text(panic: &Box<dyn std::any::Any + Send>) -> String {
 /// recovery log instead.  `comm` and `worker_spans` carry the measured
 /// telemetry: per-endpoint counters in rank order and the workers'
 /// local span timelines.
-fn finish_report(
+pub(crate) fn finish_report(
     ledger: crate::master::MasterLedger,
     comm: Vec<msgpass::instrument::CommSnapshot>,
     worker_spans: Vec<telemetry::SpanEvent>,
@@ -545,7 +545,7 @@ impl Default for TcpFarmOptions {
 
 /// Render the worker-level fault of `plan` for `rank` as the hidden CLI
 /// argument `--tcp-worker` understands (see [`parse_worker_fault`]).
-fn worker_fault_arg(plan: Option<FaultPlan>, rank: Rank) -> Option<String> {
+pub(crate) fn worker_fault_arg(plan: Option<FaultPlan>, rank: Rank) -> Option<String> {
     match plan?.worker_fault(rank)? {
         WorkerFault::Vanish { after_modes } => Some(format!("vanish:{after_modes}")),
         WorkerFault::Stall { after_modes, stall } => {
@@ -574,7 +574,7 @@ pub fn parse_worker_fault(s: &str) -> Option<WorkerFault> {
     }
 }
 
-fn spawn_tcp_worker(
+pub(crate) fn spawn_tcp_worker(
     exe: &Path,
     addr: SocketAddr,
     rank: Rank,
@@ -663,45 +663,17 @@ pub fn run_tcp_processes(
     // keeps answering for a reaped child, so gate on this to attempt
     // each respawn exactly once
     let mut handled: Vec<bool> = vec![false; n_workers];
-    let watch = |children: &mut Vec<Child>,
-                 respawns_left: &mut usize,
-                 handled: &mut Vec<bool>|
-     -> Vec<WorkerEvent> {
-        let mut events = Vec::new();
-        for i in 0..children.len() {
-            let rank = i + 1;
-            let status = match children[i].try_wait() {
-                Ok(None) => continue,
-                Ok(Some(st)) => Some(st),
-                Err(_) => None,
-            };
-            if handled[i] {
-                events.push(WorkerEvent::Dead(rank));
-                continue;
-            }
-            handled[i] = true;
-            // a clean exit is a worker that took its stop (or a scripted
-            // vanish, which exits with a marker code); only abnormal
-            // exits are worth a replacement process
-            let abnormal = status.map(|st| !st.success()).unwrap_or(true);
-            if abnormal && *respawns_left > 0 {
-                let replacement = spawn_tcp_worker(exe, addr, rank, size, None)
-                    .ok()
-                    .and_then(|c| port.admit(rank, Duration::from_secs(10)).ok().map(|_| c));
-                if let Some(c) = replacement {
-                    *respawns_left -= 1;
-                    children[i] = c;
-                    handled[i] = false;
-                    events.push(WorkerEvent::Respawned(rank));
-                    continue;
-                }
-            }
-            events.push(WorkerEvent::Dead(rank));
-        }
-        events
+    let mut watch_adapter = || -> Vec<WorkerEvent> {
+        watch_tcp_children(
+            &mut children,
+            &mut handled,
+            &mut respawns_left,
+            exe,
+            addr,
+            size,
+            &port,
+        )
     };
-    let mut watch_adapter =
-        || -> Vec<WorkerEvent> { watch(&mut children, &mut respawns_left, &mut handled) };
     let outcome = master_session(
         &mut master_ep,
         spec,
@@ -741,9 +713,65 @@ pub fn run_tcp_processes(
     }
 }
 
+/// One poll of the subprocess liveness watch: reap exited children,
+/// relaunch abnormal exits while the respawn budget lasts (re-admitting
+/// the replacement under the same rank through the kept listening
+/// `port`), and report the casualties.  `handled[i]` records that rank
+/// `i + 1`'s corpse was already reported or replaced — `try_wait` keeps
+/// answering for a reaped child, so the gate makes each respawn attempt
+/// happen exactly once.  Shared by [`run_tcp_processes`] (one job) and
+/// the TCP farm pool (many jobs on the same children).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn watch_tcp_children(
+    children: &mut [Child],
+    handled: &mut [bool],
+    respawns_left: &mut usize,
+    exe: &Path,
+    addr: SocketAddr,
+    size: usize,
+    port: &msgpass::tcp::RespawnPort,
+) -> Vec<WorkerEvent> {
+    let mut events = Vec::new();
+    for i in 0..children.len() {
+        let rank = i + 1;
+        let status = match children[i].try_wait() {
+            Ok(None) => continue,
+            Ok(Some(st)) => Some(st),
+            Err(_) => None,
+        };
+        if handled[i] {
+            events.push(WorkerEvent::Dead(rank));
+            continue;
+        }
+        handled[i] = true;
+        // a clean exit is a worker that took its stop (or a scripted
+        // vanish, which exits with a marker code); only abnormal
+        // exits are worth a replacement process
+        let abnormal = status.map(|st| !st.success()).unwrap_or(true);
+        if abnormal && *respawns_left > 0 {
+            let replacement = spawn_tcp_worker(exe, addr, rank, size, None)
+                .ok()
+                .and_then(|c| port.admit(rank, Duration::from_secs(10)).ok().map(|_| c));
+            if let Some(c) = replacement {
+                *respawns_left -= 1;
+                children[i] = c;
+                handled[i] = false;
+                events.push(WorkerEvent::Respawned(rank));
+                continue;
+            }
+        }
+        events.push(WorkerEvent::Dead(rank));
+    }
+    events
+}
+
 /// Entry point for a `--tcp-worker` subprocess: connect to the master
-/// and run the ordinary worker session, under an optional scripted
-/// fault.
+/// and serve jobs until stopped, under an optional scripted fault.
+///
+/// Runs the *persistent* worker session, which is wire-compatible with
+/// a one-shot master (tag 1 opens the job, tag 6 releases it and ends
+/// the session) and additionally serves back-to-back tag-10 jobs from
+/// a TCP farm pool with its physics caches warm between them.
 pub fn run_tcp_worker(
     addr: SocketAddr,
     rank: Rank,
@@ -751,7 +779,7 @@ pub fn run_tcp_worker(
     fault: Option<WorkerFault>,
 ) -> Result<(), FarmError> {
     let mut ep = connect_worker(addr, rank, size).map_err(FarmError::Setup)?;
-    worker_session(&mut ep, fault, Instant::now())?;
+    worker_pool_session(&mut ep, fault, Instant::now())?;
     Ok(())
 }
 

@@ -28,13 +28,13 @@ use std::time::{Duration, Instant};
 
 use boltzmann::ModeOutput;
 use msgpass::wrappers::*;
-use msgpass::{Rank, Transport};
+use msgpass::{Rank, Tag, Transport};
 use telemetry::{SpanEvent, SpanRecorder};
 
 use crate::error::FarmError;
 use crate::protocol::{
-    RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT, TAG_REQUEST,
-    TAG_STATS, TAG_STOP,
+    RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT, TAG_JOBDONE,
+    TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
 };
 use crate::recovery::{FailedMode, RecoveryLog, RecoveryPolicy, WorkerEvent};
 use crate::schedule::{SchedulePolicy, WorkQueue};
@@ -75,6 +75,38 @@ impl Default for MasterConfig {
     }
 }
 
+/// How a master session relates to its workers' lifetimes.
+///
+/// The session loop itself is identical either way — hand out modes,
+/// collect results, recover casualties — but the messages that open and
+/// close a job differ:
+///
+/// * [`SessionKind::OneShot`]: the historical `Farm::run` shape.  The
+///   job opens with a tag-1 broadcast and closes by *stopping* workers
+///   (tag 6); their session ends with the job.
+/// * [`SessionKind::Pooled`]: a `FarmPool` job.  The job opens with
+///   per-rank tag-10 `NewJob` sends (skipping ranks already known dead
+///   from earlier jobs) and closes by *releasing* workers (tag 11);
+///   they answer with per-job stats and park warm for the next job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKind {
+    /// One job, one worker lifetime (tag 1 open, tag 6 close).
+    OneShot,
+    /// One job on resident workers (tag 10 open, tag 11 close).
+    Pooled,
+}
+
+impl SessionKind {
+    /// The tag that idles a worker at the end of this session: a stop
+    /// for one-shot workers, a job-done release for pooled ones.
+    fn release_tag(self) -> Tag {
+        match self {
+            SessionKind::OneShot => TAG_STOP,
+            SessionKind::Pooled => TAG_JOBDONE,
+        }
+    }
+}
+
 /// What the master accumulated over one farm run.
 #[derive(Debug)]
 pub struct MasterLedger {
@@ -110,6 +142,9 @@ struct Session {
     bytes_received: usize,
     /// Ranks the stop message has been sent to.
     stopped: HashSet<Rank>,
+    /// The tag that idles a worker when its part of the job is over
+    /// (tag 6 one-shot, tag 11 pooled) — see [`SessionKind`].
+    release_tag: Tag,
     /// Statistics by worker index (rank − 1).
     stats: Vec<Option<WorkerStats>>,
     n_workers: usize,
@@ -218,7 +253,7 @@ impl Session {
         } else if self.policy.recovers() && !self.all_settled() {
             self.parked.insert(rank);
         } else {
-            mysendreal(t, &[0.0], TAG_STOP, rank)?;
+            mysendreal(t, &[0.0], self.release_tag, rank)?;
             self.stopped.insert(rank);
         }
         Ok(())
@@ -259,7 +294,7 @@ impl Session {
         }
         let ranks: Vec<Rank> = self.parked.drain().collect();
         for rank in ranks {
-            mysendreal(t, &[0.0], TAG_STOP, rank)?;
+            mysendreal(t, &[0.0], self.release_tag, rank)?;
             self.stopped.insert(rank);
         }
         Ok(())
@@ -417,7 +452,7 @@ impl Session {
         let ws = WorkerStats::from_wire(payload).ok_or_else(|| FarmError::Protocol {
             rank,
             detail: format!(
-                "stats message must be 4 or 8 finite non-negative reals, got {} values",
+                "stats message must be 4, 8, or 9 finite non-negative reals, got {} values",
                 payload.len()
             ),
         })?;
@@ -440,7 +475,7 @@ impl Session {
     ) {
         for rank in 1..=self.n_workers {
             if !self.stopped.contains(&rank) {
-                let _ = mysendreal(t, &[0.0], TAG_STOP, rank);
+                let _ = mysendreal(t, &[0.0], self.release_tag, rank);
                 self.stopped.insert(rank);
             }
         }
@@ -556,6 +591,26 @@ pub fn master_session<T: Transport>(
     watch: &mut dyn FnMut() -> Vec<WorkerEvent>,
     epoch: Instant,
 ) -> Result<MasterLedger, FarmError> {
+    master_job_session(t, spec, policy, cfg, watch, epoch, SessionKind::OneShot)
+}
+
+/// [`master_session`] generalized over the worker-lifetime relation.
+///
+/// Every per-job structure — the work queue, output slots, recovery
+/// ledger, heartbeat clocks, idle accounting, span timeline — is built
+/// fresh here, which is what makes a pooled session *reset* without
+/// tearing anything down: the state lives on the stack of this call,
+/// not in the world.  Only the transport endpoints (and, worker-side,
+/// the warm physics caches) persist between calls.
+pub fn master_job_session<T: Transport>(
+    t: &mut T,
+    spec: &RunSpec,
+    policy: SchedulePolicy,
+    cfg: &MasterConfig,
+    watch: &mut dyn FnMut() -> Vec<WorkerEvent>,
+    epoch: Instant,
+    kind: SessionKind,
+) -> Result<MasterLedger, FarmError> {
     let t0 = Instant::now();
     let nk = spec.ks.len();
     let n_workers = t.size() - 1;
@@ -567,6 +622,7 @@ pub fn master_session<T: Transport>(
         completion_log: Vec::with_capacity(nk),
         bytes_received: 0,
         stopped: HashSet::new(),
+        release_tag: kind.release_tag(),
         stats: vec![None; n_workers],
         n_workers,
         policy: cfg.recovery,
@@ -582,10 +638,62 @@ pub fn master_session<T: Transport>(
         idle_seconds: 0.0,
     };
 
-    // broadcast data to all node programs; a partial broadcast leaves the
-    // world inconsistent, so any failure here is fatal for the session
     let spec_wire = spec.encode();
-    mybcastreal(t, &spec_wire, TAG_INIT).map_err(FarmError::Setup)?;
+    match kind {
+        SessionKind::OneShot => {
+            // broadcast data to all node programs; a partial broadcast
+            // leaves the world inconsistent, so any failure here is
+            // fatal for the session
+            mybcastreal(t, &spec_wire, TAG_INIT).map_err(FarmError::Setup)?;
+        }
+        SessionKind::Pooled => {
+            // fold in casualties from earlier jobs first, so a rank
+            // that died on the pool is never offered this job; a rank
+            // respawned between jobs is a fresh worker that picks the
+            // job up from the tag-10 send like everyone else
+            for ev in watch() {
+                match ev {
+                    WorkerEvent::Dead(rank) => {
+                        if rank == 0 || rank > n_workers || s.dead.contains(&rank) {
+                            continue;
+                        }
+                        if s.policy.recovers() {
+                            s.mark_dead(t, rank, "dead before job start")?;
+                        } else {
+                            return Err(FarmError::WorkerLost {
+                                rank,
+                                unfinished: s.unfinished(),
+                            });
+                        }
+                    }
+                    WorkerEvent::Respawned(rank) => {
+                        if rank == 0 || rank > n_workers {
+                            continue;
+                        }
+                        s.dead.remove(&rank);
+                        s.recovery.respawns += 1;
+                    }
+                }
+            }
+            for rank in 1..=n_workers {
+                if s.dead.contains(&rank) {
+                    continue;
+                }
+                if let Err(e) = mysendreal(t, &spec_wire, TAG_NEWJOB, rank) {
+                    if s.policy.recovers() {
+                        s.mark_dead(t, rank, "unreachable at job start")?;
+                    } else {
+                        return Err(FarmError::Setup(e));
+                    }
+                }
+            }
+            if s.dead.len() == s.n_workers {
+                return Err(FarmError::AllWorkersLost {
+                    unfinished: s.unfinished(),
+                });
+            }
+        }
+    }
 
     let mut header = Vec::new();
     let mut payload = Vec::new();
@@ -835,7 +943,7 @@ pub fn master_session<T: Transport>(
         s.sweep_stats(t, cfg);
         for rank in 1..=n_workers {
             if !s.stopped.contains(&rank) {
-                let _ = mysendreal(t, &[0.0], TAG_STOP, rank);
+                let _ = mysendreal(t, &[0.0], s.release_tag, rank);
             }
         }
     }

@@ -13,9 +13,9 @@
 //!   reconstruct the full [`ode::StepStats`] on the master side, so
 //!   per-mode timing ledgers survive the wire even when workers are OS
 //!   subprocesses.
-//! * **Tag 7 (stats)** — an 8-real worker self-report (see
-//!   [`TAG_STATS`]); 4-real payloads from older workers still decode,
-//!   with the newer counters zero-filled.
+//! * **Tag 7 (stats)** — a 9-real worker self-report (see
+//!   [`TAG_STATS`]); 4- and 8-real payloads from older workers still
+//!   decode, with the newer counters zero-filled.
 
 use background::CosmoParams;
 use boltzmann::{Gauge, InitialConditions, ModeConfig, Preset};
@@ -37,11 +37,15 @@ pub const TAG_HEADER: Tag = 4;
 pub const TAG_DATA: Tag = 5;
 /// Tag 6: from master, telling the worker to stop.
 pub const TAG_STOP: Tag = 6;
-/// Tag 7: from worker, after the stop — its session statistics as
-/// 8 reals: `[modes, busy seconds, total seconds, bytes sent,
-/// steps accepted, steps rejected, rhs evals, bytes received]`.
+/// Tag 7: from worker, after its release — its session statistics as
+/// 9 reals: `[modes, busy seconds, total seconds, bytes sent,
+/// steps accepted, steps rejected, rhs evals, bytes received,
+/// ctx rebuilds]`.  In a one-shot farm the release is the tag-6 stop
+/// and the statistics cover the whole session; a pooled worker sends
+/// one such report per job on its tag-11 release, covering that job
+/// alone.
 ///
-/// A legacy 4-real payload (the first four fields) also decodes, with
+/// Legacy 4- and 8-real payloads (field prefixes) also decode, with
 /// the rest zero-filled; any other length, or any non-finite or
 /// negative value, is rejected by
 /// [`crate::worker::WorkerStats::from_wire`].  Not in the paper's
@@ -62,6 +66,81 @@ pub const TAG_FAIL: Tag = 8;
 /// while data messages still flow.  Not in the paper's table — the
 /// 1995 codes had no liveness detection beyond socket close.
 pub const TAG_HEARTBEAT: Tag = 9;
+/// Tag 10: from master, the job broadcast of a *pooled* session — the
+/// same `19 + nk` payload as [`TAG_INIT`], sent to workers that are
+/// already resident from a previous job.  A persistent worker treats
+/// tags 1 and 10 identically (a respawned rank is re-initialised with
+/// tag 1 mid-job, so both must start a job); the distinct tag exists so
+/// traces and per-tag counters separate pool reuse from cold starts.
+pub const TAG_NEWJOB: Tag = 10;
+/// Tag 11: from master, releasing workers at the end of a pooled job
+/// *without* ending their session (1 real, ignored).  The worker
+/// answers with its per-job tag-7 stats — exactly as it would answer
+/// [`TAG_STOP`] — and then parks, keeping its background/thermo caches
+/// warm, until the next tag-10/1 job or a final tag-6 stop.
+pub const TAG_JOBDONE: Tag = 11;
+
+/// 64-bit FNV-1a over a sequence of 64-bit words, fed byte-wise in
+/// little-endian order.  Dependency-free and stable across platforms —
+/// the point is a *canonical* value that can be pinned in golden tests
+/// and compared between master and worker processes.
+fn fnv1a64(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Canonical hash of a cosmology: FNV-1a over the IEEE-754 bit patterns
+/// of every [`CosmoParams`] field, in the fixed order of the tag-1 wire
+/// encoding (`h, omega_c, omega_b, omega_lambda, t_cmb_k, y_helium,
+/// n_nu_massless, n_nu_massive, m_nu_ev, n_s`).
+///
+/// Persistent workers key their background/thermo caches on this value:
+/// two jobs whose cosmologies hash equal reuse the tables, any change
+/// rebuilds them.  Hashing bit patterns (not numeric equality) is
+/// deliberate — a cache key must never conflate parameter sets the
+/// physics could distinguish, and bitwise identity is the only relation
+/// that survives encode/decode round-trips exactly.
+pub fn cosmo_hash(c: &CosmoParams) -> u64 {
+    fnv1a64([
+        c.h.to_bits(),
+        c.omega_c.to_bits(),
+        c.omega_b.to_bits(),
+        c.omega_lambda.to_bits(),
+        c.t_cmb_k.to_bits(),
+        c.y_helium.to_bits(),
+        c.n_nu_massless.to_bits(),
+        c.n_nu_massive as u64,
+        c.m_nu_ev.to_bits(),
+        c.n_s.to_bits(),
+    ])
+}
+
+/// Canonical hash of a whole job: FNV-1a over the bit patterns of the
+/// tag-1/10 wire encoding ([`RunSpec::encode`]), which covers the
+/// cosmology, gauge, initial conditions, accuracy preset, hierarchy
+/// sizes, integration horizon, and the full k-grid in order.
+///
+/// The service's content-addressed `ResultCache` keys on this value:
+/// requests that hash equal are — by construction of the encoding —
+/// the same job, and the deterministic integrator makes their results
+/// bitwise interchangeable.
+pub fn job_hash(spec: &RunSpec) -> u64 {
+    hash_reals(&spec.encode())
+}
+
+/// FNV-1a over the exact bit patterns of `xs`.  This is the generic
+/// content hash behind [`job_hash`]; the `plinger-serve` client also
+/// applies it to response bodies, so two responses print the same hash
+/// exactly when they are bitwise identical.
+pub fn hash_reals(xs: &[f64]) -> u64 {
+    fnv1a64(xs.iter().map(|x| x.to_bits()))
+}
 
 /// A tag-1 broadcast payload that cannot be decoded into a [`RunSpec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -268,6 +347,35 @@ mod tests {
         assert_eq!(TAG_STATS, 7);
         assert_eq!(TAG_FAIL, 8);
         assert_eq!(TAG_HEARTBEAT, 9);
+        // pooled-session extensions: job start / job release for
+        // workers that stay resident between k-grids
+        assert_eq!(TAG_NEWJOB, 10);
+        assert_eq!(TAG_JOBDONE, 11);
+    }
+
+    #[test]
+    fn job_hash_tracks_every_spec_field() {
+        let base = RunSpec::standard_cdm(vec![0.001, 0.01]);
+        let h0 = job_hash(&base);
+        assert_eq!(job_hash(&base), h0, "hash must be deterministic");
+
+        let mut m = base.clone();
+        m.cosmo.omega_b += 1e-12;
+        assert_ne!(job_hash(&m), h0, "cosmology must be keyed");
+
+        let mut m = base.clone();
+        m.preset = Preset::Draft;
+        assert_ne!(job_hash(&m), h0, "accuracy must be keyed");
+
+        let mut m = base.clone();
+        m.ks.push(0.1);
+        assert_ne!(job_hash(&m), h0, "grid must be keyed");
+
+        // cosmo_hash ignores everything but the cosmology
+        let mut m = base.clone();
+        m.preset = Preset::Draft;
+        m.ks = vec![0.5];
+        assert_eq!(cosmo_hash(&m.cosmo), cosmo_hash(&base.cosmo));
     }
 
     #[test]

@@ -20,7 +20,8 @@
 //!                efficiency, load_imbalance, total_flops, mflops },
 //!   "workers": [ { rank, modes, busy_seconds, total_seconds,
 //!                  idle_seconds, bytes_sent, bytes_received,
-//!                  steps_accepted, steps_rejected, rhs_evals } ],
+//!                  steps_accepted, steps_rejected, rhs_evals,
+//!                  ctx_rebuilds } ],
 //!   "messages":[ { tag, name, sent, sent_bytes, recv, recv_bytes } ],
 //!   "latency": { send_ns: {count,sum,min,max,mean,p50,p99},
 //!                recv_ns: {…} },
@@ -62,6 +63,8 @@ pub fn tag_name(tag: usize) -> &'static str {
         7 => "stats",
         8 => "fail",
         9 => "heartbeat",
+        10 => "newjob",
+        11 => "jobdone",
         _ => "other",
     }
 }
@@ -171,6 +174,7 @@ pub fn build_run_report(report: &FarmReport, transport: &str) -> Json {
                     ("steps_accepted".into(), Json::Num(w.steps_accepted as f64)),
                     ("steps_rejected".into(), Json::Num(w.steps_rejected as f64)),
                     ("rhs_evals".into(), Json::Num(w.rhs_evals as f64)),
+                    ("ctx_rebuilds".into(), Json::Num(w.ctx_rebuilds as f64)),
                 ])
             })
             .collect(),
@@ -394,6 +398,8 @@ mod tests {
         assert_eq!(tag_name(1), "init");
         assert_eq!(tag_name(7), "stats");
         assert_eq!(tag_name(9), "heartbeat");
+        assert_eq!(tag_name(10), "newjob");
+        assert_eq!(tag_name(11), "jobdone");
         assert_eq!(tag_name(15), "other");
     }
 

@@ -1,0 +1,368 @@
+//! Spectrum-as-a-service: a job front-end over a warm [`FarmPool`].
+//!
+//! A pooled farm turns "run the spectrum code" into "ask a resident
+//! service for a spectrum", and once jobs are cheap to issue the same
+//! k-grid gets requested twice.  [`SpectrumService`] closes that loop:
+//! every request is keyed by the canonical job hash
+//! ([`crate::protocol::job_hash`] — an FNV-1a over the exact tag-1 wire
+//! bits of the [`RunSpec`], so two requests collide exactly when they
+//! would broadcast identical job parameters) and looked up in a
+//! content-addressed [`ResultCache`] before any worker is disturbed.  A
+//! hit returns the stored response body — bit-for-bit the bytes the
+//! first run produced, with hit/miss telemetry counted; a miss runs the
+//! job on the pool, encodes the outputs into a flat real-vector body
+//! ([`encode_spectrum_body`]), caches it, and also hands back the
+//! per-job [`FarmReport`] for `run_report`-schema metrics export.
+//!
+//! The response body is a plain `Vec<f64>` rather than a struct so the
+//! `plinger-serve` wire protocol (see `docs/PROTOCOL.md`) can ship it
+//! unmodified in one length-prefixed frame, and so cached and fresh
+//! responses are comparable by hashing the reals' bit patterns.
+//!
+//! Requests are served strictly in arrival order on the pool (the
+//! chunked master scheduler already multiplexes each job's modes over
+//! every worker); concurrency lives one layer up, in the server bin,
+//! which queues whole requests onto the single service behind a lock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use boltzmann::ModeOutput;
+use msgpass::{Tag, World};
+
+use crate::error::FarmError;
+use crate::farm::FarmReport;
+use crate::pool::FarmPool;
+use crate::protocol::{job_hash, RunSpec};
+use crate::schedule::SchedulePolicy;
+
+/// Tag 20, client → server: request one spectrum.  The payload is the
+/// [`RunSpec`] tag-1 wire encoding ([`RunSpec::encode`]), so the
+/// service request is byte-compatible with the farm's own job open.
+pub const TAG_REQ_SPECTRUM: Tag = 20;
+/// Tag 21, server → client: the spectrum response.  The payload is
+/// `[hit_flag]` (1.0 when served from the [`ResultCache`], else 0.0)
+/// followed by the [`encode_spectrum_body`] reals.
+pub const TAG_RESP_SPECTRUM: Tag = 21;
+/// Tag 25, client → server: request service counters (empty payload).
+pub const TAG_REQ_METRICS: Tag = 25;
+/// Tag 26, server → client: service counters as
+/// `[requests, cache_hits, cache_misses, pool_jobs, workers]`.
+pub const TAG_RESP_METRICS: Tag = 26;
+/// Tag 29, server → client: the request could not be served (payload:
+/// the UTF-8 error text, one byte per real — diagnostic only).
+pub const TAG_RESP_ERROR: Tag = 29;
+
+/// Render an error message as a [`TAG_RESP_ERROR`] payload.
+pub fn encode_error_text(msg: &str) -> Vec<f64> {
+    msg.bytes().map(f64::from).collect()
+}
+
+/// Recover the error text of a [`TAG_RESP_ERROR`] payload.
+pub fn decode_error_text(data: &[f64]) -> String {
+    data.iter().map(|&b| b as u8 as char).collect()
+}
+
+/// Content-addressed store of finished response bodies, keyed by the
+/// canonical job hash.
+///
+/// Values are `Arc`ed so a hit hands out the original allocation — a
+/// repeated request cannot differ from the first response even in
+/// principle.  The hit/miss counters are the cache's telemetry
+/// (exported per-request by `plinger-serve` and asserted by the CI
+/// smoke test).
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: HashMap<u64, Arc<Vec<f64>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up `key`, counting the outcome as a hit or a miss.
+    pub fn lookup(&mut self, key: u64) -> Option<Arc<Vec<f64>>> {
+        match self.entries.get(&key) {
+            Some(body) => {
+                self.hits += 1;
+                Some(Arc::clone(body))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store the body for `key` (last write wins; in practice the key
+    /// is content-derived, so a rewrite stores identical bits).
+    pub fn insert(&mut self, key: u64, body: Arc<Vec<f64>>) {
+        self.entries.insert(key, body);
+    }
+
+    /// Distinct results stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups answered from the store.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to a pool job.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// One answered request: where the body came from and, on a miss, the
+/// job's full report for metrics export.
+#[derive(Debug)]
+pub struct ServiceReply {
+    /// Canonical job hash the request was keyed under.
+    pub key: u64,
+    /// True when the body came from the [`ResultCache`] (no pool job
+    /// ran, no worker spans exist for this request).
+    pub cache_hit: bool,
+    /// The response body (see [`encode_spectrum_body`] for the layout).
+    pub body: Arc<Vec<f64>>,
+    /// The per-job [`FarmReport`] of the pool run that produced the
+    /// body — `None` on a cache hit, which did no work worth reporting.
+    pub report: Option<FarmReport>,
+}
+
+/// A resident spectrum service: one warm [`FarmPool`] plus the
+/// [`ResultCache`] in front of it.
+pub struct SpectrumService<W: World> {
+    pool: FarmPool<W>,
+    cache: ResultCache,
+    policy: SchedulePolicy,
+    requests: u64,
+}
+
+impl<W: World> SpectrumService<W> {
+    /// Wrap a running pool; `policy` schedules every job's k-grid.
+    pub fn new(pool: FarmPool<W>, policy: SchedulePolicy) -> Self {
+        Self {
+            pool,
+            cache: ResultCache::new(),
+            policy,
+            requests: 0,
+        }
+    }
+
+    /// Serve one spectrum request: cache lookup, then (on a miss) one
+    /// pooled job.
+    pub fn handle(&mut self, spec: &RunSpec) -> Result<ServiceReply, FarmError> {
+        self.requests += 1;
+        let key = job_hash(spec);
+        if let Some(body) = self.cache.lookup(key) {
+            return Ok(ServiceReply {
+                key,
+                cache_hit: true,
+                body,
+                report: None,
+            });
+        }
+        let report = self.pool.run_job(spec, self.policy)?;
+        let body = Arc::new(encode_spectrum_body(&report.outputs, report.wall_seconds));
+        self.cache.insert(key, Arc::clone(&body));
+        Ok(ServiceReply {
+            key,
+            cache_hit: false,
+            body,
+            report: Some(report),
+        })
+    }
+
+    /// Requests handled (hits and misses both count).
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// The cache's telemetry.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// The pool underneath (e.g. to read `jobs_run`).
+    pub fn pool(&self) -> &FarmPool<W> {
+        &self.pool
+    }
+
+    /// Shut the pool down, returning the service's [`ResultCache`] so a
+    /// caller can log final hit/miss totals.
+    pub fn shutdown(self) -> ResultCache {
+        let _ = self.pool.shutdown();
+        self.cache
+    }
+}
+
+/// Flatten a finished job into one real vector:
+///
+/// ```text
+/// [ n_outputs, wall_seconds,
+///   header_len, payload_len, header…, payload…,   // output 0
+///   header_len, payload_len, header…, payload…,   // output 1
+///   … ]
+/// ```
+///
+/// Each output's header/payload pair is exactly its tag-4/tag-5 wire
+/// encoding ([`ModeOutput::to_wire`], with `ik` the output's position),
+/// so a body round-trips through [`decode_spectrum_body`] with the same
+/// fidelity as the farm wire itself.
+pub fn encode_spectrum_body(outputs: &[ModeOutput], wall_seconds: f64) -> Vec<f64> {
+    let mut body = vec![outputs.len() as f64, wall_seconds];
+    for (ik, out) in outputs.iter().enumerate() {
+        let (header, payload) = out.to_wire(ik);
+        body.push(header.len() as f64);
+        body.push(payload.len() as f64);
+        body.extend_from_slice(&header);
+        body.extend_from_slice(&payload);
+    }
+    body
+}
+
+/// Inverse of [`encode_spectrum_body`].  Malformed bodies (truncated
+/// frames, header/payload lengths that disagree with the declared
+/// counts) are reported as a `String` rather than panicking, so a
+/// corrupt service response fails one request, not the client.
+pub fn decode_spectrum_body(body: &[f64]) -> Result<(Vec<ModeOutput>, f64), String> {
+    if body.len() < 2 {
+        return Err(format!("body too short: {} reals", body.len()));
+    }
+    let n = body[0] as usize;
+    let wall_seconds = body[1];
+    let mut outputs = Vec::with_capacity(n);
+    let mut at = 2usize;
+    for i in 0..n {
+        let [hlen, plen] = *body
+            .get(at..at + 2)
+            .and_then(|s| <&[f64; 2]>::try_from(s).ok())
+            .ok_or_else(|| format!("output {i}: truncated length prefix at {at}"))?;
+        let (hlen, plen) = (hlen as usize, plen as usize);
+        at += 2;
+        let header = body
+            .get(at..at + hlen)
+            .ok_or_else(|| format!("output {i}: truncated header"))?;
+        at += hlen;
+        let payload = body
+            .get(at..at + plen)
+            .ok_or_else(|| format!("output {i}: truncated payload"))?;
+        at += plen;
+        let (_ik, out) =
+            ModeOutput::from_wire(header, payload).map_err(|e| format!("output {i}: {e}"))?;
+        outputs.push(out);
+    }
+    if at != body.len() {
+        return Err(format!(
+            "body has {} trailing reals after {n} outputs",
+            body.len() - at
+        ));
+    }
+    Ok((outputs, wall_seconds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farm::run_serial;
+    use boltzmann::Preset;
+    use msgpass::channel::ChannelWorld;
+
+    fn tiny_spec(ks: Vec<f64>) -> RunSpec {
+        let mut spec = RunSpec::standard_cdm(ks);
+        spec.preset = Preset::Draft;
+        spec
+    }
+
+    #[test]
+    fn body_roundtrips_bitwise() {
+        let spec = tiny_spec(vec![0.001, 0.02]);
+        let (outputs, wall) = run_serial(&spec).unwrap();
+        let body = encode_spectrum_body(&outputs, wall);
+        let (back, wall_back) = decode_spectrum_body(&body).unwrap();
+        assert_eq!(wall_back.to_bits(), wall.to_bits());
+        assert_eq!(back.len(), outputs.len());
+        for (a, b) in outputs.iter().zip(&back) {
+            assert_eq!(a.k.to_bits(), b.k.to_bits());
+            assert_eq!(a.delta_c.to_bits(), b.delta_c.to_bits());
+            assert_eq!(a.delta_t.len(), b.delta_t.len());
+            for (x, y) in a.delta_t.iter().zip(&b.delta_t) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bodies() {
+        assert!(decode_spectrum_body(&[]).is_err());
+        // claims one output but carries none
+        assert!(decode_spectrum_body(&[1.0, 0.5]).is_err());
+        let spec = tiny_spec(vec![0.001]);
+        let (outputs, wall) = run_serial(&spec).unwrap();
+        let mut body = encode_spectrum_body(&outputs, wall);
+        body.pop();
+        assert!(decode_spectrum_body(&body).is_err());
+        // trailing garbage is rejected, not silently ignored
+        let mut body = encode_spectrum_body(&outputs, wall);
+        body.push(0.0);
+        assert!(decode_spectrum_body(&body).is_err());
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let mut cache = ResultCache::new();
+        assert!(cache.lookup(7).is_none());
+        cache.insert(7, Arc::new(vec![1.0, 2.0]));
+        let hit = cache.lookup(7).unwrap();
+        assert_eq!(*hit, vec![1.0, 2.0]);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn service_serves_second_identical_request_from_cache() {
+        let pool = FarmPool::<ChannelWorld>::start(2).unwrap();
+        let mut svc = SpectrumService::new(pool, SchedulePolicy::LargestFirst);
+        let spec = tiny_spec(vec![0.001, 0.004, 0.02]);
+
+        let first = svc.handle(&spec).unwrap();
+        assert!(!first.cache_hit);
+        let rep = first.report.as_ref().unwrap();
+        assert_eq!(rep.outputs.len(), 3);
+
+        let second = svc.handle(&spec).unwrap();
+        assert!(second.cache_hit);
+        assert!(second.report.is_none());
+        // the literal same allocation: bitwise equality is structural
+        assert!(Arc::ptr_eq(&first.body, &second.body));
+        assert_eq!(svc.pool().jobs_run(), 1);
+
+        // a distinct grid is a distinct key and a fresh pool job
+        let other = svc.handle(&tiny_spec(vec![0.001, 0.004])).unwrap();
+        assert!(!other.cache_hit);
+        assert_eq!(svc.pool().jobs_run(), 2);
+        assert_ne!(other.key, first.key);
+
+        let cache = svc.shutdown();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+
+        // cached body decodes to the serial answer, bit for bit
+        let (serial, _) = run_serial(&spec).unwrap();
+        let (decoded, _) = decode_spectrum_body(&second.body).unwrap();
+        for (s, d) in serial.iter().zip(&decoded) {
+            assert_eq!(s.delta_c.to_bits(), d.delta_c.to_bits());
+            assert_eq!(s.phi.to_bits(), d.phi.to_bits());
+        }
+    }
+}

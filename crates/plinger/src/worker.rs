@@ -12,8 +12,8 @@ use telemetry::{SpanEvent, SpanRecorder};
 
 use crate::error::FarmError;
 use crate::protocol::{
-    RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT, TAG_REQUEST,
-    TAG_STATS, TAG_STOP,
+    cosmo_hash, RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT,
+    TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
 };
 
 /// How many accepted integrator steps pass between heartbeat-clock
@@ -138,11 +138,15 @@ pub struct WorkerStats {
     pub rhs_evals: usize,
     /// Bytes received from the master (broadcast + assignments).
     pub bytes_received: usize,
+    /// Background/thermo cache rebuilds this session (0 or 1 per job:
+    /// 1 when the broadcast's cosmology hash differed from the cached
+    /// one and the physics tables were rebuilt, 0 on a warm-cache job).
+    pub ctx_rebuilds: usize,
 }
 
 impl WorkerStats {
     /// Encode as the tag-7 payload.
-    pub fn to_wire(&self) -> [f64; 8] {
+    pub fn to_wire(&self) -> [f64; 9] {
         [
             self.modes as f64,
             self.busy_seconds,
@@ -152,18 +156,20 @@ impl WorkerStats {
             self.steps_rejected as f64,
             self.rhs_evals as f64,
             self.bytes_received as f64,
+            self.ctx_rebuilds as f64,
         ]
     }
 
     /// Decode a tag-7 payload.
     ///
-    /// Accepts the current 8-real layout and the pre-extension 4-real
-    /// layout (integrator counters read as zero).  Returns `None` for
-    /// any other length and for payloads containing NaN, non-finite, or
-    /// negative values — a garbled stats message must not silently
-    /// become a plausible-looking report.
+    /// Accepts the current 9-real layout plus the two earlier shapes —
+    /// 8 reals (pre-pool, no rebuild counter) and 4 reals (the 1995
+    /// field set) — with missing trailing counters read as zero.
+    /// Returns `None` for any other length and for payloads containing
+    /// NaN, non-finite, or negative values — a garbled stats message
+    /// must not silently become a plausible-looking report.
     pub fn from_wire(v: &[f64]) -> Option<Self> {
-        if v.len() != 4 && v.len() != 8 {
+        if v.len() != 4 && v.len() != 8 && v.len() != 9 {
             return None;
         }
         if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
@@ -179,7 +185,22 @@ impl WorkerStats {
             steps_rejected: at(5) as usize,
             rhs_evals: at(6) as usize,
             bytes_received: at(7) as usize,
+            ctx_rebuilds: at(8) as usize,
         })
+    }
+
+    /// Field-wise accumulate `other` into `self` — a pooled worker's
+    /// whole-session totals are the sum of its per-job reports.
+    pub fn absorb(&mut self, other: &WorkerStats) {
+        self.modes += other.modes;
+        self.busy_seconds += other.busy_seconds;
+        self.total_seconds += other.total_seconds;
+        self.bytes_sent += other.bytes_sent;
+        self.steps_accepted += other.steps_accepted;
+        self.steps_rejected += other.steps_rejected;
+        self.rhs_evals += other.rhs_evals;
+        self.bytes_received += other.bytes_received;
+        self.ctx_rebuilds += other.ctx_rebuilds;
     }
 }
 
@@ -271,25 +292,97 @@ pub fn worker_session<T: Transport>(
     stats.bytes_received += n * 8;
     let t_start = Instant::now();
     let ctx = WorkerContext::from_broadcast(&buf)?;
+    stats.ctx_rebuilds = 1;
 
     // ask for a wavenumber from master
     mysendreal(t, &[0.0], TAG_REQUEST, mastid)?;
 
-    let mut last_heartbeat = Instant::now();
-    let mut heartbeat_seq = 0.0f64;
+    let mut hb = Heartbeat::new();
     // one integrator for the whole session: scratch buffers warm up on
     // the first mode and are reused (bit-identically) for every mode after
     let mut integ = Integrator::new();
+    let mut modes_done = 0usize;
+    let released = serve_assignments(
+        t,
+        mastid,
+        &ctx.spec,
+        &ctx.bg,
+        &ctx.thermo,
+        fault,
+        &mut modes_done,
+        &mut stats,
+        &mut integ,
+        &mut hb,
+        &mut rec,
+        &mut buf,
+    )?;
+    if released.is_none() {
+        // scripted vanish/stall: disappear without the goodbye
+        return Ok(WorkerOutcome {
+            stats,
+            spans: rec.into_events(),
+        });
+    }
+    stats.total_seconds = t_start.elapsed().as_secs_f64();
+    mysendreal(t, &stats.to_wire(), TAG_STATS, mastid)?;
+    Ok(WorkerOutcome {
+        stats,
+        spans: rec.into_events(),
+    })
+}
 
+/// Heartbeat emission state, carried across assignments (and, for a
+/// pooled worker, across jobs — the ~100 ms spacing is a per-rank
+/// property, not a per-job one).
+struct Heartbeat {
+    last: Instant,
+    seq: f64,
+}
+
+impl Heartbeat {
+    fn new() -> Self {
+        Self {
+            last: Instant::now(),
+            seq: 0.0,
+        }
+    }
+}
+
+/// Serve tag-3 assignments until any other tag arrives, integrating
+/// each mode and answering with a tag-4/5 pair or a tag-8 failure.
+/// The terminating message's payload is consumed (and counted into
+/// `stats.bytes_received`) and its tag returned, so the caller decides
+/// what stop/job-done/new-job means for its lifetime.
+///
+/// Returns `Ok(None)` when a scripted [`WorkerFault`] says to vanish —
+/// the caller must then return without a goodbye.  `modes_done` counts
+/// completed modes across the whole worker lifetime (fault triggers key
+/// on it), while `stats` is the caller's per-session or per-job ledger.
+#[allow(clippy::too_many_arguments)]
+fn serve_assignments<T: Transport>(
+    t: &mut T,
+    mastid: msgpass::Rank,
+    spec: &RunSpec,
+    bg: &Background,
+    thermo: &ThermoHistory,
+    fault: Option<WorkerFault>,
+    modes_done: &mut usize,
+    stats: &mut WorkerStats,
+    integ: &mut Integrator,
+    hb: &mut Heartbeat,
+    rec: &mut SpanRecorder,
+    buf: &mut Vec<f64>,
+) -> Result<Option<msgpass::Tag>, FarmError> {
+    let cfg = spec.mode_config();
     loop {
-        // receive from master: next ik or message to stop
+        // receive from master: next ik or a release message
         let t_wait = Instant::now();
         let tag = mychecktid(t, mastid)?;
-        let n = myrecvreal(t, &mut buf, tag, mastid)?;
+        let n = myrecvreal(t, buf, tag, mastid)?;
         stats.bytes_received += n * 8;
         rec.record("wait", "worker", t_wait, Instant::now(), &[]);
         if tag != TAG_ASSIGN {
-            break;
+            return Ok(Some(tag));
         }
         // a tag-3 assignment carries one or more mode indices (a
         // chunk); work through them in assignment order, answering
@@ -297,31 +390,25 @@ pub fn worker_session<T: Transport>(
         // touching the next — the master strikes them off one by one
         let iks: Vec<usize> = buf.iter().map(|&v| v as usize).collect();
         for ik in iks {
-            if ik >= ctx.spec.ks.len() {
+            if ik >= spec.ks.len() {
                 return Err(FarmError::Protocol {
                     rank: t.rank(),
                     detail: format!("assignment ik={ik} outside the k-grid"),
                 });
             }
-            let k = ctx.spec.ks[ik];
+            let k = spec.ks[ik];
             // fault checks run per *mode*, not per assignment, so a fault
             // can strike mid-chunk (the recovery tests depend on this)
             match fault {
-                Some(WorkerFault::Vanish { after_modes }) if stats.modes >= after_modes => {
+                Some(WorkerFault::Vanish { after_modes }) if *modes_done >= after_modes => {
                     // fault injection: vanish without a goodbye
-                    return Ok(WorkerOutcome {
-                        stats,
-                        spans: rec.into_events(),
-                    });
+                    return Ok(None);
                 }
-                Some(WorkerFault::Stall { after_modes, stall }) if stats.modes >= after_modes => {
+                Some(WorkerFault::Stall { after_modes, stall }) if *modes_done >= after_modes => {
                     // fault injection: hang silently, then vanish — the
                     // master's heartbeat timeout must catch this
                     std::thread::sleep(stall);
-                    return Ok(WorkerOutcome {
-                        stats,
-                        spans: rec.into_events(),
-                    });
+                    return Ok(None);
                 }
                 Some(WorkerFault::FailMode { ik: bad }) if bad == ik => {
                     // fault injection: report the mode as failed
@@ -337,16 +424,16 @@ pub fn worker_session<T: Transport>(
                     steps_since += 1;
                     if steps_since >= HEARTBEAT_CHECK_STEPS {
                         steps_since = 0;
-                        if last_heartbeat.elapsed() >= HEARTBEAT_MIN_INTERVAL {
-                            heartbeat_seq += 1.0;
+                        if hb.last.elapsed() >= HEARTBEAT_MIN_INTERVAL {
+                            hb.seq += 1.0;
                             // best-effort: not counted in bytes_sent, and a
                             // dead master will surface on the next real send
-                            let _ = t.send(mastid, TAG_HEARTBEAT, &[heartbeat_seq]);
-                            last_heartbeat = Instant::now();
+                            let _ = t.send(mastid, TAG_HEARTBEAT, &[hb.seq]);
+                            hb.last = Instant::now();
                         }
                     }
                 };
-                ctx.run_mode_scratch(ik, Some(&mut observer), &mut integ)
+                evolve_mode_scratch(bg, thermo, k, &cfg, Some(&mut observer), integ)
             };
             match result {
                 Ok(out) => {
@@ -359,6 +446,7 @@ pub fn worker_session<T: Transport>(
                     );
                     stats.busy_seconds += t_mode.elapsed().as_secs_f64();
                     stats.modes += 1;
+                    *modes_done += 1;
                     stats.steps_accepted += out.stats.accepted;
                     stats.steps_rejected += out.stats.rejected;
                     stats.rhs_evals += out.stats.rhs_evals;
@@ -385,12 +473,146 @@ pub fn worker_session<T: Transport>(
             }
         }
     }
-    stats.total_seconds = t_start.elapsed().as_secs_f64();
-    mysendreal(t, &stats.to_wire(), TAG_STATS, mastid)?;
-    Ok(WorkerOutcome {
-        stats,
-        spans: rec.into_events(),
-    })
+}
+
+/// The warm physics tables a persistent worker keeps between jobs,
+/// keyed by the canonical cosmology hash of the job that built them.
+struct PhysicsCache {
+    hash: u64,
+    bg: Background,
+    thermo: ThermoHistory,
+}
+
+/// What one persistent worker accumulated over its whole pool lifetime.
+#[derive(Debug, Default)]
+pub struct PoolWorkerOutcome {
+    /// Jobs served to completion (each answered with a tag-7 report).
+    pub jobs: usize,
+    /// Whole-lifetime statistics: the per-job reports summed.
+    pub stats: WorkerStats,
+    /// Local wall-clock spans across all jobs, on one timeline
+    /// (`mode`, `wait`, and `build_ctx` events).
+    pub spans: Vec<SpanEvent>,
+}
+
+/// The persistent worker session of a [`crate::FarmPool`]: serve jobs
+/// until the master sends a final tag-6 stop.
+///
+/// Where [`worker_session`] lives exactly one run, this loop parks
+/// between jobs holding its [`Background`]/[`ThermoHistory`] tables,
+/// its integrator scratch, and its heartbeat clock, and:
+///
+/// * treats tag 10 (`NewJob`) and tag 1 (`Init`) identically as a job
+///   start — a respawned rank is re-initialised with tag 1 mid-job, and
+///   a one-shot master over this session speaks tag 1 throughout;
+/// * rebuilds the physics tables **only when the job's canonical
+///   cosmology hash differs** from the cached one, recording a
+///   `build_ctx` span and setting [`WorkerStats::ctx_rebuilds`] for the
+///   job, so cache reuse is visible in the run report;
+/// * answers the per-job release (tag 11, or tag 6 under a one-shot
+///   master) with that job's own tag-7 stats — fresh counters every
+///   job, so idle/imbalance accounting never bleeds across sessions;
+/// * consumes and ignores stale traffic between jobs (e.g. an
+///   assignment addressed to this rank's previous incarnation that was
+///   already requeued elsewhere);
+/// * on an idle tag-6 stop, reports its stats (zeroed if it never saw a
+///   job, summed over jobs otherwise) and exits, mirroring the one-shot
+///   early-stop handshake.
+pub fn worker_pool_session<T: Transport>(
+    t: &mut T,
+    fault: Option<WorkerFault>,
+    epoch: Instant,
+) -> Result<PoolWorkerOutcome, FarmError> {
+    let (mytid, mastid) = initpass(t);
+    let mut buf = Vec::new();
+    let mut rec = SpanRecorder::new(epoch, 0, mytid as u64);
+    let mut out = PoolWorkerOutcome::default();
+    let mut cache: Option<PhysicsCache> = None;
+    let mut integ = Integrator::new();
+    let mut hb = Heartbeat::new();
+    let mut modes_done = 0usize;
+
+    loop {
+        let tag = mychecktid(t, mastid)?;
+        if tag != TAG_INIT && tag != TAG_NEWJOB {
+            let _ = myrecvreal(t, &mut buf, tag, mastid)?;
+            if tag == TAG_STOP {
+                // session over; report lifetime totals like the
+                // one-shot early-stop path does
+                mysendreal(t, &out.stats.to_wire(), TAG_STATS, mastid)?;
+                out.spans = rec.into_events();
+                return Ok(out);
+            }
+            // stale traffic for a previous incarnation of this rank
+            // (its work was already requeued): consume and ignore
+            continue;
+        }
+
+        // job start: tag 1 (init / respawn re-init) or tag 10 (pooled)
+        let n = myrecvreal(t, &mut buf, tag, mastid)?;
+        let mut stats = WorkerStats {
+            bytes_received: n * 8,
+            ..WorkerStats::default()
+        };
+        let t_start = Instant::now();
+        let spec = RunSpec::decode(&buf)?;
+        let hash = cosmo_hash(&spec.cosmo);
+        if cache.as_ref().map(|c| c.hash) != Some(hash) {
+            let t_build = Instant::now();
+            let bg = Background::new(spec.cosmo.clone());
+            let thermo = ThermoHistory::new(&bg);
+            rec.record(
+                "build_ctx",
+                "worker",
+                t_build,
+                Instant::now(),
+                &[("cosmo_hash", format!("{hash:016x}"))],
+            );
+            cache = Some(PhysicsCache { hash, bg, thermo });
+            stats.ctx_rebuilds = 1;
+        }
+        let Some(pc) = cache.as_ref() else {
+            return Err(FarmError::Protocol {
+                rank: t.rank(),
+                detail: "physics cache missing after job init".to_string(),
+            });
+        };
+
+        mysendreal(t, &[0.0], TAG_REQUEST, mastid)?;
+        let released = serve_assignments(
+            t,
+            mastid,
+            &spec,
+            &pc.bg,
+            &pc.thermo,
+            fault,
+            &mut modes_done,
+            &mut stats,
+            &mut integ,
+            &mut hb,
+            &mut rec,
+            &mut buf,
+        )?;
+        let Some(release_tag) = released else {
+            // scripted vanish/stall: disappear without the goodbye
+            out.stats.absorb(&stats);
+            out.spans = rec.into_events();
+            return Ok(out);
+        };
+        stats.total_seconds = t_start.elapsed().as_secs_f64();
+        mysendreal(t, &stats.to_wire(), TAG_STATS, mastid)?;
+        out.jobs += 1;
+        out.stats.absorb(&stats);
+        if release_tag == TAG_STOP {
+            // a one-shot master ends its only job with the session stop
+            out.spans = rec.into_events();
+            return Ok(out);
+        }
+        // tag 11 (or a back-to-back job start already consumed? no —
+        // serve_assignments returns the tag unhandled only after
+        // consuming its payload, and job starts are re-entered above):
+        // park warm and wait for the next job
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +652,7 @@ mod tests {
             steps_rejected: 12,
             rhs_evals: 7300,
             bytes_received: 512,
+            ctx_rebuilds: 1,
         };
         assert_eq!(WorkerStats::from_wire(&s.to_wire()), Some(s));
         assert_eq!(WorkerStats::from_wire(&[1.0, 2.0]), None);
@@ -469,7 +692,7 @@ mod tests {
         );
         // wrong geometry
         assert_eq!(WorkerStats::from_wire(&[1.0; 5]), None);
-        assert_eq!(WorkerStats::from_wire(&[1.0; 9]), None);
+        assert_eq!(WorkerStats::from_wire(&[1.0; 10]), None);
         assert_eq!(WorkerStats::from_wire(&[]), None);
     }
 }

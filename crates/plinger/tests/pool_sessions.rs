@@ -1,0 +1,193 @@
+//! Warm-pool determinism and cache discipline.
+//!
+//! A [`FarmPool`] must serve consecutive jobs bit-identical to fresh
+//! `Farm::run` calls on every thread-backed transport, rebuild the
+//! worker physics caches only when the canonical cosmology hash
+//! changes (counter evidence in the run report, span evidence in the
+//! pool shutdown), and reset per-job accounting — worker stats, idle
+//! time, comm tables — between jobs instead of accumulating it.
+
+use boltzmann::Preset;
+use msgpass::channel::ChannelWorld;
+use msgpass::shmem::ShmemWorld;
+use msgpass::tcp::TcpWorld;
+use msgpass::World;
+use plinger::{
+    build_run_report, run_serial, Farm, FarmPool, FarmReport, RunSpec, SchedulePolicy, TAG_INIT,
+    TAG_JOBDONE, TAG_NEWJOB, TAG_STOP,
+};
+
+fn spec_of(ks: &[f64]) -> RunSpec {
+    let mut spec = RunSpec::standard_cdm(ks.to_vec());
+    spec.preset = Preset::Draft;
+    spec
+}
+
+fn assert_bitwise(outputs: &[boltzmann::ModeOutput], reference: &[boltzmann::ModeOutput]) {
+    assert_eq!(outputs.len(), reference.len(), "mode count mismatch");
+    for (out, r) in outputs.iter().zip(reference) {
+        assert_eq!(out.k, r.k, "grid order mismatch");
+        assert_eq!(out.delta_c.to_bits(), r.delta_c.to_bits());
+        assert_eq!(out.psi.to_bits(), r.psi.to_bits());
+        for (a, b) in out.delta_t.iter().zip(&r.delta_t) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+fn rebuilds(rep: &FarmReport) -> usize {
+    rep.worker_stats.iter().map(|w| w.ctx_rebuilds).sum()
+}
+
+/// Three consecutive pooled jobs vs three fresh farms, on one
+/// transport.  Job 2 shares job 1's cosmology (different grid); job 3
+/// changes cosmology, so only jobs 1 and 3 may rebuild physics tables.
+fn pool_matches_fresh_farms<W: World>() {
+    let n_workers = 2;
+    let job1 = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4, 1.2e-3, 6.0e-4]);
+    let job2 = spec_of(&[3.0e-4, 9.0e-4, 5.0e-4, 1.0e-3]);
+    let mut job3 = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4]);
+    job3.cosmo = background::CosmoParams::lcdm();
+
+    let mut pool = FarmPool::<W>::start(n_workers).expect("pool start");
+    let reps: Vec<FarmReport> = [&job1, &job2, &job3]
+        .iter()
+        .map(|spec| {
+            pool.session(SchedulePolicy::LargestFirst)
+                .run(spec)
+                .expect("pooled job")
+        })
+        .collect();
+    assert_eq!(pool.jobs_run(), 3);
+    let shutdown = pool.shutdown();
+    assert_eq!(shutdown.jobs, 3);
+
+    for (spec, rep) in [&job1, &job2, &job3].iter().zip(&reps) {
+        let fresh = Farm::<W>::new(n_workers)
+            .run(spec, SchedulePolicy::LargestFirst)
+            .expect("fresh farm");
+        assert_bitwise(&rep.outputs, &fresh.outputs);
+        let (serial, _) = run_serial(spec).expect("serial");
+        assert_bitwise(&rep.outputs, &serial);
+        assert!(rep.recovery.is_clean(), "{:?}", rep.recovery);
+        // per-job stats reset: each report counts only its own modes
+        let modes: usize = rep.worker_stats.iter().map(|w| w.modes).sum();
+        assert_eq!(modes, spec.ks.len(), "stats accumulated across jobs");
+    }
+
+    // caches rebuilt exactly when the cosmology hash changed
+    assert_eq!(rebuilds(&reps[0]), n_workers, "cold pool builds per rank");
+    assert_eq!(rebuilds(&reps[1]), 0, "warm same-cosmology job rebuilt");
+    assert_eq!(rebuilds(&reps[2]), n_workers, "cosmology change missed");
+    let builds = shutdown
+        .worker_spans
+        .iter()
+        .filter(|s| s.name == "build_ctx")
+        .count();
+    assert_eq!(builds, 2 * n_workers, "build_ctx spans disagree");
+}
+
+#[test]
+fn pool_matches_fresh_farms_channel() {
+    pool_matches_fresh_farms::<ChannelWorld>();
+}
+
+#[test]
+fn pool_matches_fresh_farms_shmem() {
+    pool_matches_fresh_farms::<ShmemWorld>();
+}
+
+#[test]
+fn pool_matches_fresh_farms_tcp() {
+    pool_matches_fresh_farms::<TcpWorld>();
+}
+
+#[test]
+fn pooled_jobs_open_with_tag_10_and_close_with_tag_11() {
+    // per-job comm tables are deltas against the between-jobs baseline:
+    // every job shows its own tag-10 opens and tag-11 releases, never a
+    // tag-1 broadcast (no respawn happened) or a tag-6 stop (the pool
+    // outlives the job)
+    let spec = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4]);
+    let mut pool = FarmPool::<ChannelWorld>::start(2).expect("pool start");
+    for _ in 0..2 {
+        let rep = pool
+            .session(SchedulePolicy::Fifo)
+            .run(&spec)
+            .expect("pooled job");
+        let merged = rep.telemetry.merged_comm();
+        assert_eq!(
+            merged.sent_count[TAG_NEWJOB as usize], 2,
+            "one open per rank"
+        );
+        assert_eq!(
+            merged.sent_count[TAG_JOBDONE as usize], 2,
+            "one release per rank"
+        );
+        assert_eq!(
+            merged.sent_count[TAG_INIT as usize], 0,
+            "one-shot broadcast leaked"
+        );
+        assert_eq!(
+            merged.sent_count[TAG_STOP as usize], 0,
+            "job stopped the pool"
+        );
+    }
+    pool.shutdown();
+}
+
+#[test]
+fn run_report_carries_ctx_rebuild_counters() {
+    // the cache-discipline evidence must survive into the run report:
+    // workers[].ctx_rebuilds is 1 on the cold job and 0 on the warm one
+    let spec = spec_of(&[2.0e-4, 8.0e-4]);
+    let mut pool = FarmPool::<ChannelWorld>::start(2).expect("pool start");
+    let cold = pool.session(SchedulePolicy::Fifo).run(&spec).expect("cold");
+    let warm = pool.session(SchedulePolicy::Fifo).run(&spec).expect("warm");
+    pool.shutdown();
+    for (rep, want) in [(&cold, 1.0), (&warm, 0.0)] {
+        let json = build_run_report(rep, "channel");
+        let workers = json
+            .get("workers")
+            .and_then(|w| w.as_array())
+            .expect("workers block");
+        assert_eq!(workers.len(), 2);
+        for w in workers {
+            let n = w
+                .get("ctx_rebuilds")
+                .and_then(|v| v.as_f64())
+                .expect("ctx_rebuilds field");
+            assert_eq!(n, want, "report rebuild counter wrong");
+        }
+    }
+}
+
+#[test]
+fn per_job_idle_accounting_does_not_accumulate() {
+    // total_seconds is the span of one job, not the pool's lifetime:
+    // after several warm jobs a worker's per-job clock must still be
+    // bounded by that job's wall time
+    let spec = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4, 1.0e-3]);
+    let mut pool = FarmPool::<ChannelWorld>::start(2).expect("pool start");
+    let mut last = None;
+    for _ in 0..3 {
+        last = Some(
+            pool.session(SchedulePolicy::Fifo)
+                .run(&spec)
+                .expect("pooled job"),
+        );
+    }
+    let rep = last.expect("three jobs ran");
+    pool.shutdown();
+    for w in &rep.worker_stats {
+        assert!(
+            w.total_seconds <= rep.wall_seconds + 0.25,
+            "per-job clock {} outlived the job wall {}",
+            w.total_seconds,
+            rep.wall_seconds
+        );
+        assert!(w.busy_seconds <= w.total_seconds + 1e-9);
+    }
+    // derived idle/imbalance come from the same per-job stats
+    assert!(rep.idle_seconds() < 3.0 * rep.wall_seconds.max(0.05));
+}

@@ -1,0 +1,139 @@
+//! End-to-end exercise of the `plinger-serve` binary: a warm pool
+//! behind a TCP request/response loop, a content-addressed result
+//! cache, and concurrent clients multiplexed onto one pool.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+fn exe() -> &'static str {
+    env!("CARGO_BIN_EXE_plinger-serve")
+}
+
+/// Start a server on an ephemeral port and parse the startup line for
+/// the address; the reader stays attached so the summary line can be
+/// collected after exit.
+fn start_server(max_requests: usize) -> (Child, BufReader<ChildStdout>, String) {
+    let mut child = Command::new(exe())
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--transport",
+            "channel",
+            "--workers",
+            "2",
+            "--max-requests",
+            &max_requests.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn plinger-serve");
+    let stdout = child.stdout.take().expect("server stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("plinger-serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+    (child, reader, addr)
+}
+
+/// Run one client request and return its `key=value` output fields.
+fn client(addr: &str, extra: &[&str]) -> HashMap<String, String> {
+    let mut args = vec![
+        "--connect",
+        addr,
+        "--preset",
+        "draft",
+        "--kmin",
+        "2e-4",
+        "--kmax",
+        "1e-3",
+    ];
+    args.extend_from_slice(extra);
+    let out = Command::new(exe())
+        .args(&args)
+        .output()
+        .expect("run client");
+    assert!(
+        out.status.success(),
+        "client failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .split_whitespace()
+        .filter_map(|tok| {
+            tok.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+#[test]
+fn repeated_requests_hit_the_result_cache() {
+    let (mut server, mut reader, addr) = start_server(3);
+
+    // two identical requests, then a distinct grid
+    let first = client(&addr, &["--nk", "3"]);
+    let second = client(&addr, &["--nk", "3"]);
+    let third = client(&addr, &["--nk", "4", "--metrics"]);
+
+    assert_eq!(first["cache_hit"], "0", "cold request served from cache");
+    assert_eq!(second["cache_hit"], "1", "identical request missed");
+    assert_eq!(third["cache_hit"], "0", "distinct request hit");
+    // cache hits are bitwise replays: the client hashes the body it
+    // decodes, so equal hashes mean byte-identical responses
+    assert_eq!(first["fnv"], second["fnv"], "cache hit changed the bytes");
+    assert_ne!(first["fnv"], third["fnv"], "distinct jobs collided");
+    assert_eq!(first["outputs"], "3");
+    assert_eq!(third["outputs"], "4");
+    // the metrics round-trip sees the whole session
+    assert_eq!(third["requests"], "3");
+    assert_eq!(third["hits"], "1");
+    assert_eq!(third["misses"], "2");
+    assert_eq!(third["jobs"], "2", "a cache hit reached the pool");
+    assert_eq!(third["workers"], "2");
+
+    // after --max-requests connections the server exits and prints its
+    // summary: one hit, two misses, two pool jobs
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "server exited with {status}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read summary");
+    assert!(
+        rest.contains("served 3 requests, cache hits=1 misses=2, pool jobs=2"),
+        "unexpected summary: {rest:?}"
+    );
+}
+
+#[test]
+fn concurrent_distinct_requests_share_one_pool() {
+    let (mut server, mut reader, addr) = start_server(2);
+
+    // two different jobs in flight at once: both must come back clean
+    // from the same two-worker pool
+    let a = addr.clone();
+    let t1 = std::thread::spawn(move || client(&a, &["--nk", "3"]));
+    let b = addr.clone();
+    let t2 = std::thread::spawn(move || client(&b, &["--nk", "5"]));
+    let r1 = t1.join().expect("client 1");
+    let r2 = t2.join().expect("client 2");
+
+    assert_eq!(r1["cache_hit"], "0");
+    assert_eq!(r2["cache_hit"], "0");
+    assert_eq!(r1["outputs"], "3");
+    assert_eq!(r2["outputs"], "5");
+    assert_ne!(r1["fnv"], r2["fnv"]);
+
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "server exited with {status}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read summary");
+    assert!(
+        rest.contains("served 2 requests, cache hits=0 misses=2, pool jobs=2"),
+        "unexpected summary: {rest:?}"
+    );
+}

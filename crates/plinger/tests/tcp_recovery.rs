@@ -7,7 +7,7 @@
 use boltzmann::Preset;
 use plinger::{
     run_serial, run_tcp_processes, FaultPlan, MasterConfig, RecoveryPolicy, RunSpec,
-    SchedulePolicy, TcpFarmOptions,
+    SchedulePolicy, TcpFarmOptions, TcpFarmPool,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -85,4 +85,43 @@ fn no_respawn_budget_recovers_through_survivors() {
     assert_bitwise(&rep.outputs, &serial);
     assert_eq!(rep.recovery.respawns, 0);
     assert!(rep.recovery.requeues >= 1, "{:?}", rep.recovery);
+}
+
+#[test]
+fn tcp_pool_respawns_killed_worker_across_jobs() {
+    // the subprocess pool keeps the respawn listener alive between
+    // jobs: worker 1 exits abnormally mid-job-1, is relaunched and
+    // re-handshaked under its rank, and the replacement process serves
+    // job 2 on the same warm pool — both jobs bitwise vs serial
+    let job1 = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4, 1.2e-3]);
+    let job2 = spec_of(&[3.0e-4, 9.0e-4, 5.0e-4, 1.0e-3, 6.0e-4]);
+    let opts = TcpFarmOptions {
+        master: fast_master(RecoveryPolicy::requeue()),
+        respawn_limit: 2,
+        fault: Some(FaultPlan::DropWorker {
+            rank: 1,
+            after_modes: 1,
+        }),
+    };
+    let mut pool = TcpFarmPool::start(2, &exe(), &opts).unwrap();
+
+    let rep1 = pool.run_job(&job1, SchedulePolicy::Fifo).unwrap();
+    let (serial1, _) = run_serial(&job1).unwrap();
+    assert_bitwise(&rep1.outputs, &serial1);
+    assert_eq!(rep1.recovery.respawns, 1, "{:?}", rep1.recovery);
+    assert!(rep1.recovery.failed_modes.is_empty());
+
+    let rep2 = pool.run_job(&job2, SchedulePolicy::Fifo).unwrap();
+    let (serial2, _) = run_serial(&job2).unwrap();
+    assert_bitwise(&rep2.outputs, &serial2);
+    assert!(rep2.recovery.is_clean(), "{:?}", rep2.recovery);
+    // the replacement process is a full pool member again
+    assert!(
+        rep2.worker_stats[0].modes >= 1,
+        "respawned rank idle in job 2: {:?}",
+        rep2.worker_stats
+    );
+    let modes2: usize = rep2.worker_stats.iter().map(|w| w.modes).sum();
+    assert_eq!(modes2, job2.ks.len(), "job-2 stats polluted by job 1");
+    assert_eq!(pool.shutdown(), 2);
 }

@@ -223,6 +223,27 @@ impl HistogramSnapshot {
         self.count += other.count;
     }
 
+    /// Samples accumulated since `base`, which must be an earlier
+    /// snapshot of the same histogram: buckets, count, and sum subtract
+    /// exactly (saturating, so a mismatched base degrades to zeros
+    /// rather than wrapping).  `min`/`max` keep the cumulative values —
+    /// extrema are not invertible from two snapshots, so the delta's
+    /// bounds are conservative, not per-interval exact.
+    pub fn delta(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(base.buckets[i]);
+        }
+        let count = self.count.saturating_sub(base.count);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(base.sum),
+            min: if count == 0 { 0 } else { self.min },
+            max: if count == 0 { 0 } else { self.max },
+        }
+    }
+
     /// JSON summary (count/sum/min/max/mean/p50/p99 — buckets omitted).
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![

@@ -46,6 +46,44 @@ assert all("pid" in ev and "tid" in ev and "ts" in ev and "dur" in ev for ev in 
 print(f"smoke: efficiency {eff:.3f}, {len(trace)} trace events")
 EOF
 
+echo "== service smoke run =="
+# spectrum-as-a-service: a warm pool behind plinger-serve must answer
+# two identical requests with one cache hit (bitwise-equal bodies, no
+# second pool job) and a distinct request with a fresh run
+cargo build -q --release -p plinger --bin plinger-serve
+serve_bin="target/release/plinger-serve"
+serve_log="$smoke_dir/serve.log"
+"$serve_bin" --listen 127.0.0.1:0 --transport channel --workers 2 \
+    --max-requests 3 > "$serve_log" 2> "$smoke_dir/serve.err" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr="$(sed -n 's/^plinger-serve: listening on //p' "$serve_log")"
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "plinger-serve never came up"; cat "$smoke_dir/serve.err"; exit 1; }
+req() { "$serve_bin" --connect "$serve_addr" --preset draft \
+        --kmin 4e-4 --kmax 2e-3 "$@"; }
+r1="$(req --nk 3)"
+r2="$(req --nk 3)"
+r3="$(req --nk 4)"
+wait "$serve_pid"
+python3 - "$r1" "$r2" "$r3" "$serve_log" <<'EOF'
+import sys
+r1, r2, r3 = (dict(kv.split("=", 1) for kv in line.split()) for line in sys.argv[1:4])
+assert r1["cache_hit"] == "0", r1
+assert r2["cache_hit"] == "1", "identical request did not hit the cache"
+assert r3["cache_hit"] == "0", r3
+# the cache hit replayed the exact bytes of the first response
+assert r1["fnv"] == r2["fnv"], (r1["fnv"], r2["fnv"])
+assert r1["fnv"] != r3["fnv"], "distinct jobs returned identical bodies"
+assert r1["outputs"] == "3" and r3["outputs"] == "4", (r1, r3)
+summary = open(sys.argv[4]).read()
+assert "served 3 requests, cache hits=1 misses=2, pool jobs=2" in summary, summary
+print(f"service smoke: 1 hit / 2 misses, body fnv {r1['fnv']}")
+EOF
+
 echo "== hot-path differential layer =="
 # the RHS fast path (hunted spline caches, chunked assignment) is
 # pinned against the direct implementations by dedicated differential
@@ -71,5 +109,11 @@ echo "== fault matrix =="
 cargo test -q --test recovery_matrix
 cargo test -q -p plinger --test tcp_recovery --test protocol_compat
 cargo test -q -p msgpass fault::
+
+echo "== warm-pool determinism =="
+# pooled jobs must stay bitwise-identical to fresh farms with caches
+# rebuilt only on cosmology change, and the canonical hashes the
+# caches key on are pinned to golden values
+cargo test -q -p plinger --test pool_sessions --test canonical_hash --test serve
 
 echo "ci: all green"

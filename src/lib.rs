@@ -49,8 +49,9 @@ pub mod prelude {
     pub use msgpass::tcp::TcpWorld;
     pub use msgpass::{CommError, Rank, Tag, Transport, World};
     pub use plinger::{
-        run_serial, run_tcp_processes, Farm, FarmError, FarmReport, FaultPlan, RecoveryLog,
-        RecoveryPolicy, RunSpec, SchedulePolicy, TcpFarmOptions,
+        cosmo_hash, job_hash, run_serial, run_tcp_processes, Farm, FarmError, FarmPool, FarmReport,
+        FaultPlan, PoolOptions, RecoveryLog, RecoveryPolicy, ResultCache, RunSpec, SchedulePolicy,
+        SpectrumService, TcpFarmOptions, TcpFarmPool,
     };
     pub use recomb::ThermoHistory;
     pub use skymap::{AlmRealization, PotentialField, SkyMap};

@@ -303,6 +303,91 @@ fn dropped_assignment_recovered_by_silence() {
 }
 
 #[test]
+fn pooled_worker_killed_in_job_one_serves_job_two() {
+    // recovery must work *across* jobs on a warm pool: worker 1 dies
+    // mid-job-1, is respawned into the pool (not just the run), and the
+    // replacement rank integrates modes of job 2 — both jobs bitwise
+    // against serial
+    let job1 = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4, 1.2e-3, 6.0e-4]);
+    let job2 = spec_of(&[3.0e-4, 9.0e-4, 5.0e-4, 1.0e-3, 7.0e-4, 1.4e-3]);
+    let config = plinger::MasterConfig {
+        poll: Duration::from_millis(10),
+        drain_timeout: Duration::from_millis(500),
+        recovery: RecoveryPolicy::requeue(),
+        ..plinger::MasterConfig::default()
+    };
+    let opts = PoolOptions {
+        respawn_limit: 2,
+        fault: Some(FaultPlan::DropWorker {
+            rank: 1,
+            after_modes: 1,
+        }),
+    };
+    let mut pool = FarmPool::<ChannelWorld>::start_with(2, config, opts).unwrap();
+
+    let rep1 = pool.session(SchedulePolicy::Fifo).run(&job1).unwrap();
+    let (serial1, _) = run_serial(&job1).unwrap();
+    assert_bitwise(&rep1.outputs, &serial1);
+    assert_eq!(rep1.recovery.respawns, 1, "{:?}", rep1.recovery);
+    assert!(rep1.recovery.requeues >= 1, "{:?}", rep1.recovery);
+    assert!(rep1.recovery.failed_modes.is_empty());
+    assert!(report_number(&rep1, "respawns") >= 1.0);
+
+    let rep2 = pool.session(SchedulePolicy::Fifo).run(&job2).unwrap();
+    let (serial2, _) = run_serial(&job2).unwrap();
+    assert_bitwise(&rep2.outputs, &serial2);
+    assert!(rep2.recovery.is_clean(), "{:?}", rep2.recovery);
+    // the replacement is a full pool member: rank 1 serves job 2
+    assert!(
+        rep2.worker_stats[0].modes >= 1,
+        "respawned rank idle in job 2: {:?}",
+        rep2.worker_stats
+    );
+    let modes2: usize = rep2.worker_stats.iter().map(|w| w.modes).sum();
+    assert_eq!(modes2, job2.ks.len(), "job-2 stats polluted by job 1");
+    assert_eq!(pool.shutdown().jobs, 2);
+}
+
+#[test]
+fn pool_without_respawn_budget_degrades_but_keeps_serving() {
+    // same loss with respawns exhausted: job 1 finishes on the
+    // survivor, and job 2 on the same pool never offers work to the
+    // dead rank — degraded, but still bitwise-correct
+    let job1 = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4, 1.2e-3]);
+    let job2 = spec_of(&[3.0e-4, 9.0e-4, 5.0e-4]);
+    let config = plinger::MasterConfig {
+        poll: Duration::from_millis(10),
+        drain_timeout: Duration::from_millis(500),
+        recovery: RecoveryPolicy::Requeue {
+            max_attempts: 2,
+            respawn: false,
+        },
+        ..plinger::MasterConfig::default()
+    };
+    let opts = PoolOptions {
+        respawn_limit: 0,
+        fault: Some(FaultPlan::DropWorker {
+            rank: 1,
+            after_modes: 1,
+        }),
+    };
+    let mut pool = FarmPool::<ChannelWorld>::start_with(2, config, opts).unwrap();
+
+    let rep1 = pool.session(SchedulePolicy::Fifo).run(&job1).unwrap();
+    let (serial1, _) = run_serial(&job1).unwrap();
+    assert_bitwise(&rep1.outputs, &serial1);
+    assert_eq!(rep1.recovery.respawns, 0);
+    assert!(rep1.recovery.requeues >= 1, "{:?}", rep1.recovery);
+
+    let rep2 = pool.session(SchedulePolicy::Fifo).run(&job2).unwrap();
+    let (serial2, _) = run_serial(&job2).unwrap();
+    assert_bitwise(&rep2.outputs, &serial2);
+    assert_eq!(rep2.worker_stats[0].modes, 0, "dead rank served a mode");
+    assert_eq!(rep2.worker_stats[1].modes, job2.ks.len());
+    pool.shutdown();
+}
+
+#[test]
 fn clean_requeue_run_has_clean_ledger() {
     // Requeue enabled but nothing goes wrong: the ledger must stay
     // clean and the outputs identical to FailFast's
