@@ -173,6 +173,33 @@ impl CommSnapshot {
         self.recv_ns.merge(&other.recv_ns);
     }
 
+    /// Render this snapshot as a generic [`telemetry::TelemetrySnapshot`]:
+    /// counters `msgs_sent`, `msgs_recv`, `bytes_sent`, `bytes_recv`
+    /// (plus per-tag `…_tagN` breakdowns for tags that moved) and the
+    /// `send_ns`/`recv_ns` latency histograms.  These names are part of
+    /// the observability contract (`docs/OBSERVABILITY.md`); the farm
+    /// report and the service's `/metrics` endpoint both build on them.
+    pub fn to_telemetry(&self) -> telemetry::TelemetrySnapshot {
+        let mut s = telemetry::TelemetrySnapshot::default();
+        s.add("msgs_sent", self.total_sent());
+        s.add("msgs_recv", self.total_recv());
+        s.add("bytes_sent", self.total_sent_bytes());
+        s.add("bytes_recv", self.total_recv_bytes());
+        for tag in 0..TRACKED_TAGS {
+            if self.sent_count[tag] > 0 {
+                s.add(&format!("msgs_sent_tag{tag}"), self.sent_count[tag]);
+                s.add(&format!("bytes_sent_tag{tag}"), self.sent_bytes[tag]);
+            }
+            if self.recv_count[tag] > 0 {
+                s.add(&format!("msgs_recv_tag{tag}"), self.recv_count[tag]);
+                s.add(&format!("bytes_recv_tag{tag}"), self.recv_bytes[tag]);
+            }
+        }
+        s.histograms.insert("send_ns".into(), self.send_ns.clone());
+        s.histograms.insert("recv_ns".into(), self.recv_ns.clone());
+        s
+    }
+
     /// Traffic accumulated since `base`, an earlier snapshot of the
     /// *same* endpoint: tag-wise saturating differences of every
     /// counter.  A pooled farm takes a snapshot between jobs and

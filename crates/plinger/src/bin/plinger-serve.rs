@@ -26,7 +26,8 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use msgpass::channel::ChannelWorld;
@@ -36,10 +37,21 @@ use plinger::cli::{FarmArgs, FarmSettings, SpecArgs, TransportKind};
 use plinger::output_files::write_run_report;
 use plinger::pool::PoolOptions;
 use plinger::service::{
-    decode_error_text, decode_spectrum_body, encode_error_text, TAG_REQ_METRICS, TAG_REQ_SPECTRUM,
-    TAG_RESP_ERROR, TAG_RESP_METRICS, TAG_RESP_SPECTRUM,
+    decode_error_text, decode_spectrum_body, encode_error_text, ServiceMetrics, TAG_REQ_METRICS,
+    TAG_REQ_SPECTRUM, TAG_RESP_ERROR, TAG_RESP_METRICS, TAG_RESP_SPECTRUM,
 };
-use plinger::{hash_reals, FarmPool, RunSpec, SchedulePolicy, SpecDecodeError, SpectrumService};
+use plinger::{
+    hash_reals, job_hash, FarmPool, FaultPlan, RunSpec, SchedulePolicy, SpecDecodeError,
+    SpectrumService,
+};
+use telemetry::expo;
+use telemetry::log::{self as tlog, Level};
+
+/// `/healthz` reports not-ready once this many requests are in flight.
+const HEALTHZ_QUEUE_LIMIT: u64 = 64;
+
+/// Flight-recorder events dumped per failing job.
+const FLIGHT_DUMP_EVENTS: usize = 256;
 
 const USAGE: &str = "\
 usage:
@@ -49,6 +61,8 @@ usage:
 server options:
   --listen ADDR             bind address (port 0 picks one; the bound
                             address is printed on startup)
+  --metrics-addr ADDR       also serve HTTP GET /metrics (Prometheus
+                            text) and /healthz on this address
   --workers N               resident pool workers            [cores]
   --transport channel|shmem pool transport                   [channel]
   --max-requests N          exit after N connections         [serve forever]
@@ -58,6 +72,8 @@ server options:
   --poll MS / --drain-timeout MS / --heartbeat-timeout MS
   --respawn-limit N         pooled worker respawn budget     [2]
   --chunk N                 modes per assignment message     [1]
+  --log LEVEL[,json]        structured events on stderr
+                            (error|warn|info|debug)          [off]
 
 spectrum options (client): the same cosmology/grid flags as linger —
   --model, --h, --omega-b, --omega-c, --omega-lambda, --m-nu, --n-s,
@@ -90,8 +106,10 @@ fn main() -> ExitCode {
 fn server_main(args: &[String]) -> Result<(), String> {
     let mut farm = FarmArgs::default();
     let mut listen = None;
+    let mut metrics_addr = None;
     let mut max_requests = 0usize;
     let mut report_dir: Option<PathBuf> = None;
+    let mut fault = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -101,51 +119,107 @@ fn server_main(args: &[String]) -> Result<(), String> {
         let mut val = || it.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
             "--listen" => listen = Some(val()?.clone()),
+            "--metrics-addr" => metrics_addr = Some(val()?.clone()),
             "--max-requests" => {
                 max_requests = val()?
                     .parse()
                     .map_err(|_| "bad --max-requests value".to_string())?
             }
             "--report-dir" => report_dir = Some(PathBuf::from(val()?)),
+            // hidden, test-only: script a fault into the initial workers
+            "--fault" => {
+                let spec = val()?;
+                fault = Some(
+                    parse_fault_plan(spec).ok_or_else(|| format!("bad --fault value {spec}"))?,
+                )
+            }
             other => return Err(format!("unknown server flag {other}")),
         }
     }
     let listen = listen.ok_or("--listen needs a value")?;
     let settings = farm.build()?;
+    settings.apply_log();
+    let cfg = ServeConfig {
+        listen,
+        metrics_addr,
+        max_requests,
+        report_dir,
+        fault,
+    };
     match settings.transport {
-        TransportKind::Channel => {
-            serve::<ChannelWorld>(&settings, &listen, max_requests, report_dir)
-        }
-        TransportKind::Shmem => serve::<ShmemWorld>(&settings, &listen, max_requests, report_dir),
+        TransportKind::Channel => serve::<ChannelWorld>(&settings, &cfg),
+        TransportKind::Shmem => serve::<ShmemWorld>(&settings, &cfg),
         TransportKind::Tcp => {
             Err("plinger-serve pools thread transports; use --transport channel|shmem".into())
         }
     }
 }
 
-fn serve<W: World>(
-    settings: &FarmSettings,
-    listen: &str,
+/// Server options beyond the shared [`FarmSettings`].
+struct ServeConfig {
+    listen: String,
+    metrics_addr: Option<String>,
     max_requests: usize,
     report_dir: Option<PathBuf>,
-) -> Result<(), String> {
+    fault: Option<FaultPlan>,
+}
+
+/// Parse the hidden `--fault` spec: `drop:RANK:AFTER`,
+/// `stall:RANK:AFTER:MS`, or `failmode:IK` (ranks 1-based).
+fn parse_fault_plan(s: &str) -> Option<FaultPlan> {
+    let mut parts = s.split(':');
+    match parts.next()? {
+        "drop" => Some(FaultPlan::DropWorker {
+            rank: parts.next()?.parse().ok()?,
+            after_modes: parts.next()?.parse().ok()?,
+        }),
+        "stall" => Some(FaultPlan::StallWorker {
+            rank: parts.next()?.parse().ok()?,
+            after_modes: parts.next()?.parse().ok()?,
+            stall: Duration::from_millis(parts.next()?.parse().ok()?),
+        }),
+        "failmode" => Some(FaultPlan::FailMode {
+            ik: parts.next()?.parse().ok()?,
+        }),
+        _ => None,
+    }
+}
+
+fn serve<W: World>(settings: &FarmSettings, cfg: &ServeConfig) -> Result<(), String> {
     let pool = FarmPool::<W>::start_with(
         settings.workers,
         settings.master_config(),
         PoolOptions {
             respawn_limit: settings.respawn_limit,
-            fault: None,
+            fault: cfg.fault,
         },
     )
     .map_err(|e| format!("starting pool failed: {e}"))?;
-    let service = Mutex::new(SpectrumService::new(pool, SchedulePolicy::LargestFirst));
+    let n_workers = pool.n_workers();
+    let service = SpectrumService::new(pool, SchedulePolicy::LargestFirst);
+    let metrics = service.metrics();
+    let service = Mutex::new(service);
 
+    let listen = cfg.listen.as_str();
     let listener = TcpListener::bind(listen).map_err(|e| format!("bind {listen} failed: {e}"))?;
     let addr = listener
         .local_addr()
         .map_err(|e| format!("local_addr failed: {e}"))?;
-    // the startup line scripts parse to learn the ephemeral port
+    // the startup line scripts parse to learn the ephemeral port; the
+    // metrics line (if any) must come after it
     println!("plinger-serve: listening on {addr}");
+    if let Some(maddr) = cfg.metrics_addr.as_deref() {
+        let mlistener =
+            TcpListener::bind(maddr).map_err(|e| format!("bind {maddr} failed: {e}"))?;
+        let maddr = mlistener
+            .local_addr()
+            .map_err(|e| format!("metrics local_addr failed: {e}"))?;
+        println!("plinger-serve: metrics on {maddr}");
+        let scrape = Arc::clone(&metrics);
+        // detached: the scrape endpoint only touches the shared metrics
+        // handle, never the service lock, and dies with the process
+        std::thread::spawn(move || serve_metrics(mlistener, &scrape));
+    }
     eprintln!(
         "plinger-serve: pool of {} {} workers warm",
         settings.workers,
@@ -153,7 +227,7 @@ fn serve<W: World>(
     );
 
     let transport_tag = W::NAME;
-    let dir = report_dir.as_deref();
+    let dir = cfg.report_dir.as_deref();
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("creating report dir {} failed: {e}", dir.display()))?;
@@ -164,12 +238,15 @@ fn serve<W: World>(
             let stream = stream.map_err(|e| format!("accept failed: {e}"))?;
             accepted += 1;
             let service = &service;
+            let metrics = &*metrics;
             scope.spawn(move || {
-                if let Err(e) = handle_connection(stream, service, dir, transport_tag) {
+                if let Err(e) =
+                    handle_connection(stream, service, metrics, n_workers, dir, transport_tag)
+                {
                     eprintln!("plinger-serve: connection error: {e}");
                 }
             });
-            if max_requests > 0 && accepted >= max_requests {
+            if cfg.max_requests > 0 && accepted >= cfg.max_requests {
                 break;
             }
         }
@@ -194,6 +271,8 @@ fn serve<W: World>(
 fn handle_connection<W: World>(
     mut stream: TcpStream,
     service: &Mutex<SpectrumService<W>>,
+    metrics: &ServiceMetrics,
+    n_workers: usize,
     report_dir: Option<&Path>,
     transport_tag: &str,
 ) -> Result<(), String> {
@@ -201,10 +280,7 @@ fn handle_connection<W: World>(
     while let Some(msg) = read_frame(&mut stream, &mut buf)? {
         match msg.tag {
             TAG_REQ_SPECTRUM => {
-                let reply = match RunSpec::decode(&msg.data) {
-                    Ok(spec) => answer_spectrum(service, &spec, report_dir, transport_tag),
-                    Err(e) => Err(spec_error_text(&e)),
-                };
+                let reply = answer_spectrum(service, metrics, &msg.data, report_dir, transport_tag);
                 match reply {
                     Ok(payload) => send_frame(&mut stream, TAG_RESP_SPECTRUM, &payload)?,
                     Err(text) => {
@@ -212,21 +288,13 @@ fn handle_connection<W: World>(
                     }
                 }
             }
-            TAG_REQ_METRICS => {
-                let counters = {
-                    let svc = service
-                        .lock()
-                        .map_err(|_| "service lock poisoned".to_string())?;
-                    [
-                        svc.requests() as f64,
-                        svc.cache().hits() as f64,
-                        svc.cache().misses() as f64,
-                        svc.pool().jobs_run() as f64,
-                        svc.pool().n_workers() as f64,
-                    ]
-                };
-                send_frame(&mut stream, TAG_RESP_METRICS, &counters)?;
-            }
+            // answered off the shared metrics handle, never the service
+            // lock: a scrape during a long job must not block
+            TAG_REQ_METRICS => send_frame(
+                &mut stream,
+                TAG_RESP_METRICS,
+                &metrics.wire_payload(n_workers),
+            )?,
             other => {
                 let text = format!("unknown request tag {other}");
                 send_frame(&mut stream, TAG_RESP_ERROR, &encode_error_text(&text))?;
@@ -236,32 +304,195 @@ fn handle_connection<W: World>(
     Ok(())
 }
 
+/// Serve one spectrum request end to end, recording queue-wait, run,
+/// and total latency plus the request-scoped log events.
 fn answer_spectrum<W: World>(
     service: &Mutex<SpectrumService<W>>,
-    spec: &RunSpec,
+    metrics: &ServiceMetrics,
+    data: &[f64],
     report_dir: Option<&Path>,
     transport_tag: &str,
 ) -> Result<Vec<f64>, String> {
-    let mut svc = service
-        .lock()
-        .map_err(|_| "service lock poisoned".to_string())?;
-    let reply = svc.handle(spec).map_err(|e| format!("farm failed: {e}"))?;
+    let t_accept = Instant::now();
+    metrics.enter_queue();
+    let finish = || {
+        metrics.leave_queue();
+        metrics.total_ns.record(elapsed_ns(t_accept));
+    };
+
+    let spec = match RunSpec::decode(data) {
+        Ok(spec) => spec,
+        Err(e) => {
+            let text = spec_error_text(&e);
+            metrics.errors.inc();
+            tlog::log(
+                Level::Error,
+                "service",
+                "request_failed",
+                &[("error", text.clone())],
+            );
+            finish();
+            return Err(text);
+        }
+    };
+    let key = job_hash(&spec);
+    let job = tlog::job_hex(key);
+    tlog::log(
+        Level::Info,
+        "service",
+        "request_accepted",
+        &[
+            ("job", job.clone()),
+            ("queue_depth", metrics.queue_depth().to_string()),
+        ],
+    );
+
+    let Ok(mut svc) = service.lock() else {
+        metrics.errors.inc();
+        finish();
+        return Err("service lock poisoned".into());
+    };
+    metrics.queue_wait_ns.record(elapsed_ns(t_accept));
+    let t_run = Instant::now();
+    let outcome = svc.handle(&spec);
     let requests = svc.requests();
     drop(svc);
-    if let (Some(dir), Some(report)) = (report_dir, reply.report.as_ref()) {
-        let prefix = dir
-            .join(format!("req{:04}_{:016x}", requests, reply.key))
-            .to_string_lossy()
-            .into_owned();
-        match write_run_report(&prefix, report, transport_tag) {
-            Ok((path, _)) => eprintln!("plinger-serve: run report written to {path}"),
-            Err(e) => eprintln!("plinger-serve: writing run report failed: {e}"),
+    metrics.run_ns.record(elapsed_ns(t_run));
+    finish();
+
+    let reply = match outcome {
+        Ok(reply) => reply,
+        Err(e) => {
+            let text = format!("farm failed: {e}");
+            metrics.errors.inc();
+            tlog::log(
+                Level::Error,
+                "service",
+                "request_failed",
+                &[("job", job.clone()), ("error", text.clone())],
+            );
+            write_flight_dump(report_dir, key, &job);
+            return Err(text);
+        }
+    };
+    if let Some(report) = reply.report.as_ref() {
+        // quarantined modes mean the answer is incomplete: keep the
+        // evidence even though the request itself succeeded
+        if !report.recovery.failed_modes.is_empty() {
+            write_flight_dump(report_dir, key, &job);
+        }
+        if let Some(dir) = report_dir {
+            let prefix = dir
+                .join(format!("req{:04}_{:016x}", requests, reply.key))
+                .to_string_lossy()
+                .into_owned();
+            match write_run_report(&prefix, report, transport_tag) {
+                Ok((path, _)) => eprintln!("plinger-serve: run report written to {path}"),
+                Err(e) => eprintln!("plinger-serve: writing run report failed: {e}"),
+            }
         }
     }
+    tlog::log(
+        Level::Info,
+        "service",
+        "request_done",
+        &[
+            ("job", job),
+            ("cache_hit", u8::from(reply.cache_hit).to_string()),
+            (
+                "wall_ms",
+                format!("{:.3}", t_accept.elapsed().as_secs_f64() * 1e3),
+            ),
+        ],
+    );
     let mut payload = Vec::with_capacity(1 + reply.body.len());
     payload.push(if reply.cache_hit { 1.0 } else { 0.0 });
     payload.extend_from_slice(&reply.body);
     Ok(payload)
+}
+
+fn elapsed_ns(t: Instant) -> u64 {
+    t.elapsed().as_nanos() as u64
+}
+
+/// Dump the flight recorder's last events for `key` next to the run
+/// reports, so a failed or degraded job leaves its story behind.
+fn write_flight_dump(report_dir: Option<&Path>, key: u64, job: &str) {
+    let Some(dir) = report_dir else { return };
+    let events = tlog::for_job(key, FLIGHT_DUMP_EVENTS);
+    let path = dir.join(format!("flight_{job}.jsonl"));
+    match std::fs::write(&path, tlog::render_flight_dump(&events)) {
+        Ok(()) => {
+            tlog::log(
+                Level::Warn,
+                "service",
+                "flight_dump",
+                &[
+                    ("job", job.to_string()),
+                    ("events", events.len().to_string()),
+                    ("path", path.display().to_string()),
+                ],
+            );
+            eprintln!(
+                "plinger-serve: flight recorder dump ({} events) written to {}",
+                events.len(),
+                path.display()
+            );
+        }
+        Err(e) => eprintln!("plinger-serve: writing flight dump failed: {e}"),
+    }
+}
+
+// ----------------------------------------------------------- /metrics
+
+/// Read a request head up to its blank line (requests can arrive
+/// split across arbitrarily many segments), bounded at 4 kB.
+fn read_http_head(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() >= 4096 {
+            return None;
+        }
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    Some(String::from_utf8_lossy(&head).into_owned())
+}
+
+/// Answer Prometheus scrapes and health probes on a dedicated
+/// listener: strictly GET, one request per connection, HTTP/1.0.
+fn serve_metrics(listener: TcpListener, metrics: &ServiceMetrics) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        let Some(head) = read_http_head(&mut stream) else {
+            continue;
+        };
+        let response = match expo::parse_http_get(&head) {
+            Some("/metrics") => expo::http_response(
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                &telemetry::render_prometheus(&metrics.snapshot(), "plinger"),
+            ),
+            Some("/healthz") => {
+                let ready =
+                    metrics.workers_alive() >= 1 && metrics.queue_depth() < HEALTHZ_QUEUE_LIMIT;
+                if ready {
+                    expo::http_response(200, "OK", "text/plain", "ok\n")
+                } else {
+                    expo::http_response(503, "Service Unavailable", "text/plain", "not ready\n")
+                }
+            }
+            Some(_) => expo::http_response(404, "Not Found", "text/plain", "not found\n"),
+            None => expo::http_response(405, "Method Not Allowed", "text/plain", "GET only\n"),
+        };
+        let _ = stream.write_all(response.as_bytes());
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
 }
 
 fn spec_error_text(e: &SpecDecodeError) -> String {
@@ -325,13 +556,25 @@ fn client_main(args: &[String]) -> Result<(), String> {
         send_frame(&mut stream, TAG_REQ_METRICS, &[])?;
         let msg = read_frame(&mut stream, &mut buf)?
             .ok_or_else(|| "server closed the connection before metrics".to_string())?;
-        if msg.tag != TAG_RESP_METRICS || msg.data.len() != 5 {
+        // the payload grows over time: the first five reals are fixed,
+        // anything beyond is gauges + latency summaries (PROTOCOL.md)
+        if msg.tag != TAG_RESP_METRICS || msg.data.len() < 5 {
             return Err(format!("bad metrics response (tag {})", msg.tag));
         }
         println!(
             "requests={} hits={} misses={} jobs={} workers={}",
             msg.data[0], msg.data[1], msg.data[2], msg.data[3], msg.data[4],
         );
+        if msg.data.len() >= 15 {
+            println!(
+                "alive={} queue_depth={} errors={} bytes_served={}",
+                msg.data[5], msg.data[6], msg.data[7], msg.data[8],
+            );
+            println!(
+                "total_ms p50={:.3} p99={:.3}  queue_ms p50={:.3} p99={:.3}  run_ms p50={:.3} p99={:.3}",
+                msg.data[9], msg.data[10], msg.data[11], msg.data[12], msg.data[13], msg.data[14],
+            );
+        }
     }
     Ok(())
 }

@@ -76,6 +76,7 @@ fn run_master(opts: CliOptions) -> ExitCode {
     if opts.telemetry == TelemetryMode::Off {
         telemetry::set_enabled(false);
     }
+    opts.apply_log();
     let transport_name = match opts.transport {
         TransportKind::Channel => "channel threads",
         TransportKind::Shmem => "shmem threads",

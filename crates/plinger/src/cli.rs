@@ -18,6 +18,7 @@ use crate::recovery::RecoveryPolicy;
 use background::CosmoParams;
 use boltzmann::{Gauge, InitialConditions, Preset};
 use std::time::Duration;
+use telemetry::log::{parse_log_flag, Level};
 
 /// Which message-passing substrate the parallel binary farms over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,9 +71,20 @@ pub struct CliOptions {
     pub respawn_limit: usize,
     /// Modes per assignment message (`--chunk N`).
     pub chunk: usize,
+    /// Structured-log stderr sink (`--log level[,json]`); `None` keeps
+    /// stderr silent (the flight recorder records regardless).
+    pub log: Option<(Level, bool)>,
 }
 
 impl CliOptions {
+    /// Apply the `--log` flag to the process-wide stderr sink (no-op
+    /// when the flag was absent).
+    pub fn apply_log(&self) {
+        if let Some((level, json)) = self.log {
+            telemetry::log::set_stderr(Some(level), json);
+        }
+    }
+
     /// Assemble a [`MasterConfig`] from the parsed farm knobs, leaving
     /// unset timings at their library defaults.
     pub fn master_config(&self) -> MasterConfig {
@@ -141,6 +153,8 @@ options:
   --heartbeat-timeout MS    silence before a worker is dead [30000]
   --respawn-limit N         TCP subprocess respawn budget [2]
   --chunk N                 modes per assignment message  [1]
+  --log LEVEL[,json]        structured events on stderr
+                            (error|warn|info|debug)       [off]
 ";
 
 /// Pop the value of `flag` off the argument iterator.
@@ -303,6 +317,8 @@ pub struct FarmArgs {
     pub respawn_limit: usize,
     /// Modes per assignment message.
     pub chunk: usize,
+    /// Structured-log stderr sink.
+    pub log: Option<(Level, bool)>,
 }
 
 impl Default for FarmArgs {
@@ -319,6 +335,7 @@ impl Default for FarmArgs {
             heartbeat_timeout: None,
             respawn_limit: 2,
             chunk: 1,
+            log: None,
         }
     }
 }
@@ -342,6 +359,8 @@ pub struct FarmSettings {
     pub respawn_limit: usize,
     /// Modes per assignment message (≥ 1).
     pub chunk: usize,
+    /// Structured-log stderr sink (`--log level[,json]`).
+    pub log: Option<(Level, bool)>,
 }
 
 impl FarmSettings {
@@ -355,6 +374,14 @@ impl FarmSettings {
             heartbeat_timeout: self.heartbeat_timeout.unwrap_or(d.heartbeat_timeout),
             recovery: self.recovery,
             chunk: self.chunk,
+        }
+    }
+
+    /// Apply the `--log` flag to the process-wide stderr sink (no-op
+    /// when the flag was absent).
+    pub fn apply_log(&self) {
+        if let Some((level, json)) = self.log {
+            telemetry::log::set_stderr(Some(level), json);
         }
     }
 }
@@ -395,6 +422,7 @@ impl FarmArgs {
             }
             "--respawn-limit" => self.respawn_limit = num(take(flag, it)?)? as usize,
             "--chunk" => self.chunk = num(take(flag, it)?)? as usize,
+            "--log" => self.log = Some(parse_log_flag(take(flag, it)?)?),
             _ => return Ok(false),
         }
         Ok(true)
@@ -428,6 +456,7 @@ impl FarmArgs {
             heartbeat_timeout: self.heartbeat_timeout,
             respawn_limit: self.respawn_limit,
             chunk: self.chunk,
+            log: self.log,
         })
     }
 }
@@ -497,6 +526,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
         recovery: farm.recovery,
         respawn_limit: farm.respawn_limit,
         chunk: farm.chunk,
+        log: farm.log,
     })))
 }
 
@@ -666,6 +696,23 @@ mod tests {
         }
         assert!(parse(&argv("--telemetry verbose")).is_err());
         assert!(parse(&argv("--trace-out")).is_err());
+    }
+
+    #[test]
+    fn log_flag_parses() {
+        match parse(&[]).unwrap() {
+            Parsed::Run(o) => assert_eq!(o.log, None),
+            _ => panic!("expected run"),
+        }
+        match parse(&argv("--log info")).unwrap() {
+            Parsed::Run(o) => assert_eq!(o.log, Some((Level::Info, false))),
+            _ => panic!("expected run"),
+        }
+        match parse(&argv("--log debug,json")).unwrap() {
+            Parsed::Run(o) => assert_eq!(o.log, Some((Level::Debug, true))),
+            _ => panic!("expected run"),
+        }
+        assert!(parse(&argv("--log loud")).is_err());
     }
 
     #[test]

@@ -54,8 +54,9 @@ pub use recovery::{FailedMode, RecoveryLog, RecoveryPolicy, WorkerEvent};
 pub use report::{build_run_report, render_pretty, FarmTelemetry};
 pub use schedule::{SchedulePolicy, WorkQueue};
 pub use service::{
-    decode_spectrum_body, encode_spectrum_body, ResultCache, ServiceReply, SpectrumService,
-    TAG_REQ_METRICS, TAG_REQ_SPECTRUM, TAG_RESP_ERROR, TAG_RESP_METRICS, TAG_RESP_SPECTRUM,
+    decode_spectrum_body, encode_spectrum_body, ResultCache, ServiceMetrics, ServiceReply,
+    SpectrumService, TAG_REQ_METRICS, TAG_REQ_SPECTRUM, TAG_RESP_ERROR, TAG_RESP_METRICS,
+    TAG_RESP_SPECTRUM,
 };
 pub use simulate::{simulate_farm, synthetic_costs, SimParams, SimResult};
 pub use worker::{

@@ -31,10 +31,12 @@ use msgpass::wrappers::*;
 use msgpass::{Rank, Tag, Transport};
 use telemetry::{SpanEvent, SpanRecorder};
 
+use telemetry::log::{self as tlog, Level};
+
 use crate::error::FarmError;
 use crate::protocol::{
-    RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT, TAG_JOBDONE,
-    TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
+    job_hash, RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT,
+    TAG_JOBDONE, TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
 };
 use crate::recovery::{FailedMode, RecoveryLog, RecoveryPolicy, WorkerEvent};
 use crate::schedule::{SchedulePolicy, WorkQueue};
@@ -174,6 +176,11 @@ struct Session {
     idle_since: Option<Instant>,
     /// Accumulated idle seconds.
     idle_seconds: f64,
+    /// Canonical request identity ([`job_hash`] of the spec, rendered
+    /// as 16 hex digits) — stamped on every span and log event this
+    /// session records, so one request's trail is filterable
+    /// end to end.
+    job: String,
 }
 
 impl Session {
@@ -214,7 +221,9 @@ impl Session {
         if let Some(since) = self.idle_since.take() {
             let now = Instant::now();
             self.idle_seconds += now.duration_since(since).as_secs_f64();
-            self.rec.record("idle", "master", since, now, &[]);
+            let job = self.job.clone();
+            self.rec
+                .record("idle", "master", since, now, &[("job", job)]);
         }
     }
 
@@ -248,7 +257,11 @@ impl Session {
                 "master",
                 t0,
                 Instant::now(),
-                &[("ik", iks_str), ("worker", rank.to_string())],
+                &[
+                    ("ik", iks_str),
+                    ("worker", rank.to_string()),
+                    ("job", self.job.clone()),
+                ],
             );
         } else if self.policy.recovers() && !self.all_settled() {
             self.parked.insert(rank);
@@ -329,6 +342,18 @@ impl Session {
                     ("ik", ik.to_string()),
                     ("action", "quarantine".to_string()),
                     ("reason", reason.to_string()),
+                    ("job", self.job.clone()),
+                ],
+            );
+            tlog::log(
+                Level::Error,
+                "master",
+                "mode_quarantined",
+                &[
+                    ("job", self.job.clone()),
+                    ("ik", ik.to_string()),
+                    ("attempts", attempts.to_string()),
+                    ("reason", reason.to_string()),
                 ],
             );
         } else {
@@ -342,6 +367,17 @@ impl Session {
                 &[
                     ("ik", ik.to_string()),
                     ("action", "requeue".to_string()),
+                    ("reason", reason.to_string()),
+                    ("job", self.job.clone()),
+                ],
+            );
+            tlog::log(
+                Level::Warn,
+                "master",
+                "chunk_requeue",
+                &[
+                    ("job", self.job.clone()),
+                    ("ik", ik.to_string()),
                     ("reason", reason.to_string()),
                 ],
             );
@@ -364,6 +400,16 @@ impl Session {
         if !self.dead.insert(rank) {
             return Ok(());
         }
+        tlog::log(
+            Level::Warn,
+            "master",
+            "worker_dead",
+            &[
+                ("job", self.job.clone()),
+                ("worker", rank.to_string()),
+                ("reason", reason.to_string()),
+            ],
+        );
         self.parked.remove(&rank);
         self.recover_chunk(t, rank, reason)
     }
@@ -418,7 +464,14 @@ impl Session {
                         &[
                             ("worker", rank.to_string()),
                             ("action", "respawn".to_string()),
+                            ("job", self.job.clone()),
                         ],
+                    );
+                    tlog::log(
+                        Level::Warn,
+                        "master",
+                        "worker_respawned",
+                        &[("job", self.job.clone()), ("worker", rank.to_string())],
                     );
                 }
             }
@@ -442,6 +495,12 @@ impl Session {
             if !self.in_flight[rank - 1].is_empty() && self.last_seen[rank - 1].elapsed() > timeout
             {
                 self.recovery.heartbeat_misses += 1;
+                tlog::log(
+                    Level::Warn,
+                    "master",
+                    "heartbeat_miss",
+                    &[("job", self.job.clone()), ("worker", rank.to_string())],
+                );
                 self.mark_dead(t, rank, "heartbeat timeout")?;
             }
         }
@@ -615,6 +674,7 @@ pub fn master_job_session<T: Transport>(
     let nk = spec.ks.len();
     let n_workers = t.size() - 1;
     let order = policy.order(&spec.ks);
+    let job = tlog::job_hex(job_hash(spec));
     let mut s = Session {
         queue: WorkQueue::new(&order, nk),
         ks: spec.ks.clone(),
@@ -636,7 +696,18 @@ pub fn master_job_session<T: Transport>(
         rec: SpanRecorder::new(epoch, 0, 0),
         idle_since: None,
         idle_seconds: 0.0,
+        job: job.clone(),
     };
+    tlog::log(
+        Level::Info,
+        "master",
+        "job_start",
+        &[
+            ("job", job.clone()),
+            ("modes", nk.to_string()),
+            ("workers", n_workers.to_string()),
+        ],
+    );
 
     let spec_wire = spec.encode();
     match kind {
@@ -879,6 +950,7 @@ pub fn master_job_session<T: Transport>(
                         ("ik", ik.to_string()),
                         ("k", format!("{:.6e}", out.k)),
                         ("worker", itid.to_string()),
+                        ("job", s.job.clone()),
                     ],
                 );
                 s.outputs[ik] = Some(out);
@@ -948,7 +1020,20 @@ pub fn master_job_session<T: Transport>(
         }
     }
 
-    Ok(s.into_ledger(t0))
+    let quarantined = s.quarantined.len();
+    let ledger = s.into_ledger(t0);
+    tlog::log(
+        Level::Info,
+        "master",
+        "job_done",
+        &[
+            ("job", job),
+            ("modes", ledger.completion_log.len().to_string()),
+            ("quarantined", quarantined.to_string()),
+            ("wall_ms", format!("{:.1}", ledger.wall_seconds * 1000.0)),
+        ],
+    );
+    Ok(ledger)
 }
 
 #[cfg(test)]

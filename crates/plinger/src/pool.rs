@@ -232,6 +232,15 @@ impl<W: World> FarmPool<W> {
         self.workers.len()
     }
 
+    /// Workers whose session thread is currently running — the
+    /// readiness signal behind the service's `/healthz`.
+    pub fn workers_alive(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
     /// Jobs run to a report so far.
     pub fn jobs_run(&self) -> usize {
         self.jobs_run
@@ -296,10 +305,25 @@ impl<W: World> FarmPool<W> {
                         w.alive = alive;
                         w.handle = Some(handle);
                         *respawns_left -= 1;
+                        telemetry::log::log(
+                            telemetry::Level::Warn,
+                            "pool",
+                            "worker_respawned_into_pool",
+                            &[
+                                ("worker", rank.to_string()),
+                                ("respawns_left", respawns_left.to_string()),
+                            ],
+                        );
                         events.push(WorkerEvent::Respawned(rank));
                     }
                     _ => {
                         w.handled = true;
+                        telemetry::log::log(
+                            telemetry::Level::Warn,
+                            "pool",
+                            "worker_retired",
+                            &[("worker", rank.to_string())],
+                        );
                         events.push(WorkerEvent::Dead(rank));
                     }
                 }

@@ -102,26 +102,9 @@ impl FarmTelemetry {
     /// histograms `send_ns`/`recv_ns`, the master-idle gauge, and the
     /// span timeline.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let merged = self.merged_comm();
-        let mut s = TelemetrySnapshot::default();
-        s.add("msgs_sent", merged.total_sent());
-        s.add("msgs_recv", merged.total_recv());
-        s.add("bytes_sent", merged.total_sent_bytes());
-        s.add("bytes_recv", merged.total_recv_bytes());
-        for tag in 0..TRACKED_TAGS {
-            if merged.sent_count[tag] > 0 {
-                s.add(&format!("msgs_sent_tag{tag}"), merged.sent_count[tag]);
-                s.add(&format!("bytes_sent_tag{tag}"), merged.sent_bytes[tag]);
-            }
-            if merged.recv_count[tag] > 0 {
-                s.add(&format!("msgs_recv_tag{tag}"), merged.recv_count[tag]);
-                s.add(&format!("bytes_recv_tag{tag}"), merged.recv_bytes[tag]);
-            }
-        }
+        let mut s = self.merged_comm().to_telemetry();
         s.gauges
             .insert("master_idle_seconds".into(), self.master_idle_seconds);
-        s.histograms.insert("send_ns".into(), merged.send_ns);
-        s.histograms.insert("recv_ns".into(), merged.recv_ns);
         s.spans = self.spans.clone();
         s
     }

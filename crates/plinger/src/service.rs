@@ -25,10 +25,13 @@
 //! which queues whole requests onto the single service behind a lock.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use boltzmann::ModeOutput;
 use msgpass::{Tag, World};
+use telemetry::log::{self as tlog, Level};
+use telemetry::{Counter, Histogram, TelemetrySnapshot};
 
 use crate::error::FarmError;
 use crate::farm::FarmReport;
@@ -46,8 +49,11 @@ pub const TAG_REQ_SPECTRUM: Tag = 20;
 pub const TAG_RESP_SPECTRUM: Tag = 21;
 /// Tag 25, client → server: request service counters (empty payload).
 pub const TAG_REQ_METRICS: Tag = 25;
-/// Tag 26, server → client: service counters as
-/// `[requests, cache_hits, cache_misses, pool_jobs, workers]`.
+/// Tag 26, server → client: service counters, gauges, and latency
+/// summaries as a real vector (see [`ServiceMetrics::wire_payload`] for
+/// the layout).  The first five reals are the historical
+/// `[requests, cache_hits, cache_misses, pool_jobs, workers]` payload;
+/// clients must accept ≥ 5 reals so the vector can keep growing.
 pub const TAG_RESP_METRICS: Tag = 26;
 /// Tag 29, server → client: the request could not be served (payload:
 /// the UTF-8 error text, one byte per real — diagnostic only).
@@ -125,6 +131,149 @@ impl ResultCache {
     }
 }
 
+/// Live service-level telemetry, shared between the request path and
+/// any number of scrapers.
+///
+/// Everything here is lock-free (relaxed atomics) except the folded
+/// per-job communication aggregate, which takes a short mutex once per
+/// pool job — so `/metrics` and `/healthz` can be answered while a job
+/// is running *without* touching the service's request lock.  The
+/// metric names produced by [`ServiceMetrics::snapshot`] are a
+/// stability contract, catalogued in `docs/OBSERVABILITY.md`.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    /// Requests accepted (hits and misses both count).
+    pub requests: Counter,
+    /// Requests answered from the [`ResultCache`].
+    pub cache_hits: Counter,
+    /// Requests that fell through to a pool job.
+    pub cache_misses: Counter,
+    /// Response-body bytes served (8 × reals, cached or fresh).
+    pub cache_bytes_served: Counter,
+    /// Requests that ended in a [`TAG_RESP_ERROR`].
+    pub errors: Counter,
+    /// Pool jobs run on behalf of requests.
+    pub pool_jobs: Counter,
+    /// Time from request accept to service-lock acquisition, ns.
+    pub queue_wait_ns: Histogram,
+    /// Time inside the service (cache probe + any pool job), ns.
+    pub run_ns: Histogram,
+    /// Accept-to-reply wall time, ns.
+    pub total_ns: Histogram,
+    /// Requests currently accepted but not yet replied to.
+    queue_depth: AtomicU64,
+    /// Resident workers whose session thread is running (refreshed
+    /// after every job; starts at the pool size).
+    workers_alive: AtomicU64,
+    /// Per-job farm communication telemetry, folded after each miss.
+    comm: Mutex<TelemetrySnapshot>,
+}
+
+impl ServiceMetrics {
+    /// Fresh metrics reporting `workers` resident workers.
+    pub fn new(workers: usize) -> Self {
+        let m = Self::default();
+        m.workers_alive.store(workers as u64, Ordering::Relaxed);
+        m
+    }
+
+    /// Count a request into the queue; returns the new depth.
+    pub fn enter_queue(&self) -> u64 {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Remove a finished (or failed) request from the queue.
+    pub fn leave_queue(&self) {
+        // saturating: a stray call must not wrap the gauge to 2^64
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+    }
+
+    /// Requests currently in flight.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Record the current count of live resident workers.
+    pub fn set_workers_alive(&self, n: usize) {
+        self.workers_alive.store(n as u64, Ordering::Relaxed);
+    }
+
+    /// Live resident workers as last reported.
+    pub fn workers_alive(&self) -> u64 {
+        self.workers_alive.load(Ordering::Relaxed)
+    }
+
+    /// Fold one pool job's communication telemetry into the aggregate
+    /// exposed on `/metrics` (counters add, histograms merge).
+    pub fn fold_comm(&self, snap: TelemetrySnapshot) {
+        if let Ok(mut agg) = self.comm.lock() {
+            agg.merge(snap);
+        }
+    }
+
+    /// The current readings as one [`TelemetrySnapshot`] — service
+    /// counters/gauges/latency histograms plus the folded farm
+    /// communication aggregate.  Names here are the `/metrics` contract.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut s = match self.comm.lock() {
+            Ok(agg) => agg.clone(),
+            Err(_) => TelemetrySnapshot::default(),
+        };
+        s.add("requests_total", self.requests.get());
+        s.add("cache_hits_total", self.cache_hits.get());
+        s.add("cache_misses_total", self.cache_misses.get());
+        s.add("cache_bytes_served_total", self.cache_bytes_served.get());
+        s.add("errors_total", self.errors.get());
+        s.add("pool_jobs_total", self.pool_jobs.get());
+        s.gauges
+            .insert("queue_depth".into(), self.queue_depth() as f64);
+        s.gauges
+            .insert("workers_alive".into(), self.workers_alive() as f64);
+        s.histograms.insert(
+            "request_queue_wait_ns".into(),
+            self.queue_wait_ns.snapshot(),
+        );
+        s.histograms
+            .insert("request_run_ns".into(), self.run_ns.snapshot());
+        s.histograms
+            .insert("request_total_ns".into(), self.total_ns.snapshot());
+        s
+    }
+
+    /// The [`TAG_RESP_METRICS`] payload: the historical five counters
+    /// first (`requests, cache_hits, cache_misses, pool_jobs, workers`),
+    /// then gauges and latency summaries —
+    /// `[.., workers_alive, queue_depth, errors, cache_bytes_served,
+    /// total_ms_p50, total_ms_p99, queue_ms_p50, queue_ms_p99,
+    /// run_ms_p50, run_ms_p99]` (15 reals; milliseconds for the
+    /// latency entries).  Clients must tolerate further growth.
+    pub fn wire_payload(&self, workers: usize) -> Vec<f64> {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let total = self.total_ns.snapshot();
+        let queue = self.queue_wait_ns.snapshot();
+        let run = self.run_ns.snapshot();
+        vec![
+            self.requests.get() as f64,
+            self.cache_hits.get() as f64,
+            self.cache_misses.get() as f64,
+            self.pool_jobs.get() as f64,
+            workers as f64,
+            self.workers_alive() as f64,
+            self.queue_depth() as f64,
+            self.errors.get() as f64,
+            self.cache_bytes_served.get() as f64,
+            ms(total.quantile(0.5)),
+            ms(total.quantile(0.99)),
+            ms(queue.quantile(0.5)),
+            ms(queue.quantile(0.99)),
+            ms(run.quantile(0.5)),
+            ms(run.quantile(0.99)),
+        ]
+    }
+}
+
 /// One answered request: where the body came from and, on a miss, the
 /// job's full report for metrics export.
 #[derive(Debug)]
@@ -148,16 +297,19 @@ pub struct SpectrumService<W: World> {
     cache: ResultCache,
     policy: SchedulePolicy,
     requests: u64,
+    metrics: Arc<ServiceMetrics>,
 }
 
 impl<W: World> SpectrumService<W> {
     /// Wrap a running pool; `policy` schedules every job's k-grid.
     pub fn new(pool: FarmPool<W>, policy: SchedulePolicy) -> Self {
+        let metrics = Arc::new(ServiceMetrics::new(pool.n_workers()));
         Self {
             pool,
             cache: ResultCache::new(),
             policy,
             requests: 0,
+            metrics,
         }
     }
 
@@ -165,8 +317,13 @@ impl<W: World> SpectrumService<W> {
     /// pooled job.
     pub fn handle(&mut self, spec: &RunSpec) -> Result<ServiceReply, FarmError> {
         self.requests += 1;
+        self.metrics.requests.inc();
         let key = job_hash(spec);
+        let job = tlog::job_hex(key);
         if let Some(body) = self.cache.lookup(key) {
+            self.metrics.cache_hits.inc();
+            self.metrics.cache_bytes_served.add(body.len() as u64 * 8);
+            tlog::log(Level::Info, "service", "cache_hit", &[("job", job)]);
             return Ok(ServiceReply {
                 key,
                 cache_hit: true,
@@ -174,8 +331,16 @@ impl<W: World> SpectrumService<W> {
                 report: None,
             });
         }
-        let report = self.pool.run_job(spec, self.policy)?;
+        self.metrics.cache_misses.inc();
+        tlog::log(Level::Info, "service", "cache_miss", &[("job", job)]);
+        let outcome = self.pool.run_job(spec, self.policy);
+        self.metrics.set_workers_alive(self.pool.workers_alive());
+        let report = outcome?;
+        self.metrics.pool_jobs.inc();
+        self.metrics
+            .fold_comm(report.telemetry.merged_comm().to_telemetry());
         let body = Arc::new(encode_spectrum_body(&report.outputs, report.wall_seconds));
+        self.metrics.cache_bytes_served.add(body.len() as u64 * 8);
         self.cache.insert(key, Arc::clone(&body));
         Ok(ServiceReply {
             key,
@@ -188,6 +353,12 @@ impl<W: World> SpectrumService<W> {
     /// Requests handled (hits and misses both count).
     pub fn requests(&self) -> u64 {
         self.requests
+    }
+
+    /// The shared live-metrics handle — clone it before locking the
+    /// service away so scrapers never contend with running jobs.
+    pub fn metrics(&self) -> Arc<ServiceMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// The cache's telemetry.
@@ -328,6 +499,57 @@ mod tests {
         let hit = cache.lookup(7).unwrap();
         assert_eq!(*hit, vec![1.0, 2.0]);
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn service_metrics_snapshot_and_wire_payload() {
+        let m = ServiceMetrics::new(2);
+        m.requests.add(3);
+        m.cache_hits.inc();
+        m.cache_misses.add(2);
+        m.pool_jobs.add(2);
+        m.errors.inc();
+        m.total_ns.record(1_000_000);
+        assert_eq!(m.enter_queue(), 1);
+
+        let s = m.snapshot();
+        assert_eq!(s.counter("requests_total"), 3);
+        assert_eq!(s.counter("cache_hits_total"), 1);
+        assert_eq!(s.counter("errors_total"), 1);
+        assert_eq!(s.gauges["queue_depth"], 1.0);
+        assert_eq!(s.gauges["workers_alive"], 2.0);
+        assert_eq!(s.histograms["request_total_ns"].count, 1);
+
+        m.leave_queue();
+        m.leave_queue(); // a stray extra leave must not wrap the gauge
+        assert_eq!(m.queue_depth(), 0);
+
+        let wire = m.wire_payload(2);
+        assert_eq!(wire.len(), 15);
+        assert_eq!(&wire[..5], &[3.0, 1.0, 2.0, 2.0, 2.0]);
+        // total_ms_p50 reflects the single 1 ms sample (log-bucket
+        // resolution: within a factor of 2)
+        assert!(wire[9] > 0.5 && wire[9] < 2.1, "p50 {} ms", wire[9]);
+    }
+
+    #[test]
+    fn service_counts_into_shared_metrics() {
+        let pool = FarmPool::<ChannelWorld>::start(2).unwrap();
+        let mut svc = SpectrumService::new(pool, SchedulePolicy::LargestFirst);
+        let metrics = svc.metrics();
+        let spec = tiny_spec(vec![0.001, 0.02]);
+        svc.handle(&spec).unwrap();
+        svc.handle(&spec).unwrap();
+        assert_eq!(metrics.requests.get(), 2);
+        assert_eq!(metrics.cache_hits.get(), 1);
+        assert_eq!(metrics.cache_misses.get(), 1);
+        assert_eq!(metrics.pool_jobs.get(), 1);
+        assert_eq!(metrics.workers_alive(), 2);
+        assert!(metrics.cache_bytes_served.get() > 0);
+        // the folded farm comm aggregate reaches the snapshot
+        let s = metrics.snapshot();
+        assert!(s.counter("msgs_sent") > 0);
+        let _ = svc.shutdown();
     }
 
     #[test]

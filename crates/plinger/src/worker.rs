@@ -12,8 +12,8 @@ use telemetry::{SpanEvent, SpanRecorder};
 
 use crate::error::FarmError;
 use crate::protocol::{
-    cosmo_hash, RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT,
-    TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
+    cosmo_hash, job_hash, RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT,
+    TAG_INIT, TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
 };
 
 /// How many accepted integrator steps pass between heartbeat-clock
@@ -374,13 +374,22 @@ fn serve_assignments<T: Transport>(
     buf: &mut Vec<f64>,
 ) -> Result<Option<msgpass::Tag>, FarmError> {
     let cfg = spec.mode_config();
+    // the same request identity the master stamps on its spans — both
+    // ends derive it from the spec wire bits, so no extra protocol
+    let job = telemetry::log::job_hex(job_hash(spec));
     loop {
         // receive from master: next ik or a release message
         let t_wait = Instant::now();
         let tag = mychecktid(t, mastid)?;
         let n = myrecvreal(t, buf, tag, mastid)?;
         stats.bytes_received += n * 8;
-        rec.record("wait", "worker", t_wait, Instant::now(), &[]);
+        rec.record(
+            "wait",
+            "worker",
+            t_wait,
+            Instant::now(),
+            &[("job", job.clone())],
+        );
         if tag != TAG_ASSIGN {
             return Ok(Some(tag));
         }
@@ -442,7 +451,11 @@ fn serve_assignments<T: Transport>(
                         "worker",
                         t_mode,
                         Instant::now(),
-                        &[("ik", ik.to_string()), ("k", format!("{k:.6e}"))],
+                        &[
+                            ("ik", ik.to_string()),
+                            ("k", format!("{k:.6e}")),
+                            ("job", job.clone()),
+                        ],
                     );
                     stats.busy_seconds += t_mode.elapsed().as_secs_f64();
                     stats.modes += 1;
@@ -462,7 +475,11 @@ fn serve_assignments<T: Transport>(
                         "worker",
                         t_mode,
                         Instant::now(),
-                        &[("ik", ik.to_string()), ("failed", "true".to_string())],
+                        &[
+                            ("ik", ik.to_string()),
+                            ("failed", "true".to_string()),
+                            ("job", job.clone()),
+                        ],
                     );
                     stats.busy_seconds += t_mode.elapsed().as_secs_f64();
                     // report the failure and go back to waiting: a
@@ -566,7 +583,10 @@ pub fn worker_pool_session<T: Transport>(
                 "worker",
                 t_build,
                 Instant::now(),
-                &[("cosmo_hash", format!("{hash:016x}"))],
+                &[
+                    ("cosmo_hash", format!("{hash:016x}")),
+                    ("job", telemetry::log::job_hex(job_hash(&spec))),
+                ],
             );
             cache = Some(PhysicsCache { hash, bg, thermo });
             stats.ctx_rebuilds = 1;

@@ -1,0 +1,96 @@
+//! The observability stability contract: every metric family the
+//! service exposes is catalogued in `docs/OBSERVABILITY.md`, and the
+//! Prometheus rendering carries the full histogram surface.  A name
+//! drifting out of the doc (or a new family landing undocumented)
+//! fails here before it breaks someone's dashboard.
+
+use plinger::ServiceMetrics;
+
+/// The frozen family list (sans `plinger_` prefix).  Extending the
+/// surface means adding here AND to `docs/OBSERVABILITY.md`.
+const CONTRACT: &[&str] = &[
+    // service counters
+    "requests_total",
+    "cache_hits_total",
+    "cache_misses_total",
+    "cache_bytes_served_total",
+    "errors_total",
+    "pool_jobs_total",
+    // service gauges
+    "queue_depth",
+    "workers_alive",
+    // request latency histograms
+    "request_queue_wait_ns",
+    "request_run_ns",
+    "request_total_ns",
+    // farm comm aggregate (per-tag variants documented as patterns)
+    "msgs_sent",
+    "msgs_recv",
+    "bytes_sent",
+    "bytes_recv",
+    "send_ns",
+    "recv_ns",
+    // run-report-only gauge
+    "master_idle_seconds",
+];
+
+fn doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/OBSERVABILITY.md");
+    std::fs::read_to_string(path).expect("docs/OBSERVABILITY.md exists")
+}
+
+/// Strip a `_tagN` suffix so per-tag families match their pattern.
+fn base_name(name: &str) -> &str {
+    match name.rfind("_tag") {
+        Some(i) if name[i + 4..].chars().all(|c| c.is_ascii_digit()) => &name[..i],
+        _ => name,
+    }
+}
+
+#[test]
+fn every_contract_name_is_documented() {
+    let doc = doc();
+    for name in CONTRACT {
+        assert!(
+            doc.contains(name),
+            "{name} missing from docs/OBSERVABILITY.md"
+        );
+    }
+}
+
+#[test]
+fn service_snapshot_names_stay_inside_the_contract() {
+    let m = ServiceMetrics::new(2);
+    m.requests.inc();
+    m.queue_wait_ns.record(1_000);
+    m.run_ns.record(2_000);
+    m.total_ns.record(3_000);
+    let snap = m.snapshot();
+    let names = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys());
+    for name in names {
+        assert!(
+            CONTRACT.contains(&base_name(name)),
+            "undocumented metric family {name}: add it to CONTRACT and docs/OBSERVABILITY.md"
+        );
+    }
+}
+
+#[test]
+fn exposition_carries_prefix_and_histogram_surface() {
+    let m = ServiceMetrics::new(2);
+    m.requests.inc();
+    m.total_ns.record(5_000);
+    let text = telemetry::render_prometheus(&m.snapshot(), "plinger");
+    assert!(text.contains("# TYPE plinger_requests_total counter"));
+    assert!(text.contains("plinger_requests_total 1"));
+    assert!(text.contains("# TYPE plinger_workers_alive gauge"));
+    assert!(text.contains("# TYPE plinger_request_total_ns histogram"));
+    assert!(text.contains("plinger_request_total_ns_bucket{le=\"+Inf\"} 1"));
+    assert!(text.contains("plinger_request_total_ns_sum 5000"));
+    assert!(text.contains("plinger_request_total_ns_count 1"));
+    assert!(text.contains("# TYPE plinger_request_total_ns_p99 gauge"));
+}

@@ -3,28 +3,34 @@
 //! cache, and concurrent clients multiplexed onto one pool.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::process::{Child, ChildStdout, Command, Stdio};
 
 fn exe() -> &'static str {
     env!("CARGO_BIN_EXE_plinger-serve")
 }
 
-/// Start a server on an ephemeral port and parse the startup line for
-/// the address; the reader stays attached so the summary line can be
-/// collected after exit.
-fn start_server(max_requests: usize) -> (Child, BufReader<ChildStdout>, String) {
+/// Start a server on an ephemeral port with extra flags and parse the
+/// startup line for the address; the reader stays attached so later
+/// stdout lines (metrics address, summary) can be collected.
+fn start_server_with(
+    max_requests: usize,
+    extra: &[&str],
+) -> (Child, BufReader<ChildStdout>, String) {
+    let mut args = vec![
+        "--listen",
+        "127.0.0.1:0",
+        "--transport",
+        "channel",
+        "--workers",
+        "2",
+    ];
+    let max = max_requests.to_string();
+    args.extend_from_slice(&["--max-requests", &max]);
+    args.extend_from_slice(extra);
     let mut child = Command::new(exe())
-        .args([
-            "--listen",
-            "127.0.0.1:0",
-            "--transport",
-            "channel",
-            "--workers",
-            "2",
-            "--max-requests",
-            &max_requests.to_string(),
-        ])
+        .args(&args)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -39,6 +45,23 @@ fn start_server(max_requests: usize) -> (Child, BufReader<ChildStdout>, String) 
         .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
         .to_string();
     (child, reader, addr)
+}
+
+fn start_server(max_requests: usize) -> (Child, BufReader<ChildStdout>, String) {
+    start_server_with(max_requests, &[])
+}
+
+/// One HTTP/1.0 GET over raw TCP, returning the full response text.
+fn http_get(addr: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics listener");
+    // one write_all: write! would issue one syscall per fragment and
+    // the request could land at the server split mid-line
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send GET");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
 }
 
 /// Run one client request and return its `key=value` output fields.
@@ -96,6 +119,11 @@ fn repeated_requests_hit_the_result_cache() {
     assert_eq!(third["misses"], "2");
     assert_eq!(third["jobs"], "2", "a cache hit reached the pool");
     assert_eq!(third["workers"], "2");
+    // the extended payload rides behind the historical five counters
+    assert_eq!(third["alive"], "2");
+    assert_eq!(third["queue_depth"], "0");
+    assert_eq!(third["errors"], "0");
+    assert_ne!(third["bytes_served"], "0", "no response bytes counted");
 
     // after --max-requests connections the server exits and prints its
     // summary: one hit, two misses, two pool jobs
@@ -136,4 +164,149 @@ fn concurrent_distinct_requests_share_one_pool() {
         rest.contains("served 2 requests, cache hits=0 misses=2, pool jobs=2"),
         "unexpected summary: {rest:?}"
     );
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_and_healthz_mid_run() {
+    let (mut server, mut reader, addr) = start_server_with(3, &["--metrics-addr", "127.0.0.1:0"]);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read metrics line");
+    let maddr = line
+        .trim()
+        .strip_prefix("plinger-serve: metrics on ")
+        .unwrap_or_else(|| panic!("unexpected metrics line: {line:?}"))
+        .to_string();
+
+    // ready before any request: workers warm, queue empty
+    let health = http_get(&maddr, "/healthz");
+    assert!(health.starts_with("HTTP/1.0 200"), "healthz: {health:?}");
+    assert!(health.ends_with("ok\n"), "healthz body: {health:?}");
+
+    let cold = http_get(&maddr, "/metrics");
+    assert!(
+        cold.contains("plinger_requests_total 0"),
+        "cold scrape: {cold:?}"
+    );
+    assert!(cold.contains("plinger_workers_alive 2"), "{cold:?}");
+
+    // one miss, one hit — then scrape again while the server still runs
+    client(&addr, &["--nk", "3"]);
+    client(&addr, &["--nk", "3"]);
+    let warm = http_get(&maddr, "/metrics");
+    assert!(
+        warm.contains("plinger_requests_total 2"),
+        "warm scrape: {warm:?}"
+    );
+    assert!(warm.contains("plinger_cache_hits_total 1"), "{warm:?}");
+    assert!(warm.contains("plinger_cache_misses_total 1"), "{warm:?}");
+    assert!(warm.contains("plinger_pool_jobs_total 1"), "{warm:?}");
+    // request latency histograms move with the traffic and carry the
+    // full Prometheus histogram surface
+    assert!(
+        warm.contains("plinger_request_total_ns_count 2"),
+        "{warm:?}"
+    );
+    assert!(warm.contains("plinger_request_total_ns_sum"), "{warm:?}");
+    assert!(
+        warm.contains("plinger_request_total_ns_bucket{le=\"+Inf\"} 2"),
+        "{warm:?}"
+    );
+    assert!(
+        warm.contains("plinger_request_queue_wait_ns_count 2"),
+        "{warm:?}"
+    );
+    // farm comm counters folded from the pooled job
+    assert!(warm.contains("plinger_msgs_sent"), "{warm:?}");
+
+    // unknown paths and non-GET methods are rejected
+    assert!(http_get(&maddr, "/nope").starts_with("HTTP/1.0 404"));
+    let mut stream = TcpStream::connect(&maddr).expect("connect");
+    stream
+        .write_all(b"POST /metrics HTTP/1.0\r\n\r\n")
+        .expect("send POST");
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp).expect("read response");
+    assert!(resp.starts_with("HTTP/1.0 405"), "{resp:?}");
+
+    // third request lets --max-requests close the server down
+    client(&addr, &["--nk", "4"]);
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "server exited with {status}");
+}
+
+#[test]
+fn killed_worker_leaves_a_flight_recorder_dump() {
+    let dir = std::env::temp_dir().join(format!("plinger_flight_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    // one worker, no respawn budget, scripted to vanish on its first
+    // assignment: the job must fail and leave its story behind
+    let mut child = Command::new(exe())
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--transport",
+            "channel",
+            "--workers",
+            "1",
+            "--respawn-limit",
+            "0",
+            "--fault",
+            "drop:1:0",
+            "--max-requests",
+            "1",
+            "--report-dir",
+            &dir_s,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn plinger-serve");
+    let stdout = child.stdout.take().expect("server stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("plinger-serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+
+    let out = Command::new(exe())
+        .args(["--connect", &addr, "--preset", "draft", "--nk", "3"])
+        .output()
+        .expect("run client");
+    assert!(!out.status.success(), "request against a dead pool passed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("farm failed"), "client stderr: {stderr:?}");
+
+    child.wait().expect("server exit");
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("report dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flight_") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    assert_eq!(dumps.len(), 1, "expected one flight dump in {dir_s}");
+    let name = dumps[0].file_name().unwrap().to_string_lossy().into_owned();
+    let job = name
+        .strip_prefix("flight_")
+        .and_then(|n| n.strip_suffix(".jsonl"))
+        .expect("dump name carries the job hash");
+    assert_eq!(job.len(), 16, "job hash is 16 hex digits: {name}");
+    let body = std::fs::read_to_string(&dumps[0]).expect("read dump");
+    // every recorded event carries the failing job's hash, and the
+    // request + worker-death story is present
+    assert!(body.contains("request_accepted"), "dump: {body}");
+    assert!(body.contains("worker_dead"), "dump: {body}");
+    assert!(body.contains(job), "dump lacks the job hash: {body}");
+    for l in body.lines() {
+        assert!(l.contains(job), "event without job hash: {l}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

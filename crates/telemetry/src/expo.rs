@@ -1,0 +1,242 @@
+//! Prometheus text exposition (format 0.0.4) for a
+//! [`TelemetrySnapshot`], plus the tiny HTTP/1.0 request/response
+//! helpers a zero-dependency `/metrics` listener needs.
+//!
+//! Counters and gauges render as single samples; histograms render as
+//! the full cumulative `_bucket{le="..."}` series (one boundary per
+//! log2 bucket up to the highest occupied one, then `+Inf`), `_sum`
+//! and `_count`, plus derived `_p50`/`_p90`/`_p99` gauges — Prometheus
+//! has no native type mixing histogram and summary under one family,
+//! so the pre-computed quantiles get their own gauge families.
+//!
+//! Registered names may carry a label set in braces
+//! (`requests_total{transport="tcp"}`): the `# TYPE` header uses the
+//! base name before the brace and the sample line keeps the labels.
+
+use crate::metrics::HistogramSnapshot;
+use crate::TelemetrySnapshot;
+
+/// Replace characters outside `[a-zA-Z0-9_:]` with `_` so arbitrary
+/// registered names become valid Prometheus metric names.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Split `name{labels}` into a sanitized base name and the raw label
+/// block (including braces), if any.
+fn split_labels(name: &str) -> (String, &str) {
+    match name.find('{') {
+        Some(i) => (sanitize(&name[..i]), &name[i..]),
+        None => (sanitize(name), ""),
+    }
+}
+
+fn push_type(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Append one histogram family: cumulative buckets, sum, count, and
+/// derived quantile gauges.
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    push_type(out, name, "histogram");
+    let highest = h.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+    let mut cum = 0u64;
+    let extra = if labels.is_empty() {
+        String::new()
+    } else {
+        // splice `le` into an existing label block: {a="b"} -> ,a="b"
+        format!(",{}", &labels[1..labels.len() - 1])
+    };
+    for (i, &n) in h.buckets.iter().enumerate().take(highest + 1) {
+        cum += n;
+        let edge = (1u128 << (i + 1)) - 1;
+        out.push_str(&format!("{name}_bucket{{le=\"{edge}\"{extra}}} {cum}\n"));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{le=\"+Inf\"{extra}}} {}\n",
+        h.count
+    ));
+    out.push_str(&format!("{name}_sum{labels} {}\n", h.sum));
+    out.push_str(&format!("{name}_count{labels} {}\n", h.count));
+    for (suffix, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+        let qname = format!("{name}_{suffix}");
+        push_type(out, &qname, "gauge");
+        out.push_str(&format!("{qname}{labels} {}\n", h.quantile(q)));
+    }
+}
+
+/// Format a gauge value the way Prometheus expects: finite decimal,
+/// `+Inf`/`-Inf`/`NaN` for the specials.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the whole snapshot in Prometheus text exposition format.
+/// Every family name is prefixed with `prefix_` (pass `""` for none).
+/// Spans are not exposed — they export through chrome tracing.
+pub fn render_prometheus(snap: &TelemetrySnapshot, prefix: &str) -> String {
+    let pre = if prefix.is_empty() {
+        String::new()
+    } else {
+        format!("{}_", sanitize(prefix))
+    };
+    let mut out = String::new();
+    for (name, &v) in &snap.counters {
+        let (base, labels) = split_labels(name);
+        push_type(&mut out, &format!("{pre}{base}"), "counter");
+        out.push_str(&format!("{pre}{base}{labels} {v}\n"));
+    }
+    for (name, &v) in &snap.gauges {
+        let (base, labels) = split_labels(name);
+        push_type(&mut out, &format!("{pre}{base}"), "gauge");
+        out.push_str(&format!("{pre}{base}{labels} {}\n", fmt_f64(v)));
+    }
+    for (name, h) in &snap.histograms {
+        let (base, labels) = split_labels(name);
+        render_histogram(&mut out, &format!("{pre}{base}"), labels, h);
+    }
+    out
+}
+
+/// Extract the request path from an HTTP/1.x request head (`GET /path
+/// HTTP/1.0`).  Only GET (and HEAD, which we answer like GET) are
+/// accepted; anything else returns `None`.
+pub fn parse_http_get(head: &str) -> Option<&str> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    if method != "GET" && method != "HEAD" {
+        return None;
+    }
+    parts.next()
+}
+
+/// Build a complete HTTP/1.0 response with the standard headers a
+/// scraper needs; `Connection: close` because the listener is strictly
+/// one-request-per-connection.
+pub fn http_response(status: u16, reason: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("send.ns/worker-3"), "send_ns_worker_3");
+    }
+
+    #[test]
+    fn parses_get_paths() {
+        assert_eq!(
+            parse_http_get("GET /metrics HTTP/1.0\r\nHost: x\r\n"),
+            Some("/metrics")
+        );
+        assert_eq!(parse_http_get("HEAD /healthz HTTP/1.1"), Some("/healthz"));
+        assert_eq!(parse_http_get("POST /metrics HTTP/1.0"), None);
+        assert_eq!(parse_http_get(""), None);
+    }
+
+    #[test]
+    fn http_response_has_content_length() {
+        let r = http_response(200, "OK", "text/plain", "ok\n");
+        assert!(r.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 3\r\n"));
+        assert!(r.ends_with("\r\n\r\nok\n"));
+    }
+
+    /// Golden test: the full exposition text for a small snapshot is
+    /// pinned byte for byte — the format is a stability contract.
+    #[test]
+    fn golden_exposition_format() {
+        let mut snap = TelemetrySnapshot::default();
+        snap.add("requests_total", 7);
+        snap.counters.insert("msgs_sent{tag=\"3\"}".into(), 12);
+        snap.gauges.insert("queue_depth".into(), 2.0);
+        snap.gauges.insert("idle_seconds".into(), 0.25);
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        snap.histograms.insert("run_ns".into(), h.snapshot());
+
+        let text = render_prometheus(&snap, "plinger");
+        let expect = "\
+# TYPE plinger_msgs_sent counter
+plinger_msgs_sent{tag=\"3\"} 12
+# TYPE plinger_requests_total counter
+plinger_requests_total 7
+# TYPE plinger_idle_seconds gauge
+plinger_idle_seconds 0.25
+# TYPE plinger_queue_depth gauge
+plinger_queue_depth 2
+# TYPE plinger_run_ns histogram
+plinger_run_ns_bucket{le=\"1\"} 1
+plinger_run_ns_bucket{le=\"3\"} 3
+plinger_run_ns_bucket{le=\"7\"} 3
+plinger_run_ns_bucket{le=\"15\"} 3
+plinger_run_ns_bucket{le=\"31\"} 3
+plinger_run_ns_bucket{le=\"63\"} 3
+plinger_run_ns_bucket{le=\"127\"} 4
+plinger_run_ns_bucket{le=\"+Inf\"} 4
+plinger_run_ns_sum 106
+plinger_run_ns_count 4
+# TYPE plinger_run_ns_p50 gauge
+plinger_run_ns_p50 3
+# TYPE plinger_run_ns_p90 gauge
+plinger_run_ns_p90 100
+# TYPE plinger_run_ns_p99 gauge
+plinger_run_ns_p99 100
+";
+        assert_eq!(text, expect);
+    }
+
+    #[test]
+    fn labeled_histogram_splices_le() {
+        let mut snap = TelemetrySnapshot::default();
+        let h = Histogram::new();
+        h.record(1);
+        snap.histograms
+            .insert("lat{rank=\"1\"}".into(), h.snapshot());
+        let text = render_prometheus(&snap, "");
+        assert!(
+            text.contains("lat_bucket{le=\"1\",rank=\"1\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("lat_sum{rank=\"1\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_family() {
+        let mut snap = TelemetrySnapshot::default();
+        snap.histograms
+            .insert("empty_ns".into(), HistogramSnapshot::default());
+        let text = render_prometheus(&snap, "");
+        assert!(text.contains("empty_ns_bucket{le=\"1\"} 0\n"));
+        assert!(text.contains("empty_ns_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("empty_ns_count 0\n"));
+    }
+}

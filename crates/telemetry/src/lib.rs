@@ -12,6 +12,10 @@
 //!   Perfetto/chrome-tracing JSON (`chrome://tracing`, `ui.perfetto.dev`);
 //! * [`json`] — a minimal JSON value type with a writer *and* a parser,
 //!   so run reports can be produced and validated without serde;
+//! * [`expo`] — Prometheus text exposition of a snapshot plus the
+//!   HTTP/1.0 scraps a zero-dependency `/metrics` listener needs;
+//! * [`log`] — leveled structured events with a flight-recorder ring,
+//!   for rare control-plane milestones and post-mortem dumps;
 //! * [`TelemetrySnapshot`] — the merged, immutable view of everything a
 //!   run recorded, one per farm session.
 //!
@@ -28,11 +32,15 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod expo;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod span;
 
+pub use expo::render_prometheus;
 pub use json::Json;
+pub use log::{Level, LogEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use span::{write_chrome_trace, SpanEvent, SpanRecorder};
 

@@ -181,27 +181,36 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Approximate quantile (`q` in [0, 1]) from the bucket boundaries:
-    /// returns the upper edge of the bucket holding the q-th sample,
-    /// clamped to the observed max.  0 when empty.
+    /// Approximate quantile (`q` in [0, 1]) by linear interpolation
+    /// within the log2 bucket holding the q-th sample: the fractional
+    /// rank inside the bucket maps linearly onto the bucket's value
+    /// range `[2^i, 2^(i+1)-1]` (bucket 0 spans `[0, 1]`), and the
+    /// result is clamped to the observed `[min, max]`.  0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
-        let target = ((q * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
+        // fractional rank in [1, count]
+        let target = (q * self.count as f64).clamp(1.0, self.count as f64);
+        let mut seen = 0.0_f64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                // upper edge of bucket i is 2^(i+1) - 1
-                let edge = if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                return edge.min(self.max);
+            if n == 0 {
+                continue;
             }
+            let n = n as f64;
+            if seen + n >= target {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = if i >= 63 {
+                    u64::MAX as f64
+                } else {
+                    ((1u64 << (i + 1)) - 1) as f64
+                };
+                let frac = (target - seen) / n;
+                let v = lo + frac * (hi - lo);
+                return (v.round() as u64).clamp(self.min, self.max);
+            }
+            seen += n;
         }
         self.max
     }
@@ -244,7 +253,8 @@ impl HistogramSnapshot {
         }
     }
 
-    /// JSON summary (count/sum/min/max/mean/p50/p99 — buckets omitted).
+    /// JSON summary (count/sum/min/max/mean/p50/p90/p99 — buckets
+    /// omitted).
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("count".into(), Json::Num(self.count as f64)),
@@ -253,6 +263,7 @@ impl HistogramSnapshot {
             ("max".into(), Json::Num(self.max as f64)),
             ("mean".into(), Json::Num(self.mean())),
             ("p50".into(), Json::Num(self.quantile(0.5) as f64)),
+            ("p90".into(), Json::Num(self.quantile(0.9) as f64)),
             ("p99".into(), Json::Num(self.quantile(0.99) as f64)),
         ])
     }
@@ -300,10 +311,59 @@ mod tests {
         assert_eq!(s.min, 1);
         assert_eq!(s.max, 100);
         assert_eq!(s.mean(), 26.5);
-        // p50 lands in bucket 1 (values 2..=3), upper edge 3
+        // p50: rank 2 of 4 falls in bucket 1 (values 2..=3) at fraction
+        // 0.5, interpolating to 2.5 which rounds up to 3
         assert_eq!(s.quantile(0.5), 3);
-        // p100 clamps to the observed max
+        // p99 and p100 land in the bucket holding 100 (64..=127) and
+        // clamp to the observed max
+        assert_eq!(s.quantile(0.99), 100);
         assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_log_buckets() {
+        // uniform 1..=100: interpolation recovers exact mid-range
+        // quantiles despite the coarse log2 buckets
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.25), 25);
+        assert_eq!(s.quantile(0.5), 50);
+        // the top bucket (64..=127) over-estimates tail quantiles, so
+        // they clamp to the observed max
+        assert_eq!(s.quantile(0.9), 100);
+        assert_eq!(s.quantile(0.99), 100);
+    }
+
+    #[test]
+    fn quantile_of_constant_distribution_is_the_constant() {
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(7);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 7, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_error_bounded_by_bucket_width() {
+        // 99 samples of 8 plus one outlier: log-bucket quantiles can
+        // only resolve to the holding bucket's range (8..=15 here)
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(8);
+        }
+        h.record(1000);
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!((8..=15).contains(&p50), "p50={p50}");
+        assert!((8..=15).contains(&p99), "p99={p99}");
+        assert_eq!(s.quantile(1.0), 1000);
     }
 
     #[test]

@@ -49,27 +49,47 @@ EOF
 echo "== service smoke run =="
 # spectrum-as-a-service: a warm pool behind plinger-serve must answer
 # two identical requests with one cache hit (bitwise-equal bodies, no
-# second pool job) and a distinct request with a fresh run
+# second pool job) and a distinct request with a fresh run; the
+# Prometheus listener is scraped mid-run over raw /dev/tcp
 cargo build -q --release -p plinger --bin plinger-serve
 serve_bin="target/release/plinger-serve"
 serve_log="$smoke_dir/serve.log"
-"$serve_bin" --listen 127.0.0.1:0 --transport channel --workers 2 \
+"$serve_bin" --listen 127.0.0.1:0 --metrics-addr 127.0.0.1:0 \
+    --transport channel --workers 2 \
     --max-requests 3 > "$serve_log" 2> "$smoke_dir/serve.err" &
 serve_pid=$!
 serve_addr=""
+metrics_addr=""
 for _ in $(seq 1 100); do
     serve_addr="$(sed -n 's/^plinger-serve: listening on //p' "$serve_log")"
-    [ -n "$serve_addr" ] && break
+    metrics_addr="$(sed -n 's/^plinger-serve: metrics on //p' "$serve_log")"
+    [ -n "$serve_addr" ] && [ -n "$metrics_addr" ] && break
     sleep 0.1
 done
 [ -n "$serve_addr" ] || { echo "plinger-serve never came up"; cat "$smoke_dir/serve.err"; exit 1; }
+[ -n "$metrics_addr" ] || { echo "metrics listener never came up"; cat "$smoke_dir/serve.err"; exit 1; }
 req() { "$serve_bin" --connect "$serve_addr" --preset draft \
         --kmin 4e-4 --kmax 2e-3 "$@"; }
+# one HTTP/1.0 GET over bash's /dev/tcp — no curl dependency
+scrape() {
+    exec 3<>"/dev/tcp/${metrics_addr%:*}/${metrics_addr##*:}"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3>&-
+}
+health="$(scrape /healthz)"
+case "$health" in
+    *"200 OK"*) ;;
+    *) echo "healthz not ready: $health"; exit 1 ;;
+esac
 r1="$(req --nk 3)"
 r2="$(req --nk 3)"
+# scrape while the server is still running: the listener must answer
+# without touching the request path
+scrape /metrics > "$smoke_dir/scrape.txt"
 r3="$(req --nk 4)"
 wait "$serve_pid"
-python3 - "$r1" "$r2" "$r3" "$serve_log" <<'EOF'
+python3 - "$r1" "$r2" "$r3" "$serve_log" "$smoke_dir/scrape.txt" <<'EOF'
 import sys
 r1, r2, r3 = (dict(kv.split("=", 1) for kv in line.split()) for line in sys.argv[1:4])
 assert r1["cache_hit"] == "0", r1
@@ -81,8 +101,25 @@ assert r1["fnv"] != r3["fnv"], "distinct jobs returned identical bodies"
 assert r1["outputs"] == "3" and r3["outputs"] == "4", (r1, r3)
 summary = open(sys.argv[4]).read()
 assert "served 3 requests, cache hits=1 misses=2, pool jobs=2" in summary, summary
-print(f"service smoke: 1 hit / 2 misses, body fnv {r1['fnv']}")
+# the mid-run scrape saw both requests and the stability-contract names
+scrape = open(sys.argv[5]).read()
+for needle in (
+    "plinger_requests_total 2",
+    "plinger_cache_hits_total 1",
+    "plinger_cache_misses_total 1",
+    "plinger_pool_jobs_total 1",
+    "plinger_workers_alive 2",
+    "plinger_request_total_ns_count 2",
+    'plinger_request_total_ns_bucket{le="+Inf"} 2',
+):
+    assert needle in scrape, f"scrape missing {needle!r}"
+print(f"service smoke: 1 hit / 2 misses, body fnv {r1['fnv']}, /metrics live")
 EOF
+
+echo "== metric-name stability =="
+# the exposition names are a stability contract pinned against
+# docs/OBSERVABILITY.md
+cargo test -q -p plinger --test observability
 
 echo "== hot-path differential layer =="
 # the RHS fast path (hunted spline caches, chunked assignment) is
