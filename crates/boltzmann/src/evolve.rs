@@ -154,15 +154,17 @@ pub fn evolve_mode(
 }
 
 /// Like [`evolve_mode`], with a callback invoked after every accepted
-/// integrator step.  The observer cannot perturb the integration — the
+/// integrator step.  The observer cannot perturb the numerics — the
 /// output is bit-identical with or without it.  PLINGER workers use it
-/// to emit heartbeats between DVERK step batches.
+/// to emit heartbeats between DVERK step batches, and to poll for
+/// cancellation: returning `false` aborts the mode with
+/// [`OdeError::Aborted`] wrapped in [`EvolveError::Ode`].
 pub fn evolve_mode_observed(
     bg: &Background,
     thermo: &ThermoHistory,
     k: f64,
     config: &ModeConfig,
-    observer: Option<&mut dyn FnMut()>,
+    observer: Option<&mut dyn FnMut() -> bool>,
 ) -> Result<ModeOutput, EvolveError> {
     evolve_mode_scratch(bg, thermo, k, config, observer, &mut Integrator::new())
 }
@@ -179,7 +181,7 @@ pub fn evolve_mode_scratch(
     thermo: &ThermoHistory,
     k: f64,
     config: &ModeConfig,
-    mut observer: Option<&mut dyn FnMut()>,
+    mut observer: Option<&mut dyn FnMut() -> bool>,
     integ: &mut Integrator,
 ) -> Result<ModeOutput, EvolveError> {
     let wall_start = std::time::Instant::now();
@@ -238,13 +240,12 @@ pub fn evolve_mode_scratch(
     let mut trajectory = Vec::new();
     let mut tau = tau_start;
 
-    // trampoline: `&mut dyn FnMut()` is invariant in the trait object's
-    // lifetime, so the caller's observer cannot be reborrowed for two
-    // sequential integrate_observed calls; a local closure can
-    let mut relay = || {
-        if let Some(obs) = observer.as_mut() {
-            obs()
-        }
+    // trampoline: `&mut dyn FnMut() -> bool` is invariant in the trait
+    // object's lifetime, so the caller's observer cannot be reborrowed
+    // for two sequential integrate_observed calls; a local closure can
+    let mut relay = || match observer.as_mut() {
+        Some(obs) => obs(),
+        None => true,
     };
 
     if tau_switch > tau_start {

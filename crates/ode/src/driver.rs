@@ -175,6 +175,9 @@ pub enum OdeError {
     TooManySteps { t: f64 },
     /// NaN/Inf appeared in the state or derivative.
     NonFinite { t: f64 },
+    /// The step observer asked the integration to stop (cooperative
+    /// cancellation).  The state reached `t` is valid but incomplete.
+    Aborted { t: f64 },
 }
 
 impl std::fmt::Display for OdeError {
@@ -185,6 +188,7 @@ impl std::fmt::Display for OdeError {
             }
             OdeError::TooManySteps { t } => write!(f, "step budget exhausted at t = {t}"),
             OdeError::NonFinite { t } => write!(f, "non-finite value at t = {t}"),
+            OdeError::Aborted { t } => write!(f, "integration aborted by observer at t = {t}"),
         }
     }
 }
@@ -245,9 +249,11 @@ impl Integrator {
 
     /// Like [`Self::integrate`], with a callback invoked after every
     /// accepted step.  The observer sees no state and cannot perturb the
-    /// integration — results are bit-identical with or without it; it
+    /// numerics — results are bit-identical with or without it; it
     /// exists so long integrations can report liveness (PLINGER workers
-    /// heartbeat between DVERK step batches).
+    /// heartbeat between DVERK step batches).  Returning `false` aborts
+    /// the integration with [`OdeError::Aborted`] (cooperative
+    /// cancellation); returning `true` continues.
     #[allow(clippy::needless_range_loop)] // RK stages index k[s][j] in lockstep
     pub fn integrate_observed<R: Rhs + ?Sized>(
         &mut self,
@@ -256,7 +262,7 @@ impl Integrator {
         t1: f64,
         y: &mut [f64],
         opts: &IntegrateOpts,
-        mut observer: Option<&mut dyn FnMut()>,
+        mut observer: Option<&mut dyn FnMut() -> bool>,
     ) -> Result<Solution, OdeError> {
         let n = y.len();
         assert_eq!(n, rhs.dim(), "state length must equal rhs.dim()");
@@ -403,7 +409,9 @@ impl Integrator {
                 y.copy_from_slice(&self.ynew);
                 stats.accepted += 1;
                 if let Some(obs) = observer.as_mut() {
-                    obs();
+                    if !obs() {
+                        return Err(OdeError::Aborted { t });
+                    }
                 }
 
                 if tab.fsal {
@@ -682,7 +690,10 @@ mod tests {
         let opts = IntegrateOpts::default();
         let mut y = [1.0];
         let mut n = 0usize;
-        let mut obs = || n += 1;
+        let mut obs = || {
+            n += 1;
+            true
+        };
         let sol = Integrator::new()
             .integrate_observed(&mut Decay, 0.0, 2.0, &mut y, &opts, Some(&mut obs))
             .unwrap();
@@ -692,6 +703,27 @@ mod tests {
         let sol2 = integrate(&mut Decay, 0.0, 2.0, &mut y2, &opts).unwrap();
         assert_eq!(y[0].to_bits(), y2[0].to_bits());
         assert_eq!(sol.stats.accepted, sol2.stats.accepted);
+    }
+
+    #[test]
+    fn observer_returning_false_aborts_the_integration() {
+        let opts = IntegrateOpts::default();
+        let mut y = [1.0];
+        let mut n = 0usize;
+        let mut obs = || {
+            n += 1;
+            n < 3
+        };
+        let r = Integrator::new().integrate_observed(
+            &mut Decay,
+            0.0,
+            2.0,
+            &mut y,
+            &opts,
+            Some(&mut obs),
+        );
+        assert!(matches!(r, Err(OdeError::Aborted { .. })), "got {r:?}");
+        assert_eq!(n, 3, "observer stops being called after the abort");
     }
 
     #[test]

@@ -14,18 +14,37 @@
 //! connections are each handled on their own thread and multiplex onto
 //! the single pool in arrival order.
 //!
+//! Request lifecycle robustness (docs/PROTOCOL.md §6):
+//!
+//! * **Deadlines** — a client `--deadline-ms` rides the tag-20 frame;
+//!   an expired request is refused up front or cancelled mid-job via
+//!   the cooperative tag-12 path, freeing the ranks for later work.
+//! * **Admission control** — more than `--queue-limit` requests in
+//!   flight are shed with a typed `busy` frame carrying a retry hint.
+//! * **Graceful drain** — `SIGTERM`/`SIGINT` (or `--max-requests`)
+//!   stops the accept loop, flips `/healthz` to not-ready, finishes
+//!   the in-flight queue bounded by `--drain-timeout`, cancels any
+//!   stragglers, and exits 0.
+//! * **Crash-safe cache** — with `--cache-dir` every result is also an
+//!   atomically-written checksummed file, so a restarted server serves
+//!   prior jobs from disk, bitwise identical.
+//!
 //! The client parses the same cosmology/grid flags as `linger` and
 //! `plinger`, sends one spectrum request, and prints a one-line summary
 //! whose `fnv=` field hashes the response body's exact bit patterns —
 //! two invocations print the same hash exactly when the service
-//! answered with identical bits.
+//! answered with identical bits.  Retryable refusals (`busy`,
+//! `shutting-down`, connect failures) are retried with capped
+//! exponential backoff and deterministic jitter, honoring the server's
+//! `retry_after_ms` hint.
 
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -33,25 +52,45 @@ use bytes::BytesMut;
 use msgpass::channel::ChannelWorld;
 use msgpass::shmem::ShmemWorld;
 use msgpass::{codec, Message, World};
-use plinger::cli::{FarmArgs, FarmSettings, SpecArgs, TransportKind};
+use plinger::cli::{FarmArgs, FarmSettings, ServeArgs, ServeSettings, SpecArgs, TransportKind};
+use plinger::master::MasterConfig;
 use plinger::output_files::write_run_report;
 use plinger::pool::PoolOptions;
 use plinger::service::{
-    decode_error_text, decode_spectrum_body, encode_error_text, ServiceMetrics, TAG_REQ_METRICS,
+    ErrorCode, ResultCache, ServiceError, ServiceMetrics, SpectrumRequest, TAG_REQ_METRICS,
     TAG_REQ_SPECTRUM, TAG_RESP_ERROR, TAG_RESP_METRICS, TAG_RESP_SPECTRUM,
 };
 use plinger::{
-    hash_reals, job_hash, FarmPool, FaultPlan, RunSpec, SchedulePolicy, SpecDecodeError,
-    SpectrumService,
+    hash_reals, job_hash, CancelReason, FarmError, FarmPool, FaultPlan, JobControl, SchedulePolicy,
+    SpecDecodeError, SpectrumService,
 };
 use telemetry::expo;
 use telemetry::log::{self as tlog, Level};
 
-/// `/healthz` reports not-ready once this many requests are in flight.
-const HEALTHZ_QUEUE_LIMIT: u64 = 64;
-
 /// Flight-recorder events dumped per failing job.
 const FLIGHT_DUMP_EVENTS: usize = 256;
+
+/// Idle-accept poll interval while waiting for connections.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Poll interval of the drain wait loop.
+const DRAIN_POLL: Duration = Duration::from_millis(10);
+
+/// Per-connection read timeout, so handlers blocked between frames
+/// notice a drain instead of wedging the shutdown on a silent peer.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Retry hint per excess queued request when shedding, ms.
+const SHED_RETRY_STEP_MS: u64 = 50;
+
+/// Hard cap on any retry hint or client backoff delay, ms.
+const RETRY_CAP_MS: u64 = 2000;
+
+/// Client retry attempts after the first try (`--retries`).
+const DEFAULT_RETRIES: u32 = 5;
+
+/// Client backoff base delay (`--retry-base-ms`).
+const DEFAULT_RETRY_BASE_MS: u64 = 50;
 
 const USAGE: &str = "\
 usage:
@@ -65,7 +104,9 @@ server options:
                             text) and /healthz on this address
   --workers N               resident pool workers            [cores]
   --transport channel|shmem pool transport                   [channel]
-  --max-requests N          exit after N connections         [serve forever]
+  --max-requests N          drain after N connections        [serve forever]
+  --queue-limit N           shed requests past N in flight   [64]
+  --cache-dir DIR           crash-safe result cache directory
   --report-dir DIR          write a run_report JSON per cache miss
   --recovery MODE           failfast|requeue                 [requeue]
   --max-attempts N          dispatches per mode before quarantine [2]
@@ -74,12 +115,18 @@ server options:
   --chunk N                 modes per assignment message     [1]
   --log LEVEL[,json]        structured events on stderr
                             (error|warn|info|debug)          [off]
+SIGTERM/SIGINT drain gracefully: stop accepting, finish the queue
+(bounded by --drain-timeout), then exit 0.
 
 spectrum options (client): the same cosmology/grid flags as linger —
   --model, --h, --omega-b, --omega-c, --omega-lambda, --m-nu, --n-s,
   --gauge, --ic, --preset, --kmin, --kmax, --nk, --lmax, --tau-end
 plus:
   --metrics                 also query service counters
+  --deadline-ms MS          give the server a time budget; an expired
+                            request is cancelled, not finished
+  --retries N               retry busy/shutting-down refusals [5]
+  --retry-base-ms MS        backoff base delay                [50]
 ";
 
 fn main() -> ExitCode {
@@ -101,34 +148,51 @@ fn main() -> ExitCode {
     }
 }
 
+// ------------------------------------------------------------- signals
+
+/// Drain trigger: set by the SIGTERM/SIGINT handler, polled by the
+/// accept loop.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_term(_signum: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT into the [`TERM`] flag so the accept loop
+/// can drain instead of the process dying mid-request.
+fn install_term_handler() {
+    // SAFETY: `on_term` only stores to a static atomic, which is
+    // async-signal-safe, and `signal` is the libc prototype.
+    let handler = on_term as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
 // ---------------------------------------------------------------- server
 
 fn server_main(args: &[String]) -> Result<(), String> {
     let mut farm = FarmArgs::default();
-    let mut listen = None;
-    let mut metrics_addr = None;
-    let mut max_requests = 0usize;
-    let mut report_dir: Option<PathBuf> = None;
+    let mut serve_args = ServeArgs::default();
     let mut fault = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        if farm.try_flag(flag, &mut it)? {
+        if farm.try_flag(flag, &mut it)? || serve_args.try_flag(flag, &mut it)? {
             continue;
         }
-        let mut val = || it.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
-            "--listen" => listen = Some(val()?.clone()),
-            "--metrics-addr" => metrics_addr = Some(val()?.clone()),
-            "--max-requests" => {
-                max_requests = val()?
-                    .parse()
-                    .map_err(|_| "bad --max-requests value".to_string())?
-            }
-            "--report-dir" => report_dir = Some(PathBuf::from(val()?)),
             // hidden, test-only: script a fault into the initial workers
             "--fault" => {
-                let spec = val()?;
+                let spec = it.next().ok_or("--fault needs a value")?;
                 fault = Some(
                     parse_fault_plan(spec).ok_or_else(|| format!("bad --fault value {spec}"))?,
                 )
@@ -136,32 +200,17 @@ fn server_main(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown server flag {other}")),
         }
     }
-    let listen = listen.ok_or("--listen needs a value")?;
     let settings = farm.build()?;
+    let cfg = serve_args.build()?;
     settings.apply_log();
-    let cfg = ServeConfig {
-        listen,
-        metrics_addr,
-        max_requests,
-        report_dir,
-        fault,
-    };
+    install_term_handler();
     match settings.transport {
-        TransportKind::Channel => serve::<ChannelWorld>(&settings, &cfg),
-        TransportKind::Shmem => serve::<ShmemWorld>(&settings, &cfg),
+        TransportKind::Channel => serve::<ChannelWorld>(&settings, &cfg, fault),
+        TransportKind::Shmem => serve::<ShmemWorld>(&settings, &cfg, fault),
         TransportKind::Tcp => {
             Err("plinger-serve pools thread transports; use --transport channel|shmem".into())
         }
     }
-}
-
-/// Server options beyond the shared [`FarmSettings`].
-struct ServeConfig {
-    listen: String,
-    metrics_addr: Option<String>,
-    max_requests: usize,
-    report_dir: Option<PathBuf>,
-    fault: Option<FaultPlan>,
 }
 
 /// Parse the hidden `--fault` spec: `drop:RANK:AFTER`,
@@ -185,18 +234,75 @@ fn parse_fault_plan(s: &str) -> Option<FaultPlan> {
     }
 }
 
-fn serve<W: World>(settings: &FarmSettings, cfg: &ServeConfig) -> Result<(), String> {
+/// Request-lifecycle state shared between the accept loop and the
+/// connection handlers.
+struct ServeState {
+    /// Reference point for the drain deadline arithmetic.
+    start: Instant,
+    /// Set once the server stops accepting (a drain has begun).
+    draining: AtomicBool,
+    /// Set when the drain deadline passes: every in-flight pool job's
+    /// [`JobControl`] points here, so stragglers cancel cooperatively.
+    hard_cancel: AtomicBool,
+    /// Live connection handlers; the drain waits for zero.
+    active: AtomicU64,
+    /// Drain deadline as ms after `start` (0 = no drain yet).
+    drain_deadline_ms: AtomicU64,
+}
+
+impl ServeState {
+    fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            draining: AtomicBool::new(false),
+            hard_cancel: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            drain_deadline_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Stop admitting new connections and set the drain deadline.
+    fn begin_drain(&self, timeout: Duration) {
+        let deadline = (self.start.elapsed() + timeout).as_millis() as u64;
+        // +1 so a zero-timeout drain still records a nonzero deadline
+        self.drain_deadline_ms
+            .store(deadline.max(1), Ordering::SeqCst);
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// True once the drain window is exhausted: outstanding requests
+    /// are refused and running jobs get cancelled.
+    fn past_drain_deadline(&self) -> bool {
+        let d = self.drain_deadline_ms.load(Ordering::SeqCst);
+        d != 0 && self.start.elapsed().as_millis() as u64 >= d
+    }
+}
+
+fn serve<W: World>(
+    settings: &FarmSettings,
+    cfg: &ServeSettings,
+    fault: Option<FaultPlan>,
+) -> Result<(), String> {
     let pool = FarmPool::<W>::start_with(
         settings.workers,
         settings.master_config(),
         PoolOptions {
             respawn_limit: settings.respawn_limit,
-            fault: cfg.fault,
+            fault,
         },
     )
     .map_err(|e| format!("starting pool failed: {e}"))?;
     let n_workers = pool.n_workers();
-    let service = SpectrumService::new(pool, SchedulePolicy::LargestFirst);
+    let cache = match cfg.cache_dir.as_ref() {
+        Some(dir) => ResultCache::with_dir(dir)
+            .map_err(|e| format!("opening cache dir {} failed: {e}", dir.display()))?,
+        None => ResultCache::new(),
+    };
+    let service = SpectrumService::with_cache(pool, SchedulePolicy::LargestFirst, cache);
     let metrics = service.metrics();
     let service = Mutex::new(service);
 
@@ -216,15 +322,25 @@ fn serve<W: World>(settings: &FarmSettings, cfg: &ServeConfig) -> Result<(), Str
             .map_err(|e| format!("metrics local_addr failed: {e}"))?;
         println!("plinger-serve: metrics on {maddr}");
         let scrape = Arc::clone(&metrics);
+        let queue_limit = cfg.queue_limit;
         // detached: the scrape endpoint only touches the shared metrics
         // handle, never the service lock, and dies with the process
-        std::thread::spawn(move || serve_metrics(mlistener, &scrape));
+        std::thread::spawn(move || serve_metrics(mlistener, &scrape, queue_limit));
     }
     eprintln!(
         "plinger-serve: pool of {} {} workers warm",
         settings.workers,
         W::NAME
     );
+
+    // non-blocking accepts so the loop can poll the TERM flag
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking failed: {e}"))?;
+    let state = ServeState::new();
+    let drain_timeout = settings
+        .drain_timeout
+        .unwrap_or(MasterConfig::default().drain_timeout);
 
     let transport_tag = W::NAME;
     let dir = cfg.report_dir.as_deref();
@@ -234,25 +350,80 @@ fn serve<W: World>(settings: &FarmSettings, cfg: &ServeConfig) -> Result<(), Str
     }
     std::thread::scope(|scope| -> Result<(), String> {
         let mut accepted = 0usize;
-        for stream in listener.incoming() {
-            let stream = stream.map_err(|e| format!("accept failed: {e}"))?;
-            accepted += 1;
-            let service = &service;
-            let metrics = &*metrics;
-            scope.spawn(move || {
-                if let Err(e) =
-                    handle_connection(stream, service, metrics, n_workers, dir, transport_tag)
-                {
-                    eprintln!("plinger-serve: connection error: {e}");
-                }
-            });
+        loop {
+            if TERM.load(Ordering::SeqCst) {
+                tlog::log(Level::Warn, "serve", "drain_signal", &[]);
+                break;
+            }
             if cfg.max_requests > 0 && accepted >= cfg.max_requests {
                 break;
             }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    accepted += 1;
+                    // blocking per-connection I/O, but with a poll-sized
+                    // read timeout so handlers notice a drain
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(READ_POLL));
+                    state.active.fetch_add(1, Ordering::SeqCst);
+                    let service = &service;
+                    let metrics = &*metrics;
+                    let state = &state;
+                    let queue_limit = cfg.queue_limit;
+                    scope.spawn(move || {
+                        if let Err(e) = handle_connection(
+                            stream,
+                            service,
+                            metrics,
+                            state,
+                            queue_limit,
+                            n_workers,
+                            dir,
+                            transport_tag,
+                        ) {
+                            eprintln!("plinger-serve: connection error: {e}");
+                        }
+                        state.active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+        }
+        // graceful drain: stop accepting, finish the in-flight queue
+        // bounded by the drain timeout, then cancel stragglers
+        state.begin_drain(drain_timeout);
+        metrics.set_draining(true);
+        tlog::log(
+            Level::Warn,
+            "serve",
+            "drain_begin",
+            &[
+                ("active", state.active.load(Ordering::SeqCst).to_string()),
+                ("timeout_ms", drain_timeout.as_millis().to_string()),
+            ],
+        );
+        while state.active.load(Ordering::SeqCst) > 0 && !state.past_drain_deadline() {
+            std::thread::sleep(DRAIN_POLL);
+        }
+        let leftover = state.active.load(Ordering::SeqCst);
+        if leftover > 0 {
+            // cooperative kill switch: every running job's JobControl
+            // watches this flag, and idle connections time out closed
+            state.hard_cancel.store(true, Ordering::SeqCst);
+            tlog::log(
+                Level::Warn,
+                "serve",
+                "drain_forced",
+                &[("active", leftover.to_string())],
+            );
         }
         Ok(())
-        // scope exit joins every in-flight connection handler
+        // scope exit joins every remaining connection handler
     })?;
+    tlog::log(Level::Info, "serve", "drain_done", &[]);
 
     let service = service
         .into_inner()
@@ -268,24 +439,63 @@ fn serve<W: World>(settings: &FarmSettings, cfg: &ServeConfig) -> Result<(), Str
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection<W: World>(
     mut stream: TcpStream,
     service: &Mutex<SpectrumService<W>>,
     metrics: &ServiceMetrics,
+    state: &ServeState,
+    queue_limit: u64,
     n_workers: usize,
     report_dir: Option<&Path>,
     transport_tag: &str,
 ) -> Result<(), String> {
     let mut buf = BytesMut::new();
-    while let Some(msg) = read_frame(&mut stream, &mut buf)? {
+    let mut served = 0usize;
+    loop {
+        let msg = match read_frame(&mut stream, &mut buf)? {
+            FrameRead::Frame(msg) => msg,
+            FrameRead::Eof => return Ok(()),
+            FrameRead::TimedOut => {
+                // a keep-alive lull: during a drain, idle connections
+                // that already got an answer are closed so the join
+                // can't wedge on a silent peer; fresh connections get
+                // until the drain deadline to speak
+                if state.draining() && (served > 0 || state.past_drain_deadline()) {
+                    return Ok(());
+                }
+                continue;
+            }
+        };
         match msg.tag {
             TAG_REQ_SPECTRUM => {
-                let reply = answer_spectrum(service, metrics, &msg.data, report_dir, transport_tag);
+                let reply = if state.draining() && state.past_drain_deadline() {
+                    // the drain window is spent: anything still asking
+                    // is refused so the process can exit
+                    Err(ServiceError::new(
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                    ))
+                } else {
+                    let depth = metrics.enter_queue();
+                    if depth > queue_limit {
+                        metrics.leave_queue();
+                        Err(shed(metrics, depth, queue_limit))
+                    } else {
+                        answer_spectrum(
+                            service,
+                            metrics,
+                            state,
+                            &msg.data,
+                            report_dir,
+                            transport_tag,
+                        )
+                    }
+                };
+                served += 1;
                 match reply {
                     Ok(payload) => send_frame(&mut stream, TAG_RESP_SPECTRUM, &payload)?,
-                    Err(text) => {
-                        send_frame(&mut stream, TAG_RESP_ERROR, &encode_error_text(&text))?
-                    }
+                    Err(err) => send_frame(&mut stream, TAG_RESP_ERROR, &err.encode())?,
                 }
             }
             // answered off the shared metrics handle, never the service
@@ -296,32 +506,60 @@ fn handle_connection<W: World>(
                 &metrics.wire_payload(n_workers),
             )?,
             other => {
-                let text = format!("unknown request tag {other}");
-                send_frame(&mut stream, TAG_RESP_ERROR, &encode_error_text(&text))?;
+                let err = ServiceError::new(
+                    ErrorCode::BadRequest,
+                    format!("unknown request tag {other}"),
+                );
+                send_frame(&mut stream, TAG_RESP_ERROR, &err.encode())?;
             }
         }
     }
-    Ok(())
+}
+
+/// Refuse one over-limit request: count it, log it, and build the
+/// typed `busy` frame whose retry hint scales with the excess load.
+fn shed(metrics: &ServiceMetrics, depth: u64, queue_limit: u64) -> ServiceError {
+    let excess = depth.saturating_sub(queue_limit);
+    let retry_after_ms = (SHED_RETRY_STEP_MS * excess.max(1)).min(RETRY_CAP_MS);
+    metrics.requests_shed.inc();
+    tlog::log(
+        Level::Warn,
+        "service",
+        "request_shed",
+        &[
+            ("queue_depth", depth.to_string()),
+            ("queue_limit", queue_limit.to_string()),
+            ("retry_after_ms", retry_after_ms.to_string()),
+        ],
+    );
+    let mut err = ServiceError::new(
+        ErrorCode::Busy,
+        format!("queue full ({depth} requests in flight, limit {queue_limit})"),
+    );
+    err.retry_after_ms = retry_after_ms;
+    err
 }
 
 /// Serve one spectrum request end to end, recording queue-wait, run,
-/// and total latency plus the request-scoped log events.
+/// and total latency plus the request-scoped log events.  The caller
+/// has already counted the request into the queue; every path out of
+/// here leaves it.
 fn answer_spectrum<W: World>(
     service: &Mutex<SpectrumService<W>>,
     metrics: &ServiceMetrics,
+    state: &ServeState,
     data: &[f64],
     report_dir: Option<&Path>,
     transport_tag: &str,
-) -> Result<Vec<f64>, String> {
+) -> Result<Vec<f64>, ServiceError> {
     let t_accept = Instant::now();
-    metrics.enter_queue();
     let finish = || {
         metrics.leave_queue();
         metrics.total_ns.record(elapsed_ns(t_accept));
     };
 
-    let spec = match RunSpec::decode(data) {
-        Ok(spec) => spec,
+    let req = match SpectrumRequest::decode(data) {
+        Ok(req) => req,
         Err(e) => {
             let text = spec_error_text(&e);
             metrics.errors.inc();
@@ -332,10 +570,13 @@ fn answer_spectrum<W: World>(
                 &[("error", text.clone())],
             );
             finish();
-            return Err(text);
+            return Err(ServiceError::new(ErrorCode::BadRequest, text));
         }
     };
-    let key = job_hash(&spec);
+    let deadline = req
+        .deadline_ms
+        .map(|ms| t_accept + Duration::from_secs_f64(ms / 1e3));
+    let key = job_hash(&req.spec);
     let job = tlog::job_hex(key);
     tlog::log(
         Level::Info,
@@ -344,17 +585,29 @@ fn answer_spectrum<W: World>(
         &[
             ("job", job.clone()),
             ("queue_depth", metrics.queue_depth().to_string()),
+            (
+                "deadline_ms",
+                req.deadline_ms
+                    .map_or("none".into(), |ms| format!("{ms:.0}")),
+            ),
         ],
     );
 
     let Ok(mut svc) = service.lock() else {
         metrics.errors.inc();
         finish();
-        return Err("service lock poisoned".into());
+        return Err(ServiceError::new(
+            ErrorCode::Internal,
+            "service lock poisoned",
+        ));
     };
     metrics.queue_wait_ns.record(elapsed_ns(t_accept));
+    let ctrl = JobControl {
+        deadline,
+        cancel: Some(&state.hard_cancel),
+    };
     let t_run = Instant::now();
-    let outcome = svc.handle(&spec);
+    let outcome = svc.handle_with(&req.spec, &ctrl);
     let requests = svc.requests();
     drop(svc);
     metrics.run_ns.record(elapsed_ns(t_run));
@@ -363,16 +616,33 @@ fn answer_spectrum<W: World>(
     let reply = match outcome {
         Ok(reply) => reply,
         Err(e) => {
-            let text = format!("farm failed: {e}");
             metrics.errors.inc();
+            let (code, is_cancel) = match &e {
+                FarmError::Cancelled { reason, .. } => (
+                    match reason {
+                        CancelReason::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+                        CancelReason::Cancelled => ErrorCode::Cancelled,
+                    },
+                    true,
+                ),
+                _ => (ErrorCode::Internal, false),
+            };
+            let text = if is_cancel {
+                e.to_string()
+            } else {
+                format!("farm failed: {e}")
+            };
             tlog::log(
                 Level::Error,
                 "service",
                 "request_failed",
                 &[("job", job.clone()), ("error", text.clone())],
             );
-            write_flight_dump(report_dir, key, &job);
-            return Err(text);
+            // a cancel is deliberate — only real failures dump evidence
+            if !is_cancel {
+                write_flight_dump(report_dir, key, &job);
+            }
+            return Err(ServiceError::new(code, text));
         }
     };
     if let Some(report) = reply.report.as_ref() {
@@ -465,7 +735,7 @@ fn read_http_head(stream: &mut TcpStream) -> Option<String> {
 
 /// Answer Prometheus scrapes and health probes on a dedicated
 /// listener: strictly GET, one request per connection, HTTP/1.0.
-fn serve_metrics(listener: TcpListener, metrics: &ServiceMetrics) {
+fn serve_metrics(listener: TcpListener, metrics: &ServiceMetrics, queue_limit: u64) {
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
         let Some(head) = read_http_head(&mut stream) else {
@@ -479,8 +749,11 @@ fn serve_metrics(listener: TcpListener, metrics: &ServiceMetrics) {
                 &telemetry::render_prometheus(&metrics.snapshot(), "plinger"),
             ),
             Some("/healthz") => {
-                let ready =
-                    metrics.workers_alive() >= 1 && metrics.queue_depth() < HEALTHZ_QUEUE_LIMIT;
+                // not-ready the instant a drain begins, so load
+                // balancers stop routing before the listener closes
+                let ready = metrics.workers_alive() >= 1
+                    && metrics.queue_depth() < queue_limit
+                    && !metrics.draining();
                 if ready {
                     expo::http_response(200, "OK", "text/plain", "ok\n")
                 } else {
@@ -501,65 +774,165 @@ fn spec_error_text(e: &SpecDecodeError) -> String {
 
 // ---------------------------------------------------------------- client
 
+/// Why a client attempt did not produce a spectrum.
+enum ClientError {
+    /// Transient refusal (busy, shutting down, connect failure):
+    /// worth retrying after `hint_ms`.
+    Retryable { hint_ms: u64, what: String },
+    /// A real failure; retrying would just repeat it.
+    Fatal(String),
+}
+
 fn client_main(args: &[String]) -> Result<(), String> {
     let mut spec = SpecArgs::default();
     let mut connect = None;
     let mut want_metrics = false;
+    let mut deadline_ms: Option<f64> = None;
+    let mut retries = DEFAULT_RETRIES;
+    let mut retry_base_ms = DEFAULT_RETRY_BASE_MS;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if spec.try_flag(flag, &mut it)? {
             continue;
         }
+        let mut val = || it.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
-            "--connect" => {
-                connect = Some(
-                    it.next()
-                        .ok_or_else(|| "--connect needs a value".to_string())?
-                        .clone(),
-                )
-            }
+            "--connect" => connect = Some(val()?.clone()),
             "--metrics" => want_metrics = true,
+            "--deadline-ms" => {
+                let ms: f64 = val()?
+                    .parse()
+                    .map_err(|_| "bad --deadline-ms value".to_string())?;
+                deadline_ms = (ms > 0.0).then_some(ms);
+            }
+            "--retries" => {
+                retries = val()?
+                    .parse()
+                    .map_err(|_| "bad --retries value".to_string())?
+            }
+            "--retry-base-ms" => {
+                retry_base_ms = val()?
+                    .parse()
+                    .map_err(|_| "bad --retry-base-ms value".to_string())?
+            }
             other => return Err(format!("unknown client flag {other}")),
         }
     }
     let addr = connect.ok_or("--connect needs a value")?;
-    let spec = spec.build()?;
+    let request = SpectrumRequest {
+        spec: spec.build()?,
+        deadline_ms,
+    };
+    let key = job_hash(&request.spec);
 
+    let mut attempt = 0u32;
+    loop {
+        match client_once(&addr, &request, want_metrics) {
+            Ok(()) => return Ok(()),
+            Err(ClientError::Fatal(msg)) => return Err(msg),
+            Err(ClientError::Retryable { hint_ms, what }) => {
+                if attempt >= retries {
+                    return Err(format!("giving up after {} attempts: {what}", attempt + 1));
+                }
+                let delay = backoff_ms(key, attempt, retry_base_ms, hint_ms);
+                eprintln!(
+                    "plinger-serve: attempt {} refused ({what}); retrying in {delay} ms",
+                    attempt + 1
+                );
+                std::thread::sleep(Duration::from_millis(delay));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter: the server's
+/// `retry_after_ms` hint wins when it is longer, and the jitter is a
+/// pure function of (job key, attempt) so reruns are reproducible.
+fn backoff_ms(key: u64, attempt: u32, base_ms: u64, hint_ms: u64) -> u64 {
+    let exp = base_ms
+        .saturating_mul(1u64 << attempt.min(10))
+        .min(RETRY_CAP_MS);
+    let delay = exp.max(hint_ms).min(RETRY_CAP_MS);
+    let jitter = hash_reals(&[key as f64, f64::from(attempt)]) % (delay / 4 + 1);
+    delay + jitter
+}
+
+/// One connect-send-receive attempt against the server.
+fn client_once(
+    addr: &str,
+    request: &SpectrumRequest,
+    want_metrics: bool,
+) -> Result<(), ClientError> {
+    let retryable = |what: String| ClientError::Retryable { hint_ms: 0, what };
     let mut stream =
-        TcpStream::connect(&addr).map_err(|e| format!("connect {addr} failed: {e}"))?;
+        TcpStream::connect(addr).map_err(|e| retryable(format!("connect {addr} failed: {e}")))?;
     let mut buf = BytesMut::new();
 
-    send_frame(&mut stream, TAG_REQ_SPECTRUM, &spec.encode())?;
-    let msg = read_frame(&mut stream, &mut buf)?
-        .ok_or_else(|| "server closed the connection before answering".to_string())?;
+    send_frame(&mut stream, TAG_REQ_SPECTRUM, &request.encode()).map_err(&retryable)?;
+    let msg = match read_frame(&mut stream, &mut buf) {
+        Ok(FrameRead::Frame(msg)) => msg,
+        // the server may close mid-drain or mid-restart; both are
+        // transient from the client's seat
+        Ok(FrameRead::Eof) => {
+            return Err(retryable(
+                "server closed the connection before answering".into(),
+            ))
+        }
+        Ok(FrameRead::TimedOut) => return Err(retryable("receive timed out".into())),
+        Err(e) => return Err(ClientError::Fatal(e)),
+    };
     match msg.tag {
         TAG_RESP_SPECTRUM => {
             let (hit, body) = msg
                 .data
                 .split_first()
-                .ok_or_else(|| "empty spectrum response".to_string())?;
-            let (outputs, wall) = decode_spectrum_body(body)?;
+                .ok_or_else(|| ClientError::Fatal("empty spectrum response".into()))?;
+            let (outputs, wall) = decode_body(body)?;
             println!(
                 "cache_hit={} outputs={} wall={:.6} fnv={:016x}",
                 if *hit != 0.0 { 1 } else { 0 },
-                outputs.len(),
+                outputs,
                 wall,
                 hash_reals(body),
             );
         }
-        TAG_RESP_ERROR => return Err(format!("server error: {}", decode_error_text(&msg.data))),
-        other => return Err(format!("unexpected response tag {other}")),
+        TAG_RESP_ERROR => {
+            let err = ServiceError::decode(&msg.data);
+            return Err(match err.code {
+                ErrorCode::Busy | ErrorCode::ShuttingDown => ClientError::Retryable {
+                    hint_ms: err.retry_after_ms,
+                    what: err.to_string(),
+                },
+                _ => ClientError::Fatal(format!("server error: {err}")),
+            });
+        }
+        other => {
+            return Err(ClientError::Fatal(format!(
+                "unexpected response tag {other}"
+            )))
+        }
     }
 
     if want_metrics {
-        send_frame(&mut stream, TAG_REQ_METRICS, &[])?;
-        let msg = read_frame(&mut stream, &mut buf)?
-            .ok_or_else(|| "server closed the connection before metrics".to_string())?;
+        send_frame(&mut stream, TAG_REQ_METRICS, &[]).map_err(&retryable)?;
+        let msg = match read_frame(&mut stream, &mut buf) {
+            Ok(FrameRead::Frame(msg)) => msg,
+            Ok(_) => {
+                return Err(retryable(
+                    "server closed the connection before metrics".into(),
+                ))
+            }
+            Err(e) => return Err(ClientError::Fatal(e)),
+        };
         // the payload grows over time: the first five reals are fixed,
         // anything beyond is gauges + latency summaries (PROTOCOL.md)
         if msg.tag != TAG_RESP_METRICS || msg.data.len() < 5 {
-            return Err(format!("bad metrics response (tag {})", msg.tag));
+            return Err(ClientError::Fatal(format!(
+                "bad metrics response (tag {})",
+                msg.tag
+            )));
         }
         println!(
             "requests={} hits={} misses={} jobs={} workers={}",
@@ -579,6 +952,13 @@ fn client_main(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Decode the response body, mapping failures to fatal client errors.
+fn decode_body(body: &[f64]) -> Result<(usize, f64), ClientError> {
+    let (outputs, wall) =
+        plinger::service::decode_spectrum_body(body).map_err(ClientError::Fatal)?;
+    Ok((outputs.len(), wall))
+}
+
 // --------------------------------------------------------------- framing
 
 fn send_frame(stream: &mut TcpStream, tag: msgpass::Tag, data: &[f64]) -> Result<(), String> {
@@ -587,23 +967,41 @@ fn send_frame(stream: &mut TcpStream, tag: msgpass::Tag, data: &[f64]) -> Result
         .map_err(|e| format!("send failed: {e}"))
 }
 
-/// Read one codec frame, buffering partial reads.  `Ok(None)` is a
-/// clean EOF between frames (the peer hung up).
-fn read_frame(stream: &mut TcpStream, buf: &mut BytesMut) -> Result<Option<Message>, String> {
+/// Outcome of one framed read.
+enum FrameRead {
+    /// A complete frame arrived.
+    Frame(Message),
+    /// Clean EOF between frames (the peer hung up).
+    Eof,
+    /// The socket's read timeout elapsed with no complete frame; the
+    /// partial bytes (if any) stay buffered for the next call.
+    TimedOut,
+}
+
+/// Read one codec frame, buffering partial reads.
+fn read_frame(stream: &mut TcpStream, buf: &mut BytesMut) -> Result<FrameRead, String> {
     loop {
         if let Some(msg) = codec::decode(buf).map_err(|e| format!("bad frame: {e}"))? {
-            return Ok(Some(msg));
+            return Ok(FrameRead::Frame(msg));
         }
         let mut chunk = [0u8; 8192];
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| format!("recv failed: {e}"))?;
-        if n == 0 {
-            if buf.is_empty() {
-                return Ok(None);
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(FrameRead::Eof);
+                }
+                return Err("connection closed mid-frame".into());
             }
-            return Err("connection closed mid-frame".into());
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(FrameRead::TimedOut)
+            }
+            Err(e) => return Err(format!("recv failed: {e}")),
         }
-        buf.extend_from_slice(&chunk[..n]);
     }
 }

@@ -3,20 +3,23 @@
 //!
 //! A tiny hand-rolled parser (no external CLI crates): flags are
 //! `--name value` pairs; unknown flags abort with usage.  The flags are
-//! grouped into two reusable builders — [`SpecArgs`] (cosmology, grid,
-//! accuracy → a [`RunSpec`]) and [`FarmArgs`] (workers, transport,
-//! recovery, timing → [`FarmSettings`]) — so each binary composes
-//! exactly the groups it understands: `linger`/`plinger` take both
-//! through [`parse`], the `plinger-serve` server takes [`FarmArgs`]
-//! plus its own listen flags, and the `plinger-serve` client takes
-//! [`SpecArgs`] plus a connect address.  Every flag keeps one
-//! definition, one default, and one error message across all binaries.
+//! grouped into reusable builders — [`SpecArgs`] (cosmology, grid,
+//! accuracy → a [`RunSpec`]), [`FarmArgs`] (workers, transport,
+//! recovery, timing → [`FarmSettings`]), and [`ServeArgs`] (listen
+//! addresses, admission control, persistent cache →
+//! [`ServeSettings`]) — so each binary composes exactly the groups it
+//! understands: `linger`/`plinger` take the first two through
+//! [`parse`], the `plinger-serve` server takes [`FarmArgs`] plus
+//! [`ServeArgs`], and the `plinger-serve` client takes [`SpecArgs`]
+//! plus a connect address.  Every flag keeps one definition, one
+//! default, and one error message across all binaries.
 
 use crate::master::MasterConfig;
 use crate::protocol::RunSpec;
 use crate::recovery::RecoveryPolicy;
 use background::CosmoParams;
 use boltzmann::{Gauge, InitialConditions, Preset};
+use std::path::PathBuf;
 use std::time::Duration;
 use telemetry::log::{parse_log_flag, Level};
 
@@ -461,6 +464,85 @@ impl FarmArgs {
     }
 }
 
+/// In-flight request cap applied when `--queue-limit` is absent: both
+/// the admission-control threshold and the `/healthz` not-ready trip
+/// point.
+pub const DEFAULT_QUEUE_LIMIT: u64 = 64;
+
+/// Builder for the `plinger-serve` server flag group: listen/metrics
+/// addresses, request admission, and the persistent result-cache tier.
+#[derive(Debug, Clone, Default)]
+pub struct ServeArgs {
+    /// Bind address (`--listen`, required; port 0 picks one).
+    pub listen: Option<String>,
+    /// Optional HTTP `/metrics` + `/healthz` address.
+    pub metrics_addr: Option<String>,
+    /// Exit after N connections; 0 serves forever.
+    pub max_requests: usize,
+    /// Directory for per-miss run reports and flight dumps.
+    pub report_dir: Option<PathBuf>,
+    /// In-flight request cap (`--queue-limit`; `None` = 64).
+    pub queue_limit: Option<u64>,
+    /// Crash-safe result-cache directory (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Validated server settings out of [`ServeArgs::build`].
+#[derive(Debug, Clone)]
+pub struct ServeSettings {
+    /// Bind address.
+    pub listen: String,
+    /// Optional HTTP `/metrics` + `/healthz` address.
+    pub metrics_addr: Option<String>,
+    /// Exit after N connections; 0 serves forever.
+    pub max_requests: usize,
+    /// Directory for per-miss run reports and flight dumps.
+    pub report_dir: Option<PathBuf>,
+    /// In-flight request cap: requests past it are shed with a typed
+    /// `Busy` frame, and `/healthz` reports not-ready at it.
+    pub queue_limit: u64,
+    /// Crash-safe result-cache directory.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl ServeArgs {
+    /// Consume `flag` (and its value from `it`) if it belongs to this
+    /// group.  `Ok(true)` means handled; `Ok(false)` means not ours.
+    pub fn try_flag(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--listen" => self.listen = Some(take(flag, it)?.clone()),
+            "--metrics-addr" => self.metrics_addr = Some(take(flag, it)?.clone()),
+            "--max-requests" => self.max_requests = num(take(flag, it)?)? as usize,
+            "--report-dir" => self.report_dir = Some(PathBuf::from(take(flag, it)?)),
+            "--queue-limit" => self.queue_limit = Some(num(take(flag, it)?)? as u64),
+            "--cache-dir" => self.cache_dir = Some(PathBuf::from(take(flag, it)?)),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Validate and assemble the [`ServeSettings`].
+    pub fn build(self) -> Result<ServeSettings, String> {
+        let listen = self.listen.ok_or("--listen needs a value")?;
+        let queue_limit = self.queue_limit.unwrap_or(DEFAULT_QUEUE_LIMIT);
+        if queue_limit < 1 {
+            return Err("need a queue limit of at least 1".into());
+        }
+        Ok(ServeSettings {
+            listen,
+            metrics_addr: self.metrics_addr,
+            max_requests: self.max_requests,
+            report_dir: self.report_dir,
+            queue_limit,
+            cache_dir: self.cache_dir,
+        })
+    }
+}
+
 /// Recognize the hidden `--tcp-worker ADDR RANK SIZE [FAULT]` prefix.
 /// `Ok(None)` means the arguments are a normal invocation.
 pub fn parse_tcp_worker(args: &[String]) -> Result<Option<TcpWorkerArgs>, String> {
@@ -537,6 +619,7 @@ fn num(s: &str) -> Result<f64, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -713,6 +796,54 @@ mod tests {
             _ => panic!("expected run"),
         }
         assert!(parse(&argv("--log loud")).is_err());
+    }
+
+    #[test]
+    fn serve_args_parse() {
+        let args = argv(
+            "--listen 127.0.0.1:0 --metrics-addr 127.0.0.1:9 --max-requests 7 \
+             --queue-limit 3 --cache-dir /tmp/cache --report-dir /tmp/reports",
+        );
+        let mut serve = ServeArgs::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            assert!(serve.try_flag(flag, &mut it).unwrap(), "{flag} not owned");
+        }
+        let cfg = serve.build().unwrap();
+        assert_eq!(cfg.listen, "127.0.0.1:0");
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:9"));
+        assert_eq!(cfg.max_requests, 7);
+        assert_eq!(cfg.queue_limit, 3);
+        assert_eq!(cfg.cache_dir.as_deref(), Some(Path::new("/tmp/cache")));
+        assert_eq!(cfg.report_dir.as_deref(), Some(Path::new("/tmp/reports")));
+
+        // defaults: the queue limit falls back, the listen address is
+        // mandatory, and a zero limit is rejected
+        let mut serve = ServeArgs::default();
+        let args = argv("--listen 127.0.0.1:0");
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            serve.try_flag(flag, &mut it).unwrap();
+        }
+        let cfg = serve.build().unwrap();
+        assert_eq!(cfg.queue_limit, DEFAULT_QUEUE_LIMIT);
+        assert_eq!(cfg.max_requests, 0);
+        assert!(ServeArgs::default().build().is_err(), "listen is required");
+        let mut serve = ServeArgs {
+            listen: Some("x".into()),
+            queue_limit: Some(0),
+            ..Default::default()
+        };
+        assert!(serve.clone().build().is_err(), "zero limit rejected");
+        serve.queue_limit = Some(1);
+        assert!(serve.build().is_ok());
+
+        // farm flags are not owned by the serve group
+        let mut serve = ServeArgs::default();
+        let args = argv("--workers 2");
+        let mut it = args.iter();
+        let flag = it.next().unwrap();
+        assert!(!serve.try_flag(flag, &mut it).unwrap());
     }
 
     #[test]

@@ -13,6 +13,24 @@ use msgpass::{CommError, Rank};
 
 use crate::protocol::SpecDecodeError;
 
+/// Why a job was cancelled mid-run (see [`FarmError::Cancelled`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The request's deadline passed while the job was queued or running.
+    DeadlineExceeded,
+    /// An explicit cancel (client abandoned the request, server drain).
+    Cancelled,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            CancelReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
 /// A farm session failure.
 #[derive(Debug)]
 pub enum FarmError {
@@ -76,6 +94,16 @@ pub enum FarmError {
         /// Mode indices (into the k-grid) left without results.
         unfinished: Vec<usize>,
     },
+    /// The job was cancelled cooperatively (tag-12): its deadline
+    /// expired or the caller gave up.  Workers released their chunks
+    /// mid-flight and the session drained cleanly — a pooled farm stays
+    /// healthy and serves the next job.
+    Cancelled {
+        /// What triggered the cancellation.
+        reason: CancelReason,
+        /// Mode indices (into the k-grid) left without results.
+        unfinished: Vec<usize>,
+    },
 }
 
 impl fmt::Display for FarmError {
@@ -116,6 +144,11 @@ impl fmt::Display for FarmError {
                 "all workers lost; {} mode(s) unfinished: {:?}",
                 unfinished.len(),
                 unfinished
+            ),
+            FarmError::Cancelled { reason, unfinished } => write!(
+                f,
+                "job cancelled ({reason}); {} mode(s) unfinished",
+                unfinished.len()
             ),
         }
     }

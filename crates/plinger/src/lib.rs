@@ -37,26 +37,28 @@ pub mod service;
 pub mod simulate;
 pub mod worker;
 
-pub use error::FarmError;
+pub use error::{CancelReason, FarmError};
 pub use farm::{
     parse_worker_fault, run_serial, run_tcp_processes, run_tcp_worker, Farm, FarmReport, FaultPlan,
     TcpFarmOptions,
 };
 pub use master::{
-    master_job_session, master_loop, master_session, MasterConfig, MasterLedger, SessionKind,
+    master_job_session, master_loop, master_session, JobControl, MasterConfig, MasterLedger,
+    SessionKind,
 };
 pub use pool::{FarmPool, PoolOptions, PoolShutdown, Session, TcpFarmPool};
 pub use protocol::{
-    cosmo_hash, hash_reals, job_hash, RunSpec, SpecDecodeError, TAG_ASSIGN, TAG_DATA, TAG_FAIL,
-    TAG_HEADER, TAG_HEARTBEAT, TAG_INIT, TAG_JOBDONE, TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
+    cosmo_hash, hash_reals, job_hash, RunSpec, SpecDecodeError, TAG_ASSIGN, TAG_CANCEL, TAG_DATA,
+    TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT, TAG_JOBDONE, TAG_NEWJOB, TAG_REQUEST, TAG_STATS,
+    TAG_STOP,
 };
 pub use recovery::{FailedMode, RecoveryLog, RecoveryPolicy, WorkerEvent};
 pub use report::{build_run_report, render_pretty, FarmTelemetry};
 pub use schedule::{SchedulePolicy, WorkQueue};
 pub use service::{
-    decode_spectrum_body, encode_spectrum_body, ResultCache, ServiceMetrics, ServiceReply,
-    SpectrumService, TAG_REQ_METRICS, TAG_REQ_SPECTRUM, TAG_RESP_ERROR, TAG_RESP_METRICS,
-    TAG_RESP_SPECTRUM,
+    decode_spectrum_body, encode_spectrum_body, ErrorCode, ResultCache, ServiceError,
+    ServiceMetrics, ServiceReply, SpectrumRequest, SpectrumService, TAG_REQ_METRICS,
+    TAG_REQ_SPECTRUM, TAG_RESP_ERROR, TAG_RESP_METRICS, TAG_RESP_SPECTRUM,
 };
 pub use simulate::{simulate_farm, synthetic_costs, SimParams, SimResult};
 pub use worker::{

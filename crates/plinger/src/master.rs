@@ -24,6 +24,7 @@
 //! dead even if its thread still exists, which catches *hung* workers.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use boltzmann::ModeOutput;
@@ -33,10 +34,10 @@ use telemetry::{SpanEvent, SpanRecorder};
 
 use telemetry::log::{self as tlog, Level};
 
-use crate::error::FarmError;
+use crate::error::{CancelReason, FarmError};
 use crate::protocol::{
-    job_hash, RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT,
-    TAG_JOBDONE, TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
+    job_hash, RunSpec, TAG_ASSIGN, TAG_CANCEL, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT,
+    TAG_INIT, TAG_JOBDONE, TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
 };
 use crate::recovery::{FailedMode, RecoveryLog, RecoveryPolicy, WorkerEvent};
 use crate::schedule::{SchedulePolicy, WorkQueue};
@@ -106,6 +107,35 @@ impl SessionKind {
             SessionKind::OneShot => TAG_STOP,
             SessionKind::Pooled => TAG_JOBDONE,
         }
+    }
+}
+
+/// External control of a running job: a wall-clock deadline and/or a
+/// shared cancel flag, both optional.  The master checks it once per
+/// poll interval; when either trigger fires it broadcasts tag-12
+/// [`TAG_CANCEL`] to every live un-stopped rank, drains the session
+/// (collecting statistics like any other shutdown), and returns
+/// [`FarmError::Cancelled`].  The default is uncontrolled — the
+/// historical run-to-completion behaviour.
+#[derive(Clone, Copy, Default)]
+pub struct JobControl<'a> {
+    /// Abort the job once this instant passes.
+    pub deadline: Option<Instant>,
+    /// Abort the job once this flag reads `true`.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl JobControl<'_> {
+    /// Which trigger, if any, has fired.  An explicit cancel wins over
+    /// a deadline when both have.
+    pub fn triggered(&self) -> Option<CancelReason> {
+        if self.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            return Some(CancelReason::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(CancelReason::DeadlineExceeded);
+        }
+        None
     }
 }
 
@@ -570,6 +600,42 @@ impl Session {
         }
     }
 
+    /// Cooperatively cancel the job: tag-12 to every live un-stopped
+    /// rank (integrating workers abort mid-chunk at their next observer
+    /// poll; parked workers take it as their release), then the normal
+    /// drain — stats are collected and pooled workers park consistently
+    /// for the next job.  Returns the error the session ends with.
+    fn cancel_job<T: Transport>(
+        &mut self,
+        t: &mut T,
+        cfg: &MasterConfig,
+        watch: &mut dyn FnMut() -> Vec<WorkerEvent>,
+        reason: CancelReason,
+    ) -> FarmError {
+        let unfinished = self.unfinished();
+        tlog::log(
+            Level::Warn,
+            "master",
+            "job_cancelled",
+            &[
+                ("job", self.job.clone()),
+                ("reason", reason.to_string()),
+                ("unfinished", unfinished.len().to_string()),
+            ],
+        );
+        for rank in 1..=self.n_workers {
+            if self.dead.contains(&rank) || self.stopped.contains(&rank) {
+                continue;
+            }
+            // best-effort, like the drain's release sends: a rank that
+            // cannot be reached is already being handled by the watch
+            let _ = mysendreal(t, &[0.0], TAG_CANCEL, rank);
+        }
+        self.recovery.cancelled = true;
+        self.drain_and_stop(t, cfg, watch);
+        FarmError::Cancelled { reason, unfinished }
+    }
+
     /// Collect tag-7 goodbye reports that were still in flight when the
     /// death report won the race against them (a worker that took its
     /// stop, sent statistics, and exited can be seen dead by the watch
@@ -650,7 +716,16 @@ pub fn master_session<T: Transport>(
     watch: &mut dyn FnMut() -> Vec<WorkerEvent>,
     epoch: Instant,
 ) -> Result<MasterLedger, FarmError> {
-    master_job_session(t, spec, policy, cfg, watch, epoch, SessionKind::OneShot)
+    master_job_session(
+        t,
+        spec,
+        policy,
+        cfg,
+        watch,
+        epoch,
+        SessionKind::OneShot,
+        &JobControl::default(),
+    )
 }
 
 /// [`master_session`] generalized over the worker-lifetime relation.
@@ -661,6 +736,10 @@ pub fn master_session<T: Transport>(
 /// tearing anything down: the state lives on the stack of this call,
 /// not in the world.  Only the transport endpoints (and, worker-side,
 /// the warm physics caches) persist between calls.
+///
+/// `ctrl` is checked once per poll interval; a fired deadline or cancel
+/// flag cancels the job cooperatively (see [`JobControl`]).
+#[allow(clippy::too_many_arguments)]
 pub fn master_job_session<T: Transport>(
     t: &mut T,
     spec: &RunSpec,
@@ -669,6 +748,7 @@ pub fn master_job_session<T: Transport>(
     watch: &mut dyn FnMut() -> Vec<WorkerEvent>,
     epoch: Instant,
     kind: SessionKind,
+    ctrl: &JobControl<'_>,
 ) -> Result<MasterLedger, FarmError> {
     let t0 = Instant::now();
     let nk = spec.ks.len();
@@ -770,6 +850,11 @@ pub fn master_job_session<T: Transport>(
     let mut payload = Vec::new();
 
     while !s.finished() {
+        // deadline/cancel check rides the poll cadence: cancellation
+        // latency is one poll interval plus the workers' observer lag
+        if let Some(reason) = ctrl.triggered() {
+            return Err(s.cancel_job(t, cfg, watch, reason));
+        }
         // a quarantine can settle the run while workers sit parked
         if s.all_settled() {
             s.stop_parked(t)?;

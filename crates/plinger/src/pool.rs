@@ -47,7 +47,7 @@ use crate::farm::{
     finish_report, spawn_tcp_worker, watch_tcp_children, worker_fault_arg, FarmReport, FaultPlan,
     TcpFarmOptions,
 };
-use crate::master::{master_job_session, MasterConfig, SessionKind};
+use crate::master::{master_job_session, JobControl, MasterConfig, SessionKind};
 use crate::protocol::{RunSpec, TAG_STOP};
 use crate::recovery::{RecoveryPolicy, WorkerEvent};
 use crate::schedule::SchedulePolicy;
@@ -263,6 +263,20 @@ impl<W: World> FarmPool<W> {
         spec: &RunSpec,
         policy: SchedulePolicy,
     ) -> Result<FarmReport, FarmError> {
+        self.run_job_with(spec, policy, &JobControl::default())
+    }
+
+    /// [`FarmPool::run_job`] under external [`JobControl`]: a fired
+    /// deadline or cancel flag aborts the job cooperatively (tag-12);
+    /// the pool stays consistent — workers park, stats and comm
+    /// baselines are refreshed — and the next `run_job` is served
+    /// normally.  A cancelled job returns [`FarmError::Cancelled`].
+    pub fn run_job_with(
+        &mut self,
+        spec: &RunSpec,
+        policy: SchedulePolicy,
+        ctrl: &JobControl<'_>,
+    ) -> Result<FarmReport, FarmError> {
         let Some(master) = self.master.as_mut() else {
             return Err(FarmError::Protocol {
                 rank: 0,
@@ -338,6 +352,7 @@ impl<W: World> FarmPool<W> {
             &mut watch,
             epoch,
             SessionKind::Pooled,
+            ctrl,
         );
         // refresh the comm baseline even on error, so a failed job's
         // traffic never leaks into the next job's table
@@ -526,6 +541,17 @@ impl TcpFarmPool {
         spec: &RunSpec,
         policy: SchedulePolicy,
     ) -> Result<FarmReport, FarmError> {
+        self.run_job_with(spec, policy, &JobControl::default())
+    }
+
+    /// [`TcpFarmPool::run_job`] under external [`JobControl`] — the
+    /// process-pool analogue of [`FarmPool::run_job_with`].
+    pub fn run_job_with(
+        &mut self,
+        spec: &RunSpec,
+        policy: SchedulePolicy,
+        ctrl: &JobControl<'_>,
+    ) -> Result<FarmReport, FarmError> {
         let Some(master) = self.master.as_mut() else {
             return Err(FarmError::Protocol {
                 rank: 0,
@@ -549,6 +575,7 @@ impl TcpFarmPool {
             &mut watch,
             epoch,
             SessionKind::Pooled,
+            ctrl,
         );
         let snap = self.master_stats.snapshot(0);
         let comm = snap.delta(&self.comm_prev);

@@ -79,6 +79,16 @@ pub const TAG_NEWJOB: Tag = 10;
 /// [`TAG_STOP`] — and then parks, keeping its background/thermo caches
 /// warm, until the next tag-10/1 job or a final tag-6 stop.
 pub const TAG_JOBDONE: Tag = 11;
+/// Tag 12: from master, cooperative job cancellation (1 real, ignored).
+/// Workers poll for it inside the heartbeat observer (every
+/// `HEARTBEAT_CHECK_STEPS` accepted DVERK steps) and between
+/// assignments, so a deadline-expired or client-abandoned job releases
+/// its ranks mid-chunk instead of finishing dead work.  A worker that
+/// sees it abandons the rest of its chunk, answers with its per-job
+/// tag-7 stats — exactly as it would answer [`TAG_JOBDONE`] — and then
+/// parks (pooled) or exits (one-shot).  Results already in flight when
+/// the cancel lands are consumed blindly by the master's drain.
+pub const TAG_CANCEL: Tag = 12;
 
 /// 64-bit FNV-1a over a sequence of 64-bit words, fed byte-wise in
 /// little-endian order.  Dependency-free and stable across platforms —
@@ -351,6 +361,7 @@ mod tests {
         // workers that stay resident between k-grids
         assert_eq!(TAG_NEWJOB, 10);
         assert_eq!(TAG_JOBDONE, 11);
+        assert_eq!(TAG_CANCEL, 12);
     }
 
     #[test]

@@ -102,6 +102,12 @@ pub struct RecoveryLog {
     pub late_results: usize,
     /// Modes that exhausted their attempt budget.
     pub failed_modes: Vec<FailedMode>,
+    /// The session ended by cooperative tag-12 cancellation (deadline
+    /// expiry or an explicit cancel).  A cancelled session returns
+    /// [`crate::FarmError::Cancelled`] rather than a report, so this
+    /// flag is bookkeeping for the drain path — it distinguishes a
+    /// deliberate abort from a crash in the master's own ledger.
+    pub cancelled: bool,
 }
 
 impl RecoveryLog {

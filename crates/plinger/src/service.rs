@@ -25,6 +25,7 @@
 //! which queues whole requests onto the single service behind a lock.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -33,15 +34,26 @@ use msgpass::{Tag, World};
 use telemetry::log::{self as tlog, Level};
 use telemetry::{Counter, Histogram, TelemetrySnapshot};
 
-use crate::error::FarmError;
+use crate::error::{CancelReason, FarmError};
 use crate::farm::FarmReport;
+use crate::master::JobControl;
 use crate::pool::FarmPool;
-use crate::protocol::{job_hash, RunSpec};
+use crate::protocol::{hash_reals, job_hash, RunSpec, SpecDecodeError};
 use crate::schedule::SchedulePolicy;
 
-/// Tag 20, client → server: request one spectrum.  The payload is the
-/// [`RunSpec`] tag-1 wire encoding ([`RunSpec::encode`]), so the
-/// service request is byte-compatible with the farm's own job open.
+/// Tag 20, client → server: request one spectrum.  Two payload forms:
+///
+/// * legacy: the bare [`RunSpec`] tag-1 wire encoding
+///   ([`RunSpec::encode`]), byte-compatible with the farm's own job
+///   open (its first real is `nk ≥ 1`, so it is never negative);
+/// * extended: `[-1.0, deadline_ms, …RunSpec::encode()]` — the leading
+///   negative sentinel marks the framed form, and `deadline_ms` is the
+///   client's *relative* time budget in milliseconds (`≤ 0` meaning
+///   none; clocks differ, so the wire never carries an absolute time).
+///
+/// See [`SpectrumRequest`].  The deadline is *not* part of the job
+/// identity: [`crate::protocol::job_hash`] covers the spec bits only,
+/// so cache keys are deadline-independent.
 pub const TAG_REQ_SPECTRUM: Tag = 20;
 /// Tag 21, server → client: the spectrum response.  The payload is
 /// `[hit_flag]` (1.0 when served from the [`ResultCache`], else 0.0)
@@ -55,18 +67,182 @@ pub const TAG_REQ_METRICS: Tag = 25;
 /// `[requests, cache_hits, cache_misses, pool_jobs, workers]` payload;
 /// clients must accept ≥ 5 reals so the vector can keep growing.
 pub const TAG_RESP_METRICS: Tag = 26;
-/// Tag 29, server → client: the request could not be served (payload:
-/// the UTF-8 error text, one byte per real — diagnostic only).
+/// Tag 29, server → client: the request could not be served.  Two
+/// payload forms:
+///
+/// * legacy: the UTF-8 error text, one byte per real (every real is a
+///   byte value ≥ 0, so the first real is never negative);
+/// * typed: `[-1.0, code, retry_after_ms, …UTF-8 text, one byte per
+///   real]` — `code` is an [`ErrorCode`] discriminant and
+///   `retry_after_ms` the server's backoff hint (0 when meaningless).
+///
+/// [`ServiceError::decode`] accepts both, so old clients keep working
+/// against new servers and vice versa.
 pub const TAG_RESP_ERROR: Tag = 29;
 
-/// Render an error message as a [`TAG_RESP_ERROR`] payload.
+/// Render an error message as a legacy (untyped) [`TAG_RESP_ERROR`]
+/// payload.
 pub fn encode_error_text(msg: &str) -> Vec<f64> {
     msg.bytes().map(f64::from).collect()
 }
 
-/// Recover the error text of a [`TAG_RESP_ERROR`] payload.
+/// Recover the error text of a legacy [`TAG_RESP_ERROR`] payload.
 pub fn decode_error_text(data: &[f64]) -> String {
     data.iter().map(|&b| b as u8 as char).collect()
+}
+
+/// Machine-readable class of a [`TAG_RESP_ERROR`] reply.  The wire
+/// discriminants are part of the protocol (docs/PROTOCOL.md §5) and
+/// must never be renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The admission queue is full; retry after the hinted backoff.
+    Busy = 1,
+    /// The request frame failed to decode.
+    BadRequest = 2,
+    /// The farm failed while running the job.
+    Internal = 3,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown = 4,
+    /// The request's deadline expired before or during the job.
+    DeadlineExceeded = 5,
+    /// The job was cancelled cooperatively for another reason.
+    Cancelled = 6,
+}
+
+impl ErrorCode {
+    fn from_wire(code: f64) -> Option<Self> {
+        match code as i64 {
+            1 => Some(ErrorCode::Busy),
+            2 => Some(ErrorCode::BadRequest),
+            3 => Some(ErrorCode::Internal),
+            4 => Some(ErrorCode::ShuttingDown),
+            5 => Some(ErrorCode::DeadlineExceeded),
+            6 => Some(ErrorCode::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Kebab-case name, used in logs and client-facing messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A typed [`TAG_RESP_ERROR`] frame: an [`ErrorCode`], an optional
+/// retry hint, and the human-readable text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceError {
+    /// Machine-readable class.
+    pub code: ErrorCode,
+    /// Server's suggested minimum backoff before retrying, ms (0 when
+    /// retrying is pointless or the server has no opinion).
+    pub retry_after_ms: u64,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// A frame with no retry hint.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            retry_after_ms: 0,
+            message: message.into(),
+        }
+    }
+
+    /// The typed wire form: `[-1.0, code, retry_after_ms, …text]`.
+    pub fn encode(&self) -> Vec<f64> {
+        let mut v = vec![-1.0, self.code as i64 as f64, self.retry_after_ms as f64];
+        v.extend(self.message.bytes().map(f64::from));
+        v
+    }
+
+    /// Decode a [`TAG_RESP_ERROR`] payload of either form.  Legacy
+    /// plain-text frames (first real ≥ 0) decode with
+    /// [`ErrorCode::Internal`] and no retry hint; a typed frame with an
+    /// unknown code also falls back to `Internal` so new codes degrade
+    /// gracefully on old clients.
+    pub fn decode(data: &[f64]) -> Self {
+        if data.first().is_some_and(|&v| v < 0.0) && data.len() >= 3 {
+            let code = ErrorCode::from_wire(data[1]).unwrap_or(ErrorCode::Internal);
+            let retry_after_ms = data[2].max(0.0) as u64;
+            return Self {
+                code,
+                retry_after_ms,
+                message: decode_error_text(&data[3..]),
+            };
+        }
+        Self::new(ErrorCode::Internal, decode_error_text(data))
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.name(), self.message)?;
+        if self.retry_after_ms > 0 {
+            write!(f, " (retry after {} ms)", self.retry_after_ms)?;
+        }
+        Ok(())
+    }
+}
+
+/// One tag-20 request: the job spec plus an optional relative deadline.
+#[derive(Debug, Clone)]
+pub struct SpectrumRequest {
+    /// The job parameters (the cache key covers exactly these bits).
+    pub spec: RunSpec,
+    /// Client's time budget in milliseconds, measured from server
+    /// accept; `None` means run to completion.
+    pub deadline_ms: Option<f64>,
+}
+
+impl SpectrumRequest {
+    /// A request with no deadline.
+    pub fn new(spec: RunSpec) -> Self {
+        Self {
+            spec,
+            deadline_ms: None,
+        }
+    }
+
+    /// Encode for the wire: the bare spec when there is no deadline
+    /// (legacy form — old servers keep working), the `-1.0`-framed
+    /// extended form otherwise.
+    pub fn encode(&self) -> Vec<f64> {
+        match self.deadline_ms {
+            None => self.spec.encode(),
+            Some(ms) => {
+                let mut v = vec![-1.0, ms];
+                v.extend(self.spec.encode());
+                v
+            }
+        }
+    }
+
+    /// Decode either form.  A non-positive deadline in the extended
+    /// form decodes as `None`.
+    pub fn decode(data: &[f64]) -> Result<Self, SpecDecodeError> {
+        if data.first().is_some_and(|&v| v < 0.0) {
+            if data.len() < 2 {
+                return Err(SpecDecodeError::TooShort { got: data.len() });
+            }
+            let ms = data[1];
+            return Ok(Self {
+                spec: RunSpec::decode(&data[2..])?,
+                deadline_ms: (ms > 0.0).then_some(ms),
+            });
+        }
+        Ok(Self::new(RunSpec::decode(data)?))
+    }
 }
 
 /// Content-addressed store of finished response bodies, keyed by the
@@ -77,17 +253,128 @@ pub fn decode_error_text(data: &[f64]) -> String {
 /// principle.  The hit/miss counters are the cache's telemetry
 /// (exported per-request by `plinger-serve` and asserted by the CI
 /// smoke test).
+///
+/// With [`ResultCache::with_dir`] the cache gains a crash-safe disk
+/// tier: every insert is also written as one checksummed file per
+/// `job_hash` (`spec_<key:016x>.bin`, temp + atomic rename), and a
+/// fresh cache warm-loads the directory at startup, discarding corrupt
+/// or truncated entries.  Bodies store exact `f64` bit patterns, so a
+/// hit after restart is bitwise-identical to the original response.
 #[derive(Debug, Default)]
 pub struct ResultCache {
     entries: HashMap<u64, Arc<Vec<f64>>>,
     hits: u64,
     misses: u64,
+    dir: Option<PathBuf>,
+    persist_writes: u64,
+    persist_loads: u64,
+    persist_discards: u64,
+}
+
+/// First word of a persisted cache entry ("PLNGRSLT" in ASCII).
+const CACHE_MAGIC: u64 = u64::from_le_bytes(*b"PLNGRSLT");
+
+/// Layout of one persisted entry: header `[magic, key, len, checksum]`
+/// as little-endian u64 words, then `len` f64 payload words (LE bit
+/// patterns).  The checksum is [`hash_reals`] over the payload — the
+/// same canonical FNV-1a the job key itself uses.
+const CACHE_HEADER_WORDS: usize = 4;
+
+fn cache_entry_name(key: u64) -> String {
+    format!("spec_{key:016x}.bin")
+}
+
+/// Parse and validate one persisted entry; `None` means corrupt.
+fn decode_cache_entry(key: u64, bytes: &[u8]) -> Option<Vec<f64>> {
+    if bytes.len() < CACHE_HEADER_WORDS * 8 || !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    let word = |i: usize| {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+        u64::from_le_bytes(w)
+    };
+    if word(0) != CACHE_MAGIC || word(1) != key {
+        return None;
+    }
+    let len = word(2) as usize;
+    if bytes.len() != (CACHE_HEADER_WORDS + len) * 8 {
+        return None;
+    }
+    let body: Vec<f64> = bytes[CACHE_HEADER_WORDS * 8..]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap_or([0; 8])))
+        .collect();
+    (hash_reals(&body) == word(3)).then_some(body)
+}
+
+fn encode_cache_entry(key: u64, body: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity((CACHE_HEADER_WORDS + body.len()) * 8);
+    for w in [CACHE_MAGIC, key, body.len() as u64, hash_reals(body)] {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    for v in body {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, memory-only cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache backed by `dir`: existing entries are warm-loaded (and
+    /// corrupt ones deleted), future inserts are written through.  The
+    /// directory is created if missing.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut cache = Self {
+            dir: Some(dir.clone()),
+            ..Self::default()
+        };
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(key) = name
+                .strip_prefix("spec_")
+                .and_then(|n| n.strip_suffix(".bin"))
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+            else {
+                // stray files (including orphaned temp files from a
+                // crash mid-write) are removed, not loaded
+                if name.starts_with(".tmp_") {
+                    let _ = std::fs::remove_file(&path);
+                }
+                continue;
+            };
+            match std::fs::read(&path)
+                .ok()
+                .and_then(|b| decode_cache_entry(key, &b))
+            {
+                Some(body) => {
+                    cache.entries.insert(key, Arc::new(body));
+                    cache.persist_loads += 1;
+                }
+                None => {
+                    // corrupt or truncated: discard so it can never be
+                    // served, and count the discard as evidence
+                    let _ = std::fs::remove_file(&path);
+                    cache.persist_discards += 1;
+                    tlog::log(
+                        Level::Warn,
+                        "service",
+                        "cache_persist_discard",
+                        &[("job", tlog::job_hex(key))],
+                    );
+                }
+            }
+        }
+        Ok(cache)
     }
 
     /// Look up `key`, counting the outcome as a hit or a miss.
@@ -105,9 +392,40 @@ impl ResultCache {
     }
 
     /// Store the body for `key` (last write wins; in practice the key
-    /// is content-derived, so a rewrite stores identical bits).
-    pub fn insert(&mut self, key: u64, body: Arc<Vec<f64>>) {
+    /// is content-derived, so a rewrite stores identical bits).  With a
+    /// disk tier the entry is also persisted via temp file + atomic
+    /// rename, so a crash mid-write can never leave a half-entry under
+    /// the real name.  Returns `true` when a disk write completed (a
+    /// failed write keeps the in-memory entry and is only logged — the
+    /// disk tier is an optimization, not a correctness dependency).
+    pub fn insert(&mut self, key: u64, body: Arc<Vec<f64>>) -> bool {
+        let persisted = match &self.dir {
+            Some(dir) => {
+                let tmp = dir.join(format!(".tmp_{key:016x}_{}", std::process::id()));
+                let dest = dir.join(cache_entry_name(key));
+                let write = std::fs::write(&tmp, encode_cache_entry(key, &body))
+                    .and_then(|()| std::fs::rename(&tmp, &dest));
+                match write {
+                    Ok(()) => {
+                        self.persist_writes += 1;
+                        true
+                    }
+                    Err(e) => {
+                        let _ = std::fs::remove_file(&tmp);
+                        tlog::log(
+                            Level::Warn,
+                            "service",
+                            "cache_persist_error",
+                            &[("job", tlog::job_hex(key)), ("error", e.to_string())],
+                        );
+                        false
+                    }
+                }
+            }
+            None => false,
+        };
         self.entries.insert(key, body);
+        persisted
     }
 
     /// Distinct results stored.
@@ -128,6 +446,21 @@ impl ResultCache {
     /// Lookups that fell through to a pool job.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries written through to the disk tier this session.
+    pub fn persist_writes(&self) -> u64 {
+        self.persist_writes
+    }
+
+    /// Entries warm-loaded from the disk tier at startup.
+    pub fn persist_loads(&self) -> u64 {
+        self.persist_loads
+    }
+
+    /// Corrupt/truncated disk entries discarded at startup.
+    pub fn persist_discards(&self) -> u64 {
+        self.persist_discards
     }
 }
 
@@ -154,6 +487,21 @@ pub struct ServiceMetrics {
     pub errors: Counter,
     /// Pool jobs run on behalf of requests.
     pub pool_jobs: Counter,
+    /// Requests rejected at admission because the queue was over its
+    /// limit (answered with a typed `Busy` frame).
+    pub requests_shed: Counter,
+    /// Pool jobs aborted cooperatively via tag-12 (any reason).
+    pub jobs_cancelled: Counter,
+    /// Requests that failed because their deadline passed — before the
+    /// job started or mid-run (a subset also counts in
+    /// `jobs_cancelled` when a running job was interrupted).
+    pub deadline_expired: Counter,
+    /// Result-cache entries written through to the disk tier.
+    pub cache_persist_writes: Counter,
+    /// Result-cache entries warm-loaded from disk at startup.
+    pub cache_persist_loads: Counter,
+    /// Corrupt/truncated disk-cache entries discarded at startup.
+    pub cache_persist_discards: Counter,
     /// Time from request accept to service-lock acquisition, ns.
     pub queue_wait_ns: Histogram,
     /// Time inside the service (cache probe + any pool job), ns.
@@ -165,6 +513,9 @@ pub struct ServiceMetrics {
     /// Resident workers whose session thread is running (refreshed
     /// after every job; starts at the pool size).
     workers_alive: AtomicU64,
+    /// 1 while the server is draining (stopped accepting, finishing
+    /// its queue), else 0.  `/healthz` flips to not-ready on it.
+    draining: AtomicU64,
     /// Per-job farm communication telemetry, folded after each miss.
     comm: Mutex<TelemetrySnapshot>,
 }
@@ -205,6 +556,16 @@ impl ServiceMetrics {
         self.workers_alive.load(Ordering::Relaxed)
     }
 
+    /// Flip the draining state (set once at drain start).
+    pub fn set_draining(&self, draining: bool) {
+        self.draining.store(draining as u64, Ordering::Relaxed);
+    }
+
+    /// True while the server is draining.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed) != 0
+    }
+
     /// Fold one pool job's communication telemetry into the aggregate
     /// exposed on `/metrics` (counters add, histograms merge).
     pub fn fold_comm(&self, snap: TelemetrySnapshot) {
@@ -227,10 +588,24 @@ impl ServiceMetrics {
         s.add("cache_bytes_served_total", self.cache_bytes_served.get());
         s.add("errors_total", self.errors.get());
         s.add("pool_jobs_total", self.pool_jobs.get());
+        s.add("requests_shed_total", self.requests_shed.get());
+        s.add("jobs_cancelled_total", self.jobs_cancelled.get());
+        s.add("deadline_expired_total", self.deadline_expired.get());
+        s.add(
+            "cache_persist_writes_total",
+            self.cache_persist_writes.get(),
+        );
+        s.add("cache_persist_loads_total", self.cache_persist_loads.get());
+        s.add(
+            "cache_persist_discards_total",
+            self.cache_persist_discards.get(),
+        );
         s.gauges
             .insert("queue_depth".into(), self.queue_depth() as f64);
         s.gauges
             .insert("workers_alive".into(), self.workers_alive() as f64);
+        s.gauges
+            .insert("draining".into(), self.draining() as u64 as f64);
         s.histograms.insert(
             "request_queue_wait_ns".into(),
             self.queue_wait_ns.snapshot(),
@@ -303,10 +678,20 @@ pub struct SpectrumService<W: World> {
 impl<W: World> SpectrumService<W> {
     /// Wrap a running pool; `policy` schedules every job's k-grid.
     pub fn new(pool: FarmPool<W>, policy: SchedulePolicy) -> Self {
+        Self::with_cache(pool, policy, ResultCache::new())
+    }
+
+    /// [`SpectrumService::new`] with a caller-built [`ResultCache`] —
+    /// typically [`ResultCache::with_dir`] for the crash-safe disk
+    /// tier.  The cache's warm-load counters are folded into the
+    /// service metrics so `/metrics` shows what a restart recovered.
+    pub fn with_cache(pool: FarmPool<W>, policy: SchedulePolicy, cache: ResultCache) -> Self {
         let metrics = Arc::new(ServiceMetrics::new(pool.n_workers()));
+        metrics.cache_persist_loads.add(cache.persist_loads());
+        metrics.cache_persist_discards.add(cache.persist_discards());
         Self {
             pool,
-            cache: ResultCache::new(),
+            cache,
             policy,
             requests: 0,
             metrics,
@@ -316,10 +701,40 @@ impl<W: World> SpectrumService<W> {
     /// Serve one spectrum request: cache lookup, then (on a miss) one
     /// pooled job.
     pub fn handle(&mut self, spec: &RunSpec) -> Result<ServiceReply, FarmError> {
+        self.handle_with(spec, &JobControl::default())
+    }
+
+    /// [`SpectrumService::handle`] under external [`JobControl`].  A
+    /// deadline that has already passed fails immediately with
+    /// [`FarmError::Cancelled`] — no cache probe, no pool job; one that
+    /// fires mid-job cancels the job cooperatively (tag-12) and frees
+    /// the ranks for the next request.
+    pub fn handle_with(
+        &mut self,
+        spec: &RunSpec,
+        ctrl: &JobControl<'_>,
+    ) -> Result<ServiceReply, FarmError> {
         self.requests += 1;
         self.metrics.requests.inc();
         let key = job_hash(spec);
         let job = tlog::job_hex(key);
+        if let Some(reason) = ctrl.triggered() {
+            // expired while queued: don't start work that is already
+            // abandoned (the caller counts the error itself)
+            if reason == CancelReason::DeadlineExceeded {
+                self.metrics.deadline_expired.inc();
+            }
+            tlog::log(
+                Level::Warn,
+                "service",
+                "request_expired",
+                &[("job", job), ("reason", reason.to_string())],
+            );
+            return Err(FarmError::Cancelled {
+                reason,
+                unfinished: Vec::new(),
+            });
+        }
         if let Some(body) = self.cache.lookup(key) {
             self.metrics.cache_hits.inc();
             self.metrics.cache_bytes_served.add(body.len() as u64 * 8);
@@ -333,15 +748,23 @@ impl<W: World> SpectrumService<W> {
         }
         self.metrics.cache_misses.inc();
         tlog::log(Level::Info, "service", "cache_miss", &[("job", job)]);
-        let outcome = self.pool.run_job(spec, self.policy);
+        let outcome = self.pool.run_job_with(spec, self.policy, ctrl);
         self.metrics.set_workers_alive(self.pool.workers_alive());
+        if let Err(FarmError::Cancelled { reason, .. }) = &outcome {
+            self.metrics.jobs_cancelled.inc();
+            if *reason == CancelReason::DeadlineExceeded {
+                self.metrics.deadline_expired.inc();
+            }
+        }
         let report = outcome?;
         self.metrics.pool_jobs.inc();
         self.metrics
             .fold_comm(report.telemetry.merged_comm().to_telemetry());
         let body = Arc::new(encode_spectrum_body(&report.outputs, report.wall_seconds));
         self.metrics.cache_bytes_served.add(body.len() as u64 * 8);
-        self.cache.insert(key, Arc::clone(&body));
+        if self.cache.insert(key, Arc::clone(&body)) {
+            self.metrics.cache_persist_writes.inc();
+        }
         Ok(ServiceReply {
             key,
             cache_hit: false,
@@ -489,6 +912,92 @@ mod tests {
         let mut body = encode_spectrum_body(&outputs, wall);
         body.push(0.0);
         assert!(decode_spectrum_body(&body).is_err());
+    }
+
+    #[test]
+    fn spectrum_request_roundtrips_both_forms() {
+        let spec = tiny_spec(vec![0.001, 0.02]);
+        // legacy: no deadline encodes as the bare spec
+        let plain = SpectrumRequest::new(spec.clone());
+        assert_eq!(plain.encode(), spec.encode());
+        let plain_back = SpectrumRequest::decode(&plain.encode()).unwrap();
+        assert_eq!(plain_back.encode(), plain.encode());
+        assert_eq!(plain_back.deadline_ms, None);
+        // extended: a deadline rides the -1.0-framed form
+        let dl = SpectrumRequest {
+            spec: spec.clone(),
+            deadline_ms: Some(250.0),
+        };
+        let wire = dl.encode();
+        assert_eq!(wire[0], -1.0);
+        assert_eq!(wire[1], 250.0);
+        let dl_back = SpectrumRequest::decode(&wire).unwrap();
+        assert_eq!(dl_back.encode(), wire);
+        assert_eq!(dl_back.deadline_ms, Some(250.0));
+        // the deadline is not part of the job identity
+        assert_eq!(job_hash(&dl.spec), job_hash(&plain.spec));
+        // a non-positive deadline decodes as none
+        let mut zero = vec![-1.0, 0.0];
+        zero.extend(spec.encode());
+        assert_eq!(SpectrumRequest::decode(&zero).unwrap().deadline_ms, None);
+        // truncated extended frames are rejected, not panicked on
+        assert!(SpectrumRequest::decode(&[-1.0]).is_err());
+        assert!(SpectrumRequest::decode(&[-1.0, 100.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn service_error_roundtrips_and_accepts_legacy_text() {
+        let e = ServiceError {
+            code: ErrorCode::Busy,
+            retry_after_ms: 350,
+            message: "queue full".into(),
+        };
+        let back = ServiceError::decode(&e.encode());
+        assert_eq!(back, e);
+        assert_eq!(back.to_string(), "busy: queue full (retry after 350 ms)");
+        // legacy plain text decodes as Internal with no hint
+        let legacy = ServiceError::decode(&encode_error_text("farm failed: boom"));
+        assert_eq!(legacy.code, ErrorCode::Internal);
+        assert_eq!(legacy.retry_after_ms, 0);
+        assert_eq!(legacy.message, "farm failed: boom");
+        // an unknown future code degrades to Internal, keeping the text
+        let unknown = ServiceError::decode(&[-1.0, 99.0, 10.0, 104.0, 105.0]);
+        assert_eq!(unknown.code, ErrorCode::Internal);
+        assert_eq!(unknown.message, "hi");
+    }
+
+    #[test]
+    fn disk_cache_survives_restart_bitwise_and_discards_corruption() {
+        let dir = std::env::temp_dir().join(format!("plinger_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let body = vec![1.5, -2.25, f64::MIN_POSITIVE, 0.1 + 0.2];
+        {
+            let mut cache = ResultCache::with_dir(&dir).unwrap();
+            assert!(cache.insert(0xabcd, Arc::new(body.clone())));
+            assert!(cache.insert(0x1234, Arc::new(vec![9.0])));
+            assert_eq!(cache.persist_writes(), 2);
+        }
+        // corrupt one entry: flip a payload byte so the checksum fails
+        let victim = dir.join(cache_entry_name(0x1234));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&victim, &bytes).unwrap();
+        // and plant a truncated stray plus an orphaned temp file
+        std::fs::write(dir.join(cache_entry_name(0x77)), b"short").unwrap();
+        std::fs::write(dir.join(".tmp_dead_1"), b"partial").unwrap();
+
+        let mut warm = ResultCache::with_dir(&dir).unwrap();
+        assert_eq!(warm.persist_loads(), 1, "only the intact entry loads");
+        assert_eq!(warm.persist_discards(), 2, "corrupt + truncated dropped");
+        assert!(!victim.exists(), "corrupt file deleted");
+        assert!(!dir.join(".tmp_dead_1").exists(), "orphaned temp removed");
+        let hit = warm.lookup(0xabcd).expect("persisted entry survives");
+        for (a, b) in hit.iter().zip(&body) {
+            assert_eq!(a.to_bits(), b.to_bits(), "restart changed the bits");
+        }
+        assert!(warm.lookup(0x1234).is_none(), "corrupt entry never served");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,8 +12,8 @@ use telemetry::{SpanEvent, SpanRecorder};
 
 use crate::error::FarmError;
 use crate::protocol::{
-    cosmo_hash, job_hash, RunSpec, TAG_ASSIGN, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT,
-    TAG_INIT, TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
+    cosmo_hash, job_hash, RunSpec, TAG_ASSIGN, TAG_CANCEL, TAG_DATA, TAG_FAIL, TAG_HEADER,
+    TAG_HEARTBEAT, TAG_INIT, TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
 };
 
 /// How many accepted integrator steps pass between heartbeat-clock
@@ -78,12 +78,13 @@ impl WorkerContext {
     }
 
     /// [`Self::run_mode`] with a per-accepted-step callback (the
-    /// heartbeat hook).  The observer cannot perturb the integration;
-    /// outputs are bit-identical to [`Self::run_mode`].
+    /// heartbeat + cancellation hook).  The observer cannot perturb the
+    /// numerics; outputs are bit-identical to [`Self::run_mode`].  A
+    /// `false` return aborts the mode with `OdeError::Aborted`.
     pub fn run_mode_observed(
         &self,
         ik: usize,
-        observer: Option<&mut dyn FnMut()>,
+        observer: Option<&mut dyn FnMut() -> bool>,
     ) -> Result<ModeOutput, boltzmann::EvolveError> {
         let k = self.spec.ks[ik];
         evolve_mode_observed(
@@ -102,7 +103,7 @@ impl WorkerContext {
     pub fn run_mode_scratch(
         &self,
         ik: usize,
-        observer: Option<&mut dyn FnMut()>,
+        observer: Option<&mut dyn FnMut() -> bool>,
         integ: &mut Integrator,
     ) -> Result<ModeOutput, boltzmann::EvolveError> {
         let k = self.spec.ks[ik];
@@ -427,12 +428,24 @@ fn serve_assignments<T: Transport>(
                 _ => {}
             }
             let t_mode = Instant::now();
+            let mut cancel_seen = false;
             let result = {
+                let cancel = &mut cancel_seen;
                 let mut steps_since = 0usize;
                 let mut observer = || {
                     steps_since += 1;
                     if steps_since >= HEARTBEAT_CHECK_STEPS {
                         steps_since = 0;
+                        // cancel poll: a pending tag-12 from the master
+                        // aborts this mode (and the rest of the chunk)
+                        // mid-integration; probe errors are ignored — a
+                        // dead master surfaces on the next real send
+                        if let Ok(Some(_)) =
+                            t.probe_timeout(Some(mastid), Some(TAG_CANCEL), Duration::ZERO)
+                        {
+                            *cancel = true;
+                            return false;
+                        }
                         if hb.last.elapsed() >= HEARTBEAT_MIN_INTERVAL {
                             hb.seq += 1.0;
                             // best-effort: not counted in bytes_sent, and a
@@ -441,9 +454,30 @@ fn serve_assignments<T: Transport>(
                             hb.last = Instant::now();
                         }
                     }
+                    true
                 };
                 evolve_mode_scratch(bg, thermo, k, &cfg, Some(&mut observer), integ)
             };
+            if cancel_seen {
+                // consume the cancel frame, abandon the remaining chunk,
+                // and release like any other terminating tag — the caller
+                // sends its stats and parks (pooled) or exits (one-shot)
+                let n = myrecvreal(t, buf, TAG_CANCEL, mastid)?;
+                stats.bytes_received += n * 8;
+                rec.record(
+                    "mode",
+                    "worker",
+                    t_mode,
+                    Instant::now(),
+                    &[
+                        ("ik", ik.to_string()),
+                        ("cancelled", "true".to_string()),
+                        ("job", job.clone()),
+                    ],
+                );
+                stats.busy_seconds += t_mode.elapsed().as_secs_f64();
+                return Ok(Some(TAG_CANCEL));
+            }
             match result {
                 Ok(out) => {
                     rec.record(

@@ -16,9 +16,18 @@ const CONTRACT: &[&str] = &[
     "cache_bytes_served_total",
     "errors_total",
     "pool_jobs_total",
+    // request-lifecycle counters (load shedding, deadlines, cancels)
+    "requests_shed_total",
+    "jobs_cancelled_total",
+    "deadline_expired_total",
+    // persistent-cache counters
+    "cache_persist_writes_total",
+    "cache_persist_loads_total",
+    "cache_persist_discards_total",
     // service gauges
     "queue_depth",
     "workers_alive",
+    "draining",
     // request latency histograms
     "request_queue_wait_ns",
     "request_run_ns",

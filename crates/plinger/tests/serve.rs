@@ -234,6 +234,246 @@ fn metrics_endpoint_serves_prometheus_and_healthz_mid_run() {
     assert!(status.success(), "server exited with {status}");
 }
 
+/// Run one client and return its raw output (no success assertion).
+fn client_raw(addr: &str, extra: &[&str]) -> std::process::Output {
+    let mut args = vec![
+        "--connect",
+        addr,
+        "--preset",
+        "draft",
+        "--kmin",
+        "2e-4",
+        "--kmax",
+        "1e-3",
+    ];
+    args.extend_from_slice(extra);
+    Command::new(exe())
+        .args(&args)
+        .output()
+        .expect("run client")
+}
+
+/// Send `kill -TERM` to a child process.
+fn sigterm(server: &Child) {
+    let pid = server.id();
+    let killed = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {pid}")])
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success(), "kill -TERM failed");
+}
+
+#[test]
+fn overload_sheds_busy_and_clients_retry_to_success() {
+    // queue limit 1: concurrent requests are shed with typed busy
+    // frames, retried by the clients until they all land
+    let (mut server, mut reader, addr) =
+        start_server_with(0, &["--queue-limit", "1", "--metrics-addr", "127.0.0.1:0"]);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read metrics line");
+    let maddr = line
+        .trim()
+        .strip_prefix("plinger-serve: metrics on ")
+        .unwrap_or_else(|| panic!("unexpected metrics line: {line:?}"))
+        .to_string();
+
+    let handles: Vec<_> = (3..7)
+        .map(|nk| {
+            let a = addr.clone();
+            let nk = nk.to_string();
+            std::thread::spawn(move || {
+                client(
+                    &a,
+                    &["--nk", &nk, "--retries", "10", "--retry-base-ms", "40"],
+                )
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    for r in &results {
+        assert_eq!(r["cache_hit"], "0", "distinct grids cannot hit");
+    }
+
+    // the burst overran the one-deep queue at least once
+    let scrape = http_get(&maddr, "/metrics");
+    let shed: u64 = scrape
+        .lines()
+        .find_map(|l| l.strip_prefix("plinger_requests_shed_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no shed counter in scrape: {scrape}"));
+    assert!(shed >= 1, "queue limit 1 never shed under a 4-client burst");
+    assert!(http_get(&maddr, "/healthz").starts_with("HTTP/1.0 200"));
+
+    // SIGTERM with nothing in flight: immediate clean exit
+    sigterm(&server);
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "drain exited with {status}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read summary");
+    assert!(
+        rest.contains("served 4 requests"),
+        "unexpected summary: {rest:?}"
+    );
+}
+
+#[test]
+fn sigterm_drain_flips_healthz_and_closes_idle_connections() {
+    use bytes::BytesMut;
+    use plinger::service::{SpectrumRequest, TAG_REQ_SPECTRUM, TAG_RESP_SPECTRUM};
+    use plinger::RunSpec;
+
+    let (mut server, mut reader, addr) = start_server_with(
+        0,
+        &["--drain-timeout", "2000", "--metrics-addr", "127.0.0.1:0"],
+    );
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read metrics line");
+    let maddr = line
+        .trim()
+        .strip_prefix("plinger-serve: metrics on ")
+        .unwrap_or_else(|| panic!("unexpected metrics line: {line:?}"))
+        .to_string();
+
+    // speak the wire protocol directly so the connection can be held
+    // open (keep-alive) after its answer — the drain must close it,
+    // not wedge on it
+    let mut spec = RunSpec::standard_cdm(vec![2.0e-4, 5.0e-4, 1.0e-3]);
+    spec.preset = boltzmann::Preset::Draft;
+    let mut stream = TcpStream::connect(&addr).expect("raw connection");
+    stream
+        .write_all(&msgpass::codec::encode(
+            0,
+            TAG_REQ_SPECTRUM,
+            &SpectrumRequest::new(spec).encode(),
+        ))
+        .expect("send raw request");
+    let mut buf = BytesMut::new();
+    let reply = loop {
+        if let Some(msg) = msgpass::codec::decode(&mut buf).expect("well-formed frame") {
+            break msg;
+        }
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk).expect("read reply");
+        assert!(n > 0, "server hung up before answering");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    assert_eq!(reply.tag, TAG_RESP_SPECTRUM, "raw request failed");
+
+    // the connection was served and is now idle; its read-timeout
+    // window restarts here, so the drain below has a full poll period
+    // in which /healthz must report not-ready before the close lands
+    sigterm(&server);
+    let mut saw_not_ready = false;
+    for _ in 0..40 {
+        let health = http_get(&maddr, "/healthz");
+        if health.starts_with("HTTP/1.0 503") {
+            saw_not_ready = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(saw_not_ready, "healthz never reported the drain");
+
+    // the served keep-alive connection is closed, not waited out
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "drain exited with {status}");
+    let n = stream.read(&mut [0u8; 64]).expect("read after close");
+    assert_eq!(n, 0, "server exited without closing the connection");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read summary");
+    assert!(
+        rest.contains("served 1 requests"),
+        "unexpected summary: {rest:?}"
+    );
+}
+
+#[test]
+fn disk_cache_survives_a_server_restart_bitwise() {
+    let dir = std::env::temp_dir().join(format!("plinger_serve_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    // first server run: one miss, persisted to disk
+    let (mut server, mut reader, addr) = start_server_with(1, &["--cache-dir", &dir_s]);
+    let first = client(&addr, &["--nk", "3"]);
+    assert_eq!(first["cache_hit"], "0");
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "first server exited with {status}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read summary");
+
+    // a fresh process warm-loads the directory and serves the same
+    // spec from cache, bitwise identical to the first response
+    let (mut server, mut reader, addr) =
+        start_server_with(2, &["--cache-dir", &dir_s, "--metrics-addr", "127.0.0.1:0"]);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read metrics line");
+    let maddr = line
+        .trim()
+        .strip_prefix("plinger-serve: metrics on ")
+        .unwrap_or_else(|| panic!("unexpected metrics line: {line:?}"))
+        .to_string();
+    let warmed = http_get(&maddr, "/metrics");
+    assert!(
+        warmed.contains("plinger_cache_persist_loads_total 1"),
+        "warm load not counted: {warmed:?}"
+    );
+
+    let second = client(&addr, &["--nk", "3"]);
+    assert_eq!(second["cache_hit"], "1", "restart lost the cache");
+    assert_eq!(second["fnv"], first["fnv"], "restart changed the bytes");
+
+    let hit = http_get(&maddr, "/metrics");
+    assert!(
+        hit.contains("plinger_cache_hits_total 1"),
+        "hit not counted after restart: {hit:?}"
+    );
+    // second connection lets --max-requests close the server down
+    client(&addr, &["--nk", "4"]);
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "second server exited with {status}");
+    let mut rest2 = String::new();
+    reader.read_to_string(&mut rest2).expect("read summary");
+    assert!(
+        rest2.contains("cache hits=1"),
+        "unexpected summary: {rest2:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn expired_deadline_cancels_but_the_pool_survives() {
+    let (mut server, mut reader, addr) = start_server_with(2, &[]);
+
+    // a 1 ms budget on a 12-mode job: refused up front or cancelled
+    // mid-run, but either way the deadline is enforced
+    let out = client_raw(
+        &addr,
+        &["--kmax", "2e-3", "--nk", "12", "--deadline-ms", "1"],
+    );
+    assert!(!out.status.success(), "expired deadline served anyway");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline"), "client stderr: {stderr:?}");
+
+    // the cancelled job released the workers: a normal request on the
+    // same pool completes
+    let ok = client(&addr, &["--nk", "3"]);
+    assert_eq!(ok["cache_hit"], "0");
+    assert_eq!(ok["outputs"], "3");
+
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "server exited with {status}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read summary");
+    assert!(
+        rest.contains("served 2 requests"),
+        "unexpected summary: {rest:?}"
+    );
+}
+
 #[test]
 fn killed_worker_leaves_a_flight_recorder_dump() {
     let dir = std::env::temp_dir().join(format!("plinger_flight_{}", std::process::id()));

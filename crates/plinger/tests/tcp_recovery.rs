@@ -6,11 +6,11 @@
 
 use boltzmann::Preset;
 use plinger::{
-    run_serial, run_tcp_processes, FaultPlan, MasterConfig, RecoveryPolicy, RunSpec,
-    SchedulePolicy, TcpFarmOptions, TcpFarmPool,
+    run_serial, run_tcp_processes, CancelReason, FarmError, FaultPlan, JobControl, MasterConfig,
+    RecoveryPolicy, RunSpec, SchedulePolicy, TcpFarmOptions, TcpFarmPool,
 };
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn exe() -> PathBuf {
     PathBuf::from(env!("CARGO_BIN_EXE_plinger"))
@@ -124,4 +124,55 @@ fn tcp_pool_respawns_killed_worker_across_jobs() {
     let modes2: usize = rep2.worker_stats.iter().map(|w| w.modes).sum();
     assert_eq!(modes2, job2.ks.len(), "job-2 stats polluted by job 1");
     assert_eq!(pool.shutdown(), 2);
+}
+
+#[test]
+fn tcp_pool_cancelled_job_frees_the_subprocess_workers() {
+    // the deadline expires while the subprocess workers hold modes; the
+    // cooperative tag-12 cancel must pull them back over the sockets,
+    // and the same pool then serves a full job bitwise vs serial
+    let job1 = spec_of(&[
+        2.0e-4, 8.0e-4, 4.0e-4, 1.2e-3, 6.0e-4, 9.0e-4, 3.0e-4, 1.0e-3, 5.0e-4, 1.4e-3, 7.0e-4,
+        1.1e-3,
+    ]);
+    let job2 = spec_of(&[3.0e-4, 9.0e-4, 5.0e-4, 1.0e-3, 7.0e-4]);
+    let opts = TcpFarmOptions {
+        master: fast_master(RecoveryPolicy::requeue()),
+        respawn_limit: 0,
+        fault: None,
+    };
+    let mut pool = TcpFarmPool::start(2, &exe(), &opts).unwrap();
+
+    let ctrl = JobControl {
+        deadline: Some(Instant::now() + Duration::from_millis(15)),
+        cancel: None,
+    };
+    let err = pool
+        .run_job_with(&job1, SchedulePolicy::Fifo, &ctrl)
+        .unwrap_err();
+    match err {
+        FarmError::Cancelled { reason, unfinished } => {
+            assert_eq!(reason, CancelReason::DeadlineExceeded);
+            assert!(
+                !unfinished.is_empty(),
+                "cancel fired after the job finished"
+            );
+        }
+        other => panic!("expected Cancelled, got {other}"),
+    }
+
+    let rep = pool.run_job(&job2, SchedulePolicy::Fifo).unwrap();
+    let (serial, _) = run_serial(&job2).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert!(rep.recovery.is_clean(), "{:?}", rep.recovery);
+    for (i, w) in rep.worker_stats.iter().enumerate() {
+        assert!(
+            w.modes >= 1,
+            "rank {} idle after the cancelled job: {:?}",
+            i + 1,
+            rep.worker_stats
+        );
+    }
+    // only the finished job counts
+    assert_eq!(pool.shutdown(), 1);
 }

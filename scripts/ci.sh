@@ -116,6 +116,83 @@ for needle in (
 print(f"service smoke: 1 hit / 2 misses, body fnv {r1['fnv']}, /metrics live")
 EOF
 
+echo "== chaos soak =="
+# request-lifecycle robustness under fire: a stall-and-vanish worker
+# fault, a queue limit small enough to shed the burst, clients with
+# expired deadlines racing clients without, then a SIGTERM drain and a
+# kill-and-restart cycle over the persistent cache.  Asserts: every
+# client exits (no wedged requests), deadline clients fail with the
+# typed deadline error, unbounded clients succeed despite shedding and
+# the fault, the drain exits 0, and the restarted server serves the
+# old request from --cache-dir bitwise-identically.
+chaos_cache="$smoke_dir/chaos_cache"
+chaos_out="$smoke_dir/chaos_out"
+mkdir -p "$chaos_cache" "$chaos_out"
+chaos_log="$smoke_dir/chaos.log"
+"$serve_bin" --listen 127.0.0.1:0 --transport channel --workers 2 \
+    --recovery requeue --respawn-limit 4 --fault stall:1:0:200 \
+    --queue-limit 2 --drain-timeout 5000 --cache-dir "$chaos_cache" \
+    > "$chaos_log" 2> "$smoke_dir/chaos.err" &
+chaos_pid=$!
+chaos_addr=""
+for _ in $(seq 1 100); do
+    chaos_addr="$(sed -n 's/^plinger-serve: listening on //p' "$chaos_log")"
+    [ -n "$chaos_addr" ] && break
+    sleep 0.1
+done
+[ -n "$chaos_addr" ] || { echo "chaos server never came up"; cat "$smoke_dir/chaos.err"; exit 1; }
+creq() { timeout 120 "$serve_bin" --connect "$chaos_addr" --preset draft \
+        --kmin 4e-4 --kmax 2e-3 "$@"; }
+ok_pids=()
+for nk in 3 4 5; do
+    creq --nk "$nk" --retries 10 --retry-base-ms 40 \
+        > "$chaos_out/ok_$nk.out" 2> "$chaos_out/ok_$nk.err" &
+    ok_pids+=($!)
+done
+dead_pids=()
+for nk in 6 7; do
+    creq --nk "$nk" --deadline-ms 1 --retries 10 --retry-base-ms 40 \
+        > "$chaos_out/dead_$nk.out" 2> "$chaos_out/dead_$nk.err" &
+    dead_pids+=($!)
+done
+for pid in "${ok_pids[@]}"; do
+    wait "$pid" || { echo "unbounded chaos client failed"; cat "$chaos_out"/ok_*.err; exit 1; }
+done
+for pid in "${dead_pids[@]}"; do
+    status=0; wait "$pid" || status=$?
+    [ "$status" -ne 0 ] || { echo "1 ms deadline was served"; exit 1; }
+    [ "$status" -ne 124 ] || { echo "deadline client wedged (timeout)"; exit 1; }
+done
+grep -q "deadline" "$chaos_out"/dead_6.err && grep -q "deadline" "$chaos_out"/dead_7.err \
+    || { echo "deadline clients died without the typed error"; cat "$chaos_out"/dead_*.err; exit 1; }
+kill -TERM "$chaos_pid"
+drain_status=0; wait "$chaos_pid" || drain_status=$?
+[ "$drain_status" -eq 0 ] || { echo "drain exited $drain_status"; cat "$smoke_dir/chaos.err"; exit 1; }
+grep -q "served " "$chaos_log" || { echo "no summary after drain"; cat "$chaos_log"; exit 1; }
+# kill-and-restart: a fresh process on the same --cache-dir must serve
+# the round-1 job from disk, byte-for-byte
+"$serve_bin" --listen 127.0.0.1:0 --transport channel --workers 2 \
+    --max-requests 1 --cache-dir "$chaos_cache" \
+    > "$smoke_dir/chaos2.log" 2>> "$smoke_dir/chaos.err" &
+chaos2_pid=$!
+chaos_addr=""
+for _ in $(seq 1 100); do
+    chaos_addr="$(sed -n 's/^plinger-serve: listening on //p' "$smoke_dir/chaos2.log")"
+    [ -n "$chaos_addr" ] && break
+    sleep 0.1
+done
+[ -n "$chaos_addr" ] || { echo "restarted server never came up"; cat "$smoke_dir/chaos.err"; exit 1; }
+r_restart="$(creq --nk 3)"
+wait "$chaos2_pid" || { echo "restarted server exited abnormally"; exit 1; }
+python3 - "$r_restart" "$chaos_out/ok_3.out" <<'EOF'
+import sys
+restart = dict(kv.split("=", 1) for kv in sys.argv[1].split())
+orig = dict(kv.split("=", 1) for kv in open(sys.argv[2]).read().split())
+assert restart["cache_hit"] == "1", "restart lost the persistent cache"
+assert restart["fnv"] == orig["fnv"], (restart["fnv"], orig["fnv"])
+print(f"chaos soak: survived stall fault, shed burst, drain, restart; fnv {orig['fnv']}")
+EOF
+
 echo "== metric-name stability =="
 # the exposition names are a stability contract pinned against
 # docs/OBSERVABILITY.md

@@ -8,13 +8,13 @@
 //! runs of the same faults must keep today's drain-and-stop semantics
 //! (those live in `farm_transports.rs`; one poison-mode case is here).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use msgpass::channel::ChannelWorld;
 use msgpass::shmem::ShmemWorld;
 use plinger::{
-    build_run_report, Farm, FarmError, FarmReport, FaultPlan, RecoveryPolicy, RunSpec,
-    SchedulePolicy,
+    build_run_report, CancelReason, Farm, FarmError, FarmReport, FaultPlan, JobControl,
+    RecoveryPolicy, RunSpec, SchedulePolicy,
 };
 use plinger_repro::prelude::*;
 
@@ -385,6 +385,99 @@ fn pool_without_respawn_budget_degrades_but_keeps_serving() {
     assert_eq!(rep2.worker_stats[0].modes, 0, "dead rank served a mode");
     assert_eq!(rep2.worker_stats[1].modes, job2.ks.len());
     pool.shutdown();
+}
+
+/// A twelve-mode grid: long enough (≈15 ms/mode in debug) that a
+/// short deadline reliably fires while workers are mid-integration.
+fn long_job() -> RunSpec {
+    spec_of(&[
+        2.0e-4, 8.0e-4, 4.0e-4, 1.2e-3, 6.0e-4, 9.0e-4, 3.0e-4, 1.0e-3, 5.0e-4, 1.4e-3, 7.0e-4,
+        1.1e-3,
+    ])
+}
+
+fn cancel_config() -> plinger::MasterConfig {
+    plinger::MasterConfig {
+        poll: Duration::from_millis(5),
+        drain_timeout: Duration::from_millis(500),
+        recovery: RecoveryPolicy::requeue(),
+        ..plinger::MasterConfig::default()
+    }
+}
+
+/// Cancel job 1 (either lever), then prove the pool still serves job 2
+/// bitwise-identically with every rank participating.
+fn assert_cancel_then_serve<W: msgpass::World>(ctrl: &JobControl<'_>, reason: CancelReason) {
+    let job2 = spec_of(&[3.0e-4, 9.0e-4, 5.0e-4, 1.0e-3, 7.0e-4, 1.4e-3]);
+    let mut pool = FarmPool::<W>::start_with(2, cancel_config(), PoolOptions::default()).unwrap();
+
+    let err = pool
+        .run_job_with(&long_job(), SchedulePolicy::Fifo, ctrl)
+        .unwrap_err();
+    match err {
+        FarmError::Cancelled {
+            reason: got,
+            unfinished,
+        } => {
+            assert_eq!(got, reason);
+            assert!(
+                !unfinished.is_empty(),
+                "cancel fired after the job finished"
+            );
+        }
+        other => panic!("expected Cancelled, got {other}"),
+    }
+
+    // the cancelled job released its ranks: the same pool serves the
+    // next job bitwise-identically, with both workers participating
+    let rep = pool.run_job(&job2, SchedulePolicy::Fifo).unwrap();
+    let (serial, _) = run_serial(&job2).unwrap();
+    assert_bitwise(&rep.outputs, &serial);
+    assert!(rep.recovery.is_clean(), "{:?}", rep.recovery);
+    for (i, w) in rep.worker_stats.iter().enumerate() {
+        assert!(
+            w.modes >= 1,
+            "rank {} idle after the cancelled job: {:?}",
+            i + 1,
+            rep.worker_stats
+        );
+    }
+    let modes: usize = rep.worker_stats.iter().map(|w| w.modes).sum();
+    assert_eq!(modes, job2.ks.len(), "job-2 stats polluted by job 1");
+    // only the finished job counts
+    assert_eq!(pool.shutdown().jobs, 1);
+}
+
+#[test]
+fn deadline_mid_job_cancels_and_frees_the_pool() {
+    // the deadline expires while workers hold modes mid-chunk; the
+    // cooperative tag-12 path must pull them back without wedging
+    let ctrl = JobControl {
+        deadline: Some(Instant::now() + Duration::from_millis(15)),
+        cancel: None,
+    };
+    assert_cancel_then_serve::<ChannelWorld>(&ctrl, CancelReason::DeadlineExceeded);
+}
+
+#[test]
+fn deadline_mid_job_cancels_over_shmem_too() {
+    let ctrl = JobControl {
+        deadline: Some(Instant::now() + Duration::from_millis(15)),
+        cancel: None,
+    };
+    assert_cancel_then_serve::<ShmemWorld>(&ctrl, CancelReason::DeadlineExceeded);
+}
+
+#[test]
+fn explicit_cancel_flag_aborts_the_job() {
+    // an abandoned request flips the shared flag before the master even
+    // assigns: the job dies with every mode unfinished
+    let abandon = std::sync::atomic::AtomicBool::new(true);
+    let ctrl = JobControl {
+        deadline: None,
+        cancel: Some(&abandon),
+    };
+    assert_cancel_then_serve::<ChannelWorld>(&ctrl, CancelReason::Cancelled);
 }
 
 #[test]
