@@ -43,6 +43,7 @@ fn fake_outputs(nk: usize, lmax: usize) -> Vec<ModeOutput> {
                 stats: StepStats::default(),
                 cpu_seconds: 0.0,
                 trajectory: Vec::new(),
+                sources: None,
             }
         })
         .collect()

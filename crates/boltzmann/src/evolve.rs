@@ -9,6 +9,7 @@ use crate::initial::{set_initial_conditions, InitialConditions};
 use crate::layout::{Gauge, StateLayout};
 use crate::output::ModeOutput;
 use crate::rhs::LingerRhs;
+use crate::source::{SourceRecorder, SpectrumMethod, LOS_LMAX};
 
 /// Tight-coupling validity threshold: TCA holds while
 /// `max(k, ℋ)·τ_c < EPS_TCA`.
@@ -79,6 +80,12 @@ pub struct ModeConfig {
     pub record_trajectory: bool,
     /// ODE method (the DVERK pair by default, as in LINGER).
     pub method: Method,
+    /// Full hierarchy to `l_max`, or the truncated-hierarchy
+    /// line-of-sight fast path.  In [`SpectrumMethod::LineOfSight`] the
+    /// photon and neutrino ladders default to [`LOS_LMAX`] moments
+    /// (`lmax_g`/`lmax_nu` still override) and the mode's
+    /// [`ModeOutput::sources`] carries the recorded source function.
+    pub spectrum_method: SpectrumMethod,
 }
 
 impl Default for ModeConfig {
@@ -94,6 +101,7 @@ impl Default for ModeConfig {
             tau_end: None,
             record_trajectory: false,
             method: Method::Verner65,
+            spectrum_method: SpectrumMethod::FullHierarchy,
         }
     }
 }
@@ -197,13 +205,27 @@ pub fn evolve_mode_scratch(
     );
     let tau_end = config.tau_end.unwrap_or_else(|| bg.tau0());
     let preset = config.preset;
+    let los = config.spectrum_method == SpectrumMethod::LineOfSight;
 
-    let lmax_g = config
-        .lmax_g
-        .unwrap_or_else(|| auto_lmax(k, tau_end, preset));
-    let lmax_nu = config
-        .lmax_nu
-        .unwrap_or_else(|| auto_lmax(k, tau_end, preset).clamp(16, 600));
+    // in line-of-sight mode the ladders are truncated: the recorded
+    // source only needs the monopole through quadrupole to be accurate,
+    // so a few tens of moments suffice regardless of the output l_max
+    let lmax_g = config.lmax_g.unwrap_or_else(|| {
+        let auto = auto_lmax(k, tau_end, preset);
+        if los {
+            auto.min(LOS_LMAX)
+        } else {
+            auto
+        }
+    });
+    let lmax_nu = config.lmax_nu.unwrap_or_else(|| {
+        let auto = auto_lmax(k, tau_end, preset).clamp(16, 600);
+        if los {
+            auto.min(LOS_LMAX)
+        } else {
+            auto
+        }
+    });
     let nq = config
         .nq
         .unwrap_or(if bg.params().has_massive_nu() { 16 } else { 0 });
@@ -240,17 +262,37 @@ pub fn evolve_mode_scratch(
     let mut trajectory = Vec::new();
     let mut tau = tau_start;
 
-    // trampoline: `&mut dyn FnMut() -> bool` is invariant in the trait
+    // line-of-sight mode snapshots (τ, y) at every accepted step; the
+    // projector coefficients are evaluated after the integration (the
+    // recorder cannot borrow `rhs` while the integrator holds it)
+    let mut recorder = los.then(|| {
+        let mut rec = SourceRecorder::new(layout.dim());
+        rec.push(tau_start, &y);
+        rec
+    });
+
+    // trampoline: `&mut dyn FnMut(..) -> bool` is invariant in the trait
     // object's lifetime, so the caller's observer cannot be reborrowed
-    // for two sequential integrate_observed calls; a local closure can
-    let mut relay = || match observer.as_mut() {
-        Some(obs) => obs(),
-        None => true,
-    };
+    // for two sequential integrate_observed calls; a per-phase closure
+    // over `observer` (and the recorder) can
+    macro_rules! relay {
+        () => {
+            |t: f64, y_now: &[f64]| {
+                if let Some(rec) = recorder.as_mut() {
+                    rec.push(t, y_now);
+                }
+                match observer.as_mut() {
+                    Some(obs) => obs(),
+                    None => true,
+                }
+            }
+        };
+    }
 
     if tau_switch > tau_start {
         rhs.tca = true;
         let upper = tau_switch.min(tau_end);
+        let mut relay = relay!();
         let sol = integ
             .integrate_observed(&mut rhs, tau, upper, &mut y, &opts, Some(&mut relay))
             .map_err(|source| EvolveError::Ode { k, source })?;
@@ -260,6 +302,10 @@ pub fn evolve_mode_scratch(
         rhs.tca = false;
         if tau < tau_end {
             patch_tca_handoff(&rhs, thermo, tau, &mut y);
+            if let Some(rec) = recorder.as_mut() {
+                // re-record the switch state with the slaved moments
+                rec.push(tau, &y);
+            }
         }
     }
 
@@ -267,6 +313,7 @@ pub fn evolve_mode_scratch(
         // after the handoff the state is only O(τ_c)-accurate in the slaved
         // moments; keep the same tolerances but refresh the controller
         opts.h0 = None;
+        let mut relay = relay!();
         let sol = integ
             .integrate_observed(&mut rhs, tau, tau_end, &mut y, &opts, Some(&mut relay))
             .map_err(|source| EvolveError::Ode { k, source })?;
@@ -274,16 +321,11 @@ pub fn evolve_mode_scratch(
         trajectory.extend(sol.trajectory);
     }
 
+    let sources = recorder.map(|rec| rec.finish(&rhs, bg, thermo, tau_end, preset));
     let cpu_seconds = wall_start.elapsed().as_secs_f64();
-    Ok(ModeOutput::from_state(
-        &rhs,
-        bg,
-        tau_end,
-        &y,
-        stats,
-        cpu_seconds,
-        trajectory,
-    ))
+    let mut out = ModeOutput::from_state(&rhs, bg, tau_end, &y, stats, cpu_seconds, trajectory);
+    out.sources = sources;
+    Ok(out)
 }
 
 /// Evolve one mode recording the trajectory, and return the potentials

@@ -42,6 +42,7 @@ pub mod initial;
 pub mod layout;
 pub mod output;
 pub mod rhs;
+pub mod source;
 
 pub use evolve::{
     evolve_mode, evolve_mode_observed, evolve_mode_scratch, EvolveError, ModeConfig, Preset,
@@ -50,6 +51,7 @@ pub use initial::InitialConditions;
 pub use layout::{Gauge, StateLayout};
 pub use output::{ModeOutput, WireError};
 pub use rhs::LingerRhs;
+pub use source::{ModeSources, SpectrumMethod, LOS_LMAX};
 
 #[cfg(test)]
 mod tests {

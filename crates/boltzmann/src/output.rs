@@ -14,6 +14,7 @@ use std::fmt;
 
 use crate::layout::{Gauge, StateLayout};
 use crate::rhs::LingerRhs;
+use crate::source::ModeSources;
 
 /// A malformed wire record (wrong header or payload geometry).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,7 +43,8 @@ impl fmt::Display for WireError {
             }
             WireError::BadPayloadLen { lmax_g, want, got } => write!(
                 f,
-                "wire payload for lmax={lmax_g} must be {want} reals (2·lmax+8), got {got}"
+                "wire payload for lmax={lmax_g} must be {want} reals (2·lmax+8, \
+                 plus an optional well-formed source extension), got {got}"
             ),
         }
     }
@@ -103,6 +105,10 @@ pub struct ModeOutput {
     pub cpu_seconds: f64,
     /// Accepted-step trajectory when recording was requested.
     pub trajectory: Vec<DenseSample>,
+    /// Line-of-sight source function (recorded only in
+    /// [`crate::SpectrumMethod::LineOfSight`] mode; rides the wire as a
+    /// payload extension after the moment hierarchies).
+    pub sources: Option<ModeSources>,
 }
 
 impl ModeOutput {
@@ -148,6 +154,7 @@ impl ModeOutput {
             stats,
             cpu_seconds,
             trajectory,
+            sources: None,
         }
     }
 
@@ -158,7 +165,10 @@ impl ModeOutput {
     }
 
     /// Serialize to the paper's two-message wire format:
-    /// a 21-real header and a `2·lmax+8`-real payload.
+    /// a 21-real header and a `2·lmax+8`-real payload.  A line-of-sight
+    /// run appends the recorded source function as a trailing
+    /// `[n, τ_obs, 5·n reals]` extension — legacy frames (no extension)
+    /// decode unchanged.
     pub fn to_wire(&self, ik: usize) -> (Vec<f64>, Vec<f64>) {
         let header = vec![
             ik as f64,
@@ -197,6 +207,9 @@ impl ModeOutput {
         payload.extend_from_slice(&self.delta_t);
         payload.extend_from_slice(&self.delta_p);
         debug_assert_eq!(payload.len(), 2 * self.lmax_g + 8);
+        if let Some(src) = &self.sources {
+            src.to_wire_ext(&mut payload);
+        }
         (header, payload)
     }
 
@@ -209,7 +222,8 @@ impl ModeOutput {
     /// result).
     ///
     /// Malformed frames — a header that is not 21 reals, or a payload
-    /// whose length disagrees with the `lmax` the header declares — are
+    /// whose length disagrees with the `lmax` the header declares (after
+    /// accounting for an optional trailing source extension) — are
     /// reported as [`WireError`] rather than panicking, so a corrupt
     /// message from one worker can fail a farm run cleanly.
     pub fn from_wire(header: &[f64], payload: &[f64]) -> Result<(usize, Self), WireError> {
@@ -218,13 +232,27 @@ impl ModeOutput {
         }
         let lmax_g = header[20] as usize;
         let want = 2 * lmax_g + 8;
-        if payload.len() != want {
+        if payload.len() < want {
             return Err(WireError::BadPayloadLen {
                 lmax_g,
                 want,
                 got: payload.len(),
             });
         }
+        let sources = if payload.len() > want {
+            match ModeSources::from_wire_ext(&payload[want..]) {
+                Some(src) => Some(src),
+                None => {
+                    return Err(WireError::BadPayloadLen {
+                        lmax_g,
+                        want,
+                        got: payload.len(),
+                    })
+                }
+            }
+        } else {
+            None
+        };
         let nl = lmax_g + 1;
         let delta_t = payload[6..6 + nl].to_vec();
         let delta_p = payload[6 + nl..6 + 2 * nl].to_vec();
@@ -266,6 +294,7 @@ impl ModeOutput {
             delta_p,
             stats,
             trajectory: Vec::new(),
+            sources,
         };
         Ok((header[0] as usize, out))
     }
@@ -308,6 +337,7 @@ mod tests {
             },
             cpu_seconds: 3.25,
             trajectory: Vec::new(),
+            sources: None,
         }
     }
 
@@ -368,6 +398,43 @@ mod tests {
     fn from_wire_rejects_bad_header() {
         let err = ModeOutput::from_wire(&[0.0; 20], &[0.0; 28]).unwrap_err();
         assert_eq!(err, WireError::BadHeaderLen { got: 20 });
+    }
+
+    #[test]
+    fn wire_roundtrip_carries_the_source_extension() {
+        let mut out = sample_output(30);
+        out.sources = Some(ModeSources {
+            tau_obs: 11990.0,
+            tau: vec![100.0, 200.0, 300.0],
+            s0: vec![1.0, 2.0, 3.0],
+            s1: vec![4.0, 5.0, 6.0],
+            s2: vec![7.0, 8.0, 9.0],
+            sp: vec![10.0, 11.0, 12.0],
+        });
+        let (h, p) = out.to_wire(3);
+        assert_eq!(p.len(), 2 * 30 + 8 + 2 + 5 * 3);
+        let (ik, back) = ModeOutput::from_wire(&h, &p).unwrap();
+        assert_eq!(ik, 3);
+        assert_eq!(back.sources, out.sources);
+        assert_eq!(back.delta_t, out.delta_t);
+        assert_eq!(back.delta_p, out.delta_p);
+    }
+
+    #[test]
+    fn from_wire_rejects_corrupt_source_extension() {
+        let mut out = sample_output(10);
+        out.sources = Some(ModeSources {
+            tau_obs: 11990.0,
+            tau: vec![100.0, 200.0],
+            s0: vec![1.0, 2.0],
+            s1: vec![3.0, 4.0],
+            s2: vec![5.0, 6.0],
+            sp: vec![7.0, 8.0],
+        });
+        let (h, mut p) = out.to_wire(0);
+        p.pop(); // extension now 11 reals, not 2 + 5·2
+        let err = ModeOutput::from_wire(&h, &p).unwrap_err();
+        assert!(matches!(err, WireError::BadPayloadLen { lmax_g: 10, .. }));
     }
 
     #[test]

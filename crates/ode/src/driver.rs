@@ -195,6 +195,11 @@ impl std::fmt::Display for OdeError {
 
 impl std::error::Error for OdeError {}
 
+/// Per-accepted-step callback for [`Integrator::integrate_observed`]:
+/// sees the accepted `(t, y)` read-only, returns `false` to abort the
+/// integration cooperatively.
+pub type StepObserver<'a> = &'a mut dyn FnMut(f64, &[f64]) -> bool;
+
 /// Reusable integrator workspace.
 pub struct Integrator {
     k: Vec<Vec<f64>>, // stage derivatives
@@ -247,12 +252,15 @@ impl Integrator {
         self.integrate_observed(rhs, t0, t1, y, opts, None)
     }
 
-    /// Like [`Self::integrate`], with a callback invoked after every
-    /// accepted step.  The observer sees no state and cannot perturb the
-    /// numerics — results are bit-identical with or without it; it
-    /// exists so long integrations can report liveness (PLINGER workers
-    /// heartbeat between DVERK step batches).  Returning `false` aborts
-    /// the integration with [`OdeError::Aborted`] (cooperative
+    /// Like [`Self::integrate`], with a [`StepObserver`] invoked after every
+    /// accepted step.  The observer sees the accepted `(t, y)` read-only
+    /// and cannot perturb the numerics — results are bit-identical with
+    /// or without it, and no extra RHS evaluations are spent on its
+    /// behalf.  It exists so long integrations can report liveness
+    /// (PLINGER workers heartbeat between DVERK step batches) and so
+    /// callers can record state histories on the integrator's natural
+    /// steps (the line-of-sight source recorder).  Returning `false`
+    /// aborts the integration with [`OdeError::Aborted`] (cooperative
     /// cancellation); returning `true` continues.
     #[allow(clippy::needless_range_loop)] // RK stages index k[s][j] in lockstep
     pub fn integrate_observed<R: Rhs + ?Sized>(
@@ -262,7 +270,7 @@ impl Integrator {
         t1: f64,
         y: &mut [f64],
         opts: &IntegrateOpts,
-        mut observer: Option<&mut dyn FnMut() -> bool>,
+        mut observer: Option<StepObserver<'_>>,
     ) -> Result<Solution, OdeError> {
         let n = y.len();
         assert_eq!(n, rhs.dim(), "state length must equal rhs.dim()");
@@ -409,7 +417,7 @@ impl Integrator {
                 y.copy_from_slice(&self.ynew);
                 stats.accepted += 1;
                 if let Some(obs) = observer.as_mut() {
-                    if !obs() {
+                    if !obs(t, y) {
                         return Err(OdeError::Aborted { t });
                     }
                 }
@@ -690,14 +698,19 @@ mod tests {
         let opts = IntegrateOpts::default();
         let mut y = [1.0];
         let mut n = 0usize;
-        let mut obs = || {
+        let mut t_last = 0.0;
+        let mut obs = |t: f64, y_seen: &[f64]| {
             n += 1;
+            assert!(t > t_last, "observer times must advance: {t} vs {t_last}");
+            assert!(y_seen.len() == 1 && y_seen[0].is_finite());
+            t_last = t;
             true
         };
         let sol = Integrator::new()
             .integrate_observed(&mut Decay, 0.0, 2.0, &mut y, &opts, Some(&mut obs))
             .unwrap();
         assert_eq!(n, sol.stats.accepted);
+        assert_eq!(t_last, sol.t, "last observed time is the final time");
         // bit-identical to the unobserved path
         let mut y2 = [1.0];
         let sol2 = integrate(&mut Decay, 0.0, 2.0, &mut y2, &opts).unwrap();
@@ -710,7 +723,7 @@ mod tests {
         let opts = IntegrateOpts::default();
         let mut y = [1.0];
         let mut n = 0usize;
-        let mut obs = || {
+        let mut obs = |_t: f64, _y: &[f64]| {
             n += 1;
             n < 3
         };

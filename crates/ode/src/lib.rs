@@ -16,7 +16,7 @@ pub mod driver;
 pub mod tableau;
 
 pub use driver::{
-    integrate, DenseSample, IntegrateOpts, Integrator, OdeError, Solution, StepStats,
+    integrate, DenseSample, IntegrateOpts, Integrator, OdeError, Solution, StepObserver, StepStats,
 };
 pub use tableau::{Method, Tableau};
 

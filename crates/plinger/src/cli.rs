@@ -18,7 +18,7 @@ use crate::master::MasterConfig;
 use crate::protocol::RunSpec;
 use crate::recovery::RecoveryPolicy;
 use background::CosmoParams;
-use boltzmann::{Gauge, InitialConditions, Preset};
+use boltzmann::{Gauge, InitialConditions, Preset, SpectrumMethod};
 use std::path::PathBuf;
 use std::time::Duration;
 use telemetry::log::{parse_log_flag, Level};
@@ -142,6 +142,8 @@ options:
   --kmin / --kmax VALUE     k-grid bounds (Mpc⁻¹)         [1e-4 / 0.1]
   --nk N                    number of k values (log grid) [32]
   --lmax N                  photon hierarchy override     [auto]
+  --method hierarchy|los    full ladder, or truncated hierarchy +
+                            line-of-sight projection      [hierarchy]
   --tau-end MPC             stop early (conformal time)   [today]
   --output PREFIX           output file prefix            [linger_out]
   --workers N               parallel workers              [cores]
@@ -191,6 +193,8 @@ pub struct SpecArgs {
     pub lmax: Option<usize>,
     /// Early-stop conformal time, Mpc.
     pub tau_end: Option<f64>,
+    /// Full hierarchy or line-of-sight fast path.
+    pub method: SpectrumMethod,
 }
 
 impl Default for SpecArgs {
@@ -205,6 +209,7 @@ impl Default for SpecArgs {
             nk: 32,
             lmax: None,
             tau_end: None,
+            method: SpectrumMethod::FullHierarchy,
         }
     }
 }
@@ -264,6 +269,13 @@ impl SpecArgs {
             "--kmax" => self.kmax = num(take(flag, it)?)?,
             "--nk" => self.nk = num(take(flag, it)?)? as usize,
             "--lmax" => self.lmax = Some(num(take(flag, it)?)? as usize),
+            "--method" => {
+                self.method = match take(flag, it)?.as_str() {
+                    "hierarchy" | "full" => SpectrumMethod::FullHierarchy,
+                    "los" => SpectrumMethod::LineOfSight,
+                    other => return Err(format!("unknown method {other}")),
+                }
+            }
             "--tau-end" => self.tau_end = Some(num(take(flag, it)?)?),
             _ => return Ok(false),
         }
@@ -293,6 +305,7 @@ impl SpecArgs {
             lmax_h: 16,
             nq: None,
             tau_end: self.tau_end,
+            method: self.method,
             ks,
         })
     }

@@ -50,8 +50,11 @@ pub fn write_ascii<P: AsRef<Path>>(
     w.flush()
 }
 
-/// Write the binary moment file: for each mode, `lmax` as u64 followed by
-/// the `2·lmax+8`-real payload, little endian (the paper's unit-2 file).
+/// Write the binary moment file: for each mode, `lmax` and the payload
+/// length as u64s followed by the payload reals, little endian (the
+/// paper's unit-2 file).  The explicit length lets a line-of-sight
+/// record carry its trailing source extension past the `2·lmax+8`
+/// hierarchy block.
 pub fn write_binary<P: AsRef<Path>>(path: P, outputs: &[ModeOutput]) -> io::Result<()> {
     let f = std::fs::File::create(path)?;
     let mut w = BufWriter::new(f);
@@ -60,6 +63,7 @@ pub fn write_binary<P: AsRef<Path>>(path: P, outputs: &[ModeOutput]) -> io::Resu
         let (_, payload) = out.to_wire(ik);
         w.write_all(&(ik as u64).to_le_bytes())?;
         w.write_all(&(out.lmax_g as u64).to_le_bytes())?;
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
         for v in &payload {
             w.write_all(&v.to_le_bytes())?;
         }
@@ -109,7 +113,13 @@ pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<Vec<(usize, usize, Vec
     for _ in 0..n {
         let ik = take_u64(&mut pos)? as usize;
         let lmax = take_u64(&mut pos)? as usize;
-        let len = 2 * lmax + 8;
+        let len = take_u64(&mut pos)? as usize;
+        if len < 2 * lmax + 8 || len > bytes.len() / 8 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible payload length {len} for lmax {lmax}"),
+            ));
+        }
         let mut payload = Vec::with_capacity(len);
         for _ in 0..len {
             if pos + 8 > bytes.len() {
@@ -151,6 +161,29 @@ mod tests {
         assert_eq!(records.len(), 2);
         for ((ik, lmax, payload), out) in records.iter().zip(&outputs) {
             assert_eq!(*lmax, out.lmax_g);
+            let (_, expect) = out.to_wire(*ik);
+            assert_eq!(payload, &expect, "binary payload must be bit-exact");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip_keeps_the_source_extension() {
+        let mut spec = RunSpec::standard_cdm(vec![4.0e-4, 1.2e-3]);
+        spec.preset = Preset::Draft;
+        spec.method = boltzmann::SpectrumMethod::LineOfSight;
+        let (outputs, _) = run_serial(&spec).unwrap();
+        assert!(outputs.iter().all(|o| o.sources.is_some()));
+
+        let dir = std::env::temp_dir().join("plinger_files_los_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let binary = dir.join("run.lingerd");
+        write_binary(&binary, &outputs).unwrap();
+
+        let records = read_binary(&binary).unwrap();
+        for ((ik, lmax, payload), out) in records.iter().zip(&outputs) {
+            assert_eq!(*lmax, out.lmax_g);
+            assert!(payload.len() > 2 * lmax + 8, "extension must be carried");
             let (_, expect) = out.to_wire(*ik);
             assert_eq!(payload, &expect, "binary payload must be bit-exact");
         }

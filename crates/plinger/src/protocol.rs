@@ -18,7 +18,7 @@
 //!   decode, with the newer counters zero-filled.
 
 use background::CosmoParams;
-use boltzmann::{Gauge, InitialConditions, ModeConfig, Preset};
+use boltzmann::{Gauge, InitialConditions, ModeConfig, Preset, SpectrumMethod};
 use msgpass::Tag;
 
 /// Tag 1: first message from master to workers (run parameters).
@@ -210,6 +210,12 @@ pub struct RunSpec {
     pub nq: Option<usize>,
     /// End of the integration; `None` = today.
     pub tau_end: Option<f64>,
+    /// Full hierarchy or the line-of-sight fast path.  Rides the
+    /// broadcast as a trailing discriminant real that is appended only
+    /// for [`SpectrumMethod::LineOfSight`], so legacy encodings — and
+    /// the [`job_hash`] values the result caches key on — are untouched
+    /// for full-hierarchy jobs.
+    pub method: SpectrumMethod,
     /// The wavenumber grid, Mpc⁻¹.
     pub ks: Vec<f64>,
 }
@@ -227,6 +233,7 @@ impl RunSpec {
             lmax_h: 16,
             nq: None,
             tau_end: None,
+            method: SpectrumMethod::FullHierarchy,
             ks,
         }
     }
@@ -244,6 +251,7 @@ impl RunSpec {
             tau_end: self.tau_end,
             record_trajectory: false,
             method: ode::Method::Verner65,
+            spectrum_method: self.method,
         }
     }
 
@@ -284,6 +292,9 @@ impl RunSpec {
             c.n_s,
         ];
         v.extend_from_slice(&self.ks);
+        if self.method == SpectrumMethod::LineOfSight {
+            v.push(1.0);
+        }
         v
     }
 
@@ -295,14 +306,21 @@ impl RunSpec {
             return Err(SpecDecodeError::TooShort { got: v.len() });
         }
         let nk = v[0] as usize;
-        if v.len() != 19 + nk {
-            return Err(SpecDecodeError::LengthMismatch {
-                nk,
-                want: 19 + nk,
-                got: v.len(),
-            });
-        }
+        // legacy frames are exactly 19 + nk reals; a line-of-sight job
+        // appends one trailing method discriminant
+        let method = match v.len() - 19 {
+            n if n == nk => SpectrumMethod::FullHierarchy,
+            n if n == nk + 1 && v[19 + nk] == 1.0 => SpectrumMethod::LineOfSight,
+            _ => {
+                return Err(SpecDecodeError::LengthMismatch {
+                    nk,
+                    want: 19 + nk,
+                    got: v.len(),
+                })
+            }
+        };
         Ok(Self {
+            method,
             gauge: if v[1] == 0.0 {
                 Gauge::Synchronous
             } else {
@@ -335,7 +353,7 @@ impl RunSpec {
                 m_nu_ev: v[17],
                 n_s: v[18],
             },
-            ks: v[19..].to_vec(),
+            ks: v[19..19 + nk].to_vec(),
         })
     }
 }
@@ -382,11 +400,40 @@ mod tests {
         m.ks.push(0.1);
         assert_ne!(job_hash(&m), h0, "grid must be keyed");
 
+        let mut m = base.clone();
+        m.method = SpectrumMethod::LineOfSight;
+        assert_ne!(job_hash(&m), h0, "spectrum method must be keyed");
+
         // cosmo_hash ignores everything but the cosmology
         let mut m = base.clone();
         m.preset = Preset::Draft;
         m.ks = vec![0.5];
         assert_eq!(cosmo_hash(&m.cosmo), cosmo_hash(&base.cosmo));
+    }
+
+    #[test]
+    fn method_rides_a_trailing_real_only_when_los() {
+        // legacy compatibility: a full-hierarchy spec must encode (and
+        // hash) exactly as it did before the method field existed
+        let full = RunSpec::standard_cdm(vec![0.001, 0.01]);
+        let wire = full.encode();
+        assert_eq!(wire.len(), 19 + full.ks.len());
+        let back = RunSpec::decode(&wire).unwrap();
+        assert_eq!(back.method, SpectrumMethod::FullHierarchy);
+
+        let mut los = full.clone();
+        los.method = SpectrumMethod::LineOfSight;
+        let wire_los = los.encode();
+        assert_eq!(wire_los.len(), wire.len() + 1);
+        assert_eq!(wire_los[wire.len()], 1.0);
+        let back = RunSpec::decode(&wire_los).unwrap();
+        assert_eq!(back.method, SpectrumMethod::LineOfSight);
+        assert_eq!(back.ks, los.ks);
+
+        // a trailing real that isn't the discriminant is a length error
+        let mut bad = wire_los.clone();
+        bad[wire.len()] = 2.0;
+        assert!(RunSpec::decode(&bad).is_err());
     }
 
     #[test]
@@ -397,8 +444,10 @@ mod tests {
         spec.tau_end = Some(250.0);
         spec.cosmo.n_nu_massive = 1;
         spec.cosmo.m_nu_ev = 4.66;
+        spec.method = SpectrumMethod::LineOfSight;
         let wire = spec.encode();
         let back = RunSpec::decode(&wire).unwrap();
+        assert_eq!(back.method, SpectrumMethod::LineOfSight);
         assert_eq!(back.ks, spec.ks);
         assert_eq!(back.gauge, spec.gauge);
         assert_eq!(back.lmax_g, Some(77));

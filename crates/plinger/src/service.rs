@@ -487,6 +487,9 @@ pub struct ServiceMetrics {
     pub errors: Counter,
     /// Pool jobs run on behalf of requests.
     pub pool_jobs: Counter,
+    /// Requests whose spec selected the line-of-sight method (hits and
+    /// misses both count).
+    pub los_jobs: Counter,
     /// Requests rejected at admission because the queue was over its
     /// limit (answered with a typed `Busy` frame).
     pub requests_shed: Counter,
@@ -588,6 +591,7 @@ impl ServiceMetrics {
         s.add("cache_bytes_served_total", self.cache_bytes_served.get());
         s.add("errors_total", self.errors.get());
         s.add("pool_jobs_total", self.pool_jobs.get());
+        s.add("los_jobs_total", self.los_jobs.get());
         s.add("requests_shed_total", self.requests_shed.get());
         s.add("jobs_cancelled_total", self.jobs_cancelled.get());
         s.add("deadline_expired_total", self.deadline_expired.get());
@@ -716,6 +720,9 @@ impl<W: World> SpectrumService<W> {
     ) -> Result<ServiceReply, FarmError> {
         self.requests += 1;
         self.metrics.requests.inc();
+        if spec.method == boltzmann::SpectrumMethod::LineOfSight {
+            self.metrics.los_jobs.inc();
+        }
         let key = job_hash(spec);
         let job = tlog::job_hex(key);
         if let Some(reason) = ctrl.triggered() {
@@ -1058,6 +1065,42 @@ mod tests {
         // the folded farm comm aggregate reaches the snapshot
         let s = metrics.snapshot();
         assert!(s.counter("msgs_sent") > 0);
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn service_serves_los_requests_bitwise_and_counts_them() {
+        let pool = FarmPool::<ChannelWorld>::start(2).unwrap();
+        let mut svc = SpectrumService::new(pool, SchedulePolicy::LargestFirst);
+        let metrics = svc.metrics();
+        let mut spec = tiny_spec(vec![0.001, 0.004, 0.02]);
+        spec.method = boltzmann::SpectrumMethod::LineOfSight;
+
+        let reply = svc.handle(&spec).unwrap();
+        assert!(!reply.cache_hit);
+        // the reply body decodes to the serial LOS answer, source
+        // extension included, bit for bit
+        let (serial, _) = run_serial(&spec).unwrap();
+        let (decoded, _) = decode_spectrum_body(&reply.body).unwrap();
+        assert_eq!(decoded.len(), serial.len());
+        for (d, s) in decoded.iter().zip(&serial) {
+            assert_eq!(d.sources, s.sources, "sources must survive the body");
+            for (a, b) in d.delta_t.iter().zip(&s.delta_t) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // the same spec hits the cache; both requests count as LOS
+        let second = svc.handle(&spec).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(metrics.los_jobs.get(), 2);
+
+        // a full-hierarchy request is a different key and not LOS
+        let full = tiny_spec(vec![0.001, 0.004, 0.02]);
+        let other = svc.handle(&full).unwrap();
+        assert!(!other.cache_hit);
+        assert_ne!(other.key, reply.key);
+        assert_eq!(metrics.los_jobs.get(), 2);
         let _ = svc.shutdown();
     }
 

@@ -16,6 +16,7 @@ const CONTRACT: &[&str] = &[
     "cache_bytes_served_total",
     "errors_total",
     "pool_jobs_total",
+    "los_jobs_total",
     // request-lifecycle counters (load shedding, deadlines, cancels)
     "requests_shed_total",
     "jobs_cancelled_total",

@@ -102,6 +102,58 @@ fn pool_matches_fresh_farms_tcp() {
     pool_matches_fresh_farms::<TcpWorld>();
 }
 
+/// A line-of-sight job through the warm pool must match the serial
+/// LOS path bit for bit — including the recorded source extension that
+/// rides the result payload.
+fn los_pool_matches_serial<W: World>() {
+    let mut spec = spec_of(&[6.0e-4, 1.6e-3, 1.0e-3, 2.4e-3]);
+    spec.method = boltzmann::SpectrumMethod::LineOfSight;
+
+    let mut pool = FarmPool::<W>::start(2).expect("pool start");
+    let rep = pool
+        .session(SchedulePolicy::LargestFirst)
+        .run(&spec)
+        .expect("pooled LOS job");
+    pool.shutdown();
+
+    let (serial, _) = run_serial(&spec).expect("serial LOS");
+    assert_bitwise(&rep.outputs, &serial);
+    for (out, r) in rep.outputs.iter().zip(&serial) {
+        let src = out.sources.as_ref().expect("pooled LOS output has sources");
+        let rsrc = r.sources.as_ref().expect("serial LOS output has sources");
+        assert_eq!(src.tau_obs.to_bits(), rsrc.tau_obs.to_bits());
+        for (cols, rcols) in [
+            (&src.tau, &rsrc.tau),
+            (&src.s0, &rsrc.s0),
+            (&src.s1, &rsrc.s1),
+            (&src.s2, &rsrc.s2),
+            (&src.sp, &rsrc.sp),
+        ] {
+            assert_eq!(cols.len(), rcols.len());
+            for (a, b) in cols.iter().zip(rcols.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "source column diverged");
+            }
+        }
+        // identical integration work: the observer adds no RHS evals
+        assert_eq!(out.stats.rhs_evals, r.stats.rhs_evals);
+    }
+}
+
+#[test]
+fn los_pool_matches_serial_channel() {
+    los_pool_matches_serial::<ChannelWorld>();
+}
+
+#[test]
+fn los_pool_matches_serial_shmem() {
+    los_pool_matches_serial::<ShmemWorld>();
+}
+
+#[test]
+fn los_pool_matches_serial_tcp() {
+    los_pool_matches_serial::<TcpWorld>();
+}
+
 #[test]
 fn pooled_jobs_open_with_tag_10_and_close_with_tag_11() {
     // per-job comm tables are deltas against the between-jobs baseline:

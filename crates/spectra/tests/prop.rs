@@ -39,6 +39,7 @@ fn synthetic_outputs(nk: usize, lmax: usize, phase: f64) -> Vec<ModeOutput> {
                 stats: StepStats::default(),
                 cpu_seconds: 0.0,
                 trajectory: Vec::new(),
+                sources: None,
             }
         })
         .collect()

@@ -3,6 +3,7 @@
 #
 #   bench_snapshot.sh         # RHS microbench        -> BENCH_rhs.json
 #   bench_snapshot.sh serve   # service under load    -> BENCH_serve.json
+#   bench_snapshot.sh los     # LOS vs full hierarchy -> BENCH_los.json
 #
 # RHS mode: the baseline numbers below are the medians of the same
 # bench measured on this machine immediately BEFORE the shared-cache +
@@ -15,10 +16,72 @@
 # clients over a repeating grid mix and records the request-latency
 # quantiles (total / queue-wait / run, milliseconds) from the
 # service's own tag-26 metrics payload (see docs/OBSERVABILITY.md).
+#
+# LOS mode: end-to-end wall clock of the full moment hierarchy versus
+# the line-of-sight fast path on the identical thinned k-grid (demo
+# preset) at l_max 500 and 1500, plus the matched-l band deviation
+# between the two methods (see crates/bench/src/bin/los_speedup.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-rhs}"
+
+if [ "$mode" = "los" ]; then
+    cargo build -q --release -p bench --bin los_speedup
+    out=""
+    for args in "500 8" "1500 24"; do
+        # shellcheck disable=SC2086
+        run="$(target/release/los_speedup $args 2>&1)"
+        echo "$run"
+        out="$out$run"$'\n'
+    done
+    BENCH_OUT="$out" python3 - <<'EOF'
+import json, os, re
+
+out = os.environ["BENCH_OUT"]
+
+# thin factors pinned above; both methods always see the same grid
+thin = {"500": 8, "1500": 24}
+
+cases = {}
+for m in re.finditer(
+    r"^bench: los_speedup/lmax(\d+) full_s=([0-9.]+) los_s=([0-9.]+) "
+    r"speedup=([0-9.]+) modes=(\d+) band_dev=([0-9.]+)$",
+    out,
+    re.M,
+):
+    lmax, full_s, los_s, speedup, modes, dev = m.groups()
+    cases[f"lmax{lmax}"] = {
+        "l_max": int(lmax),
+        "modes": int(modes),
+        "thin": thin[lmax],
+        "full_hierarchy_s": float(full_s),
+        "line_of_sight_s": float(los_s),
+        "speedup_vs_baseline": float(speedup),
+        "matched_l_band_dev": float(dev),
+    }
+assert set(cases) == {"lmax500", "lmax1500"}, f"cases: {sorted(cases)}"
+
+snapshot = {
+    "schema": "plinger.bench_los/1",
+    "bench": "full hierarchy vs line-of-sight fast path, equal thinned "
+             "k-grid (demo preset, ChannelWorld farm)",
+    "baseline": "full moment hierarchy evolved to l_max on the same grid",
+    "cases": cases,
+}
+with open("BENCH_los.json", "w") as fh:
+    json.dump(snapshot, fh, indent=2)
+    fh.write("\n")
+
+worst = min(c["speedup_vs_baseline"] for c in cases.values())
+dev = max(c["matched_l_band_dev"] for c in cases.values())
+print(
+    f"bench_snapshot: wrote BENCH_los.json "
+    f"(worst-case speedup {worst}x, worst band deviation {dev})"
+)
+EOF
+    exit 0
+fi
 
 if [ "$mode" = "serve" ]; then
     clients=4

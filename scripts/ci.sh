@@ -208,10 +208,26 @@ cargo test -q -p recomb --test cache_differential
 cargo test -q --test farm_transports chunked
 cargo test -q --test recovery_matrix chunk
 
+echo "== los differential smoke =="
+# the line-of-sight fast path (truncated hierarchy + source recorder +
+# Bessel projection) pinned against the untruncated hierarchy on a
+# matched l band at draft accuracy — the full Demo-grade crosschecks
+# and golden C_l gates ride the workspace suite above; this names the
+# fast path explicitly in the CI log
+cargo test -q --test los_crosscheck draft_smoke
+
 echo "== rhs bench smoke =="
 # compile-and-run-once smoke of the microbench behind BENCH_rhs.json
 # (full measurement is scripts/bench_snapshot.sh, not a CI gate)
 cargo bench -p bench --bench rhs_eval -- --test
+
+echo "== los bench smoke =="
+# compile-and-run-once smoke of the end-to-end method comparison behind
+# BENCH_los.json (tiny grid: l_max 60, every 16th k) — asserts nothing
+# beyond "runs and prints a parseable line"; full measurement is
+# scripts/bench_snapshot.sh los
+cargo run -q --release -p bench --bin los_speedup 60 16 \
+    | grep -q "^bench: los_speedup/lmax60 "
 
 echo "== fault matrix =="
 # the recovery tests sweep every FaultPlan variant over the channel and
