@@ -26,7 +26,7 @@ pub enum Species {
 /// `omega_k` is derived, not stored, so the parameter set is always
 /// self-consistent.  The defaults reproduce the paper's "standard Cold
 /// Dark Matter" model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CosmoParams {
     /// Hubble parameter `h` (`H0 = 100 h km/s/Mpc`).
     pub h: f64,

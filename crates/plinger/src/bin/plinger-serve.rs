@@ -52,13 +52,16 @@ use bytes::BytesMut;
 use msgpass::channel::ChannelWorld;
 use msgpass::shmem::ShmemWorld;
 use msgpass::{codec, Message, World};
-use plinger::cli::{FarmArgs, FarmSettings, ServeArgs, ServeSettings, SpecArgs, TransportKind};
+use plinger::cli::{
+    EnsembleArgs, FarmArgs, FarmSettings, ServeArgs, ServeSettings, SpecArgs, TransportKind,
+};
 use plinger::master::MasterConfig;
 use plinger::output_files::write_run_report;
 use plinger::pool::PoolOptions;
 use plinger::service::{
-    ErrorCode, ResultCache, ServiceError, ServiceMetrics, SpectrumRequest, TAG_REQ_METRICS,
-    TAG_REQ_SPECTRUM, TAG_RESP_ERROR, TAG_RESP_METRICS, TAG_RESP_SPECTRUM,
+    EnsembleRequest, EnsembleSummary, ErrorCode, ResultCache, ServiceError, ServiceMetrics,
+    ShardReply, SpectrumRequest, TAG_REQ_ENSEMBLE, TAG_REQ_METRICS, TAG_REQ_SPECTRUM,
+    TAG_RESP_ENSEMBLE, TAG_RESP_ERROR, TAG_RESP_METRICS, TAG_RESP_SHARD, TAG_RESP_SPECTRUM,
 };
 use plinger::{
     hash_reals, job_hash, CancelReason, FarmError, FarmPool, FaultPlan, JobControl, SchedulePolicy,
@@ -127,6 +130,15 @@ plus:
                             request is cancelled, not finished
   --retries N               retry busy/shutting-down refusals [5]
   --retry-base-ms MS        backoff base delay                [50]
+  --ensemble                sweep mode: send one tag-22 ensemble request
+                            built from the axes below (the base
+                            cosmology flags fill the non-swept fields)
+  --sweep-omega-b LIST      comma-separated Ω_b axis   [base value]
+  --sweep-h LIST            comma-separated h axis     [base value]
+  --sweep-ns LIST           comma-separated n_s axis   [base value]
+In --ensemble mode the client prints one `shard=i/N cache_hit=…
+outputs=… fnv=…` line per tag-23 frame and a final `ensemble …`
+summary line from the tag-24 terminator.
 ";
 
 fn main() -> ExitCode {
@@ -498,6 +510,22 @@ fn handle_connection<W: World>(
                     Err(err) => send_frame(&mut stream, TAG_RESP_ERROR, &err.encode())?,
                 }
             }
+            TAG_REQ_ENSEMBLE => {
+                if state.draining() && state.past_drain_deadline() {
+                    let err = ServiceError::new(ErrorCode::ShuttingDown, "server is draining");
+                    send_frame(&mut stream, TAG_RESP_ERROR, &err.encode())?;
+                } else {
+                    let depth = metrics.enter_queue();
+                    if depth > queue_limit {
+                        metrics.leave_queue();
+                        let err = shed(metrics, depth, queue_limit);
+                        send_frame(&mut stream, TAG_RESP_ERROR, &err.encode())?;
+                    } else {
+                        answer_ensemble(&mut stream, service, metrics, state, &msg.data)?;
+                    }
+                }
+                served += 1;
+            }
             // answered off the shared metrics handle, never the service
             // lock: a scrape during a long job must not block
             TAG_REQ_METRICS => send_frame(
@@ -681,6 +709,83 @@ fn answer_spectrum<W: World>(
     Ok(payload)
 }
 
+/// Serve one ensemble request: stream a [`TAG_RESP_SHARD`] frame per
+/// shard as the service finishes it (cache hits arrive immediately;
+/// misses after their pool job), then the [`TAG_RESP_ENSEMBLE`]
+/// terminator — or a [`TAG_RESP_ERROR`], which ends the stream.  The
+/// caller has already counted the request into the queue; every path
+/// out of here leaves it.
+fn answer_ensemble<W: World>(
+    stream: &mut TcpStream,
+    service: &Mutex<SpectrumService<W>>,
+    metrics: &ServiceMetrics,
+    state: &ServeState,
+    data: &[f64],
+) -> Result<(), String> {
+    let t_accept = Instant::now();
+    let finish = || {
+        metrics.leave_queue();
+        metrics.total_ns.record(elapsed_ns(t_accept));
+    };
+    let req = match EnsembleRequest::decode(data) {
+        Ok(req) => req,
+        Err(e) => {
+            let text = format!("bad ensemble request: {e}");
+            metrics.errors.inc();
+            tlog::log(
+                Level::Error,
+                "service",
+                "request_failed",
+                &[("error", text.clone())],
+            );
+            finish();
+            let err = ServiceError::new(ErrorCode::BadRequest, text);
+            return send_frame(stream, TAG_RESP_ERROR, &err.encode());
+        }
+    };
+    let deadline = req
+        .deadline_ms
+        .map(|ms| t_accept + Duration::from_secs_f64(ms / 1e3));
+    let Ok(mut svc) = service.lock() else {
+        metrics.errors.inc();
+        finish();
+        let err = ServiceError::new(ErrorCode::Internal, "service lock poisoned");
+        return send_frame(stream, TAG_RESP_ERROR, &err.encode());
+    };
+    metrics.queue_wait_ns.record(elapsed_ns(t_accept));
+    let ctrl = JobControl {
+        deadline,
+        cancel: Some(&state.hard_cancel),
+    };
+    let t_run = Instant::now();
+    let outcome = svc.handle_ensemble_with(&req.ens, &ctrl, |r: &ShardReply| {
+        send_frame(stream, TAG_RESP_SHARD, &r.frame())
+            .map_err(|detail| FarmError::Protocol { rank: 0, detail })
+    });
+    drop(svc);
+    metrics.run_ns.record(elapsed_ns(t_run));
+    finish();
+    match outcome {
+        Ok(summary) => send_frame(stream, TAG_RESP_ENSEMBLE, &summary.frame()),
+        Err(FarmError::Protocol { detail, .. }) => {
+            // the stream itself failed: nothing more can be sent
+            Err(detail)
+        }
+        Err(e) => {
+            metrics.errors.inc();
+            let code = match &e {
+                FarmError::Cancelled { reason, .. } => match reason {
+                    CancelReason::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+                    CancelReason::Cancelled => ErrorCode::Cancelled,
+                },
+                _ => ErrorCode::Internal,
+            };
+            let err = ServiceError::new(code, format!("ensemble failed: {e}"));
+            send_frame(stream, TAG_RESP_ERROR, &err.encode())
+        }
+    }
+}
+
 fn elapsed_ns(t: Instant) -> u64 {
     t.elapsed().as_nanos() as u64
 }
@@ -790,10 +895,11 @@ fn client_main(args: &[String]) -> Result<(), String> {
     let mut deadline_ms: Option<f64> = None;
     let mut retries = DEFAULT_RETRIES;
     let mut retry_base_ms = DEFAULT_RETRY_BASE_MS;
+    let mut ens_args = EnsembleArgs::default();
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        if spec.try_flag(flag, &mut it)? {
+        if spec.try_flag(flag, &mut it)? || ens_args.try_flag(flag, &mut it)? {
             continue;
         }
         let mut val = || it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -820,8 +926,32 @@ fn client_main(args: &[String]) -> Result<(), String> {
         }
     }
     let addr = connect.ok_or("--connect needs a value")?;
+    let base = spec.build()?;
+    if let Some(ens) = ens_args.build(base.clone())? {
+        let request = EnsembleRequest { ens, deadline_ms };
+        let key = plinger::ensemble_hash(&request.ens);
+        let mut attempt = 0u32;
+        loop {
+            match client_ensemble_once(&addr, &request) {
+                Ok(()) => return Ok(()),
+                Err(ClientError::Fatal(msg)) => return Err(msg),
+                Err(ClientError::Retryable { hint_ms, what }) => {
+                    if attempt >= retries {
+                        return Err(format!("giving up after {} attempts: {what}", attempt + 1));
+                    }
+                    let delay = backoff_ms(key, attempt, retry_base_ms, hint_ms);
+                    eprintln!(
+                        "plinger-serve: attempt {} refused ({what}); retrying in {delay} ms",
+                        attempt + 1
+                    );
+                    std::thread::sleep(Duration::from_millis(delay));
+                    attempt += 1;
+                }
+            }
+        }
+    }
     let request = SpectrumRequest {
-        spec: spec.build()?,
+        spec: base,
         deadline_ms,
     };
     let key = job_hash(&request.spec);
@@ -842,6 +972,70 @@ fn client_main(args: &[String]) -> Result<(), String> {
                 );
                 std::thread::sleep(Duration::from_millis(delay));
                 attempt += 1;
+            }
+        }
+    }
+}
+
+/// One connect-send-receive attempt of an ensemble sweep: send the
+/// tag-22 request, print one line per tag-23 shard frame, finish on the
+/// tag-24 summary.
+fn client_ensemble_once(addr: &str, request: &EnsembleRequest) -> Result<(), ClientError> {
+    let retryable = |what: String| ClientError::Retryable { hint_ms: 0, what };
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| retryable(format!("connect {addr} failed: {e}")))?;
+    let mut buf = BytesMut::new();
+    send_frame(&mut stream, TAG_REQ_ENSEMBLE, &request.encode()).map_err(&retryable)?;
+    let mut shards_seen = 0usize;
+    loop {
+        let msg = match read_frame(&mut stream, &mut buf) {
+            Ok(FrameRead::Frame(msg)) => msg,
+            Ok(FrameRead::Eof) => {
+                return Err(retryable(format!(
+                    "server closed the stream after {shards_seen} shard(s)"
+                )))
+            }
+            Ok(FrameRead::TimedOut) => continue, // shards can take a while
+            Err(e) => return Err(ClientError::Fatal(e)),
+        };
+        match msg.tag {
+            TAG_RESP_SHARD => {
+                let shard = ShardReply::decode_frame(&msg.data).map_err(ClientError::Fatal)?;
+                let (outputs, wall) = decode_body(&shard.body)?;
+                println!(
+                    "shard={}/{} cache_hit={} outputs={} wall={:.6} fnv={:016x}",
+                    shard.shard,
+                    shard.n_shards,
+                    u8::from(shard.cache_hit),
+                    outputs,
+                    wall,
+                    hash_reals(&shard.body),
+                );
+                shards_seen += 1;
+            }
+            TAG_RESP_ENSEMBLE => {
+                let summary =
+                    EnsembleSummary::decode_frame(&msg.data).map_err(ClientError::Fatal)?;
+                println!(
+                    "ensemble shards={} ok={} hits={} wall={:.6}",
+                    summary.n_shards, summary.n_ok, summary.cache_hits, summary.wall_seconds,
+                );
+                return Ok(());
+            }
+            TAG_RESP_ERROR => {
+                let err = ServiceError::decode(&msg.data);
+                return Err(match err.code {
+                    ErrorCode::Busy | ErrorCode::ShuttingDown => ClientError::Retryable {
+                        hint_ms: err.retry_after_ms,
+                        what: err.to_string(),
+                    },
+                    _ => ClientError::Fatal(format!("server error: {err}")),
+                });
+            }
+            other => {
+                return Err(ClientError::Fatal(format!(
+                    "unexpected response tag {other}"
+                )))
             }
         }
     }

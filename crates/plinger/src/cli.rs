@@ -14,6 +14,7 @@
 //! plus a connect address.  Every flag keeps one definition, one
 //! default, and one error message across all binaries.
 
+use crate::ensemble::EnsembleSpec;
 use crate::master::MasterConfig;
 use crate::protocol::RunSpec;
 use crate::recovery::RecoveryPolicy;
@@ -195,12 +196,20 @@ pub struct SpecArgs {
     pub tau_end: Option<f64>,
     /// Full hierarchy or line-of-sight fast path.
     pub method: SpectrumMethod,
+    /// Ω_k of the selected `--model` before any flag overrides — the
+    /// curvature [`SpecArgs::build`] re-closes the density budget to.
+    base_omega_k: f64,
+    /// `--omega-c` was given explicitly: the budget is the user's,
+    /// `build` leaves it alone.
+    pin_omega_c: bool,
 }
 
 impl Default for SpecArgs {
     fn default() -> Self {
+        let cosmo = CosmoParams::standard_cdm();
         Self {
-            cosmo: CosmoParams::standard_cdm(),
+            base_omega_k: cosmo.omega_k(),
+            cosmo,
             gauge: Gauge::Synchronous,
             ic: InitialConditions::Adiabatic,
             preset: Preset::Demo,
@@ -210,6 +219,7 @@ impl Default for SpecArgs {
             lmax: None,
             tau_end: None,
             method: SpectrumMethod::FullHierarchy,
+            pin_omega_c: false,
         }
     }
 }
@@ -229,11 +239,15 @@ impl SpecArgs {
                     "lcdm" => CosmoParams::lcdm(),
                     "mdm" => CosmoParams::mixed_dark_matter(),
                     other => return Err(format!("unknown model {other}")),
-                }
+                };
+                self.base_omega_k = self.cosmo.omega_k();
             }
             "--h" => self.cosmo.h = num(take(flag, it)?)?,
             "--omega-b" => self.cosmo.omega_b = num(take(flag, it)?)?,
-            "--omega-c" => self.cosmo.omega_c = num(take(flag, it)?)?,
+            "--omega-c" => {
+                self.cosmo.omega_c = num(take(flag, it)?)?;
+                self.pin_omega_c = true;
+            }
             "--omega-lambda" => self.cosmo.omega_lambda = num(take(flag, it)?)?,
             "--m-nu" => {
                 self.cosmo.m_nu_ev = num(take(flag, it)?)?;
@@ -283,6 +297,15 @@ impl SpecArgs {
     }
 
     /// Validate and assemble the [`RunSpec`].
+    ///
+    /// Density overrides (`--omega-b`, `--h`, `--m-nu`, …) are
+    /// re-closed into Ω_c at the `--model`'s curvature — the same
+    /// trade [`EnsembleSpec::shard_cosmo`](crate::EnsembleSpec) makes
+    /// — so flag-built cosmologies stay evolvable (the perturbation
+    /// equations are flat-space-only) and hash-identical with the
+    /// matching sweep shard.  The adjustment is exactly `0.0` when no
+    /// density flag was given; an explicit `--omega-c` pins the whole
+    /// budget and skips it.
     pub fn build(self) -> Result<RunSpec, String> {
         if !(self.kmin > 0.0 && self.kmax > self.kmin) {
             return Err(format!("bad k range [{}, {}]", self.kmin, self.kmax));
@@ -295,8 +318,12 @@ impl SpecArgs {
         } else {
             numutil::grid::logspace(self.kmin, self.kmax, self.nk)
         };
+        let mut cosmo = self.cosmo;
+        if !self.pin_omega_c {
+            cosmo.omega_c += cosmo.omega_k() - self.base_omega_k;
+        }
         Ok(RunSpec {
-            cosmo: self.cosmo,
+            cosmo,
             gauge: self.gauge,
             ic: self.ic,
             preset: self.preset,
@@ -309,6 +336,79 @@ impl SpecArgs {
             ks,
         })
     }
+}
+
+/// Builder for the ensemble-sweep flag group: `--ensemble` plus the
+/// `--sweep-*` axes over Ω_b, h, and n_s.  Composes with [`SpecArgs`]
+/// (which fills the non-swept base cosmology): [`EnsembleArgs::build`]
+/// turns the base [`RunSpec`] into an [`EnsembleSpec`] whose
+/// unspecified axes default to singletons of the base value.
+#[derive(Debug, Clone, Default)]
+pub struct EnsembleArgs {
+    /// `--ensemble` was given: the request is a sweep.
+    pub ensemble: bool,
+    /// `--sweep-omega-b` axis, when given.
+    pub omega_b: Option<Vec<f64>>,
+    /// `--sweep-h` axis, when given.
+    pub h: Option<Vec<f64>>,
+    /// `--sweep-ns` axis, when given.
+    pub n_s: Option<Vec<f64>>,
+}
+
+impl EnsembleArgs {
+    /// Consume `flag` (and its value from `it`) if it belongs to this
+    /// group.  `Ok(true)` means handled; `Ok(false)` means not ours.
+    pub fn try_flag(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--ensemble" => self.ensemble = true,
+            "--sweep-omega-b" => self.omega_b = Some(parse_axis(flag, take(flag, it)?)?),
+            "--sweep-h" => self.h = Some(parse_axis(flag, take(flag, it)?)?),
+            "--sweep-ns" => self.n_s = Some(parse_axis(flag, take(flag, it)?)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Assemble the sweep over `base`: `None` without `--ensemble`
+    /// (a `--sweep-*` axis without it is an error), otherwise the
+    /// [`EnsembleSpec`] with unspecified axes defaulting to the base
+    /// cosmology's value.
+    pub fn build(self, base: RunSpec) -> Result<Option<EnsembleSpec>, String> {
+        if !self.ensemble {
+            if self.omega_b.is_some() || self.h.is_some() || self.n_s.is_some() {
+                return Err("--sweep-* axes need --ensemble".into());
+            }
+            return Ok(None);
+        }
+        let mut ens = EnsembleSpec::singleton(base);
+        if let Some(axis) = self.omega_b {
+            ens.omega_b = axis;
+        }
+        if let Some(axis) = self.h {
+            ens.h = axis;
+        }
+        if let Some(axis) = self.n_s {
+            ens.n_s = axis;
+        }
+        Ok(Some(ens))
+    }
+}
+
+/// Parse a comma-separated `--sweep-*` axis into its values.
+fn parse_axis(flag: &str, list: &str) -> Result<Vec<f64>, String> {
+    let axis: Vec<f64> = list
+        .split(',')
+        .map(|v| num(v.trim()))
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("bad {flag} value {list:?} (comma-separated reals)"))?;
+    if axis.is_empty() {
+        return Err(format!("{flag} needs at least one value"));
+    }
+    Ok(axis)
 }
 
 /// Builder for the farm flag group: worker count, transport, recovery
@@ -673,6 +773,97 @@ mod tests {
             }
             _ => panic!("expected run"),
         }
+    }
+
+    #[test]
+    fn ensemble_args_parse_axes_and_default_to_base_singletons() {
+        let args = argv("--sweep-omega-b 0.04,0.05,0.06 --sweep-ns 0.95,1.0 --ensemble");
+        let mut ens_args = EnsembleArgs::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            assert!(ens_args.try_flag(flag, &mut it).unwrap(), "{flag}");
+        }
+        let base = SpecArgs::default().build().unwrap();
+        let ens = ens_args.build(base.clone()).unwrap().unwrap();
+        assert_eq!(ens.omega_b, vec![0.04, 0.05, 0.06]);
+        assert_eq!(ens.n_s, vec![0.95, 1.0]);
+        // the unswept h axis is the base value's singleton
+        assert_eq!(ens.h, vec![base.cosmo.h]);
+        assert_eq!(ens.n_shards(), 6);
+
+        // no --ensemble: no sweep, and stray axes are an error
+        assert!(EnsembleArgs::default()
+            .build(base.clone())
+            .unwrap()
+            .is_none());
+        let stray = EnsembleArgs {
+            omega_b: Some(vec![0.04]),
+            ..EnsembleArgs::default()
+        };
+        assert!(stray.build(base).is_err());
+
+        // malformed axis values are rejected with the flag named
+        let bad = argv("--sweep-h 0.5,banana");
+        let mut ens_args = EnsembleArgs::default();
+        let mut it = bad.iter();
+        let flag = it.next().unwrap();
+        assert!(ens_args.try_flag(flag, &mut it).is_err());
+    }
+
+    /// Build a [`RunSpec`] from spectrum-flag text alone.
+    fn spec_flags(text: &str) -> RunSpec {
+        let args = argv(text);
+        let mut sa = SpecArgs::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            assert!(sa.try_flag(flag, &mut it).unwrap(), "{flag}");
+        }
+        sa.build().unwrap()
+    }
+
+    #[test]
+    fn density_overrides_reclose_into_omega_c() {
+        let base = SpecArgs::default().build().unwrap();
+        // no density flags: the closure is a bitwise no-op
+        assert_eq!(
+            base.cosmo.omega_c.to_bits(),
+            CosmoParams::standard_cdm().omega_c.to_bits()
+        );
+        // Ω_b / h overrides trade against Ω_c at the model's curvature
+        let moved = spec_flags("--omega-b 0.06 --h 0.7");
+        assert!((moved.cosmo.omega_k() - base.cosmo.omega_k()).abs() < 1e-12);
+        assert_ne!(moved.cosmo.omega_c, base.cosmo.omega_c);
+        // an explicit --omega-c pins the budget verbatim
+        let pinned = spec_flags("--omega-b 0.06 --omega-c 0.2");
+        assert_eq!(pinned.cosmo.omega_c, 0.2);
+        // --model resets the closure target to the new model's curvature
+        let lcdm = spec_flags("--model lcdm --omega-b 0.06");
+        let lcdm_base = spec_flags("--model lcdm");
+        assert!((lcdm.cosmo.omega_k() - lcdm_base.cosmo.omega_k()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flag_built_spec_crosses_over_into_the_matching_sweep_shard() {
+        // the cli closure and EnsembleSpec::shard_cosmo must agree
+        // bitwise, or a single-spectrum request stops sharing cache
+        // entries with the sweep that already computed its cosmology
+        let base = SpecArgs::default().build().unwrap();
+        let ens = EnsembleArgs {
+            ensemble: true,
+            omega_b: Some(vec![0.03, 0.06]),
+            h: Some(vec![0.5, 0.7]),
+            n_s: None,
+        }
+        .build(base)
+        .unwrap()
+        .unwrap();
+        // canonical order is omega_b-major, h-fast: (0.06, 0.7) is shard 3
+        let single = spec_flags("--omega-b 0.06 --h 0.7");
+        assert_eq!(
+            crate::job_hash(&ens.shard_spec(3)),
+            crate::job_hash(&single)
+        );
+        assert_eq!(ens.shard_hash(3), crate::job_hash(&single));
     }
 
     #[test]

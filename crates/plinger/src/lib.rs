@@ -24,6 +24,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cli;
+pub mod ensemble;
 pub mod error;
 pub mod farm;
 pub mod master;
@@ -37,28 +38,34 @@ pub mod service;
 pub mod simulate;
 pub mod worker;
 
+pub use ensemble::{
+    ensemble_hash, run_ensemble, EnsembleDecodeError, EnsembleOptions, EnsembleReport,
+    EnsembleSpec, ShardResult, ShardRunner,
+};
 pub use error::{CancelReason, FarmError};
 pub use farm::{
     parse_worker_fault, run_serial, run_tcp_processes, run_tcp_worker, Farm, FarmReport, FaultPlan,
     TcpFarmOptions,
 };
 pub use master::{
-    master_job_session, master_loop, master_session, JobControl, MasterConfig, MasterLedger,
-    SessionKind,
+    master_job_session, master_job_session_prefetch, master_loop, master_session, JobControl,
+    MasterConfig, MasterLedger, SessionKind,
 };
 pub use pool::{FarmPool, PoolOptions, PoolShutdown, Session, TcpFarmPool};
 pub use protocol::{
     cosmo_hash, hash_reals, job_hash, RunSpec, SpecDecodeError, TAG_ASSIGN, TAG_CANCEL, TAG_DATA,
-    TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT, TAG_JOBDONE, TAG_NEWJOB, TAG_REQUEST, TAG_STATS,
-    TAG_STOP,
+    TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT, TAG_INIT, TAG_JOBDONE, TAG_NEWJOB, TAG_PREFETCH,
+    TAG_REQUEST, TAG_STATS, TAG_STOP,
 };
 pub use recovery::{FailedMode, RecoveryLog, RecoveryPolicy, WorkerEvent};
 pub use report::{build_run_report, render_pretty, FarmTelemetry};
 pub use schedule::{SchedulePolicy, WorkQueue};
 pub use service::{
-    decode_spectrum_body, encode_spectrum_body, ErrorCode, ResultCache, ServiceError,
-    ServiceMetrics, ServiceReply, SpectrumRequest, SpectrumService, TAG_REQ_METRICS,
-    TAG_REQ_SPECTRUM, TAG_RESP_ERROR, TAG_RESP_METRICS, TAG_RESP_SPECTRUM,
+    decode_spectrum_body, encode_spectrum_body, key_from_reals, key_to_reals, EnsembleRequest,
+    EnsembleSummary, ErrorCode, ResultCache, ServiceError, ServiceMetrics, ServiceReply,
+    ShardReply, SpectrumRequest, SpectrumService, TAG_REQ_ENSEMBLE, TAG_REQ_METRICS,
+    TAG_REQ_SPECTRUM, TAG_RESP_ENSEMBLE, TAG_RESP_ERROR, TAG_RESP_METRICS, TAG_RESP_SHARD,
+    TAG_RESP_SPECTRUM,
 };
 pub use simulate::{simulate_farm, synthetic_costs, SimParams, SimResult};
 pub use worker::{

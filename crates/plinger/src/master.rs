@@ -37,7 +37,7 @@ use telemetry::log::{self as tlog, Level};
 use crate::error::{CancelReason, FarmError};
 use crate::protocol::{
     job_hash, RunSpec, TAG_ASSIGN, TAG_CANCEL, TAG_DATA, TAG_FAIL, TAG_HEADER, TAG_HEARTBEAT,
-    TAG_INIT, TAG_JOBDONE, TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
+    TAG_INIT, TAG_JOBDONE, TAG_NEWJOB, TAG_PREFETCH, TAG_REQUEST, TAG_STATS, TAG_STOP,
 };
 use crate::recovery::{FailedMode, RecoveryLog, RecoveryPolicy, WorkerEvent};
 use crate::schedule::{SchedulePolicy, WorkQueue};
@@ -206,6 +206,11 @@ struct Session {
     idle_since: Option<Instant>,
     /// Accumulated idle seconds.
     idle_seconds: f64,
+    /// Encoded spec of the *next* job, appended as a tag-13 prefetch
+    /// hint to each pooled release so the worker warms the next job's
+    /// physics tables while its peers finish this job's tail chunks.
+    /// `None` (the default) sends no hint; one-shot sessions ignore it.
+    prefetch_wire: Option<Vec<f64>>,
     /// Canonical request identity ([`job_hash`] of the spec, rendered
     /// as 16 hex digits) — stamped on every span and log event this
     /// session records, so one request's trail is filterable
@@ -296,8 +301,23 @@ impl Session {
         } else if self.policy.recovers() && !self.all_settled() {
             self.parked.insert(rank);
         } else {
-            mysendreal(t, &[0.0], self.release_tag, rank)?;
-            self.stopped.insert(rank);
+            self.release(t, rank)?;
+        }
+        Ok(())
+    }
+
+    /// Send a rank its release and, for pooled sessions with a next-job
+    /// hint set, follow it with a tag-13 prefetch so the worker warms
+    /// the next job's physics tables while it parks.  The hint is
+    /// best-effort: a rank that cannot take it is already being handled
+    /// by the watch, and the next job re-announces its spec anyway.
+    fn release<T: Transport>(&mut self, t: &mut T, rank: Rank) -> Result<(), FarmError> {
+        mysendreal(t, &[0.0], self.release_tag, rank)?;
+        self.stopped.insert(rank);
+        if self.release_tag == TAG_JOBDONE {
+            if let Some(wire) = self.prefetch_wire.as_ref() {
+                let _ = mysendreal(t, wire, TAG_PREFETCH, rank);
+            }
         }
         Ok(())
     }
@@ -337,8 +357,7 @@ impl Session {
         }
         let ranks: Vec<Rank> = self.parked.drain().collect();
         for rank in ranks {
-            mysendreal(t, &[0.0], self.release_tag, rank)?;
-            self.stopped.insert(rank);
+            self.release(t, rank)?;
         }
         Ok(())
     }
@@ -541,7 +560,7 @@ impl Session {
         let ws = WorkerStats::from_wire(payload).ok_or_else(|| FarmError::Protocol {
             rank,
             detail: format!(
-                "stats message must be 4, 8, or 9 finite non-negative reals, got {} values",
+                "stats message must be 4, 8, 9, or 10 finite non-negative reals, got {} values",
                 payload.len()
             ),
         })?;
@@ -750,6 +769,29 @@ pub fn master_job_session<T: Transport>(
     kind: SessionKind,
     ctrl: &JobControl<'_>,
 ) -> Result<MasterLedger, FarmError> {
+    master_job_session_prefetch(t, spec, policy, cfg, watch, epoch, kind, ctrl, None)
+}
+
+/// [`master_job_session`] with an optional next-job prefetch hint: when
+/// `prefetch` is set and the session is [`SessionKind::Pooled`], every
+/// tag-11 release is followed by a tag-13 [`TAG_PREFETCH`] carrying the
+/// next job's spec, so released workers build that job's physics tables
+/// while the session's tail chunks finish on their peers.  This is the
+/// ensemble scheduler's overlap mechanism; it never changes results
+/// (caches are keyed on the canonical cosmology hash) and one-shot
+/// sessions ignore it.
+#[allow(clippy::too_many_arguments)]
+pub fn master_job_session_prefetch<T: Transport>(
+    t: &mut T,
+    spec: &RunSpec,
+    policy: SchedulePolicy,
+    cfg: &MasterConfig,
+    watch: &mut dyn FnMut() -> Vec<WorkerEvent>,
+    epoch: Instant,
+    kind: SessionKind,
+    ctrl: &JobControl<'_>,
+    prefetch: Option<&RunSpec>,
+) -> Result<MasterLedger, FarmError> {
     let t0 = Instant::now();
     let nk = spec.ks.len();
     let n_workers = t.size() - 1;
@@ -776,6 +818,7 @@ pub fn master_job_session<T: Transport>(
         rec: SpanRecorder::new(epoch, 0, 0),
         idle_since: None,
         idle_seconds: 0.0,
+        prefetch_wire: prefetch.map(RunSpec::encode),
         job: job.clone(),
     };
     tlog::log(

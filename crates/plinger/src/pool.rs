@@ -47,7 +47,7 @@ use crate::farm::{
     finish_report, spawn_tcp_worker, watch_tcp_children, worker_fault_arg, FarmReport, FaultPlan,
     TcpFarmOptions,
 };
-use crate::master::{master_job_session, JobControl, MasterConfig, SessionKind};
+use crate::master::{master_job_session_prefetch, JobControl, MasterConfig, SessionKind};
 use crate::protocol::{RunSpec, TAG_STOP};
 use crate::recovery::{RecoveryPolicy, WorkerEvent};
 use crate::schedule::SchedulePolicy;
@@ -248,7 +248,11 @@ impl<W: World> FarmPool<W> {
 
     /// Borrow the pool for one job under `policy`.
     pub fn session(&mut self, policy: SchedulePolicy) -> Session<'_, W> {
-        Session { pool: self, policy }
+        Session {
+            pool: self,
+            policy,
+            ctrl: JobControl::default(),
+        }
     }
 
     /// Run one k-grid job on the resident workers and cut its report.
@@ -276,6 +280,23 @@ impl<W: World> FarmPool<W> {
         spec: &RunSpec,
         policy: SchedulePolicy,
         ctrl: &JobControl<'_>,
+    ) -> Result<FarmReport, FarmError> {
+        self.run_job_prefetched(spec, policy, ctrl, None)
+    }
+
+    /// [`FarmPool::run_job_with`] with an ensemble prefetch hint: when
+    /// `prefetch` names the *next* job's spec, each worker released
+    /// from this job is handed a tag-13 hint and builds that job's
+    /// background/thermo tables while it parks — overlapping the next
+    /// shard's context construction with this shard's tail chunks.
+    /// Results are unaffected; the next job simply starts warm
+    /// (`ctx_rebuilds == 0`, `prefetch_builds == 1` in its report).
+    pub fn run_job_prefetched(
+        &mut self,
+        spec: &RunSpec,
+        policy: SchedulePolicy,
+        ctrl: &JobControl<'_>,
+        prefetch: Option<&RunSpec>,
     ) -> Result<FarmReport, FarmError> {
         let Some(master) = self.master.as_mut() else {
             return Err(FarmError::Protocol {
@@ -344,7 +365,7 @@ impl<W: World> FarmPool<W> {
             }
             events
         };
-        let outcome = master_job_session(
+        let outcome = master_job_session_prefetch(
             master,
             spec,
             policy,
@@ -353,6 +374,7 @@ impl<W: World> FarmPool<W> {
             epoch,
             SessionKind::Pooled,
             ctrl,
+            prefetch,
         );
         // refresh the comm baseline even on error, so a failed job's
         // traffic never leaks into the next job's table
@@ -426,12 +448,25 @@ impl<W: World> Drop for FarmPool<W> {
 pub struct Session<'p, W: World> {
     pool: &'p mut FarmPool<W>,
     policy: SchedulePolicy,
+    ctrl: JobControl<'p>,
 }
 
-impl<W: World> Session<'_, W> {
-    /// Run the job and cut its per-job report.
+impl<'p, W: World> Session<'p, W> {
+    /// Attach external [`JobControl`] — a deadline and/or cancel flag —
+    /// to this session's job.  Without it the job runs to completion
+    /// (the historical behaviour); with it a fired trigger cancels the
+    /// job cooperatively exactly as [`FarmPool::run_job_with`] would.
+    pub fn with_control(mut self, ctrl: JobControl<'p>) -> Self {
+        self.ctrl = ctrl;
+        self
+    }
+
+    /// Run the job and cut its per-job report.  Routes through
+    /// [`FarmPool::run_job_with`] so any control attached with
+    /// [`Session::with_control`] — deadline or cancel flag — applies to
+    /// session-scoped jobs too.
     pub fn run(self, spec: &RunSpec) -> Result<FarmReport, FarmError> {
-        self.pool.run_job(spec, self.policy)
+        self.pool.run_job_with(spec, self.policy, &self.ctrl)
     }
 }
 
@@ -552,6 +587,18 @@ impl TcpFarmPool {
         policy: SchedulePolicy,
         ctrl: &JobControl<'_>,
     ) -> Result<FarmReport, FarmError> {
+        self.run_job_prefetched(spec, policy, ctrl, None)
+    }
+
+    /// [`TcpFarmPool::run_job_with`] with an ensemble prefetch hint —
+    /// the process-pool analogue of [`FarmPool::run_job_prefetched`].
+    pub fn run_job_prefetched(
+        &mut self,
+        spec: &RunSpec,
+        policy: SchedulePolicy,
+        ctrl: &JobControl<'_>,
+        prefetch: Option<&RunSpec>,
+    ) -> Result<FarmReport, FarmError> {
         let Some(master) = self.master.as_mut() else {
             return Err(FarmError::Protocol {
                 rank: 0,
@@ -567,7 +614,7 @@ impl TcpFarmPool {
         let mut watch = || -> Vec<WorkerEvent> {
             watch_tcp_children(children, handled, respawns_left, exe, addr, size, port)
         };
-        let outcome = master_job_session(
+        let outcome = master_job_session_prefetch(
             master,
             spec,
             policy,
@@ -576,6 +623,7 @@ impl TcpFarmPool {
             epoch,
             SessionKind::Pooled,
             ctrl,
+            prefetch,
         );
         let snap = self.master_stats.snapshot(0);
         let comm = snap.delta(&self.comm_prev);

@@ -38,15 +38,15 @@ pub const TAG_DATA: Tag = 5;
 /// Tag 6: from master, telling the worker to stop.
 pub const TAG_STOP: Tag = 6;
 /// Tag 7: from worker, after its release — its session statistics as
-/// 9 reals: `[modes, busy seconds, total seconds, bytes sent,
+/// 10 reals: `[modes, busy seconds, total seconds, bytes sent,
 /// steps accepted, steps rejected, rhs evals, bytes received,
-/// ctx rebuilds]`.  In a one-shot farm the release is the tag-6 stop
-/// and the statistics cover the whole session; a pooled worker sends
-/// one such report per job on its tag-11 release, covering that job
-/// alone.
+/// ctx rebuilds, prefetch builds]`.  In a one-shot farm the release is
+/// the tag-6 stop and the statistics cover the whole session; a pooled
+/// worker sends one such report per job on its tag-11 release,
+/// covering that job alone.
 ///
-/// Legacy 4- and 8-real payloads (field prefixes) also decode, with
-/// the rest zero-filled; any other length, or any non-finite or
+/// Legacy 4-, 8-, and 9-real payloads (field prefixes) also decode,
+/// with the rest zero-filled; any other length, or any non-finite or
 /// negative value, is rejected by
 /// [`crate::worker::WorkerStats::from_wire`].  Not in the paper's
 /// table; carrying the counters over the wire keeps the report uniform
@@ -89,6 +89,21 @@ pub const TAG_JOBDONE: Tag = 11;
 /// parks (pooled) or exits (one-shot).  Results already in flight when
 /// the cancel lands are consumed blindly by the master's drain.
 pub const TAG_CANCEL: Tag = 12;
+/// Tag 13: from master, a context prefetch hint for a *parked* pooled
+/// worker — the same spec payload as [`TAG_NEWJOB`], but it does **not**
+/// start a job.  A parked worker that receives it builds the
+/// background/thermo tables for the spec's cosmology (if its warm cache
+/// holds a different one) and parks again, so when the real tag-10 job
+/// for that cosmology arrives the context is already warm and the job's
+/// `ctx_rebuilds` is 0.  This is how an ensemble sweep overlaps shard
+/// `i+1`'s per-cosmology table construction with shard `i`'s tail
+/// chunks: the master appends a prefetch of the next shard to each
+/// tag-11 release.  Workers that never park (one-shot sessions) never
+/// see it; a worker may safely ignore it (it is a hint, not a job), and
+/// prefetching never changes results — caches are keyed on the
+/// canonical cosmology hash and rebuilt tables are bit-identical
+/// wherever they are built.
+pub const TAG_PREFETCH: Tag = 13;
 
 /// 64-bit FNV-1a over a sequence of 64-bit words, fed byte-wise in
 /// little-endian order.  Dependency-free and stable across platforms —
@@ -190,7 +205,7 @@ impl std::error::Error for SpecDecodeError {}
 /// Complete description of a PLINGER run, broadcast to every worker as
 /// the tag-1 message so each worker can rebuild the background and
 /// thermal history on its own node (as the Fortran original did).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// Cosmological parameters.
     pub cosmo: CosmoParams,
@@ -380,6 +395,9 @@ mod tests {
         assert_eq!(TAG_NEWJOB, 10);
         assert_eq!(TAG_JOBDONE, 11);
         assert_eq!(TAG_CANCEL, 12);
+        // ensemble extension: next-shard context prefetch for parked
+        // pooled workers
+        assert_eq!(TAG_PREFETCH, 13);
     }
 
     #[test]

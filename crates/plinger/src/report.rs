@@ -21,7 +21,7 @@
 //!   "workers": [ { rank, modes, busy_seconds, total_seconds,
 //!                  idle_seconds, bytes_sent, bytes_received,
 //!                  steps_accepted, steps_rejected, rhs_evals,
-//!                  ctx_rebuilds } ],
+//!                  ctx_rebuilds, prefetch_builds } ],
 //!   "messages":[ { tag, name, sent, sent_bytes, recv, recv_bytes } ],
 //!   "latency": { send_ns: {count,sum,min,max,mean,p50,p99},
 //!                recv_ns: {…} },
@@ -158,6 +158,10 @@ pub fn build_run_report(report: &FarmReport, transport: &str) -> Json {
                     ("steps_rejected".into(), Json::Num(w.steps_rejected as f64)),
                     ("rhs_evals".into(), Json::Num(w.rhs_evals as f64)),
                     ("ctx_rebuilds".into(), Json::Num(w.ctx_rebuilds as f64)),
+                    (
+                        "prefetch_builds".into(),
+                        Json::Num(w.prefetch_builds as f64),
+                    ),
                 ])
             })
             .collect(),

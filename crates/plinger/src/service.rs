@@ -34,6 +34,7 @@ use msgpass::{Tag, World};
 use telemetry::log::{self as tlog, Level};
 use telemetry::{Counter, Histogram, TelemetrySnapshot};
 
+use crate::ensemble::{ensemble_hash, EnsembleDecodeError, EnsembleSpec};
 use crate::error::{CancelReason, FarmError};
 use crate::farm::FarmReport;
 use crate::master::JobControl;
@@ -59,6 +60,31 @@ pub const TAG_REQ_SPECTRUM: Tag = 20;
 /// `[hit_flag]` (1.0 when served from the [`ResultCache`], else 0.0)
 /// followed by the [`encode_spectrum_body`] reals.
 pub const TAG_RESP_SPECTRUM: Tag = 21;
+/// Tag 22, client → server: request a whole parameter sweep.  Payload
+/// forms mirror [`TAG_REQ_SPECTRUM`]:
+///
+/// * legacy: the bare [`EnsembleSpec`] wire encoding
+///   ([`EnsembleSpec::encode`] — its first real is an axis count ≥ 1,
+///   never negative);
+/// * extended: `[-1.0, deadline_ms, …EnsembleSpec::encode()]` with the
+///   deadline covering the *whole sweep* (relative milliseconds, `≤ 0`
+///   meaning none).
+///
+/// The server answers with one [`TAG_RESP_SHARD`] frame per shard in
+/// canonical shard order, then one [`TAG_RESP_ENSEMBLE`] summary — or a
+/// [`TAG_RESP_ERROR`] at any point, which terminates the stream.
+pub const TAG_REQ_ENSEMBLE: Tag = 22;
+/// Tag 23, server → client: one finished shard of an ensemble request.
+/// Payload: `[shard_index, n_shards, hit_flag, key_hi, key_lo,
+/// …encode_spectrum_body reals]` where `hit_flag` is 1.0 for a
+/// [`ResultCache`] hit and the shard's canonical job hash rides as two
+/// exact 32-bit halves (`key_hi = key >> 32`, `key_lo = key & 0xffff_ffff`)
+/// so no transport needs to preserve NaN bit patterns.
+pub const TAG_RESP_SHARD: Tag = 23;
+/// Tag 24, server → client: the ensemble stream terminator.  Payload:
+/// `[n_ok, n_shards, wall_seconds, cache_hits]`.  Clients must tolerate
+/// the vector growing.
+pub const TAG_RESP_ENSEMBLE: Tag = 24;
 /// Tag 25, client → server: request service counters (empty payload).
 pub const TAG_REQ_METRICS: Tag = 25;
 /// Tag 26, server → client: service counters, gauges, and latency
@@ -245,6 +271,70 @@ impl SpectrumRequest {
     }
 }
 
+/// One tag-22 request: a whole sweep plus an optional relative deadline
+/// covering all of it.
+#[derive(Debug, Clone)]
+pub struct EnsembleRequest {
+    /// The sweep (axes + base spec).  Each shard's cache key is its own
+    /// [`crate::ensemble::EnsembleSpec::shard_hash`], shared with
+    /// single-spectrum requests for the same cosmology.
+    pub ens: EnsembleSpec,
+    /// Client's time budget for the whole sweep in milliseconds,
+    /// measured from server accept; `None` means run to completion.
+    pub deadline_ms: Option<f64>,
+}
+
+impl EnsembleRequest {
+    /// A request with no deadline.
+    pub fn new(ens: EnsembleSpec) -> Self {
+        Self {
+            ens,
+            deadline_ms: None,
+        }
+    }
+
+    /// Encode for the wire: the bare ensemble when there is no deadline,
+    /// the `-1.0`-framed extended form otherwise (mirrors
+    /// [`SpectrumRequest::encode`]).
+    pub fn encode(&self) -> Vec<f64> {
+        match self.deadline_ms {
+            None => self.ens.encode(),
+            Some(ms) => {
+                let mut v = vec![-1.0, ms];
+                v.extend(self.ens.encode());
+                v
+            }
+        }
+    }
+
+    /// Decode either form.  A non-positive deadline in the extended form
+    /// decodes as `None`.
+    pub fn decode(data: &[f64]) -> Result<Self, EnsembleDecodeError> {
+        if data.first().is_some_and(|&v| v < 0.0) {
+            if data.len() < 2 {
+                return Err(EnsembleDecodeError::TooShort { got: data.len() });
+            }
+            let ms = data[1];
+            return Ok(Self {
+                ens: EnsembleSpec::decode(&data[2..])?,
+                deadline_ms: (ms > 0.0).then_some(ms),
+            });
+        }
+        Ok(Self::new(EnsembleSpec::decode(data)?))
+    }
+}
+
+/// Split a 64-bit key into two exactly-representable reals for the
+/// tag-23 shard frame (`[hi, lo]` 32-bit halves).
+pub fn key_to_reals(key: u64) -> [f64; 2] {
+    [(key >> 32) as f64, (key & 0xffff_ffff) as f64]
+}
+
+/// Inverse of [`key_to_reals`].
+pub fn key_from_reals(hi: f64, lo: f64) -> u64 {
+    ((hi as u64) << 32) | (lo as u64 & 0xffff_ffff)
+}
+
 /// Content-addressed store of finished response bodies, keyed by the
 /// canonical job hash.
 ///
@@ -428,6 +518,13 @@ impl ResultCache {
         persisted
     }
 
+    /// Whether `key` is stored, *without* counting a hit or a miss —
+    /// the ensemble planner's probe for "which shards still need a pool
+    /// job", which must not skew the request-path hit/miss telemetry.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
     /// Distinct results stored.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -499,6 +596,14 @@ pub struct ServiceMetrics {
     /// job started or mid-run (a subset also counts in
     /// `jobs_cancelled` when a running job was interrupted).
     pub deadline_expired: Counter,
+    /// Ensemble (tag-22) requests accepted.
+    pub ensemble_requests: Counter,
+    /// Shards completed across all ensemble requests (hits and pool
+    /// runs both count).
+    pub ensemble_shards: Counter,
+    /// Ensemble shards answered from the [`ResultCache`] without a pool
+    /// job.
+    pub ensemble_shard_hits: Counter,
     /// Result-cache entries written through to the disk tier.
     pub cache_persist_writes: Counter,
     /// Result-cache entries warm-loaded from disk at startup.
@@ -595,6 +700,9 @@ impl ServiceMetrics {
         s.add("requests_shed_total", self.requests_shed.get());
         s.add("jobs_cancelled_total", self.jobs_cancelled.get());
         s.add("deadline_expired_total", self.deadline_expired.get());
+        s.add("ensemble_requests_total", self.ensemble_requests.get());
+        s.add("ensemble_shards_total", self.ensemble_shards.get());
+        s.add("ensemble_shard_hits_total", self.ensemble_shard_hits.get());
         s.add(
             "cache_persist_writes_total",
             self.cache_persist_writes.get(),
@@ -626,8 +734,9 @@ impl ServiceMetrics {
     /// then gauges and latency summaries —
     /// `[.., workers_alive, queue_depth, errors, cache_bytes_served,
     /// total_ms_p50, total_ms_p99, queue_ms_p50, queue_ms_p99,
-    /// run_ms_p50, run_ms_p99]` (15 reals; milliseconds for the
-    /// latency entries).  Clients must tolerate further growth.
+    /// run_ms_p50, run_ms_p99, ensemble_requests, ensemble_shards,
+    /// ensemble_shard_hits]` (18 reals; milliseconds for the latency
+    /// entries).  Clients must tolerate further growth.
     pub fn wire_payload(&self, workers: usize) -> Vec<f64> {
         let ms = |ns: u64| ns as f64 / 1e6;
         let total = self.total_ns.snapshot();
@@ -649,6 +758,9 @@ impl ServiceMetrics {
             ms(queue.quantile(0.99)),
             ms(run.quantile(0.5)),
             ms(run.quantile(0.99)),
+            self.ensemble_requests.get() as f64,
+            self.ensemble_shards.get() as f64,
+            self.ensemble_shard_hits.get() as f64,
         ]
     }
 }
@@ -667,6 +779,95 @@ pub struct ServiceReply {
     /// The per-job [`FarmReport`] of the pool run that produced the
     /// body — `None` on a cache hit, which did no work worth reporting.
     pub report: Option<FarmReport>,
+}
+
+/// One finished shard of an ensemble request, as streamed to the
+/// client in a [`TAG_RESP_SHARD`] frame.
+#[derive(Debug, Clone)]
+pub struct ShardReply {
+    /// Canonical shard index.
+    pub shard: usize,
+    /// Total shards in the sweep (every frame repeats it so a client
+    /// can size its progress display from the first frame).
+    pub n_shards: usize,
+    /// The shard's canonical job hash (its [`ResultCache`] key).
+    pub key: u64,
+    /// True when the body came from the cache (no pool job ran).
+    pub cache_hit: bool,
+    /// The shard's response body ([`encode_spectrum_body`] layout —
+    /// identical to what a single-spectrum request for the same
+    /// cosmology would return).
+    pub body: Arc<Vec<f64>>,
+}
+
+impl ShardReply {
+    /// The [`TAG_RESP_SHARD`] payload:
+    /// `[shard, n_shards, hit_flag, key_hi, key_lo, …body]`.
+    pub fn frame(&self) -> Vec<f64> {
+        let [hi, lo] = key_to_reals(self.key);
+        let mut v = Vec::with_capacity(5 + self.body.len());
+        v.extend_from_slice(&[
+            self.shard as f64,
+            self.n_shards as f64,
+            f64::from(self.cache_hit),
+            hi,
+            lo,
+        ]);
+        v.extend_from_slice(&self.body);
+        v
+    }
+
+    /// Decode a [`TAG_RESP_SHARD`] payload.
+    pub fn decode_frame(data: &[f64]) -> Result<Self, String> {
+        if data.len() < 5 {
+            return Err(format!("shard frame too short: {} reals", data.len()));
+        }
+        Ok(Self {
+            shard: data[0] as usize,
+            n_shards: data[1] as usize,
+            cache_hit: data[2] != 0.0,
+            key: key_from_reals(data[3], data[4]),
+            body: Arc::new(data[5..].to_vec()),
+        })
+    }
+}
+
+/// The terminating [`TAG_RESP_ENSEMBLE`] summary of an ensemble stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleSummary {
+    /// Shards answered (equals `n_shards` on success).
+    pub n_ok: usize,
+    /// Total shards in the sweep.
+    pub n_shards: usize,
+    /// Wall-clock seconds the server spent on the sweep.
+    pub wall_seconds: f64,
+    /// Shards served from the [`ResultCache`].
+    pub cache_hits: usize,
+}
+
+impl EnsembleSummary {
+    /// The wire payload: `[n_ok, n_shards, wall_seconds, cache_hits]`.
+    pub fn frame(&self) -> Vec<f64> {
+        vec![
+            self.n_ok as f64,
+            self.n_shards as f64,
+            self.wall_seconds,
+            self.cache_hits as f64,
+        ]
+    }
+
+    /// Decode a [`TAG_RESP_ENSEMBLE`] payload (tolerates growth).
+    pub fn decode_frame(data: &[f64]) -> Result<Self, String> {
+        if data.len() < 4 {
+            return Err(format!("ensemble summary too short: {} reals", data.len()));
+        }
+        Ok(Self {
+            n_ok: data[0] as usize,
+            n_shards: data[1] as usize,
+            wall_seconds: data[2],
+            cache_hits: data[3] as usize,
+        })
+    }
 }
 
 /// A resident spectrum service: one warm [`FarmPool`] plus the
@@ -778,6 +979,181 @@ impl<W: World> SpectrumService<W> {
             body,
             report: Some(report),
         })
+    }
+
+    /// Serve a whole sweep through the cache, streaming each finished
+    /// shard to `sink` in canonical shard order.
+    ///
+    /// Every shard is keyed by its own [`job_hash`], so shards already
+    /// produced — by an earlier sweep *or* by single-spectrum requests
+    /// for the same cosmology — are streamed from the cache without
+    /// touching the pool, and every fresh shard becomes a cache entry
+    /// that later single-spectrum requests hit.  Uncached shards run as
+    /// ordinary pooled jobs with the next *uncached* shard as their
+    /// tag-13 prefetch hint, so workers warm the next cosmology's
+    /// physics tables while the current shard's tail chunks finish.
+    ///
+    /// A shard whose job fails is retried once (the inner
+    /// requeue/respawn machinery already absorbed anything survivable;
+    /// a second whole-job failure aborts the sweep).  Cancellation —
+    /// deadline or explicit — aborts immediately with
+    /// [`FarmError::Cancelled`]; shards already streamed stay cached,
+    /// so a retried sweep resumes where the budget ran out.  A `sink`
+    /// error (client gone) aborts the same way a farm error would.
+    pub fn handle_ensemble_with<F>(
+        &mut self,
+        ens: &EnsembleSpec,
+        ctrl: &JobControl<'_>,
+        mut sink: F,
+    ) -> Result<EnsembleSummary, FarmError>
+    where
+        F: FnMut(&ShardReply) -> Result<(), FarmError>,
+    {
+        let t0 = std::time::Instant::now();
+        self.requests += 1;
+        self.metrics.ensemble_requests.inc();
+        let n = ens.n_shards();
+        let sweep = ensemble_hash(ens);
+        tlog::log(
+            Level::Info,
+            "service",
+            "ensemble_accept",
+            &[
+                ("ensemble", tlog::job_hex(sweep)),
+                ("shards", n.to_string()),
+            ],
+        );
+        let keys: Vec<u64> = (0..n).map(|i| ens.shard_hash(i)).collect();
+        let mut attempts = vec![0usize; n];
+        let mut hits = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            if let Some(reason) = ctrl.triggered() {
+                if reason == CancelReason::DeadlineExceeded {
+                    self.metrics.deadline_expired.inc();
+                }
+                tlog::log(
+                    Level::Warn,
+                    "service",
+                    "ensemble_expired",
+                    &[
+                        ("shard", tlog::shard_label(sweep, i)),
+                        ("reason", reason.to_string()),
+                    ],
+                );
+                return Err(FarmError::Cancelled {
+                    reason,
+                    unfinished: Vec::new(),
+                });
+            }
+            let key = keys[i];
+            attempts[i] += 1;
+            if let Some(body) = self.cache.lookup(key) {
+                hits += 1;
+                self.metrics.ensemble_shards.inc();
+                self.metrics.ensemble_shard_hits.inc();
+                self.metrics.cache_bytes_served.add(body.len() as u64 * 8);
+                tlog::log(
+                    Level::Info,
+                    "service",
+                    "shard_hit",
+                    &[
+                        ("shard", tlog::shard_label(sweep, i)),
+                        ("job", tlog::job_hex(key)),
+                    ],
+                );
+                sink(&ShardReply {
+                    shard: i,
+                    n_shards: n,
+                    key,
+                    cache_hit: true,
+                    body,
+                })?;
+                i += 1;
+                continue;
+            }
+            let spec = ens.shard_spec(i);
+            let prefetch = (i + 1..n)
+                .find(|&j| !self.cache.contains(keys[j]))
+                .map(|j| ens.shard_spec(j));
+            tlog::log(
+                Level::Info,
+                "service",
+                "shard_miss",
+                &[
+                    ("shard", tlog::shard_label(sweep, i)),
+                    ("job", tlog::job_hex(key)),
+                    ("attempt", attempts[i].to_string()),
+                ],
+            );
+            let outcome = self
+                .pool
+                .run_job_prefetched(&spec, self.policy, ctrl, prefetch.as_ref());
+            self.metrics.set_workers_alive(self.pool.workers_alive());
+            match outcome {
+                Ok(report) => {
+                    self.metrics.pool_jobs.inc();
+                    self.metrics.ensemble_shards.inc();
+                    self.metrics
+                        .fold_comm(report.telemetry.merged_comm().to_telemetry());
+                    let body = Arc::new(encode_spectrum_body(&report.outputs, report.wall_seconds));
+                    self.metrics.cache_bytes_served.add(body.len() as u64 * 8);
+                    if self.cache.insert(key, Arc::clone(&body)) {
+                        self.metrics.cache_persist_writes.inc();
+                    }
+                    sink(&ShardReply {
+                        shard: i,
+                        n_shards: n,
+                        key,
+                        cache_hit: false,
+                        body,
+                    })?;
+                    i += 1;
+                }
+                Err(e @ FarmError::Cancelled { .. }) => {
+                    self.metrics.jobs_cancelled.inc();
+                    if let FarmError::Cancelled {
+                        reason: CancelReason::DeadlineExceeded,
+                        ..
+                    } = &e
+                    {
+                        self.metrics.deadline_expired.inc();
+                    }
+                    return Err(e);
+                }
+                Err(e) if attempts[i] < 2 => {
+                    tlog::log(
+                        Level::Warn,
+                        "service",
+                        "shard_retry",
+                        &[
+                            ("shard", tlog::shard_label(sweep, i)),
+                            ("job", tlog::job_hex(key)),
+                            ("reason", e.to_string()),
+                        ],
+                    );
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let summary = EnsembleSummary {
+            n_ok: n,
+            n_shards: n,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            cache_hits: hits,
+        };
+        tlog::log(
+            Level::Info,
+            "service",
+            "ensemble_done",
+            &[
+                ("ensemble", tlog::job_hex(sweep)),
+                ("shards", n.to_string()),
+                ("hits", hits.to_string()),
+                ("wall_ms", format!("{:.1}", summary.wall_seconds * 1000.0)),
+            ],
+        );
+        Ok(summary)
     }
 
     /// Requests handled (hits and misses both count).
@@ -1041,7 +1417,7 @@ mod tests {
         assert_eq!(m.queue_depth(), 0);
 
         let wire = m.wire_payload(2);
-        assert_eq!(wire.len(), 15);
+        assert_eq!(wire.len(), 18);
         assert_eq!(&wire[..5], &[3.0, 1.0, 2.0, 2.0, 2.0]);
         // total_ms_p50 reflects the single 1 ms sample (log-bucket
         // resolution: within a factor of 2)
@@ -1101,6 +1477,154 @@ mod tests {
         assert!(!other.cache_hit);
         assert_ne!(other.key, reply.key);
         assert_eq!(metrics.los_jobs.get(), 2);
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn ensemble_request_and_frames_roundtrip() {
+        let ens = EnsembleSpec {
+            base: tiny_spec(vec![0.001, 0.02]),
+            omega_b: vec![0.04, 0.06],
+            h: vec![0.5],
+            n_s: vec![1.0],
+        };
+        // legacy form: the bare ensemble encoding
+        let plain = EnsembleRequest::new(ens.clone());
+        assert_eq!(plain.encode(), ens.encode());
+        let back = EnsembleRequest::decode(&plain.encode()).unwrap();
+        assert_eq!(back.ens, ens);
+        assert_eq!(back.deadline_ms, None);
+        // extended form carries a sweep-wide deadline
+        let dl = EnsembleRequest {
+            ens: ens.clone(),
+            deadline_ms: Some(1500.0),
+        };
+        let wire = dl.encode();
+        assert_eq!(wire[0], -1.0);
+        let dl_back = EnsembleRequest::decode(&wire).unwrap();
+        assert_eq!(dl_back.deadline_ms, Some(1500.0));
+        assert_eq!(dl_back.ens, ens);
+        assert!(EnsembleRequest::decode(&[-1.0]).is_err());
+
+        // 64-bit keys survive the two-real split exactly
+        for key in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            let [hi, lo] = key_to_reals(key);
+            assert_eq!(key_from_reals(hi, lo), key);
+        }
+        let reply = ShardReply {
+            shard: 3,
+            n_shards: 12,
+            key: 0xfeed_face_0123_4567,
+            cache_hit: true,
+            body: Arc::new(vec![2.0, 0.25, -1.5]),
+        };
+        let frame = reply.frame();
+        let back = ShardReply::decode_frame(&frame).unwrap();
+        assert_eq!(back.shard, 3);
+        assert_eq!(back.n_shards, 12);
+        assert_eq!(back.key, reply.key);
+        assert!(back.cache_hit);
+        assert_eq!(*back.body, *reply.body);
+        assert!(ShardReply::decode_frame(&frame[..4]).is_err());
+
+        let summary = EnsembleSummary {
+            n_ok: 12,
+            n_shards: 12,
+            wall_seconds: 1.25,
+            cache_hits: 5,
+        };
+        assert_eq!(
+            EnsembleSummary::decode_frame(&summary.frame()).unwrap(),
+            summary
+        );
+        assert!(EnsembleSummary::decode_frame(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn ensemble_streams_shards_and_shares_the_spectrum_cache() {
+        let pool = FarmPool::<ChannelWorld>::start(2).unwrap();
+        let mut svc = SpectrumService::new(pool, SchedulePolicy::LargestFirst);
+        let metrics = svc.metrics();
+        let ens = EnsembleSpec {
+            base: tiny_spec(vec![0.001, 0.02]),
+            omega_b: vec![0.04, 0.06],
+            h: vec![0.5, 0.7],
+            n_s: vec![1.0],
+        };
+        let n = ens.n_shards();
+
+        // pre-warm one shard through the ordinary spectrum path: the
+        // sweep must treat it as already done
+        let warm = svc.handle(&ens.shard_spec(2)).unwrap();
+        assert!(!warm.cache_hit);
+
+        let mut frames: Vec<ShardReply> = Vec::new();
+        let summary = svc
+            .handle_ensemble_with(&ens, &JobControl::default(), |r| {
+                frames.push(r.clone());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(summary.n_ok, n);
+        assert_eq!(summary.cache_hits, 1, "the pre-warmed shard hit");
+        assert_eq!(frames.len(), n);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.shard, i, "canonical order");
+            assert_eq!(f.n_shards, n);
+            assert_eq!(f.key, ens.shard_hash(i));
+            assert_eq!(f.cache_hit, i == 2);
+            // each shard's body is bitwise the serial answer
+            let (serial, _) = run_serial(&ens.shard_spec(i)).unwrap();
+            let (decoded, _) = decode_spectrum_body(&f.body).unwrap();
+            assert_eq!(decoded.len(), serial.len());
+            for (d, s) in decoded.iter().zip(&serial) {
+                assert_eq!(d.delta_c.to_bits(), s.delta_c.to_bits());
+            }
+        }
+        assert_eq!(metrics.ensemble_requests.get(), 1);
+        assert_eq!(metrics.ensemble_shards.get(), n as u64);
+        assert_eq!(metrics.ensemble_shard_hits.get(), 1);
+
+        // the whole sweep repeats from the cache: no new pool jobs
+        let jobs_before = svc.pool().jobs_run();
+        let mut rerun = 0usize;
+        let again = svc
+            .handle_ensemble_with(&ens, &JobControl::default(), |r| {
+                assert!(r.cache_hit);
+                rerun += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(again.cache_hits, n);
+        assert_eq!(rerun, n);
+        assert_eq!(svc.pool().jobs_run(), jobs_before);
+
+        // and a single-spectrum request for a swept cosmology hits too
+        let cross = svc.handle(&ens.shard_spec(3)).unwrap();
+        assert!(cross.cache_hit);
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn ensemble_sink_error_aborts_the_sweep() {
+        let pool = FarmPool::<ChannelWorld>::start(2).unwrap();
+        let mut svc = SpectrumService::new(pool, SchedulePolicy::LargestFirst);
+        let ens = EnsembleSpec {
+            base: tiny_spec(vec![0.001]),
+            omega_b: vec![0.04, 0.06],
+            h: vec![0.5],
+            n_s: vec![1.0],
+        };
+        let mut served = 0usize;
+        let out = svc.handle_ensemble_with(&ens, &JobControl::default(), |_| {
+            served += 1;
+            Err(FarmError::Protocol {
+                rank: 0,
+                detail: "client hung up".into(),
+            })
+        });
+        assert!(matches!(out, Err(FarmError::Protocol { .. })));
+        assert_eq!(served, 1, "the first frame's failure stops the stream");
         let _ = svc.shutdown();
     }
 

@@ -13,7 +13,7 @@ use telemetry::{SpanEvent, SpanRecorder};
 use crate::error::FarmError;
 use crate::protocol::{
     cosmo_hash, job_hash, RunSpec, TAG_ASSIGN, TAG_CANCEL, TAG_DATA, TAG_FAIL, TAG_HEADER,
-    TAG_HEARTBEAT, TAG_INIT, TAG_NEWJOB, TAG_REQUEST, TAG_STATS, TAG_STOP,
+    TAG_HEARTBEAT, TAG_INIT, TAG_NEWJOB, TAG_PREFETCH, TAG_REQUEST, TAG_STATS, TAG_STOP,
 };
 
 /// How many accepted integrator steps pass between heartbeat-clock
@@ -119,8 +119,8 @@ impl WorkerContext {
 }
 
 /// Statistics a worker reports after its stop message, shipped to the
-/// master as the tag-7 payload (8 reals; see the `protocol` module docs
-/// for the wire layout).
+/// master as the tag-7 payload (10 reals; see the `protocol` module
+/// docs for the wire layout).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WorkerStats {
     /// Modes completed.
@@ -143,11 +143,19 @@ pub struct WorkerStats {
     /// 1 when the broadcast's cosmology hash differed from the cached
     /// one and the physics tables were rebuilt, 0 on a warm-cache job).
     pub ctx_rebuilds: usize,
+    /// Context builds that happened *off* the job's critical path: the
+    /// worker rebuilt its tables while parked, answering a tag-13
+    /// prefetch hint between jobs, and the build is attributed to the
+    /// next job it serves.  A prefetched job therefore typically shows
+    /// `ctx_rebuilds == 0, prefetch_builds == 1` — same work, but
+    /// overlapped with the previous job's tail instead of serialized in
+    /// front of this one.
+    pub prefetch_builds: usize,
 }
 
 impl WorkerStats {
     /// Encode as the tag-7 payload.
-    pub fn to_wire(&self) -> [f64; 9] {
+    pub fn to_wire(&self) -> [f64; 10] {
         [
             self.modes as f64,
             self.busy_seconds,
@@ -158,19 +166,21 @@ impl WorkerStats {
             self.rhs_evals as f64,
             self.bytes_received as f64,
             self.ctx_rebuilds as f64,
+            self.prefetch_builds as f64,
         ]
     }
 
     /// Decode a tag-7 payload.
     ///
-    /// Accepts the current 9-real layout plus the two earlier shapes —
-    /// 8 reals (pre-pool, no rebuild counter) and 4 reals (the 1995
-    /// field set) — with missing trailing counters read as zero.
-    /// Returns `None` for any other length and for payloads containing
-    /// NaN, non-finite, or negative values — a garbled stats message
-    /// must not silently become a plausible-looking report.
+    /// Accepts the current 10-real layout plus the three earlier shapes
+    /// — 9 reals (pre-prefetch), 8 reals (pre-pool, no rebuild counter)
+    /// and 4 reals (the 1995 field set) — with missing trailing
+    /// counters read as zero.  Returns `None` for any other length and
+    /// for payloads containing NaN, non-finite, or negative values — a
+    /// garbled stats message must not silently become a
+    /// plausible-looking report.
     pub fn from_wire(v: &[f64]) -> Option<Self> {
-        if v.len() != 4 && v.len() != 8 && v.len() != 9 {
+        if v.len() != 4 && v.len() != 8 && v.len() != 9 && v.len() != 10 {
             return None;
         }
         if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
@@ -187,6 +197,7 @@ impl WorkerStats {
             rhs_evals: at(6) as usize,
             bytes_received: at(7) as usize,
             ctx_rebuilds: at(8) as usize,
+            prefetch_builds: at(9) as usize,
         })
     }
 
@@ -202,6 +213,7 @@ impl WorkerStats {
         self.rhs_evals += other.rhs_evals;
         self.bytes_received += other.bytes_received;
         self.ctx_rebuilds += other.ctx_rebuilds;
+        self.prefetch_builds += other.prefetch_builds;
     }
 }
 
@@ -582,17 +594,47 @@ pub fn worker_pool_session<T: Transport>(
     let mut integ = Integrator::new();
     let mut hb = Heartbeat::new();
     let mut modes_done = 0usize;
+    // context builds answered from tag-13 hints while parked, waiting
+    // to be attributed to the next job's stats
+    let mut pending_prefetch_builds = 0usize;
 
     loop {
         let tag = mychecktid(t, mastid)?;
         if tag != TAG_INIT && tag != TAG_NEWJOB {
-            let _ = myrecvreal(t, &mut buf, tag, mastid)?;
+            let n = myrecvreal(t, &mut buf, tag, mastid)?;
             if tag == TAG_STOP {
                 // session over; report lifetime totals like the
                 // one-shot early-stop path does
                 mysendreal(t, &out.stats.to_wire(), TAG_STATS, mastid)?;
                 out.spans = rec.into_events();
                 return Ok(out);
+            }
+            if tag == TAG_PREFETCH {
+                // a hint, not a job: warm the physics cache for the
+                // announced cosmology and park again.  A malformed
+                // payload is ignored — prefetch must never be able to
+                // kill a healthy worker.
+                if let Ok(spec) = RunSpec::decode(&buf[..n]) {
+                    let hash = cosmo_hash(&spec.cosmo);
+                    if cache.as_ref().map(|c| c.hash) != Some(hash) {
+                        let t_build = Instant::now();
+                        let bg = Background::new(spec.cosmo.clone());
+                        let thermo = ThermoHistory::new(&bg);
+                        rec.record(
+                            "prefetch_ctx",
+                            "worker",
+                            t_build,
+                            Instant::now(),
+                            &[
+                                ("cosmo_hash", format!("{hash:016x}")),
+                                ("job", telemetry::log::job_hex(job_hash(&spec))),
+                            ],
+                        );
+                        cache = Some(PhysicsCache { hash, bg, thermo });
+                        pending_prefetch_builds += 1;
+                    }
+                }
+                continue;
             }
             // stale traffic for a previous incarnation of this rank
             // (its work was already requeued): consume and ignore
@@ -603,6 +645,7 @@ pub fn worker_pool_session<T: Transport>(
         let n = myrecvreal(t, &mut buf, tag, mastid)?;
         let mut stats = WorkerStats {
             bytes_received: n * 8,
+            prefetch_builds: std::mem::take(&mut pending_prefetch_builds),
             ..WorkerStats::default()
         };
         let t_start = Instant::now();
@@ -707,9 +750,20 @@ mod tests {
             rhs_evals: 7300,
             bytes_received: 512,
             ctx_rebuilds: 1,
+            prefetch_builds: 1,
         };
         assert_eq!(WorkerStats::from_wire(&s.to_wire()), Some(s));
         assert_eq!(WorkerStats::from_wire(&[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn stats_legacy_nine_real_payload_decodes() {
+        // pre-prefetch workers ship 9 reals; the prefetch counter
+        // zero-fills
+        let got = WorkerStats::from_wire(&[3.0, 1.5, 2.0, 4096.0, 900.0, 12.0, 7300.0, 512.0, 1.0])
+            .unwrap();
+        assert_eq!(got.ctx_rebuilds, 1);
+        assert_eq!(got.prefetch_builds, 0);
     }
 
     #[test]
@@ -746,7 +800,7 @@ mod tests {
         );
         // wrong geometry
         assert_eq!(WorkerStats::from_wire(&[1.0; 5]), None);
-        assert_eq!(WorkerStats::from_wire(&[1.0; 10]), None);
+        assert_eq!(WorkerStats::from_wire(&[1.0; 11]), None);
         assert_eq!(WorkerStats::from_wire(&[]), None);
     }
 }

@@ -185,3 +185,102 @@ proptest! {
         }
     }
 }
+
+/// Build an ensemble from raw axis draws: sorting and deduplicating
+/// each axis keeps the injectivity property honest — two shards that
+/// share a parameter point are *supposed* to share a hash.
+fn make_ensemble(
+    mut omega_b: Vec<f64>,
+    mut h: Vec<f64>,
+    mut n_s: Vec<f64>,
+    ks: Vec<f64>,
+) -> plinger::EnsembleSpec {
+    for axis in [&mut omega_b, &mut h, &mut n_s] {
+        axis.sort_by(|a, b| a.partial_cmp(b).expect("finite axis values"));
+        axis.dedup();
+    }
+    let mut base = RunSpec::standard_cdm(ks);
+    base.preset = Preset::Draft;
+    plinger::EnsembleSpec {
+        base,
+        omega_b,
+        h,
+        n_s,
+    }
+}
+
+proptest! {
+    #[test]
+    fn shard_hashes_are_injective_over_the_grid(
+        omega_b in proptest::collection::vec(0.02f64..0.12, 1..4),
+        h in proptest::collection::vec(0.4f64..0.9, 1..4),
+        n_s in proptest::collection::vec(0.8f64..1.2, 1..4),
+        ks in proptest::collection::vec(1e-4f64..1.0, 2..8),
+    ) {
+        // every shard is a distinct parameter point, so every shard
+        // must map to a distinct cache key — a collision would let one
+        // cosmology's spectrum be served for another's
+        let ens = make_ensemble(omega_b, h, n_s, ks);
+        let n = ens.n_shards();
+        let hashes: std::collections::HashSet<u64> =
+            (0..n).map(|i| ens.shard_hash(i)).collect();
+        prop_assert_eq!(hashes.len(), n, "shard hash collision");
+        // and each one is exactly the single-job hash of that shard's
+        // spec: the ensemble path and the one-off path share the cache
+        for i in 0..n {
+            prop_assert_eq!(ens.shard_hash(i), job_hash(&ens.shard_spec(i)));
+        }
+    }
+
+    #[test]
+    fn shard_hashes_are_visit_order_independent(
+        omega_b in proptest::collection::vec(0.02f64..0.12, 1..4),
+        h in proptest::collection::vec(0.4f64..0.9, 1..4),
+        n_s in proptest::collection::vec(0.8f64..1.2, 1..4),
+        ks in proptest::collection::vec(1e-4f64..1.0, 2..8),
+        seed in 1.0f64..1e15,
+    ) {
+        // a shard's identity is its grid index, never its position in
+        // the work queue: hashing shards in any visit order yields the
+        // same per-index keys, so priority reordering and requeues
+        // cannot move a result to the wrong cache slot
+        let ens = make_ensemble(omega_b, h, n_s, ks);
+        let n = ens.n_shards();
+        let forward: Vec<u64> = (0..n).map(|i| ens.shard_hash(i)).collect();
+        // xorshift-shuffled visit order from the drawn seed
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = (seed as u64) | 1;
+        for i in (1..n).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let mut revisited = vec![0u64; n];
+        for &i in &order {
+            revisited[i] = ens.shard_hash(i);
+        }
+        prop_assert_eq!(revisited, forward);
+    }
+
+    #[test]
+    fn ensemble_spec_wire_roundtrip(
+        omega_b in proptest::collection::vec(0.02f64..0.12, 1..4),
+        h in proptest::collection::vec(0.4f64..0.9, 1..4),
+        n_s in proptest::collection::vec(0.8f64..1.2, 1..4),
+        ks in proptest::collection::vec(1e-4f64..1.0, 2..8),
+    ) {
+        // the wire form is canonical: decode inverts encode exactly,
+        // re-encoding is byte-stable, and every hash-derived identity —
+        // the sweep key and each shard's cache key — survives the hop
+        let ens = make_ensemble(omega_b, h, n_s, ks);
+        let wire = ens.encode();
+        let back = plinger::EnsembleSpec::decode(&wire).expect("decode");
+        prop_assert_eq!(&back, &ens);
+        prop_assert_eq!(back.encode(), wire);
+        prop_assert_eq!(plinger::ensemble_hash(&back), plinger::ensemble_hash(&ens));
+        for i in 0..ens.n_shards() {
+            prop_assert_eq!(back.shard_hash(i), ens.shard_hash(i));
+        }
+    }
+}

@@ -25,6 +25,10 @@ const CONTRACT: &[&str] = &[
     "cache_persist_writes_total",
     "cache_persist_loads_total",
     "cache_persist_discards_total",
+    // ensemble-sweep counters
+    "ensemble_requests_total",
+    "ensemble_shards_total",
+    "ensemble_shard_hits_total",
     // service gauges
     "queue_depth",
     "workers_alive",

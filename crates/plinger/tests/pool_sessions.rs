@@ -243,3 +243,47 @@ fn per_job_idle_accounting_does_not_accumulate() {
     // derived idle/imbalance come from the same per-job stats
     assert!(rep.idle_seconds() < 3.0 * rep.wall_seconds.max(0.05));
 }
+
+/// Regression: `Session::run` used to build its own default
+/// `JobControl`, silently discarding anything attached with
+/// [`plinger::FarmPool::session`] + `with_control` — a session-scoped
+/// job could never be cancelled.  Both levers must now reach the
+/// master: a pre-fired cancel flag aborts before any mode completes,
+/// and the same pool then serves the next session bitwise-clean.
+#[test]
+fn session_control_is_not_dropped() {
+    use plinger::{CancelReason, FarmError, JobControl};
+    use std::sync::atomic::AtomicBool;
+
+    let job1 = spec_of(&[2.0e-4, 8.0e-4, 4.0e-4, 1.2e-3, 6.0e-4]);
+    let job2 = spec_of(&[3.0e-4, 9.0e-4, 5.0e-4]);
+    let mut pool = FarmPool::<ChannelWorld>::start(2).expect("pool start");
+
+    let abandon = AtomicBool::new(true);
+    let err = pool
+        .session(SchedulePolicy::Fifo)
+        .with_control(JobControl {
+            deadline: None,
+            cancel: Some(&abandon),
+        })
+        .run(&job1)
+        .expect_err("pre-fired cancel flag was ignored by the session");
+    match err {
+        FarmError::Cancelled { reason, unfinished } => {
+            assert_eq!(reason, CancelReason::Cancelled);
+            assert_eq!(unfinished.len(), job1.ks.len(), "job partially ran");
+        }
+        other => panic!("expected Cancelled, got {other}"),
+    }
+
+    // a session without control still runs to completion on the same
+    // pool, and the cancelled job never counted
+    let rep = pool
+        .session(SchedulePolicy::Fifo)
+        .run(&job2)
+        .expect("clean session after cancel");
+    let (serial, _) = run_serial(&job2).expect("serial");
+    assert_bitwise(&rep.outputs, &serial);
+    assert_eq!(pool.jobs_run(), 1);
+    pool.shutdown();
+}

@@ -17,7 +17,7 @@ pub mod primordial;
 pub use cl::{angular_power_spectrum, ClSpectrum};
 pub use correlation::{correlation_function, map_variance};
 pub use kgrid::{cl_k_grid, matter_k_grid};
-pub use los::{los_spectrum, project_mode, project_outputs};
+pub use los::{los_spectrum, los_spectrum_with_nodes, project_mode, project_outputs};
 pub use matter::{matter_power_spectrum, sigma_r, transfer_function, MatterPower};
 pub use normalize::{cobe_normalize, qrms_ps_from_c2, Q_RMS_PS_UK};
 pub use primordial::PrimordialSpectrum;

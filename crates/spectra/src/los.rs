@@ -234,6 +234,23 @@ pub fn node_multipoles(l_max: usize) -> Vec<usize> {
 ///
 /// Panics if fewer than four modes carry a source record.
 pub fn los_spectrum(outputs: &[ModeOutput], prim: &PrimordialSpectrum, l_max: usize) -> ClSpectrum {
+    los_spectrum_with_nodes(outputs, prim, l_max, &node_multipoles(l_max))
+}
+
+/// [`los_spectrum`] with a caller-chosen node-multipole set — the
+/// preset-independent entry the node-robustness tests drive: the band
+/// power `l(l+1)C_l` is smooth in `l`, so any reasonable node set must
+/// reproduce the default spectrum to sub-percent accuracy.
+///
+/// Panics if fewer than four modes carry a source record, or if `nodes`
+/// is not a strictly increasing sequence starting at `l ≥ 2` and ending
+/// exactly at `l_max` (the spline must cover the requested range).
+pub fn los_spectrum_with_nodes(
+    outputs: &[ModeOutput],
+    prim: &PrimordialSpectrum,
+    l_max: usize,
+    nodes: &[usize],
+) -> ClSpectrum {
     let with_src: Vec<&ModeOutput> = outputs.iter().filter(|o| o.sources.is_some()).collect();
     assert!(
         with_src.len() >= 4,
@@ -243,7 +260,13 @@ pub fn los_spectrum(outputs: &[ModeOutput], prim: &PrimordialSpectrum, l_max: us
         with_src.windows(2).all(|w| w[1].k > w[0].k),
         "modes must be sorted in k"
     );
-    let nodes = node_multipoles(l_max);
+    assert!(
+        !nodes.is_empty()
+            && nodes[0] >= 2
+            && *nodes.last().unwrap_or(&0) == l_max
+            && nodes.windows(2).all(|w| w[1] > w[0]),
+        "nodes must increase from l ≥ 2 to exactly l_max"
+    );
     let x_need = with_src
         .iter()
         .map(|o| {
@@ -257,7 +280,7 @@ pub fn los_spectrum(outputs: &[ModeOutput], prim: &PrimordialSpectrum, l_max: us
     let lnk: Vec<f64> = with_src.iter().map(|o| o.k.ln()).collect();
     let projected: Vec<(Vec<f64>, Vec<f64>)> = with_src
         .iter()
-        .map(|o| project_mode(o, &nodes, &table).unwrap())
+        .map(|o| project_mode(o, nodes, &table).unwrap())
         .collect();
 
     let four_pi = 4.0 * std::f64::consts::PI;

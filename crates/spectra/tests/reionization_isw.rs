@@ -1,0 +1,98 @@
+//! Convergence of the post-recombination source sampling: the compact
+//! source record keeps a coarse uniform tail from the end of the
+//! recombination window out to `τ₀`, sized per preset, and that tail is
+//! all the line-of-sight projection ever sees of the late ISW effect
+//! and of reionization rescattering.  If the preset-fixed tail density
+//! were marginal, halving it would move the projected `Θ_l`.  Here we
+//! evolve the highest-`k` mode of the golden `C_l` grid — the mode
+//! whose Bessel kernel oscillates fastest in `τ`, i.e. the one that
+//! stresses the tail sampling hardest — under a reionization thermal
+//! history, thin the recorded tail by two, re-project, and require the
+//! change to stay below 1%: the Draft tail carries at least a factor
+//! of two of headroom even at the grid's hardest mode.
+
+use background::{Background, CosmoParams};
+use boltzmann::{evolve_mode, ModeConfig, Preset, SpectrumMethod};
+use recomb::ThermoHistory;
+use spectra::project_outputs;
+
+/// Index of the first point of the coarse tail block: the recorded grid
+/// is uniform-fine through the recombination window, then uniform-coarse
+/// to `τ_end`, so the block boundary is where the spacing jumps.
+fn tail_start(tau: &[f64]) -> usize {
+    let dt_fine = tau[1] - tau[0];
+    for i in 1..tau.len() - 1 {
+        if tau[i + 1] - tau[i] > 3.0 * dt_fine {
+            return i + 1;
+        }
+    }
+    panic!("no coarse tail block found in the source grid");
+}
+
+#[test]
+fn draft_isw_tail_sampling_has_twofold_headroom_at_highest_k() {
+    let bg = Background::new(CosmoParams::standard_cdm());
+    let th = ThermoHistory::with_reionization(&bg, 15.0, 1.5);
+    let l_max = 30usize;
+    let k = *spectra::cl_k_grid(bg.tau0(), l_max, 2.0).last().unwrap();
+
+    let cfg = ModeConfig {
+        preset: Preset::Draft,
+        spectrum_method: SpectrumMethod::LineOfSight,
+        ..Default::default()
+    };
+    let out = evolve_mode(&bg, &th, k, &cfg).unwrap();
+    let src = out.sources.as_ref().expect("LOS run must record sources");
+
+    let t0 = tail_start(&src.tau);
+    let n = src.len();
+    assert!(
+        n - t0 > 40,
+        "tail too short to thin meaningfully: {}",
+        n - t0
+    );
+    // reionization rescattering must actually reach the recorder: the
+    // tail would otherwise be pure ISW and the test would prove less
+    assert!(
+        src.s0[t0..].iter().any(|s| s.abs() > 0.0),
+        "no late-time source recorded in the tail"
+    );
+
+    // thin the coarse tail by two, always keeping the final point so
+    // the record still ends at τ_end
+    let mut thin = out.clone();
+    {
+        let s = thin.sources.as_mut().unwrap();
+        let keep: Vec<usize> = (0..n)
+            .filter(|&i| i < t0 || (i - t0).is_multiple_of(2) || i == n - 1)
+            .collect();
+        assert!(keep.len() < n - 40, "thinning removed too few points");
+        s.tau = keep.iter().map(|&i| s.tau[i]).collect();
+        s.s0 = keep.iter().map(|&i| s.s0[i]).collect();
+        s.s1 = keep.iter().map(|&i| s.s1[i]).collect();
+        s.s2 = keep.iter().map(|&i| s.s2[i]).collect();
+        s.sp = keep.iter().map(|&i| s.sp[i]).collect();
+    }
+
+    let full = &project_outputs(std::slice::from_ref(&out), l_max)[0];
+    let half = &project_outputs(std::slice::from_ref(&thin), l_max)[0];
+
+    // compare against the band amplitude — Θ_l crosses zero, so per-l
+    // relative error is unbounded at the crossings
+    for (name, a, b) in [
+        ("T", &full.delta_t, &half.delta_t),
+        ("P", &full.delta_p, &half.delta_p),
+    ] {
+        let scale = a[2..=l_max].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(scale > 0.0, "{name}: empty projection");
+        for l in 2..=l_max {
+            let rel = (a[l] - b[l]).abs() / scale;
+            assert!(
+                rel < 0.01,
+                "{name} l={l}: {:e} vs {:e} (rel-to-band {rel:.5})",
+                a[l],
+                b[l]
+            );
+        }
+    }
+}

@@ -237,6 +237,14 @@ pub fn job_hex(job_hash: u64) -> String {
     format!("{job_hash:016x}")
 }
 
+/// Canonical rendering of one shard of an ensemble sweep in log fields
+/// and span args: the ensemble's canonical hash plus the shard's index,
+/// `<ensemble_hex>/<shard>`.  Filtering on the prefix collects a whole
+/// sweep's trail; the full label isolates one shard.
+pub fn shard_label(ensemble_hash: u64, shard: usize) -> String {
+    format!("{ensemble_hash:016x}/{shard}")
+}
+
 /// The last `max` events whose `job` field matches `job_hash`, oldest
 /// first — the flight-recorder trail of one request.
 pub fn for_job(job_hash: u64, max: usize) -> Vec<LogEvent> {

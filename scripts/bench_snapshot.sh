@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Re-measure a benchmark and snapshot the result at the repo root.
 #
-#   bench_snapshot.sh         # RHS microbench        -> BENCH_rhs.json
-#   bench_snapshot.sh serve   # service under load    -> BENCH_serve.json
-#   bench_snapshot.sh los     # LOS vs full hierarchy -> BENCH_los.json
+#   bench_snapshot.sh          # RHS microbench         -> BENCH_rhs.json
+#   bench_snapshot.sh serve    # service under load     -> BENCH_serve.json
+#   bench_snapshot.sh los      # LOS vs full hierarchy  -> BENCH_los.json
+#   bench_snapshot.sh ensemble # sweep vs fresh farms   -> BENCH_ensemble.json
 #
 # RHS mode: the baseline numbers below are the medians of the same
 # bench measured on this machine immediately BEFORE the shared-cache +
@@ -21,6 +22,14 @@
 # the line-of-sight fast path on the identical thinned k-grid (demo
 # preset) at l_max 500 and 1500, plus the matched-l band deviation
 # between the two methods (see crates/bench/src/bin/los_speedup.rs).
+#
+# Ensemble mode: the 3×2×2 Ω_b × h × n_s transfer-function cube on one
+# warm pool (shard queue + prefetch) versus a fresh farm per cosmology
+# and versus the naive pool-over-flattened-grid loop that rebuilds the
+# background/recomb tables in every (cosmology, k) task, at pool sizes
+# 1/2/4.  The cube hash must be identical everywhere — the snapshot
+# records throughput, never physics (see
+# crates/bench/src/bin/ensemble.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,6 +87,86 @@ dev = max(c["matched_l_band_dev"] for c in cases.values())
 print(
     f"bench_snapshot: wrote BENCH_los.json "
     f"(worst-case speedup {worst}x, worst band deviation {dev})"
+)
+EOF
+    exit 0
+fi
+
+if [ "$mode" = "ensemble" ]; then
+    cargo build -q --release -p bench --bin ensemble
+    out=""
+    for w in 1 2 4; do
+        run="$(target/release/ensemble "$w" 6 2>&1)"
+        echo "$run"
+        out="$out$run"$'\n'
+    done
+    BENCH_OUT="$out" python3 - <<'EOF'
+import json, os, re
+
+out = os.environ["BENCH_OUT"]
+
+cases = {}
+for m in re.finditer(
+    r"^bench: ensemble/3x2x2/w(\d+) shards=(\d+) modes=(\d+) "
+    r"naive_s=([0-9.]+) fresh_s=([0-9.]+) warm_s=([0-9.]+) "
+    r"speedup_naive=([0-9.]+) speedup=([0-9.]+) "
+    r"shards_per_hour=(\d+) ctx_rebuilds=(\d+) prefetch_builds=(\d+) "
+    r"cube_fnv=([0-9a-f]+)$",
+    out,
+    re.M,
+):
+    (w, shards, modes, naive, fresh, warm, sp_naive, speedup, sph,
+     ctx, pre, fnv) = m.groups()
+    cases[f"w{w}"] = {
+        "workers": int(w),
+        "shards": int(shards),
+        "modes_per_shard": int(modes),
+        "naive_per_task_s": float(naive),
+        "fresh_farms_s": float(fresh),
+        "warm_pool_s": float(warm),
+        "speedup_vs_naive": float(sp_naive),
+        "speedup_vs_fresh": float(speedup),
+        "shards_per_hour": int(sph),
+        "ctx_rebuilds": int(ctx),
+        "prefetch_builds": int(pre),
+        "cube_fnv": fnv,
+    }
+assert set(cases) == {"w1", "w2", "w4"}, f"cases: {sorted(cases)}"
+
+# the cube is physics: every pool size must produce the identical bits
+fnvs = {c["cube_fnv"] for c in cases.values()}
+assert len(fnvs) == 1, f"transfer cube not pinned across pool sizes: {fnvs}"
+
+# amortization: on the multi-worker pools the critical-path context
+# rebuilds stay below the shards × workers cold-pool worst case, and
+# the warm pool beats the rebuild-per-task loop at every pool size
+for c in cases.values():
+    if c["workers"] > 1:
+        assert c["ctx_rebuilds"] < c["shards"] * c["workers"], c
+    assert c["speedup_vs_naive"] > 1.0, c
+
+snapshot = {
+    "schema": "plinger.bench_ensemble/1",
+    "bench": "3x2x2 omega_b/h/n_s transfer-function cube: warm pool + "
+             "shard queue + prefetch vs fresh farm per cosmology vs "
+             "naive per-(cosmology, k) task loop (draft preset, "
+             "ChannelWorld)",
+    "baselines": {
+        "naive": "one single-mode run per (cosmology, k), tables "
+                 "rebuilt in every task",
+        "fresh": "fresh Farm spawn per cosmology, cold physics caches",
+    },
+    "cases": cases,
+}
+with open("BENCH_ensemble.json", "w") as fh:
+    json.dump(snapshot, fh, indent=2)
+    fh.write("\n")
+
+best = max(c["speedup_vs_naive"] for c in cases.values())
+peak = max(c["shards_per_hour"] for c in cases.values())
+print(
+    f"bench_snapshot: wrote BENCH_ensemble.json "
+    f"(best speedup {best}x vs rebuild-per-task, peak {peak} shards/hour)"
 )
 EOF
     exit 0

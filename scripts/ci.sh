@@ -193,6 +193,51 @@ assert restart["fnv"] == orig["fnv"], (restart["fnv"], orig["fnv"])
 print(f"chaos soak: survived stall fault, shed burst, drain, restart; fnv {orig['fnv']}")
 EOF
 
+echo "== ensemble smoke =="
+# ensemble sharding end to end at serve level: a tiny 2×2 Ω_b × h sweep
+# streams four tag-23 shard frames (all cold), the identical repeat is
+# served entirely from the result cache with bitwise-equal bodies, and
+# a single-spectrum request for one swept cosmology crosses over into
+# the shard cache (shared job-hash keys).  The bitwise-vs-serial leg of
+# the gate is the dedicated differential suite below.
+ens_log="$smoke_dir/ens.log"
+"$serve_bin" --listen 127.0.0.1:0 --transport channel --workers 2 \
+    --max-requests 3 > "$ens_log" 2> "$smoke_dir/ens.err" &
+ens_pid=$!
+ens_addr=""
+for _ in $(seq 1 100); do
+    ens_addr="$(sed -n 's/^plinger-serve: listening on //p' "$ens_log")"
+    [ -n "$ens_addr" ] && break
+    sleep 0.1
+done
+[ -n "$ens_addr" ] || { echo "ensemble server never came up"; cat "$smoke_dir/ens.err"; exit 1; }
+ereq() { "$serve_bin" --connect "$ens_addr" --preset draft \
+        --kmin 4e-4 --kmax 2e-3 --nk 3 "$@"; }
+e1="$(ereq --ensemble --sweep-omega-b 0.03,0.06 --sweep-h 0.5,0.7)"
+e2="$(ereq --ensemble --sweep-omega-b 0.03,0.06 --sweep-h 0.5,0.7)"
+e3="$(ereq --omega-b 0.06 --h 0.7)"
+wait "$ens_pid"
+python3 - "$e1" "$e2" "$e3" <<'EOF'
+import sys
+def shards(out):
+    rows = [dict(kv.split("=", 1) for kv in l.split())
+            for l in out.splitlines() if l.startswith("shard=")]
+    assert [r["shard"] for r in rows] == [f"{i}/4" for i in range(4)], rows
+    return rows
+s1, s2 = shards(sys.argv[1]), shards(sys.argv[2])
+assert all(r["cache_hit"] == "0" for r in s1), s1
+assert all(r["cache_hit"] == "1" for r in s2), "repeat sweep missed the cache"
+for a, b in zip(s1, s2):
+    assert a["fnv"] == b["fnv"], "cached shard bytes moved"
+assert "ensemble shards=4 ok=4 hits=0" in sys.argv[1], sys.argv[1]
+assert "ensemble shards=4 ok=4 hits=4" in sys.argv[2], sys.argv[2]
+single = dict(kv.split("=", 1) for kv in sys.argv[3].split())
+assert single["cache_hit"] == "1", "single request missed the shard cache"
+# canonical shard order is omega_b-major, h-fast: (0.06, 0.7) is shard 3
+assert single["fnv"] == s1[3]["fnv"], (single["fnv"], s1[3]["fnv"])
+print(f"ensemble smoke: 4 cold + 4 cached shards, crossover hit, fnv {single['fnv']}")
+EOF
+
 echo "== metric-name stability =="
 # the exposition names are a stability contract pinned against
 # docs/OBSERVABILITY.md
@@ -245,5 +290,19 @@ echo "== warm-pool determinism =="
 # rebuilt only on cosmology change, and the canonical hashes the
 # caches key on are pinned to golden values
 cargo test -q -p plinger --test pool_sessions --test canonical_hash --test serve
+
+echo "== ensemble differential layer =="
+# the two-level sweep scheduler pinned bitwise against the serial loop
+# of single-cosmology jobs, with shard requeue and mid-shard worker
+# kill; the channel-transport leg is the bitwise-vs-serial assert of
+# the ensemble smoke gate above (shmem/tcp legs ride the same suite)
+cargo test -q --test ensemble_pinning
+
+echo "== ensemble bench smoke =="
+# compile-and-run-once smoke of the sweep-throughput bench behind
+# BENCH_ensemble.json (2 workers, 2 modes/shard); the bin itself
+# asserts the warm-pool cube is bitwise-identical to fresh farms
+cargo run -q --release -p bench --bin ensemble 2 2 \
+    | grep -q "^bench: ensemble/3x2x2/w2 "
 
 echo "ci: all green"

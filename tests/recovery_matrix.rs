@@ -316,11 +316,16 @@ fn pooled_worker_killed_in_job_one_serves_job_two() {
         recovery: RecoveryPolicy::requeue(),
         ..plinger::MasterConfig::default()
     };
+    // after_modes: 0 — vanish on the first assignment, which initial
+    // dispatch guarantees rank 1 receives, so a mode is always in
+    // flight when the worker dies.  A later kill (after_modes >= 1)
+    // races the survivor: if rank 2 drains the queue before rank 1's
+    // fatal next assignment, the fault never fires and requeues == 0.
     let opts = PoolOptions {
         respawn_limit: 2,
         fault: Some(FaultPlan::DropWorker {
             rank: 1,
-            after_modes: 1,
+            after_modes: 0,
         }),
     };
     let mut pool = FarmPool::<ChannelWorld>::start_with(2, config, opts).unwrap();
@@ -364,11 +369,13 @@ fn pool_without_respawn_budget_degrades_but_keeps_serving() {
         },
         ..plinger::MasterConfig::default()
     };
+    // after_modes: 0 for the same determinism as the respawn test
+    // above: the kill must land while a mode is in flight.
     let opts = PoolOptions {
         respawn_limit: 0,
         fault: Some(FaultPlan::DropWorker {
             rank: 1,
-            after_modes: 1,
+            after_modes: 0,
         }),
     };
     let mut pool = FarmPool::<ChannelWorld>::start_with(2, config, opts).unwrap();
